@@ -1,0 +1,216 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact — see DESIGN.md's experiment
+// index), the headline crossover solvers, the ablations, and the hot
+// evaluation paths.
+//
+//	go test -bench=. -benchmem
+package greenfpga_test
+
+import (
+	"io"
+	"testing"
+
+	"greenfpga"
+
+	"greenfpga/internal/core"
+	"greenfpga/internal/experiments"
+	"greenfpga/internal/isoperf"
+	"greenfpga/internal/sweep"
+	"greenfpga/internal/units"
+)
+
+// benchExperiment runs one registered paper artifact per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := out.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Paper tables.
+
+func BenchmarkTable1Defaults(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2IsoPerf(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTable3Industry(b *testing.B) { benchExperiment(b, "table3") }
+
+// Paper figures.
+
+func BenchmarkFig2SingleVsTenApps(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFig4NumApps(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkFig5AppLifetime(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig6AppVolume(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig7Breakdown(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8Heatmaps(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig9ChipLifetime(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig10IndustryFPGA(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11IndustryASIC(b *testing.B)   { benchExperiment(b, "fig11") }
+
+// Headline analyses and ablations.
+
+func BenchmarkCrossoverScenarios(b *testing.B)  { benchExperiment(b, "scenarios") }
+func BenchmarkDesignModelAblation(b *testing.B) { benchExperiment(b, "design-ablation") }
+func BenchmarkYieldModelAblation(b *testing.B)  { benchExperiment(b, "yield-ablation") }
+func BenchmarkRecyclingKnobsSweep(b *testing.B) { benchExperiment(b, "recycling-sweep") }
+func BenchmarkEq2Sensitivity(b *testing.B)      { benchExperiment(b, "eq2-sensitivity") }
+
+// Extensions beyond the paper.
+
+func BenchmarkGPUExtension(b *testing.B)      { benchExperiment(b, "gpu-extension") }
+func BenchmarkCarbonScheduling(b *testing.B)  { benchExperiment(b, "carbon-scheduling") }
+func BenchmarkChipletAblation(b *testing.B)   { benchExperiment(b, "chiplet-ablation") }
+func BenchmarkDesignSpaceSearch(b *testing.B) { benchExperiment(b, "dse") }
+func BenchmarkFleetPlanner(b *testing.B)      { benchExperiment(b, "planner") }
+func BenchmarkMultiFPGAGanging(b *testing.B)  { benchExperiment(b, "multi-fpga") }
+func BenchmarkFabSiting(b *testing.B)         { benchExperiment(b, "fab-siting") }
+
+// BenchmarkMonteCarlo runs a 500-sample Table 1 uncertainty study on
+// the DNN ratio.
+func BenchmarkMonteCarlo(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_, err := greenfpga.RunMonteCarlo(greenfpga.MCConfig{
+			Samples: 500,
+			Seed:    int64(i),
+			Params: []greenfpga.MCParam{
+				{Name: "duty", Dist: greenfpga.UniformDist{Lo: 0.05, Hi: 0.2}},
+				{Name: "life", Dist: greenfpga.UniformDist{Lo: 1, Hi: 3}},
+			},
+			Model: func(draw map[string]float64) (float64, error) {
+				dd := d
+				dd.DutyCycle = draw["duty"]
+				pr, err := dd.Pair()
+				if err != nil {
+					return 0, err
+				}
+				c, err := pr.Compare(core.Uniform("mc", 5,
+					units.YearsOf(draw["life"]), 1e6, 0))
+				if err != nil {
+					return 0, err
+				}
+				return c.Ratio, nil
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Hot-path micro-benchmarks.
+
+// BenchmarkEvaluateFPGA measures one full FPGA scenario evaluation.
+func BenchmarkEvaluateFPGA(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.Uniform("bench", 5, units.YearsOf(2), 1e6, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(pr.FPGA, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateASIC measures one full ASIC scenario evaluation.
+func BenchmarkEvaluateASIC(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.Uniform("bench", 5, units.YearsOf(2), 1e6, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Evaluate(pr.ASIC, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceCost measures the embodied-model evaluation alone.
+func BenchmarkDeviceCost(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.FPGA.DeviceCost(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep2D measures a parallel 20x12 pairwise grid (the Fig. 8
+// workload shape).
+func BenchmarkSweep2D(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := sweep.Axis{Name: "n", Values: sweep.IntRange(1, 20)}
+	y := sweep.Axis{Name: "t", Values: sweep.Linspace(0.2, 2.5, 12)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sweep.Run2D(x, y, func(xv, yv float64) (units.Mass, units.Mass, error) {
+			c, err := pr.Compare(core.Uniform("g", int(xv+0.5), units.YearsOf(yv), 1e6, 0))
+			if err != nil {
+				return 0, 0, err
+			}
+			return c.FPGA.Total(), c.ASIC.Total(), nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossoverSolvers measures the three §4.2 solvers together.
+func BenchmarkCrossoverSolvers(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pr.CrossoverNumApps(units.YearsOf(2), 1e6, 0, 20); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := pr.CrossoverLifetime(5, 1e6, 0, units.YearsOf(0.2), units.YearsOf(2.5)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := pr.CrossoverVolume(5, units.YearsOf(2), 0, 1e3, 1e7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

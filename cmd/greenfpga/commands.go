@@ -1,0 +1,456 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"greenfpga"
+
+	"greenfpga/internal/core"
+	"greenfpga/internal/experiments"
+	"greenfpga/internal/isoperf"
+	"greenfpga/internal/report"
+	"greenfpga/internal/sweep"
+	"greenfpga/internal/units"
+)
+
+// cmdList prints the experiment registry.
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, id := range greenfpga.Experiments() {
+		fmt.Println(id)
+	}
+	return nil
+}
+
+// cmdExperiment regenerates one or all paper artifacts.
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	format := fs.String("format", "text", "output format: text, markdown, csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: greenfpga experiment [-format text|markdown|csv] <id>|all")
+	}
+	render := func(o *experiments.Output) error {
+		switch *format {
+		case "text":
+			return o.Render(os.Stdout)
+		case "markdown", "md":
+			return o.RenderMarkdown(os.Stdout)
+		case "csv":
+			return o.RenderCSV(os.Stdout)
+		default:
+			return fmt.Errorf("unknown format %q (text, markdown, csv)", *format)
+		}
+	}
+	id := fs.Arg(0)
+	if id == "all" {
+		outs, err := experiments.RunAll()
+		if err != nil {
+			return err
+		}
+		for _, o := range outs {
+			if err := render(o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	out, err := experiments.Run(id)
+	if err != nil {
+		return err
+	}
+	return render(out)
+}
+
+// cmdDevices prints the Table 3 catalog.
+func cmdDevices(args []string) error {
+	fs := flag.NewFlagSet("devices", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t := report.NewTable("Industry device catalog (Table 3)",
+		"Name", "Kind", "Node", "Die area", "TDP", "Capacity [Mgates]", "Based on")
+	for _, s := range greenfpga.IndustryDevices() {
+		cap := "-"
+		if s.CapacityGates > 0 {
+			cap = fmt.Sprintf("%.0f", s.CapacityGates/1e6)
+		}
+		t.AddRow(s.Name, string(s.Kind), s.Node.Name, s.DieArea.String(),
+			s.PeakPower.String(), cap, s.BasedOn)
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// cmdDomains prints the Table 2 testcases.
+func cmdDomains(args []string) error {
+	fs := flag.NewFlagSet("domains", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t := report.NewTable("Iso-performance domains (Table 2)",
+		"Domain", "Area ratio", "Power ratio", "ASIC area", "ASIC TDP", "Duty")
+	for _, d := range greenfpga.Domains() {
+		t.AddRow(d.Name, fmt.Sprintf("%g", d.AreaRatio), fmt.Sprintf("%g", d.PowerRatio),
+			d.ASICArea.String(), d.ASICPeakPower.String(), fmt.Sprintf("%.0f%%", d.DutyCycle*100))
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// pairFlag resolves the -domain flag to an iso-performance pair.
+func pairFlag(name string) (core.Pair, error) {
+	d, err := greenfpga.DomainByName(name)
+	if err != nil {
+		return core.Pair{}, err
+	}
+	return d.Pair()
+}
+
+// cmdCrossover solves the three §4.2 crossover questions.
+func cmdCrossover(args []string) error {
+	fs := flag.NewFlagSet("crossover", flag.ContinueOnError)
+	domain := fs.String("domain", "DNN", "iso-performance domain (DNN, ImgProc, Crypto)")
+	lifetime := fs.Float64("lifetime", 2, "application lifetime in years (for N_app and N_vol solves)")
+	napps := fs.Int("napps", 5, "application count (for T_i and N_vol solves)")
+	volume := fs.Float64("volume", 1e6, "application volume (for N_app and T_i solves)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pr, err := pairFlag(*domain)
+	if err != nil {
+		return err
+	}
+	n, nFound, err := pr.CrossoverNumApps(units.YearsOf(*lifetime), *volume, 0, 30)
+	if err != nil {
+		return err
+	}
+	tstar, tFound, err := pr.CrossoverLifetime(*napps, *volume, 0, units.YearsOf(0.05), units.YearsOf(10))
+	if err != nil {
+		return err
+	}
+	vstar, vFound, err := pr.CrossoverVolume(*napps, units.YearsOf(*lifetime), 0, 1e2, 1e8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("domain %s (T=%gy, N=%d, V=%g where fixed)\n", *domain, *lifetime, *napps, *volume)
+	if nFound {
+		fmt.Printf("  A2F at N_app = %d (FPGA wins from %d applications)\n", n, n)
+	} else {
+		fmt.Println("  no N_app crossover within 30 applications")
+	}
+	if tFound {
+		fmt.Printf("  F2A at T_i = %.2f years (FPGA wins below)\n", tstar.Years())
+	} else {
+		fmt.Println("  no lifetime crossover in [0.05, 10] years")
+	}
+	if vFound {
+		fmt.Printf("  F2A at N_vol = %.0f units (FPGA wins below)\n", vstar)
+	} else {
+		fmt.Println("  no volume crossover in [1e2, 1e8]")
+	}
+	return nil
+}
+
+// cmdSweep runs a 1-D sweep and charts it.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	domain := fs.String("domain", "DNN", "iso-performance domain")
+	axis := fs.String("axis", "napps", "sweep axis: napps, lifetime, volume")
+	from := fs.Float64("from", 0, "axis start (defaults per axis)")
+	to := fs.Float64("to", 0, "axis end (defaults per axis)")
+	points := fs.Int("points", 0, "sample count (defaults per axis)")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of a chart")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pr, err := pairFlag(*domain)
+	if err != nil {
+		return err
+	}
+
+	var ax sweep.Axis
+	var evalAxis string
+	logX := false
+	switch *axis {
+	case "napps":
+		lo, hi := 1, 12
+		if *from > 0 {
+			lo = int(*from)
+		}
+		if *to > 0 {
+			hi = int(*to)
+		}
+		ax = sweep.Axis{Name: "Num Apps", Values: sweep.IntRange(lo, hi)}
+		evalAxis = "n"
+	case "lifetime":
+		lo, hi, n := 0.2, 2.5, 24
+		if *from > 0 {
+			lo = *from
+		}
+		if *to > 0 {
+			hi = *to
+		}
+		if *points > 0 {
+			n = *points
+		}
+		ax = sweep.Axis{Name: "App Lifetime [y]", Values: sweep.Linspace(lo, hi, n)}
+		evalAxis = "t"
+	case "volume":
+		lo, hi, n := 1e3, 1e6, 13
+		if *from > 0 {
+			lo = *from
+		}
+		if *to > 0 {
+			hi = *to
+		}
+		if *points > 0 {
+			n = *points
+		}
+		ax = sweep.Axis{Name: "App Volume", Values: sweep.Logspace(lo, hi, n), Log: true}
+		evalAxis = "v"
+		logX = true
+	default:
+		return fmt.Errorf("unknown axis %q (napps, lifetime, volume)", *axis)
+	}
+
+	eval := func(x float64) (units.Mass, units.Mass, error) {
+		nApps, tY, v := 5, 2.0, 1e6
+		switch evalAxis {
+		case "n":
+			nApps = int(x + 0.5)
+		case "t":
+			tY = x
+		case "v":
+			v = x
+		}
+		c, err := pr.Compare(core.Uniform("sweep", nApps, units.YearsOf(tY), v, 0))
+		if err != nil {
+			return 0, 0, err
+		}
+		return c.FPGA.Total(), c.ASIC.Total(), nil
+	}
+	pts, err := sweep.Run1D(ax, eval)
+	if err != nil {
+		return err
+	}
+
+	if *csvOut {
+		t := report.NewTable("", ax.Name, "FPGA [kt]", "ASIC [kt]", "ratio")
+		for _, p := range pts {
+			t.AddRow(fmt.Sprintf("%g", p.X), fmt.Sprintf("%.3f", p.FPGA.Kilotonnes()),
+				fmt.Sprintf("%.3f", p.ASIC.Kilotonnes()), fmt.Sprintf("%.4f", p.Ratio))
+		}
+		return t.WriteCSV(os.Stdout)
+	}
+	xs := make([]float64, len(pts))
+	fy := make([]float64, len(pts))
+	ay := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], fy[i], ay[i] = p.X, p.FPGA.Kilotonnes(), p.ASIC.Kilotonnes()
+	}
+	return report.LineChart(os.Stdout, report.ChartOptions{
+		Title:  fmt.Sprintf("%s: CFP vs %s", *domain, ax.Name),
+		XLabel: ax.Name, YLabel: "total CFP [ktCO2e]", LogX: logX,
+	},
+		report.Series{Name: "FPGA", X: xs, Y: fy},
+		report.Series{Name: "ASIC", X: xs, Y: ay})
+}
+
+// cmdRun evaluates a JSON scenario config.
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	path := fs.String("config", "", "scenario JSON file")
+	jsonOut := fs.Bool("json", false, "emit the breakdown as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("usage: greenfpga run -config <file.json>")
+	}
+	cfg, err := greenfpga.LoadScenarioConfig(*path)
+	if err != nil {
+		return err
+	}
+	scen, err := cfg.ToScenario()
+	if err != nil {
+		return err
+	}
+
+	type side struct {
+		name string
+		res  core.Assessment
+	}
+	var sides []side
+	if cfg.FPGA != nil {
+		p, err := cfg.FPGA.ToPlatform()
+		if err != nil {
+			return err
+		}
+		res, err := core.Evaluate(p, scen)
+		if err != nil {
+			return err
+		}
+		sides = append(sides, side{"FPGA", res})
+	}
+	if cfg.ASIC != nil {
+		p, err := cfg.ASIC.ToPlatform()
+		if err != nil {
+			return err
+		}
+		res, err := core.Evaluate(p, scen)
+		if err != nil {
+			return err
+		}
+		sides = append(sides, side{"ASIC", res})
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := map[string]any{}
+		for _, s := range sides {
+			out[s.name] = map[string]any{
+				"platform":  s.res.Platform,
+				"total_kg":  s.res.Total().Kilograms(),
+				"breakdown": s.res.Breakdown,
+				"devices":   s.res.DevicesManufactured,
+			}
+		}
+		return enc.Encode(out)
+	}
+
+	t := report.NewTable(fmt.Sprintf("Scenario %q (%d applications, %s total)",
+		scen.Name, len(scen.Apps), scen.TotalYears()),
+		"Platform", "Design", "Mfg", "Pkg", "EOL", "Operation", "App-dev", "Total [kt]")
+	for _, s := range sides {
+		b := s.res.Breakdown
+		t.AddRow(fmt.Sprintf("%s (%s)", s.name, s.res.Platform),
+			fmt.Sprintf("%.2f", b.Design.Kilotonnes()),
+			fmt.Sprintf("%.2f", b.Manufacturing.Kilotonnes()),
+			fmt.Sprintf("%.2f", b.Packaging.Kilotonnes()),
+			fmt.Sprintf("%.3f", b.EOL.Kilotonnes()),
+			fmt.Sprintf("%.2f", b.Operation.Kilotonnes()),
+			fmt.Sprintf("%.3f", (b.AppDevelopment+b.Configuration).Kilotonnes()),
+			fmt.Sprintf("%.2f", b.Total().Kilotonnes()))
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if len(sides) == 2 {
+		ratio := sides[0].res.Total().Kilograms() / sides[1].res.Total().Kilograms()
+		verdict := "the FPGA is the more sustainable platform"
+		if ratio >= 1 {
+			verdict = "the ASIC is the more sustainable platform"
+		}
+		fmt.Printf("\nFPGA:ASIC ratio = %.3f — %s\n", ratio, verdict)
+	}
+	return nil
+}
+
+// cmdMC runs the Table 1 uncertainty study for a domain pair ratio.
+func cmdMC(args []string) error {
+	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
+	domain := fs.String("domain", "DNN", "iso-performance domain")
+	samples := fs.Int("samples", 2000, "Monte-Carlo samples")
+	seed := fs.Int64("seed", 1, "random seed")
+	napps := fs.Int("napps", 5, "application count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := greenfpga.DomainByName(*domain)
+	if err != nil {
+		return err
+	}
+	res, err := DomainRatioStudy(d, *napps, *samples, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("FPGA:ASIC CFP ratio for %s over Table 1 parameter ranges (%d samples, N=%d apps)\n",
+		*domain, *samples, *napps)
+	fmt.Printf("  mean %.3f  stddev %.3f\n", res.Mean, res.StdDev)
+	for _, p := range []float64{5, 25, 50, 75, 95} {
+		fmt.Printf("  p%-3.0f %.3f\n", p, res.Percentile(p))
+	}
+	probFPGA := 0.0
+	for _, s := range res.Samples {
+		if s < 1 {
+			probFPGA++
+		}
+	}
+	fmt.Printf("  P(FPGA wins) = %.1f%%\n", probFPGA/float64(len(res.Samples))*100)
+	fmt.Println("  tornado (|output swing| per parameter, 10th-90th percentile):")
+	for _, e := range res.Tornado {
+		fmt.Printf("    %-22s %.4f\n", e.Param, e.Swing())
+	}
+	return nil
+}
+
+// DomainRatioStudy propagates Table 1 ranges through a domain pair's
+// FPGA:ASIC ratio. Exported for the uncertainty example and benches.
+func DomainRatioStudy(d isoperf.Domain, nApps, samples int, seed int64) (greenfpga.MCResult, error) {
+	return greenfpga.RunMonteCarlo(greenfpga.MCConfig{
+		Samples: samples,
+		Seed:    seed,
+		Params: []greenfpga.MCParam{
+			{Name: "duty_cycle", Dist: greenfpga.TriangularDist{Lo: d.DutyCycle * 0.5, Mode: d.DutyCycle, Hi: minF(1, d.DutyCycle*1.5)}},
+			{Name: "t_fe_months", Dist: greenfpga.UniformDist{Lo: 1.5, Hi: 2.5}},
+			{Name: "t_be_months", Dist: greenfpga.UniformDist{Lo: 0.5, Hi: 1.5}},
+			{Name: "design_staff", Dist: greenfpga.TriangularDist{Lo: d.DesignEngineers * 0.7, Mode: d.DesignEngineers, Hi: d.DesignEngineers * 1.3}},
+			{Name: "recycled_fraction", Dist: greenfpga.UniformDist{Lo: 0, Hi: 1}},
+			{Name: "eol_delta", Dist: greenfpga.UniformDist{Lo: 0.05, Hi: 0.95}},
+			{Name: "app_lifetime_years", Dist: greenfpga.UniformDist{Lo: 1, Hi: 3}},
+		},
+		Model: func(draw map[string]float64) (float64, error) {
+			dd := d
+			dd.DutyCycle = draw["duty_cycle"]
+			dd.DesignEngineers = draw["design_staff"]
+			pr, err := dd.Pair()
+			if err != nil {
+				return 0, err
+			}
+			ad := pr.FPGA.AppDevProfile()
+			ad.FrontEnd = units.Months(draw["t_fe_months"])
+			ad.BackEnd = units.Months(draw["t_be_months"])
+			pr.FPGA.AppDev = &ad
+			for _, p := range []*core.Platform{&pr.FPGA, &pr.ASIC} {
+				p.RecycledMaterialFraction = draw["recycled_fraction"]
+				p.EOL.RecycleFraction = draw["eol_delta"]
+			}
+			c, err := pr.Compare(core.Uniform("mc", nApps,
+				units.YearsOf(draw["app_lifetime_years"]), isoperf.ReferenceVolume, 0))
+			if err != nil {
+				return 0, err
+			}
+			return c.Ratio, nil
+		},
+	})
+}
+
+// cmdExampleConfig prints a sample scenario document.
+func cmdExampleConfig(args []string) error {
+	fs := flag.NewFlagSet("example-config", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(greenfpga.ExampleScenarioConfig(), "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
+}
+
+// minF avoids importing math for one clamp.
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

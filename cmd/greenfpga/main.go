@@ -1,0 +1,80 @@
+// Command greenfpga is the GreenFPGA carbon-footprint tool: it
+// evaluates FPGA- and ASIC-based computing scenarios, regenerates every
+// table and figure of the DAC'24 paper, sweeps parameters, solves
+// crossover points, and runs uncertainty studies.
+//
+// Usage:
+//
+//	greenfpga list                          list paper experiments
+//	greenfpga experiment <id>|all           regenerate a table/figure
+//	greenfpga devices                       print the Table 3 catalog
+//	greenfpga domains                       print the Table 2 testcases
+//	greenfpga crossover -domain DNN         solve A2F/F2A points
+//	greenfpga sweep -domain DNN -axis napps 1-D sweep with a chart
+//	greenfpga run -config file.json         evaluate a JSON scenario
+//	greenfpga mc -domain DNN                Monte-Carlo uncertainty
+//	greenfpga example-config                print a sample JSON config
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+// commands dispatches subcommand names to implementations.
+var commands = map[string]func(args []string) error{
+	"list":           cmdList,
+	"experiment":     cmdExperiment,
+	"devices":        cmdDevices,
+	"domains":        cmdDomains,
+	"kernels":        cmdKernels,
+	"compare":        cmdCompare,
+	"crossover":      cmdCrossover,
+	"sweep":          cmdSweep,
+	"run":            cmdRun,
+	"plan":           cmdPlan,
+	"dse":            cmdDSE,
+	"mc":             cmdMC,
+	"wafer":          cmdWafer,
+	"validate":       cmdValidate,
+	"example-config": cmdExampleConfig,
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, ok := commands[os.Args[1]]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "greenfpga: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err := cmd(os.Args[2:]); err != nil {
+		fmt.Fprintf(os.Stderr, "greenfpga: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// usage prints the top-level help.
+func usage() {
+	fmt.Fprintln(os.Stderr, `GreenFPGA: carbon-footprint assessment of FPGA vs ASIC computing (DAC'24)
+
+commands:
+  list                            list the paper-reproduction experiments
+  experiment <id>|all             regenerate a paper table/figure
+  devices                         print the industry device catalog (Table 3)
+  domains                         print the iso-performance testcases (Table 2)
+  kernels                         list the workload kernel library
+  compare -fpga <dev> -asic <dev> head-to-head catalog comparison
+  crossover -domain <name>        solve the A2F/F2A crossover points
+  sweep -domain <name> -axis <a>  run a 1-D sweep (axes: napps, lifetime, volume)
+  run -config <file.json>         evaluate a custom scenario
+  plan -config <file.json>        optimize a portfolio across FPGA fleet and ASICs
+  dse -kernel <name>              carbon-aware design-space exploration
+  mc -domain <name>               Monte-Carlo uncertainty over Table 1 ranges
+  wafer [-device <name>]          wafer-level manufacturing economics
+  validate -config <file.json>    check a scenario JSON
+  example-config                  print a sample scenario JSON`)
+}

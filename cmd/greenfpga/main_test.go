@@ -1,0 +1,352 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"greenfpga/internal/config"
+)
+
+// captureStdout runs f with os.Stdout redirected to a buffer.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	done := make(chan struct{})
+	var buf bytes.Buffer
+	go func() {
+		defer close(done)
+		io.Copy(&buf, r)
+	}()
+	runErr := f()
+	w.Close()
+	<-done
+	return buf.String(), runErr
+}
+
+func TestCmdList(t *testing.T) {
+	out, err := captureStdout(t, func() error { return cmdList(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig2", "fig11", "scenarios"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdExperiment(t *testing.T) {
+	out, err := captureStdout(t, func() error { return cmdExperiment([]string{"table3"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IndustryASIC1", "IndustryFPGA2", "340 mm^2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment table3 missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdExperiment([]string{}); err == nil {
+		t.Error("missing id must error")
+	}
+	if err := cmdExperiment([]string{"fig99"}); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestCmdExperimentFormats(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdExperiment([]string{"-format", "markdown", "table2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "| Testcase | DNN | ImgProc | Crypto |") {
+		t.Errorf("markdown format:\n%s", out)
+	}
+	out, err = captureStdout(t, func() error {
+		return cmdExperiment([]string{"-format", "csv", "table3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IndustryASIC1,asic") {
+		t.Errorf("csv format:\n%s", out)
+	}
+	if err := cmdExperiment([]string{"-format", "yaml", "table2"}); err == nil {
+		t.Error("unknown format must error")
+	}
+}
+
+func TestCmdCompare(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdCompare([]string{"-fpga", "IndustryFPGA2", "-asic", "IndustryASIC2", "-napps", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IndustryFPGA2", "IndustryASIC2", "FPGA:ASIC ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdCompare([]string{"-fpga", "IndustryASIC1"}); err == nil {
+		t.Error("ASIC passed as -fpga must error")
+	}
+	if err := cmdCompare([]string{"-asic", "IndustryFPGA1"}); err == nil {
+		t.Error("FPGA passed as -asic must error")
+	}
+	if err := cmdCompare([]string{"-fpga", "nope"}); err == nil {
+		t.Error("unknown device must error")
+	}
+}
+
+func TestCmdWafer(t *testing.T) {
+	out, err := captureStdout(t, func() error { return cmdWafer(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"IndustryASIC2", "Gross dice", "Per good die"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wafer output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = captureStdout(t, func() error {
+		return cmdWafer([]string{"-device", "IndustryFPGA1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "IndustryASIC1") || !strings.Contains(out, "IndustryFPGA1") {
+		t.Errorf("device filter broken:\n%s", out)
+	}
+	if err := cmdWafer([]string{"-device", "nope"}); err == nil {
+		t.Error("unknown device must error")
+	}
+}
+
+func TestCmdDevicesAndDomains(t *testing.T) {
+	out, err := captureStdout(t, func() error { return cmdDevices(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IndustryFPGA1") || !strings.Contains(out, "Agilex") {
+		t.Errorf("devices output:\n%s", out)
+	}
+	out, err = captureStdout(t, func() error { return cmdDomains(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ImgProc") || !strings.Contains(out, "7.42") {
+		t.Errorf("domains output:\n%s", out)
+	}
+}
+
+func TestCmdCrossover(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdCrossover([]string{"-domain", "DNN"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"A2F at N_app = 6", "F2A at T_i = 1.59"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("crossover output missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdCrossover([]string{"-domain", "Quantum"}); err == nil {
+		t.Error("unknown domain must error")
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdSweep([]string{"-domain", "Crypto", "-axis", "lifetime", "-points", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FPGA") || !strings.Contains(out, "App Lifetime") {
+		t.Errorf("sweep chart:\n%s", out)
+	}
+	// CSV mode.
+	out, err = captureStdout(t, func() error {
+		return cmdSweep([]string{"-domain", "DNN", "-axis", "volume", "-points", "4", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ratio") || len(strings.Split(strings.TrimSpace(out), "\n")) != 5 {
+		t.Errorf("sweep csv:\n%s", out)
+	}
+	if err := cmdSweep([]string{"-axis", "frequency"}); err == nil {
+		t.Error("unknown axis must error")
+	}
+}
+
+func TestCmdRun(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := config.Save(path, config.Example()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return cmdRun([]string{"-config", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"FPGA (IndustryFPGA1)", "ASIC (IndustryASIC1)", "FPGA:ASIC ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q:\n%s", want, out)
+		}
+	}
+	// JSON mode.
+	out, err = captureStdout(t, func() error {
+		return cmdRun([]string{"-config", path, "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "\"total_kg\"") {
+		t.Errorf("run json output:\n%s", out)
+	}
+	if err := cmdRun(nil); err == nil {
+		t.Error("missing config must error")
+	}
+	if err := cmdRun([]string{"-config", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestCmdMC(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdMC([]string{"-domain", "DNN", "-samples", "100", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"P(FPGA wins)", "tornado", "p50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mc output missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdMC([]string{"-domain", "Quantum"}); err == nil {
+		t.Error("unknown domain must error")
+	}
+}
+
+func TestCmdExampleConfig(t *testing.T) {
+	out, err := captureStdout(t, func() error { return cmdExampleConfig(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IndustryFPGA1") || !strings.Contains(out, "lifetime_years") {
+		t.Errorf("example config:\n%s", out)
+	}
+	// The printed config must itself parse.
+	if _, err := config.Parse([]byte(out)); err != nil {
+		t.Errorf("printed config does not parse: %v", err)
+	}
+}
+
+func TestCommandTableComplete(t *testing.T) {
+	for _, name := range []string{"list", "experiment", "devices", "domains",
+		"kernels", "crossover", "sweep", "run", "plan", "dse", "mc",
+		"validate", "example-config"} {
+		if _, ok := commands[name]; !ok {
+			t.Errorf("command %q not registered", name)
+		}
+	}
+}
+
+func TestCmdKernels(t *testing.T) {
+	out, err := captureStdout(t, func() error { return cmdKernels(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"resnet50-int8", "aes256-gcm", "h265-encode-4k"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("kernels missing %q:\n%s", want, out)
+		}
+	}
+	out, err = captureStdout(t, func() error { return cmdKernels([]string{"-domain", "Crypto"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "resnet50") || !strings.Contains(out, "sha3-512") {
+		t.Errorf("domain filter broken:\n%s", out)
+	}
+}
+
+func TestCmdDSE(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdDSE([]string{"-generations", "3", "-top", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "optimum:") || !strings.Contains(out, "Rank") {
+		t.Errorf("dse output:\n%s", out)
+	}
+	if err := cmdDSE([]string{"-kernel", "quantum"}); err == nil {
+		t.Error("unknown kernel must error")
+	}
+	if err := cmdDSE([]string{"-generations", "0"}); err == nil {
+		t.Error("zero generations must error")
+	}
+}
+
+func TestCmdPlanAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := config.Save(path, config.Example()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error { return cmdPlan([]string{"-config", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Portfolio plan", "all-ASIC", "all-FPGA", "saves"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan output missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdPlan(nil); err == nil {
+		t.Error("missing config must error")
+	}
+	// A config with only one platform cannot be planned.
+	single := config.Example()
+	single.ASIC = nil
+	singlePath := filepath.Join(dir, "single.json")
+	if err := config.Save(singlePath, single); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPlan([]string{"-config", singlePath}); err == nil {
+		t.Error("single-platform config must error")
+	}
+
+	out, err = captureStdout(t, func() error { return cmdValidate([]string{"-config", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "OK") || !strings.Contains(out, "3 application(s)") {
+		t.Errorf("validate output:\n%s", out)
+	}
+	if err := cmdValidate(nil); err == nil {
+		t.Error("missing config must error")
+	}
+	if err := cmdValidate([]string{"-config", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing file must error")
+	}
+}

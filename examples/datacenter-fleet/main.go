@@ -1,0 +1,95 @@
+// Datacenter fleet: a cloud operator deploys 50K FPGA accelerator
+// cards and reconfigures them across ML serving generations, the
+// setting of the paper's cloud-FPGA motivation (Catapult-style). The
+// example shows how deployment region, PUE and chip lifetime move the
+// fleet's carbon footprint, and where the ASIC alternative would cross.
+//
+//	go run ./examples/datacenter-fleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"greenfpga"
+)
+
+const (
+	fleetSize  = 50e3
+	appYears   = 1.5 // ML serving generations turn over quickly
+	generation = 8   // applications over the fleet's 12-year life
+)
+
+func main() {
+	spec, err := greenfpga.DeviceByName("IndustryFPGA1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Fleet: %g x %s, %d application generations x %g years\n\n",
+		fleetSize, spec.Name, generation, appYears)
+
+	// Regional siting: the same fleet on different grids.
+	fmt.Println("Deployment region (duty 30%, PUE 1.2):")
+	for _, region := range []string{"usa", "europe", "taiwan", "iceland", "world"} {
+		mix, err := greenfpga.GridByRegion(region)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := greenfpga.Platform{
+			Spec:            spec,
+			DutyCycle:       0.3,
+			PUE:             1.2,
+			UseMix:          mix,
+			DesignEngineers: 666,
+			DesignDuration:  greenfpga.Years(2),
+			ChipLifetime:    greenfpga.Years(15),
+		}
+		res, err := greenfpga.Evaluate(p,
+			greenfpga.Uniform("fleet", generation, greenfpga.Years(appYears), fleetSize, 0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s total %-12v operation %-12v embodied %v\n",
+			region, res.Total(), res.Breakdown.Operation, res.Breakdown.Embodied())
+	}
+
+	// Facility efficiency: PUE is a straight multiplier on operation.
+	fmt.Println("\nFacility PUE (US grid):")
+	usa, _ := greenfpga.GridByRegion("usa")
+	for _, pue := range []float64{1.1, 1.2, 1.5, 2.0} {
+		p := greenfpga.Platform{
+			Spec: spec, DutyCycle: 0.3, PUE: pue, UseMix: usa,
+			DesignEngineers: 666, DesignDuration: greenfpga.Years(2),
+		}
+		res, err := greenfpga.Evaluate(p,
+			greenfpga.Uniform("fleet", generation, greenfpga.Years(appYears), fleetSize, 0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  PUE %.1f: total %v\n", pue, res.Total())
+	}
+
+	// The cumulative timeline with a 15-year chip lifetime: one fleet
+	// build serves all eight generations.
+	p := greenfpga.Platform{
+		Spec: spec, DutyCycle: 0.3, PUE: 1.2, UseMix: usa,
+		DesignEngineers: 666, DesignDuration: greenfpga.Years(2),
+		ChipLifetime: greenfpga.Years(15),
+	}
+	lc, err := greenfpga.RunLifecycle(greenfpga.LifecycleConfig{
+		Platform:    p,
+		AppLifetime: greenfpga.Years(appYears),
+		Horizon:     greenfpga.Years(appYears * generation),
+		Volume:      fleetSize,
+		Samples:     8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nCumulative fleet CFP over the deployment:")
+	for _, pt := range lc.Curve {
+		fmt.Printf("  year %5.1f: %v\n", pt.Time.Years(), pt.Cumulative)
+	}
+	fmt.Printf("\nFleet events: %d (design, hardware, per-generation reconfiguration)\n", len(lc.Events))
+}

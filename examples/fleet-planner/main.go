@@ -1,0 +1,57 @@
+// Fleet planner: a heterogeneous accelerator portfolio — prototypes,
+// pilots, and a mass-market product — split optimally between one
+// shared, reconfigurable FPGA fleet and dedicated ASICs. This turns
+// the paper's conclusion (FPGAs for numerous low-volume short-lived
+// applications, ASICs for high-volume long-lived ones) into a decision
+// procedure.
+//
+//	go run ./examples/fleet-planner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"greenfpga"
+)
+
+func main() {
+	domain, err := greenfpga.DomainByName("DNN")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair, err := domain.Pair()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	portfolio := []greenfpga.Application{
+		{Name: "research-prototype", Lifetime: greenfpga.Years(0.5), Volume: 2e3},
+		{Name: "robotics-pilot", Lifetime: greenfpga.Years(1), Volume: 2e4},
+		{Name: "smart-camera", Lifetime: greenfpga.Years(2), Volume: 2e5},
+		{Name: "phone-npu", Lifetime: greenfpga.Years(4), Volume: 3e6},
+		{Name: "legacy-refresh", Lifetime: greenfpga.Years(1), Volume: 5e4},
+		{Name: "automotive-retrofit", Lifetime: greenfpga.Years(1.5), Volume: 8e4},
+	}
+
+	plan, err := greenfpga.OptimizePortfolio(greenfpga.PlannerInputs{
+		FPGA: pair.FPGA,
+		ASIC: pair.ASIC,
+		Apps: portfolio,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Optimal platform assignment (DNN iso-performance pair):")
+	for _, a := range plan.Assignments {
+		fmt.Printf("  %-22s -> %-4s  (%v)\n", a.App, a.Platform, a.Cost)
+	}
+	fmt.Printf("  %-22s    %-4s  (%v)\n", "shared fleet embodied", "", plan.FleetEmbodied)
+
+	fmt.Printf("\nPortfolio total: %v  (exact solve: %v)\n", plan.Total, plan.Exact)
+	fmt.Printf("All-ASIC baseline: %v\n", plan.AllASIC)
+	fmt.Printf("All-FPGA baseline: %v\n", plan.AllFPGA)
+	fmt.Printf("Savings vs best single-platform strategy: %v\n", plan.Savings())
+	fmt.Printf("%d of %d applications ride the FPGA fleet.\n", plan.FPGAApps(), len(portfolio))
+}

@@ -1,0 +1,59 @@
+// Industry testcases: evaluate the Table 3 devices (Moffett Antoum and
+// TPU-class ASICs, Agilex 7 and Stratix 10-class FPGAs) under the
+// paper's §4.3 deployment assumptions and print the component
+// breakdowns of Figs. 10 and 11.
+//
+//	go run ./examples/industry-testcases
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"greenfpga"
+)
+
+func main() {
+	fmt.Println("Industry devices (Table 3):")
+	for _, s := range greenfpga.IndustryDevices() {
+		capacity := ""
+		if s.Kind == greenfpga.FPGA {
+			capacity = fmt.Sprintf(", %.0f Mgate capacity", s.CapacityGates/1e6)
+		}
+		fmt.Printf("  %-14s %-4s %s, %s, %s%s  (%s)\n",
+			s.Name, s.Kind, s.Node.Name, s.DieArea, s.PeakPower, capacity, s.BasedOn)
+	}
+	fmt.Println()
+
+	// The full Fig. 10 / Fig. 11 reproduction comes straight from the
+	// experiment registry.
+	for _, id := range []string{"fig10", "fig11"} {
+		if err := greenfpga.RenderExperiment(id, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A custom industry scenario: what if the TPU-class ASIC's single
+	// application only lives three years instead of six?
+	spec, err := greenfpga.DeviceByName("IndustryASIC2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform := greenfpga.Platform{
+		Spec:            spec,
+		DutyCycle:       0.3,
+		PUE:             1.2,
+		DesignEngineers: 500,
+		DesignDuration:  greenfpga.Years(2),
+	}
+	for _, years := range []float64{3, 6} {
+		res, err := greenfpga.Evaluate(platform,
+			greenfpga.Uniform("tpu", 1, greenfpga.Years(years), 1e6, 0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("IndustryASIC2, one application for %g years: total %v (operation %v)\n",
+			years, res.Total(), res.Breakdown.Operation)
+	}
+}

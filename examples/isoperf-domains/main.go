@@ -1,0 +1,72 @@
+// Iso-performance domains: reproduce the paper's §4.2 story for the
+// three Table 2 domains — where the A2F and F2A crossovers fall for
+// DNN, image processing, and cryptography accelerators.
+//
+//	go run ./examples/isoperf-domains
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"greenfpga"
+)
+
+func main() {
+	fmt.Println("Iso-performance FPGA vs ASIC (Table 2 testcases, V=1e6 units)")
+	fmt.Println()
+
+	for _, d := range greenfpga.Domains() {
+		pair, err := d.Pair()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (FPGA/ASIC area %gx, power %gx):\n", d.Name, d.AreaRatio, d.PowerRatio)
+
+		// Experiment A: how many applications until the FPGA wins?
+		n, found, err := pair.CrossoverNumApps(greenfpga.Years(2), 1e6, 0, 20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if found {
+			fmt.Printf("  A2F: FPGA wins from %d applications (T=2y)\n", n)
+		} else {
+			fmt.Println("  A2F: no crossover within 20 applications")
+		}
+
+		// Experiment B: below which application lifetime does it win?
+		tstar, found, err := pair.CrossoverLifetime(5, 1e6, 0, greenfpga.Years(0.05), greenfpga.Years(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if found {
+			fmt.Printf("  F2A: FPGA wins below %.2f-year application lifetimes (N=5)\n", tstar.Years())
+		} else {
+			c, err := pair.Compare(greenfpga.Uniform("b", 5, greenfpga.Years(1), 1e6, 0))
+			if err != nil {
+				log.Fatal(err)
+			}
+			who := "FPGA"
+			if c.Ratio > 1 {
+				who = "ASIC"
+			}
+			fmt.Printf("  F2A: no lifetime crossover; %s always wins (N=5)\n", who)
+		}
+
+		// Experiment C: below which volume does it win?
+		vstar, found, err := pair.CrossoverVolume(5, greenfpga.Years(2), 0, 1e3, 1e7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if found {
+			fmt.Printf("  F2A: FPGA wins below %.0fK units (N=5, T=2y)\n", vstar/1e3)
+		} else {
+			fmt.Println("  F2A: no volume crossover in [1e3, 1e7]")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Paper comparison: DNN crosses at 6 apps / 1.6 years; ImgProc at 12 apps")
+	fmt.Println("and 300K units with ASICs winning every lifetime; Crypto favours FPGAs")
+	fmt.Println("from the second application. See EXPERIMENTS.md for the full record.")
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a custom FPGA/ASIC pair with the public API,
+// evaluate a multi-application scenario, and print the verdict.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"greenfpga"
+)
+
+func main() {
+	// A 7nm edge-inference ASIC: one chip design per application.
+	node, err := greenfpga.NodeByName("7nm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	asic := greenfpga.Platform{
+		Spec: greenfpga.DeviceSpec{
+			Name:      "edge-npu-asic",
+			Kind:      greenfpga.ASIC,
+			Node:      node,
+			DieArea:   greenfpga.MM2(120),
+			PeakPower: greenfpga.Watts(8),
+		},
+		DutyCycle:       0.1,
+		DesignEngineers: 250,
+		DesignDuration:  greenfpga.Years(2),
+	}
+
+	// The reconfigurable alternative: 3x the silicon, ~1.9x the power,
+	// one design amortized over every application.
+	fpga := asic
+	fpga.Spec = greenfpga.DeviceSpec{
+		Name:          "edge-fpga",
+		Kind:          greenfpga.FPGA,
+		Node:          node,
+		DieArea:       greenfpga.MM2(360),
+		PeakPower:     greenfpga.Watts(15),
+		CapacityGates: 200e6,
+	}
+
+	pair := greenfpga.Pair{FPGA: fpga, ASIC: asic}
+
+	fmt.Println("Edge accelerator, 100K units, 1.5-year application generations:")
+	for _, nApps := range []int{1, 2, 4, 6, 8} {
+		scenario := greenfpga.Uniform("edge", nApps, greenfpga.Years(1.5), 100e3, 0)
+		cmp, err := pair.Compare(scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "ASIC wins"
+		if cmp.Ratio < 1 {
+			verdict = "FPGA wins"
+		}
+		fmt.Printf("  %d application(s): FPGA %s vs ASIC %s  (ratio %.2f, %s)\n",
+			nApps, cmp.FPGA.Total(), cmp.ASIC.Total(), cmp.Ratio, verdict)
+	}
+
+	// Where exactly does reconfigurability start paying off?
+	n, found, err := pair.CrossoverNumApps(greenfpga.Years(1.5), 100e3, 0, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if found {
+		fmt.Printf("\nA2F crossover: the FPGA is the lower-carbon choice from %d applications on.\n", n)
+	} else {
+		fmt.Println("\nNo crossover within 20 applications: the ASIC stays ahead.")
+	}
+
+	// Peek inside one assessment.
+	res, err := greenfpga.Evaluate(fpga, greenfpga.Uniform("edge", 4, greenfpga.Years(1.5), 100e3, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := res.Breakdown
+	fmt.Printf("\nFPGA breakdown over 4 applications (%g devices):\n", res.DevicesManufactured)
+	fmt.Printf("  design        %v\n", b.Design)
+	fmt.Printf("  manufacturing %v\n", b.Manufacturing)
+	fmt.Printf("  packaging     %v\n", b.Packaging)
+	fmt.Printf("  end-of-life   %v\n", b.EOL)
+	fmt.Printf("  operation     %v\n", b.Operation)
+	fmt.Printf("  app-dev+cfg   %v\n", b.AppDevelopment+b.Configuration)
+	fmt.Printf("  total         %v\n", res.Total())
+}

@@ -1,0 +1,242 @@
+// Package greenfpga estimates the total carbon footprint (CFP) of
+// FPGA- and ASIC-based computing across the device lifecycle — design,
+// manufacturing, packaging, deployment and end-of-life — reproducing
+// "GreenFPGA: Evaluating FPGAs as Environmentally Sustainable Computing
+// Solutions" (Choppali Sudarshan, Arora, Chhabria; DAC 2024).
+//
+// The central question the tool answers: when does FPGA
+// reconfigurability — one fleet amortized across many applications —
+// beat manufacturing a new ASIC per application? The paper's equations:
+//
+//	C_ASIC = sum_i (C_emb,i + T_i x C_deploy,i)   // new chips per app
+//	C_FPGA = C_emb + sum_i T_i x C_deploy,i       // embodied paid once
+//
+// Quick start:
+//
+//	pair, _ := greenfpga.DomainByName("DNN")      // Table 2 testcase
+//	pr, _ := pair.Pair()
+//	cmp, _ := pr.Compare(greenfpga.Uniform("apps", 6, greenfpga.Years(2), 1e6, 0))
+//	fmt.Println(cmp.Ratio)                        // < 1: FPGA wins
+//
+// This root package is a facade over the internal model packages; it
+// re-exports everything a downstream user needs: the scenario engine
+// (Platform, Scenario, Evaluate), the iso-performance testcases of the
+// paper's Table 2, the industry device catalog of Table 3, quantity
+// constructors, and the experiment registry that regenerates every
+// table and figure in the paper.
+package greenfpga
+
+import (
+	"io"
+
+	"greenfpga/internal/config"
+	"greenfpga/internal/core"
+	"greenfpga/internal/device"
+	"greenfpga/internal/dse"
+	"greenfpga/internal/experiments"
+	"greenfpga/internal/grid"
+	"greenfpga/internal/isoperf"
+	"greenfpga/internal/lifecycle"
+	"greenfpga/internal/montecarlo"
+	"greenfpga/internal/planner"
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+	"greenfpga/internal/workload"
+)
+
+// DeviceKind distinguishes fixed-function from reconfigurable silicon.
+type DeviceKind = device.Kind
+
+// Device kinds.
+const (
+	// ASIC devices serve one application and are remanufactured for
+	// each new one.
+	ASIC = device.ASIC
+	// FPGA devices are reconfigured across applications.
+	FPGA = device.FPGA
+)
+
+// Scenario engine types.
+type (
+	// Platform bundles a device with every lifecycle-model input.
+	Platform = core.Platform
+	// Scenario is a sequence of applications served back to back.
+	Scenario = core.Scenario
+	// Application is one workload (lifetime, volume, size).
+	Application = core.Application
+	// Assessment is a platform's evaluated CFP with its breakdown.
+	Assessment = core.Assessment
+	// Breakdown splits CFP into design/manufacturing/packaging/EOL/
+	// operation/app-development components.
+	Breakdown = core.Breakdown
+	// Pair couples an FPGA platform with its iso-performance ASIC.
+	Pair = core.Pair
+	// Comparison is a pair evaluated on one scenario.
+	Comparison = core.Comparison
+	// DeviceSpec describes an ASIC or FPGA device.
+	DeviceSpec = device.Spec
+	// Domain is one Table 2 iso-performance testcase.
+	Domain = isoperf.Domain
+	// TechNode holds per-node manufacturing coefficients.
+	TechNode = technode.Node
+	// GridMix is a blend of energy sources.
+	GridMix = grid.Mix
+	// LifecycleConfig drives a cumulative-CFP timeline simulation.
+	LifecycleConfig = lifecycle.Config
+	// LifecycleResult is a timeline simulation output.
+	LifecycleResult = lifecycle.Result
+	// ScenarioConfig is the JSON scenario document of the CLI.
+	ScenarioConfig = config.Scenario
+	// ExperimentOutput is one regenerated paper table or figure.
+	ExperimentOutput = experiments.Output
+	// MCConfig drives a Monte-Carlo uncertainty study.
+	MCConfig = montecarlo.Config
+	// MCParam is one uncertain input parameter.
+	MCParam = montecarlo.Param
+	// MCResult summarizes a study (percentiles, tornado ranking).
+	MCResult = montecarlo.Result
+	// UniformDist is a flat distribution over a Table 1 range.
+	UniformDist = montecarlo.Uniform
+	// TriangularDist is a peaked distribution over a range.
+	TriangularDist = montecarlo.Triangular
+	// FixedDist pins a parameter.
+	FixedDist = montecarlo.Fixed
+	// Kernel is a parameterizable accelerator workload.
+	Kernel = workload.Kernel
+	// KernelDemand is a kernel's hardware requirement at a target
+	// throughput.
+	KernelDemand = workload.Demand
+	// DSEInputs drives the carbon-aware design-space explorer.
+	DSEInputs = dse.Inputs
+	// DSEResult is a ranked exploration outcome.
+	DSEResult = dse.Result
+	// DSECandidate is one explored design point.
+	DSECandidate = dse.Candidate
+	// PlannerInputs drives the portfolio platform planner.
+	PlannerInputs = planner.Inputs
+	// Plan is a portfolio platform assignment.
+	Plan = planner.Plan
+)
+
+// Quantity types (see the units documentation for conversions).
+type (
+	// Mass is CO2-equivalent mass in kilograms.
+	Mass = units.Mass
+	// Energy is electrical energy in kilowatt-hours.
+	Energy = units.Energy
+	// Power is electrical power in watts.
+	Power = units.Power
+	// Area is silicon area in square millimetres.
+	Area = units.Area
+	// YearSpan is calendar time in years.
+	YearSpan = units.Years
+	// CarbonIntensity is kg CO2e per kWh.
+	CarbonIntensity = units.CarbonIntensity
+)
+
+// Quantity constructors.
+var (
+	// Kilograms, Tonnes and Kilotonnes build CO2e masses.
+	Kilograms  = units.Kilograms
+	Tonnes     = units.Tonnes
+	Kilotonnes = units.Kilotonnes
+	// Watts and Kilowatts build powers.
+	Watts     = units.Watts
+	Kilowatts = units.Kilowatts
+	// KWh, MWh and GWh build energies.
+	KWh = units.KWh
+	MWh = units.MWh
+	GWh = units.GWh
+	// MM2 and CM2 build areas.
+	MM2 = units.MM2
+	CM2 = units.CM2
+	// Years, Months and Hours build calendar spans.
+	Years  = units.YearsOf
+	Months = units.Months
+	Hours  = units.Hours
+	// GramsPerKWh and KgPerKWh build carbon intensities.
+	GramsPerKWh = units.GramsPerKWh
+	KgPerKWh    = units.KgPerKWh
+)
+
+// Evaluate computes the total CFP of running the scenario on the
+// platform (Eq. 1 for ASICs, Eq. 2 for FPGAs).
+func Evaluate(p Platform, s Scenario) (Assessment, error) { return core.Evaluate(p, s) }
+
+// Uniform builds a scenario of n identical applications.
+func Uniform(name string, n int, lifetime YearSpan, volume, sizeGates float64) Scenario {
+	return core.Uniform(name, n, lifetime, volume, sizeGates)
+}
+
+// Domains lists the iso-performance testcases of Table 2 (DNN,
+// ImgProc, Crypto).
+func Domains() []Domain { return isoperf.Domains() }
+
+// DomainByName looks up a Table 2 domain.
+func DomainByName(name string) (Domain, error) { return isoperf.ByName(name) }
+
+// IndustryDevices lists the Table 3 catalog.
+func IndustryDevices() []DeviceSpec { return device.Catalog() }
+
+// DeviceByName looks up a Table 3 catalog device.
+func DeviceByName(name string) (DeviceSpec, error) { return device.ByName(name) }
+
+// NodeByName looks up a technology node ("28nm".."3nm").
+func NodeByName(name string) (TechNode, error) { return technode.ByName(name) }
+
+// GridByRegion returns a preset regional energy mix.
+func GridByRegion(region string) (GridMix, error) { return grid.ByRegion(grid.Region(region)) }
+
+// RunLifecycle simulates cumulative CFP over wall-clock time (the
+// paper's Fig. 9 setting).
+func RunLifecycle(cfg LifecycleConfig) (LifecycleResult, error) { return lifecycle.Run(cfg) }
+
+// Experiments lists the registered paper-reproduction experiments.
+func Experiments() []string { return experiments.List() }
+
+// RunExperiment regenerates one paper table or figure by ID.
+func RunExperiment(id string) (*ExperimentOutput, error) { return experiments.Run(id) }
+
+// RenderExperiment runs an experiment and writes it to w.
+func RenderExperiment(id string, w io.Writer) error {
+	out, err := experiments.Run(id)
+	if err != nil {
+		return err
+	}
+	return out.Render(w)
+}
+
+// RunMonteCarlo executes a Monte-Carlo uncertainty study.
+func RunMonteCarlo(cfg MCConfig) (MCResult, error) { return montecarlo.Run(cfg) }
+
+// Kernels lists the built-in workload library.
+func Kernels() []Kernel { return workload.Library() }
+
+// KernelByName looks up a workload kernel.
+func KernelByName(name string) (Kernel, error) { return workload.ByName(name) }
+
+// AppFromKernel sizes a kernel for a throughput target and wraps it as
+// a scenario application (SizeGates drives N_FPGA).
+func AppFromKernel(k Kernel, target float64, lifetime YearSpan, volume float64) (Application, error) {
+	return workload.Application(k, target, lifetime, volume)
+}
+
+// KernelRoadmap builds a multi-generation scenario with a growing
+// throughput target.
+func KernelRoadmap(k Kernel, initialTarget, growthFactor float64, generations int,
+	lifetime YearSpan, volume float64) (Scenario, error) {
+	return workload.Roadmap(k, initialTarget, growthFactor, generations, lifetime, volume)
+}
+
+// ExploreDesignSpace runs the carbon-aware design-space explorer.
+func ExploreDesignSpace(in DSEInputs) (DSEResult, error) { return dse.Explore(in) }
+
+// OptimizePortfolio assigns each application of a portfolio to the
+// shared FPGA fleet or a dedicated ASIC, minimizing total CFP.
+func OptimizePortfolio(in PlannerInputs) (Plan, error) { return planner.Optimize(in) }
+
+// LoadScenarioConfig reads a JSON scenario document.
+func LoadScenarioConfig(path string) (*ScenarioConfig, error) { return config.Load(path) }
+
+// ExampleScenarioConfig returns a complete sample JSON document.
+func ExampleScenarioConfig() *ScenarioConfig { return config.Example() }

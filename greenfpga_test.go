@@ -1,0 +1,206 @@
+package greenfpga_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"greenfpga"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	// The documented quick start must work end to end.
+	d, err := greenfpga.DomainByName("DNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := pr.Compare(greenfpga.Uniform("apps", 6, greenfpga.Years(2), 1e6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Ratio >= 1 {
+		t.Errorf("six DNN applications should favour the FPGA, ratio %g", cmp.Ratio)
+	}
+}
+
+func TestFacadeUnitsConstructors(t *testing.T) {
+	if greenfpga.Tonnes(2).Kilograms() != 2000 {
+		t.Error("Tonnes")
+	}
+	if greenfpga.GWh(1).KWh() != 1e6 {
+		t.Error("GWh")
+	}
+	if greenfpga.Kilowatts(2).Watts() != 2000 {
+		t.Error("Kilowatts")
+	}
+	if greenfpga.CM2(1).MM2() != 100 {
+		t.Error("CM2")
+	}
+	if math.Abs(greenfpga.Months(18).Years()-1.5) > 1e-12 {
+		t.Error("Months")
+	}
+	if greenfpga.GramsPerKWh(700).KgPerKWh() != 0.7 {
+		t.Error("GramsPerKWh")
+	}
+}
+
+func TestFacadeCatalogsAndNodes(t *testing.T) {
+	if len(greenfpga.IndustryDevices()) != 4 {
+		t.Error("industry catalog should have the four Table 3 devices")
+	}
+	if len(greenfpga.Domains()) != 3 {
+		t.Error("three Table 2 domains expected")
+	}
+	if _, err := greenfpga.DeviceByName("IndustryASIC2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := greenfpga.NodeByName("7nm"); err != nil {
+		t.Error(err)
+	}
+	if _, err := greenfpga.GridByRegion("iceland"); err != nil {
+		t.Error(err)
+	}
+	if _, err := greenfpga.GridByRegion("atlantis"); err == nil {
+		t.Error("unknown region must error")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := greenfpga.Experiments()
+	if len(ids) < 12 {
+		t.Fatalf("experiment registry too small: %v", ids)
+	}
+	var buf bytes.Buffer
+	if err := greenfpga.RenderExperiment("table2", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "7.42") {
+		t.Errorf("table2 output missing the ImgProc ratio:\n%s", buf.String())
+	}
+	if err := greenfpga.RenderExperiment("fig99", &buf); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestFacadeLifecycle(t *testing.T) {
+	spec, err := greenfpga.DeviceByName("IndustryFPGA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := greenfpga.RunLifecycle(greenfpga.LifecycleConfig{
+		Platform: greenfpga.Platform{
+			Spec: spec, DutyCycle: 0.3, ChipLifetime: greenfpga.Years(15),
+		},
+		AppLifetime: greenfpga.Years(1),
+		Horizon:     greenfpga.Years(30),
+		Volume:      1000,
+		Samples:     30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() <= 0 || len(res.Curve) != 31 {
+		t.Errorf("lifecycle: total %v, %d points", res.Total(), len(res.Curve))
+	}
+}
+
+func TestFacadeMonteCarlo(t *testing.T) {
+	res, err := greenfpga.RunMonteCarlo(greenfpga.MCConfig{
+		Samples: 200,
+		Seed:    5,
+		Params: []greenfpga.MCParam{
+			{Name: "x", Dist: greenfpga.UniformDist{Lo: 0, Hi: 2}},
+		},
+		Model: func(d map[string]float64) (float64, error) { return d["x"], nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mean-1) > 0.15 {
+		t.Errorf("mean %g", res.Mean)
+	}
+}
+
+func TestFacadeWorkloadAndDSE(t *testing.T) {
+	if len(greenfpga.Kernels()) < 9 {
+		t.Error("kernel library too small")
+	}
+	k, err := greenfpga.KernelByName("aes256-gcm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := greenfpga.AppFromKernel(k, 120, greenfpga.Years(1), 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.SizeGates <= 0 {
+		t.Error("kernel application should carry a size")
+	}
+	s, err := greenfpga.KernelRoadmap(k, 120, 2, 3, greenfpga.Years(1), 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := greenfpga.ExploreDesignSpace(greenfpga.DSEInputs{
+		Apps:      s.Apps,
+		DutyCycle: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 || res.Best().Total <= 0 {
+		t.Errorf("dse result: %+v", res.Best())
+	}
+}
+
+func TestFacadePlanner(t *testing.T) {
+	d, err := greenfpga.DomainByName("Crypto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := greenfpga.OptimizePortfolio(greenfpga.PlannerInputs{
+		FPGA: pr.FPGA,
+		ASIC: pr.ASIC,
+		Apps: []greenfpga.Application{
+			{Name: "a", Lifetime: greenfpga.Years(1), Volume: 1e4},
+			{Name: "b", Lifetime: greenfpga.Years(1), Volume: 1e4},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Total > plan.AllASIC || plan.Total > plan.AllFPGA {
+		t.Errorf("plan %v worse than a baseline", plan.Total)
+	}
+	// Crypto parity silicon: both apps should share the fleet.
+	if plan.FPGAApps() != 2 {
+		t.Errorf("crypto portfolio should be all-FPGA, got %d", plan.FPGAApps())
+	}
+}
+
+func TestFacadeScenarioConfig(t *testing.T) {
+	ex := greenfpga.ExampleScenarioConfig()
+	p, err := ex.FPGA.ToPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ex.ToScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := greenfpga.Evaluate(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() <= 0 {
+		t.Error("example scenario should produce positive CFP")
+	}
+}

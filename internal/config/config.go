@@ -1,0 +1,258 @@
+// Package config loads and saves GreenFPGA scenario descriptions as
+// JSON, the input format of the cmd/greenfpga CLI. A config names the
+// platform(s) — either a Table 3 catalog device or an inline spec —
+// the deployment knobs of Fig. 3, and the application sequence.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"greenfpga/internal/core"
+	"greenfpga/internal/device"
+	"greenfpga/internal/grid"
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+	"greenfpga/internal/workload"
+)
+
+// Platform describes one platform in JSON form.
+type Platform struct {
+	// Device names a catalog device (Table 3); when set, the inline
+	// spec fields are ignored.
+	Device string `json:"device,omitempty"`
+	// Name labels an inline device.
+	Name string `json:"name,omitempty"`
+	// Kind is "asic" or "fpga" for inline devices.
+	Kind string `json:"kind,omitempty"`
+	// Node is the technology node label ("10nm", ...).
+	Node string `json:"node,omitempty"`
+	// DieAreaMM2 is the inline die area.
+	DieAreaMM2 float64 `json:"die_area_mm2,omitempty"`
+	// PeakPowerW is the inline TDP.
+	PeakPowerW float64 `json:"peak_power_w,omitempty"`
+	// CapacityGates is the inline FPGA capacity.
+	CapacityGates float64 `json:"capacity_gates,omitempty"`
+
+	// DutyCycle is the deployment utilization (0..1).
+	DutyCycle float64 `json:"duty_cycle"`
+	// PUE is the facility overhead (0 means 1.0).
+	PUE float64 `json:"pue,omitempty"`
+	// UseRegion selects the deployment grid preset.
+	UseRegion string `json:"use_region,omitempty"`
+	// FabRegion selects the fab grid preset.
+	FabRegion string `json:"fab_region,omitempty"`
+	// FabRenewableTarget raises the fab's renewable share.
+	FabRenewableTarget float64 `json:"fab_renewable_target,omitempty"`
+	// RecycledMaterialFraction is rho in Eq. 5.
+	RecycledMaterialFraction float64 `json:"recycled_material_fraction,omitempty"`
+	// EOLRecycleFraction is delta in Eq. 6 (0 uses the default).
+	EOLRecycleFraction float64 `json:"eol_recycle_fraction,omitempty"`
+	// DesignEngineers is N_emp,des.
+	DesignEngineers float64 `json:"design_engineers,omitempty"`
+	// DesignYears is T_proj.
+	DesignYears float64 `json:"design_years,omitempty"`
+	// ChipLifetimeYears caps one hardware generation (0 = uncapped).
+	ChipLifetimeYears float64 `json:"chip_lifetime_years,omitempty"`
+}
+
+// Application describes one workload in JSON form. Its size can be
+// given directly in gates, or derived from a workload-library kernel
+// and a throughput target.
+type Application struct {
+	// Name labels the application.
+	Name string `json:"name"`
+	// LifetimeYears is T_i.
+	LifetimeYears float64 `json:"lifetime_years"`
+	// Volume is N_vol.
+	Volume float64 `json:"volume"`
+	// SizeGates sizes the application for N_FPGA (0 fits one device).
+	// Mutually exclusive with Kernel.
+	SizeGates float64 `json:"size_gates,omitempty"`
+	// Kernel references a workload-library kernel (see `greenfpga
+	// kernels`); Target must be set with it.
+	Kernel string `json:"kernel,omitempty"`
+	// Target is the throughput target in the kernel's unit.
+	Target float64 `json:"target,omitempty"`
+	// UtilizationScale scales per-device operational power (0 means 1).
+	UtilizationScale float64 `json:"utilization_scale,omitempty"`
+}
+
+// Scenario is the top-level config document.
+type Scenario struct {
+	// Name labels the run.
+	Name string `json:"name"`
+	// FPGA and ASIC describe the platforms; either may be omitted for
+	// a single-platform assessment, and both enable comparison.
+	FPGA *Platform `json:"fpga,omitempty"`
+	ASIC *Platform `json:"asic,omitempty"`
+	// Apps is the sequential application list.
+	Apps []Application `json:"apps"`
+	// StrictEq2 selects the literal Eq. 2 app-dev accounting.
+	StrictEq2 bool `json:"strict_eq2,omitempty"`
+}
+
+// ToPlatform materializes a core.Platform.
+func (p *Platform) ToPlatform() (core.Platform, error) {
+	var spec device.Spec
+	if p.Device != "" {
+		var err error
+		spec, err = device.ByName(p.Device)
+		if err != nil {
+			return core.Platform{}, err
+		}
+	} else {
+		node, err := technode.ByName(p.Node)
+		if err != nil {
+			return core.Platform{}, err
+		}
+		spec = device.Spec{
+			Name:          p.Name,
+			Kind:          device.Kind(p.Kind),
+			Node:          node,
+			DieArea:       units.MM2(p.DieAreaMM2),
+			PeakPower:     units.Watts(p.PeakPowerW),
+			CapacityGates: p.CapacityGates,
+			BasedOn:       "user config",
+		}
+	}
+	out := core.Platform{
+		Spec:                     spec,
+		DutyCycle:                p.DutyCycle,
+		PUE:                      p.PUE,
+		FabRenewableTarget:       p.FabRenewableTarget,
+		RecycledMaterialFraction: p.RecycledMaterialFraction,
+		DesignEngineers:          p.DesignEngineers,
+		DesignDuration:           units.YearsOf(p.DesignYears),
+		ChipLifetime:             units.YearsOf(p.ChipLifetimeYears),
+	}
+	out.EOL.RecycleFraction = p.EOLRecycleFraction
+	if p.UseRegion != "" {
+		mix, err := grid.ByRegion(grid.Region(p.UseRegion))
+		if err != nil {
+			return core.Platform{}, err
+		}
+		out.UseMix = mix
+	}
+	if p.FabRegion != "" {
+		mix, err := grid.ByRegion(grid.Region(p.FabRegion))
+		if err != nil {
+			return core.Platform{}, err
+		}
+		out.FabMix = mix
+	}
+	if err := out.Validate(); err != nil {
+		return core.Platform{}, err
+	}
+	return out, nil
+}
+
+// ToScenario materializes the application sequence, resolving kernel
+// references through the workload library.
+func (s *Scenario) ToScenario() (core.Scenario, error) {
+	out := core.Scenario{Name: s.Name, StrictEq2: s.StrictEq2}
+	for _, a := range s.Apps {
+		app := core.Application{
+			Name:             a.Name,
+			Lifetime:         units.YearsOf(a.LifetimeYears),
+			Volume:           a.Volume,
+			SizeGates:        a.SizeGates,
+			UtilizationScale: a.UtilizationScale,
+		}
+		if a.Kernel != "" {
+			if a.SizeGates != 0 {
+				return core.Scenario{}, fmt.Errorf(
+					"config: application %q sets both kernel and size_gates", a.Name)
+			}
+			k, err := workload.ByName(a.Kernel)
+			if err != nil {
+				return core.Scenario{}, err
+			}
+			d, err := k.Demand(a.Target)
+			if err != nil {
+				return core.Scenario{}, err
+			}
+			app.SizeGates = d.Gates
+		}
+		out.Apps = append(out.Apps, app)
+	}
+	if err := out.Validate(); err != nil {
+		return core.Scenario{}, err
+	}
+	return out, nil
+}
+
+// Validate checks the document without materializing.
+func (s *Scenario) Validate() error {
+	if s.FPGA == nil && s.ASIC == nil {
+		return fmt.Errorf("config: scenario %q needs at least one platform", s.Name)
+	}
+	if len(s.Apps) == 0 {
+		return fmt.Errorf("config: scenario %q has no applications", s.Name)
+	}
+	if s.FPGA != nil {
+		if _, err := s.FPGA.ToPlatform(); err != nil {
+			return fmt.Errorf("config: fpga: %w", err)
+		}
+	}
+	if s.ASIC != nil {
+		if _, err := s.ASIC.ToPlatform(); err != nil {
+			return fmt.Errorf("config: asic: %w", err)
+		}
+	}
+	if _, err := s.ToScenario(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Parse decodes a JSON document.
+func Parse(data []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and decodes a JSON file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return Parse(data)
+}
+
+// Save writes the document as indented JSON.
+func Save(path string, s *Scenario) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Example returns a complete sample document: an industry FPGA against
+// an industry ASIC over three two-year applications.
+func Example() *Scenario {
+	return &Scenario{
+		Name: "example-industry-comparison",
+		FPGA: &Platform{Device: "IndustryFPGA1", DutyCycle: 0.3, PUE: 1.2,
+			DesignEngineers: 666, DesignYears: 2, ChipLifetimeYears: 15},
+		ASIC: &Platform{Device: "IndustryASIC1", DutyCycle: 0.3, PUE: 1.2,
+			DesignEngineers: 400, DesignYears: 2},
+		Apps: []Application{
+			{Name: "recommendation-v1", LifetimeYears: 2, Volume: 1e6},
+			{Name: "vision-v2", LifetimeYears: 2, Volume: 1e6},
+			{Name: "llm-serving-v3", LifetimeYears: 2, Volume: 1e6},
+		},
+	}
+}

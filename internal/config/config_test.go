@@ -1,0 +1,193 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"greenfpga/internal/core"
+)
+
+func TestExampleValidatesAndEvaluates(t *testing.T) {
+	ex := Example()
+	if err := ex.Validate(); err != nil {
+		t.Fatalf("example invalid: %v", err)
+	}
+	fpga, err := ex.FPGA.ToPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ex.ToScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Evaluate(fpga, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() <= 0 {
+		t.Errorf("example total: %v", res.Total())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := Save(path, Example()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != Example().Name || len(loaded.Apps) != 3 {
+		t.Errorf("round trip: %+v", loaded)
+	}
+	if loaded.FPGA.Device != "IndustryFPGA1" {
+		t.Errorf("fpga device: %q", loaded.FPGA.Device)
+	}
+}
+
+func TestInlinePlatform(t *testing.T) {
+	doc := `{
+		"name": "inline",
+		"fpga": {
+			"name": "my-fpga", "kind": "fpga", "node": "7nm",
+			"die_area_mm2": 400, "peak_power_w": 100,
+			"capacity_gates": 50e6, "duty_cycle": 0.4,
+			"use_region": "europe", "fab_region": "taiwan"
+		},
+		"apps": [{"name": "a", "lifetime_years": 2, "volume": 1000}]
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.FPGA.ToPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Spec.Name != "my-fpga" || p.Spec.Node.Name != "7nm" || p.UseMix == nil || p.FabMix == nil {
+		t.Errorf("inline platform: %+v", p.Spec)
+	}
+}
+
+func TestKernelReferencedApps(t *testing.T) {
+	doc := `{
+		"name": "kernel-apps",
+		"fpga": {"device": "IndustryFPGA2", "duty_cycle": 0.3},
+		"apps": [
+			{"name": "inference", "lifetime_years": 2, "volume": 1e4,
+			 "kernel": "resnet50-int8", "target": 80000},
+			{"name": "plain", "lifetime_years": 1, "volume": 1e3, "utilization_scale": 0.5}
+		]
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := s.ToScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 80000 GOPS / 2000 per PE = 40 PEs x 1.6 Mgates = 64 Mgates.
+	if scen.Apps[0].SizeGates != 40*1.6e6 {
+		t.Errorf("kernel-derived size %g", scen.Apps[0].SizeGates)
+	}
+	if scen.Apps[1].UtilizationScale != 0.5 {
+		t.Errorf("utilization scale lost: %g", scen.Apps[1].UtilizationScale)
+	}
+	// The app exceeds one device: evaluation must gang.
+	p, err := s.FPGA.ToPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Evaluate(p, scen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerApp[0].DevicesPerUnit != 3 { // ceil(64/30)
+		t.Errorf("N_FPGA = %d, want 3", res.PerApp[0].DevicesPerUnit)
+	}
+
+	badBoth := `{
+		"name": "conflict",
+		"fpga": {"device": "IndustryFPGA2", "duty_cycle": 0.3},
+		"apps": [{"name": "x", "lifetime_years": 1, "volume": 1,
+		          "kernel": "resnet50-int8", "target": 100, "size_gates": 5}]
+	}`
+	if _, err := Parse([]byte(badBoth)); err == nil {
+		t.Error("kernel + size_gates must conflict")
+	}
+	badKernel := `{
+		"name": "unknown",
+		"fpga": {"device": "IndustryFPGA2", "duty_cycle": 0.3},
+		"apps": [{"name": "x", "lifetime_years": 1, "volume": 1,
+		          "kernel": "quantum-fft", "target": 100}]
+	}`
+	if _, err := Parse([]byte(badKernel)); err == nil {
+		t.Error("unknown kernel must error")
+	}
+	badTarget := `{
+		"name": "no-target",
+		"fpga": {"device": "IndustryFPGA2", "duty_cycle": 0.3},
+		"apps": [{"name": "x", "lifetime_years": 1, "volume": 1,
+		          "kernel": "resnet50-int8"}]
+	}`
+	if _, err := Parse([]byte(badTarget)); err == nil {
+		t.Error("kernel without target must error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"bad json", `{`},
+		{"no platforms", `{"name":"x","apps":[{"name":"a","lifetime_years":1,"volume":1}]}`},
+		{"no apps", `{"name":"x","fpga":{"device":"IndustryFPGA1","duty_cycle":0.3}}`},
+		{"unknown device", `{"name":"x","fpga":{"device":"nope","duty_cycle":0.3},"apps":[{"name":"a","lifetime_years":1,"volume":1}]}`},
+		{"unknown node", `{"name":"x","fpga":{"name":"f","kind":"fpga","node":"1nm","die_area_mm2":1,"peak_power_w":1,"capacity_gates":1,"duty_cycle":0.3},"apps":[{"name":"a","lifetime_years":1,"volume":1}]}`},
+		{"unknown region", `{"name":"x","fpga":{"device":"IndustryFPGA1","duty_cycle":0.3,"use_region":"atlantis"},"apps":[{"name":"a","lifetime_years":1,"volume":1}]}`},
+		{"bad duty", `{"name":"x","fpga":{"device":"IndustryFPGA1","duty_cycle":1.5},"apps":[{"name":"a","lifetime_years":1,"volume":1}]}`},
+		{"bad app", `{"name":"x","fpga":{"device":"IndustryFPGA1","duty_cycle":0.3},"apps":[{"name":"a","lifetime_years":0,"volume":1}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.doc)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	bad := &Scenario{Name: "bad"}
+	if err := Save(filepath.Join(t.TempDir(), "x.json"), bad); err == nil {
+		t.Error("invalid scenario must not save")
+	}
+}
+
+func TestSavedJSONIsReadable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := Save(path, Example()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"\"name\"", "IndustryFPGA1", "lifetime_years", "\n"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("saved JSON missing %q", want)
+		}
+	}
+}

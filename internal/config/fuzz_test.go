@@ -1,0 +1,38 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParse checks the scenario-config parser never panics and that
+// accepted documents re-serialize and re-parse.
+func FuzzParse(f *testing.F) {
+	if data, err := json.Marshal(Example()); err == nil {
+		f.Add(string(data))
+	}
+	f.Add(`{"name":"x","fpga":{"device":"IndustryFPGA1","duty_cycle":0.3},` +
+		`"apps":[{"name":"a","lifetime_years":1,"volume":1}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"apps": null}`)
+	f.Add(`{"name":"k","fpga":{"device":"IndustryFPGA2","duty_cycle":0.3},` +
+		`"apps":[{"name":"a","lifetime_years":1,"volume":1,"kernel":"resnet50-int8","target":1000}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := Parse([]byte(doc))
+		if err != nil {
+			return
+		}
+		// Accepted documents must materialize and round-trip.
+		if _, err := s.ToScenario(); err != nil {
+			t.Fatalf("validated scenario fails to materialize: %v", err)
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if _, err := Parse(data); err != nil {
+			t.Fatalf("re-parse of %s: %v", data, err)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"greenfpga/internal/units"
+)
+
+// Pair couples an FPGA platform with its iso-performance ASIC
+// alternative, the comparison setting of the whole paper.
+type Pair struct {
+	// FPGA is the reconfigurable platform.
+	FPGA Platform
+	// ASIC is the fixed-function alternative.
+	ASIC Platform
+}
+
+// Comparison is the outcome of evaluating both platforms on the same
+// scenario.
+type Comparison struct {
+	// FPGA and ASIC are the platform assessments.
+	FPGA, ASIC Assessment
+	// Ratio is FPGA:ASIC total CFP — below 1 the FPGA is the more
+	// sustainable choice (the purple regions of Fig. 8).
+	Ratio float64
+}
+
+// Compare evaluates both platforms on the scenario.
+func (pr Pair) Compare(s Scenario) (Comparison, error) {
+	f, err := Evaluate(pr.FPGA, s)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("core: FPGA side: %w", err)
+	}
+	a, err := Evaluate(pr.ASIC, s)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("core: ASIC side: %w", err)
+	}
+	c := Comparison{FPGA: f, ASIC: a}
+	if at := a.Total().Kilograms(); at != 0 {
+		c.Ratio = f.Total().Kilograms() / at
+	} else {
+		c.Ratio = math.Inf(1)
+	}
+	return c, nil
+}
+
+// diff is the signed FPGA-minus-ASIC total in kilograms.
+func (pr Pair) diff(s Scenario) (float64, error) {
+	c, err := pr.Compare(s)
+	if err != nil {
+		return 0, err
+	}
+	return c.FPGA.Total().Kilograms() - c.ASIC.Total().Kilograms(), nil
+}
+
+// Bisect locates a zero of f on [lo, hi] to within tol (absolute, on
+// x). It requires a sign change between the endpoints and reports
+// found=false without error when there is none. f is assumed
+// continuous.
+func Bisect(lo, hi, tol float64, f func(float64) (float64, error)) (x float64, found bool, err error) {
+	if !(lo < hi) {
+		return 0, false, fmt.Errorf("core: bisect needs lo < hi, got [%g, %g]", lo, hi)
+	}
+	if tol <= 0 {
+		return 0, false, fmt.Errorf("core: bisect needs a positive tolerance, got %g", tol)
+	}
+	flo, err := f(lo)
+	if err != nil {
+		return 0, false, err
+	}
+	fhi, err := f(hi)
+	if err != nil {
+		return 0, false, err
+	}
+	if flo == 0 {
+		return lo, true, nil
+	}
+	if fhi == 0 {
+		return hi, true, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, false, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		fm, err := f(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if fm == 0 {
+			return mid, true, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true, nil
+}
+
+// CrossoverNumApps scans N_app = 1..maxN with fixed lifetime and volume
+// and returns the first N at which the FPGA total drops below the ASIC
+// total — the A2F crossover of experiment A (Fig. 4). found is false
+// when no crossover occurs within maxN.
+func (pr Pair) CrossoverNumApps(lifetime units.Years, volume, sizeGates float64, maxN int) (n int, found bool, err error) {
+	if maxN < 1 {
+		return 0, false, fmt.Errorf("core: maxN must be >= 1, got %d", maxN)
+	}
+	for n := 1; n <= maxN; n++ {
+		d, err := pr.diff(Uniform("xover", n, lifetime, volume, sizeGates))
+		if err != nil {
+			return 0, false, err
+		}
+		if d < 0 {
+			return n, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// CrossoverLifetime bisects the application lifetime T_i on [lo, hi]
+// with fixed N_app and volume for the point where the FPGA and ASIC
+// totals meet — the F2A point of experiment B (Fig. 5).
+func (pr Pair) CrossoverLifetime(nApps int, volume, sizeGates float64, lo, hi units.Years) (units.Years, bool, error) {
+	if nApps < 1 {
+		return 0, false, fmt.Errorf("core: nApps must be >= 1, got %d", nApps)
+	}
+	x, found, err := Bisect(lo.Years(), hi.Years(), 1e-4, func(t float64) (float64, error) {
+		return pr.diff(Uniform("xover", nApps, units.YearsOf(t), volume, sizeGates))
+	})
+	return units.YearsOf(x), found, err
+}
+
+// CrossoverVolume bisects the application volume N_vol on [lo, hi]
+// with fixed N_app and lifetime — the F2A point of experiment C
+// (Fig. 6).
+func (pr Pair) CrossoverVolume(nApps int, lifetime units.Years, sizeGates float64, lo, hi float64) (float64, bool, error) {
+	if nApps < 1 {
+		return 0, false, fmt.Errorf("core: nApps must be >= 1, got %d", nApps)
+	}
+	if lo <= 0 {
+		return 0, false, fmt.Errorf("core: volume range must be positive, got lo=%g", lo)
+	}
+	return Bisect(lo, hi, math.Max(1, lo*1e-6), func(v float64) (float64, error) {
+		return pr.diff(Uniform("xover", nApps, lifetime, v, sizeGates))
+	})
+}

@@ -1,0 +1,237 @@
+// Package core is the GreenFPGA scenario engine: it assembles the
+// design, manufacturing, packaging, end-of-life and deployment models
+// into the paper's total-CFP equations,
+//
+//	C_ASIC = sum_i (C_emb,i + T_i x C_deploy,i)        (Eq. 1)
+//	C_FPGA = C_emb + sum_i T_i x C_deploy,i            (Eq. 2)
+//	C_emb  = C_des + N_vol x N_FPGA x (C_mfg + C_pkg + C_EOL)  (Eq. 3)
+//
+// and provides the crossover solvers (A2F and F2A points) used by the
+// paper's evaluation.
+package core
+
+import (
+	"fmt"
+
+	"greenfpga/internal/deploy"
+	"greenfpga/internal/design"
+	"greenfpga/internal/device"
+	"greenfpga/internal/eol"
+	"greenfpga/internal/fab"
+	"greenfpga/internal/grid"
+	"greenfpga/internal/packaging"
+	"greenfpga/internal/units"
+	"greenfpga/internal/yield"
+)
+
+// Defaults for platform knobs left at their zero values.
+const (
+	// DefaultDesignEngineers is N_emp,des when unset.
+	DefaultDesignEngineers = 300
+	// DefaultDesignYears is T_proj when unset (Table 1: 1-3 years).
+	DefaultDesignYears = 2
+)
+
+// Platform bundles a device with every lifecycle-model input of the
+// tool (Fig. 3): embodied knobs on the left, deployment knobs on the
+// right.
+type Platform struct {
+	// Spec is the device being deployed.
+	Spec device.Spec
+
+	// FabMix powers the fab; nil means the Taiwan preset.
+	FabMix grid.Mix
+	// FabRenewableTarget optionally raises the fab's renewable share.
+	FabRenewableTarget float64
+	// RecycledMaterialFraction is rho in Eq. 5.
+	RecycledMaterialFraction float64
+	// Yield overrides the node-default Murphy calculator when set.
+	Yield yield.Calculator
+	// YieldOverride forces a fixed die yield in (0,1] when positive.
+	// The iso-performance testcases use it so the FPGA:ASIC embodied
+	// ratio equals the silicon ratio of Table 2 (the paper's reading:
+	// equivalent FPGA capacity is reached with devices of comparable
+	// yield, not one giant low-yield die).
+	YieldOverride float64
+
+	// PackagingStyle selects the package model; empty means monolithic.
+	PackagingStyle packaging.Style
+	// PackagingAreaFactor overrides the package/die area ratio when > 0.
+	PackagingAreaFactor float64
+
+	// EOL configures Eq. 6.
+	EOL eol.Params
+
+	// DesignOrg is the design house (zero Employees means the default
+	// fabless profile).
+	DesignOrg design.Org
+	// DesignEngineers is N_emp,des; zero means DefaultDesignEngineers.
+	DesignEngineers float64
+	// DesignDuration is T_proj; zero means DefaultDesignYears.
+	DesignDuration units.Years
+	// DesignReferenceGates is N_gates,des; zero disables the gate-count
+	// ratio (staffing already reflects this chip).
+	DesignReferenceGates float64
+	// UseLegacyDesignModel switches Eq. 4 for the gates-only prior-art
+	// model of [5] (the design-ablation experiment).
+	UseLegacyDesignModel bool
+	// LegacyModel configures the prior-art model when enabled.
+	LegacyModel design.LegacyGateModel
+
+	// DutyCycle is the deployment utilization (0..1).
+	DutyCycle float64
+	// PUE is the facility overhead; zero means 1.
+	PUE float64
+	// UseMix is the deployment grid; nil means the world preset.
+	UseMix grid.Mix
+	// AppDev overrides the application-development profile. Nil uses
+	// deploy.DefaultFPGAAppDev for FPGAs and deploy.ASICAppDev for
+	// ASICs (Eq. 7 with T_FE = T_BE = 0).
+	AppDev *deploy.AppDev
+	// ChipLifetime caps how long one hardware generation can serve;
+	// zero means uncapped. Fig. 9 uses 15 years.
+	ChipLifetime units.Years
+}
+
+// Validate checks the platform inputs that the model packages do not
+// check themselves.
+func (p Platform) Validate() error {
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	if p.DutyCycle < 0 || p.DutyCycle > 1 {
+		return fmt.Errorf("core: duty cycle %g outside [0,1]", p.DutyCycle)
+	}
+	if p.YieldOverride < 0 || p.YieldOverride > 1 {
+		return fmt.Errorf("core: yield override %g outside (0,1]", p.YieldOverride)
+	}
+	if p.ChipLifetime.Years() < 0 {
+		return fmt.Errorf("core: negative chip lifetime %v", p.ChipLifetime)
+	}
+	if p.DesignEngineers < 0 {
+		return fmt.Errorf("core: negative design staffing %g", p.DesignEngineers)
+	}
+	if p.DesignDuration.Years() < 0 {
+		return fmt.Errorf("core: negative design duration %v", p.DesignDuration)
+	}
+	return nil
+}
+
+// appDev resolves the application-development profile for the
+// platform's device kind.
+func (p Platform) appDev() deploy.AppDev {
+	if p.AppDev != nil {
+		return *p.AppDev
+	}
+	if p.Spec.Kind == device.FPGA {
+		return deploy.DefaultFPGAAppDev
+	}
+	return deploy.ASICAppDev
+}
+
+// operation builds the per-device operation profile.
+func (p Platform) operation() deploy.OperationProfile {
+	return deploy.OperationProfile{
+		PeakPower: p.Spec.PeakPower,
+		DutyCycle: p.DutyCycle,
+		PUE:       p.PUE,
+		UseMix:    p.UseMix,
+	}
+}
+
+// AnnualOperationCarbon is C_op for one device over one year.
+func (p Platform) AnnualOperationCarbon() (units.Mass, error) {
+	return p.operation().AnnualCarbon()
+}
+
+// AppDevProfile resolves the application-development profile for the
+// platform's device kind (Eq. 7 inputs).
+func (p Platform) AppDevProfile() deploy.AppDev {
+	return p.appDev()
+}
+
+// DeviceCost is the per-device embodied footprint (manufacturing,
+// packaging, end-of-life) — the bracketed term of Eq. 3.
+type DeviceCost struct {
+	// Manufacturing is the fab result.
+	Manufacturing fab.Result
+	// Packaging is the package result.
+	Packaging packaging.Result
+	// EOL is the end-of-life result.
+	EOL eol.Result
+}
+
+// Total is C_mfg + C_package + C_EOL for one device.
+func (d DeviceCost) Total() units.Mass {
+	return d.Manufacturing.Total() + d.Packaging.Total() + d.EOL.Net()
+}
+
+// DeviceCost evaluates the per-device embodied models.
+func (p Platform) DeviceCost() (DeviceCost, error) {
+	yc := p.Yield
+	if p.YieldOverride > 0 {
+		// A fixed yield is expressed as a zero-defect Poisson model and
+		// explicit scaling below.
+		yc = yield.Calculator{Model: yield.Poisson, DefectDensity: 0}
+	}
+	mfg, err := fab.PerDie(fab.Inputs{
+		Node:                     p.Spec.Node,
+		DieArea:                  p.Spec.DieArea,
+		FabMix:                   p.FabMix,
+		RenewableTarget:          p.FabRenewableTarget,
+		RecycledMaterialFraction: p.RecycledMaterialFraction,
+		Yield:                    yc,
+	})
+	if err != nil {
+		return DeviceCost{}, err
+	}
+	if p.YieldOverride > 0 {
+		inv := 1 / p.YieldOverride
+		mfg.EnergyCarbon = mfg.EnergyCarbon.Scale(inv)
+		mfg.GasCarbon = mfg.GasCarbon.Scale(inv)
+		mfg.MaterialCarbon = mfg.MaterialCarbon.Scale(inv)
+		mfg.FabEnergy = mfg.FabEnergy.Scale(inv)
+		mfg.Yield = p.YieldOverride
+	}
+
+	pkg, err := packaging.CFP(packaging.Inputs{
+		Style:             p.PackagingStyle,
+		DieAreas:          []units.Area{p.Spec.DieArea},
+		PackageAreaFactor: p.PackagingAreaFactor,
+		AssemblyMix:       p.FabMix,
+	})
+	if err != nil {
+		return DeviceCost{}, err
+	}
+
+	endOfLife, err := eol.CFP(eol.EstimateDeviceMassKg(pkg.PackageArea), p.EOL)
+	if err != nil {
+		return DeviceCost{}, err
+	}
+	return DeviceCost{Manufacturing: mfg, Packaging: pkg, EOL: endOfLife}, nil
+}
+
+// DesignCFP evaluates the design-phase model (Eq. 4), or the legacy
+// gates-only model when the ablation switch is set.
+func (p Platform) DesignCFP() (units.Mass, error) {
+	if p.UseLegacyDesignModel {
+		return p.LegacyModel.CFP(p.Spec.SiliconGates())
+	}
+	org := p.DesignOrg
+	if org.Employees == 0 {
+		org = design.DefaultOrg
+	}
+	proj := design.Project{
+		Engineers:      p.DesignEngineers,
+		Duration:       p.DesignDuration,
+		Gates:          p.Spec.SiliconGates(),
+		ReferenceGates: p.DesignReferenceGates,
+	}
+	if proj.Engineers == 0 {
+		proj.Engineers = DefaultDesignEngineers
+	}
+	if proj.Duration == 0 {
+		proj.Duration = units.YearsOf(DefaultDesignYears)
+	}
+	return design.CFP(org, proj)
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/deploy"
+	"greenfpga/internal/device"
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+)
+
+// deployZero returns an all-zero app-dev profile (no engineering, no
+// configuration carbon).
+func deployZero() deploy.AppDev { return deploy.AppDev{} }
+
+// testPlatforms builds a small ASIC/FPGA pair on 10nm for engine tests.
+func testPlatforms(t *testing.T) (fpga, asic Platform) {
+	t.Helper()
+	node, err := technode.ByName("10nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asic = Platform{
+		Spec: device.Spec{
+			Name: "test-asic", Kind: device.ASIC, Node: node,
+			DieArea: units.MM2(100), PeakPower: units.Watts(10),
+		},
+		DutyCycle: 0.5,
+	}
+	fpga = Platform{
+		Spec: device.Spec{
+			Name: "test-fpga", Kind: device.FPGA, Node: node,
+			DieArea: units.MM2(200), PeakPower: units.Watts(20),
+			CapacityGates: 50e6,
+		},
+		DutyCycle: 0.5,
+	}
+	return fpga, asic
+}
+
+func TestScenarioValidate(t *testing.T) {
+	good := Uniform("ok", 3, units.YearsOf(2), 1e6, 0)
+	if err := good.Validate(); err != nil {
+		t.Errorf("good scenario invalid: %v", err)
+	}
+	if got := good.TotalYears().Years(); got != 6 {
+		t.Errorf("total years %g, want 6", got)
+	}
+	if len(good.Apps) != 3 || !strings.HasPrefix(good.Apps[0].Name, "ok-app") {
+		t.Errorf("uniform apps: %+v", good.Apps)
+	}
+	bad := []Scenario{
+		{Name: "empty"},
+		{Name: "zeroT", Apps: []Application{{Lifetime: 0, Volume: 1}}},
+		{Name: "zeroV", Apps: []Application{{Lifetime: units.YearsOf(1), Volume: 0}}},
+		{Name: "negSize", Apps: []Application{{Lifetime: units.YearsOf(1), Volume: 1, SizeGates: -1}}},
+	}
+	for _, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("scenario %q should be invalid", s.Name)
+		}
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Breakdown{
+		Design: 1, Manufacturing: 2, Packaging: 3, EOL: -1,
+		Operation: 10, AppDevelopment: 4, Configuration: 0.5,
+	}
+	if b.Embodied() != 5 {
+		t.Errorf("embodied %v", b.Embodied())
+	}
+	if b.Deployment() != 14.5 {
+		t.Errorf("deployment %v", b.Deployment())
+	}
+	if b.Total() != 19.5 {
+		t.Errorf("total %v", b.Total())
+	}
+	sum := b.Add(b)
+	if sum.Total() != 39 {
+		t.Errorf("add: %v", sum.Total())
+	}
+	if b.Scale(2) != sum {
+		t.Errorf("scale(2) != add(self): %+v vs %+v", b.Scale(2), sum)
+	}
+}
+
+func TestEvaluateASICPaysEmbodiedPerApp(t *testing.T) {
+	_, asic := testPlatforms(t)
+	one, err := Evaluate(asic, Uniform("one", 1, units.YearsOf(2), 1000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := Evaluate(asic, Uniform("three", 3, units.YearsOf(2), 1000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 1: three applications = exactly three times one application.
+	if math.Abs(three.Total().Kilograms()-3*one.Total().Kilograms()) > 1e-6 {
+		t.Errorf("ASIC scaling: %v vs 3x %v", three.Total(), one.Total())
+	}
+	if three.DevicesManufactured != 3000 {
+		t.Errorf("devices manufactured %g, want 3000", three.DevicesManufactured)
+	}
+	if len(three.PerApp) != 3 {
+		t.Errorf("per-app results: %d", len(three.PerApp))
+	}
+}
+
+func TestEvaluateFPGAPaysEmbodiedOnce(t *testing.T) {
+	fpga, _ := testPlatforms(t)
+	one, err := Evaluate(fpga, Uniform("one", 1, units.YearsOf(2), 1000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := Evaluate(fpga, Uniform("three", 3, units.YearsOf(2), 1000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 2: embodied carbon is identical; only deployment scales.
+	if one.Breakdown.Embodied() != three.Breakdown.Embodied() {
+		t.Errorf("FPGA embodied changed: %v vs %v",
+			one.Breakdown.Embodied(), three.Breakdown.Embodied())
+	}
+	if three.Breakdown.Operation.Kilograms() <= 2.9*one.Breakdown.Operation.Kilograms() {
+		t.Errorf("FPGA operation should triple: %v vs %v",
+			three.Breakdown.Operation, one.Breakdown.Operation)
+	}
+	if three.DevicesManufactured != 1000 {
+		t.Errorf("devices manufactured %g, want 1000 (single fleet)", three.DevicesManufactured)
+	}
+}
+
+func TestEvaluateNFPGAGangs(t *testing.T) {
+	fpga, _ := testPlatforms(t) // capacity 50e6 gates
+	s := Uniform("big", 1, units.YearsOf(1), 100, 125e6)
+	res, err := Evaluate(fpga, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(125/50) = 3 devices per unit.
+	if res.PerApp[0].DevicesPerUnit != 3 {
+		t.Errorf("N_FPGA = %d, want 3", res.PerApp[0].DevicesPerUnit)
+	}
+	if res.FleetSize != 300 {
+		t.Errorf("fleet %g, want 300", res.FleetSize)
+	}
+	small, _ := Evaluate(fpga, Uniform("small", 1, units.YearsOf(1), 100, 0))
+	if res.Breakdown.Manufacturing.Kilograms() <= 2.9*small.Breakdown.Manufacturing.Kilograms() {
+		t.Error("ganged fleet should triple manufacturing carbon")
+	}
+}
+
+func TestChipLifetimeGenerations(t *testing.T) {
+	fpga, _ := testPlatforms(t)
+	fpga.ChipLifetime = units.YearsOf(15)
+	// 10 apps x 2 years = 20 years > 15: two hardware generations.
+	res, err := Evaluate(fpga, Uniform("long", 10, units.YearsOf(2), 1000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HardwareGenerations != 2 {
+		t.Errorf("generations %d, want 2", res.HardwareGenerations)
+	}
+	if res.DevicesManufactured != 2000 {
+		t.Errorf("devices %g, want 2000", res.DevicesManufactured)
+	}
+	// Within the lifetime no rebuy happens.
+	short, _ := Evaluate(fpga, Uniform("short", 7, units.YearsOf(2), 1000, 0))
+	if short.HardwareGenerations != 1 {
+		t.Errorf("14-year scenario should fit one generation, got %d", short.HardwareGenerations)
+	}
+	// Design carbon is not re-paid for the second generation.
+	long2 := res.Breakdown
+	short2 := short.Breakdown
+	if long2.Design != short2.Design {
+		t.Error("design CFP must not scale with hardware generations")
+	}
+	// ASIC with an application outliving the chip also rebuys.
+	_, asic := testPlatforms(t)
+	asic.ChipLifetime = units.YearsOf(5)
+	a, err := Evaluate(asic, Uniform("aging", 1, units.YearsOf(12), 1000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DevicesManufactured != 3000 { // ceil(12/5) = 3 generations
+		t.Errorf("ASIC devices %g, want 3000", a.DevicesManufactured)
+	}
+}
+
+func TestUtilizationScale(t *testing.T) {
+	fpga, asic := testPlatforms(t)
+	for _, p := range []Platform{fpga, asic} {
+		full := Uniform("full", 1, units.YearsOf(2), 1000, 0)
+		half := full
+		half.Apps = append([]Application(nil), full.Apps...)
+		half.Apps[0].UtilizationScale = 0.5
+		a, err := Evaluate(p, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Evaluate(p, half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(b.Breakdown.Operation.Kilograms()-a.Breakdown.Operation.Kilograms()/2) > 1e-9 {
+			t.Errorf("%s: half utilization operation %v, want half of %v",
+				p.Spec.Name, b.Breakdown.Operation, a.Breakdown.Operation)
+		}
+		if a.Breakdown.Embodied() != b.Breakdown.Embodied() {
+			t.Errorf("%s: utilization must not change embodied carbon", p.Spec.Name)
+		}
+	}
+	// Out-of-range scales are rejected.
+	bad := Uniform("bad", 1, units.YearsOf(1), 10, 0)
+	bad.Apps[0].UtilizationScale = 1.5
+	if bad.Validate() == nil {
+		t.Error("utilization > 1 must be invalid")
+	}
+	bad.Apps[0].UtilizationScale = -0.1
+	if bad.Validate() == nil {
+		t.Error("negative utilization must be invalid")
+	}
+}
+
+func TestStrictEq2ScalesAppDev(t *testing.T) {
+	fpga, _ := testPlatforms(t)
+	loose := Uniform("loose", 2, units.YearsOf(3), 1000, 0)
+	strict := loose
+	strict.StrictEq2 = true
+	a, err := Evaluate(fpga, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(fpga, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Breakdown.AppDevelopment.Scale(3) // T_i = 3 years
+	if math.Abs(b.Breakdown.AppDevelopment.Kilograms()-want.Kilograms()) > 1e-9 {
+		t.Errorf("strict app-dev %v, want %v", b.Breakdown.AppDevelopment, want)
+	}
+	if a.Breakdown.Operation != b.Breakdown.Operation {
+		t.Error("strict mode must not change operation")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	fpga, asic := testPlatforms(t)
+	good := Uniform("ok", 1, units.YearsOf(1), 10, 0)
+	badPlatform := fpga
+	badPlatform.DutyCycle = 2
+	if _, err := Evaluate(badPlatform, good); err == nil {
+		t.Error("bad duty cycle must error")
+	}
+	badYield := asic
+	badYield.YieldOverride = 1.5
+	if _, err := Evaluate(badYield, good); err == nil {
+		t.Error("bad yield override must error")
+	}
+	negLife := fpga
+	negLife.ChipLifetime = units.YearsOf(-1)
+	if _, err := Evaluate(negLife, good); err == nil {
+		t.Error("negative chip lifetime must error")
+	}
+	negStaff := fpga
+	negStaff.DesignEngineers = -1
+	if _, err := Evaluate(negStaff, good); err == nil {
+		t.Error("negative staffing must error")
+	}
+	if _, err := Evaluate(fpga, Scenario{Name: "empty"}); err == nil {
+		t.Error("empty scenario must error")
+	}
+}
+
+func TestYieldOverride(t *testing.T) {
+	_, asic := testPlatforms(t)
+	asic.YieldOverride = 0.5
+	dc, err := asic.DeviceCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Manufacturing.Yield != 0.5 {
+		t.Errorf("yield %g, want 0.5", dc.Manufacturing.Yield)
+	}
+	natural := asic
+	natural.YieldOverride = 0
+	nat, _ := natural.DeviceCost()
+	// Halving yield doubles the per-die manufacturing carbon relative
+	// to a perfect-yield baseline.
+	perfect := asic
+	perfect.YieldOverride = 1
+	p, _ := perfect.DeviceCost()
+	if math.Abs(dc.Manufacturing.Total().Kilograms()-2*p.Manufacturing.Total().Kilograms()) > 1e-9 {
+		t.Errorf("override scaling: %v vs 2x %v", dc.Manufacturing.Total(), p.Manufacturing.Total())
+	}
+	if nat.Manufacturing.Yield <= 0.5 || nat.Manufacturing.Yield >= 1 {
+		t.Errorf("natural yield %g implausible", nat.Manufacturing.Yield)
+	}
+}
+
+func TestLegacyDesignModelSwitch(t *testing.T) {
+	_, asic := testPlatforms(t)
+	modern, err := asic.DesignCFP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asic.UseLegacyDesignModel = true
+	legacy, err := asic.DesignCFP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy >= modern {
+		t.Errorf("legacy model should underestimate: %v vs %v", legacy, modern)
+	}
+}
+
+func TestPerAppSumsToTotal(t *testing.T) {
+	// The per-application breakdowns plus the shared embodied carbon
+	// (FPGA) must reconstruct the scenario total exactly.
+	fpga, asic := testPlatforms(t)
+	s := Scenario{Name: "mixed", Apps: []Application{
+		{Name: "a", Lifetime: units.YearsOf(0.5), Volume: 100},
+		{Name: "b", Lifetime: units.YearsOf(2), Volume: 5000, SizeGates: 120e6},
+		{Name: "c", Lifetime: units.YearsOf(1), Volume: 900, UtilizationScale: 0.4},
+	}}
+	for _, p := range []Platform{fpga, asic} {
+		res, err := Evaluate(p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var perApp Breakdown
+		for _, a := range res.PerApp {
+			perApp = perApp.Add(a.Breakdown)
+		}
+		shared := res.Breakdown.Total() - perApp.Total()
+		if p.Spec.Kind == device.ASIC {
+			if math.Abs(shared.Kilograms()) > 1e-9 {
+				t.Errorf("ASIC per-app sums miss total by %v", shared)
+			}
+		} else {
+			// The FPGA's shared remainder is exactly the embodied carbon.
+			if math.Abs(shared.Kilograms()-res.Breakdown.Embodied().Kilograms()) > 1e-9 {
+				t.Errorf("FPGA shared remainder %v != embodied %v",
+					shared, res.Breakdown.Embodied())
+			}
+		}
+	}
+}
+
+// Property: FPGA total CFP is monotone in every scenario axis (more
+// apps, longer lifetimes, higher volumes never reduce carbon).
+func TestQuickEvaluateMonotone(t *testing.T) {
+	fpga, asic := testPlatforms(t)
+	f := func(n1, n2 uint8, tRaw, vRaw float64) bool {
+		nLo := 1 + int(n1)%8
+		nHi := nLo + int(n2)%8
+		tYears := 0.25 + math.Mod(math.Abs(tRaw), 5)
+		vol := 10 + math.Mod(math.Abs(vRaw), 1e6)
+		if math.IsNaN(tYears + vol) {
+			return true
+		}
+		for _, p := range []Platform{fpga, asic} {
+			lo, err1 := Evaluate(p, Uniform("lo", nLo, units.YearsOf(tYears), vol, 0))
+			hi, err2 := Evaluate(p, Uniform("hi", nHi, units.YearsOf(tYears), vol, 0))
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if hi.Total() < lo.Total() {
+				return false
+			}
+			hv, err3 := Evaluate(p, Uniform("hv", nLo, units.YearsOf(tYears), vol*2, 0))
+			if err3 != nil || hv.Total() < lo.Total() {
+				return false
+			}
+			ht, err4 := Evaluate(p, Uniform("ht", nLo, units.YearsOf(tYears*2), vol, 0))
+			if err4 != nil || ht.Total() < lo.Total() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an "FPGA" with identical silicon, power and a single
+// application costs the same as the ASIC except for the
+// app-development overhead — the reconfigurability advantage is
+// exactly the multi-application amortization.
+func TestQuickSingleAppEquivalence(t *testing.T) {
+	fpga, asic := testPlatforms(t)
+	fpga.Spec.DieArea = asic.Spec.DieArea
+	fpga.Spec.PeakPower = asic.Spec.PeakPower
+	noDev := deployZero()
+	fpga.AppDev = &noDev
+	f := func(tRaw, vRaw float64) bool {
+		tYears := 0.25 + math.Mod(math.Abs(tRaw), 5)
+		vol := 10 + math.Mod(math.Abs(vRaw), 1e5)
+		if math.IsNaN(tYears + vol) {
+			return true
+		}
+		s := Uniform("eq", 1, units.YearsOf(tYears), vol, 0)
+		a, err1 := Evaluate(fpga, s)
+		b, err2 := Evaluate(asic, s)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a.Total().Kilograms()-b.Total().Kilograms()) <
+			1e-9*math.Max(1, b.Total().Kilograms())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/grid"
+	"greenfpga/internal/units"
+)
+
+func TestAnnualEnergyAndCarbon(t *testing.T) {
+	// 100 W at 50% duty = 438 kWh/yr; on coal that is 359.16 kg.
+	p := OperationProfile{
+		PeakPower: units.Watts(100),
+		DutyCycle: 0.5,
+		UseMix:    grid.Mix{grid.Coal: 1},
+	}
+	e, err := p.AnnualEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.KWh()-438) > 1e-9 {
+		t.Errorf("annual energy %v, want 438 kWh", e)
+	}
+	c, err := p.AnnualCarbon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Kilograms()-438*0.820) > 1e-9 {
+		t.Errorf("annual carbon %v, want %g kg", c, 438*0.820)
+	}
+}
+
+func TestPUE(t *testing.T) {
+	base := OperationProfile{PeakPower: units.Watts(100), DutyCycle: 0.5}
+	dc := base
+	dc.PUE = 1.5
+	eBase, _ := base.AnnualEnergy()
+	eDC, err := dc.AnnualEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eDC.KWh()-1.5*eBase.KWh()) > 1e-9 {
+		t.Errorf("PUE scaling: %v vs %v", eDC, eBase)
+	}
+}
+
+func TestOperationValidate(t *testing.T) {
+	bad := []OperationProfile{
+		{PeakPower: units.Watts(-1), DutyCycle: 0.5},
+		{PeakPower: units.Watts(10), DutyCycle: -0.1},
+		{PeakPower: units.Watts(10), DutyCycle: 1.1},
+		{PeakPower: units.Watts(10), DutyCycle: 0.5, PUE: 0.8},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+		if _, err := p.AnnualEnergy(); err == nil {
+			t.Errorf("case %d: AnnualEnergy should fail", i)
+		}
+		if _, err := p.AnnualCarbon(); err == nil {
+			t.Errorf("case %d: AnnualCarbon should fail", i)
+		}
+	}
+	idle := OperationProfile{PeakPower: units.Watts(10)}
+	if e, err := idle.AnnualEnergy(); err != nil || e != 0 {
+		t.Errorf("zero duty cycle: %v %v", e, err)
+	}
+	badMix := OperationProfile{PeakPower: units.Watts(10), DutyCycle: 0.5, UseMix: grid.Mix{"diesel": 1}}
+	if _, err := badMix.AnnualCarbon(); err == nil {
+		t.Error("bad mix must error")
+	}
+}
+
+func TestAppDevPerApplication(t *testing.T) {
+	// 3 months at 5 kW on pure coal:
+	// 0.25 yr * 8760 h * 5 kW = 10950 kWh => 8979 kg.
+	a := AppDev{
+		FrontEnd:     units.Months(2),
+		BackEnd:      units.Months(1),
+		ComputePower: units.Kilowatts(5),
+		Mix:          grid.Mix{grid.Coal: 1},
+	}
+	c, err := a.PerApplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Kilograms()-10950*0.820) > 1e-6 {
+		t.Errorf("per-application %v, want %g kg", c, 10950*0.820)
+	}
+}
+
+func TestAppDevPerConfiguration(t *testing.T) {
+	// One minute at 30 W on pure coal: 0.0005 kWh => 0.41 g.
+	a := AppDev{
+		ConfigTime:  units.Hours(1.0 / 60.0),
+		ConfigPower: units.Watts(30),
+		Mix:         grid.Mix{grid.Coal: 1},
+	}
+	c, err := a.PerConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Grams()-0.41) > 1e-6 {
+		t.Errorf("per-configuration %v, want 0.41 g", c)
+	}
+}
+
+func TestASICAppDevIsZero(t *testing.T) {
+	app, err := ASICAppDev.PerApplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ASICAppDev.PerConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app != 0 || cfg != 0 {
+		t.Errorf("ASIC app-dev must be zero: %v %v", app, cfg)
+	}
+}
+
+func TestDefaultFPGAAppDevIsMinimal(t *testing.T) {
+	// The paper observes app-dev CFP is "minimal": single-digit tonnes
+	// per application.
+	c, err := DefaultFPGAAppDev.PerApplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tonnes() < 0.5 || c.Tonnes() > 10 {
+		t.Errorf("default per-application %v outside 0.5-10 t band", c)
+	}
+	cfg, err := DefaultFPGAAppDev.PerConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Grams() <= 0 || cfg.Grams() > 10 {
+		t.Errorf("default per-configuration %v outside (0,10] g band", cfg)
+	}
+}
+
+func TestAppDevValidate(t *testing.T) {
+	bad := []AppDev{
+		{FrontEnd: units.YearsOf(-1)},
+		{ComputePower: units.Watts(-1)},
+		{ConfigTime: units.YearsOf(-1)},
+		{ConfigPower: units.Watts(-1)},
+	}
+	for i, a := range bad {
+		if a.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+		if _, err := a.PerApplication(); err == nil {
+			t.Errorf("case %d: PerApplication should fail", i)
+		}
+		if _, err := a.PerConfiguration(); err == nil {
+			t.Errorf("case %d: PerConfiguration should fail", i)
+		}
+	}
+}
+
+// Property: operational carbon is linear in duty cycle and power.
+func TestQuickOperationalLinearity(t *testing.T) {
+	f := func(powRaw, dutyRaw float64) bool {
+		pow := math.Mod(math.Abs(powRaw), 1e4)
+		duty := math.Mod(math.Abs(dutyRaw), 0.5)
+		if math.IsNaN(pow + duty) {
+			return true
+		}
+		a, err1 := (OperationProfile{PeakPower: units.Watts(pow), DutyCycle: duty}).AnnualCarbon()
+		b, err2 := (OperationProfile{PeakPower: units.Watts(pow), DutyCycle: 2 * duty}).AnnualCarbon()
+		c, err3 := (OperationProfile{PeakPower: units.Watts(2 * pow), DutyCycle: duty}).AnnualCarbon()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		okB := math.Abs(b.Kilograms()-2*a.Kilograms()) < 1e-9*math.Max(1, b.Kilograms())
+		okC := math.Abs(c.Kilograms()-2*a.Kilograms()) < 1e-9*math.Max(1, c.Kilograms())
+		return okB && okC
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

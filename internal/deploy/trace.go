@@ -1,0 +1,152 @@
+package deploy
+
+import (
+	"fmt"
+
+	"greenfpga/internal/grid"
+	"greenfpga/internal/units"
+)
+
+// Trace is an hourly utilization profile: each entry is the fraction
+// of peak power drawn during that hour (0..1). Traces refine the flat
+// duty-cycle model for deployments with strong diurnal or weekly
+// patterns; the operational model repeats the trace across the year.
+type Trace []float64
+
+// Validate checks the trace.
+func (tr Trace) Validate() error {
+	if len(tr) == 0 {
+		return fmt.Errorf("deploy: empty trace")
+	}
+	for i, u := range tr {
+		if u < 0 || u > 1 {
+			return fmt.Errorf("deploy: trace hour %d utilization %g outside [0,1]", i, u)
+		}
+	}
+	return nil
+}
+
+// MeanUtilization is the trace's average draw as a fraction of peak —
+// the equivalent flat duty cycle.
+func (tr Trace) MeanUtilization() (float64, error) {
+	if err := tr.Validate(); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, u := range tr {
+		sum += u
+	}
+	return sum / float64(len(tr)), nil
+}
+
+// Flat builds a constant trace of n hours at the given utilization.
+func Flat(n int, utilization float64) Trace {
+	tr := make(Trace, n)
+	for i := range tr {
+		tr[i] = utilization
+	}
+	return tr
+}
+
+// Diurnal builds a 24-hour trace with busyLevel draw during
+// [busyStart, busyStart+busyHours) and idleLevel elsewhere — the
+// classic datacenter day/night pattern.
+func Diurnal(busyStart, busyHours int, busyLevel, idleLevel float64) Trace {
+	tr := make(Trace, 24)
+	for h := range tr {
+		tr[h] = idleLevel
+		for b := 0; b < busyHours; b++ {
+			if h == (busyStart+b)%24 {
+				tr[h] = busyLevel
+			}
+		}
+	}
+	return tr
+}
+
+// TraceProfile is an operation profile driven by an hourly trace
+// instead of a flat duty cycle.
+type TraceProfile struct {
+	// PeakPower is the device's peak draw.
+	PeakPower units.Power
+	// Trace is the repeating utilization profile.
+	Trace Trace
+	// PUE is the facility overhead; zero means 1.
+	PUE float64
+	// UseMix is the deployment grid; nil means the world preset.
+	UseMix grid.Mix
+}
+
+// Flatten converts the trace profile into the equivalent flat
+// OperationProfile (same annual energy), so trace-characterized
+// deployments plug straight into core.Platform.DutyCycle.
+func (tp TraceProfile) Flatten() (OperationProfile, error) {
+	mean, err := tp.Trace.MeanUtilization()
+	if err != nil {
+		return OperationProfile{}, err
+	}
+	op := OperationProfile{
+		PeakPower: tp.PeakPower,
+		DutyCycle: mean,
+		PUE:       tp.PUE,
+		UseMix:    tp.UseMix,
+	}
+	if err := op.Validate(); err != nil {
+		return OperationProfile{}, err
+	}
+	return op, nil
+}
+
+// AnnualEnergy integrates the trace over an 8760-hour year.
+func (tp TraceProfile) AnnualEnergy() (units.Energy, error) {
+	op, err := tp.Flatten()
+	if err != nil {
+		return 0, err
+	}
+	return op.AnnualEnergy()
+}
+
+// AnnualCarbon is the trace-driven C_op for one device-year.
+func (tp TraceProfile) AnnualCarbon() (units.Mass, error) {
+	op, err := tp.Flatten()
+	if err != nil {
+		return 0, err
+	}
+	return op.AnnualCarbon()
+}
+
+// AnnualCarbonOnGrid integrates utilization against an hourly grid
+// carbon-intensity trace: emissions follow the product of the two
+// curves, so running the busy hours inside the grid's clean window
+// (carbon-aware scheduling) cuts carbon that the flat duty-cycle model
+// cannot see. The utilization trace must be 24 hours to align with the
+// grid day.
+func (tp TraceProfile) AnnualCarbonOnGrid(it grid.IntensityTrace) (units.Mass, error) {
+	if err := tp.Trace.Validate(); err != nil {
+		return 0, err
+	}
+	if len(tp.Trace) != 24 {
+		return 0, fmt.Errorf("deploy: grid-aware accounting needs a 24-hour utilization trace, got %d",
+			len(tp.Trace))
+	}
+	if err := it.Validate(); err != nil {
+		return 0, err
+	}
+	pue := tp.PUE
+	if pue == 0 {
+		pue = 1
+	}
+	if pue < 1 {
+		return 0, fmt.Errorf("deploy: PUE %g must be >= 1", pue)
+	}
+	if tp.PeakPower.Watts() < 0 {
+		return 0, fmt.Errorf("deploy: negative peak power %v", tp.PeakPower)
+	}
+	const daysPerYear = units.HoursPerYear / 24
+	var kg float64
+	for h, u := range tp.Trace {
+		hourly := tp.PeakPower.Scale(u * pue).OverHours(1)
+		kg += hourly.Carbon(it[h]).Kilograms()
+	}
+	return units.Kilograms(kg * daysPerYear), nil
+}

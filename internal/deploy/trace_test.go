@@ -1,0 +1,205 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/grid"
+	"greenfpga/internal/units"
+)
+
+func TestTraceValidate(t *testing.T) {
+	if err := (Trace{0.1, 0.5, 1}).Validate(); err != nil {
+		t.Errorf("good trace: %v", err)
+	}
+	if (Trace{}).Validate() == nil {
+		t.Error("empty trace must error")
+	}
+	if (Trace{0.5, -0.1}).Validate() == nil {
+		t.Error("negative utilization must error")
+	}
+	if (Trace{0.5, 1.1}).Validate() == nil {
+		t.Error("utilization > 1 must error")
+	}
+}
+
+func TestMeanUtilization(t *testing.T) {
+	m, err := Trace{0, 0.5, 1}.MeanUtilization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-0.5) > 1e-12 {
+		t.Errorf("mean %g, want 0.5", m)
+	}
+	if _, err := (Trace{}).MeanUtilization(); err == nil {
+		t.Error("empty trace must error")
+	}
+}
+
+func TestFlatTrace(t *testing.T) {
+	tr := Flat(24, 0.3)
+	if len(tr) != 24 {
+		t.Fatalf("len %d", len(tr))
+	}
+	m, _ := tr.MeanUtilization()
+	if math.Abs(m-0.3) > 1e-12 {
+		t.Errorf("flat mean %g", m)
+	}
+}
+
+func TestDiurnalTrace(t *testing.T) {
+	// Busy 9:00-17:00 (8 hours) at 0.9, idle at 0.1.
+	tr := Diurnal(9, 8, 0.9, 0.1)
+	if len(tr) != 24 {
+		t.Fatalf("len %d", len(tr))
+	}
+	if tr[12] != 0.9 || tr[3] != 0.1 || tr[9] != 0.9 || tr[17] != 0.1 {
+		t.Errorf("diurnal shape: %v", tr)
+	}
+	m, _ := tr.MeanUtilization()
+	want := (8*0.9 + 16*0.1) / 24
+	if math.Abs(m-want) > 1e-12 {
+		t.Errorf("diurnal mean %g, want %g", m, want)
+	}
+	// Wrap-around busy window (22:00-02:00).
+	wrap := Diurnal(22, 4, 1, 0)
+	if wrap[23] != 1 || wrap[1] != 1 || wrap[4] != 0 {
+		t.Errorf("wrapping window: %v", wrap)
+	}
+}
+
+func TestTraceProfileMatchesFlatDuty(t *testing.T) {
+	mix := grid.Mix{grid.Coal: 1}
+	tp := TraceProfile{
+		PeakPower: units.Watts(100),
+		Trace:     Diurnal(8, 12, 0.8, 0.2),
+		PUE:       1.2,
+		UseMix:    mix,
+	}
+	mean, _ := tp.Trace.MeanUtilization()
+	flat := OperationProfile{
+		PeakPower: units.Watts(100), DutyCycle: mean, PUE: 1.2, UseMix: mix,
+	}
+	te, err := tp.AnnualEnergy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, _ := flat.AnnualEnergy()
+	if math.Abs(te.KWh()-fe.KWh()) > 1e-9 {
+		t.Errorf("trace energy %v != flat %v", te, fe)
+	}
+	tc, err := tp.AnnualCarbon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _ := flat.AnnualCarbon()
+	if math.Abs(tc.Kilograms()-fc.Kilograms()) > 1e-9 {
+		t.Errorf("trace carbon %v != flat %v", tc, fc)
+	}
+}
+
+func TestTraceProfileErrors(t *testing.T) {
+	bad := TraceProfile{PeakPower: units.Watts(10), Trace: Trace{}}
+	if _, err := bad.AnnualEnergy(); err == nil {
+		t.Error("empty trace must error")
+	}
+	if _, err := bad.AnnualCarbon(); err == nil {
+		t.Error("empty trace must error")
+	}
+	badPUE := TraceProfile{PeakPower: units.Watts(10), Trace: Flat(24, 0.5), PUE: 0.5}
+	if _, err := badPUE.AnnualEnergy(); err == nil {
+		t.Error("PUE < 1 must error")
+	}
+}
+
+func TestAnnualCarbonOnGrid(t *testing.T) {
+	base := units.GramsPerKWh(400)
+	solar, err := grid.SolarDay(base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := units.Watts(1000)
+	// The same 8 busy hours, scheduled into the solar window vs the
+	// evening peak.
+	midday := TraceProfile{PeakPower: peak, Trace: Diurnal(9, 8, 0.9, 0.1)}
+	evening := TraceProfile{PeakPower: peak, Trace: Diurnal(16, 8, 0.9, 0.1)}
+
+	cm, err := midday.AnnualCarbonOnGrid(solar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := evening.AnnualCarbonOnGrid(solar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm >= ce {
+		t.Errorf("midday scheduling %v should beat evening %v on a solar grid", cm, ce)
+	}
+	// On a flat grid the schedule is irrelevant and matches the
+	// mean-based model exactly.
+	flat := grid.FlatIntensity(base)
+	cf1, err := midday.AnnualCarbonOnGrid(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf2, _ := evening.AnnualCarbonOnGrid(flat)
+	if math.Abs(cf1.Kilograms()-cf2.Kilograms()) > 1e-9 {
+		t.Errorf("flat grid should be schedule-invariant: %v vs %v", cf1, cf2)
+	}
+	mean, _ := midday.Trace.MeanUtilization()
+	want := peak.Scale(mean).Over(units.YearsOf(1)).Carbon(base)
+	if math.Abs(cf1.Kilograms()-want.Kilograms()) > 1e-6*want.Kilograms() {
+		t.Errorf("flat-grid trace carbon %v != mean model %v", cf1, want)
+	}
+}
+
+func TestAnnualCarbonOnGridErrors(t *testing.T) {
+	solar, _ := grid.SolarDay(units.GramsPerKWh(400), 0.3)
+	if _, err := (TraceProfile{PeakPower: units.Watts(1), Trace: Trace{}}).AnnualCarbonOnGrid(solar); err == nil {
+		t.Error("empty trace must error")
+	}
+	if _, err := (TraceProfile{PeakPower: units.Watts(1), Trace: Flat(12, 0.5)}).AnnualCarbonOnGrid(solar); err == nil {
+		t.Error("non-24h trace must error")
+	}
+	if _, err := (TraceProfile{PeakPower: units.Watts(1), Trace: Flat(24, 0.5)}).AnnualCarbonOnGrid(grid.IntensityTrace{}); err == nil {
+		t.Error("bad intensity trace must error")
+	}
+	if _, err := (TraceProfile{PeakPower: units.Watts(1), Trace: Flat(24, 0.5), PUE: 0.5}).AnnualCarbonOnGrid(solar); err == nil {
+		t.Error("bad PUE must error")
+	}
+}
+
+// Property: any valid trace's annual energy equals the flat profile at
+// its mean utilization, and scales linearly with peak power.
+func TestQuickTraceEquivalence(t *testing.T) {
+	f := func(raw [24]uint8, powRaw float64) bool {
+		tr := make(Trace, 24)
+		for i, v := range raw {
+			tr[i] = float64(v) / 255
+		}
+		pow := 1 + math.Mod(math.Abs(powRaw), 1e4)
+		if math.IsNaN(pow) {
+			return true
+		}
+		tp := TraceProfile{PeakPower: units.Watts(pow), Trace: tr}
+		e1, err := tp.AnnualEnergy()
+		if err != nil {
+			return false
+		}
+		mean, _ := tr.MeanUtilization()
+		want := pow / 1e3 * mean * units.HoursPerYear
+		if math.Abs(e1.KWh()-want) > 1e-6*math.Max(1, want) {
+			return false
+		}
+		tp2 := TraceProfile{PeakPower: units.Watts(2 * pow), Trace: tr}
+		e2, err := tp2.AnnualEnergy()
+		if err != nil {
+			return false
+		}
+		return math.Abs(e2.KWh()-2*e1.KWh()) < 1e-6*math.Max(1, e2.KWh())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

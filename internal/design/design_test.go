@@ -1,0 +1,170 @@
+package design
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/grid"
+	"greenfpga/internal/units"
+)
+
+func TestCarbonPerEmployeeYear(t *testing.T) {
+	// 6 GWh over 2000 employees = 3 MWh/employee-year; on pure coal
+	// that is 3000 * 0.82 = 2460 kg.
+	org := Org{Name: "test", AnnualEnergy: units.GWh(6), Employees: 2000, Mix: grid.Mix{grid.Coal: 1}}
+	c, err := org.CarbonPerEmployeeYear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Kilograms()-2460) > 1e-9 {
+		t.Errorf("C_emp %v, want 2460 kg", c)
+	}
+}
+
+func TestDefaultOrgMagnitude(t *testing.T) {
+	c, err := DefaultOrg.CarbonPerEmployeeYear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roughly one tonne per employee-year on a US grid.
+	if c.Tonnes() < 0.5 || c.Tonnes() > 2 {
+		t.Errorf("default C_emp %v outside 0.5-2 t band", c)
+	}
+}
+
+func TestRenewableTargetCutsCEmp(t *testing.T) {
+	org := DefaultOrg
+	org.RenewableTarget = 0.9
+	green, err := org.CarbonPerEmployeeYear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := DefaultOrg.CarbonPerEmployeeYear()
+	if green >= base {
+		t.Errorf("renewable org should emit less: %v vs %v", green, base)
+	}
+}
+
+func TestEq4(t *testing.T) {
+	org := Org{Name: "x", AnnualEnergy: units.GWh(6), Employees: 2000, Mix: grid.Mix{grid.Coal: 1}}
+	// C_emp = 2460 kg. 300 engineers x 2 years x ratio 1 => 1476 t.
+	got, err := CFP(org, Project{Engineers: 300, Duration: units.YearsOf(2), Gates: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Tonnes()-1476) > 1e-9 {
+		t.Errorf("C_des %v, want 1476 t", got)
+	}
+	// Gate-count ratio scales linearly: a chip twice the reference
+	// complexity doubles the footprint.
+	double, err := CFP(org, Project{
+		Engineers: 300, Duration: units.YearsOf(2),
+		Gates: 2e9, ReferenceGates: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(double.Tonnes()-2*1476) > 1e-9 {
+		t.Errorf("ratio-2 C_des %v, want 2952 t", double)
+	}
+}
+
+func TestProjectValidate(t *testing.T) {
+	good := Project{Engineers: 10, Duration: units.YearsOf(1), Gates: 1e6}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good project invalid: %v", err)
+	}
+	bad := []Project{
+		{Engineers: 0, Duration: units.YearsOf(1)},
+		{Engineers: 10, Duration: 0},
+		{Engineers: 10, Duration: units.YearsOf(1), Gates: -1},
+		{Engineers: 10, Duration: units.YearsOf(1), ReferenceGates: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestOrgErrors(t *testing.T) {
+	if _, err := (Org{AnnualEnergy: units.GWh(1)}).CarbonPerEmployeeYear(); err == nil {
+		t.Error("zero employees must error")
+	}
+	if _, err := (Org{Employees: 10}).CarbonPerEmployeeYear(); err == nil {
+		t.Error("zero energy must error")
+	}
+	badMix := Org{AnnualEnergy: units.GWh(1), Employees: 10, Mix: grid.Mix{"diesel": 1}}
+	if _, err := badMix.CarbonPerEmployeeYear(); err == nil {
+		t.Error("bad mix must error")
+	}
+	p := Project{Engineers: 1, Duration: units.YearsOf(1)}
+	if _, err := CFP(Org{}, p); err == nil {
+		t.Error("bad org must propagate from CFP")
+	}
+	if _, err := CFP(DefaultOrg, Project{}); err == nil {
+		t.Error("bad project must propagate from CFP")
+	}
+}
+
+func TestLegacyGateModel(t *testing.T) {
+	m := LegacyGateModel{}
+	got, err := m.CFP(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultLegacyCarbonPerMGate.Scale(1000)
+	if math.Abs(got.Kilograms()-want.Kilograms()) > 1e-9 {
+		t.Errorf("legacy CFP %v, want %v", got, want)
+	}
+	if _, err := m.CFP(-1); err == nil {
+		t.Error("negative gates must error")
+	}
+	custom := LegacyGateModel{CarbonPerMGate: units.Kilograms(1)}
+	got2, _ := custom.CFP(5e6)
+	if math.Abs(got2.Kilograms()-5) > 1e-12 {
+		t.Errorf("custom legacy CFP %v, want 5 kg", got2)
+	}
+}
+
+func TestLegacyUnderestimatesModern(t *testing.T) {
+	// The paper's observation: for a realistic staffed project the
+	// legacy model sits far below the energy-based model.
+	gates := 1.35e9 // ~150 mm^2 at 10 nm
+	modern, err := CFP(DefaultOrg, Project{Engineers: 300, Duration: units.YearsOf(2), Gates: gates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := LegacyGateModel{}.CFP(gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modern.Kilograms() < 5*legacy.Kilograms() {
+		t.Errorf("expected legacy to underestimate by >5x: modern %v legacy %v", modern, legacy)
+	}
+}
+
+// Property: Eq. 4 is linear in engineers, duration, and gate ratio.
+func TestQuickEq4Linearity(t *testing.T) {
+	org := Org{Name: "q", AnnualEnergy: units.GWh(5), Employees: 1500, Mix: grid.Mix{grid.Gas: 1}}
+	f := func(engRaw, durRaw float64) bool {
+		eng := 1 + math.Mod(math.Abs(engRaw), 1e4)
+		dur := 0.1 + math.Mod(math.Abs(durRaw), 10)
+		if math.IsNaN(eng + dur) {
+			return true
+		}
+		a, err1 := CFP(org, Project{Engineers: eng, Duration: units.YearsOf(dur), Gates: 1e8})
+		b, err2 := CFP(org, Project{Engineers: 2 * eng, Duration: units.YearsOf(dur), Gates: 1e8})
+		c, err3 := CFP(org, Project{Engineers: eng, Duration: units.YearsOf(2 * dur), Gates: 1e8})
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		okB := math.Abs(b.Kilograms()-2*a.Kilograms()) < 1e-9*math.Max(1, b.Kilograms())
+		okC := math.Abs(c.Kilograms()-2*a.Kilograms()) < 1e-9*math.Max(1, c.Kilograms())
+		return okB && okC
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

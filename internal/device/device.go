@@ -1,0 +1,168 @@
+// Package device describes the chips GreenFPGA evaluates: ASIC
+// accelerators and FPGAs, with the capacity math behind N_FPGA in
+// Eq. 3 (N_FPGA = ceil(appsize / FPGAcapacity), both in equivalent
+// logic gates) and the industry testcase catalog of Table 3.
+package device
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+)
+
+// Kind distinguishes fixed-function from reconfigurable silicon.
+type Kind string
+
+// Device kinds.
+const (
+	// ASIC devices serve exactly one application and are remanufactured
+	// for each new one (Eq. 1).
+	ASIC Kind = "asic"
+	// FPGA devices are reconfigured across applications and amortize
+	// their embodied carbon (Eq. 2).
+	FPGA Kind = "fpga"
+)
+
+// Spec describes one device.
+type Spec struct {
+	// Name identifies the device in reports.
+	Name string
+	// Kind is ASIC or FPGA.
+	Kind Kind
+	// Node is the manufacturing technology.
+	Node technode.Node
+	// DieArea is the silicon area.
+	DieArea units.Area
+	// PeakPower is the TDP used by the operational model.
+	PeakPower units.Power
+	// CapacityGates is the usable application capacity in equivalent
+	// logic gates (FPGAs only). FPGA fabric spends silicon on
+	// configurability, so capacity is well below the die's raw gate
+	// count.
+	CapacityGates float64
+	// BasedOn records the public device the testcase approximates.
+	BasedOn string
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("device: unnamed spec")
+	}
+	if s.Kind != ASIC && s.Kind != FPGA {
+		return fmt.Errorf("device %s: unknown kind %q", s.Name, s.Kind)
+	}
+	if err := s.Node.Validate(); err != nil {
+		return fmt.Errorf("device %s: %v", s.Name, err)
+	}
+	if s.DieArea.MM2() <= 0 {
+		return fmt.Errorf("device %s: die area must be positive, got %v", s.Name, s.DieArea)
+	}
+	if s.PeakPower.Watts() <= 0 {
+		return fmt.Errorf("device %s: peak power must be positive, got %v", s.Name, s.PeakPower)
+	}
+	if s.Kind == FPGA && s.CapacityGates <= 0 {
+		return fmt.Errorf("device %s: FPGA needs a positive gate capacity", s.Name)
+	}
+	if s.Kind == ASIC && s.CapacityGates != 0 {
+		return fmt.Errorf("device %s: ASICs have no reconfigurable capacity", s.Name)
+	}
+	return nil
+}
+
+// SiliconGates is the raw equivalent-gate count of the die at its node,
+// the N_gates input of the design model (Eq. 4).
+func (s Spec) SiliconGates() float64 {
+	return s.Node.GatesForArea(s.DieArea)
+}
+
+// Required computes N_FPGA for an application of the given size
+// (Eq. 3): the number of devices ganged to reach iso-performance.
+// ASICs always require exactly one device (the paper's footnote), as do
+// applications of unspecified (zero) size.
+func (s Spec) Required(appGates float64) (int, error) {
+	if appGates < 0 {
+		return 0, fmt.Errorf("device %s: negative application size %g", s.Name, appGates)
+	}
+	if s.Kind == ASIC || appGates == 0 {
+		return 1, nil
+	}
+	if s.CapacityGates <= 0 {
+		return 0, fmt.Errorf("device %s: FPGA capacity not set", s.Name)
+	}
+	return int(math.Ceil(appGates / s.CapacityGates)), nil
+}
+
+// mustNode resolves a table node at init time.
+func mustNode(name string) technode.Node {
+	n, err := technode.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Industry testcases of Table 3. Areas, powers and nodes are the
+// table's values; capacities are plausible equivalent-gate figures for
+// the referenced device families.
+var catalog = []Spec{
+	{
+		Name:      "IndustryASIC1",
+		Kind:      ASIC,
+		Node:      mustNode("12nm"),
+		DieArea:   units.MM2(340),
+		PeakPower: units.Watts(70),
+		BasedOn:   "Moffett Antoum deep-sparse inference SoC",
+	},
+	{
+		Name:      "IndustryASIC2",
+		Kind:      ASIC,
+		Node:      mustNode("7nm"),
+		DieArea:   units.MM2(600),
+		PeakPower: units.Watts(192),
+		BasedOn:   "Google TPU v4",
+	},
+	{
+		Name:          "IndustryFPGA1",
+		Kind:          FPGA,
+		Node:          mustNode("14nm"),
+		DieArea:       units.MM2(380),
+		PeakPower:     units.Watts(160),
+		CapacityGates: 40e6,
+		BasedOn:       "Intel Agilex 7 I-Series",
+	},
+	{
+		Name:          "IndustryFPGA2",
+		Kind:          FPGA,
+		Node:          mustNode("10nm"),
+		DieArea:       units.MM2(550),
+		PeakPower:     units.Watts(220),
+		CapacityGates: 30e6,
+		BasedOn:       "Intel Stratix 10",
+	},
+}
+
+// Catalog lists the industry testcases in Table 3 order.
+func Catalog() []Spec {
+	out := make([]Spec, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// ByName looks up a catalog device.
+func ByName(name string) (Spec, error) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, len(catalog))
+	for i, s := range catalog {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return Spec{}, fmt.Errorf("device: unknown device %q (known: %v)", name, names)
+}

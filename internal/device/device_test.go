@@ -1,0 +1,148 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+)
+
+func TestCatalogMatchesTable3(t *testing.T) {
+	want := []struct {
+		name  string
+		kind  Kind
+		area  float64
+		power float64
+		node  float64
+	}{
+		{"IndustryASIC1", ASIC, 340, 70, 12},
+		{"IndustryASIC2", ASIC, 600, 192, 7},
+		{"IndustryFPGA1", FPGA, 380, 160, 14},
+		{"IndustryFPGA2", FPGA, 550, 220, 10},
+	}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalog size %d, want %d", len(cat), len(want))
+	}
+	for i, w := range want {
+		s := cat[i]
+		if s.Name != w.name || s.Kind != w.kind ||
+			s.DieArea.MM2() != w.area || s.PeakPower.Watts() != w.power ||
+			s.Node.FeatureNM != w.node {
+			t.Errorf("catalog[%d] = %+v, want %+v", i, s, w)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", s.Name, err)
+		}
+		if s.BasedOn == "" {
+			t.Errorf("%s missing provenance", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("IndustryFPGA2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != FPGA || s.CapacityGates <= 0 {
+		t.Errorf("IndustryFPGA2: %+v", s)
+	}
+	if _, err := ByName("IndustryGPU1"); err == nil {
+		t.Error("unknown device must error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	node, _ := technode.ByName("10nm")
+	good := Spec{Name: "x", Kind: FPGA, Node: node, DieArea: units.MM2(100),
+		PeakPower: units.Watts(10), CapacityGates: 1e6}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec invalid: %v", err)
+	}
+	bad := []Spec{
+		{},
+		{Name: "x", Kind: "gpu", Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(1)},
+		{Name: "x", Kind: ASIC, DieArea: units.MM2(1), PeakPower: units.Watts(1)},
+		{Name: "x", Kind: ASIC, Node: node, DieArea: units.MM2(0), PeakPower: units.Watts(1)},
+		{Name: "x", Kind: ASIC, Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(0)},
+		{Name: "x", Kind: FPGA, Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(1)},
+		{Name: "x", Kind: ASIC, Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(1), CapacityGates: 5},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestSiliconGates(t *testing.T) {
+	node, _ := technode.ByName("10nm")
+	s := Spec{Name: "x", Kind: ASIC, Node: node, DieArea: units.MM2(150), PeakPower: units.Watts(1)}
+	if got := s.SiliconGates(); got != 150*9e6 {
+		t.Errorf("silicon gates %g", got)
+	}
+}
+
+func TestRequired(t *testing.T) {
+	node, _ := technode.ByName("10nm")
+	fpga := Spec{Name: "f", Kind: FPGA, Node: node, DieArea: units.MM2(100),
+		PeakPower: units.Watts(10), CapacityGates: 10e6}
+	asic := Spec{Name: "a", Kind: ASIC, Node: node, DieArea: units.MM2(100), PeakPower: units.Watts(10)}
+
+	cases := []struct {
+		spec Spec
+		app  float64
+		want int
+	}{
+		{fpga, 0, 1},        // unspecified app fits one device
+		{fpga, 5e6, 1},      // half capacity
+		{fpga, 10e6, 1},     // exact fit
+		{fpga, 10e6 + 1, 2}, // one gate over
+		{fpga, 35e6, 4},     // ceil(3.5)
+		{asic, 1e12, 1},     // ASIC is always one device (paper footnote)
+	}
+	for _, c := range cases {
+		got, err := c.spec.Required(c.app)
+		if err != nil {
+			t.Errorf("Required(%g): %v", c.app, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Required(%s, %g) = %d, want %d", c.spec.Name, c.app, got, c.want)
+		}
+	}
+	if _, err := fpga.Required(-1); err == nil {
+		t.Error("negative app size must error")
+	}
+	broken := fpga
+	broken.CapacityGates = 0
+	if _, err := broken.Required(1e6); err == nil {
+		t.Error("zero capacity must error")
+	}
+}
+
+// Property: N_FPGA is the true ceiling — it always covers the
+// application and N_FPGA-1 devices never do.
+func TestQuickRequiredIsCeiling(t *testing.T) {
+	node, _ := technode.ByName("7nm")
+	fpga := Spec{Name: "f", Kind: FPGA, Node: node, DieArea: units.MM2(100),
+		PeakPower: units.Watts(10), CapacityGates: 12.5e6}
+	f := func(raw uint32) bool {
+		app := float64(raw) * 1000
+		n, err := fpga.Required(app)
+		if err != nil {
+			return false
+		}
+		if app == 0 {
+			return n == 1
+		}
+		covers := float64(n)*fpga.CapacityGates >= app
+		tight := float64(n-1)*fpga.CapacityGates < app
+		return covers && tight
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package dse is a carbon-aware design-space explorer: given an
+// application roadmap (gate sizes, lifetimes, volumes from the workload
+// package), it searches technology nodes, platform kinds and FPGA
+// device sizings for the lowest total carbon footprint. This extends
+// GreenFPGA in the direction of the carbon-aware DSE work the paper
+// cites ([16]) and its stated goal of "sustainability-minded design
+// decisions".
+//
+// The explorer trades three effects the models expose:
+//
+//   - advanced nodes shrink silicon (less embodied per gate) but cost
+//     more fab carbon per area and yield worse;
+//   - advanced nodes burn less power per gate (technode.PowerScale),
+//     cutting operational carbon;
+//   - FPGAs amortize one fleet across the roadmap but pay an area and
+//     power overhead per usable gate, with N_FPGA ganging for
+//     applications beyond one device's capacity.
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"greenfpga/internal/core"
+	"greenfpga/internal/device"
+	"greenfpga/internal/grid"
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+)
+
+// Defaults for unset Inputs fields.
+const (
+	// DefaultFPGAAreaOverhead is silicon area per usable application
+	// gate, relative to an ASIC implementation (LUT fabric, routing,
+	// configuration memory).
+	DefaultFPGAAreaOverhead = 10.0
+	// DefaultFPGAPowerOverhead is active power per delivered
+	// operation relative to an ASIC implementation.
+	DefaultFPGAPowerOverhead = 3.0
+	// DefaultPowerPerMGateW is active watts per million ASIC gates at
+	// the 10 nm reference node, full utilization.
+	DefaultPowerPerMGateW = 0.5
+	// DefaultEngineersPerBGate staffs design projects per billion
+	// silicon gates.
+	DefaultEngineersPerBGate = 250.0
+	// DefaultMinEngineers floors every project: tape-out, validation
+	// and bring-up need a real team however small the die.
+	DefaultMinEngineers = 150.0
+)
+
+// DefaultFPGADeviceAreasMM2 is the candidate FPGA die palette.
+var DefaultFPGADeviceAreasMM2 = []float64{100, 200, 400, 600}
+
+// Inputs describes the exploration.
+type Inputs struct {
+	// Apps is the application roadmap; every app needs SizeGates > 0.
+	Apps []core.Application
+	// PowerPerMGateW is the ASIC power density at 10 nm (W/Mgate at
+	// full utilization); zero means DefaultPowerPerMGateW.
+	PowerPerMGateW float64
+	// DutyCycle is the deployment utilization.
+	DutyCycle float64
+	// Nodes restricts the node search; nil means the full table.
+	Nodes []technode.Node
+	// Kinds restricts the platform search; nil means ASIC and FPGA.
+	Kinds []device.Kind
+	// FPGADeviceAreasMM2 is the candidate FPGA die palette; nil means
+	// DefaultFPGADeviceAreasMM2.
+	FPGADeviceAreasMM2 []float64
+	// FPGAAreaOverhead and FPGAPowerOverhead model the fabric cost per
+	// usable gate; zero means the defaults.
+	FPGAAreaOverhead  float64
+	FPGAPowerOverhead float64
+	// EngineersPerBGate scales design staffing with silicon size for
+	// ASICs and with usable capacity for FPGAs (the regular fabric's
+	// design effort does not scale with replicated tiles); zero means
+	// DefaultEngineersPerBGate.
+	EngineersPerBGate float64
+	// MinEngineers floors project staffing; zero means
+	// DefaultMinEngineers.
+	MinEngineers float64
+	// UseMix and FabMix select grids (nil: world / Taiwan presets).
+	UseMix, FabMix grid.Mix
+	// PUE is the facility overhead.
+	PUE float64
+}
+
+// normalize fills defaults and validates.
+func (in *Inputs) normalize() error {
+	if len(in.Apps) == 0 {
+		return fmt.Errorf("dse: no applications")
+	}
+	for _, a := range in.Apps {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		if a.SizeGates <= 0 {
+			return fmt.Errorf("dse: application %q needs SizeGates > 0", a.Name)
+		}
+	}
+	if in.DutyCycle <= 0 || in.DutyCycle > 1 {
+		return fmt.Errorf("dse: duty cycle %g outside (0,1]", in.DutyCycle)
+	}
+	if in.PowerPerMGateW == 0 {
+		in.PowerPerMGateW = DefaultPowerPerMGateW
+	}
+	if in.PowerPerMGateW < 0 {
+		return fmt.Errorf("dse: negative power density %g", in.PowerPerMGateW)
+	}
+	if in.Nodes == nil {
+		in.Nodes = technode.List()
+	}
+	if len(in.Kinds) == 0 {
+		in.Kinds = []device.Kind{device.ASIC, device.FPGA}
+	}
+	if in.FPGADeviceAreasMM2 == nil {
+		in.FPGADeviceAreasMM2 = DefaultFPGADeviceAreasMM2
+	}
+	if in.FPGAAreaOverhead == 0 {
+		in.FPGAAreaOverhead = DefaultFPGAAreaOverhead
+	}
+	if in.FPGAAreaOverhead < 1 {
+		return fmt.Errorf("dse: FPGA area overhead %g must be >= 1", in.FPGAAreaOverhead)
+	}
+	if in.FPGAPowerOverhead == 0 {
+		in.FPGAPowerOverhead = DefaultFPGAPowerOverhead
+	}
+	if in.FPGAPowerOverhead < 1 {
+		return fmt.Errorf("dse: FPGA power overhead %g must be >= 1", in.FPGAPowerOverhead)
+	}
+	if in.EngineersPerBGate == 0 {
+		in.EngineersPerBGate = DefaultEngineersPerBGate
+	}
+	if in.EngineersPerBGate <= 0 {
+		return fmt.Errorf("dse: staffing density %g must be positive", in.EngineersPerBGate)
+	}
+	if in.MinEngineers == 0 {
+		in.MinEngineers = DefaultMinEngineers
+	}
+	if in.MinEngineers < 0 {
+		return fmt.Errorf("dse: negative staffing floor %g", in.MinEngineers)
+	}
+	return nil
+}
+
+// staffing floors the per-project engineer count.
+func (in Inputs) staffing(billionGates float64) float64 {
+	eng := in.EngineersPerBGate * billionGates
+	if eng < in.MinEngineers {
+		return in.MinEngineers
+	}
+	return eng
+}
+
+// Candidate is one evaluated design point.
+type Candidate struct {
+	// Kind is the platform family.
+	Kind device.Kind
+	// Node is the technology node label.
+	Node string
+	// DeviceArea is the FPGA die size (zero for ASICs, whose dies are
+	// sized per application).
+	DeviceArea units.Area
+	// MaxNFPGA is the largest per-application device gang (1 for
+	// ASICs).
+	MaxNFPGA int
+	// Total is the scenario CFP.
+	Total units.Mass
+	// Embodied and Operational split the total.
+	Embodied, Operational units.Mass
+	// DevicesManufactured counts silicon built.
+	DevicesManufactured float64
+}
+
+// String renders the candidate for reports.
+func (c Candidate) String() string {
+	if c.Kind == device.ASIC {
+		return fmt.Sprintf("ASIC @ %s: %v", c.Node, c.Total)
+	}
+	return fmt.Sprintf("FPGA %.0fmm2 @ %s (max gang %d): %v",
+		c.DeviceArea.MM2(), c.Node, c.MaxNFPGA, c.Total)
+}
+
+// Result is the full exploration outcome, best first.
+type Result struct {
+	// Candidates are every evaluated point, ascending by total CFP.
+	Candidates []Candidate
+}
+
+// Best is the lowest-carbon candidate.
+func (r Result) Best() Candidate {
+	return r.Candidates[0]
+}
+
+// BestOfKind is the lowest-carbon candidate of one platform family.
+func (r Result) BestOfKind(k device.Kind) (Candidate, bool) {
+	for _, c := range r.Candidates {
+		if c.Kind == k {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}
+
+// Explore evaluates the full design space.
+func Explore(in Inputs) (Result, error) {
+	if err := in.normalize(); err != nil {
+		return Result{}, err
+	}
+	var out Result
+	for _, node := range in.Nodes {
+		for _, kind := range in.Kinds {
+			switch kind {
+			case device.ASIC:
+				c, err := evaluateASIC(in, node)
+				if err != nil {
+					return Result{}, err
+				}
+				out.Candidates = append(out.Candidates, c)
+			case device.FPGA:
+				for _, area := range in.FPGADeviceAreasMM2 {
+					c, err := evaluateFPGA(in, node, units.MM2(area))
+					if err != nil {
+						return Result{}, err
+					}
+					out.Candidates = append(out.Candidates, c)
+				}
+			default:
+				return Result{}, fmt.Errorf("dse: unknown platform kind %q", kind)
+			}
+		}
+	}
+	sort.SliceStable(out.Candidates, func(i, j int) bool {
+		return out.Candidates[i].Total < out.Candidates[j].Total
+	})
+	return out, nil
+}
+
+// evaluateASIC sums Eq. 1 across per-application sized dies on the
+// node.
+func evaluateASIC(in Inputs, node technode.Node) (Candidate, error) {
+	cand := Candidate{Kind: device.ASIC, Node: node.Name, MaxNFPGA: 1}
+	for _, app := range in.Apps {
+		area, err := node.AreaForGates(app.SizeGates)
+		if err != nil {
+			return Candidate{}, err
+		}
+		p := core.Platform{
+			Spec: device.Spec{
+				Name:      fmt.Sprintf("dse-asic-%s-%s", node.Name, app.Name),
+				Kind:      device.ASIC,
+				Node:      node,
+				DieArea:   area,
+				PeakPower: units.Watts(app.SizeGates / 1e6 * in.PowerPerMGateW * node.PowerScale),
+			},
+			DutyCycle:       in.DutyCycle,
+			PUE:             in.PUE,
+			UseMix:          in.UseMix,
+			FabMix:          in.FabMix,
+			DesignEngineers: in.staffing(app.SizeGates / 1e9),
+			DesignDuration:  units.YearsOf(2),
+		}
+		single := app
+		single.SizeGates = 0 // the die is already sized to the app
+		res, err := core.Evaluate(p, core.Scenario{Name: app.Name, Apps: []core.Application{single}})
+		if err != nil {
+			return Candidate{}, err
+		}
+		cand.Total += res.Total()
+		cand.Embodied += res.Breakdown.Embodied()
+		cand.Operational += res.Breakdown.Deployment()
+		cand.DevicesManufactured += res.DevicesManufactured
+	}
+	return cand, nil
+}
+
+// evaluateFPGA runs the whole roadmap on one FPGA device choice
+// (Eq. 2 with N_FPGA ganging).
+func evaluateFPGA(in Inputs, node technode.Node, area units.Area) (Candidate, error) {
+	capacity := node.GatesForArea(area) / in.FPGAAreaOverhead
+	if capacity <= 0 {
+		return Candidate{}, fmt.Errorf("dse: FPGA capacity collapsed for %v at %s", area, node.Name)
+	}
+	// Device power at full utilization: usable capacity times the ASIC
+	// density, times the fabric power overhead.
+	peak := units.Watts(capacity / 1e6 * in.PowerPerMGateW * in.FPGAPowerOverhead * node.PowerScale)
+	spec := device.Spec{
+		Name:          fmt.Sprintf("dse-fpga-%s-%.0fmm2", node.Name, area.MM2()),
+		Kind:          device.FPGA,
+		Node:          node,
+		DieArea:       area,
+		PeakPower:     peak,
+		CapacityGates: capacity,
+	}
+	p := core.Platform{
+		Spec:      spec,
+		DutyCycle: in.DutyCycle,
+		PUE:       in.PUE,
+		UseMix:    in.UseMix,
+		FabMix:    in.FabMix,
+		// The fabric is an array of identical tiles: design effort
+		// follows usable capacity, not replicated silicon.
+		DesignEngineers: in.staffing(capacity / 1e9),
+		DesignDuration:  units.YearsOf(2),
+	}
+	// Each application burns power in proportion to the fabric share it
+	// occupies; idle tiles are clock-gated.
+	apps := make([]core.Application, len(in.Apps))
+	for i, app := range in.Apps {
+		apps[i] = app
+		n, err := spec.Required(app.SizeGates)
+		if err != nil {
+			return Candidate{}, err
+		}
+		util := app.SizeGates / (float64(n) * capacity)
+		if util > 1 {
+			util = 1
+		}
+		apps[i].UtilizationScale = util
+	}
+	res, err := core.Evaluate(p, core.Scenario{Name: "dse-fpga", Apps: apps})
+	if err != nil {
+		return Candidate{}, err
+	}
+	cand := Candidate{
+		Kind:                device.FPGA,
+		Node:                node.Name,
+		DeviceArea:          area,
+		Total:               res.Total(),
+		Embodied:            res.Breakdown.Embodied(),
+		Operational:         res.Breakdown.Deployment(),
+		DevicesManufactured: res.DevicesManufactured,
+	}
+	for _, pa := range res.PerApp {
+		if pa.DevicesPerUnit > cand.MaxNFPGA {
+			cand.MaxNFPGA = pa.DevicesPerUnit
+		}
+	}
+	return cand, nil
+}

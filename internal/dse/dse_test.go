@@ -1,0 +1,231 @@
+package dse
+
+import (
+	"math"
+	"testing"
+
+	"greenfpga/internal/core"
+	"greenfpga/internal/device"
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+	"greenfpga/internal/workload"
+)
+
+// roadmap builds a small DNN roadmap via the workload package.
+func roadmap(t *testing.T, generations int, lifetimeYears float64, volume float64) []core.Application {
+	t.Helper()
+	k, err := workload.ByName("resnet50-int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.Roadmap(k, 4000, 1.5, generations, units.YearsOf(lifetimeYears), volume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Apps
+}
+
+func TestExploreCoversTheSpace(t *testing.T) {
+	res, err := Explore(Inputs{
+		Apps:      roadmap(t, 3, 1.5, 1e5),
+		DutyCycle: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11 nodes x (1 ASIC + 4 FPGA palettes) = 55 candidates.
+	if len(res.Candidates) != 55 {
+		t.Fatalf("candidates: %d, want 55", len(res.Candidates))
+	}
+	// Sorted ascending.
+	for i := 1; i < len(res.Candidates); i++ {
+		if res.Candidates[i].Total < res.Candidates[i-1].Total {
+			t.Fatal("candidates not sorted")
+		}
+	}
+	if res.Best() != res.Candidates[0] {
+		t.Error("Best must be the first candidate")
+	}
+	// Both kinds are represented.
+	if _, ok := res.BestOfKind(device.ASIC); !ok {
+		t.Error("no ASIC candidate")
+	}
+	if _, ok := res.BestOfKind(device.FPGA); !ok {
+		t.Error("no FPGA candidate")
+	}
+	// Every candidate is physically sensible.
+	for _, c := range res.Candidates {
+		if c.Total <= 0 || c.DevicesManufactured <= 0 {
+			t.Errorf("degenerate candidate: %+v", c)
+		}
+		if c.Kind == device.FPGA && c.MaxNFPGA < 1 {
+			t.Errorf("FPGA gang missing: %+v", c)
+		}
+		if c.String() == "" {
+			t.Error("empty candidate rendering")
+		}
+	}
+}
+
+func TestAdvancedNodesDominatePerGate(t *testing.T) {
+	// In ACT-class models, density gains (1.8 -> 33 Mgates/mm^2)
+	// outpace per-area fab-carbon growth (~3x) and per-gate power
+	// falls, so for a fixed gate count the most advanced node in the
+	// search set wins on both embodied and operational carbon — at any
+	// duty cycle. The explorer must find exactly that.
+	apps := roadmap(t, 1, 6, 1e6)
+	for _, duty := range []float64{0.01, 0.5, 1.0} {
+		res, err := Explore(Inputs{Apps: apps, DutyCycle: duty, Kinds: []device.Kind{device.ASIC}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best().Node != "3nm" {
+			t.Errorf("duty %g: best node %s, want 3nm", duty, res.Best().Node)
+		}
+	}
+	// Restricting the search set moves the winner to the most advanced
+	// node still available.
+	n28, _ := technode.ByName("28nm")
+	n14, _ := technode.ByName("14nm")
+	res, err := Explore(Inputs{
+		Apps: apps, DutyCycle: 0.5,
+		Kinds: []device.Kind{device.ASIC},
+		Nodes: []technode.Node{n28, n14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best().Node != "14nm" {
+		t.Errorf("restricted search best node %s, want 14nm", res.Best().Node)
+	}
+}
+
+func TestRoadmapLengthFlipsKind(t *testing.T) {
+	// One long-lived application: the ASIC's lean silicon wins. A fast
+	// roadmap of short-lived generations at low volume: the FPGA fleet
+	// wins (the paper's low-volume / short-lifetime scenarios).
+	const volume = 2e4
+	oneApp, err := Explore(Inputs{Apps: roadmap(t, 1, 6, volume), DutyCycle: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneApp.Best().Kind != device.ASIC {
+		t.Errorf("single 6-year app should favour ASIC, got %s", oneApp.Best())
+	}
+	fast, err := Explore(Inputs{Apps: roadmap(t, 8, 0.75, volume), DutyCycle: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Best().Kind != device.FPGA {
+		t.Errorf("eight 9-month generations should favour FPGA, got %s", fast.Best())
+	}
+	// High volume erases the advantage even on the fast roadmap.
+	big, err := Explore(Inputs{Apps: roadmap(t, 8, 0.75, 1e6), DutyCycle: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Best().Kind != device.ASIC {
+		t.Errorf("1e6-unit roadmap should favour ASIC, got %s", big.Best())
+	}
+}
+
+func TestGangingAppearsForLargeApps(t *testing.T) {
+	// Constrain the palette to a small mature-node device (28nm, 40mm2:
+	// 72 Mgates of silicon, 7.2 Mgates usable) so the later roadmap
+	// generations (11.2 Mgates) need multi-FPGA gangs.
+	apps := roadmap(t, 4, 1, 1e4)
+	n28, err := technode.ByName("28nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(Inputs{
+		Apps:               apps,
+		DutyCycle:          0.3,
+		Kinds:              []device.Kind{device.FPGA},
+		Nodes:              []technode.Node{n28},
+		FPGADeviceAreasMM2: []float64{40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Candidates {
+		if c.MaxNFPGA < 2 {
+			t.Errorf("expected ganging on 28nm 40mm2 devices: %+v", c)
+		}
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	good := roadmap(t, 2, 1, 1e4)
+	noSize := make([]core.Application, len(good))
+	copy(noSize, good)
+	noSize[0].SizeGates = 0
+	cases := []Inputs{
+		{},                             // no apps
+		{Apps: good},                   // zero duty
+		{Apps: good, DutyCycle: 2},     // bad duty
+		{Apps: noSize, DutyCycle: 0.5}, // missing size
+		{Apps: good, DutyCycle: 0.5, PowerPerMGateW: -1},
+		{Apps: good, DutyCycle: 0.5, FPGAAreaOverhead: 0.5},
+		{Apps: good, DutyCycle: 0.5, FPGAPowerOverhead: 0.5},
+		{Apps: good, DutyCycle: 0.5, EngineersPerBGate: -3},
+		{Apps: good, DutyCycle: 0.5, Kinds: []device.Kind{"gpu"}},
+	}
+	for i, in := range cases {
+		if _, err := Explore(in); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPowerScaleDrivesOperationalSplit(t *testing.T) {
+	// At identical duty, the 28nm ASIC must burn more operational
+	// carbon than the 7nm ASIC for the same roadmap.
+	apps := roadmap(t, 1, 3, 1e5)
+	n28, _ := technode.ByName("28nm")
+	n7, _ := technode.ByName("7nm")
+	mature, err := Explore(Inputs{Apps: apps, DutyCycle: 0.5,
+		Kinds: []device.Kind{device.ASIC}, Nodes: []technode.Node{n28}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	advanced, err := Explore(Inputs{Apps: apps, DutyCycle: 0.5,
+		Kinds: []device.Kind{device.ASIC}, Nodes: []technode.Node{n7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mature.Best().Operational.Kilograms() <= advanced.Best().Operational.Kilograms() {
+		t.Errorf("28nm operational %v should exceed 7nm %v",
+			mature.Best().Operational, advanced.Best().Operational)
+	}
+	if mature.Best().Embodied.Kilograms() <= advanced.Best().Embodied.Kilograms() {
+		// Same gates on 28nm take ~5x the area but cost much less per
+		// cm^2... the balance must still favour embodied on advanced
+		// nodes being cheaper overall? No: advanced nodes pack 7.8x
+		// the density at ~2x the per-area carbon, so embodied falls.
+		t.Errorf("28nm embodied %v should exceed 7nm %v (density beats per-area cost)",
+			mature.Best().Embodied, advanced.Best().Embodied)
+	}
+}
+
+func TestFPGACapacityMath(t *testing.T) {
+	// A 100mm2 FPGA at 10nm with 10x overhead holds 90 Mgates / 10 =
+	// 90e6/10 usable gates.
+	node, _ := technode.ByName("10nm")
+	in := Inputs{Apps: roadmap(t, 1, 1, 1e3), DutyCycle: 0.3}
+	if err := (&in).normalize(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := evaluateFPGA(in, node, units.MM2(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// roadmap(1 gen, target 4000 GOPS): ceil(4000/2000)=2 PEs x 1.6e6
+	// gates = 3.2e6 gates; capacity 9e8/10 = 9e7 => one device.
+	if c.MaxNFPGA != 1 {
+		t.Errorf("gang %d, want 1", c.MaxNFPGA)
+	}
+	if math.Abs(c.DevicesManufactured-1e3) > 1e-9 {
+		t.Errorf("devices %g, want 1000", c.DevicesManufactured)
+	}
+}

@@ -1,0 +1,110 @@
+// Package eol implements the end-of-life carbon model of GreenFPGA
+// (paper §3.2(4), Eq. 6):
+//
+//	C_EOL = (1 - delta) * C_dis - delta * C_recycle
+//
+// where delta is the fraction of the device (by mass) routed to
+// recycling, C_dis is the carbon of discarding (collection, transport,
+// landfill/incineration) and C_recycle is the avoided-emission credit
+// for recovered materials. Rates follow the EPA WARM report ranges the
+// paper cites in Table 1: discard 0.03-2.08 and recycling credit
+// 7.65-29.83 MTCO2E per ton of e-waste (equivalently kg CO2e per kg).
+package eol
+
+import (
+	"fmt"
+
+	"greenfpga/internal/units"
+)
+
+// Table 1 rate bounds (kg CO2e per kg of device mass).
+const (
+	MinDiscardRate = 0.03
+	MaxDiscardRate = 2.08
+	MinRecycleRate = 7.65
+	MaxRecycleRate = 29.83
+)
+
+// Defaults used when a Params field is zero.
+const (
+	// DefaultDiscardRate is a mid-band mixed-disposal rate.
+	DefaultDiscardRate = 1.0
+	// DefaultRecycleRate is a mid-band e-waste recovery credit.
+	DefaultRecycleRate = 15.0
+	// DefaultRecycleFraction is delta: the e-waste share actually
+	// recycled.
+	DefaultRecycleFraction = 0.25
+	// DefaultDeviceMassPerPackageCM2 estimates device mass (kg) per
+	// cm^2 of package footprint: laminate, lid, leadframe and die.
+	DefaultDeviceMassPerPackageCM2 = 0.0012
+	// DefaultBaseDeviceMassKg is the fixed mass floor per device.
+	DefaultBaseDeviceMassKg = 0.002
+)
+
+// Params configures the end-of-life model.
+type Params struct {
+	// RecycleFraction is delta in Eq. 6 (0..1). Zero means the default;
+	// use a small negative epsilon via DisableRecycling for a true zero.
+	RecycleFraction float64
+	// DisableRecycling forces delta = 0 (all discarded).
+	DisableRecycling bool
+	// DiscardRatePerKg is C_dis in kg CO2e per kg of device.
+	DiscardRatePerKg float64
+	// RecycleRatePerKg is the C_recycle credit in kg CO2e per kg.
+	RecycleRatePerKg float64
+}
+
+// Result is the per-device end-of-life footprint.
+type Result struct {
+	// DiscardCarbon is the (1-delta)*C_dis component (>= 0).
+	DiscardCarbon units.Mass
+	// RecycleCredit is the delta*C_recycle component (>= 0, subtracted).
+	RecycleCredit units.Mass
+	// DeviceMassKg is the device mass used.
+	DeviceMassKg float64
+}
+
+// Net is the signed end-of-life footprint (Eq. 6); negative values are
+// net credits.
+func (r Result) Net() units.Mass {
+	return r.DiscardCarbon - r.RecycleCredit
+}
+
+// EstimateDeviceMassKg estimates the physical mass of a packaged device
+// from its package footprint.
+func EstimateDeviceMassKg(packageArea units.Area) float64 {
+	return DefaultBaseDeviceMassKg + DefaultDeviceMassPerPackageCM2*packageArea.CM2()
+}
+
+// CFP evaluates Eq. 6 for one device of the given physical mass.
+func CFP(deviceMassKg float64, p Params) (Result, error) {
+	if deviceMassKg < 0 {
+		return Result{}, fmt.Errorf("eol: negative device mass %g kg", deviceMassKg)
+	}
+	delta := p.RecycleFraction
+	if delta == 0 && !p.DisableRecycling {
+		delta = DefaultRecycleFraction
+	}
+	if p.DisableRecycling {
+		delta = 0
+	}
+	if delta < 0 || delta > 1 {
+		return Result{}, fmt.Errorf("eol: recycle fraction %g outside [0,1]", delta)
+	}
+	dis := p.DiscardRatePerKg
+	if dis == 0 {
+		dis = DefaultDiscardRate
+	}
+	rec := p.RecycleRatePerKg
+	if rec == 0 {
+		rec = DefaultRecycleRate
+	}
+	if dis < 0 || rec < 0 {
+		return Result{}, fmt.Errorf("eol: rates must be non-negative (dis=%g rec=%g)", dis, rec)
+	}
+	return Result{
+		DiscardCarbon: units.Kilograms((1 - delta) * dis * deviceMassKg),
+		RecycleCredit: units.Kilograms(delta * rec * deviceMassKg),
+		DeviceMassKg:  deviceMassKg,
+	}, nil
+}

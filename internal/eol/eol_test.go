@@ -1,0 +1,141 @@
+package eol
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/units"
+)
+
+func TestEq6HandValues(t *testing.T) {
+	// 20 g device, delta=0.25, dis=1.0, rec=15:
+	// discard = 0.75*1.0*0.02 = 0.015 kg; credit = 0.25*15*0.02 = 0.075 kg.
+	res, err := CFP(0.02, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DiscardCarbon.Kilograms()-0.015) > 1e-12 {
+		t.Errorf("discard %v, want 0.015 kg", res.DiscardCarbon)
+	}
+	if math.Abs(res.RecycleCredit.Kilograms()-0.075) > 1e-12 {
+		t.Errorf("credit %v, want 0.075 kg", res.RecycleCredit)
+	}
+	if math.Abs(res.Net().Kilograms()-(-0.06)) > 1e-12 {
+		t.Errorf("net %v, want -0.06 kg", res.Net())
+	}
+}
+
+func TestDisableRecycling(t *testing.T) {
+	res, err := CFP(0.02, Params{DisableRecycling: true, DiscardRatePerKg: 2.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecycleCredit != 0 {
+		t.Errorf("credit should be zero, got %v", res.RecycleCredit)
+	}
+	if math.Abs(res.DiscardCarbon.Kilograms()-2.08*0.02) > 1e-12 {
+		t.Errorf("discard %v", res.DiscardCarbon)
+	}
+	if res.Net() <= 0 {
+		t.Error("all-discard EOL must be a net emission")
+	}
+}
+
+func TestFullRecycling(t *testing.T) {
+	res, err := CFP(0.02, Params{RecycleFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiscardCarbon != 0 {
+		t.Errorf("discard should be zero, got %v", res.DiscardCarbon)
+	}
+	if res.Net() >= 0 {
+		t.Error("full recycling must be a net credit")
+	}
+}
+
+func TestZeroMassDevice(t *testing.T) {
+	res, err := CFP(0, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net() != 0 {
+		t.Errorf("zero-mass device must have zero EOL, got %v", res.Net())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := CFP(-1, Params{}); err == nil {
+		t.Error("negative mass must error")
+	}
+	if _, err := CFP(1, Params{RecycleFraction: 1.5}); err == nil {
+		t.Error("fraction > 1 must error")
+	}
+	if _, err := CFP(1, Params{RecycleFraction: -0.5}); err == nil {
+		t.Error("negative fraction must error")
+	}
+	if _, err := CFP(1, Params{DiscardRatePerKg: -1}); err == nil {
+		t.Error("negative discard rate must error")
+	}
+	if _, err := CFP(1, Params{RecycleRatePerKg: -1}); err == nil {
+		t.Error("negative recycle rate must error")
+	}
+}
+
+func TestEstimateDeviceMass(t *testing.T) {
+	m := EstimateDeviceMassKg(units.CM2(3))
+	want := DefaultBaseDeviceMassKg + 3*DefaultDeviceMassPerPackageCM2
+	if math.Abs(m-want) > 1e-12 {
+		t.Errorf("mass %g, want %g", m, want)
+	}
+	if EstimateDeviceMassKg(units.MM2(0)) != DefaultBaseDeviceMassKg {
+		t.Error("zero-area device keeps the base mass")
+	}
+}
+
+func TestDefaultsInsideTable1Bands(t *testing.T) {
+	if DefaultDiscardRate < MinDiscardRate || DefaultDiscardRate > MaxDiscardRate {
+		t.Errorf("default discard rate %g outside Table 1 band", DefaultDiscardRate)
+	}
+	if DefaultRecycleRate < MinRecycleRate || DefaultRecycleRate > MaxRecycleRate {
+		t.Errorf("default recycle rate %g outside Table 1 band", DefaultRecycleRate)
+	}
+}
+
+// Property: net EOL is monotone decreasing in the recycle fraction and
+// linear in device mass.
+func TestQuickMonotoneInDelta(t *testing.T) {
+	f := func(massRaw, d1, d2 float64) bool {
+		mass := math.Mod(math.Abs(massRaw), 10)
+		d1 = math.Mod(math.Abs(d1), 1)
+		d2 = math.Mod(math.Abs(d2), 1)
+		if math.IsNaN(mass + d1 + d2) {
+			return true
+		}
+		lo, hi := math.Min(d1, d2), math.Max(d1, d2)
+		if lo == 0 {
+			lo = 0.01 // zero means default; use DisableRecycling for 0
+		}
+		if hi < lo {
+			hi = lo
+		}
+		a, err1 := CFP(mass, Params{RecycleFraction: lo})
+		b, err2 := CFP(mass, Params{RecycleFraction: hi})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if b.Net() > a.Net()+1e-12 {
+			return false
+		}
+		double, err3 := CFP(2*mass, Params{RecycleFraction: lo})
+		if err3 != nil {
+			return false
+		}
+		return math.Abs(double.Net().Kilograms()-2*a.Net().Kilograms()) <
+			1e-9*math.Max(1, math.Abs(double.Net().Kilograms()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

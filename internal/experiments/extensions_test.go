@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtensionExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{"gpu-extension", "chiplet-ablation", "dse", "planner", "multi-fpga"} {
+		if _, err := Run(id); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestGPUExtensionStory(t *testing.T) {
+	o, err := Run("gpu-extension")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(o.Notes, "\n")
+	// The FPGA must reach its paper crossover; the 5x-power GPU wins
+	// only while application counts stay tiny.
+	if !strings.Contains(joined, "FPGA A2F at 6 applications") {
+		t.Errorf("gpu-extension notes: %v", o.Notes)
+	}
+	if !strings.Contains(joined, "overtake it from 3 applications") {
+		t.Errorf("gpu-extension should report the FPGA-over-GPU takeover: %v", o.Notes)
+	}
+	if len(o.Tables) == 0 || len(o.Tables[0].Rows) != 8 {
+		t.Error("gpu-extension should tabulate 8 application counts")
+	}
+}
+
+func TestChipletAblationHasThreeVariants(t *testing.T) {
+	o, err := Run("chiplet-ablation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Tables) == 0 || len(o.Tables[0].Rows) != 3 {
+		t.Fatalf("chiplet table: %+v", o.Tables)
+	}
+	// Yield must improve with smaller chiplets (column 1 of rows).
+	if o.Tables[0].Rows[0][1] >= o.Tables[0].Rows[2][1] {
+		t.Errorf("4-chiplet yield %s should beat monolithic %s",
+			o.Tables[0].Rows[2][1], o.Tables[0].Rows[0][1])
+	}
+}
+
+func TestDSEExperimentRanksCandidates(t *testing.T) {
+	o, err := Run("dse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Tables) == 0 || len(o.Tables[0].Rows) != 10 {
+		t.Fatalf("dse table should list the top 10: %+v", o.Tables)
+	}
+	if !strings.Contains(strings.Join(o.Notes, " "), "optimum:") {
+		t.Errorf("dse notes: %v", o.Notes)
+	}
+}
+
+func TestPlannerExperimentSplitsPortfolio(t *testing.T) {
+	o, err := Run("planner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(o.Notes, "\n")
+	if !strings.Contains(joined, "optimal mix:") || !strings.Contains(joined, "saves") {
+		t.Errorf("planner notes: %v", o.Notes)
+	}
+	// The flagship product must be on an ASIC; at least one prototype
+	// on the fleet.
+	var sawASIC, sawFPGA bool
+	for _, row := range o.Tables[0].Rows {
+		if row[0] == "flagship-product" && row[1] == "asic" {
+			sawASIC = true
+		}
+		if row[0] == "research-prototype" && row[1] == "fpga" {
+			sawFPGA = true
+		}
+	}
+	if !sawASIC || !sawFPGA {
+		t.Errorf("expected a mixed assignment: %+v", o.Tables[0].Rows)
+	}
+}
+
+func TestFabSitingLever(t *testing.T) {
+	o, err := Run("fab-siting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := o.Tables[0].Rows
+	if len(rows) != 6 {
+		t.Fatalf("siting rows: %d", len(rows))
+	}
+	byRegion := map[string][]string{}
+	for _, r := range rows {
+		byRegion[r[0]] = r
+	}
+	tw, is := byRegion["taiwan"], byRegion["iceland"]
+	if tw == nil || is == nil {
+		t.Fatalf("missing regions: %v", rows)
+	}
+	// A coal-heavy grid must cost more than a hydro grid, and PPAs must
+	// monotonically reduce the footprint (string compare works: same
+	// %.2f width within a row's magnitude).
+	twNoPPA, err1 := strconv.ParseFloat(tw[2], 64)
+	twPPA, err2 := strconv.ParseFloat(tw[4], 64)
+	isNoPPA, err3 := strconv.ParseFloat(is[2], 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		t.Fatalf("unparseable cells: %v", tw)
+	}
+	if twNoPPA <= isNoPPA {
+		t.Errorf("taiwan fab (%g) should exceed iceland fab (%g)", twNoPPA, isNoPPA)
+	}
+	if twPPA >= twNoPPA {
+		t.Errorf("90%% PPA (%g) should cut the no-PPA footprint (%g)", twPPA, twNoPPA)
+	}
+	if !strings.Contains(strings.Join(o.Notes, " "), "gases and materials set the floor") {
+		t.Errorf("siting notes: %v", o.Notes)
+	}
+}
+
+func TestEq2SensitivityIsSmall(t *testing.T) {
+	o, err := Run("eq2-sensitivity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Tables) == 0 || len(o.Tables[0].Rows) != 3 {
+		t.Fatalf("eq2 table: %+v", o.Tables)
+	}
+	if !strings.Contains(strings.Join(o.Notes, " "), "no crossover conclusion changes") {
+		t.Errorf("eq2 notes: %v", o.Notes)
+	}
+	// The strict column must be >= the one-time column (lifetimes are
+	// 2 years, so strict doubles the app-dev share).
+	for _, r := range o.Tables[0].Rows {
+		if r[1] > r[2] {
+			t.Errorf("strict accounting should not reduce the total: %v", r)
+		}
+	}
+}
+
+func TestCarbonSchedulingPrefersSolarWindow(t *testing.T) {
+	o, err := Run("carbon-scheduling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(o.Notes, "\n")
+	if !strings.Contains(joined, "midday (10:00-18:00) window emits") {
+		t.Errorf("scheduling notes: %v", o.Notes)
+	}
+	if len(o.Tables) == 0 || len(o.Tables[0].Rows) != 4 {
+		t.Fatalf("scheduling table: %+v", o.Tables)
+	}
+	// The flat-model column must be identical across windows.
+	flat := o.Tables[0].Rows[0][1]
+	for _, r := range o.Tables[0].Rows {
+		if r[1] != flat {
+			t.Errorf("flat model should be schedule-invariant: %v", o.Tables[0].Rows)
+		}
+	}
+}
+
+func TestMultiFPGAGangGrowsWithTarget(t *testing.T) {
+	o, err := Run("multi-fpga")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := o.Tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("multi-fpga rows: %d", len(rows))
+	}
+	// N_FPGA (column 3) must be non-decreasing and end above 1.
+	last := 0
+	for _, r := range rows {
+		n, err := strconv.Atoi(r[3])
+		if err != nil {
+			t.Fatalf("bad N_FPGA cell %q", r[3])
+		}
+		if n < last {
+			t.Errorf("gang shrank: %v", rows)
+		}
+		last = n
+	}
+	if last < 2 {
+		t.Errorf("largest target should need a gang, got %d", last)
+	}
+}

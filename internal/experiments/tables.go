@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"greenfpga/internal/deploy"
+	"greenfpga/internal/design"
+	"greenfpga/internal/device"
+	"greenfpga/internal/eol"
+	"greenfpga/internal/isoperf"
+	"greenfpga/internal/report"
+)
+
+func init() {
+	register("table1", table1)
+	register("table2", table2)
+	register("table3", table3)
+}
+
+// table1 reproduces Table 1: the input-parameter ranges of the tool,
+// annotated with the defaults this implementation ships.
+func table1() (*Output, error) {
+	t := report.NewTable("Table 1: input parameter ranges to GreenFPGA",
+		"Model", "Parameter", "Range", "Unit", "Default", "Source")
+	t.AddRow("C_materials", "rho (recycled fraction)", "0 - 1", "-", "0", "Apple recycling report / user")
+	t.AddRow("C_EOL", "delta (recycle split)", "0 - 1", "-",
+		fmt.Sprintf("%.2f", eol.DefaultRecycleFraction), "EPA WARM")
+	t.AddRow("C_EOL", "C_recycle", fmt.Sprintf("%.2f - %.2f", eol.MinRecycleRate, eol.MaxRecycleRate),
+		"MTCO2E/ton", fmt.Sprintf("%.2f", eol.DefaultRecycleRate), "EPA WARM")
+	t.AddRow("C_EOL", "C_dis", fmt.Sprintf("%.2f - %.2f", eol.MinDiscardRate, eol.MaxDiscardRate),
+		"MTCO2E/ton", fmt.Sprintf("%.2f", eol.DefaultDiscardRate), "EPA WARM")
+	t.AddRow("C_app-dev", "T_app,FE", "1.5 - 2.5", "months",
+		fmt.Sprintf("%.1f", deploy.DefaultFPGAAppDev.FrontEnd.Months()), "user-defined")
+	t.AddRow("C_app-dev", "T_app,BE", "0.5 - 1.5", "months",
+		fmt.Sprintf("%.1f", deploy.DefaultFPGAAppDev.BackEnd.Months()), "user-defined")
+	t.AddRow("C_des", "E_des", "2 - 7.3", "GWh",
+		fmt.Sprintf("%.1f", design.DefaultOrg.AnnualEnergy.GWh()), "Microchip/NVIDIA/AMD reports")
+	t.AddRow("C_des", "C_src,des", "30 - 700", "gCO2/kWh", "US grid (~367)", "ACT / PPACE")
+	t.AddRow("C_des", "N_emp,des", "20K - 160K", "employees",
+		fmt.Sprintf("%d (org) / %d (project)", design.DefaultOrg.Employees, 300), "sustainability reports")
+	t.AddRow("C_des", "T_proj", "1 - 3", "years", "2", "NVIDIA roadmap cadence")
+
+	return &Output{
+		ID:     "table1",
+		Title:  "Input parameter ranges (paper Table 1)",
+		Tables: []*report.Table{t},
+		Notes: []string{
+			"every range is a user-tunable knob; defaults sit inside the paper's bands",
+		},
+	}, nil
+}
+
+// table2 reproduces Table 2: iso-performance area and power ratios.
+func table2() (*Output, error) {
+	t := report.NewTable("Table 2: FPGA testcases for iso-performance with ASIC [12]",
+		"Testcase", "DNN", "ImgProc", "Crypto")
+	byName := map[string]isoperf.Domain{}
+	for _, d := range isoperf.Domains() {
+		byName[d.Name] = d
+	}
+	t.AddRow("Area (normalized to ASIC)",
+		fmt.Sprintf("%g", byName["DNN"].AreaRatio),
+		fmt.Sprintf("%g", byName["ImgProc"].AreaRatio),
+		fmt.Sprintf("%g", byName["Crypto"].AreaRatio))
+	t.AddRow("Power (normalized to ASIC)",
+		fmt.Sprintf("%g", byName["DNN"].PowerRatio),
+		fmt.Sprintf("%g", byName["ImgProc"].PowerRatio),
+		fmt.Sprintf("%g", byName["Crypto"].PowerRatio))
+
+	cal := report.NewTable("Calibrated ASIC reference testcases (10nm)",
+		"Domain", "ASIC area", "ASIC power", "Duty", "Design staff")
+	for _, d := range isoperf.Domains() {
+		cal.AddRow(d.Name, d.ASICArea.String(), d.ASICPeakPower.String(),
+			fmt.Sprintf("%.0f%%", d.DutyCycle*100), fmt.Sprintf("%.0f", d.DesignEngineers))
+	}
+	return &Output{
+		ID:     "table2",
+		Title:  "Iso-performance testcases (paper Table 2)",
+		Tables: []*report.Table{t, cal},
+	}, nil
+}
+
+// table3 reproduces Table 3: the industry testcases.
+func table3() (*Output, error) {
+	t := report.NewTable("Table 3: summary of industry testcases",
+		"Testcase", "Kind", "Area", "Power", "Tech. node", "Based on")
+	for _, s := range device.Catalog() {
+		t.AddRow(s.Name, string(s.Kind), s.DieArea.String(), s.PeakPower.String(),
+			s.Node.Name, s.BasedOn)
+	}
+	return &Output{
+		ID:     "table3",
+		Title:  "Industry testcases (paper Table 3)",
+		Tables: []*report.Table{t},
+	}, nil
+}

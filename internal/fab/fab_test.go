@@ -1,0 +1,216 @@
+package fab
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/grid"
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+	"greenfpga/internal/yield"
+)
+
+func node10(t *testing.T) technode.Node {
+	t.Helper()
+	n, err := technode.ByName("10nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPerDieComposition(t *testing.T) {
+	n := node10(t)
+	res, err := PerDie(Inputs{Node: n, DieArea: units.MM2(150)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Components must sum to total and all be positive.
+	sum := res.EnergyCarbon + res.GasCarbon + res.MaterialCarbon
+	if math.Abs(sum.Kilograms()-res.Total().Kilograms()) > 1e-12 {
+		t.Errorf("components %v != total %v", sum, res.Total())
+	}
+	if res.EnergyCarbon <= 0 || res.GasCarbon <= 0 || res.MaterialCarbon <= 0 {
+		t.Errorf("non-positive component: %+v", res)
+	}
+	// 150 mm^2 at 10 nm is a few kg CO2e in ACT-class models.
+	if res.Total().Kilograms() < 1 || res.Total().Kilograms() > 10 {
+		t.Errorf("10nm 150mm2 total %v outside 1-10 kg band", res.Total())
+	}
+	if res.Yield <= 0 || res.Yield > 1 {
+		t.Errorf("yield %g out of range", res.Yield)
+	}
+}
+
+func TestPerDieHandValues(t *testing.T) {
+	// Pin the arithmetic with a fully specified input.
+	n := node10(t)
+	mix := grid.Mix{grid.Coal: 1}
+	res, err := PerDie(Inputs{
+		Node:    n,
+		DieArea: units.CM2(1),
+		FabMix:  mix,
+		Yield:   yield.Calculator{Model: yield.Poisson, DefectDensity: 0}, // yield 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Yield != 1 {
+		t.Fatalf("yield: %g", res.Yield)
+	}
+	wantEnergy := 1.475               // kWh for 1 cm^2
+	wantEnergyCarbon := 1.475 * 0.820 // coal
+	if math.Abs(res.FabEnergy.KWh()-wantEnergy) > 1e-9 {
+		t.Errorf("fab energy %v, want %g kWh", res.FabEnergy, wantEnergy)
+	}
+	if math.Abs(res.EnergyCarbon.Kilograms()-wantEnergyCarbon) > 1e-9 {
+		t.Errorf("energy carbon %v, want %g kg", res.EnergyCarbon, wantEnergyCarbon)
+	}
+	if math.Abs(res.GasCarbon.Kilograms()-0.280) > 1e-9 {
+		t.Errorf("gas carbon %v, want 0.28 kg", res.GasCarbon)
+	}
+	if math.Abs(res.MaterialCarbon.Kilograms()-0.500) > 1e-9 {
+		t.Errorf("material carbon %v, want 0.5 kg", res.MaterialCarbon)
+	}
+}
+
+func TestRecycledMaterialsEq5(t *testing.T) {
+	n := node10(t)
+	base, err := PerDie(Inputs{Node: n, DieArea: units.MM2(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := PerDie(Inputs{Node: n, DieArea: units.MM2(100), RecycledMaterialFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := PerDie(Inputs{Node: n, DieArea: units.MM2(100), RecycledMaterialFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 5: rho=1 leaves (1-saving) of the virgin material carbon.
+	wantFull := base.MaterialCarbon.Kilograms() * (1 - n.RecycledMaterialSaving)
+	if math.Abs(full.MaterialCarbon.Kilograms()-wantFull) > 1e-9 {
+		t.Errorf("full recycling %v, want %g kg", full.MaterialCarbon, wantFull)
+	}
+	// rho=0.5 must sit exactly halfway.
+	wantHalf := (base.MaterialCarbon.Kilograms() + wantFull) / 2
+	if math.Abs(half.MaterialCarbon.Kilograms()-wantHalf) > 1e-9 {
+		t.Errorf("half recycling %v, want %g kg", half.MaterialCarbon, wantHalf)
+	}
+	// Recycling must not touch energy or gas components.
+	if half.EnergyCarbon != base.EnergyCarbon || half.GasCarbon != base.GasCarbon {
+		t.Error("recycling fraction leaked into energy/gas components")
+	}
+}
+
+func TestRenewableTargetLowersEnergyCarbon(t *testing.T) {
+	n := node10(t)
+	base, _ := PerDie(Inputs{Node: n, DieArea: units.MM2(100)})
+	green, err := PerDie(Inputs{Node: n, DieArea: units.MM2(100), RenewableTarget: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if green.EnergyCarbon >= base.EnergyCarbon {
+		t.Errorf("renewable fab should cut energy carbon: %v vs %v",
+			green.EnergyCarbon, base.EnergyCarbon)
+	}
+	if green.GasCarbon != base.GasCarbon {
+		t.Error("renewables must not change process-gas carbon")
+	}
+}
+
+func TestYieldAmplification(t *testing.T) {
+	// Doubling area more than doubles footprint because yield drops.
+	n := node10(t)
+	small, _ := PerDie(Inputs{Node: n, DieArea: units.MM2(150)})
+	big, _ := PerDie(Inputs{Node: n, DieArea: units.MM2(300)})
+	ratio := big.Total().Kilograms() / small.Total().Kilograms()
+	if ratio <= 2 {
+		t.Errorf("yield loss should amplify area scaling: ratio %g", ratio)
+	}
+	if ratio > 2.5 {
+		t.Errorf("amplification implausibly high: %g", ratio)
+	}
+}
+
+func TestPerDieErrors(t *testing.T) {
+	n := node10(t)
+	cases := []Inputs{
+		{Node: technode.Node{}, DieArea: units.MM2(100)},
+		{Node: n, DieArea: units.MM2(0)},
+		{Node: n, DieArea: units.MM2(100), RecycledMaterialFraction: -0.1},
+		{Node: n, DieArea: units.MM2(100), RecycledMaterialFraction: 1.1},
+		{Node: n, DieArea: units.MM2(100), RenewableTarget: 2},
+		{Node: n, DieArea: units.MM2(100), FabMix: grid.Mix{"diesel": 1}},
+		{Node: n, DieArea: units.MM2(100), Yield: yield.Calculator{Model: "magic", DefectDensity: 0.1}},
+	}
+	for i, in := range cases {
+		if _, err := PerDie(in); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// Property: manufacturing carbon is monotone in area and in recycled
+// fraction (more recycling never raises the footprint).
+func TestQuickMonotonicity(t *testing.T) {
+	n, err := technode.ByName("7nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a1, a2, r1, r2 float64) bool {
+		a1 = 1 + math.Mod(math.Abs(a1), 800)
+		a2 = 1 + math.Mod(math.Abs(a2), 800)
+		r1 = math.Mod(math.Abs(r1), 1)
+		r2 = math.Mod(math.Abs(r2), 1)
+		if math.IsNaN(a1 + a2 + r1 + r2) {
+			return true
+		}
+		aLo, aHi := math.Min(a1, a2), math.Max(a1, a2)
+		rLo, rHi := math.Min(r1, r2), math.Max(r1, r2)
+		s, err1 := PerDie(Inputs{Node: n, DieArea: units.MM2(aLo), RecycledMaterialFraction: rHi})
+		b, err2 := PerDie(Inputs{Node: n, DieArea: units.MM2(aHi), RecycledMaterialFraction: rHi})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if b.Total() < s.Total() {
+			return false
+		}
+		lessRec, err3 := PerDie(Inputs{Node: n, DieArea: units.MM2(aHi), RecycledMaterialFraction: rLo})
+		if err3 != nil {
+			return false
+		}
+		return lessRec.Total() >= b.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: leading-edge nodes cost at least as much carbon per die of
+// identical area as mature nodes.
+func TestQuickNodeOrdering(t *testing.T) {
+	nodes := technode.List()
+	f := func(areaRaw float64, i, j uint8) bool {
+		area := 10 + math.Mod(math.Abs(areaRaw), 400)
+		if math.IsNaN(area) {
+			return true
+		}
+		a := nodes[int(i)%len(nodes)]
+		b := nodes[int(j)%len(nodes)]
+		if a.FeatureNM < b.FeatureNM {
+			a, b = b, a // a mature, b advanced
+		}
+		ra, err1 := PerDie(Inputs{Node: a, DieArea: units.MM2(area)})
+		rb, err2 := PerDie(Inputs{Node: b, DieArea: units.MM2(area)})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rb.Total() >= ra.Total()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package fab
+
+import (
+	"fmt"
+
+	"greenfpga/internal/units"
+	"greenfpga/internal/yield"
+)
+
+// WaferResult is the wafer-level view of the manufacturing model: the
+// per-die model (PerDie) charges exactly die-area/yield of wafer
+// processing, while real wafers also waste edge silicon and saw
+// streets. The gap quantifies the geometry overhead.
+type WaferResult struct {
+	// GrossDice is the whole-die count per wafer.
+	GrossDice int
+	// GoodDice is the expected yielded-die count per wafer.
+	GoodDice float64
+	// PerWafer is the full wafer's processing carbon.
+	PerWafer units.Mass
+	// PerGoodDie is PerWafer amortized over the good dice.
+	PerGoodDie units.Mass
+	// WaferEnergy is the full wafer's fab electricity.
+	WaferEnergy units.Energy
+	// Yield is the die yield applied.
+	Yield float64
+}
+
+// PerWafer evaluates the manufacturing model for whole wafers of the
+// given geometry.
+func PerWafer(in Inputs, w yield.Wafer) (WaferResult, error) {
+	// Validate and resolve shared knobs through the per-die path.
+	perDie, err := PerDie(in)
+	if err != nil {
+		return WaferResult{}, err
+	}
+	gross, err := w.DiesPerWafer(in.DieArea)
+	if err != nil {
+		return WaferResult{}, err
+	}
+	if gross == 0 {
+		return WaferResult{}, fmt.Errorf("fab: die %v does not fit the %gmm wafer",
+			in.DieArea, w.DiameterMM)
+	}
+	good := float64(gross) * perDie.Yield
+	if good <= 0 {
+		return WaferResult{}, fmt.Errorf("fab: no good dice expected per wafer")
+	}
+
+	waferArea := units.MM2(3.14159265358979 / 4 *
+		(w.DiameterMM - 2*w.EdgeExclusionMM) * (w.DiameterMM - 2*w.EdgeExclusionMM))
+	// Per-area carbon at yield 1 (the whole wafer is processed once).
+	rho := in.RecycledMaterialFraction
+	mpaEff := in.Node.MPANew.KgPerCM2() *
+		(rho*(1-in.Node.RecycledMaterialSaving) + (1 - rho))
+	energy := in.Node.EPA.Times(waferArea)
+	perWafer := energy.Carbon(perDie.FabIntensity) +
+		in.Node.GPA.Times(waferArea) +
+		units.KgPerCM2(mpaEff).Times(waferArea)
+
+	return WaferResult{
+		GrossDice:   gross,
+		GoodDice:    good,
+		PerWafer:    perWafer,
+		PerGoodDie:  perWafer.Scale(1 / good),
+		WaferEnergy: energy,
+		Yield:       perDie.Yield,
+	}, nil
+}

@@ -1,0 +1,90 @@
+package fab
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+	"greenfpga/internal/yield"
+)
+
+func TestPerWaferBasics(t *testing.T) {
+	n := node10(t)
+	in := Inputs{Node: n, DieArea: units.MM2(150)}
+	res, err := PerWafer(in, yield.Wafer300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GrossDice <= 0 || res.GoodDice <= 0 || res.GoodDice > float64(res.GrossDice) {
+		t.Errorf("dice counts: gross %d good %g", res.GrossDice, res.GoodDice)
+	}
+	if res.PerWafer <= 0 || res.WaferEnergy <= 0 {
+		t.Errorf("wafer totals: %v %v", res.PerWafer, res.WaferEnergy)
+	}
+	// Per-good-die carbon must sit above the idealized per-die model:
+	// whole wafers waste edge silicon and saw streets.
+	die, _ := PerDie(in)
+	if res.PerGoodDie.Kilograms() <= die.Total().Kilograms() {
+		t.Errorf("wafer-amortized %v should exceed idealized %v",
+			res.PerGoodDie, die.Total())
+	}
+	// But not absurdly so (within 25% for a 150mm2 die on 300mm).
+	if res.PerGoodDie.Kilograms() > 1.25*die.Total().Kilograms() {
+		t.Errorf("geometry overhead implausible: %v vs %v", res.PerGoodDie, die.Total())
+	}
+}
+
+func TestPerWaferConservation(t *testing.T) {
+	// PerGoodDie x GoodDice recovers the wafer total exactly.
+	n := node10(t)
+	res, err := PerWafer(Inputs{Node: n, DieArea: units.MM2(300)}, yield.Wafer300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := res.PerGoodDie.Scale(res.GoodDice)
+	if math.Abs(back.Kilograms()-res.PerWafer.Kilograms()) > 1e-9 {
+		t.Errorf("conservation: %v vs %v", back, res.PerWafer)
+	}
+}
+
+func TestPerWaferErrors(t *testing.T) {
+	n := node10(t)
+	if _, err := PerWafer(Inputs{Node: n, DieArea: units.MM2(0)}, yield.Wafer300); err == nil {
+		t.Error("bad die must error")
+	}
+	// A die larger than the wafer cannot be built.
+	if _, err := PerWafer(Inputs{Node: n, DieArea: units.CM2(700)}, yield.Wafer300); err == nil {
+		t.Error("oversized die must error")
+	}
+	if _, err := PerWafer(Inputs{Node: n, DieArea: units.MM2(100)},
+		yield.Wafer{DiameterMM: 0}); err == nil {
+		t.Error("bad wafer must error")
+	}
+}
+
+// Property: wafer-amortized per-die carbon always upper-bounds the
+// idealized per-die model, for any die size that fits.
+func TestQuickWaferUpperBound(t *testing.T) {
+	n, err := technode.ByName("7nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw float64) bool {
+		area := 20 + math.Mod(math.Abs(raw), 600)
+		if math.IsNaN(area) {
+			return true
+		}
+		in := Inputs{Node: n, DieArea: units.MM2(area)}
+		w, err1 := PerWafer(in, yield.Wafer300)
+		d, err2 := PerDie(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return w.PerGoodDie.Kilograms() >= d.Total().Kilograms()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

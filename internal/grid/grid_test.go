@@ -1,0 +1,225 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceIntensities(t *testing.T) {
+	coal, err := Intensity(Coal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wind, err := Intensity(Wind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coal.GramsPerKWh() != 820 || wind.GramsPerKWh() != 11 {
+		t.Errorf("coal=%v wind=%v", coal, wind)
+	}
+	if _, err := Intensity("plutonium"); err == nil {
+		t.Error("expected error for unknown source")
+	}
+	// All sources bracket the paper's Table 1 range of 11-820 g/kWh.
+	for _, s := range Sources() {
+		ci, err := Intensity(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.GramsPerKWh() < 10 || ci.GramsPerKWh() > 830 {
+			t.Errorf("%s intensity %v outside plausible band", s, ci)
+		}
+	}
+}
+
+func TestRenewableClassification(t *testing.T) {
+	for _, s := range []Source{Solar, Wind, Hydro, Nuclear, Geothermal} {
+		if !Renewable(s) {
+			t.Errorf("%s should be renewable", s)
+		}
+	}
+	for _, s := range []Source{Coal, Gas, Oil, Biomass} {
+		if Renewable(s) {
+			t.Errorf("%s should not be renewable", s)
+		}
+	}
+}
+
+func TestMixNormalize(t *testing.T) {
+	m := Mix{Coal: 2, Gas: 2}
+	n, err := m.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n[Coal] != 0.5 || n[Gas] != 0.5 {
+		t.Errorf("normalize: %v", n)
+	}
+	if _, err := (Mix{}).Normalize(); err == nil {
+		t.Error("empty mix must error")
+	}
+	if _, err := (Mix{Coal: -1, Gas: 2}).Normalize(); err == nil {
+		t.Error("negative share must error")
+	}
+	if _, err := (Mix{"diesel": 1}).Normalize(); err == nil {
+		t.Error("unknown source must error")
+	}
+	if _, err := (Mix{Coal: 0}).Normalize(); err == nil {
+		t.Error("zero-sum mix must error")
+	}
+}
+
+func TestMixIntensity(t *testing.T) {
+	m := Mix{Coal: 0.5, Wind: 0.5}
+	ci, err := m.Intensity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (820.0 + 11.0) / 2
+	if math.Abs(ci.GramsPerKWh()-want) > 1e-9 {
+		t.Errorf("intensity %v, want %g g/kWh", ci, want)
+	}
+}
+
+func TestRenewableFraction(t *testing.T) {
+	m := Mix{Coal: 0.6, Wind: 0.3, Solar: 0.1}
+	f, err := m.RenewableFraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-0.4) > 1e-12 {
+		t.Errorf("renewable fraction %g, want 0.4", f)
+	}
+}
+
+func TestWithRenewables(t *testing.T) {
+	m := Mix{Coal: 0.8, Wind: 0.2}
+	up, err := m.WithRenewables(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := up.RenewableFraction()
+	if math.Abs(f-0.6) > 1e-9 {
+		t.Errorf("target fraction %g, want 0.6", f)
+	}
+	// Raising renewables must lower intensity.
+	before, _ := m.Intensity()
+	after, _ := up.Intensity()
+	if after >= before {
+		t.Errorf("intensity should drop: before %v after %v", before, after)
+	}
+	// Already-met targets leave the mix unchanged.
+	same, err := m.WithRenewables(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, _ := same.RenewableFraction()
+	if math.Abs(sf-0.2) > 1e-9 {
+		t.Errorf("fraction changed when target already met: %g", sf)
+	}
+	// All-fossil mixes get a wind+solar blend.
+	fossil := Mix{Coal: 1}
+	green, err := fossil.WithRenewables(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, _ := green.RenewableFraction()
+	if math.Abs(gf-0.5) > 1e-9 {
+		t.Errorf("fossil mix fraction %g, want 0.5", gf)
+	}
+	if _, err := m.WithRenewables(1.5); err == nil {
+		t.Error("target > 1 must error")
+	}
+}
+
+func TestRegions(t *testing.T) {
+	if len(Regions()) < 5 {
+		t.Fatalf("expected several preset regions, got %d", len(Regions()))
+	}
+	for _, r := range Regions() {
+		m, err := ByRegion(r)
+		if err != nil {
+			t.Fatalf("%s: %v", r, err)
+		}
+		ci, err := m.Intensity()
+		if err != nil {
+			t.Fatalf("%s intensity: %v", r, err)
+		}
+		if ci.GramsPerKWh() <= 0 || ci.GramsPerKWh() > 830 {
+			t.Errorf("%s intensity %v implausible", r, ci)
+		}
+	}
+	tw, _ := ByRegion(RegionTaiwan)
+	is, _ := ByRegion(RegionIceland)
+	twi, _ := tw.Intensity()
+	isi, _ := is.Intensity()
+	if twi <= isi {
+		t.Errorf("taiwan (%v) should be dirtier than iceland (%v)", twi, isi)
+	}
+	if _, err := ByRegion("atlantis"); err == nil {
+		t.Error("unknown region must error")
+	}
+}
+
+func TestMixString(t *testing.T) {
+	s := Mix{Wind: 0.25, Coal: 0.75}.String()
+	if s != "coal:75% wind:25%" {
+		t.Errorf("String: %q", s)
+	}
+}
+
+// Property: a normalized mix's intensity is a convex combination, so it
+// must lie between the min and max source intensities in the mix.
+func TestQuickMixIntensityBounds(t *testing.T) {
+	srcs := Sources()
+	f := func(shares [4]uint8, idx [4]uint8) bool {
+		m := Mix{}
+		for i := range shares {
+			s := srcs[int(idx[i])%len(srcs)]
+			m[s] += float64(shares[i])
+		}
+		n, err := m.Normalize()
+		if err != nil {
+			return true // degenerate all-zero draw
+		}
+		ci, err := n.Intensity()
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for s := range n {
+			v := sourceIntensity[s].KgPerKWh()
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		return ci.KgPerKWh() >= lo-1e-12 && ci.KgPerKWh() <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WithRenewables never increases carbon intensity.
+func TestQuickWithRenewablesMonotone(t *testing.T) {
+	f := func(coalShare, gasShare, windShare uint8, targetPct uint8) bool {
+		m := Mix{
+			Coal: float64(coalShare),
+			Gas:  float64(gasShare),
+			Wind: float64(windShare),
+		}
+		n, err := m.Normalize()
+		if err != nil {
+			return true
+		}
+		target := float64(targetPct%101) / 100
+		up, err := n.WithRenewables(target)
+		if err != nil {
+			return false
+		}
+		before, _ := n.Intensity()
+		after, _ := up.Intensity()
+		return after.KgPerKWh() <= before.KgPerKWh()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package grid
+
+import (
+	"fmt"
+
+	"greenfpga/internal/units"
+)
+
+// IntensityTrace is a 24-hour carbon-intensity profile of a grid.
+// Solar-heavy grids dip at midday; evening peaks lean on gas and coal.
+// Pairing an intensity trace with an hourly utilization trace captures
+// carbon-aware scheduling: the same energy emits less when the work
+// runs in the clean hours.
+type IntensityTrace []units.CarbonIntensity
+
+// Validate checks the trace.
+func (it IntensityTrace) Validate() error {
+	if len(it) != 24 {
+		return fmt.Errorf("grid: intensity trace needs 24 hours, got %d", len(it))
+	}
+	for h, ci := range it {
+		if ci < 0 {
+			return fmt.Errorf("grid: hour %d has negative intensity %v", h, ci)
+		}
+	}
+	return nil
+}
+
+// Mean is the time-averaged intensity.
+func (it IntensityTrace) Mean() (units.CarbonIntensity, error) {
+	if err := it.Validate(); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, ci := range it {
+		sum += ci.KgPerKWh()
+	}
+	return units.KgPerKWh(sum / 24), nil
+}
+
+// FlatIntensity builds a constant 24-hour trace.
+func FlatIntensity(ci units.CarbonIntensity) IntensityTrace {
+	it := make(IntensityTrace, 24)
+	for h := range it {
+		it[h] = ci
+	}
+	return it
+}
+
+// SolarDay builds a solar-influenced day: the base intensity dips by
+// middayDip (0..1) across 10:00-16:00 with half-depth shoulders at
+// 08:00-10:00 and 16:00-18:00, and rises by middayDip/2 across the
+// evening peak (18:00-22:00) when gas fills the solar gap.
+func SolarDay(base units.CarbonIntensity, middayDip float64) (IntensityTrace, error) {
+	if middayDip < 0 || middayDip > 1 {
+		return nil, fmt.Errorf("grid: midday dip %g outside [0,1]", middayDip)
+	}
+	it := make(IntensityTrace, 24)
+	for h := range it {
+		scale := 1.0
+		switch {
+		case h >= 10 && h < 16:
+			scale = 1 - middayDip
+		case (h >= 8 && h < 10) || (h >= 16 && h < 18):
+			scale = 1 - middayDip/2
+		case h >= 18 && h < 22:
+			scale = 1 + middayDip/2
+		}
+		it[h] = base.Scale(scale)
+	}
+	return it, nil
+}

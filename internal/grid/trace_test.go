@@ -1,0 +1,73 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"greenfpga/internal/units"
+)
+
+func TestIntensityTraceValidate(t *testing.T) {
+	if err := FlatIntensity(units.GramsPerKWh(400)).Validate(); err != nil {
+		t.Errorf("flat trace: %v", err)
+	}
+	if (IntensityTrace{units.GramsPerKWh(400)}).Validate() == nil {
+		t.Error("short trace must error")
+	}
+	bad := FlatIntensity(units.GramsPerKWh(400))
+	bad[5] = units.KgPerKWh(-1)
+	if bad.Validate() == nil {
+		t.Error("negative intensity must error")
+	}
+}
+
+func TestIntensityMean(t *testing.T) {
+	it := FlatIntensity(units.GramsPerKWh(500))
+	m, err := it.Mean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.GramsPerKWh()-500) > 1e-9 {
+		t.Errorf("mean %v", m)
+	}
+	if _, err := (IntensityTrace{}).Mean(); err == nil {
+		t.Error("invalid trace must error")
+	}
+}
+
+func TestSolarDayShape(t *testing.T) {
+	base := units.GramsPerKWh(400)
+	it, err := SolarDay(base, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Midday dips to half, night stays at base, evening peaks above.
+	if math.Abs(it[12].GramsPerKWh()-200) > 1e-9 {
+		t.Errorf("midday %v, want 200 g/kWh", it[12])
+	}
+	if math.Abs(it[2].GramsPerKWh()-400) > 1e-9 {
+		t.Errorf("night %v, want 400 g/kWh", it[2])
+	}
+	if math.Abs(it[20].GramsPerKWh()-500) > 1e-9 {
+		t.Errorf("evening peak %v, want 500 g/kWh", it[20])
+	}
+	if math.Abs(it[9].GramsPerKWh()-300) > 1e-9 {
+		t.Errorf("shoulder %v, want 300 g/kWh", it[9])
+	}
+	if _, err := SolarDay(base, 1.5); err == nil {
+		t.Error("dip > 1 must error")
+	}
+	if _, err := SolarDay(base, -0.1); err == nil {
+		t.Error("negative dip must error")
+	}
+	// Zero dip reduces to the flat trace.
+	flat, _ := SolarDay(base, 0)
+	for h := range flat {
+		if flat[h] != base {
+			t.Fatalf("zero-dip hour %d: %v", h, flat[h])
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package isoperf defines the iso-performance FPGA:ASIC testcases of
+// the paper's Table 2, taken from Tan's system-level tradeoff study
+// [12]: for each application domain, the silicon-area and power ratios
+// an FPGA needs to match ASIC performance.
+//
+//	Domain    Area (norm. to ASIC)   Power (norm. to ASIC)
+//	DNN       4                      3
+//	ImgProc   7.42                   1.25
+//	Crypto    1                      1
+//
+// Each domain carries a calibrated ASIC reference testcase (10 nm die
+// area, peak power, duty cycle, design staffing) chosen so the paper's
+// §4.2 crossover observations are reproduced; EXPERIMENTS.md documents
+// the calibration. Pair() builds the core.Pair that the experiments
+// sweep.
+package isoperf
+
+import (
+	"fmt"
+	"sort"
+
+	"greenfpga/internal/core"
+	"greenfpga/internal/device"
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+	"greenfpga/internal/yield"
+)
+
+// Domain is one iso-performance testcase.
+type Domain struct {
+	// Name is the domain label (DNN, ImgProc, Crypto).
+	Name string
+	// AreaRatio is Table 2's FPGA:ASIC silicon ratio.
+	AreaRatio float64
+	// PowerRatio is Table 2's FPGA:ASIC power ratio.
+	PowerRatio float64
+	// ASICArea is the reference ASIC die area at 10 nm.
+	ASICArea units.Area
+	// ASICPeakPower is the reference ASIC TDP.
+	ASICPeakPower units.Power
+	// DutyCycle is the deployment utilization for both platforms.
+	DutyCycle float64
+	// DesignEngineers staffs the design project of either platform
+	// (Eq. 4); the FPGA fabric's regularity makes its design effort
+	// comparable to the domain ASIC's despite the larger die.
+	DesignEngineers float64
+}
+
+// The calibrated domain testcases. Areas, powers, duty cycles and
+// staffing land the model on the paper's reported crossovers:
+// DNN A2F at 6 applications and F2A at ~1.6 years; ImgProc A2F at 12
+// applications and F2A at ~300 K units with ASICs always winning the
+// lifetime sweep; Crypto favouring FPGAs from the second application.
+var domains = []Domain{
+	{
+		Name:            "DNN",
+		AreaRatio:       4,
+		PowerRatio:      3,
+		ASICArea:        units.MM2(150),
+		ASICPeakPower:   units.Watts(1.05),
+		DutyCycle:       0.10,
+		DesignEngineers: 369,
+	},
+	{
+		Name:            "ImgProc",
+		AreaRatio:       7.42,
+		PowerRatio:      1.25,
+		ASICArea:        units.MM2(81),
+		ASICPeakPower:   units.Watts(2.4),
+		DutyCycle:       0.30,
+		DesignEngineers: 380,
+	},
+	{
+		Name:            "Crypto",
+		AreaRatio:       1,
+		PowerRatio:      1,
+		ASICArea:        units.MM2(150),
+		ASICPeakPower:   units.Watts(1.0),
+		DutyCycle:       0.20,
+		DesignEngineers: 369,
+	},
+}
+
+// Domains lists the testcases in Table 2 order (DNN, ImgProc, Crypto).
+func Domains() []Domain {
+	out := make([]Domain, len(domains))
+	copy(out, domains)
+	return out
+}
+
+// ByName looks up a domain case-sensitively.
+func ByName(name string) (Domain, error) {
+	for _, d := range domains {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	names := make([]string, len(domains))
+	for i, d := range domains {
+		names[i] = d.Name
+	}
+	sort.Strings(names)
+	return Domain{}, fmt.Errorf("isoperf: unknown domain %q (known: %v)", name, names)
+}
+
+// Validate checks the domain parameters.
+func (d Domain) Validate() error {
+	switch {
+	case d.Name == "":
+		return fmt.Errorf("isoperf: unnamed domain")
+	case d.AreaRatio < 1:
+		return fmt.Errorf("isoperf: domain %s: area ratio %g must be >= 1", d.Name, d.AreaRatio)
+	case d.PowerRatio <= 0:
+		return fmt.Errorf("isoperf: domain %s: power ratio %g must be positive", d.Name, d.PowerRatio)
+	case d.ASICArea.MM2() <= 0:
+		return fmt.Errorf("isoperf: domain %s: ASIC area must be positive", d.Name)
+	case d.ASICPeakPower.Watts() <= 0:
+		return fmt.Errorf("isoperf: domain %s: ASIC power must be positive", d.Name)
+	case d.DutyCycle <= 0 || d.DutyCycle > 1:
+		return fmt.Errorf("isoperf: domain %s: duty cycle %g outside (0,1]", d.Name, d.DutyCycle)
+	case d.DesignEngineers <= 0:
+		return fmt.Errorf("isoperf: domain %s: design staffing must be positive", d.Name)
+	}
+	return nil
+}
+
+// Pair builds the iso-performance platform pair for the domain. The
+// FPGA side carries AreaRatio times the ASIC silicon and PowerRatio
+// times its power; both sides share the ASIC's die yield so the
+// embodied ratio equals Table 2's silicon ratio exactly (the paper's
+// reading: equivalent FPGA capacity comes from devices of comparable
+// yield, not one giant low-yield die).
+func (d Domain) Pair() (core.Pair, error) {
+	if err := d.Validate(); err != nil {
+		return core.Pair{}, err
+	}
+	node, err := technode.ByName("10nm")
+	if err != nil {
+		return core.Pair{}, err
+	}
+	asicYield, err := (yield.Calculator{
+		Model:          yield.Murphy,
+		DefectDensity:  node.DefectDensity,
+		CriticalLayers: node.CriticalLayers,
+	}).DieYield(d.ASICArea)
+	if err != nil {
+		return core.Pair{}, err
+	}
+
+	asicSpec := device.Spec{
+		Name:      d.Name + "-ASIC",
+		Kind:      device.ASIC,
+		Node:      node,
+		DieArea:   d.ASICArea,
+		PeakPower: d.ASICPeakPower,
+		BasedOn:   "iso-performance reference [12]",
+	}
+	fpgaArea := d.ASICArea.Scale(d.AreaRatio)
+	fpgaSpec := device.Spec{
+		Name:          d.Name + "-FPGA",
+		Kind:          device.FPGA,
+		Node:          node,
+		DieArea:       fpgaArea,
+		PeakPower:     d.ASICPeakPower.Scale(d.PowerRatio),
+		CapacityGates: node.GatesForArea(fpgaArea) / d.AreaRatio,
+		BasedOn:       "iso-performance equivalent [12]",
+	}
+
+	common := core.Platform{
+		YieldOverride:   asicYield,
+		DutyCycle:       d.DutyCycle,
+		DesignEngineers: d.DesignEngineers,
+		DesignDuration:  units.YearsOf(2),
+	}
+	asic := common
+	asic.Spec = asicSpec
+	fpga := common
+	fpga.Spec = fpgaSpec
+	return core.Pair{FPGA: fpga, ASIC: asic}, nil
+}
+
+// ReferenceVolume is the N_vol = 1e6 units used throughout §4.2.
+const ReferenceVolume = 1e6
+
+// ReferenceLifetime is the T_i = 2 years used throughout §4.2.
+func ReferenceLifetime() units.Years { return units.YearsOf(2) }
+
+// ReferenceNumApps is the N_app = 5 used throughout §4.2.
+const ReferenceNumApps = 5

@@ -1,0 +1,284 @@
+// Package lifecycle simulates cumulative carbon over wall-clock time:
+// the paper's experiment E (Fig. 9), where an FPGA fleet with a finite
+// chip lifetime must be remanufactured every 15 years (visible jumps in
+// cumulative CFP) while ASICs are remanufactured at every application
+// change regardless.
+//
+// The simulation is event-based: embodied carbon lands as step events
+// (design at time zero, hardware at fleet builds, application
+// development at application starts) and operational carbon accrues
+// continuously between events.
+package lifecycle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"greenfpga/internal/core"
+	"greenfpga/internal/device"
+	"greenfpga/internal/units"
+)
+
+// EventKind labels a step event on the timeline.
+type EventKind string
+
+// Event kinds.
+const (
+	// EventDesign is the one-time (per hardware design) design CFP.
+	EventDesign EventKind = "design"
+	// EventHardware is a fleet manufacture (manufacturing + packaging
+	// + end-of-life for every device built).
+	EventHardware EventKind = "hardware"
+	// EventAppDev is an application's development + reconfiguration.
+	EventAppDev EventKind = "app-dev"
+)
+
+// Event is one step emission on the timeline.
+type Event struct {
+	// Time is when the emission lands.
+	Time units.Years
+	// Kind labels the emission.
+	Kind EventKind
+	// Carbon is the step amount.
+	Carbon units.Mass
+	// Note describes the event for reports.
+	Note string
+}
+
+// Config describes a Fig. 9-style run.
+type Config struct {
+	// Platform is the hardware under study; its ChipLifetime drives
+	// the remanufacture jumps.
+	Platform core.Platform
+	// AppLifetime is each application's T_i; applications run back to
+	// back from time zero.
+	AppLifetime units.Years
+	// Horizon is the simulated wall-clock span.
+	Horizon units.Years
+	// Volume is N_vol deployment units.
+	Volume float64
+	// SizeGates is the per-application size (zero: fits one device).
+	SizeGates float64
+	// Samples is the number of curve points (default 200).
+	Samples int
+}
+
+// Point is one sample of the cumulative curve.
+type Point struct {
+	// Time is the sample position.
+	Time units.Years
+	// Cumulative is the total CFP emitted up to Time.
+	Cumulative units.Mass
+}
+
+// Result is the full simulation output.
+type Result struct {
+	// Platform names the simulated hardware.
+	Platform string
+	// Events lists every step emission in time order.
+	Events []Event
+	// OperationRate is the continuous emission rate (per year) while
+	// deployed.
+	OperationRate units.Mass
+	// Curve is the sampled cumulative CFP.
+	Curve []Point
+}
+
+// Total is the cumulative CFP at the horizon.
+func (r Result) Total() units.Mass {
+	if len(r.Curve) == 0 {
+		return 0
+	}
+	return r.Curve[len(r.Curve)-1].Cumulative
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Platform.Validate(); err != nil {
+		return err
+	}
+	if c.AppLifetime.Years() <= 0 {
+		return fmt.Errorf("lifecycle: app lifetime must be positive, got %v", c.AppLifetime)
+	}
+	if c.Horizon.Years() <= 0 {
+		return fmt.Errorf("lifecycle: horizon must be positive, got %v", c.Horizon)
+	}
+	if c.Volume <= 0 {
+		return fmt.Errorf("lifecycle: volume must be positive, got %g", c.Volume)
+	}
+	if c.Samples < 0 {
+		return fmt.Errorf("lifecycle: negative sample count %d", c.Samples)
+	}
+	return nil
+}
+
+// Run simulates the timeline.
+func Run(c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	p := c.Platform
+	dc, err := p.DeviceCost()
+	if err != nil {
+		return Result{}, err
+	}
+	des, err := p.DesignCFP()
+	if err != nil {
+		return Result{}, err
+	}
+	opAnnual, err := p.AnnualOperationCarbon()
+	if err != nil {
+		return Result{}, err
+	}
+	ad := p.AppDevProfile()
+	perApp, err := ad.PerApplication()
+	if err != nil {
+		return Result{}, err
+	}
+	perCfg, err := ad.PerConfiguration()
+	if err != nil {
+		return Result{}, err
+	}
+	nDev, err := p.Spec.Required(c.SizeGates)
+	if err != nil {
+		return Result{}, err
+	}
+	devices := c.Volume * float64(nDev)
+	perFleet := dc.Total().Scale(devices)
+
+	res := Result{
+		Platform:      p.Spec.Name,
+		OperationRate: opAnnual.Scale(devices),
+	}
+
+	horizon := c.Horizon.Years()
+	appLife := c.AppLifetime.Years()
+	nApps := int(math.Ceil(horizon / appLife))
+
+	if p.Spec.Kind == device.FPGA {
+		// One design; hardware at t=0 and at chip-lifetime multiples;
+		// app-dev + full-fleet reconfiguration at each app start.
+		res.Events = append(res.Events,
+			Event{Time: 0, Kind: EventDesign, Carbon: des, Note: "FPGA design"},
+		)
+		life := p.ChipLifetime.Years()
+		gen := 0
+		for t := 0.0; t < horizon; {
+			gen++
+			res.Events = append(res.Events, Event{
+				Time: units.YearsOf(t), Kind: EventHardware, Carbon: perFleet,
+				Note: fmt.Sprintf("fleet generation %d (%g devices)", gen, devices),
+			})
+			if life <= 0 {
+				break
+			}
+			t += life
+		}
+		for k := 0; k < nApps; k++ {
+			res.Events = append(res.Events, Event{
+				Time: units.YearsOf(float64(k) * appLife), Kind: EventAppDev,
+				Carbon: perApp + perCfg.Scale(devices),
+				Note:   fmt.Sprintf("application %d development + reconfiguration", k+1),
+			})
+		}
+	} else {
+		// ASICs: every application change pays design + hardware;
+		// chips never outlive the application here (the paper's
+		// setting), unless the chip lifetime is shorter.
+		for k := 0; k < nApps; k++ {
+			start := float64(k) * appLife
+			res.Events = append(res.Events, Event{
+				Time: units.YearsOf(start), Kind: EventDesign, Carbon: des,
+				Note: fmt.Sprintf("ASIC design for application %d", k+1),
+			})
+			gens := 1
+			if p.ChipLifetime > 0 && appLife > p.ChipLifetime.Years() {
+				gens = int(math.Ceil(appLife / p.ChipLifetime.Years()))
+			}
+			for g := 0; g < gens; g++ {
+				res.Events = append(res.Events, Event{
+					Time: units.YearsOf(start + float64(g)*p.ChipLifetime.Years()),
+					Kind: EventHardware, Carbon: perFleet,
+					Note: fmt.Sprintf("ASIC volume for application %d", k+1),
+				})
+			}
+			if perApp > 0 || perCfg > 0 {
+				res.Events = append(res.Events, Event{
+					Time: units.YearsOf(start), Kind: EventAppDev,
+					Carbon: perApp + perCfg.Scale(devices),
+					Note:   fmt.Sprintf("application %d bring-up", k+1),
+				})
+			}
+		}
+	}
+	sort.SliceStable(res.Events, func(i, j int) bool {
+		return res.Events[i].Time < res.Events[j].Time
+	})
+
+	samples := c.Samples
+	if samples == 0 {
+		samples = 200
+	}
+	res.Curve = sampleCurve(res.Events, res.OperationRate, horizon, samples)
+	return res, nil
+}
+
+// CrossoverTimes locates the times where two cumulative curves cross —
+// the paper's experiment E observes the ImgProc domain gaining multiple
+// A2F and F2A points as FPGA fleet rebuys land. Both curves must share
+// their sample times; crossings are linearly interpolated between
+// samples, and a crossing exactly on a sample is reported once.
+func CrossoverTimes(a, b []Point) ([]units.Years, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("lifecycle: curves have %d and %d samples", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return nil, fmt.Errorf("lifecycle: need at least two samples, got %d", len(a))
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time {
+			return nil, fmt.Errorf("lifecycle: sample %d times differ (%v vs %v)",
+				i, a[i].Time, b[i].Time)
+		}
+	}
+	var out []units.Years
+	for i := 1; i < len(a); i++ {
+		d0 := a[i-1].Cumulative.Kilograms() - b[i-1].Cumulative.Kilograms()
+		d1 := a[i].Cumulative.Kilograms() - b[i].Cumulative.Kilograms()
+		switch {
+		case d0 == 0 && d1 == 0:
+			// Identical over the span; not a crossing.
+		case d1 == 0:
+			// Lands exactly on the next sample; the next iteration's
+			// d0 == 0 avoids double counting.
+			out = append(out, a[i].Time)
+		case d0 == 0:
+			// Counted by the previous iteration (or the curves started
+			// equal, which is not a crossing).
+		case (d0 > 0) != (d1 > 0):
+			t := d0 / (d0 - d1)
+			t0, t1 := a[i-1].Time.Years(), a[i].Time.Years()
+			out = append(out, units.YearsOf(t0+t*(t1-t0)))
+		}
+	}
+	return out, nil
+}
+
+// sampleCurve evaluates the cumulative CFP at evenly spaced times,
+// always including the horizon endpoint.
+func sampleCurve(events []Event, opRate units.Mass, horizon float64, samples int) []Point {
+	pts := make([]Point, 0, samples+1)
+	for i := 0; i <= samples; i++ {
+		t := horizon * float64(i) / float64(samples)
+		var c units.Mass
+		for _, e := range events {
+			if e.Time.Years() <= t {
+				c += e.Carbon
+			}
+		}
+		c += opRate.Scale(t)
+		pts = append(pts, Point{Time: units.YearsOf(t), Cumulative: c})
+	}
+	return pts
+}

@@ -1,0 +1,275 @@
+package lifecycle
+
+import (
+	"math"
+	"testing"
+
+	"greenfpga/internal/core"
+	"greenfpga/internal/device"
+	"greenfpga/internal/technode"
+	"greenfpga/internal/units"
+)
+
+func platforms(t *testing.T) (fpga, asic core.Platform) {
+	t.Helper()
+	node, err := technode.ByName("10nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asic = core.Platform{
+		Spec: device.Spec{
+			Name: "lc-asic", Kind: device.ASIC, Node: node,
+			DieArea: units.MM2(100), PeakPower: units.Watts(5),
+		},
+		DutyCycle: 0.3,
+	}
+	fpga = core.Platform{
+		Spec: device.Spec{
+			Name: "lc-fpga", Kind: device.FPGA, Node: node,
+			DieArea: units.MM2(200), PeakPower: units.Watts(10),
+			CapacityGates: 1e9,
+		},
+		DutyCycle:    0.3,
+		ChipLifetime: units.YearsOf(15),
+	}
+	return fpga, asic
+}
+
+func TestFPGAJumpsAtChipLifetime(t *testing.T) {
+	fpga, _ := platforms(t)
+	res, err := Run(Config{
+		Platform:    fpga,
+		AppLifetime: units.YearsOf(1),
+		Horizon:     units.YearsOf(45),
+		Volume:      1000,
+		Samples:     450,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 9: fleet builds at 0, 15 and 30 years.
+	var hwTimes []float64
+	for _, e := range res.Events {
+		if e.Kind == EventHardware {
+			hwTimes = append(hwTimes, e.Time.Years())
+		}
+	}
+	want := []float64{0, 15, 30}
+	if len(hwTimes) != len(want) {
+		t.Fatalf("hardware events at %v, want %v", hwTimes, want)
+	}
+	for i := range want {
+		if hwTimes[i] != want[i] {
+			t.Fatalf("hardware events at %v, want %v", hwTimes, want)
+		}
+	}
+	// Exactly one design event: the second generation reuses the design.
+	designs := 0
+	for _, e := range res.Events {
+		if e.Kind == EventDesign {
+			designs++
+		}
+	}
+	if designs != 1 {
+		t.Errorf("design events: %d, want 1", designs)
+	}
+	// The curve must jump across the 15-year boundary by at least the
+	// fleet cost (hardware step + accrued operation).
+	dc, _ := fpga.DeviceCost()
+	fleet := dc.Total().Scale(1000)
+	before := curveAt(res, 14.9)
+	after := curveAt(res, 15.1)
+	if after.Kilograms()-before.Kilograms() < fleet.Kilograms() {
+		t.Errorf("no rebuy jump: %v -> %v (fleet %v)", before, after, fleet)
+	}
+}
+
+func TestASICStepsEveryApplication(t *testing.T) {
+	_, asic := platforms(t)
+	res, err := Run(Config{
+		Platform:    asic,
+		AppLifetime: units.YearsOf(1),
+		Horizon:     units.YearsOf(10),
+		Volume:      1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs, hw := 0, 0
+	for _, e := range res.Events {
+		switch e.Kind {
+		case EventDesign:
+			designs++
+		case EventHardware:
+			hw++
+		}
+	}
+	if designs != 10 || hw != 10 {
+		t.Errorf("ASIC events: %d designs, %d hardware, want 10 each", designs, hw)
+	}
+}
+
+func TestCurveIsMonotone(t *testing.T) {
+	fpga, asic := platforms(t)
+	for _, p := range []core.Platform{fpga, asic} {
+		res, err := Run(Config{
+			Platform:    p,
+			AppLifetime: units.YearsOf(1),
+			Horizon:     units.YearsOf(30),
+			Volume:      500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Curve) != 201 {
+			t.Fatalf("default samples: %d points", len(res.Curve))
+		}
+		for i := 1; i < len(res.Curve); i++ {
+			if res.Curve[i].Cumulative < res.Curve[i-1].Cumulative {
+				t.Fatalf("%s: cumulative CFP decreased at %v", p.Spec.Name, res.Curve[i].Time)
+			}
+		}
+		if res.Total() <= 0 {
+			t.Errorf("%s: non-positive total %v", p.Spec.Name, res.Total())
+		}
+	}
+}
+
+func TestConsistentWithScenarioEvaluation(t *testing.T) {
+	// Over a horizon of exactly N app lifetimes with no chip-lifetime
+	// cap, the lifecycle total must match core.Evaluate.
+	fpga, asic := platforms(t)
+	fpga.ChipLifetime = 0
+	for _, p := range []core.Platform{fpga, asic} {
+		res, err := Run(Config{
+			Platform:    p,
+			AppLifetime: units.YearsOf(2),
+			Horizon:     units.YearsOf(10),
+			Volume:      1000,
+			Samples:     100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Evaluate(p, core.Uniform("ref", 5, units.YearsOf(2), 1000, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Total().Kilograms()
+		ref := want.Total().Kilograms()
+		if math.Abs(got-ref) > 1e-6*ref {
+			t.Errorf("%s: lifecycle total %g, scenario total %g", p.Spec.Name, got, ref)
+		}
+	}
+}
+
+func TestUncappedFPGABuildsOnce(t *testing.T) {
+	fpga, _ := platforms(t)
+	fpga.ChipLifetime = 0
+	res, err := Run(Config{
+		Platform:    fpga,
+		AppLifetime: units.YearsOf(1),
+		Horizon:     units.YearsOf(40),
+		Volume:      100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := 0
+	for _, e := range res.Events {
+		if e.Kind == EventHardware {
+			hw++
+		}
+	}
+	if hw != 1 {
+		t.Errorf("uncapped FPGA hardware events: %d, want 1", hw)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	fpga, _ := platforms(t)
+	good := Config{Platform: fpga, AppLifetime: units.YearsOf(1), Horizon: units.YearsOf(5), Volume: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config: %v", err)
+	}
+	bad := []Config{
+		{Platform: core.Platform{}, AppLifetime: units.YearsOf(1), Horizon: units.YearsOf(5), Volume: 10},
+		{Platform: fpga, AppLifetime: 0, Horizon: units.YearsOf(5), Volume: 10},
+		{Platform: fpga, AppLifetime: units.YearsOf(1), Horizon: 0, Volume: 10},
+		{Platform: fpga, AppLifetime: units.YearsOf(1), Horizon: units.YearsOf(5), Volume: 0},
+		{Platform: fpga, AppLifetime: units.YearsOf(1), Horizon: units.YearsOf(5), Volume: 10, Samples: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+		if _, err := Run(c); err == nil {
+			t.Errorf("case %d: Run should fail", i)
+		}
+	}
+}
+
+func TestCrossoverTimes(t *testing.T) {
+	mk := func(vals ...float64) []Point {
+		pts := make([]Point, len(vals))
+		for i, v := range vals {
+			pts[i] = Point{Time: units.YearsOf(float64(i)), Cumulative: units.Kilograms(v)}
+		}
+		return pts
+	}
+	// a starts below b, crosses between t=1 and t=2, crosses back
+	// between t=3 and t=4.
+	a := mk(0, 1, 3, 5, 5)
+	b := mk(1, 2, 2, 4, 6)
+	xs, err := CrossoverTimes(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 2 {
+		t.Fatalf("crossings: %v", xs)
+	}
+	if math.Abs(xs[0].Years()-1.5) > 1e-9 || math.Abs(xs[1].Years()-3.5) > 1e-9 {
+		t.Errorf("crossing times: %v", xs)
+	}
+	// Touching at a sample counts once.
+	c := mk(0, 2, 4)
+	d := mk(1, 2, 3)
+	xs, err = CrossoverTimes(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 1 || xs[0].Years() != 1 {
+		t.Errorf("touch crossing: %v", xs)
+	}
+	// Identical curves: no crossings.
+	xs, err = CrossoverTimes(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 0 {
+		t.Errorf("identical curves crossed: %v", xs)
+	}
+	// Errors.
+	if _, err := CrossoverTimes(a, mk(1, 2)); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := CrossoverTimes(mk(1), mk(1)); err == nil {
+		t.Error("single sample must error")
+	}
+	shifted := mk(1, 2, 3)
+	shifted[1].Time = units.YearsOf(9)
+	if _, err := CrossoverTimes(mk(1, 2, 3), shifted); err == nil {
+		t.Error("misaligned times must error")
+	}
+}
+
+// curveAt returns the cumulative value at the sample nearest to t.
+func curveAt(r Result, t float64) units.Mass {
+	best := r.Curve[0]
+	for _, p := range r.Curve {
+		if math.Abs(p.Time.Years()-t) < math.Abs(best.Time.Years()-t) {
+			best = p
+		}
+	}
+	return best.Cumulative
+}

@@ -1,0 +1,241 @@
+// Package montecarlo propagates input-parameter uncertainty through
+// the GreenFPGA models. The paper's §5 stresses that its outputs are
+// only as accurate as coarse, partly proprietary inputs (Table 1 lists
+// ranges, not values); this package quantifies that: draw parameters
+// from their ranges, evaluate the model, and report percentiles plus a
+// tornado-style sensitivity ranking.
+//
+// All randomness is seeded and the evaluation order fixed, so runs are
+// exactly reproducible.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a one-dimensional parameter distribution.
+type Dist interface {
+	// Sample draws one value.
+	Sample(r *rand.Rand) float64
+	// Quantile inverts the CDF at p in [0,1].
+	Quantile(p float64) float64
+	// Mean is the distribution mean.
+	Mean() float64
+}
+
+// Uniform is the flat distribution on [Lo, Hi] — the natural reading
+// of Table 1's ranges.
+type Uniform struct {
+	// Lo and Hi bound the range.
+	Lo, Hi float64
+}
+
+// Sample draws uniformly.
+func (u Uniform) Sample(r *rand.Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+// Quantile inverts the CDF.
+func (u Uniform) Quantile(p float64) float64 { return u.Lo + clamp01(p)*(u.Hi-u.Lo) }
+
+// Mean is the midpoint.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Triangular is the triangular distribution on [Lo, Hi] with the given
+// Mode — useful when a nominal value is known inside a range.
+type Triangular struct {
+	// Lo, Mode and Hi are the minimum, peak and maximum.
+	Lo, Mode, Hi float64
+}
+
+// Sample draws by inverse CDF.
+func (t Triangular) Sample(r *rand.Rand) float64 { return t.Quantile(r.Float64()) }
+
+// Quantile inverts the CDF.
+func (t Triangular) Quantile(p float64) float64 {
+	p = clamp01(p)
+	if t.Hi == t.Lo {
+		return t.Lo
+	}
+	fc := (t.Mode - t.Lo) / (t.Hi - t.Lo)
+	if p < fc {
+		return t.Lo + math.Sqrt(p*(t.Hi-t.Lo)*(t.Mode-t.Lo))
+	}
+	return t.Hi - math.Sqrt((1-p)*(t.Hi-t.Lo)*(t.Hi-t.Mode))
+}
+
+// Mean is (Lo+Mode+Hi)/3.
+func (t Triangular) Mean() float64 { return (t.Lo + t.Mode + t.Hi) / 3 }
+
+// Fixed is a degenerate point distribution.
+type Fixed float64
+
+// Sample always returns the value.
+func (f Fixed) Sample(*rand.Rand) float64 { return float64(f) }
+
+// Quantile always returns the value.
+func (f Fixed) Quantile(float64) float64 { return float64(f) }
+
+// Mean is the value.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+// Param is a named uncertain input.
+type Param struct {
+	// Name keys the draw map handed to the model.
+	Name string
+	// Dist is the parameter's distribution.
+	Dist Dist
+}
+
+// Model evaluates the quantity of interest for one parameter draw.
+type Model func(draw map[string]float64) (float64, error)
+
+// Config describes one Monte-Carlo study.
+type Config struct {
+	// Params are the uncertain inputs.
+	Params []Param
+	// Samples is the number of draws (default 1000).
+	Samples int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Model maps a draw to the output quantity.
+	Model Model
+}
+
+// Sensitivity is one tornado-chart entry.
+type Sensitivity struct {
+	// Param is the input name.
+	Param string
+	// Low and High are the model outputs with the parameter pinned at
+	// its 10th and 90th percentile (all others at their means).
+	Low, High float64
+}
+
+// Swing is the absolute output range attributable to the parameter.
+func (s Sensitivity) Swing() float64 { return math.Abs(s.High - s.Low) }
+
+// Result summarizes a study.
+type Result struct {
+	// Samples are the sorted model outputs.
+	Samples []float64
+	// Mean and StdDev summarize the outputs.
+	Mean, StdDev float64
+	// Tornado ranks parameters by swing, largest first.
+	Tornado []Sensitivity
+}
+
+// Percentile interpolates the p-th percentile (p in [0,100]).
+func (r Result) Percentile(p float64) float64 {
+	if len(r.Samples) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return r.Samples[0]
+	}
+	if p >= 100 {
+		return r.Samples[len(r.Samples)-1]
+	}
+	pos := p / 100 * float64(len(r.Samples)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(r.Samples) {
+		return r.Samples[i]
+	}
+	return r.Samples[i]*(1-frac) + r.Samples[i+1]*frac
+}
+
+// Run executes the study.
+func Run(cfg Config) (Result, error) {
+	if cfg.Model == nil {
+		return Result{}, fmt.Errorf("montecarlo: nil model")
+	}
+	if len(cfg.Params) == 0 {
+		return Result{}, fmt.Errorf("montecarlo: no parameters")
+	}
+	seen := map[string]bool{}
+	for _, p := range cfg.Params {
+		if p.Name == "" {
+			return Result{}, fmt.Errorf("montecarlo: unnamed parameter")
+		}
+		if p.Dist == nil {
+			return Result{}, fmt.Errorf("montecarlo: parameter %q has no distribution", p.Name)
+		}
+		if seen[p.Name] {
+			return Result{}, fmt.Errorf("montecarlo: duplicate parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	samples := cfg.Samples
+	if samples == 0 {
+		samples = 1000
+	}
+	if samples < 0 {
+		return Result{}, fmt.Errorf("montecarlo: negative sample count %d", samples)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{Samples: make([]float64, 0, samples)}
+	draw := make(map[string]float64, len(cfg.Params))
+	var sum, sumSq float64
+	for i := 0; i < samples; i++ {
+		for _, p := range cfg.Params {
+			draw[p.Name] = p.Dist.Sample(rng)
+		}
+		v, err := cfg.Model(draw)
+		if err != nil {
+			return Result{}, fmt.Errorf("montecarlo: sample %d: %w", i, err)
+		}
+		res.Samples = append(res.Samples, v)
+		sum += v
+		sumSq += v * v
+	}
+	sort.Float64s(res.Samples)
+	n := float64(samples)
+	res.Mean = sum / n
+	if variance := sumSq/n - res.Mean*res.Mean; variance > 0 {
+		res.StdDev = math.Sqrt(variance)
+	}
+
+	// Tornado: vary one parameter across its 10-90 band with the rest
+	// at their means.
+	means := make(map[string]float64, len(cfg.Params))
+	for _, p := range cfg.Params {
+		means[p.Name] = p.Dist.Mean()
+	}
+	for _, p := range cfg.Params {
+		entry := Sensitivity{Param: p.Name}
+		for _, q := range []float64{0.1, 0.9} {
+			d := make(map[string]float64, len(means))
+			for k, v := range means {
+				d[k] = v
+			}
+			d[p.Name] = p.Dist.Quantile(q)
+			v, err := cfg.Model(d)
+			if err != nil {
+				return Result{}, fmt.Errorf("montecarlo: tornado %s@%g: %w", p.Name, q, err)
+			}
+			if q == 0.1 {
+				entry.Low = v
+			} else {
+				entry.High = v
+			}
+		}
+		res.Tornado = append(res.Tornado, entry)
+	}
+	sort.SliceStable(res.Tornado, func(i, j int) bool {
+		return res.Tornado[i].Swing() > res.Tornado[j].Swing()
+	})
+	return res, nil
+}
+
+// clamp01 bounds p to [0,1].
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,213 @@
+package montecarlo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformDist(t *testing.T) {
+	u := Uniform{Lo: 2, Hi: 6}
+	if u.Mean() != 4 {
+		t.Errorf("mean %g", u.Mean())
+	}
+	if u.Quantile(0) != 2 || u.Quantile(1) != 6 || u.Quantile(0.5) != 4 {
+		t.Errorf("quantiles: %g %g %g", u.Quantile(0), u.Quantile(1), u.Quantile(0.5))
+	}
+	if u.Quantile(-1) != 2 || u.Quantile(2) != 6 {
+		t.Error("quantile must clamp p")
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(r)
+		if v < 2 || v > 6 {
+			t.Fatalf("sample %g outside range", v)
+		}
+	}
+}
+
+func TestTriangularDist(t *testing.T) {
+	tri := Triangular{Lo: 0, Mode: 2, Hi: 10}
+	if math.Abs(tri.Mean()-4) > 1e-12 {
+		t.Errorf("mean %g", tri.Mean())
+	}
+	if tri.Quantile(0) != 0 || tri.Quantile(1) != 10 {
+		t.Errorf("extreme quantiles: %g %g", tri.Quantile(0), tri.Quantile(1))
+	}
+	// CDF at the mode is (mode-lo)/(hi-lo) = 0.2.
+	if math.Abs(tri.Quantile(0.2)-2) > 1e-9 {
+		t.Errorf("quantile at mode: %g", tri.Quantile(0.2))
+	}
+	r := rand.New(rand.NewSource(2))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := tri.Sample(r)
+		if v < 0 || v > 10 {
+			t.Fatalf("sample %g outside range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum/n-4) > 0.1 {
+		t.Errorf("empirical mean %g, want ~4", sum/n)
+	}
+	// Degenerate triangular collapses to a point.
+	pt := Triangular{Lo: 5, Mode: 5, Hi: 5}
+	if pt.Quantile(0.7) != 5 {
+		t.Error("degenerate triangular")
+	}
+}
+
+func TestFixedDist(t *testing.T) {
+	f := Fixed(3.5)
+	if f.Mean() != 3.5 || f.Quantile(0.9) != 3.5 || f.Sample(nil) != 3.5 {
+		t.Error("fixed dist")
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	cfg := Config{
+		Params:  []Param{{Name: "a", Dist: Uniform{1, 3}}, {Name: "b", Dist: Uniform{0, 1}}},
+		Samples: 500,
+		Seed:    42,
+		Model: func(d map[string]float64) (float64, error) {
+			return d["a"] + 10*d["b"], nil
+		},
+	}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Mean != r2.Mean || r1.StdDev != r2.StdDev {
+		t.Error("same seed must reproduce")
+	}
+	for i := range r1.Samples {
+		if r1.Samples[i] != r2.Samples[i] {
+			t.Fatal("sample streams differ")
+		}
+	}
+	r3, _ := Run(Config{Params: cfg.Params, Samples: 500, Seed: 43, Model: cfg.Model})
+	if r3.Mean == r1.Mean {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRunStatistics(t *testing.T) {
+	// Output = a with a ~ U(0, 10): mean 5, p50 ~5, p10 ~1, p90 ~9.
+	res, err := Run(Config{
+		Params:  []Param{{Name: "a", Dist: Uniform{0, 10}}},
+		Samples: 50000,
+		Seed:    7,
+		Model:   func(d map[string]float64) (float64, error) { return d["a"], nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mean-5) > 0.1 {
+		t.Errorf("mean %g", res.Mean)
+	}
+	if math.Abs(res.StdDev-10/math.Sqrt(12)) > 0.1 {
+		t.Errorf("stddev %g", res.StdDev)
+	}
+	for _, c := range []struct{ p, want, tol float64 }{
+		{50, 5, 0.15}, {10, 1, 0.15}, {90, 9, 0.15}, {0, res.Samples[0], 0}, {100, res.Samples[len(res.Samples)-1], 0},
+	} {
+		if got := res.Percentile(c.p); math.Abs(got-c.want) > c.tol+1e-12 {
+			t.Errorf("p%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestTornadoRanking(t *testing.T) {
+	// Output = big + small: the wide parameter must rank first.
+	res, err := Run(Config{
+		Params: []Param{
+			{Name: "small", Dist: Uniform{0, 1}},
+			{Name: "big", Dist: Uniform{0, 100}},
+		},
+		Samples: 100,
+		Seed:    1,
+		Model: func(d map[string]float64) (float64, error) {
+			return d["small"] + d["big"], nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tornado) != 2 || res.Tornado[0].Param != "big" {
+		t.Errorf("tornado: %+v", res.Tornado)
+	}
+	if res.Tornado[0].Swing() <= res.Tornado[1].Swing() {
+		t.Error("tornado not sorted by swing")
+	}
+	// Swing of "big" is the 10-90 band: 80.
+	if math.Abs(res.Tornado[0].Swing()-80) > 1e-9 {
+		t.Errorf("big swing %g, want 80", res.Tornado[0].Swing())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	ok := func(map[string]float64) (float64, error) { return 0, nil }
+	cases := []Config{
+		{Params: []Param{{Name: "a", Dist: Fixed(1)}}}, // nil model
+		{Model: ok}, // no params
+		{Model: ok, Params: []Param{{Name: "", Dist: Fixed(1)}}},                               // unnamed
+		{Model: ok, Params: []Param{{Name: "a"}}},                                              // no dist
+		{Model: ok, Params: []Param{{Name: "a", Dist: Fixed(1)}, {Name: "a", Dist: Fixed(2)}}}, // dup
+		{Model: ok, Params: []Param{{Name: "a", Dist: Fixed(1)}}, Samples: -5},                 // negative
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	boom := errors.New("boom")
+	_, err := Run(Config{
+		Params: []Param{{Name: "a", Dist: Fixed(1)}},
+		Model:  func(map[string]float64) (float64, error) { return 0, boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("model error not propagated: %v", err)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var r Result
+	if !math.IsNaN(r.Percentile(50)) {
+		t.Error("empty result percentile must be NaN")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by the sample
+// extremes.
+func TestQuickPercentileMonotone(t *testing.T) {
+	res, err := Run(Config{
+		Params:  []Param{{Name: "a", Dist: Uniform{-5, 5}}},
+		Samples: 300,
+		Seed:    9,
+		Model:   func(d map[string]float64) (float64, error) { return d["a"] * d["a"], nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(p1, p2 float64) bool {
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if math.IsNaN(p1 + p2) {
+			return true
+		}
+		lo, hi := math.Min(p1, p2), math.Max(p1, p2)
+		a, b := res.Percentile(lo), res.Percentile(hi)
+		return a <= b+1e-12 &&
+			a >= res.Samples[0]-1e-12 && b <= res.Samples[len(res.Samples)-1]+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the sample coordinates (equal lengths).
+	X, Y []float64
+}
+
+// ChartOptions configures a line chart.
+type ChartOptions struct {
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height size the plot area in characters (defaults
+	// 64x16).
+	Width, Height int
+	// LogX plots the x axis on a log10 scale.
+	LogX bool
+}
+
+// seriesMarkers cycles through per-series point markers.
+var seriesMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// LineChart renders the series as an ASCII scatter/line plot.
+func LineChart(w io.Writer, opt ChartOptions, series ...Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: chart %q has no series", opt.Title)
+	}
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d x values and %d y values",
+				s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("report: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			x := s.X[i]
+			if opt.LogX {
+				if x <= 0 {
+					return fmt.Errorf("report: series %q has non-positive x %g on a log axis", s.Name, x)
+				}
+				x = math.Log10(x)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if ymin == ymax {
+		ymin, ymax = ymin-1, ymax+1
+	}
+	if xmin == xmax {
+		xmin, xmax = xmin-1, xmax+1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, marker byte) {
+		if opt.LogX {
+			x = math.Log10(x)
+		}
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		row := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = marker
+		}
+	}
+	for si, s := range series {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		// Interpolate between samples so lines read as lines.
+		for i := 0; i+1 < len(s.X); i++ {
+			const steps = 8
+			for k := 0; k <= steps; k++ {
+				t := float64(k) / steps
+				var x float64
+				if opt.LogX {
+					x = math.Pow(10, math.Log10(s.X[i])+t*(math.Log10(s.X[i+1])-math.Log10(s.X[i])))
+				} else {
+					x = s.X[i] + t*(s.X[i+1]-s.X[i])
+				}
+				plot(x, s.Y[i]+t*(s.Y[i+1]-s.Y[i]), marker)
+			}
+		}
+		if len(s.X) == 1 {
+			plot(s.X[0], s.Y[0], marker)
+		}
+	}
+
+	if opt.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", opt.Title); err != nil {
+			return err
+		}
+	}
+	for r, rowBytes := range grid {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%10.3g |%s\n", yv, string(rowBytes)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	lo, hi := xmin, xmax
+	if opt.LogX {
+		lo, hi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	xlabel := opt.XLabel
+	if opt.LogX {
+		xlabel += " (log)"
+	}
+	pad := width - len(fmt.Sprintf("%.3g", lo)) - len(fmt.Sprintf("%.3g", hi))
+	if pad < 1 {
+		pad = 1
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %.3g%s%.3g  %s\n", "", lo, strings.Repeat(" ", pad), hi, xlabel); err != nil {
+		return err
+	}
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c %s", seriesMarkers[i%len(seriesMarkers)], s.Name)
+	}
+	if opt.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%10s  y: %s\n", "", opt.YLabel); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%10s  %s\n", "", strings.Join(legend, "   "))
+	return err
+}
+
+// Segment is one component of a stacked bar.
+type Segment struct {
+	// Name appears in the legend.
+	Name string
+	// Value is the segment magnitude (negative values are clamped to
+	// zero width but reported in the annotation).
+	Value float64
+}
+
+// StackedBar is one labelled bar.
+type StackedBar struct {
+	// Label names the bar.
+	Label string
+	// Segments stack left to right.
+	Segments []Segment
+}
+
+// segmentGlyphs cycles through stack-segment fills.
+var segmentGlyphs = []byte{'#', '=', ':', '+', '.', '%', '~'}
+
+// StackedBarChart renders horizontal stacked bars, the shape of the
+// paper's breakdown figures (Figs. 7, 10, 11). All bars share one
+// scale; unit annotates the printed totals.
+func StackedBarChart(w io.Writer, title, unit string, bars []StackedBar, width int) error {
+	if len(bars) == 0 {
+		return fmt.Errorf("report: bar chart %q has no bars", title)
+	}
+	if width <= 0 {
+		width = 60
+	}
+	maxTotal := 0.0
+	labelW := 0
+	for _, b := range bars {
+		total := 0.0
+		for _, s := range b.Segments {
+			if s.Value > 0 {
+				total += s.Value
+			}
+		}
+		maxTotal = math.Max(maxTotal, total)
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	glyphFor := map[string]byte{}
+	var legendOrder []string
+	for _, b := range bars {
+		for _, s := range b.Segments {
+			if _, ok := glyphFor[s.Name]; !ok {
+				glyphFor[s.Name] = segmentGlyphs[len(glyphFor)%len(segmentGlyphs)]
+				legendOrder = append(legendOrder, s.Name)
+			}
+		}
+	}
+	for _, b := range bars {
+		var sb strings.Builder
+		total := 0.0
+		for _, s := range b.Segments {
+			if s.Value <= 0 {
+				total += s.Value
+				continue
+			}
+			total += s.Value
+			n := int(math.Round(s.Value / maxTotal * float64(width)))
+			sb.Write(bytesRepeat(glyphFor[s.Name], n))
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s |%-*s| %.3g %s\n",
+			labelW, b.Label, width, sb.String(), total, unit); err != nil {
+			return err
+		}
+	}
+	legend := make([]string, len(legendOrder))
+	for i, name := range legendOrder {
+		legend[i] = fmt.Sprintf("%c %s", glyphFor[name], name)
+	}
+	_, err := fmt.Fprintf(w, "  %s\n", strings.Join(legend, "   "))
+	return err
+}
+
+// bytesRepeat builds n copies of c.
+func bytesRepeat(c byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}

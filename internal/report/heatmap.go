@@ -1,0 +1,107 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"greenfpga/internal/sweep"
+)
+
+// heatRamp shades FPGA-favourable (low ratio) cells light and
+// ASIC-favourable (high ratio) cells dark, mirroring the purple-to-red
+// colormap of Fig. 8.
+const heatRamp = " .:-=+*#%@"
+
+// HeatmapChart renders a 2-D sweep grid as an ASCII heatmap with the
+// iso-ratio crossover contour marked 'X' (the paper's pink dashes).
+// Shading is by log2 of the FPGA:ASIC ratio clamped to [1/4, 4].
+func HeatmapChart(w io.Writer, title string, g *sweep.Grid, contourLevel float64) error {
+	if g == nil || len(g.Ratio) == 0 {
+		return fmt.Errorf("report: heatmap %q has no grid", title)
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	ny, nx := len(g.Ratio), len(g.Ratio[0])
+
+	// Mark contour cells: nearest cell for each contour point.
+	onContour := make([][]bool, ny)
+	for i := range onContour {
+		onContour[i] = make([]bool, nx)
+	}
+	for _, p := range g.Contour(contourLevel) {
+		xi := nearestIndex(g.XAxis, p.X)
+		yi := nearestIndex(g.YAxis, p.Y)
+		if xi >= 0 && yi >= 0 {
+			onContour[yi][xi] = true
+		}
+	}
+
+	// Rows print top-down from the largest y value.
+	for yi := ny - 1; yi >= 0; yi-- {
+		var sb strings.Builder
+		for xi := 0; xi < nx; xi++ {
+			if onContour[yi][xi] {
+				sb.WriteByte('X')
+				continue
+			}
+			sb.WriteByte(shade(g.Ratio[yi][xi]))
+		}
+		if _, err := fmt.Fprintf(w, "%10.3g |%s\n", g.YAxis.Values[yi], sb.String()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", nx)); err != nil {
+		return err
+	}
+	lo := fmt.Sprintf("%.3g", g.XAxis.Values[0])
+	hi := fmt.Sprintf("%.3g", g.XAxis.Values[nx-1])
+	pad := nx - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %s%s%s  x: %s\n", "", lo, strings.Repeat(" ", pad), hi, g.XAxis.Name); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%10s  y: %s | shade: ' '=FPGA wins .. '@'=ASIC wins | X: FPGA:ASIC = %g\n",
+		"", g.YAxis.Name, contourLevel)
+	return err
+}
+
+// shade maps a ratio to a ramp character.
+func shade(ratio float64) byte {
+	if math.IsNaN(ratio) {
+		return '?'
+	}
+	// log2 ratio in [-2, 2] maps onto the ramp.
+	l := math.Log2(ratio)
+	if l < -2 {
+		l = -2
+	}
+	if l > 2 {
+		l = 2
+	}
+	idx := int(math.Round((l + 2) / 4 * float64(len(heatRamp)-1)))
+	return heatRamp[idx]
+}
+
+// nearestIndex finds the axis sample closest to v (log-aware).
+func nearestIndex(a sweep.Axis, v float64) int {
+	best, bestDist := -1, math.Inf(1)
+	for i, x := range a.Values {
+		var d float64
+		if a.Log && x > 0 && v > 0 {
+			d = math.Abs(math.Log10(x) - math.Log10(v))
+		} else {
+			d = math.Abs(x - v)
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,192 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"greenfpga/internal/sweep"
+	"greenfpga/internal/units"
+)
+
+func TestTableText(t *testing.T) {
+	tbl := NewTable("Totals", "Platform", "CFP")
+	tbl.AddRow("FPGA", units.Tonnes(12).String())
+	tbl.AddRow("ASIC", units.Tonnes(15).String())
+	var buf bytes.Buffer
+	if err := tbl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Totals", "Platform", "FPGA", "12 tCO2e", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every body line has the second column at the same
+	// offset.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if idx1, idx2 := strings.Index(lines[3], "12 tCO2e"), strings.Index(lines[4], "15 tCO2e"); idx1 != idx2 {
+		t.Errorf("misaligned columns: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tbl := NewTable("T", "A", "B")
+	tbl.AddRow("1", "2")
+	tbl.AddRow("3") // short row pads
+
+	var md bytes.Buffer
+	if err := tbl.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| A | B |") || !strings.Contains(md.String(), "| --- | --- |") {
+		t.Errorf("markdown:\n%s", md.String())
+	}
+
+	var csvBuf bytes.Buffer
+	if err := tbl.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	want := "A,B\n1,2\n3,\n"
+	if csvBuf.String() != want {
+		t.Errorf("csv: %q, want %q", csvBuf.String(), want)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	empty := &Table{Title: "no columns"}
+	var buf bytes.Buffer
+	if err := empty.WriteText(&buf); err == nil {
+		t.Error("no columns must error")
+	}
+	over := NewTable("T", "A")
+	over.AddRow("1", "2")
+	if err := over.WriteText(&buf); err == nil {
+		t.Error("overlong row must error")
+	}
+	if err := over.WriteMarkdown(&buf); err == nil {
+		t.Error("markdown must validate too")
+	}
+	if err := over.WriteCSV(&buf); err == nil {
+		t.Error("csv must validate too")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := LineChart(&buf, ChartOptions{Title: "CFP vs N", XLabel: "N", YLabel: "ktCO2e"},
+		Series{Name: "FPGA", X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}},
+		Series{Name: "ASIC", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CFP vs N", "* FPGA", "o ASIC", "y: ktCO2e", "+----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("chart missing series markers")
+	}
+}
+
+func TestLineChartLogX(t *testing.T) {
+	var buf bytes.Buffer
+	err := LineChart(&buf, ChartOptions{Title: "V", XLabel: "volume", LogX: true},
+		Series{Name: "r", X: []float64{1e3, 1e4, 1e5, 1e6}, Y: []float64{0.5, 0.8, 1.2, 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(log)") {
+		t.Error("log axis not labelled")
+	}
+	// Non-positive x on log axis errors.
+	err = LineChart(&buf, ChartOptions{LogX: true},
+		Series{Name: "bad", X: []float64{0, 1}, Y: []float64{1, 2}})
+	if err == nil {
+		t.Error("log axis with x=0 must error")
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LineChart(&buf, ChartOptions{}); err == nil {
+		t.Error("no series must error")
+	}
+	if err := LineChart(&buf, ChartOptions{}, Series{Name: "x", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("mismatched lengths must error")
+	}
+	if err := LineChart(&buf, ChartOptions{}, Series{Name: "empty"}); err == nil {
+		t.Error("empty series must error")
+	}
+	// Flat and single-point series render without dividing by zero.
+	if err := LineChart(&buf, ChartOptions{}, Series{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}); err != nil {
+		t.Errorf("flat series: %v", err)
+	}
+	if err := LineChart(&buf, ChartOptions{}, Series{Name: "pt", X: []float64{1}, Y: []float64{5}}); err != nil {
+		t.Errorf("single point: %v", err)
+	}
+}
+
+func TestStackedBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	bars := []StackedBar{
+		{Label: "FPGA", Segments: []Segment{{"design", 1}, {"mfg", 4}, {"op", 5}}},
+		{Label: "ASIC", Segments: []Segment{{"design", 2}, {"mfg", 2}, {"op", 1}, {"eol", -0.1}}},
+	}
+	if err := StackedBarChart(&buf, "Breakdown", "kt", bars, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Breakdown", "FPGA", "ASIC", "# design", "10 kt", "4.9 kt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bar chart missing %q:\n%s", want, out)
+		}
+	}
+	// The FPGA bar (total 10) must be longer than the ASIC bar (4.9).
+	lines := strings.Split(out, "\n")
+	fpgaFill := strings.Count(lines[1], "#") + strings.Count(lines[1], "=") + strings.Count(lines[1], ":")
+	asicFill := strings.Count(lines[2], "#") + strings.Count(lines[2], "=") + strings.Count(lines[2], ":")
+	if fpgaFill <= asicFill {
+		t.Errorf("bar lengths: fpga %d <= asic %d\n%s", fpgaFill, asicFill, out)
+	}
+	if err := StackedBarChart(&buf, "x", "kt", nil, 10); err == nil {
+		t.Error("no bars must error")
+	}
+	// All-zero bars render without dividing by zero.
+	if err := StackedBarChart(&buf, "z", "kt", []StackedBar{{Label: "a"}}, 10); err != nil {
+		t.Errorf("zero bars: %v", err)
+	}
+}
+
+func TestHeatmapChart(t *testing.T) {
+	g := &sweep.Grid{
+		XAxis: sweep.Axis{Name: "N", Values: []float64{1, 2, 3, 4, 5, 6}},
+		YAxis: sweep.Axis{Name: "T", Values: []float64{0.5, 1, 2}},
+		Ratio: [][]float64{
+			{0.4, 0.6, 0.8, 1.1, 1.5, 2.2},
+			{0.5, 0.8, 1.2, 1.6, 2.0, 2.8},
+			{0.7, 1.1, 1.7, 2.3, 3.0, 4.1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := HeatmapChart(&buf, "Fig8", g, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig8", "X", "x: N", "y: T"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, out)
+		}
+	}
+	if err := HeatmapChart(&buf, "empty", &sweep.Grid{}, 1); err == nil {
+		t.Error("empty grid must error")
+	}
+	if err := HeatmapChart(&buf, "nil", nil, 1); err == nil {
+		t.Error("nil grid must error")
+	}
+}

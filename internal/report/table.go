@@ -1,0 +1,159 @@
+// Package report renders GreenFPGA results for terminals and files:
+// aligned text tables, Markdown and CSV exports, and ASCII line charts,
+// stacked bars and heatmaps that reproduce the paper's figures without
+// a plotting stack.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the body cells; short rows are padded.
+	Rows [][]string
+}
+
+// NewTable builds a table with the given header.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// validate checks the table is renderable.
+func (t *Table) validate() error {
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("report: table %q has no columns", t.Title)
+	}
+	for i, r := range t.Rows {
+		if len(r) > len(t.Columns) {
+			return fmt.Errorf("report: table %q row %d has %d cells for %d columns",
+				t.Title, i, len(r), len(t.Columns))
+		}
+	}
+	return nil
+}
+
+// cell returns the padded cell value.
+func (t *Table) cell(row []string, col int) string {
+	if col < len(row) {
+		return row[col]
+	}
+	return ""
+}
+
+// widths computes per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		w[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i := range t.Columns {
+			if n := len(t.cell(r, i)); n > w[i] {
+				w[i] = n
+			}
+		}
+	}
+	return w
+}
+
+// WriteText renders an aligned plain-text table.
+func (t *Table) WriteText(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	widths := t.widths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells func(int) string) error {
+		parts := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cells(i))
+		}
+		_, err := fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(func(i int) string { return t.Columns[i] }); err != nil {
+		return err
+	}
+	if err := line(func(i int) string { return strings.Repeat("-", widths[i]) }); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		r := r
+		if err := line(func(i int) string { return t.cell(r, i) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders a GitHub-flavoured Markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			cells[i] = t.cell(r, i)
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders RFC-4180 CSV (header row first; the title is not
+// emitted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			cells[i] = t.cell(r, i)
+		}
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,266 @@
+// Package sweep runs the parameter sweeps behind the paper's
+// evaluation: 1-D sweeps over N_app, T_i or N_vol (Figs. 4-6) and 2-D
+// grids with FPGA:ASIC ratio heatmaps and iso-ratio crossover contours
+// (Fig. 8). Sweeps evaluate points in parallel across CPUs.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"greenfpga/internal/units"
+)
+
+// Axis is a named set of sample points.
+type Axis struct {
+	// Name labels the axis in reports ("Num Apps", "App Lifetime", ...).
+	Name string
+	// Values are the sample points in evaluation order.
+	Values []float64
+	// Log marks the axis as logarithmically spaced for chart rendering.
+	Log bool
+}
+
+// Validate checks the axis.
+func (a Axis) Validate() error {
+	if len(a.Values) == 0 {
+		return fmt.Errorf("sweep: axis %q has no values", a.Name)
+	}
+	for _, v := range a.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sweep: axis %q contains %g", a.Name, v)
+		}
+	}
+	return nil
+}
+
+// Linspace returns n evenly spaced values covering [lo, hi].
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid accumulation error at the endpoint
+	return out
+}
+
+// Logspace returns n log-evenly spaced values covering [lo, hi]; both
+// endpoints must be positive.
+func Logspace(lo, hi float64, n int) []float64 {
+	if n <= 0 || lo <= 0 || hi <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	step := (lhi - llo) / float64(n-1)
+	for i := range out {
+		out[i] = math.Pow(10, llo+float64(i)*step)
+	}
+	out[0], out[n-1] = lo, hi
+	return out
+}
+
+// IntRange returns the integers lo..hi as float values (for N_app
+// axes).
+func IntRange(lo, hi int) []float64 {
+	if hi < lo {
+		return nil
+	}
+	out := make([]float64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, float64(v))
+	}
+	return out
+}
+
+// PairEval evaluates both platforms at one axis value.
+type PairEval func(x float64) (fpga, asic units.Mass, err error)
+
+// Point1D is one sample of a 1-D sweep.
+type Point1D struct {
+	// X is the axis value.
+	X float64
+	// FPGA and ASIC are the platform totals.
+	FPGA, ASIC units.Mass
+	// Ratio is FPGA:ASIC.
+	Ratio float64
+}
+
+// Run1D evaluates the axis in parallel and returns points in axis
+// order.
+func Run1D(axis Axis, eval PairEval) ([]Point1D, error) {
+	if err := axis.Validate(); err != nil {
+		return nil, err
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("sweep: nil evaluator")
+	}
+	pts := make([]Point1D, len(axis.Values))
+	errs := make([]error, len(axis.Values))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i, x := range axis.Values {
+		wg.Add(1)
+		go func(i int, x float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f, a, err := eval(x)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			pts[i] = Point1D{X: x, FPGA: f, ASIC: a, Ratio: ratio(f, a)}
+		}(i, x)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pts, nil
+}
+
+// PairEval2D evaluates both platforms at one grid cell.
+type PairEval2D func(x, y float64) (fpga, asic units.Mass, err error)
+
+// Grid is a 2-D sweep result: Ratio[yi][xi] is the FPGA:ASIC total CFP
+// ratio at (XAxis.Values[xi], YAxis.Values[yi]).
+type Grid struct {
+	// XAxis and YAxis are the swept parameters.
+	XAxis, YAxis Axis
+	// FPGA and ASIC hold the platform totals per cell.
+	FPGA, ASIC [][]units.Mass
+	// Ratio holds FPGA:ASIC per cell.
+	Ratio [][]float64
+}
+
+// Run2D evaluates the grid in parallel.
+func Run2D(x, y Axis, eval PairEval2D) (*Grid, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	if err := y.Validate(); err != nil {
+		return nil, err
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("sweep: nil evaluator")
+	}
+	g := &Grid{XAxis: x, YAxis: y}
+	g.FPGA = make([][]units.Mass, len(y.Values))
+	g.ASIC = make([][]units.Mass, len(y.Values))
+	g.Ratio = make([][]float64, len(y.Values))
+	errs := make([]error, len(y.Values)*len(x.Values))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for yi := range y.Values {
+		g.FPGA[yi] = make([]units.Mass, len(x.Values))
+		g.ASIC[yi] = make([]units.Mass, len(x.Values))
+		g.Ratio[yi] = make([]float64, len(x.Values))
+		for xi := range x.Values {
+			wg.Add(1)
+			go func(xi, yi int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				f, a, err := eval(x.Values[xi], y.Values[yi])
+				if err != nil {
+					errs[yi*len(x.Values)+xi] = err
+					return
+				}
+				g.FPGA[yi][xi] = f
+				g.ASIC[yi][xi] = a
+				g.Ratio[yi][xi] = ratio(f, a)
+			}(xi, yi)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ContourPoint is one point of an iso-ratio contour.
+type ContourPoint struct {
+	// X and Y are in axis units.
+	X, Y float64
+}
+
+// Contour extracts the points where the ratio crosses the level along
+// each row and column by linear interpolation — the pink crossover
+// dashes of Fig. 8. Points are ordered by Y then X.
+func (g *Grid) Contour(level float64) []ContourPoint {
+	var out []ContourPoint
+	// Row-wise crossings.
+	for yi, row := range g.Ratio {
+		for xi := 0; xi+1 < len(row); xi++ {
+			p := interpolateCrossing(g.XAxis.Values[xi], g.XAxis.Values[xi+1],
+				row[xi], row[xi+1], level, g.XAxis.Log)
+			if !math.IsNaN(p) {
+				out = append(out, ContourPoint{X: p, Y: g.YAxis.Values[yi]})
+			}
+		}
+	}
+	// Column-wise crossings.
+	for xi := range g.XAxis.Values {
+		for yi := 0; yi+1 < len(g.Ratio); yi++ {
+			p := interpolateCrossing(g.YAxis.Values[yi], g.YAxis.Values[yi+1],
+				g.Ratio[yi][xi], g.Ratio[yi+1][xi], level, g.YAxis.Log)
+			if !math.IsNaN(p) {
+				out = append(out, ContourPoint{X: g.XAxis.Values[xi], Y: p})
+			}
+		}
+	}
+	return out
+}
+
+// interpolateCrossing finds the axis value in [a, b] where the ratio
+// passes level, or NaN when it does not. Log axes interpolate in log
+// space.
+func interpolateCrossing(a, b, ra, rb, level float64, logAxis bool) float64 {
+	da, db := ra-level, rb-level
+	if da == 0 {
+		return a
+	}
+	if db == 0 || (da > 0) == (db > 0) {
+		return math.NaN()
+	}
+	t := da / (da - db)
+	if logAxis && a > 0 && b > 0 {
+		return math.Pow(10, math.Log10(a)+t*(math.Log10(b)-math.Log10(a)))
+	}
+	return a + t*(b-a)
+}
+
+// ratio is FPGA:ASIC with a +Inf guard for zero ASIC totals.
+func ratio(f, a units.Mass) float64 {
+	if a == 0 {
+		return math.Inf(1)
+	}
+	return f.Kilograms() / a.Kilograms()
+}
+
+// maxParallel bounds worker counts.
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/units"
+)
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 10, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("linspace[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if Linspace(0, 1, 0) != nil {
+		t.Error("n=0 must be nil")
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("n=1: %v", got)
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	got := Logspace(1e3, 1e6, 4)
+	want := []float64{1e3, 1e4, 1e5, 1e6}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6*want[i] {
+			t.Errorf("logspace[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if Logspace(-1, 10, 3) != nil || Logspace(1, 10, 0) != nil {
+		t.Error("invalid inputs must be nil")
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	got := IntRange(1, 4)
+	if len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Errorf("IntRange: %v", got)
+	}
+	if IntRange(4, 1) != nil {
+		t.Error("inverted range must be nil")
+	}
+}
+
+func TestRun1D(t *testing.T) {
+	axis := Axis{Name: "x", Values: Linspace(1, 10, 10)}
+	pts, err := Run1D(axis, func(x float64) (units.Mass, units.Mass, error) {
+		return units.Kilograms(2 * x), units.Kilograms(x), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.X != axis.Values[i] {
+			t.Errorf("order violated at %d: %g", i, p.X)
+		}
+		if math.Abs(p.Ratio-2) > 1e-12 {
+			t.Errorf("ratio at %g: %g", p.X, p.Ratio)
+		}
+	}
+}
+
+func TestRun1DErrors(t *testing.T) {
+	ok := func(x float64) (units.Mass, units.Mass, error) { return 1, 1, nil }
+	if _, err := Run1D(Axis{Name: "empty"}, ok); err == nil {
+		t.Error("empty axis must error")
+	}
+	if _, err := Run1D(Axis{Name: "nan", Values: []float64{math.NaN()}}, ok); err == nil {
+		t.Error("NaN axis must error")
+	}
+	if _, err := Run1D(Axis{Name: "x", Values: []float64{1}}, nil); err == nil {
+		t.Error("nil evaluator must error")
+	}
+	boom := errors.New("boom")
+	_, err := Run1D(Axis{Name: "x", Values: Linspace(0, 1, 8)},
+		func(x float64) (units.Mass, units.Mass, error) {
+			if x > 0.5 {
+				return 0, 0, boom
+			}
+			return 1, 1, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Errorf("evaluator error not propagated: %v", err)
+	}
+}
+
+func TestRun2D(t *testing.T) {
+	x := Axis{Name: "x", Values: Linspace(1, 4, 4)}
+	y := Axis{Name: "y", Values: Linspace(1, 3, 3)}
+	g, err := Run2D(x, y, func(xv, yv float64) (units.Mass, units.Mass, error) {
+		return units.Kilograms(xv * yv), units.Kilograms(2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Ratio) != 3 || len(g.Ratio[0]) != 4 {
+		t.Fatalf("grid shape %dx%d", len(g.Ratio), len(g.Ratio[0]))
+	}
+	if math.Abs(g.Ratio[2][3]-(4*3)/2.0) > 1e-12 {
+		t.Errorf("ratio[2][3] = %g", g.Ratio[2][3])
+	}
+	if g.FPGA[1][1].Kilograms() != 2*2 {
+		t.Errorf("fpga[1][1] = %v", g.FPGA[1][1])
+	}
+}
+
+func TestRun2DErrors(t *testing.T) {
+	okAxis := Axis{Name: "x", Values: []float64{1}}
+	ok := func(x, y float64) (units.Mass, units.Mass, error) { return 1, 1, nil }
+	if _, err := Run2D(Axis{Name: "bad"}, okAxis, ok); err == nil {
+		t.Error("bad x axis must error")
+	}
+	if _, err := Run2D(okAxis, Axis{Name: "bad"}, ok); err == nil {
+		t.Error("bad y axis must error")
+	}
+	if _, err := Run2D(okAxis, okAxis, nil); err == nil {
+		t.Error("nil evaluator must error")
+	}
+	boom := errors.New("boom")
+	_, err := Run2D(Axis{Name: "x", Values: Linspace(0, 1, 4)},
+		Axis{Name: "y", Values: Linspace(0, 1, 4)},
+		func(x, y float64) (units.Mass, units.Mass, error) {
+			if x > 0.5 && y > 0.5 {
+				return 0, 0, boom
+			}
+			return 1, 1, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Errorf("evaluator error not propagated: %v", err)
+	}
+}
+
+func TestContour(t *testing.T) {
+	// ratio(x, y) = x/y: the level-1 contour is the diagonal x = y.
+	x := Axis{Name: "x", Values: Linspace(0.5, 4.5, 9)}
+	y := Axis{Name: "y", Values: Linspace(0.5, 4.5, 9)}
+	g, err := Run2D(x, y, func(xv, yv float64) (units.Mass, units.Mass, error) {
+		return units.Kilograms(xv), units.Kilograms(yv), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := g.Contour(1)
+	if len(pts) == 0 {
+		t.Fatal("no contour points")
+	}
+	for _, p := range pts {
+		if math.Abs(p.X-p.Y) > 0.51 {
+			t.Errorf("contour point (%g, %g) far from diagonal", p.X, p.Y)
+		}
+	}
+	// A constant grid has no contour.
+	flat, _ := Run2D(x, y, func(_, _ float64) (units.Mass, units.Mass, error) {
+		return units.Kilograms(3), units.Kilograms(1), nil
+	})
+	if pts := flat.Contour(1); len(pts) != 0 {
+		t.Errorf("flat grid contour: %d points", len(pts))
+	}
+}
+
+func TestContourLogInterpolation(t *testing.T) {
+	// On a log axis the crossing interpolates geometrically.
+	g := &Grid{
+		XAxis: Axis{Name: "v", Values: []float64{1e3, 1e5}, Log: true},
+		YAxis: Axis{Name: "y", Values: []float64{1}},
+		Ratio: [][]float64{{0.5, 1.5}},
+	}
+	pts := g.Contour(1)
+	if len(pts) != 1 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	if math.Abs(pts[0].X-1e4) > 1 {
+		t.Errorf("log crossing at %g, want 1e4", pts[0].X)
+	}
+}
+
+// Property: 1-D sweeps preserve pointwise results regardless of
+// parallel execution order.
+func TestQuickRun1DDeterministic(t *testing.T) {
+	f := func(seed uint8) bool {
+		axis := Axis{Name: "x", Values: Linspace(float64(seed), float64(seed)+10, 16)}
+		eval := func(x float64) (units.Mass, units.Mass, error) {
+			return units.Kilograms(x * x), units.Kilograms(x + 1), nil
+		}
+		a, err1 := Run1D(axis, eval)
+		b, err2 := Run1D(axis, eval)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

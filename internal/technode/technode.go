@@ -1,0 +1,190 @@
+// Package technode is the technology-node database behind the
+// manufacturing carbon model. For each node it records the per-area fab
+// coefficients used by ACT-style models — energy per area (EPA), process
+// gas emissions per area (GPA), and material emissions per area (MPA) —
+// plus the defect density driving yield, the logic gate density used for
+// N_FPGA capacity math (Eq. 3), and the Bose-Einstein critical-layer
+// count.
+//
+// The magnitudes follow the ACT [Gupta et al., ISCA'22] and ECO-CHIP
+// [Sudarshan et al., HPCA'24] parameter sets the paper consumes from
+// their GitHub repositories: EPA grows from ~0.85 kWh/cm^2 at 28 nm to
+// ~2.8 kWh/cm^2 at 3 nm, with GPA and MPA a few hundred grams per cm^2.
+// Nodes not in the table are log-interpolated.
+package technode
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"greenfpga/internal/units"
+)
+
+// Node holds the per-node manufacturing coefficients.
+type Node struct {
+	// FeatureNM is the marketing feature size in nanometres.
+	FeatureNM float64
+	// Name is the conventional label, e.g. "10nm".
+	Name string
+	// EPA is fab energy use per processed wafer area.
+	EPA units.EnergyPerArea
+	// GPA is direct greenhouse-gas emission (process gases, already
+	// CO2e-weighted and abatement-adjusted) per wafer area.
+	GPA units.MassPerArea
+	// MPANew is the carbon of sourcing virgin materials per wafer area.
+	MPANew units.MassPerArea
+	// RecycledMaterialSaving is the fraction of material carbon avoided
+	// when a unit of material input is sourced from recycling streams
+	// (Eq. 5's C_materials,recycled = (1-saving) * C_materials,new).
+	RecycledMaterialSaving float64
+	// DefectDensity is D0 in defects/cm^2 for the yield models.
+	DefectDensity float64
+	// GateDensity is equivalent logic gates per mm^2, used to convert
+	// between application size in gates and silicon area.
+	GateDensity float64
+	// CriticalLayers feeds the Bose-Einstein yield model.
+	CriticalLayers int
+	// PowerScale is the active power per gate relative to the 10 nm
+	// node (PPACE-style DTCO scaling [Garcia Bardon et al., IEDM'20]):
+	// mature nodes burn more energy per operation, leading-edge nodes
+	// less. The design-space explorer trades this against the higher
+	// embodied carbon of advanced nodes.
+	PowerScale float64
+}
+
+// table lists supported nodes from mature to leading-edge. Entries are
+// ordered by descending feature size.
+var table = []Node{
+	{28, "28nm", units.KWhPerCM2(0.85), units.KgPerCM2(0.150), units.KgPerCM2(0.400), 0.65, 0.050, 1.8e6, 8, 2.20},
+	{22, "22nm", units.KWhPerCM2(0.92), units.KgPerCM2(0.170), units.KgPerCM2(0.430), 0.65, 0.058, 2.4e6, 9, 1.90},
+	{20, "20nm", units.KWhPerCM2(1.00), units.KgPerCM2(0.190), units.KgPerCM2(0.450), 0.65, 0.060, 3.0e6, 9, 1.80},
+	{16, "16nm", units.KWhPerCM2(1.10), units.KgPerCM2(0.220), units.KgPerCM2(0.480), 0.65, 0.065, 4.5e6, 10, 1.45},
+	{14, "14nm", units.KWhPerCM2(1.20), units.KgPerCM2(0.250), units.KgPerCM2(0.500), 0.65, 0.070, 5.5e6, 10, 1.30},
+	{12, "12nm", units.KWhPerCM2(1.30), units.KgPerCM2(0.260), units.KgPerCM2(0.500), 0.65, 0.075, 7.0e6, 11, 1.15},
+	{10, "10nm", units.KWhPerCM2(1.475), units.KgPerCM2(0.280), units.KgPerCM2(0.500), 0.65, 0.080, 9.0e6, 11, 1.00},
+	{8, "8nm", units.KWhPerCM2(1.60), units.KgPerCM2(0.290), units.KgPerCM2(0.520), 0.65, 0.085, 12.0e6, 12, 0.90},
+	{7, "7nm", units.KWhPerCM2(1.70), units.KgPerCM2(0.300), units.KgPerCM2(0.550), 0.65, 0.090, 14.0e6, 12, 0.85},
+	{5, "5nm", units.KWhPerCM2(2.25), units.KgPerCM2(0.350), units.KgPerCM2(0.600), 0.65, 0.110, 22.0e6, 14, 0.70},
+	{3, "3nm", units.KWhPerCM2(2.80), units.KgPerCM2(0.400), units.KgPerCM2(0.650), 0.65, 0.130, 33.0e6, 16, 0.60},
+}
+
+// List returns the supported nodes ordered from mature (28 nm) to
+// leading-edge (3 nm).
+func List() []Node {
+	out := make([]Node, len(table))
+	copy(out, table)
+	return out
+}
+
+// ByName looks a node up by its conventional label ("10nm", "7nm", ...).
+func ByName(name string) (Node, error) {
+	for _, n := range table {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("technode: unknown node %q (known: 28nm..3nm)", name)
+}
+
+// ByFeature returns the node with the exact feature size, or a
+// log-interpolated synthetic node when the size falls between table
+// entries. Sizes outside the table range are clamped to the nearest
+// entry and named accordingly.
+func ByFeature(nm float64) (Node, error) {
+	if nm <= 0 || math.IsNaN(nm) || math.IsInf(nm, 0) {
+		return Node{}, fmt.Errorf("technode: invalid feature size %g nm", nm)
+	}
+	// Table is sorted descending by feature size.
+	if nm >= table[0].FeatureNM {
+		return table[0], nil
+	}
+	last := table[len(table)-1]
+	if nm <= last.FeatureNM {
+		return last, nil
+	}
+	for i := 0; i < len(table)-1; i++ {
+		hi, lo := table[i], table[i+1] // hi = larger feature
+		if nm == hi.FeatureNM {
+			return hi, nil
+		}
+		if nm < hi.FeatureNM && nm > lo.FeatureNM {
+			// Interpolate in log(feature) space, where the scaling
+			// trends are closest to linear.
+			t := (math.Log(hi.FeatureNM) - math.Log(nm)) /
+				(math.Log(hi.FeatureNM) - math.Log(lo.FeatureNM))
+			lerp := func(a, b float64) float64 { return a + t*(b-a) }
+			return Node{
+				FeatureNM:              nm,
+				Name:                   fmt.Sprintf("%gnm", nm),
+				EPA:                    units.KWhPerCM2(lerp(hi.EPA.KWhPerCM2(), lo.EPA.KWhPerCM2())),
+				GPA:                    units.KgPerCM2(lerp(hi.GPA.KgPerCM2(), lo.GPA.KgPerCM2())),
+				MPANew:                 units.KgPerCM2(lerp(hi.MPANew.KgPerCM2(), lo.MPANew.KgPerCM2())),
+				RecycledMaterialSaving: lerp(hi.RecycledMaterialSaving, lo.RecycledMaterialSaving),
+				DefectDensity:          lerp(hi.DefectDensity, lo.DefectDensity),
+				GateDensity:            math.Exp(lerp(math.Log(hi.GateDensity), math.Log(lo.GateDensity))),
+				CriticalLayers:         int(math.Round(lerp(float64(hi.CriticalLayers), float64(lo.CriticalLayers)))),
+				PowerScale:             lerp(hi.PowerScale, lo.PowerScale),
+			}, nil
+		}
+	}
+	return last, nil
+}
+
+// Names lists the node labels in table order.
+func Names() []string {
+	out := make([]string, len(table))
+	for i, n := range table {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// GatesForArea converts silicon area on this node to equivalent logic
+// gates.
+func (n Node) GatesForArea(a units.Area) float64 {
+	return n.GateDensity * a.MM2()
+}
+
+// AreaForGates converts a gate count to silicon area on this node.
+func (n Node) AreaForGates(gates float64) (units.Area, error) {
+	if gates < 0 {
+		return 0, fmt.Errorf("technode: negative gate count %g", gates)
+	}
+	if n.GateDensity <= 0 {
+		return 0, fmt.Errorf("technode: node %s has no gate density", n.Name)
+	}
+	return units.MM2(gates / n.GateDensity), nil
+}
+
+// Validate checks that the node's coefficients are physically sensible.
+func (n Node) Validate() error {
+	switch {
+	case n.FeatureNM <= 0:
+		return fmt.Errorf("technode: node %q: feature size %g nm must be positive", n.Name, n.FeatureNM)
+	case n.EPA.KWhPerCM2() <= 0:
+		return fmt.Errorf("technode: node %q: EPA must be positive", n.Name)
+	case n.GPA.KgPerCM2() < 0:
+		return fmt.Errorf("technode: node %q: GPA must be non-negative", n.Name)
+	case n.MPANew.KgPerCM2() < 0:
+		return fmt.Errorf("technode: node %q: MPA must be non-negative", n.Name)
+	case n.RecycledMaterialSaving < 0 || n.RecycledMaterialSaving > 1:
+		return fmt.Errorf("technode: node %q: recycled saving %g outside [0,1]", n.Name, n.RecycledMaterialSaving)
+	case n.DefectDensity < 0:
+		return fmt.Errorf("technode: node %q: defect density must be non-negative", n.Name)
+	case n.GateDensity <= 0:
+		return fmt.Errorf("technode: node %q: gate density must be positive", n.Name)
+	case n.PowerScale < 0:
+		return fmt.Errorf("technode: node %q: power scale must be non-negative", n.Name)
+	}
+	return nil
+}
+
+// SortedByFeature returns the nodes sorted ascending by feature size
+// (leading edge first).
+func SortedByFeature(nodes []Node) []Node {
+	out := make([]Node, len(nodes))
+	copy(out, nodes)
+	sort.Slice(out, func(i, j int) bool { return out[i].FeatureNM < out[j].FeatureNM })
+	return out
+}

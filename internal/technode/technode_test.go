@@ -1,0 +1,197 @@
+package technode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/units"
+)
+
+func TestByName(t *testing.T) {
+	n, err := ByName("10nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.FeatureNM != 10 || n.EPA.KWhPerCM2() != 1.475 {
+		t.Errorf("10nm node: %+v", n)
+	}
+	if _, err := ByName("1nm"); err == nil {
+		t.Error("unknown node must error")
+	}
+}
+
+func TestListIsOrderedAndValid(t *testing.T) {
+	nodes := List()
+	if len(nodes) < 8 {
+		t.Fatalf("expected a rich node table, got %d entries", len(nodes))
+	}
+	for i, n := range nodes {
+		if err := n.Validate(); err != nil {
+			t.Errorf("node %s invalid: %v", n.Name, err)
+		}
+		if i > 0 && n.FeatureNM >= nodes[i-1].FeatureNM {
+			t.Errorf("table not descending at %s", n.Name)
+		}
+	}
+}
+
+func TestScalingTrends(t *testing.T) {
+	// Advanced nodes must cost more energy per area, have more defects,
+	// and pack more gates.
+	n28, _ := ByName("28nm")
+	n7, _ := ByName("7nm")
+	n3, _ := ByName("3nm")
+	if !(n28.EPA < n7.EPA && n7.EPA < n3.EPA) {
+		t.Error("EPA must grow toward leading edge")
+	}
+	if !(n28.DefectDensity < n7.DefectDensity && n7.DefectDensity < n3.DefectDensity) {
+		t.Error("defect density must grow toward leading edge")
+	}
+	if !(n28.GateDensity < n7.GateDensity && n7.GateDensity < n3.GateDensity) {
+		t.Error("gate density must grow toward leading edge")
+	}
+	if !(n28.PowerScale > n7.PowerScale && n7.PowerScale > n3.PowerScale) {
+		t.Error("power per gate must shrink toward leading edge")
+	}
+	n10, _ := ByName("10nm")
+	if n10.PowerScale != 1.0 {
+		t.Errorf("10nm is the power-scale reference, got %g", n10.PowerScale)
+	}
+}
+
+func TestByFeatureExactAndClamped(t *testing.T) {
+	n, err := ByFeature(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "10nm" {
+		t.Errorf("exact lookup gave %s", n.Name)
+	}
+	big, err := ByFeature(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Name != "28nm" {
+		t.Errorf("above-range lookup should clamp to 28nm, got %s", big.Name)
+	}
+	small, err := ByFeature(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Name != "3nm" {
+		t.Errorf("below-range lookup should clamp to 3nm, got %s", small.Name)
+	}
+	for _, bad := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		if _, err := ByFeature(bad); err == nil {
+			t.Errorf("ByFeature(%g) must error", bad)
+		}
+	}
+}
+
+func TestByFeatureInterpolation(t *testing.T) {
+	n9, err := ByFeature(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n10, _ := ByName("10nm")
+	n8, _ := ByName("8nm")
+	if !(n9.EPA > n10.EPA && n9.EPA < n8.EPA) {
+		t.Errorf("interpolated EPA %v not between %v and %v", n9.EPA, n10.EPA, n8.EPA)
+	}
+	if !(n9.GateDensity > n10.GateDensity && n9.GateDensity < n8.GateDensity) {
+		t.Errorf("interpolated gate density %g not between neighbours", n9.GateDensity)
+	}
+	if n9.Name != "9nm" {
+		t.Errorf("interpolated name %q", n9.Name)
+	}
+	if err := n9.Validate(); err != nil {
+		t.Errorf("interpolated node invalid: %v", err)
+	}
+}
+
+func TestGateAreaConversions(t *testing.T) {
+	n, _ := ByName("10nm")
+	a := units.MM2(150)
+	gates := n.GatesForArea(a)
+	if gates != 9.0e6*150 {
+		t.Errorf("gates for 150mm2: %g", gates)
+	}
+	back, err := n.AreaForGates(gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back.MM2()-150) > 1e-9 {
+		t.Errorf("area round trip: %v", back)
+	}
+	if _, err := n.AreaForGates(-1); err == nil {
+		t.Error("negative gates must error")
+	}
+	if _, err := (Node{Name: "x", FeatureNM: 1}).AreaForGates(10); err == nil {
+		t.Error("zero gate density must error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good, _ := ByName("7nm")
+	bad := []Node{
+		{},
+		func() Node { n := good; n.EPA = 0; return n }(),
+		func() Node { n := good; n.GPA = units.KgPerCM2(-1); return n }(),
+		func() Node { n := good; n.MPANew = units.KgPerCM2(-1); return n }(),
+		func() Node { n := good; n.RecycledMaterialSaving = 2; return n }(),
+		func() Node { n := good; n.DefectDensity = -0.1; return n }(),
+		func() Node { n := good; n.GateDensity = 0; return n }(),
+	}
+	for i, n := range bad {
+		if n.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+	if good.Validate() != nil {
+		t.Error("table node should validate")
+	}
+}
+
+func TestSortedByFeature(t *testing.T) {
+	sorted := SortedByFeature(List())
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].FeatureNM < sorted[i-1].FeatureNM {
+			t.Fatal("not ascending")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if names[0] != "28nm" || names[len(names)-1] != "3nm" {
+		t.Errorf("names: %v", names)
+	}
+}
+
+// Property: interpolation stays within the bracketing nodes for every
+// coefficient, for any feature size in the table's range.
+func TestQuickInterpolationBounds(t *testing.T) {
+	f := func(raw float64) bool {
+		nm := 3 + math.Mod(math.Abs(raw), 25) // (3, 28)
+		if math.IsNaN(nm) {
+			return true
+		}
+		n, err := ByFeature(nm)
+		if err != nil {
+			return false
+		}
+		if n.Validate() != nil {
+			return false
+		}
+		lo, _ := ByFeature(28)
+		hi, _ := ByFeature(3)
+		return n.EPA >= lo.EPA && n.EPA <= hi.EPA &&
+			n.DefectDensity >= lo.DefectDensity && n.DefectDensity <= hi.DefectDensity &&
+			n.GateDensity >= lo.GateDensity && n.GateDensity <= hi.GateDensity &&
+			n.PowerScale <= lo.PowerScale && n.PowerScale >= hi.PowerScale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

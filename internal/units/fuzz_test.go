@@ -1,0 +1,64 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseMass checks the quantity parser never panics and that
+// successful parses are self-consistent (formatting then re-parsing
+// stays within formatting precision).
+func FuzzParseMass(f *testing.F) {
+	for _, seed := range []string{
+		"2500 kg", "2.5 t", "7.65 MTCO2E", "500 g", "1.2 kt", "42", "-10 kg",
+		"", "kg", "1e309 kg", "nan t", "12 lbs", "  3.5\tkg ", "+2.5kt",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMass(s)
+		if err != nil {
+			return
+		}
+		kg := m.Kilograms()
+		if math.IsNaN(kg) {
+			// NaN literals parse as floats; reject downstream is fine,
+			// but round-tripping NaN is meaningless.
+			return
+		}
+		back, err := ParseMass(m.String())
+		if err != nil {
+			t.Fatalf("formatted %q does not re-parse: %v", m.String(), err)
+		}
+		if kg != 0 && !math.IsInf(kg, 0) {
+			rel := math.Abs(back.Kilograms()-kg) / math.Abs(kg)
+			if rel > 0.01 { // String renders 3 significant digits
+				t.Fatalf("round trip drifted: %q -> %v -> %v", s, m, back)
+			}
+		}
+	})
+}
+
+// FuzzParseEnergy mirrors FuzzParseMass for energies.
+func FuzzParseEnergy(f *testing.F) {
+	for _, seed := range []string{"450 kWh", "2.5 MWh", "7.3 GWh", "100 Wh", "9", "x"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := ParseEnergy(s)
+		if err != nil {
+			return
+		}
+		kwh := e.KWh()
+		if math.IsNaN(kwh) || math.IsInf(kwh, 0) || kwh == 0 {
+			return
+		}
+		back, err := ParseEnergy(e.String())
+		if err != nil {
+			t.Fatalf("formatted %q does not re-parse: %v", e.String(), err)
+		}
+		if rel := math.Abs(back.KWh()-kwh) / math.Abs(kwh); rel > 0.01 {
+			t.Fatalf("round trip drifted: %q -> %v -> %v", s, e, back)
+		}
+	})
+}

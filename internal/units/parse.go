@@ -1,0 +1,143 @@
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// splitQuantity separates "12.5 kg" (or "12.5kg") into value and unit.
+// The numeric prefix is the longest leading substring that parses as a
+// float; units may themselves contain digits ("cm2", "mm2").
+func splitQuantity(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, "", fmt.Errorf("units: empty quantity")
+	}
+	best := -1
+	for i := 1; i <= len(s); i++ {
+		if _, err := strconv.ParseFloat(strings.TrimSpace(s[:i]), 64); err == nil {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, "", fmt.Errorf("units: cannot parse %q: no numeric prefix", s)
+	}
+	v, _ := strconv.ParseFloat(strings.TrimSpace(s[:best]), 64)
+	return v, strings.TrimSpace(s[best:]), nil
+}
+
+// ParseMass parses a CO2e mass such as "250 kg", "1.3 t", "900 g",
+// "2 kt", or a bare number (kilograms).
+func ParseMass(s string) (Mass, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch strings.ToLower(unit) {
+	case "", "kg", "kgco2", "kgco2e":
+		return Kilograms(v), nil
+	case "g", "gco2", "gco2e":
+		return Grams(v), nil
+	case "t", "ton", "tonne", "tco2e", "mtco2e":
+		// "MTCO2E" follows the EPA WARM report usage: metric tonnes.
+		return Tonnes(v), nil
+	case "kt", "ktco2e":
+		return Kilotonnes(v), nil
+	default:
+		return 0, fmt.Errorf("units: unknown mass unit %q", unit)
+	}
+}
+
+// ParseEnergy parses an energy such as "450 kWh", "2.5 MWh", "7.3 GWh",
+// or a bare number (kilowatt-hours).
+func ParseEnergy(s string) (Energy, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch strings.ToLower(unit) {
+	case "", "kwh":
+		return KWh(v), nil
+	case "mwh":
+		return MWh(v), nil
+	case "gwh":
+		return GWh(v), nil
+	case "wh":
+		return KWh(v / 1000), nil
+	default:
+		return 0, fmt.Errorf("units: unknown energy unit %q", unit)
+	}
+}
+
+// ParsePower parses a power such as "70 W", "1.5 kW", or a bare
+// number (watts).
+func ParsePower(s string) (Power, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch strings.ToLower(unit) {
+	case "", "w":
+		return Watts(v), nil
+	case "kw":
+		return Kilowatts(v), nil
+	case "mw":
+		return Watts(v / 1000), nil // milliwatts
+	default:
+		return 0, fmt.Errorf("units: unknown power unit %q", unit)
+	}
+}
+
+// ParseArea parses an area such as "340 mm2", "3.4 cm2", or a bare
+// number (square millimetres).
+func ParseArea(s string) (Area, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch strings.ToLower(strings.ReplaceAll(unit, "^", "")) {
+	case "", "mm2":
+		return MM2(v), nil
+	case "cm2":
+		return CM2(v), nil
+	default:
+		return 0, fmt.Errorf("units: unknown area unit %q", unit)
+	}
+}
+
+// ParseYears parses a calendar span such as "2 years", "18 months",
+// "2400 hours", or a bare number (years).
+func ParseYears(s string) (Years, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch strings.ToLower(strings.TrimSuffix(strings.ToLower(unit), "s")) {
+	case "", "y", "yr", "year":
+		return YearsOf(v), nil
+	case "mo", "month":
+		return Months(v), nil
+	case "h", "hr", "hour":
+		return Hours(v), nil
+	default:
+		return 0, fmt.Errorf("units: unknown time unit %q", unit)
+	}
+}
+
+// ParseCarbonIntensity parses an intensity such as "700 g/kWh",
+// "0.7 kg/kWh", or a bare number (kilograms per kilowatt-hour).
+func ParseCarbonIntensity(s string) (CarbonIntensity, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch strings.ToLower(unit) {
+	case "", "kg/kwh", "kgco2/kwh", "kgco2e/kwh":
+		return KgPerKWh(v), nil
+	case "g/kwh", "gco2/kwh", "gco2e/kwh":
+		return GramsPerKWh(v), nil
+	default:
+		return 0, fmt.Errorf("units: unknown carbon-intensity unit %q", unit)
+	}
+}

@@ -1,0 +1,154 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMass(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64 // kg
+	}{
+		{"2500 kg", 2500},
+		{"2.5 t", 2500},
+		{"2.5t", 2500},
+		{"7.65 MTCO2E", 7650},
+		{"500 g", 0.5},
+		{"1.2 kt", 1.2e6},
+		{"42", 42},
+		{"-10 kg", -10},
+	}
+	for _, c := range cases {
+		got, err := ParseMass(c.in)
+		if err != nil {
+			t.Errorf("ParseMass(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got.Kilograms()-c.want) > 1e-9 {
+			t.Errorf("ParseMass(%q) = %g kg, want %g", c.in, got.Kilograms(), c.want)
+		}
+	}
+}
+
+func TestParseEnergy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64 // kWh
+	}{
+		{"450 kWh", 450},
+		{"2.5 MWh", 2500},
+		{"7.3 GWh", 7.3e6},
+		{"100 Wh", 0.1},
+		{"9", 9},
+	}
+	for _, c := range cases {
+		got, err := ParseEnergy(c.in)
+		if err != nil {
+			t.Errorf("ParseEnergy(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got.KWh()-c.want) > 1e-9 {
+			t.Errorf("ParseEnergy(%q) = %g kWh, want %g", c.in, got.KWh(), c.want)
+		}
+	}
+}
+
+func TestParsePowerAreaYearsIntensity(t *testing.T) {
+	if p, err := ParsePower("1.5 kW"); err != nil || p.Watts() != 1500 {
+		t.Errorf("ParsePower kW: %v %v", p, err)
+	}
+	if p, err := ParsePower("250 mW"); err != nil || p.Watts() != 0.25 {
+		t.Errorf("ParsePower mW: %v %v", p, err)
+	}
+	if a, err := ParseArea("3.4 cm2"); err != nil || a.MM2() != 340 {
+		t.Errorf("ParseArea cm2: %v %v", a, err)
+	}
+	if a, err := ParseArea("340 mm^2"); err != nil || a.MM2() != 340 {
+		t.Errorf("ParseArea mm^2: %v %v", a, err)
+	}
+	if y, err := ParseYears("18 months"); err != nil || math.Abs(y.Years()-1.5) > 1e-12 {
+		t.Errorf("ParseYears months: %v %v", y, err)
+	}
+	if y, err := ParseYears("2 yr"); err != nil || y.Years() != 2 {
+		t.Errorf("ParseYears yr: %v %v", y, err)
+	}
+	if ci, err := ParseCarbonIntensity("700 g/kWh"); err != nil || math.Abs(ci.KgPerKWh()-0.7) > 1e-12 {
+		t.Errorf("ParseCarbonIntensity g/kWh: %v %v", ci, err)
+	}
+	if ci, err := ParseCarbonIntensity("0.03 kg/kWh"); err != nil || math.Abs(ci.KgPerKWh()-0.03) > 1e-12 {
+		t.Errorf("ParseCarbonIntensity kg/kWh: %v %v", ci, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []func() error{
+		func() error { _, err := ParseMass(""); return err },
+		func() error { _, err := ParseMass("12 lbs"); return err },
+		func() error { _, err := ParseEnergy("12 BTU"); return err },
+		func() error { _, err := ParsePower("12 hp"); return err },
+		func() error { _, err := ParseArea("12 acres"); return err },
+		func() error { _, err := ParseYears("12 fortnights"); return err },
+		func() error { _, err := ParseCarbonIntensity("12 kg/mi"); return err },
+		func() error { _, err := ParseMass("abc kg"); return err },
+	}
+	for i, f := range bad {
+		if f() == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// Property: parse(format(x)) stays within formatting precision for
+// positive masses, and unit round trips are exact.
+func TestQuickMassRoundTrip(t *testing.T) {
+	f := func(kg float64) bool {
+		kg = math.Abs(kg)
+		if math.IsNaN(kg) || math.IsInf(kg, 0) || kg > 1e15 {
+			return true
+		}
+		m := Kilograms(kg)
+		return m.Tonnes()*1000 == kg && Tonnes(m.Tonnes()).Kilograms() == kg ||
+			math.Abs(Tonnes(m.Tonnes()).Kilograms()-kg) <= 1e-9*kg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy integration is linear in both power and time.
+func TestQuickPowerLinearity(t *testing.T) {
+	f := func(w, y float64) bool {
+		w = math.Mod(math.Abs(w), 1e6)
+		y = math.Mod(math.Abs(y), 100)
+		if math.IsNaN(w) || math.IsNaN(y) {
+			return true
+		}
+		e1 := Watts(w).Over(YearsOf(y)).KWh()
+		e2 := Watts(2 * w).Over(YearsOf(y)).KWh()
+		e3 := Watts(w).Over(YearsOf(2 * y)).KWh()
+		return math.Abs(e2-2*e1) <= 1e-9*math.Max(1, e2) &&
+			math.Abs(e3-2*e1) <= 1e-9*math.Max(1, e3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Carbon is monotone in intensity for non-negative energy.
+func TestQuickCarbonMonotone(t *testing.T) {
+	f := func(e, ci1, ci2 float64) bool {
+		e = math.Abs(e)
+		ci1, ci2 = math.Abs(ci1), math.Abs(ci2)
+		if math.IsNaN(e) || math.IsInf(e, 0) || math.IsNaN(ci1) || math.IsNaN(ci2) {
+			return true
+		}
+		lo, hi := math.Min(ci1, ci2), math.Max(ci1, ci2)
+		return KWh(e).Carbon(KgPerKWh(lo)).Kilograms() <=
+			KWh(e).Carbon(KgPerKWh(hi)).Kilograms()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

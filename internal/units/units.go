@@ -1,0 +1,275 @@
+// Package units provides the physical quantities used throughout
+// GreenFPGA: carbon mass (CO2-equivalent), energy, power, silicon area,
+// calendar time, and carbon intensity of energy sources.
+//
+// Each quantity is a defined float64 type with an explicit base unit:
+//
+//	Mass            kilograms of CO2e
+//	Energy          kilowatt-hours
+//	Power           watts
+//	Area            square millimetres
+//	Years           calendar years
+//	CarbonIntensity kilograms of CO2e per kilowatt-hour
+//
+// Constructors (Tonnes, GWh, ...) and accessors (Kilograms, KWh, ...)
+// convert to and from the base unit so call sites never multiply by raw
+// conversion factors. Cross-quantity arithmetic that changes dimension is
+// expressed as methods (for example Power.Over, Energy.Carbon) so the type
+// system documents every equation in the carbon models.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Conversion factors between the base units and common multiples.
+const (
+	// HoursPerYear is the paper's 24x365 operating year.
+	HoursPerYear = 8760.0
+	// MonthsPerYear converts the application-development inputs of
+	// Table 1 (given in months) to years.
+	MonthsPerYear = 12.0
+	// MM2PerCM2 converts die areas (mm^2) to fab areas (cm^2).
+	MM2PerCM2 = 100.0
+)
+
+// Mass is a mass of CO2-equivalent in kilograms. Negative values are
+// meaningful: the end-of-life model issues recycling credits (Eq. 6).
+type Mass float64
+
+// Kilograms returns m kilograms of CO2e.
+func Kilograms(kg float64) Mass { return Mass(kg) }
+
+// Grams returns g grams of CO2e.
+func Grams(g float64) Mass { return Mass(g / 1000) }
+
+// Tonnes returns t metric tonnes of CO2e.
+func Tonnes(t float64) Mass { return Mass(t * 1000) }
+
+// Kilotonnes returns kt thousand tonnes of CO2e.
+func Kilotonnes(kt float64) Mass { return Mass(kt * 1e6) }
+
+// Kilograms reports the mass in kilograms.
+func (m Mass) Kilograms() float64 { return float64(m) }
+
+// Grams reports the mass in grams.
+func (m Mass) Grams() float64 { return float64(m) * 1000 }
+
+// Tonnes reports the mass in metric tonnes.
+func (m Mass) Tonnes() float64 { return float64(m) / 1000 }
+
+// Kilotonnes reports the mass in thousands of metric tonnes.
+func (m Mass) Kilotonnes() float64 { return float64(m) / 1e6 }
+
+// Scale returns m scaled by the dimensionless factor k.
+func (m Mass) Scale(k float64) Mass { return Mass(float64(m) * k) }
+
+// String renders the mass with an auto-selected SI multiple.
+func (m Mass) String() string {
+	abs := math.Abs(float64(m))
+	switch {
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3g ktCO2e", float64(m)/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3g tCO2e", float64(m)/1e3)
+	case abs >= 1 || abs == 0:
+		return fmt.Sprintf("%.3g kgCO2e", float64(m))
+	default:
+		return fmt.Sprintf("%.3g gCO2e", float64(m)*1000)
+	}
+}
+
+// Energy is an amount of electrical energy in kilowatt-hours.
+type Energy float64
+
+// KWh returns e kilowatt-hours.
+func KWh(e float64) Energy { return Energy(e) }
+
+// MWh returns e megawatt-hours.
+func MWh(e float64) Energy { return Energy(e * 1e3) }
+
+// GWh returns e gigawatt-hours.
+func GWh(e float64) Energy { return Energy(e * 1e6) }
+
+// KWh reports the energy in kilowatt-hours.
+func (e Energy) KWh() float64 { return float64(e) }
+
+// MWh reports the energy in megawatt-hours.
+func (e Energy) MWh() float64 { return float64(e) / 1e3 }
+
+// GWh reports the energy in gigawatt-hours.
+func (e Energy) GWh() float64 { return float64(e) / 1e6 }
+
+// Scale returns e scaled by the dimensionless factor k.
+func (e Energy) Scale(k float64) Energy { return Energy(float64(e) * k) }
+
+// Carbon converts the energy to emitted CO2e at carbon intensity ci.
+// This is the C = CI x E product used by every operational-phase model.
+func (e Energy) Carbon(ci CarbonIntensity) Mass {
+	return Mass(float64(e) * float64(ci))
+}
+
+// String renders the energy with an auto-selected SI multiple.
+func (e Energy) String() string {
+	abs := math.Abs(float64(e))
+	switch {
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3g GWh", float64(e)/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3g MWh", float64(e)/1e3)
+	default:
+		return fmt.Sprintf("%.3g kWh", float64(e))
+	}
+}
+
+// Power is electrical power in watts.
+type Power float64
+
+// Watts returns p watts.
+func Watts(p float64) Power { return Power(p) }
+
+// Kilowatts returns p kilowatts.
+func Kilowatts(p float64) Power { return Power(p * 1e3) }
+
+// Watts reports the power in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Kilowatts reports the power in kilowatts.
+func (p Power) Kilowatts() float64 { return float64(p) / 1e3 }
+
+// Scale returns p scaled by the dimensionless factor k (duty cycle,
+// PUE, device count, ...).
+func (p Power) Scale(k float64) Power { return Power(float64(p) * k) }
+
+// Over integrates the power over a calendar span, yielding energy.
+func (p Power) Over(y Years) Energy {
+	return Energy(float64(p) / 1e3 * float64(y) * HoursPerYear)
+}
+
+// OverHours integrates the power over h hours, yielding energy.
+func (p Power) OverHours(h float64) Energy {
+	return Energy(float64(p) / 1e3 * h)
+}
+
+// String renders the power in watts or kilowatts.
+func (p Power) String() string {
+	if math.Abs(float64(p)) >= 1e3 {
+		return fmt.Sprintf("%.3g kW", float64(p)/1e3)
+	}
+	return fmt.Sprintf("%.3g W", float64(p))
+}
+
+// Area is silicon or package area in square millimetres.
+type Area float64
+
+// MM2 returns a square millimetres of area.
+func MM2(a float64) Area { return Area(a) }
+
+// CM2 returns a square centimetres of area.
+func CM2(a float64) Area { return Area(a * MM2PerCM2) }
+
+// MM2 reports the area in square millimetres.
+func (a Area) MM2() float64 { return float64(a) }
+
+// CM2 reports the area in square centimetres, the unit the per-area
+// manufacturing coefficients are expressed in.
+func (a Area) CM2() float64 { return float64(a) / MM2PerCM2 }
+
+// Scale returns a scaled by the dimensionless factor k.
+func (a Area) Scale(k float64) Area { return Area(float64(a) * k) }
+
+// String renders the area in mm^2 or cm^2.
+func (a Area) String() string {
+	if math.Abs(float64(a)) >= 1e3 {
+		return fmt.Sprintf("%.3g cm^2", float64(a)/MM2PerCM2)
+	}
+	return fmt.Sprintf("%.3g mm^2", float64(a))
+}
+
+// Years is a span of calendar time in years. Application lifetimes T_i,
+// project durations T_proj, and chip lifetimes all use this type.
+type Years float64
+
+// YearsOf returns y years.
+func YearsOf(y float64) Years { return Years(y) }
+
+// Months returns m months as a year fraction.
+func Months(m float64) Years { return Years(m / MonthsPerYear) }
+
+// Hours returns h hours as a year fraction of the 8760-hour year.
+func Hours(h float64) Years { return Years(h / HoursPerYear) }
+
+// Years reports the span in years.
+func (y Years) Years() float64 { return float64(y) }
+
+// Months reports the span in months.
+func (y Years) Months() float64 { return float64(y) * MonthsPerYear }
+
+// Hours reports the span in hours of the 8760-hour year.
+func (y Years) Hours() float64 { return float64(y) * HoursPerYear }
+
+// Scale returns y scaled by the dimensionless factor k.
+func (y Years) Scale(k float64) Years { return Years(float64(y) * k) }
+
+// String renders the span in years or months.
+func (y Years) String() string {
+	if math.Abs(float64(y)) < 1 && y != 0 {
+		return fmt.Sprintf("%.3g months", float64(y)*MonthsPerYear)
+	}
+	return fmt.Sprintf("%.3g years", float64(y))
+}
+
+// CarbonIntensity is the CO2e emitted per unit of electrical energy,
+// in kilograms per kilowatt-hour. The paper's C_src ranges (Table 1) are
+// 30-700 gCO2/kWh depending on the energy source.
+type CarbonIntensity float64
+
+// KgPerKWh returns an intensity of ci kilograms CO2e per kWh.
+func KgPerKWh(ci float64) CarbonIntensity { return CarbonIntensity(ci) }
+
+// GramsPerKWh returns an intensity of ci grams CO2e per kWh.
+func GramsPerKWh(ci float64) CarbonIntensity { return CarbonIntensity(ci / 1000) }
+
+// KgPerKWh reports the intensity in kilograms CO2e per kWh.
+func (ci CarbonIntensity) KgPerKWh() float64 { return float64(ci) }
+
+// GramsPerKWh reports the intensity in grams CO2e per kWh.
+func (ci CarbonIntensity) GramsPerKWh() float64 { return float64(ci) * 1000 }
+
+// Scale returns ci scaled by the dimensionless factor k.
+func (ci CarbonIntensity) Scale(k float64) CarbonIntensity {
+	return CarbonIntensity(float64(ci) * k)
+}
+
+// String renders the intensity in g/kWh, the unit used in the paper.
+func (ci CarbonIntensity) String() string {
+	return fmt.Sprintf("%.3g gCO2/kWh", float64(ci)*1000)
+}
+
+// MassPerArea is an emission density in kilograms CO2e per square
+// centimetre of wafer area; the GPA and MPA coefficients of the
+// manufacturing model use it.
+type MassPerArea float64
+
+// KgPerCM2 returns d kilograms CO2e per cm^2.
+func KgPerCM2(d float64) MassPerArea { return MassPerArea(d) }
+
+// KgPerCM2 reports the density in kilograms CO2e per cm^2.
+func (d MassPerArea) KgPerCM2() float64 { return float64(d) }
+
+// Times returns the mass emitted over area a.
+func (d MassPerArea) Times(a Area) Mass { return Mass(float64(d) * a.CM2()) }
+
+// EnergyPerArea is fab energy use per square centimetre of wafer area
+// (the EPA coefficient), in kilowatt-hours per cm^2.
+type EnergyPerArea float64
+
+// KWhPerCM2 returns d kilowatt-hours per cm^2.
+func KWhPerCM2(d float64) EnergyPerArea { return EnergyPerArea(d) }
+
+// KWhPerCM2 reports the density in kilowatt-hours per cm^2.
+func (d EnergyPerArea) KWhPerCM2() float64 { return float64(d) }
+
+// Times returns the energy consumed processing area a.
+func (d EnergyPerArea) Times(a Area) Energy { return Energy(float64(d) * a.CM2()) }

@@ -1,0 +1,123 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s: got %g, want %g", msg, got, want)
+	}
+}
+
+func TestMassConversions(t *testing.T) {
+	m := Tonnes(2.5)
+	approx(t, m.Kilograms(), 2500, 1e-12, "tonnes->kg")
+	approx(t, m.Grams(), 2.5e6, 1e-12, "tonnes->g")
+	approx(t, m.Tonnes(), 2.5, 1e-12, "tonnes round trip")
+	approx(t, Kilotonnes(0.0025).Kilograms(), 2500, 1e-12, "kt->kg")
+	approx(t, Grams(500).Kilograms(), 0.5, 1e-12, "g->kg")
+}
+
+func TestMassScaleAndNegative(t *testing.T) {
+	credit := Kilograms(-10)
+	if credit.Kilograms() >= 0 {
+		t.Fatal("negative mass (recycling credit) must be representable")
+	}
+	approx(t, credit.Scale(2.5).Kilograms(), -25, 1e-12, "scale")
+}
+
+func TestEnergyConversions(t *testing.T) {
+	e := GWh(7.3)
+	approx(t, e.KWh(), 7.3e6, 1e-12, "GWh->kWh")
+	approx(t, e.MWh(), 7300, 1e-12, "GWh->MWh")
+	approx(t, MWh(2).KWh(), 2000, 1e-12, "MWh->kWh")
+}
+
+func TestEnergyCarbon(t *testing.T) {
+	// 1000 kWh at 700 g/kWh = 700 kg.
+	got := KWh(1000).Carbon(GramsPerKWh(700))
+	approx(t, got.Kilograms(), 700, 1e-12, "energy x intensity")
+}
+
+func TestPowerIntegration(t *testing.T) {
+	// 100 W for one year = 876 kWh.
+	e := Watts(100).Over(YearsOf(1))
+	approx(t, e.KWh(), 876, 1e-12, "W over year")
+	// duty-cycle scaling: half duty halves energy.
+	half := Watts(100).Scale(0.5).Over(YearsOf(1))
+	approx(t, half.KWh(), 438, 1e-12, "duty scaling")
+	approx(t, Kilowatts(2).OverHours(3).KWh(), 6, 1e-12, "kW over hours")
+}
+
+func TestAreaConversions(t *testing.T) {
+	a := MM2(340)
+	approx(t, a.CM2(), 3.4, 1e-12, "mm2->cm2")
+	approx(t, CM2(1.5).MM2(), 150, 1e-12, "cm2->mm2")
+}
+
+func TestYearsConversions(t *testing.T) {
+	approx(t, Months(18).Years(), 1.5, 1e-12, "months->years")
+	approx(t, YearsOf(2).Months(), 24, 1e-12, "years->months")
+	approx(t, YearsOf(1).Hours(), 8760, 1e-12, "years->hours")
+	approx(t, Hours(8760).Years(), 1, 1e-12, "hours->years")
+}
+
+func TestCarbonIntensityConversions(t *testing.T) {
+	ci := GramsPerKWh(700)
+	approx(t, ci.KgPerKWh(), 0.7, 1e-12, "g/kWh->kg/kWh")
+	approx(t, KgPerKWh(0.03).GramsPerKWh(), 30, 1e-12, "kg/kWh->g/kWh")
+}
+
+func TestDensityTimesArea(t *testing.T) {
+	// 0.5 kg/cm2 over 200 mm2 (2 cm2) = 1 kg.
+	approx(t, KgPerCM2(0.5).Times(MM2(200)).Kilograms(), 1, 1e-12, "MPA x area")
+	// 1.475 kWh/cm2 over 100 mm2 = 1.475 kWh.
+	approx(t, KWhPerCM2(1.475).Times(MM2(100)).KWh(), 1.475, 1e-12, "EPA x area")
+}
+
+func TestStringFormatting(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Tonnes(2.5).String(), "2.5 tCO2e"},
+		{Kilograms(3).String(), "3 kgCO2e"},
+		{Grams(12).String(), "12 gCO2e"},
+		{Kilotonnes(1.2).String(), "1.2 ktCO2e"},
+		{GWh(2).String(), "2 GWh"},
+		{MWh(3).String(), "3 MWh"},
+		{KWh(7).String(), "7 kWh"},
+		{Watts(70).String(), "70 W"},
+		{Kilowatts(1.5).String(), "1.5 kW"},
+		{MM2(340).String(), "340 mm^2"},
+		{CM2(15).String(), "15 cm^2"},
+		{YearsOf(2).String(), "2 years"},
+		{Months(6).String(), "6 months"},
+		{GramsPerKWh(700).String(), "700 gCO2/kWh"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String: got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestZeroValuesAreUsable(t *testing.T) {
+	var (
+		m  Mass
+		e  Energy
+		p  Power
+		a  Area
+		y  Years
+		ci CarbonIntensity
+	)
+	if m.Kilograms() != 0 || e.KWh() != 0 || p.Watts() != 0 ||
+		a.MM2() != 0 || y.Years() != 0 || ci.KgPerKWh() != 0 {
+		t.Fatal("zero values must read as zero")
+	}
+	if got := m.String(); got != "0 kgCO2e" {
+		t.Errorf("zero mass string: %q", got)
+	}
+}

@@ -1,0 +1,219 @@
+// Package workload characterizes accelerator applications so scenarios
+// can be built from throughput targets instead of raw gate counts. The
+// paper's Eq. 3 needs an application size in equivalent logic gates
+// (N_FPGA = ceil(appsize / FPGAcapacity)); this package grounds that
+// input with a library of parameterized kernels from the paper's three
+// domains — DNN inference, image processing, and cryptography — each
+// scaling by processing-element replication.
+//
+// The kernel coefficients are order-of-magnitude figures for pipelined
+// accelerator implementations (gates per processing element and
+// throughput per element at a nominal clock); they exist to generate
+// realistic scenario inputs, not to time real RTL.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"greenfpga/internal/core"
+	"greenfpga/internal/units"
+)
+
+// Kernel is a parameterizable accelerator workload.
+type Kernel struct {
+	// Name identifies the kernel ("resnet50-int8", ...).
+	Name string
+	// Domain is the paper's application domain (DNN, ImgProc, Crypto).
+	Domain string
+	// BaseGates is the equivalent logic gates of one processing
+	// element (PE) including its share of control and buffering.
+	BaseGates float64
+	// BaseThroughput is the throughput one PE delivers, in Unit.
+	BaseThroughput float64
+	// Unit names the throughput unit ("GOPS", "Mpixel/s", "Gbps").
+	Unit string
+	// WattsPerMGate is active power per million gates at full
+	// utilization — a coarse dynamic+static density at the 10 nm-class
+	// nodes the paper evaluates.
+	WattsPerMGate float64
+}
+
+// library holds the built-in kernels, three per paper domain.
+var library = []Kernel{
+	// DNN inference: MAC-array accelerators. One 32x32 int8 MAC array
+	// with buffers is ~1.6 Mgates and sustains ~2 TOPS at ~1 GHz.
+	{"resnet50-int8", "DNN", 1.6e6, 2000, "GOPS", 0.55},
+	{"bert-large-int8", "DNN", 2.4e6, 1800, "GOPS", 0.60},
+	{"lstm-speech", "DNN", 1.1e6, 900, "GOPS", 0.50},
+
+	// Image processing: deep pixel pipelines.
+	{"h265-encode-4k", "ImgProc", 3.0e6, 250, "Mpixel/s", 0.40},
+	{"optical-flow-hd", "ImgProc", 1.8e6, 400, "Mpixel/s", 0.45},
+	{"isp-pipeline", "ImgProc", 0.9e6, 600, "Mpixel/s", 0.35},
+
+	// Cryptography: round-unrolled block/hash engines.
+	{"aes256-gcm", "Crypto", 0.35e6, 40, "Gbps", 0.30},
+	{"sha3-512", "Crypto", 0.25e6, 25, "Gbps", 0.30},
+	{"rsa4096-sign", "Crypto", 1.2e6, 8, "kops/s", 0.45},
+}
+
+// Library lists the built-in kernels grouped by domain then name.
+func Library() []Kernel {
+	out := make([]Kernel, len(library))
+	copy(out, library)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domain != out[j].Domain {
+			return out[i].Domain < out[j].Domain
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByName looks a kernel up.
+func ByName(name string) (Kernel, error) {
+	for _, k := range library {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	names := make([]string, len(library))
+	for i, k := range library {
+		names[i] = k.Name
+	}
+	sort.Strings(names)
+	return Kernel{}, fmt.Errorf("workload: unknown kernel %q (known: %v)", name, names)
+}
+
+// ByDomain lists the kernels of one domain.
+func ByDomain(domain string) []Kernel {
+	var out []Kernel
+	for _, k := range Library() {
+		if k.Domain == domain {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Validate checks the kernel coefficients.
+func (k Kernel) Validate() error {
+	switch {
+	case k.Name == "" || k.Domain == "":
+		return fmt.Errorf("workload: kernel needs name and domain")
+	case k.BaseGates <= 0:
+		return fmt.Errorf("workload: kernel %s: base gates must be positive", k.Name)
+	case k.BaseThroughput <= 0:
+		return fmt.Errorf("workload: kernel %s: base throughput must be positive", k.Name)
+	case k.WattsPerMGate <= 0:
+		return fmt.Errorf("workload: kernel %s: power density must be positive", k.Name)
+	}
+	return nil
+}
+
+// Demand is the hardware requirement of a kernel at a target
+// throughput.
+type Demand struct {
+	// Kernel names the source kernel.
+	Kernel string
+	// ProcessingElements is the PE replication factor.
+	ProcessingElements int
+	// Gates is the total equivalent logic gates (the paper's appsize).
+	Gates float64
+	// PeakPower is the active power of the replicated design.
+	PeakPower units.Power
+	// Throughput is the delivered (not requested) throughput, in the
+	// kernel's unit — replication quantizes upward.
+	Throughput float64
+}
+
+// Demand sizes the kernel for a target throughput by replicating
+// processing elements.
+func (k Kernel) Demand(target float64) (Demand, error) {
+	if err := k.Validate(); err != nil {
+		return Demand{}, err
+	}
+	if target <= 0 || math.IsNaN(target) || math.IsInf(target, 0) {
+		return Demand{}, fmt.Errorf("workload: kernel %s: invalid target throughput %g", k.Name, target)
+	}
+	pes := int(math.Ceil(target / k.BaseThroughput))
+	gates := float64(pes) * k.BaseGates
+	return Demand{
+		Kernel:             k.Name,
+		ProcessingElements: pes,
+		Gates:              gates,
+		PeakPower:          units.Watts(gates / 1e6 * k.WattsPerMGate),
+		Throughput:         float64(pes) * k.BaseThroughput,
+	}, nil
+}
+
+// Application builds a core.Application from a kernel demand: the
+// demand's gate count becomes the application size driving N_FPGA.
+func Application(k Kernel, target float64, lifetime units.Years, volume float64) (core.Application, error) {
+	d, err := k.Demand(target)
+	if err != nil {
+		return core.Application{}, err
+	}
+	return core.Application{
+		Name:      fmt.Sprintf("%s@%g%s", k.Name, target, k.Unit),
+		Lifetime:  lifetime,
+		Volume:    volume,
+		SizeGates: d.Gates,
+	}, nil
+}
+
+// CarbonPerUnitHour is an SCI-style efficiency metric: grams of CO2e
+// per unit-hour of delivered throughput (e.g. g/GOPS-hour for DNN
+// kernels). It divides a deployment's total CFP by the work the fleet
+// delivers over the application lifetime:
+//
+//	work = throughput x duty x hours x volume
+//
+// Lower is greener; comparing platforms at iso-performance in this
+// metric matches comparing their totals, but the metric also makes
+// differently-sized deployments comparable.
+func CarbonPerUnitHour(total units.Mass, d Demand, lifetime units.Years,
+	volume, dutyCycle float64) (float64, error) {
+	if d.Throughput <= 0 {
+		return 0, fmt.Errorf("workload: demand has no throughput")
+	}
+	if lifetime.Years() <= 0 {
+		return 0, fmt.Errorf("workload: lifetime must be positive, got %v", lifetime)
+	}
+	if volume <= 0 {
+		return 0, fmt.Errorf("workload: volume must be positive, got %g", volume)
+	}
+	if dutyCycle <= 0 || dutyCycle > 1 {
+		return 0, fmt.Errorf("workload: duty cycle %g outside (0,1]", dutyCycle)
+	}
+	work := d.Throughput * dutyCycle * lifetime.Hours() * volume
+	return total.Grams() / work, nil
+}
+
+// Roadmap builds a multi-generation scenario: the same kernel with a
+// throughput target that grows by growthFactor each generation — the
+// paper's "rapidly changing workloads" setting where reconfigurability
+// pays.
+func Roadmap(k Kernel, initialTarget, growthFactor float64, generations int,
+	lifetime units.Years, volume float64) (core.Scenario, error) {
+	if generations < 1 {
+		return core.Scenario{}, fmt.Errorf("workload: need at least one generation, got %d", generations)
+	}
+	if growthFactor <= 0 {
+		return core.Scenario{}, fmt.Errorf("workload: growth factor must be positive, got %g", growthFactor)
+	}
+	s := core.Scenario{Name: fmt.Sprintf("%s-roadmap", k.Name)}
+	target := initialTarget
+	for g := 0; g < generations; g++ {
+		app, err := Application(k, target, lifetime, volume)
+		if err != nil {
+			return core.Scenario{}, err
+		}
+		app.Name = fmt.Sprintf("%s-gen%d", app.Name, g+1)
+		s.Apps = append(s.Apps, app)
+		target *= growthFactor
+	}
+	return s, nil
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/units"
+)
+
+func TestLibraryCoversAllDomains(t *testing.T) {
+	lib := Library()
+	if len(lib) < 9 {
+		t.Fatalf("library too small: %d kernels", len(lib))
+	}
+	byDomain := map[string]int{}
+	for _, k := range lib {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+		byDomain[k.Domain]++
+	}
+	for _, dom := range []string{"DNN", "ImgProc", "Crypto"} {
+		if byDomain[dom] < 3 {
+			t.Errorf("domain %s has %d kernels, want >= 3", dom, byDomain[dom])
+		}
+	}
+	// Sorted by domain then name.
+	for i := 1; i < len(lib); i++ {
+		a, b := lib[i-1], lib[i]
+		if a.Domain > b.Domain || (a.Domain == b.Domain && a.Name > b.Name) {
+			t.Fatalf("library unsorted at %d: %s/%s after %s/%s", i, b.Domain, b.Name, a.Domain, a.Name)
+		}
+	}
+}
+
+func TestByNameAndDomain(t *testing.T) {
+	k, err := ByName("aes256-gcm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Domain != "Crypto" || k.Unit != "Gbps" {
+		t.Errorf("aes kernel: %+v", k)
+	}
+	if _, err := ByName("quantum-fft"); err == nil {
+		t.Error("unknown kernel must error")
+	}
+	dnn := ByDomain("DNN")
+	if len(dnn) != 3 {
+		t.Errorf("DNN kernels: %d", len(dnn))
+	}
+	if len(ByDomain("HFT")) != 0 {
+		t.Error("unknown domain should be empty")
+	}
+}
+
+func TestDemandReplication(t *testing.T) {
+	k, _ := ByName("resnet50-int8") // 1.6 Mgates, 2000 GOPS per PE
+	d, err := k.Demand(5000)        // needs ceil(2.5) = 3 PEs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ProcessingElements != 3 {
+		t.Errorf("PEs = %d, want 3", d.ProcessingElements)
+	}
+	if d.Gates != 3*1.6e6 {
+		t.Errorf("gates = %g", d.Gates)
+	}
+	if d.Throughput != 6000 {
+		t.Errorf("delivered throughput = %g, want 6000", d.Throughput)
+	}
+	wantPower := 3 * 1.6 * 0.55 // MGates x W/MGate
+	if math.Abs(d.PeakPower.Watts()-wantPower) > 1e-9 {
+		t.Errorf("power = %v, want %g W", d.PeakPower, wantPower)
+	}
+	// Exact-fit target uses exactly that many PEs.
+	d2, _ := k.Demand(4000)
+	if d2.ProcessingElements != 2 {
+		t.Errorf("exact fit PEs = %d, want 2", d2.ProcessingElements)
+	}
+}
+
+func TestDemandErrors(t *testing.T) {
+	k, _ := ByName("sha3-512")
+	for _, bad := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		if _, err := k.Demand(bad); err == nil {
+			t.Errorf("Demand(%g) must error", bad)
+		}
+	}
+	if _, err := (Kernel{}).Demand(10); err == nil {
+		t.Error("invalid kernel must error")
+	}
+}
+
+func TestApplication(t *testing.T) {
+	k, _ := ByName("h265-encode-4k")
+	app, err := Application(k, 1000, units.YearsOf(2), 5e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(); err != nil {
+		t.Errorf("built application invalid: %v", err)
+	}
+	if app.SizeGates != 4*3.0e6 { // ceil(1000/250) = 4 PEs
+		t.Errorf("app size %g", app.SizeGates)
+	}
+	if app.Name == "" {
+		t.Error("application should be named")
+	}
+	if _, err := Application(k, -1, units.YearsOf(1), 1); err == nil {
+		t.Error("bad target must propagate")
+	}
+}
+
+func TestRoadmap(t *testing.T) {
+	k, _ := ByName("bert-large-int8")
+	s, err := Roadmap(k, 2000, 2, 4, units.YearsOf(1.5), 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("roadmap scenario invalid: %v", err)
+	}
+	if len(s.Apps) != 4 {
+		t.Fatalf("generations: %d", len(s.Apps))
+	}
+	// Sizes must be non-decreasing (targets double each generation).
+	for i := 1; i < len(s.Apps); i++ {
+		if s.Apps[i].SizeGates < s.Apps[i-1].SizeGates {
+			t.Errorf("generation %d shrank: %g < %g", i+1,
+				s.Apps[i].SizeGates, s.Apps[i-1].SizeGates)
+		}
+	}
+	// Final generation: target 16000 GOPS, 1800 per PE => 9 PEs.
+	if s.Apps[3].SizeGates != 9*2.4e6 {
+		t.Errorf("final generation size %g", s.Apps[3].SizeGates)
+	}
+	if _, err := Roadmap(k, 100, 2, 0, units.YearsOf(1), 1); err == nil {
+		t.Error("zero generations must error")
+	}
+	if _, err := Roadmap(k, 100, -1, 2, units.YearsOf(1), 1); err == nil {
+		t.Error("negative growth must error")
+	}
+}
+
+func TestCarbonPerUnitHour(t *testing.T) {
+	k, _ := ByName("resnet50-int8")
+	d, _ := k.Demand(4000) // delivers 4000 GOPS
+	// 1 tonne over 1 year, 100 units, duty 0.5:
+	// work = 4000 * 0.5 * 8760 * 100 unit-hours.
+	got, err := CarbonPerUnitHour(units.Tonnes(1), d, units.YearsOf(1), 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e6 / (4000 * 0.5 * 8760 * 100)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("intensity %g, want %g g/GOPS-hour", got, want)
+	}
+	// Errors.
+	if _, err := CarbonPerUnitHour(1, Demand{}, units.YearsOf(1), 1, 0.5); err == nil {
+		t.Error("no throughput must error")
+	}
+	if _, err := CarbonPerUnitHour(1, d, 0, 1, 0.5); err == nil {
+		t.Error("zero lifetime must error")
+	}
+	if _, err := CarbonPerUnitHour(1, d, units.YearsOf(1), 0, 0.5); err == nil {
+		t.Error("zero volume must error")
+	}
+	if _, err := CarbonPerUnitHour(1, d, units.YearsOf(1), 1, 0); err == nil {
+		t.Error("zero duty must error")
+	}
+	if _, err := CarbonPerUnitHour(1, d, units.YearsOf(1), 1, 1.5); err == nil {
+		t.Error("duty > 1 must error")
+	}
+}
+
+// Property: demand covers the target and is tight — one fewer PE would
+// miss it; gates and power scale exactly with PE count.
+func TestQuickDemandTight(t *testing.T) {
+	kernels := Library()
+	f := func(rawTarget float64, which uint8) bool {
+		k := kernels[int(which)%len(kernels)]
+		target := math.Mod(math.Abs(rawTarget), 1e6)
+		if target <= 0 || math.IsNaN(target) {
+			return true
+		}
+		d, err := k.Demand(target)
+		if err != nil {
+			return false
+		}
+		covers := d.Throughput >= target-1e-9
+		tight := float64(d.ProcessingElements-1)*k.BaseThroughput < target
+		scaled := d.Gates == float64(d.ProcessingElements)*k.BaseGates
+		return covers && tight && scaled
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package yield implements die-yield models and wafer geometry. The
+// manufacturing carbon model divides per-die emissions by yield: silicon
+// discarded to defects still paid its fab carbon, so larger dice carry a
+// superlinear embodied footprint.
+//
+// Four classical models are provided. All take the die area A and the
+// process defect density D0 (defects per cm^2):
+//
+//	Poisson        Y = exp(-A*D0)
+//	Murphy         Y = ((1 - exp(-A*D0)) / (A*D0))^2
+//	Seeds          Y = 1 / (1 + A*D0)
+//	Bose-Einstein  Y = 1 / (1 + A*D0)^n  (n critical layers)
+//
+// Murphy's model is the industry default and the package default.
+package yield
+
+import (
+	"fmt"
+	"math"
+
+	"greenfpga/internal/units"
+)
+
+// Model identifies a yield model.
+type Model string
+
+// Supported yield models.
+const (
+	Poisson      Model = "poisson"
+	Murphy       Model = "murphy"
+	Seeds        Model = "seeds"
+	BoseEinstein Model = "bose-einstein"
+)
+
+// DefaultCriticalLayers is the Bose-Einstein critical-layer count used
+// when a node does not specify one.
+const DefaultCriticalLayers = 10
+
+// Calculator computes die yield for a given model and defect density.
+type Calculator struct {
+	// Model selects the yield formula; empty means Murphy.
+	Model Model
+	// DefectDensity is D0 in defects per cm^2.
+	DefectDensity float64
+	// CriticalLayers is the Bose-Einstein exponent; zero means
+	// DefaultCriticalLayers.
+	CriticalLayers int
+}
+
+// DieYield reports the fraction of good dice (0, 1] for a die of the
+// given area. Zero-area dice yield 1 by convention. It returns an error
+// for negative areas or defect densities.
+func (c Calculator) DieYield(area units.Area) (float64, error) {
+	if area.MM2() < 0 {
+		return 0, fmt.Errorf("yield: negative die area %v", area)
+	}
+	if c.DefectDensity < 0 {
+		return 0, fmt.Errorf("yield: negative defect density %g", c.DefectDensity)
+	}
+	ad := area.CM2() * c.DefectDensity
+	if ad == 0 {
+		return 1, nil
+	}
+	model := c.Model
+	if model == "" {
+		model = Murphy
+	}
+	switch model {
+	case Poisson:
+		return math.Exp(-ad), nil
+	case Murphy:
+		f := (1 - math.Exp(-ad)) / ad
+		return f * f, nil
+	case Seeds:
+		return 1 / (1 + ad), nil
+	case BoseEinstein:
+		n := c.CriticalLayers
+		if n <= 0 {
+			n = DefaultCriticalLayers
+		}
+		return math.Pow(1+ad/float64(n), -float64(n)), nil
+	default:
+		return 0, fmt.Errorf("yield: unknown model %q", model)
+	}
+}
+
+// Models lists the supported yield models.
+func Models() []Model {
+	return []Model{Poisson, Murphy, Seeds, BoseEinstein}
+}
+
+// Wafer describes a production wafer.
+type Wafer struct {
+	// Diameter of the wafer in millimetres (300 for modern fabs).
+	DiameterMM float64
+	// EdgeExclusionMM is the unusable rim of the wafer.
+	EdgeExclusionMM float64
+	// SawStreetMM is the scribe-line width added around each die.
+	SawStreetMM float64
+}
+
+// Wafer300 is the standard 300 mm wafer.
+var Wafer300 = Wafer{DiameterMM: 300, EdgeExclusionMM: 3, SawStreetMM: 0.1}
+
+// DiesPerWafer estimates the number of whole dice that fit on the wafer
+// using the standard gross-die formula
+//
+//	N = pi*(d/2)^2/S - pi*d/sqrt(2*S)
+//
+// with S the die area including saw streets and d the usable diameter.
+func (w Wafer) DiesPerWafer(die units.Area) (int, error) {
+	if die.MM2() <= 0 {
+		return 0, fmt.Errorf("yield: die area must be positive, got %v", die)
+	}
+	if w.DiameterMM <= 0 {
+		return 0, fmt.Errorf("yield: wafer diameter must be positive, got %g", w.DiameterMM)
+	}
+	usable := w.DiameterMM - 2*w.EdgeExclusionMM
+	if usable <= 0 {
+		return 0, fmt.Errorf("yield: edge exclusion consumes the wafer")
+	}
+	side := math.Sqrt(die.MM2())
+	s := (side + w.SawStreetMM) * (side + w.SawStreetMM)
+	n := math.Pi*usable*usable/4/s - math.Pi*usable/math.Sqrt(2*s)
+	if n < 0 {
+		n = 0
+	}
+	return int(n), nil
+}
+
+// GoodDiesPerWafer combines geometry with the yield model.
+func (w Wafer) GoodDiesPerWafer(die units.Area, c Calculator) (float64, error) {
+	gross, err := w.DiesPerWafer(die)
+	if err != nil {
+		return 0, err
+	}
+	y, err := c.DieYield(die)
+	if err != nil {
+		return 0, err
+	}
+	return float64(gross) * y, nil
+}

@@ -1,0 +1,190 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenfpga/internal/units"
+)
+
+func TestKnownYieldValues(t *testing.T) {
+	// A*D0 = 1.5 cm^2 * 0.08 /cm^2 = 0.12.
+	area := units.CM2(1.5)
+	cases := []struct {
+		model Model
+		want  float64
+	}{
+		{Poisson, math.Exp(-0.12)},
+		{Murphy, math.Pow((1-math.Exp(-0.12))/0.12, 2)},
+		{Seeds, 1 / 1.12},
+		{BoseEinstein, math.Pow(1+0.12/10, -10)},
+	}
+	for _, c := range cases {
+		got, err := Calculator{Model: c.model, DefectDensity: 0.08}.DieYield(area)
+		if err != nil {
+			t.Fatalf("%s: %v", c.model, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s yield = %.6f, want %.6f", c.model, got, c.want)
+		}
+	}
+}
+
+func TestDefaultModelIsMurphy(t *testing.T) {
+	area := units.CM2(2)
+	def, err := Calculator{DefectDensity: 0.1}.DieYield(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	murphy, err := Calculator{Model: Murphy, DefectDensity: 0.1}.DieYield(area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != murphy {
+		t.Errorf("default %g != murphy %g", def, murphy)
+	}
+}
+
+func TestYieldEdgeCases(t *testing.T) {
+	c := Calculator{Model: Murphy, DefectDensity: 0.1}
+	if y, err := c.DieYield(units.MM2(0)); err != nil || y != 1 {
+		t.Errorf("zero area: %g %v", y, err)
+	}
+	if y, err := (Calculator{Model: Poisson}).DieYield(units.CM2(5)); err != nil || y != 1 {
+		t.Errorf("zero defect density: %g %v", y, err)
+	}
+	if _, err := c.DieYield(units.MM2(-1)); err == nil {
+		t.Error("negative area must error")
+	}
+	if _, err := (Calculator{DefectDensity: -1}).DieYield(units.MM2(100)); err == nil {
+		t.Error("negative defect density must error")
+	}
+	if _, err := (Calculator{Model: "magic", DefectDensity: 0.1}).DieYield(units.MM2(100)); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestBoseEinsteinLayers(t *testing.T) {
+	area := units.CM2(3)
+	few, _ := Calculator{Model: BoseEinstein, DefectDensity: 0.1, CriticalLayers: 2}.DieYield(area)
+	many, _ := Calculator{Model: BoseEinstein, DefectDensity: 0.1, CriticalLayers: 30}.DieYield(area)
+	poisson, _ := Calculator{Model: Poisson, DefectDensity: 0.1}.DieYield(area)
+	// As n grows Bose-Einstein approaches Poisson from above.
+	if !(few > many && many > poisson) {
+		t.Errorf("ordering violated: few=%g many=%g poisson=%g", few, many, poisson)
+	}
+}
+
+func TestModelOrdering(t *testing.T) {
+	// For the same A*D0, Seeds is the most pessimistic and Murphy sits
+	// between Poisson and Seeds.
+	area := units.CM2(4)
+	p, _ := Calculator{Model: Poisson, DefectDensity: 0.1}.DieYield(area)
+	m, _ := Calculator{Model: Murphy, DefectDensity: 0.1}.DieYield(area)
+	s, _ := Calculator{Model: Seeds, DefectDensity: 0.1}.DieYield(area)
+	if !(p < m && m < s) {
+		// Poisson is harshest for large A*D0; Seeds most forgiving.
+		t.Errorf("expected poisson < murphy < seeds, got %g %g %g", p, m, s)
+	}
+}
+
+func TestDiesPerWafer(t *testing.T) {
+	// A 100 mm^2 die on a 300 mm wafer yields on the order of 600 gross
+	// dice with the standard formula.
+	n, err := Wafer300.DiesPerWafer(units.MM2(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 500 || n > 700 {
+		t.Errorf("gross dice = %d, want ~600", n)
+	}
+	// Bigger dice, fewer dice.
+	n2, _ := Wafer300.DiesPerWafer(units.MM2(600))
+	if n2 >= n {
+		t.Errorf("larger die must reduce count: %d vs %d", n2, n)
+	}
+	if _, err := Wafer300.DiesPerWafer(units.MM2(0)); err == nil {
+		t.Error("zero die area must error")
+	}
+	if _, err := (Wafer{DiameterMM: 0}).DiesPerWafer(units.MM2(100)); err == nil {
+		t.Error("zero wafer diameter must error")
+	}
+	if _, err := (Wafer{DiameterMM: 10, EdgeExclusionMM: 6}).DiesPerWafer(units.MM2(100)); err == nil {
+		t.Error("edge exclusion consuming wafer must error")
+	}
+	// A die bigger than the wafer gives zero, not negative.
+	n3, err := Wafer300.DiesPerWafer(units.CM2(700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 != 0 {
+		t.Errorf("oversized die: got %d, want 0", n3)
+	}
+}
+
+func TestGoodDiesPerWafer(t *testing.T) {
+	c := Calculator{Model: Murphy, DefectDensity: 0.1}
+	good, err := Wafer300.GoodDiesPerWafer(units.MM2(100), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gross, _ := Wafer300.DiesPerWafer(units.MM2(100))
+	y, _ := c.DieYield(units.MM2(100))
+	if math.Abs(good-float64(gross)*y) > 1e-9 {
+		t.Errorf("good dice = %g, want %g", good, float64(gross)*y)
+	}
+	if _, err := Wafer300.GoodDiesPerWafer(units.MM2(-1), c); err == nil {
+		t.Error("bad area must propagate error")
+	}
+	if _, err := Wafer300.GoodDiesPerWafer(units.MM2(100), Calculator{DefectDensity: -1}); err == nil {
+		t.Error("bad calculator must propagate error")
+	}
+}
+
+// Property: every model maps any die area to (0, 1], and yield is
+// monotonically non-increasing in area.
+func TestQuickYieldBoundsAndMonotone(t *testing.T) {
+	f := func(a1, a2 float64, d0 float64, which uint8) bool {
+		a1 = math.Mod(math.Abs(a1), 900) // mm^2, up to reticle scale
+		a2 = math.Mod(math.Abs(a2), 900)
+		d0 = math.Mod(math.Abs(d0), 0.5)
+		if math.IsNaN(a1) || math.IsNaN(a2) || math.IsNaN(d0) {
+			return true
+		}
+		models := Models()
+		c := Calculator{Model: models[int(which)%len(models)], DefectDensity: d0}
+		lo, hi := math.Min(a1, a2), math.Max(a1, a2)
+		ylo, err1 := c.DieYield(units.MM2(lo))
+		yhi, err2 := c.DieYield(units.MM2(hi))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		inBounds := ylo > 0 && ylo <= 1 && yhi > 0 && yhi <= 1
+		return inBounds && yhi <= ylo+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total good silicon area per wafer never exceeds the usable
+// wafer area.
+func TestQuickGoodSiliconConservation(t *testing.T) {
+	f := func(areaMM float64) bool {
+		areaMM = 1 + math.Mod(math.Abs(areaMM), 800)
+		if math.IsNaN(areaMM) {
+			return true
+		}
+		c := Calculator{Model: Murphy, DefectDensity: 0.1}
+		good, err := Wafer300.GoodDiesPerWafer(units.MM2(areaMM), c)
+		if err != nil {
+			return false
+		}
+		waferArea := math.Pi * 150 * 150 // mm^2
+		return good*areaMM <= waferArea
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
