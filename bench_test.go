@@ -70,12 +70,23 @@ func BenchmarkMultiFPGAGanging(b *testing.B)  { benchExperiment(b, "multi-fpga")
 func BenchmarkFabSiting(b *testing.B)         { benchExperiment(b, "fab-siting") }
 
 // BenchmarkMonteCarlo runs a 500-sample Table 1 uncertainty study on
-// the DNN ratio.
+// the DNN ratio. The pair is compiled once; each draw swaps in its
+// duty cycle through the cheap operational-model variant and probes
+// the O(1) uniform path, and the engine fans draws across CPUs.
 func BenchmarkMonteCarlo(b *testing.B) {
 	d, err := isoperf.ByName("DNN")
 	if err != nil {
 		b.Fatal(err)
 	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := pr.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := greenfpga.RunMonteCarlo(greenfpga.MCConfig{
 			Samples: 500,
@@ -85,14 +96,16 @@ func BenchmarkMonteCarlo(b *testing.B) {
 				{Name: "life", Dist: greenfpga.UniformDist{Lo: 1, Hi: 3}},
 			},
 			Model: func(draw map[string]float64) (float64, error) {
-				dd := d
-				dd.DutyCycle = draw["duty"]
-				pr, err := dd.Pair()
+				f, err := cp.FPGA.WithDutyCycle(draw["duty"])
 				if err != nil {
 					return 0, err
 				}
-				c, err := pr.Compare(core.Uniform("mc", 5,
-					units.YearsOf(draw["life"]), 1e6, 0))
+				a, err := cp.ASIC.WithDutyCycle(draw["duty"])
+				if err != nil {
+					return 0, err
+				}
+				c, err := core.CompiledPair{FPGA: f, ASIC: a}.CompareUniform(
+					5, units.YearsOf(draw["life"]), 1e6, 0)
 				if err != nil {
 					return 0, err
 				}
@@ -164,8 +177,42 @@ func BenchmarkDeviceCost(b *testing.B) {
 }
 
 // BenchmarkSweep2D measures a parallel 20x12 pairwise grid (the Fig. 8
-// workload shape).
+// workload shape): the pair is compiled once and every cell probes the
+// O(1) uniform path through the sweep worker pool.
 func BenchmarkSweep2D(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := pr.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := sweep.Axis{Name: "n", Values: sweep.IntRange(1, 20)}
+	y := sweep.Axis{Name: "t", Values: sweep.Linspace(0.2, 2.5, 12)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sweep.Run2D(x, y, func(xv, yv float64) (units.Mass, units.Mass, error) {
+			c, err := cp.CompareUniform(int(xv+0.5), units.YearsOf(yv), 1e6, 0)
+			if err != nil {
+				return 0, 0, err
+			}
+			return c.FPGA.Total(), c.ASIC.Total(), nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep2DUncompiled keeps the seed benchmark's shape — a full
+// scenario build and evaluation per cell — to track the cost the
+// compiled pipeline removes.
+func BenchmarkSweep2DUncompiled(b *testing.B) {
 	d, err := isoperf.ByName("DNN")
 	if err != nil {
 		b.Fatal(err)
@@ -210,6 +257,102 @@ func BenchmarkCrossoverSolvers(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, _, err := pr.CrossoverVolume(5, units.YearsOf(2), 0, 1e3, 1e7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossoverSolversCompiled measures the same three solvers
+// against a pre-compiled pair — the repeated-sweep setting where even
+// the one-time compile is amortized away.
+func BenchmarkCrossoverSolversCompiled(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := pr.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cp.CrossoverNumApps(units.YearsOf(2), 1e6, 0, 20); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := cp.CrossoverLifetime(5, 1e6, 0, units.YearsOf(0.2), units.YearsOf(2.5)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := cp.CrossoverVolume(5, units.YearsOf(2), 0, 1e3, 1e7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Compiled-pipeline micro-benchmarks.
+
+// BenchmarkCompile measures the one-time platform compilation cost.
+func BenchmarkCompile(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := greenfpga.Compile(pr.FPGA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledEvaluateFPGA measures a full scenario evaluation
+// against a pre-compiled FPGA platform.
+func BenchmarkCompiledEvaluateFPGA(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := greenfpga.Compile(pr.FPGA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := core.Uniform("bench", 5, units.YearsOf(2), 1e6, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Evaluate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateUniformFPGA measures the O(1) uniform-scenario path.
+func BenchmarkEvaluateUniformFPGA(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := greenfpga.Compile(pr.FPGA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EvaluateUniform(5, units.YearsOf(2), 1e6, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

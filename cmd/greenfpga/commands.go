@@ -127,15 +127,19 @@ func cmdCrossover(args []string) error {
 	if err != nil {
 		return err
 	}
-	n, nFound, err := pr.CrossoverNumApps(units.YearsOf(*lifetime), *volume, 0, 30)
+	cp, err := greenfpga.CompilePair(pr)
 	if err != nil {
 		return err
 	}
-	tstar, tFound, err := pr.CrossoverLifetime(*napps, *volume, 0, units.YearsOf(0.05), units.YearsOf(10))
+	n, nFound, err := cp.CrossoverNumApps(units.YearsOf(*lifetime), *volume, 0, 30)
 	if err != nil {
 		return err
 	}
-	vstar, vFound, err := pr.CrossoverVolume(*napps, units.YearsOf(*lifetime), 0, 1e2, 1e8)
+	tstar, tFound, err := cp.CrossoverLifetime(*napps, *volume, 0, units.YearsOf(0.05), units.YearsOf(10))
+	if err != nil {
+		return err
+	}
+	vstar, vFound, err := cp.CrossoverVolume(*napps, units.YearsOf(*lifetime), 0, 1e2, 1e8)
 	if err != nil {
 		return err
 	}
@@ -220,6 +224,10 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("unknown axis %q (napps, lifetime, volume)", *axis)
 	}
 
+	cp, err := greenfpga.CompilePair(pr)
+	if err != nil {
+		return err
+	}
 	eval := func(x float64) (units.Mass, units.Mass, error) {
 		nApps, tY, v := 5, 2.0, 1e6
 		switch evalAxis {
@@ -230,7 +238,7 @@ func cmdSweep(args []string) error {
 		case "v":
 			v = x
 		}
-		c, err := pr.Compare(core.Uniform("sweep", nApps, units.YearsOf(tY), v, 0))
+		c, err := cp.CompareUniform(nApps, units.YearsOf(tY), v, 0)
 		if err != nil {
 			return 0, 0, err
 		}

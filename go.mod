@@ -1,0 +1,3 @@
+module greenfpga
+
+go 1.24

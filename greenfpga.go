@@ -73,6 +73,13 @@ type (
 	Pair = core.Pair
 	// Comparison is a pair evaluated on one scenario.
 	Comparison = core.Comparison
+	// CompiledPlatform is a platform with its platform-constant
+	// quantities cached; evaluating it skips the per-call model
+	// re-derivation of Evaluate.
+	CompiledPlatform = core.Compiled
+	// CompiledPair is a pair compiled for dense sweeps, crossover
+	// probes and Monte-Carlo draws.
+	CompiledPair = core.CompiledPair
 	// DeviceSpec describes an ASIC or FPGA device.
 	DeviceSpec = device.Spec
 	// Domain is one Table 2 iso-performance testcase.
@@ -163,6 +170,17 @@ var (
 // platform (Eq. 1 for ASICs, Eq. 2 for FPGAs).
 func Evaluate(p Platform, s Scenario) (Assessment, error) { return core.Evaluate(p, s) }
 
+// Compile validates the platform once and caches every
+// platform-constant quantity of the lifecycle models. Use the result's
+// Evaluate/EvaluateUniform for dense sweeps: per-call cost drops from
+// re-running the fab, packaging, EOL, design and deployment models to
+// a handful of multiplications.
+func Compile(p Platform) (*CompiledPlatform, error) { return core.Compile(p) }
+
+// CompilePair compiles both sides of a pair for sweep and crossover
+// workloads.
+func CompilePair(pr Pair) (CompiledPair, error) { return pr.Compile() }
+
 // Uniform builds a scenario of n identical applications.
 func Uniform(name string, n int, lifetime YearSpan, volume, sizeGates float64) Scenario {
 	return core.Uniform(name, n, lifetime, volume, sizeGates)
@@ -206,7 +224,9 @@ func RenderExperiment(id string, w io.Writer) error {
 	return out.Render(w)
 }
 
-// RunMonteCarlo executes a Monte-Carlo uncertainty study.
+// RunMonteCarlo executes a Monte-Carlo uncertainty study. Draws are
+// evaluated in parallel — the model callback must be safe for
+// concurrent use — with results identical across worker counts.
 func RunMonteCarlo(cfg MCConfig) (MCResult, error) { return montecarlo.Run(cfg) }
 
 // Kernels lists the built-in workload library.

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"greenfpga/internal/device"
+	"greenfpga/internal/units"
+)
+
+// Compiled is a Platform whose expensive, platform-constant quantities
+// have been evaluated once and cached: the per-device embodied cost,
+// the design-phase CFP, the annual per-device operation carbon, and
+// the per-application and per-configuration app-development CFP.
+// Evaluate re-derives all five on every call; a Compiled platform pays
+// for them once, which is the whole constant factor of the paper's
+// dense sweeps (Figs. 4-11 are thousands of evaluations of the same
+// two platforms).
+//
+// A Compiled platform is immutable after Compile and safe for
+// concurrent use.
+type Compiled struct {
+	platform Platform
+
+	deviceCost DeviceCost
+	design     units.Mass
+	opAnnual   units.Mass
+	perApp     units.Mass
+	perCfg     units.Mass
+
+	// Per-device hardware totals, pre-summed from deviceCost so the
+	// evaluation loops scale three cached scalars instead of re-summing
+	// the fab/packaging/EOL sub-results per application.
+	mfgTotal units.Mass
+	pkgTotal units.Mass
+	eolNet   units.Mass
+}
+
+// Compile validates the platform and caches the five platform-constant
+// quantities Evaluate would otherwise re-derive per call.
+func Compile(p Platform) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	dc, err := p.DeviceCost()
+	if err != nil {
+		return nil, err
+	}
+	des, err := p.DesignCFP()
+	if err != nil {
+		return nil, err
+	}
+	opAnnual, err := p.operation().AnnualCarbon()
+	if err != nil {
+		return nil, err
+	}
+	ad := p.appDev()
+	perApp, err := ad.PerApplication()
+	if err != nil {
+		return nil, err
+	}
+	perCfg, err := ad.PerConfiguration()
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		platform:   p,
+		deviceCost: dc,
+		design:     des,
+		opAnnual:   opAnnual,
+		perApp:     perApp,
+		perCfg:     perCfg,
+		mfgTotal:   dc.Manufacturing.Total(),
+		pkgTotal:   dc.Packaging.Total(),
+		eolNet:     dc.EOL.Net(),
+	}, nil
+}
+
+// Platform returns the compiled platform inputs.
+func (c *Compiled) Platform() Platform { return c.platform }
+
+// DeviceCost returns the cached per-device embodied cost.
+func (c *Compiled) DeviceCost() DeviceCost { return c.deviceCost }
+
+// DesignCFP returns the cached design-phase CFP (Eq. 4).
+func (c *Compiled) DesignCFP() units.Mass { return c.design }
+
+// AnnualOperationCarbon returns the cached C_op for one device-year.
+func (c *Compiled) AnnualOperationCarbon() units.Mass { return c.opAnnual }
+
+// WithDutyCycle derives a compiled platform with a different duty
+// cycle without re-running the embodied models: only the operational
+// carbon depends on it. This is the Monte-Carlo hot path — Table 1
+// uncertainty studies redraw the duty cycle per sample while the die,
+// node and design inputs stay fixed.
+func (c *Compiled) WithDutyCycle(duty float64) (*Compiled, error) {
+	if duty == c.platform.DutyCycle {
+		return c, nil
+	}
+	out := *c
+	out.platform.DutyCycle = duty
+	if err := out.platform.Validate(); err != nil {
+		return nil, err
+	}
+	opAnnual, err := out.platform.operation().AnnualCarbon()
+	if err != nil {
+		return nil, err
+	}
+	out.opAnnual = opAnnual
+	return &out, nil
+}
+
+// addHardware spreads devices' worth of per-device embodied cost into
+// the breakdown.
+func (c *Compiled) addHardware(b *Breakdown, devices float64) {
+	b.Manufacturing += c.mfgTotal.Scale(devices)
+	b.Packaging += c.pkgTotal.Scale(devices)
+	b.EOL += c.eolNet.Scale(devices)
+}
+
+// Evaluate computes the total CFP of running the scenario on the
+// compiled platform, applying Eq. 1 for ASICs and Eq. 2 for FPGAs.
+// Results are identical to Evaluate on the uncompiled platform.
+func (c *Compiled) Evaluate(s Scenario) (Assessment, error) {
+	if err := s.Validate(); err != nil {
+		return Assessment{}, err
+	}
+
+	p := &c.platform
+	out := Assessment{
+		Platform:            p.Spec.Name,
+		Kind:                p.Spec.Kind,
+		HardwareGenerations: 1,
+	}
+
+	if p.Spec.Kind == device.ASIC {
+		// Eq. 1: every application pays design + hardware + deployment.
+		for _, app := range s.Apps {
+			n, err := p.Spec.Required(app.SizeGates)
+			if err != nil {
+				return Assessment{}, err
+			}
+			devices := app.Volume * float64(n)
+			gens := 1
+			if p.ChipLifetime > 0 && app.Lifetime > p.ChipLifetime {
+				gens = int(math.Ceil(app.Lifetime.Years() / p.ChipLifetime.Years()))
+			}
+			b := c.appBreakdown(app, devices, s.StrictEq2)
+			b.Design = c.design
+			c.addHardware(&b, devices*float64(gens))
+			out.PerApp = append(out.PerApp, AppAssessment{
+				Name: app.Name, DevicesPerUnit: n, Breakdown: b,
+			})
+			out.Breakdown = out.Breakdown.Add(b)
+			out.DevicesManufactured += devices * float64(gens)
+			out.FleetSize = math.Max(out.FleetSize, devices)
+		}
+		return out, nil
+	}
+
+	// Eq. 2: the FPGA fleet is built once (per hardware generation) and
+	// reconfigured across applications. Device counts are computed once
+	// here and reused below, so the per-application pass cannot hit a
+	// Required error the fleet-sizing pass did not already surface.
+	var fleet float64
+	counts := make([]int, len(s.Apps))
+	for i, app := range s.Apps {
+		n, err := p.Spec.Required(app.SizeGates)
+		if err != nil {
+			return Assessment{}, err
+		}
+		counts[i] = n
+		fleet = math.Max(fleet, app.Volume*float64(n))
+	}
+	gens := 1
+	if p.ChipLifetime > 0 {
+		total := s.TotalYears().Years()
+		if total > p.ChipLifetime.Years() {
+			gens = int(math.Ceil(total / p.ChipLifetime.Years()))
+		}
+	}
+	out.FleetSize = fleet
+	out.HardwareGenerations = gens
+	out.DevicesManufactured = fleet * float64(gens)
+	out.Breakdown.Design = c.design
+	c.addHardware(&out.Breakdown, fleet*float64(gens))
+
+	for i, app := range s.Apps {
+		n := counts[i]
+		devices := app.Volume * float64(n)
+		b := c.appBreakdown(app, devices, s.StrictEq2)
+		out.PerApp = append(out.PerApp, AppAssessment{
+			Name: app.Name, DevicesPerUnit: n, Breakdown: b,
+		})
+		out.Breakdown = out.Breakdown.Add(b)
+	}
+	return out, nil
+}
+
+// appBreakdown is one application's deployment contribution (operation
+// + app development + configuration), shared by both equations.
+func (c *Compiled) appBreakdown(app Application, devices float64, strictEq2 bool) Breakdown {
+	var b Breakdown
+	b.Operation = c.opAnnual.Scale(devices * app.Lifetime.Years() * app.utilization())
+	appDevCost := c.perApp
+	cfgCost := c.perCfg.Scale(devices)
+	if strictEq2 {
+		appDevCost = appDevCost.Scale(app.Lifetime.Years())
+		cfgCost = cfgCost.Scale(app.Lifetime.Years())
+	}
+	b.AppDevelopment = appDevCost
+	b.Configuration = cfgCost
+	return b
+}
+
+// EvaluateUniform computes the assessment of a uniform scenario — n
+// identical applications of the given lifetime, volume and size, the
+// shape of experiments A-C (Figs. 4-8) and every crossover probe — in
+// O(1): no []Application is built, no per-application names are
+// formatted, and no per-application loop runs. (Platforms with a
+// ChipLifetime cap pay one O(n) scalar summation to reproduce
+// generation boundaries exactly; see below.)
+//
+// The returned assessment matches Evaluate on Uniform(name, n, ...)
+// with two documented differences: PerApp is nil (all n entries would
+// be identical — the totals carry the same information), and totals
+// are computed by scaling the shared per-application contribution by n
+// rather than adding it n times, which can differ from the loop in the
+// last floating-point ulp. Uniform scenarios built by Uniform use the
+// default (non-strict) Eq. 2 accounting, as does this path.
+func (c *Compiled) EvaluateUniform(n int, lifetime units.Years, volume, sizeGates float64) (Assessment, error) {
+	if n < 1 {
+		return Assessment{}, fmt.Errorf("core: uniform scenario needs n >= 1, got %d", n)
+	}
+	if err := (Application{Name: "uniform", Lifetime: lifetime, Volume: volume, SizeGates: sizeGates}).Validate(); err != nil {
+		return Assessment{}, err
+	}
+
+	p := &c.platform
+	perUnit, err := p.Spec.Required(sizeGates)
+	if err != nil {
+		return Assessment{}, err
+	}
+	devices := volume * float64(perUnit)
+	out := Assessment{
+		Platform:            p.Spec.Name,
+		Kind:                p.Spec.Kind,
+		HardwareGenerations: 1,
+	}
+	app := Application{Lifetime: lifetime, Volume: volume, SizeGates: sizeGates}
+
+	if p.Spec.Kind == device.ASIC {
+		gens := 1
+		if p.ChipLifetime > 0 && lifetime > p.ChipLifetime {
+			gens = int(math.Ceil(lifetime.Years() / p.ChipLifetime.Years()))
+		}
+		b := c.appBreakdown(app, devices, false)
+		b.Design = c.design
+		c.addHardware(&b, devices*float64(gens))
+		out.Breakdown = b.Scale(float64(n))
+		out.DevicesManufactured = devices * float64(gens) * float64(n)
+		out.FleetSize = devices
+		return out, nil
+	}
+
+	gens := 1
+	if p.ChipLifetime > 0 {
+		// Sum the lifetime n times exactly as Scenario.TotalYears
+		// does: multiplication rounds differently at generation
+		// boundaries (0.7*10 is exactly 7, ten summed 0.7s exceed
+		// it), and a flip here is a whole hardware generation, not an
+		// ulp. Capped platforms pay this O(n) scalar loop; the common
+		// uncapped case stays O(1).
+		var total float64
+		for i := 0; i < n; i++ {
+			total += lifetime.Years()
+		}
+		if total > p.ChipLifetime.Years() {
+			gens = int(math.Ceil(total / p.ChipLifetime.Years()))
+		}
+	}
+	out.FleetSize = devices
+	out.HardwareGenerations = gens
+	out.DevicesManufactured = devices * float64(gens)
+	out.Breakdown = c.appBreakdown(app, devices, false).Scale(float64(n))
+	out.Breakdown.Design = c.design
+	c.addHardware(&out.Breakdown, devices*float64(gens))
+	return out, nil
+}
+
+// UniformTotal is the total CFP of EvaluateUniform, for callers that
+// only probe totals (the crossover solvers).
+func (c *Compiled) UniformTotal(n int, lifetime units.Years, volume, sizeGates float64) (units.Mass, error) {
+	a, err := c.EvaluateUniform(n, lifetime, volume, sizeGates)
+	if err != nil {
+		return 0, err
+	}
+	return a.Total(), nil
+}
+
+// CompiledPair couples a compiled FPGA platform with its compiled
+// iso-performance ASIC alternative. Compile a Pair once, then run
+// every sweep cell, crossover probe or Monte-Carlo draw against the
+// cached quantities.
+type CompiledPair struct {
+	// FPGA is the reconfigurable platform.
+	FPGA *Compiled
+	// ASIC is the fixed-function alternative.
+	ASIC *Compiled
+}
+
+// Compile compiles both sides of the pair.
+func (pr Pair) Compile() (CompiledPair, error) {
+	f, err := Compile(pr.FPGA)
+	if err != nil {
+		return CompiledPair{}, fmt.Errorf("core: FPGA side: %w", err)
+	}
+	a, err := Compile(pr.ASIC)
+	if err != nil {
+		return CompiledPair{}, fmt.Errorf("core: ASIC side: %w", err)
+	}
+	return CompiledPair{FPGA: f, ASIC: a}, nil
+}
+
+// compare packages two assessments as a Comparison.
+func compare(f, a Assessment) Comparison {
+	c := Comparison{FPGA: f, ASIC: a}
+	if at := a.Total().Kilograms(); at != 0 {
+		c.Ratio = f.Total().Kilograms() / at
+	} else {
+		c.Ratio = math.Inf(1)
+	}
+	return c
+}
+
+// Compare evaluates both compiled platforms on the scenario.
+func (cp CompiledPair) Compare(s Scenario) (Comparison, error) {
+	f, err := cp.FPGA.Evaluate(s)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("core: FPGA side: %w", err)
+	}
+	a, err := cp.ASIC.Evaluate(s)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("core: ASIC side: %w", err)
+	}
+	return compare(f, a), nil
+}
+
+// CompareUniform evaluates both compiled platforms on a uniform
+// scenario through the O(1) path.
+func (cp CompiledPair) CompareUniform(n int, lifetime units.Years, volume, sizeGates float64) (Comparison, error) {
+	f, err := cp.FPGA.EvaluateUniform(n, lifetime, volume, sizeGates)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("core: FPGA side: %w", err)
+	}
+	a, err := cp.ASIC.EvaluateUniform(n, lifetime, volume, sizeGates)
+	if err != nil {
+		return Comparison{}, fmt.Errorf("core: ASIC side: %w", err)
+	}
+	return compare(f, a), nil
+}
+
+// DiffUniform is the signed FPGA-minus-ASIC uniform-scenario total in
+// kilograms, the quantity every crossover solver drives to zero.
+func (cp CompiledPair) DiffUniform(n int, lifetime units.Years, volume, sizeGates float64) (float64, error) {
+	f, err := cp.FPGA.UniformTotal(n, lifetime, volume, sizeGates)
+	if err != nil {
+		return 0, fmt.Errorf("core: FPGA side: %w", err)
+	}
+	a, err := cp.ASIC.UniformTotal(n, lifetime, volume, sizeGates)
+	if err != nil {
+		return 0, fmt.Errorf("core: ASIC side: %w", err)
+	}
+	return f.Kilograms() - a.Kilograms(), nil
+}
+
+// capped reports whether either platform limits hardware generations,
+// which makes the FPGA-minus-ASIC diff piecewise in the swept
+// parameter instead of affine.
+func (cp CompiledPair) capped() bool {
+	return cp.FPGA.platform.ChipLifetime > 0 || cp.ASIC.platform.ChipLifetime > 0
+}
+
+// CrossoverNumApps finds the smallest N_app in 1..maxN at which the
+// FPGA total drops below the ASIC total — the A2F crossover of
+// experiment A (Fig. 4). Without chip-lifetime caps both totals are
+// affine in N_app, so the diff is monotone and the first negative N is
+// located by binary search in O(log maxN) probes; with caps the diff
+// is piecewise and the solver falls back to a linear scan (still O(1)
+// per probe). found is false when no crossover occurs within maxN.
+func (cp CompiledPair) CrossoverNumApps(lifetime units.Years, volume, sizeGates float64, maxN int) (n int, found bool, err error) {
+	if maxN < 1 {
+		return 0, false, fmt.Errorf("core: maxN must be >= 1, got %d", maxN)
+	}
+	probe := func(n int) (float64, error) {
+		return cp.DiffUniform(n, lifetime, volume, sizeGates)
+	}
+	if cp.capped() {
+		for n := 1; n <= maxN; n++ {
+			d, err := probe(n)
+			if err != nil {
+				return 0, false, err
+			}
+			if d < 0 {
+				return n, true, nil
+			}
+		}
+		return 0, false, nil
+	}
+	d, err := probe(1)
+	if err != nil {
+		return 0, false, err
+	}
+	if d < 0 {
+		return 1, true, nil
+	}
+	if maxN == 1 {
+		return 0, false, nil
+	}
+	d, err = probe(maxN)
+	if err != nil {
+		return 0, false, err
+	}
+	if d >= 0 {
+		// The diff is affine in n: non-negative at both ends means
+		// non-negative everywhere between.
+		return 0, false, nil
+	}
+	// Invariant: diff(lo) >= 0, diff(hi) < 0.
+	lo, hi := 1, maxN
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		d, err := probe(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if d < 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true, nil
+}
+
+// CrossoverLifetime bisects the application lifetime T_i on [lo, hi]
+// with fixed N_app and volume for the point where the FPGA and ASIC
+// totals meet — the F2A point of experiment B (Fig. 5).
+func (cp CompiledPair) CrossoverLifetime(nApps int, volume, sizeGates float64, lo, hi units.Years) (units.Years, bool, error) {
+	if nApps < 1 {
+		return 0, false, fmt.Errorf("core: nApps must be >= 1, got %d", nApps)
+	}
+	x, found, err := Bisect(lo.Years(), hi.Years(), 1e-4, func(t float64) (float64, error) {
+		return cp.DiffUniform(nApps, units.YearsOf(t), volume, sizeGates)
+	})
+	return units.YearsOf(x), found, err
+}
+
+// CrossoverVolume bisects the application volume N_vol on [lo, hi]
+// with fixed N_app and lifetime — the F2A point of experiment C
+// (Fig. 6).
+func (cp CompiledPair) CrossoverVolume(nApps int, lifetime units.Years, sizeGates float64, lo, hi float64) (float64, bool, error) {
+	if nApps < 1 {
+		return 0, false, fmt.Errorf("core: nApps must be >= 1, got %d", nApps)
+	}
+	if lo <= 0 {
+		return 0, false, fmt.Errorf("core: volume range must be positive, got lo=%g", lo)
+	}
+	return Bisect(lo, hi, math.Max(1, lo*1e-6), func(v float64) (float64, error) {
+		return cp.DiffUniform(nApps, lifetime, v, sizeGates)
+	})
+}

@@ -100,50 +100,37 @@ func Bisect(lo, hi, tol float64, f func(float64) (float64, error)) (x float64, f
 	return (lo + hi) / 2, true, nil
 }
 
-// CrossoverNumApps scans N_app = 1..maxN with fixed lifetime and volume
-// and returns the first N at which the FPGA total drops below the ASIC
-// total — the A2F crossover of experiment A (Fig. 4). found is false
-// when no crossover occurs within maxN.
+// CrossoverNumApps finds the smallest N_app in 1..maxN at which the
+// FPGA total drops below the ASIC total — the A2F crossover of
+// experiment A (Fig. 4). found is false when no crossover occurs
+// within maxN. The pair is compiled once and probed through the O(1)
+// uniform path; see CompiledPair.CrossoverNumApps.
 func (pr Pair) CrossoverNumApps(lifetime units.Years, volume, sizeGates float64, maxN int) (n int, found bool, err error) {
-	if maxN < 1 {
-		return 0, false, fmt.Errorf("core: maxN must be >= 1, got %d", maxN)
+	cp, err := pr.Compile()
+	if err != nil {
+		return 0, false, err
 	}
-	for n := 1; n <= maxN; n++ {
-		d, err := pr.diff(Uniform("xover", n, lifetime, volume, sizeGates))
-		if err != nil {
-			return 0, false, err
-		}
-		if d < 0 {
-			return n, true, nil
-		}
-	}
-	return 0, false, nil
+	return cp.CrossoverNumApps(lifetime, volume, sizeGates, maxN)
 }
 
 // CrossoverLifetime bisects the application lifetime T_i on [lo, hi]
 // with fixed N_app and volume for the point where the FPGA and ASIC
 // totals meet — the F2A point of experiment B (Fig. 5).
 func (pr Pair) CrossoverLifetime(nApps int, volume, sizeGates float64, lo, hi units.Years) (units.Years, bool, error) {
-	if nApps < 1 {
-		return 0, false, fmt.Errorf("core: nApps must be >= 1, got %d", nApps)
+	cp, err := pr.Compile()
+	if err != nil {
+		return 0, false, err
 	}
-	x, found, err := Bisect(lo.Years(), hi.Years(), 1e-4, func(t float64) (float64, error) {
-		return pr.diff(Uniform("xover", nApps, units.YearsOf(t), volume, sizeGates))
-	})
-	return units.YearsOf(x), found, err
+	return cp.CrossoverLifetime(nApps, volume, sizeGates, lo, hi)
 }
 
 // CrossoverVolume bisects the application volume N_vol on [lo, hi]
 // with fixed N_app and lifetime — the F2A point of experiment C
 // (Fig. 6).
 func (pr Pair) CrossoverVolume(nApps int, lifetime units.Years, sizeGates float64, lo, hi float64) (float64, bool, error) {
-	if nApps < 1 {
-		return 0, false, fmt.Errorf("core: nApps must be >= 1, got %d", nApps)
+	cp, err := pr.Compile()
+	if err != nil {
+		return 0, false, err
 	}
-	if lo <= 0 {
-		return 0, false, fmt.Errorf("core: volume range must be positive, got lo=%g", lo)
-	}
-	return Bisect(lo, hi, math.Max(1, lo*1e-6), func(v float64) (float64, error) {
-		return pr.diff(Uniform("xover", nApps, lifetime, v, sizeGates))
-	})
+	return cp.CrossoverVolume(nApps, lifetime, sizeGates, lo, hi)
 }

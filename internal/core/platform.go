@@ -103,7 +103,7 @@ func (p Platform) Validate() error {
 		return fmt.Errorf("core: duty cycle %g outside [0,1]", p.DutyCycle)
 	}
 	if p.YieldOverride < 0 || p.YieldOverride > 1 {
-		return fmt.Errorf("core: yield override %g outside (0,1]", p.YieldOverride)
+		return fmt.Errorf("core: yield override %g must be 0 (disabled) or in (0,1]", p.YieldOverride)
 	}
 	if p.ChipLifetime.Years() < 0 {
 		return fmt.Errorf("core: negative chip lifetime %v", p.ChipLifetime)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"greenfpga/internal/device"
 	"greenfpga/internal/units"
@@ -207,124 +206,14 @@ type Assessment struct {
 func (a Assessment) Total() units.Mass { return a.Breakdown.Total() }
 
 // Evaluate computes the total CFP of running the scenario on the
-// platform, applying Eq. 1 for ASICs and Eq. 2 for FPGAs.
+// platform, applying Eq. 1 for ASICs and Eq. 2 for FPGAs. It compiles
+// the platform and evaluates once; callers evaluating many scenarios
+// against the same platform should Compile once themselves and reuse
+// the result.
 func Evaluate(p Platform, s Scenario) (Assessment, error) {
-	if err := p.Validate(); err != nil {
-		return Assessment{}, err
-	}
-	if err := s.Validate(); err != nil {
-		return Assessment{}, err
-	}
-
-	dc, err := p.DeviceCost()
+	c, err := Compile(p)
 	if err != nil {
 		return Assessment{}, err
 	}
-	des, err := p.DesignCFP()
-	if err != nil {
-		return Assessment{}, err
-	}
-	opAnnual, err := p.operation().AnnualCarbon()
-	if err != nil {
-		return Assessment{}, err
-	}
-	ad := p.appDev()
-	perApp, err := ad.PerApplication()
-	if err != nil {
-		return Assessment{}, err
-	}
-	perCfg, err := ad.PerConfiguration()
-	if err != nil {
-		return Assessment{}, err
-	}
-
-	out := Assessment{
-		Platform:            p.Spec.Name,
-		Kind:                p.Spec.Kind,
-		HardwareGenerations: 1,
-	}
-
-	// perDeviceEmbodied spreads the device cost into the breakdown.
-	addHardware := func(b *Breakdown, devices float64) {
-		b.Manufacturing += dc.Manufacturing.Total().Scale(devices)
-		b.Packaging += dc.Packaging.Total().Scale(devices)
-		b.EOL += dc.EOL.Net().Scale(devices)
-	}
-
-	if p.Spec.Kind == device.ASIC {
-		// Eq. 1: every application pays design + hardware + deployment.
-		for _, app := range s.Apps {
-			n, err := p.Spec.Required(app.SizeGates)
-			if err != nil {
-				return Assessment{}, err
-			}
-			devices := app.Volume * float64(n)
-			gens := 1
-			if p.ChipLifetime > 0 && app.Lifetime > p.ChipLifetime {
-				gens = int(math.Ceil(app.Lifetime.Years() / p.ChipLifetime.Years()))
-			}
-			var b Breakdown
-			b.Design = des
-			addHardware(&b, devices*float64(gens))
-			b.Operation = opAnnual.Scale(devices * app.Lifetime.Years() * app.utilization())
-			appDevCost := perApp
-			cfgCost := perCfg.Scale(devices)
-			if s.StrictEq2 {
-				appDevCost = appDevCost.Scale(app.Lifetime.Years())
-				cfgCost = cfgCost.Scale(app.Lifetime.Years())
-			}
-			b.AppDevelopment = appDevCost
-			b.Configuration = cfgCost
-			out.PerApp = append(out.PerApp, AppAssessment{
-				Name: app.Name, DevicesPerUnit: n, Breakdown: b,
-			})
-			out.Breakdown = out.Breakdown.Add(b)
-			out.DevicesManufactured += devices * float64(gens)
-			out.FleetSize = math.Max(out.FleetSize, devices)
-		}
-		return out, nil
-	}
-
-	// Eq. 2: the FPGA fleet is built once (per hardware generation) and
-	// reconfigured across applications.
-	var fleet float64
-	for _, app := range s.Apps {
-		n, err := p.Spec.Required(app.SizeGates)
-		if err != nil {
-			return Assessment{}, err
-		}
-		fleet = math.Max(fleet, app.Volume*float64(n))
-	}
-	gens := 1
-	if p.ChipLifetime > 0 {
-		total := s.TotalYears().Years()
-		if total > p.ChipLifetime.Years() {
-			gens = int(math.Ceil(total / p.ChipLifetime.Years()))
-		}
-	}
-	out.FleetSize = fleet
-	out.HardwareGenerations = gens
-	out.DevicesManufactured = fleet * float64(gens)
-	out.Breakdown.Design = des
-	addHardware(&out.Breakdown, fleet*float64(gens))
-
-	for _, app := range s.Apps {
-		n, _ := p.Spec.Required(app.SizeGates)
-		devices := app.Volume * float64(n)
-		var b Breakdown
-		b.Operation = opAnnual.Scale(devices * app.Lifetime.Years() * app.utilization())
-		appDevCost := perApp
-		cfgCost := perCfg.Scale(devices)
-		if s.StrictEq2 {
-			appDevCost = appDevCost.Scale(app.Lifetime.Years())
-			cfgCost = cfgCost.Scale(app.Lifetime.Years())
-		}
-		b.AppDevelopment = appDevCost
-		b.Configuration = cfgCost
-		out.PerApp = append(out.PerApp, AppAssessment{
-			Name: app.Name, DevicesPerUnit: n, Breakdown: b,
-		})
-		out.Breakdown = out.Breakdown.Add(b)
-	}
-	return out, nil
+	return c.Evaluate(s)
 }

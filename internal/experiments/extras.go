@@ -31,7 +31,7 @@ func eq2Sensitivity() (*Output, error) {
 		"Domain", "FPGA one-time [kt]", "FPGA strict [kt]", "Delta", "Ratio shift")
 	var maxShift float64
 	for _, d := range isoperf.Domains() {
-		pr, err := d.Pair()
+		cp, err := compiledDomainPair(d.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -39,11 +39,11 @@ func eq2Sensitivity() (*Output, error) {
 			isoperf.ReferenceLifetime(), isoperf.ReferenceVolume, 0)
 		strict := loose
 		strict.StrictEq2 = true
-		cl, err := pr.Compare(loose)
+		cl, err := cp.Compare(loose)
 		if err != nil {
 			return nil, err
 		}
-		cs, err := pr.Compare(strict)
+		cs, err := cp.Compare(strict)
 		if err != nil {
 			return nil, err
 		}
@@ -77,20 +77,21 @@ func scenarios() (*Output, error) {
 		"Domain", "A2F @ N_app (T=2y,V=1e6)", "F2A @ T_i (N=5,V=1e6)", "F2A @ N_vol (N=5,T=2y)")
 	var notes []string
 	for _, d := range isoperf.Domains() {
-		pr, err := d.Pair()
+		// One compile serves all three solvers.
+		cp, err := compiledDomainPair(d.Name)
 		if err != nil {
 			return nil, err
 		}
-		n, nFound, err := pr.CrossoverNumApps(isoperf.ReferenceLifetime(), isoperf.ReferenceVolume, 0, 20)
+		n, nFound, err := cp.CrossoverNumApps(isoperf.ReferenceLifetime(), isoperf.ReferenceVolume, 0, 20)
 		if err != nil {
 			return nil, err
 		}
-		tstar, tFound, err := pr.CrossoverLifetime(isoperf.ReferenceNumApps, isoperf.ReferenceVolume, 0,
+		tstar, tFound, err := cp.CrossoverLifetime(isoperf.ReferenceNumApps, isoperf.ReferenceVolume, 0,
 			units.YearsOf(0.05), units.YearsOf(5))
 		if err != nil {
 			return nil, err
 		}
-		vstar, vFound, err := pr.CrossoverVolume(isoperf.ReferenceNumApps, isoperf.ReferenceLifetime(), 0,
+		vstar, vFound, err := cp.CrossoverVolume(isoperf.ReferenceNumApps, isoperf.ReferenceLifetime(), 0,
 			1e3, 1e7)
 		if err != nil {
 			return nil, err

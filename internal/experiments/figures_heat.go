@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"greenfpga/internal/core"
 	"greenfpga/internal/isoperf"
 	"greenfpga/internal/report"
 	"greenfpga/internal/sweep"
@@ -18,12 +17,12 @@ func init() {
 // fig8 reproduces Fig. 8: pairwise heatmaps of the FPGA:ASIC CFP ratio
 // for the DNN domain, with the crossover contour marked.
 func fig8() (*Output, error) {
-	pr, err := domainPair("DNN")
+	cp, err := compiledDomainPair("DNN")
 	if err != nil {
 		return nil, err
 	}
 	eval := func(n int, tYears, volume float64) (units.Mass, units.Mass, error) {
-		c, err := pr.Compare(core.Uniform("fig8", n, units.YearsOf(tYears), volume, 0))
+		c, err := cp.CompareUniform(n, units.YearsOf(tYears), volume, 0)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -77,11 +77,11 @@ func domainSweep1D(axisName string, axis sweep.Axis, n int, tYears, volume float
 	map[string][]sweep.Point1D, error) {
 	out := make(map[string][]sweep.Point1D, 3)
 	for _, d := range isoperf.Domains() {
-		pr, err := d.Pair()
+		cp, err := compiledDomainPair(d.Name)
 		if err != nil {
 			return nil, err
 		}
-		eval := uniformEval(pr, n, tYears, volume)
+		eval := uniformEval(cp, n, tYears, volume)
 		pts, err := sweep.Run1D(axis, func(x float64) (units.Mass, units.Mass, error) {
 			return eval(axisName, x)
 		})

@@ -18,6 +18,7 @@ package isoperf
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"greenfpga/internal/core"
 	"greenfpga/internal/device"
@@ -124,13 +125,62 @@ func (d Domain) Validate() error {
 	return nil
 }
 
+// pairCache memoizes Pair for the calibrated domains only. A Domain
+// is a small comparable struct, so the pair it maps to is a pure
+// function of its fields; experiments re-resolve the same three
+// calibrated domains for every artifact, and without the cache each
+// resolution re-runs the node lookup and yield model. Modified
+// domains (Monte-Carlo models drawing DutyCycle per sample, say)
+// bypass the cache entirely — every key would be unique, so caching
+// them would only buy mutex contention and garbage.
+var pairCache struct {
+	sync.Mutex
+	m map[Domain]core.Pair
+}
+
+// calibrated reports whether d is one of the built-in testcases.
+func (d Domain) calibrated() bool {
+	for _, c := range domains {
+		if d == c {
+			return true
+		}
+	}
+	return false
+}
+
 // Pair builds the iso-performance platform pair for the domain. The
 // FPGA side carries AreaRatio times the ASIC silicon and PowerRatio
 // times its power; both sides share the ASIC's die yield so the
 // embodied ratio equals Table 2's silicon ratio exactly (the paper's
 // reading: equivalent FPGA capacity comes from devices of comparable
-// yield, not one giant low-yield die).
+// yield, not one giant low-yield die). Results for the calibrated
+// domains are memoized, so repeated resolution across experiment
+// artifacts is a map lookup.
 func (d Domain) Pair() (core.Pair, error) {
+	if !d.calibrated() {
+		return d.buildPair()
+	}
+	pairCache.Lock()
+	pr, ok := pairCache.m[d]
+	pairCache.Unlock()
+	if ok {
+		return pr, nil
+	}
+	pr, err := d.buildPair()
+	if err != nil {
+		return core.Pair{}, err
+	}
+	pairCache.Lock()
+	if pairCache.m == nil {
+		pairCache.m = make(map[Domain]core.Pair)
+	}
+	pairCache.m[d] = pr
+	pairCache.Unlock()
+	return pr, nil
+}
+
+// buildPair constructs the pair without consulting the cache.
+func (d Domain) buildPair() (core.Pair, error) {
 	if err := d.Validate(); err != nil {
 		return core.Pair{}, err
 	}

@@ -2,6 +2,7 @@ package isoperf
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -105,6 +106,43 @@ func TestPairConstruction(t *testing.T) {
 	ad, _ := pr.ASIC.DesignCFP()
 	if fd != ad {
 		t.Errorf("design CFP differs: %v vs %v", fd, ad)
+	}
+}
+
+// TestPairCache asserts memoized pairs reproduce a fresh build, that
+// cached copies are isolated from caller mutation, and that modified
+// domains do not collide with calibrated ones.
+func TestPairCache(t *testing.T) {
+	d, _ := ByName("DNN")
+	fresh, err := d.buildPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := d.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached, fresh) {
+		t.Fatalf("cached pair diverges from fresh build:\ngot  %+v\nwant %+v", cached, fresh)
+	}
+	// Mutating a returned pair must not poison later lookups.
+	cached.FPGA.DutyCycle = 0.99
+	again, err := d.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.FPGA.DutyCycle == 0.99 {
+		t.Fatal("cache returned a mutated pair")
+	}
+	// A modified domain keys a different entry.
+	dd := d
+	dd.DutyCycle = 0.17
+	variant, err := dd.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if variant.FPGA.DutyCycle != 0.17 {
+		t.Fatalf("variant domain duty %g, want 0.17", variant.FPGA.DutyCycle)
 	}
 }
 

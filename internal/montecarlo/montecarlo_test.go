@@ -2,8 +2,12 @@ package montecarlo
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -96,6 +100,86 @@ func TestRunReproducible(t *testing.T) {
 	if r3.Mean == r1.Mean {
 		t.Error("different seeds should differ")
 	}
+}
+
+// TestRunIndependentOfWorkerCount pins GOMAXPROCS to 1 and asserts the
+// serial run reproduces the parallel run bit-for-bit: the sample
+// stream depends only on (seed, index), never on scheduling.
+func TestRunIndependentOfWorkerCount(t *testing.T) {
+	cfg := Config{
+		Params:  []Param{{Name: "a", Dist: Uniform{1, 3}}, {Name: "b", Dist: Triangular{0, 1, 4}}},
+		Samples: 2000,
+		Seed:    11,
+		Model: func(d map[string]float64) (float64, error) {
+			return d["a"]*d["b"] + d["a"], nil
+		},
+	}
+	parallel, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial, runErr := Run(cfg)
+	runtime.GOMAXPROCS(prev)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if serial.Mean != parallel.Mean || serial.StdDev != parallel.StdDev {
+		t.Errorf("statistics depend on worker count: %g/%g vs %g/%g",
+			serial.Mean, serial.StdDev, parallel.Mean, parallel.StdDev)
+	}
+	for i := range serial.Samples {
+		if serial.Samples[i] != parallel.Samples[i] {
+			t.Fatalf("sample %d differs across worker counts", i)
+		}
+	}
+}
+
+// TestRunFirstErrorDeterministic asserts the engine reports the
+// lowest-indexed failing draw regardless of scheduling.
+func TestRunFirstErrorDeterministic(t *testing.T) {
+	var calls atomic.Int64
+	for trial := 0; trial < 5; trial++ {
+		_, err := Run(Config{
+			Params:  []Param{{Name: "a", Dist: Uniform{0, 1}}},
+			Samples: 500,
+			Seed:    3,
+			Model: func(d map[string]float64) (float64, error) {
+				calls.Add(1)
+				if d["a"] > 0.5 {
+					return 0, errors.New("boom")
+				}
+				return d["a"], nil
+			},
+		})
+		if err == nil {
+			t.Fatal("expected a model error")
+		}
+		want := firstFailingDraw(t, 500, 3, 0.5)
+		if !strings.Contains(err.Error(), fmt.Sprintf("sample %d:", want)) {
+			t.Fatalf("trial %d: got %v, want sample %d", trial, err, want)
+		}
+	}
+	if calls.Load() == 0 {
+		t.Fatal("model never ran")
+	}
+}
+
+// firstFailingDraw replays the sub-seeded streams serially to find the
+// lowest index whose draw exceeds the threshold.
+func firstFailingDraw(t *testing.T, samples int, seed int64, threshold float64) int {
+	t.Helper()
+	u := Uniform{0, 1}
+	src := &splitmix{}
+	rng := rand.New(src)
+	for i := 0; i < samples; i++ {
+		src.state = subSeed(seed, i)
+		if u.Sample(rng) > threshold {
+			return i
+		}
+	}
+	t.Fatal("no draw exceeds the threshold")
+	return -1
 }
 
 func TestRunStatistics(t *testing.T) {

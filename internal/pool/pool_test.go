@@ -1,0 +1,104 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryCell(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 1000} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, n+1)
+		err := Run(n, 8, func(i int) error {
+			hits.Add(1)
+			if seen[i].Swap(true) {
+				return fmt.Errorf("cell %d evaluated twice", i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := hits.Load(); got != int64(n) {
+			t.Fatalf("n=%d: %d evaluations", n, got)
+		}
+	}
+}
+
+func TestRunReportsLowestError(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		err := Run(500, 4, func(i int) error {
+			if i >= 137 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "boom 137") {
+			t.Fatalf("trial %d: want lowest failing cell, got %v", trial, err)
+		}
+	}
+}
+
+func TestRunStopsClaimingAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := Run(1_000_000, 16, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// Workers may finish in-flight chunks, but must not grind through
+	// the whole range once cell 0 has failed.
+	if got := calls.Load(); got > 100_000 {
+		t.Fatalf("evaluated %d cells after an index-0 failure", got)
+	}
+}
+
+// TestSmallRangeUsesAllWorkers asserts the chunk shrinks when n is
+// small, so expensive few-cell sweeps still get full parallelism.
+func TestSmallRangeUsesAllWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	var workers atomic.Int64
+	err := RunWorkers(gmp, 8, func() Eval {
+		workers.Add(1)
+		return func(int) error { return nil }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := workers.Load(); got != int64(gmp) {
+		t.Fatalf("%d workers for %d cells, want one each", got, gmp)
+	}
+}
+
+func TestRunWorkersScratchIsPerWorker(t *testing.T) {
+	var workers atomic.Int64
+	var total atomic.Int64
+	err := RunWorkers(10_000, 8, func() Eval {
+		workers.Add(1)
+		count := 0 // worker-local: mutated without synchronization
+		return func(i int) error {
+			count++
+			total.Add(1)
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 10_000 {
+		t.Fatalf("evaluated %d cells", total.Load())
+	}
+	if workers.Load() < 1 {
+		t.Fatal("no workers created")
+	}
+}

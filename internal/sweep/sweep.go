@@ -7,9 +7,8 @@ package sweep
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"greenfpga/internal/pool"
 	"greenfpga/internal/units"
 )
 
@@ -108,28 +107,17 @@ func Run1D(axis Axis, eval PairEval) ([]Point1D, error) {
 		return nil, fmt.Errorf("sweep: nil evaluator")
 	}
 	pts := make([]Point1D, len(axis.Values))
-	errs := make([]error, len(axis.Values))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i, x := range axis.Values {
-		wg.Add(1)
-		go func(i int, x float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			f, a, err := eval(x)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			pts[i] = Point1D{X: x, FPGA: f, ASIC: a, Ratio: ratio(f, a)}
-		}(i, x)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := runPool(len(axis.Values), func(i int) error {
+		x := axis.Values[i]
+		f, a, err := eval(x)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		pts[i] = Point1D{X: x, FPGA: f, ASIC: a, Ratio: ratio(f, a)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pts, nil
 }
@@ -163,35 +151,24 @@ func Run2D(x, y Axis, eval PairEval2D) (*Grid, error) {
 	g.FPGA = make([][]units.Mass, len(y.Values))
 	g.ASIC = make([][]units.Mass, len(y.Values))
 	g.Ratio = make([][]float64, len(y.Values))
-	errs := make([]error, len(y.Values)*len(x.Values))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
 	for yi := range y.Values {
 		g.FPGA[yi] = make([]units.Mass, len(x.Values))
 		g.ASIC[yi] = make([]units.Mass, len(x.Values))
 		g.Ratio[yi] = make([]float64, len(x.Values))
-		for xi := range x.Values {
-			wg.Add(1)
-			go func(xi, yi int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				f, a, err := eval(x.Values[xi], y.Values[yi])
-				if err != nil {
-					errs[yi*len(x.Values)+xi] = err
-					return
-				}
-				g.FPGA[yi][xi] = f
-				g.ASIC[yi][xi] = a
-				g.Ratio[yi][xi] = ratio(f, a)
-			}(xi, yi)
-		}
 	}
-	wg.Wait()
-	for _, err := range errs {
+	err := runPool(len(x.Values)*len(y.Values), func(i int) error {
+		xi, yi := i%len(x.Values), i/len(x.Values)
+		f, a, err := eval(x.Values[xi], y.Values[yi])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		g.FPGA[yi][xi] = f
+		g.ASIC[yi][xi] = a
+		g.Ratio[yi][xi] = ratio(f, a)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return g, nil
 }
@@ -256,11 +233,12 @@ func ratio(f, a units.Mass) float64 {
 	return f.Kilograms() / a.Kilograms()
 }
 
-// maxParallel bounds worker counts.
-func maxParallel() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
-	}
-	return n
+// poolChunk is how many consecutive cells one sweep worker claims per
+// fetch: sweep cells are cheap and uniform, so a small chunk balances
+// well.
+const poolChunk = 8
+
+// runPool evaluates cells 0..n-1 on the shared fixed worker pool.
+func runPool(n int, eval func(i int) error) error {
+	return pool.Run(n, poolChunk, eval)
 }

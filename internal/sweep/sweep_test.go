@@ -2,7 +2,10 @@ package sweep
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -183,6 +186,52 @@ func TestContourLogInterpolation(t *testing.T) {
 	}
 	if math.Abs(pts[0].X-1e4) > 1 {
 		t.Errorf("log crossing at %g, want 1e4", pts[0].X)
+	}
+}
+
+// TestRunPoolCoversEveryCell drives the worker pool over a grid much
+// larger than the worker count with an evaluator that hammers shared
+// state, so `go test -race` exercises the pool's synchronization and
+// the result check catches dropped or double-evaluated cells.
+func TestRunPoolCoversEveryCell(t *testing.T) {
+	const nx, ny = 53, 31 // deliberately not multiples of the chunk size
+	var calls atomic.Int64
+	x := Axis{Name: "x", Values: Linspace(0, 1, nx)}
+	y := Axis{Name: "y", Values: Linspace(0, 1, ny)}
+	g, err := Run2D(x, y, func(xv, yv float64) (units.Mass, units.Mass, error) {
+		calls.Add(1)
+		return units.Kilograms(xv + 2*yv + 1), units.Kilograms(1), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != nx*ny {
+		t.Fatalf("evaluator ran %d times, want %d", got, nx*ny)
+	}
+	for yi := range g.Ratio {
+		for xi := range g.Ratio[yi] {
+			want := x.Values[xi] + 2*y.Values[yi] + 1
+			if math.Abs(g.Ratio[yi][xi]-want) > 1e-12 {
+				t.Fatalf("cell (%d,%d) = %g, want %g", xi, yi, g.Ratio[yi][xi], want)
+			}
+		}
+	}
+}
+
+// TestRunPoolFirstErrorDeterministic asserts the pool reports the
+// lowest-indexed failure regardless of worker scheduling.
+func TestRunPoolFirstErrorDeterministic(t *testing.T) {
+	axis := Axis{Name: "x", Values: IntRange(0, 100)}
+	for trial := 0; trial < 10; trial++ {
+		_, err := Run1D(axis, func(x float64) (units.Mass, units.Mass, error) {
+			if x >= 50 {
+				return 0, 0, fmt.Errorf("boom at %d", int(x))
+			}
+			return 1, 1, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "boom at 50") {
+			t.Fatalf("trial %d: want the lowest failing cell's error, got %v", trial, err)
+		}
 	}
 }
 
