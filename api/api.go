@@ -1,0 +1,281 @@
+// Package api defines the canonical JSON request and response types of
+// the GreenFPGA evaluation service. The same types back the
+// `greenfpga serve` HTTP endpoints (internal/server), the typed Go
+// client (client), and the CLI's `-json` output modes, so a scripted
+// consumer sees byte-identical documents whichever door it knocks on.
+//
+// Scenario documents reuse the JSON schema of the `greenfpga run`
+// config (internal/config) via the ScenarioConfig alias: a file that
+// works with `greenfpga run -config` is, wrapped in
+// {"scenario": ...}, a valid /v1/evaluate body.
+//
+// The compute entry points (Evaluator, RunCrossover, RunSweep,
+// RunMonteCarlo) are shared by CLI and server so both produce
+// identical numbers; the server adds caching, batching and metrics on
+// top (see internal/server).
+package api
+
+import "greenfpga/internal/config"
+
+// ScenarioConfig is the scenario JSON document, shared with
+// `greenfpga run` (see internal/config.Scenario).
+type ScenarioConfig = config.Scenario
+
+// PlatformConfig is one platform description inside a scenario
+// document.
+type PlatformConfig = config.Platform
+
+// Error is the service's JSON error envelope. Every non-2xx response
+// from a service handler carries one; requests that never reach a
+// handler (an unregistered path or method) get net/http's plain-text
+// 404/405 instead, so clients should fall back to the raw body when
+// the envelope does not decode (the client package does).
+type Error struct {
+	// Code is a stable machine-readable identifier
+	// ("invalid_request", "not_found", "overloaded", "internal").
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// Error implements the error interface so clients can surface the
+// envelope directly.
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// Device is one Table 3 catalog entry.
+type Device struct {
+	Name          string  `json:"name"`
+	Kind          string  `json:"kind"`
+	Node          string  `json:"node"`
+	DieAreaMM2    float64 `json:"die_area_mm2"`
+	PeakPowerW    float64 `json:"peak_power_w"`
+	CapacityGates float64 `json:"capacity_gates,omitempty"`
+	BasedOn       string  `json:"based_on,omitempty"`
+}
+
+// DeviceList is the /v1/devices response and the `greenfpga devices
+// -json` document.
+type DeviceList struct {
+	Devices []Device `json:"devices"`
+}
+
+// Domain is one Table 2 iso-performance testcase.
+type Domain struct {
+	Name            string  `json:"name"`
+	AreaRatio       float64 `json:"area_ratio"`
+	PowerRatio      float64 `json:"power_ratio"`
+	ASICAreaMM2     float64 `json:"asic_area_mm2"`
+	ASICPeakPowerW  float64 `json:"asic_peak_power_w"`
+	DutyCycle       float64 `json:"duty_cycle"`
+	DesignEngineers float64 `json:"design_engineers"`
+}
+
+// DomainList is the /v1/domains response and the `greenfpga domains
+// -json` document.
+type DomainList struct {
+	Domains []Domain `json:"domains"`
+}
+
+// ExperimentList is the /v1/experiments response and the `greenfpga
+// list -json` document.
+type ExperimentList struct {
+	Experiments []string `json:"experiments"`
+}
+
+// Breakdown splits a platform total into the paper's CFP components,
+// in kilograms CO2e.
+type Breakdown struct {
+	DesignKg         float64 `json:"design_kg"`
+	ManufacturingKg  float64 `json:"manufacturing_kg"`
+	PackagingKg      float64 `json:"packaging_kg"`
+	EOLKg            float64 `json:"eol_kg"`
+	OperationKg      float64 `json:"operation_kg"`
+	AppDevelopmentKg float64 `json:"app_development_kg"`
+	ConfigurationKg  float64 `json:"configuration_kg"`
+	TotalKg          float64 `json:"total_kg"`
+}
+
+// PlatformResult is one platform's evaluated assessment.
+type PlatformResult struct {
+	// Platform is the device name.
+	Platform string `json:"platform"`
+	// Kind is "asic" or "fpga".
+	Kind string `json:"kind"`
+	// TotalKg is the scenario-total CFP.
+	TotalKg float64 `json:"total_kg"`
+	// Breakdown splits the total by source.
+	Breakdown Breakdown `json:"breakdown"`
+	// DevicesManufactured counts every device built over the
+	// scenario, including fleet regenerations.
+	DevicesManufactured float64 `json:"devices_manufactured"`
+	// FleetSize is the concurrent device count.
+	FleetSize float64 `json:"fleet_size"`
+	// HardwareGenerations counts fleet rebuilds (1 when uncapped).
+	HardwareGenerations int `json:"hardware_generations"`
+}
+
+// EvaluateRequest is the /v1/evaluate body.
+type EvaluateRequest struct {
+	// Scenario is the run configuration; the document accepted by
+	// `greenfpga run -config`.
+	Scenario *ScenarioConfig `json:"scenario"`
+}
+
+// EvaluateResponse is the /v1/evaluate result and the `greenfpga run
+// -json` document.
+type EvaluateResponse struct {
+	// Scenario echoes the scenario name.
+	Scenario string `json:"scenario"`
+	// FPGA and ASIC carry the evaluated sides; either may be absent
+	// when the scenario describes a single platform.
+	FPGA *PlatformResult `json:"fpga,omitempty"`
+	ASIC *PlatformResult `json:"asic,omitempty"`
+	// Ratio is FPGA:ASIC total CFP, present when both sides are.
+	Ratio *float64 `json:"ratio,omitempty"`
+	// Verdict names the more sustainable platform ("fpga" or "asic"),
+	// present when both sides are.
+	Verdict string `json:"verdict,omitempty"`
+}
+
+// BatchEvaluateRequest is the /v1/evaluate/batch body.
+type BatchEvaluateRequest struct {
+	Requests []EvaluateRequest `json:"requests"`
+}
+
+// BatchItem is one batch entry's outcome: exactly one of Response and
+// Error is set.
+type BatchItem struct {
+	Response *EvaluateResponse `json:"response,omitempty"`
+	Error    *Error            `json:"error,omitempty"`
+}
+
+// BatchEvaluateResponse is the /v1/evaluate/batch result; Results[i]
+// corresponds to Requests[i].
+type BatchEvaluateResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// CrossoverRequest is the /v1/crossover body. Zero values take the
+// CLI defaults (DNN domain, 2-year lifetime, 5 applications, 1e6
+// volume, 30-application search ceiling).
+type CrossoverRequest struct {
+	// Domain is the iso-performance testcase (DNN, ImgProc, Crypto).
+	Domain string `json:"domain"`
+	// LifetimeYears fixes T_i for the N_app and N_vol solves.
+	LifetimeYears float64 `json:"lifetime_years,omitempty"`
+	// NApps fixes N_app for the T_i and N_vol solves.
+	NApps int `json:"napps,omitempty"`
+	// Volume fixes N_vol for the N_app and T_i solves.
+	Volume float64 `json:"volume,omitempty"`
+	// MaxApps bounds the N_app search.
+	MaxApps int `json:"max_apps,omitempty"`
+}
+
+// Solve is one crossover solver outcome.
+type Solve struct {
+	// Found reports whether a crossover exists in the probed range.
+	Found bool `json:"found"`
+	// Value is the crossover point (application count, years, or
+	// units, per field name); meaningless when Found is false.
+	Value float64 `json:"value,omitempty"`
+}
+
+// CrossoverResponse is the /v1/crossover result: the three §4.2
+// crossover questions.
+type CrossoverResponse struct {
+	Domain string `json:"domain"`
+	// A2FNumApps is the smallest application count from which the
+	// FPGA wins (Fig. 4).
+	A2FNumApps Solve `json:"a2f_num_apps"`
+	// F2ALifetimeYears is the application lifetime above which the
+	// ASIC wins (Fig. 5).
+	F2ALifetimeYears Solve `json:"f2a_lifetime_years"`
+	// F2AVolume is the application volume above which the ASIC wins
+	// (Fig. 6).
+	F2AVolume Solve `json:"f2a_volume"`
+}
+
+// SweepRequest is the /v1/sweep body. Axis is one of "napps",
+// "lifetime", "volume"; zero range fields take the CLI's per-axis
+// defaults.
+type SweepRequest struct {
+	Domain string  `json:"domain"`
+	Axis   string  `json:"axis"`
+	From   float64 `json:"from,omitempty"`
+	To     float64 `json:"to,omitempty"`
+	Points int     `json:"points,omitempty"`
+}
+
+// SweepPoint is one sweep sample.
+type SweepPoint struct {
+	X      float64 `json:"x"`
+	FPGAKg float64 `json:"fpga_kg"`
+	ASICKg float64 `json:"asic_kg"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// SweepResponse is the /v1/sweep result.
+type SweepResponse struct {
+	Domain string       `json:"domain"`
+	Axis   string       `json:"axis"`
+	Points []SweepPoint `json:"points"`
+}
+
+// MonteCarloRequest is the /v1/mc body: the Table 1 uncertainty study
+// over a domain pair's FPGA:ASIC ratio.
+type MonteCarloRequest struct {
+	Domain  string `json:"domain"`
+	Samples int    `json:"samples,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	NApps   int    `json:"napps,omitempty"`
+}
+
+// Percentiles summarizes a sample distribution.
+type Percentiles struct {
+	P5  float64 `json:"p5"`
+	P25 float64 `json:"p25"`
+	P50 float64 `json:"p50"`
+	P75 float64 `json:"p75"`
+	P95 float64 `json:"p95"`
+}
+
+// TornadoEntry ranks one uncertain parameter's output swing.
+type TornadoEntry struct {
+	Param string  `json:"param"`
+	Swing float64 `json:"swing"`
+}
+
+// MonteCarloResponse is the /v1/mc result.
+type MonteCarloResponse struct {
+	Domain       string         `json:"domain"`
+	Samples      int            `json:"samples"`
+	Seed         int64          `json:"seed"`
+	NApps        int            `json:"napps"`
+	Mean         float64        `json:"mean"`
+	StdDev       float64        `json:"std_dev"`
+	Percentiles  Percentiles    `json:"percentiles"`
+	ProbFPGAWins float64        `json:"prob_fpga_wins"`
+	Tornado      []TornadoEntry `json:"tornado"`
+}
+
+// ExperimentTable is one tabular artifact in JSON form.
+type ExperimentTable struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// ExperimentResult is one regenerated paper artifact, the
+// /v1/experiments/{id}?format=json document.
+type ExperimentResult struct {
+	ID     string            `json:"id"`
+	Title  string            `json:"title"`
+	Tables []ExperimentTable `json:"tables,omitempty"`
+	Charts []string          `json:"charts,omitempty"`
+	Notes  []string          `json:"notes,omitempty"`
+}
+
+// Health is the /healthz response.
+type Health struct {
+	Status string `json:"status"`
+}

@@ -1,0 +1,273 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"greenfpga/internal/config"
+	"greenfpga/internal/core"
+	"greenfpga/internal/device"
+	"greenfpga/internal/isoperf"
+)
+
+// TestCanonicalKeyFieldOrder checks the content addressing: bodies
+// that differ only in field order, whitespace or spelled-out defaults
+// map to one key, bodies with different values do not.
+func TestCanonicalKeyFieldOrder(t *testing.T) {
+	decode := func(s string) CrossoverRequest {
+		var r CrossoverRequest
+		if err := json.Unmarshal([]byte(s), &r); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a := decode(`{"domain":"DNN","napps":5}`)
+	b := decode(`{  "napps": 5,   "domain": "DNN" }`)
+	c := decode(`{}`)
+	ka, err := CanonicalKey("/v1/crossover", a.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, _ := CanonicalKey("/v1/crossover", b.Normalized())
+	kc, _ := CanonicalKey("/v1/crossover", c.Normalized())
+	if ka != kb {
+		t.Errorf("field order changed the key: %s vs %s", ka, kb)
+	}
+	if ka != kc {
+		t.Errorf("spelled-out defaults changed the key: %s vs %s", ka, kc)
+	}
+	d := decode(`{"domain":"Crypto"}`)
+	kd, _ := CanonicalKey("/v1/crossover", d.Normalized())
+	if kd == ka {
+		t.Error("different domains share a key")
+	}
+	ke, _ := CanonicalKey("/v1/sweep", a.Normalized())
+	if ke == ka {
+		t.Error("different endpoints share a key")
+	}
+}
+
+// TestEvaluateMatchesCore checks the shared compute path against a
+// direct core.Evaluate of the same scenario.
+func TestEvaluateMatchesCore(t *testing.T) {
+	cfg := config.Example()
+	resp, err := Evaluate(&EvaluateRequest{Scenario: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.FPGA == nil || resp.ASIC == nil {
+		t.Fatalf("example config must evaluate both sides: %+v", resp)
+	}
+	scen, err := cfg.ToScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, side := range []struct {
+		pc   *PlatformConfig
+		got  *PlatformResult
+		name string
+	}{{cfg.FPGA, resp.FPGA, "fpga"}, {cfg.ASIC, resp.ASIC, "asic"}} {
+		p, err := side.pc.ToPlatform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Evaluate(p, scen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, w := side.got.TotalKg, want.Total().Kilograms(); got != w {
+			t.Errorf("%s total: api %v, core %v", side.name, got, w)
+		}
+		if got, w := side.got.Breakdown.OperationKg, want.Breakdown.Operation.Kilograms(); got != w {
+			t.Errorf("%s operation: api %v, core %v", side.name, got, w)
+		}
+		if side.got.DevicesManufactured != want.DevicesManufactured {
+			t.Errorf("%s devices: api %v, core %v", side.name,
+				side.got.DevicesManufactured, want.DevicesManufactured)
+		}
+	}
+	if resp.Ratio == nil {
+		t.Fatal("two-sided evaluation must carry a ratio")
+	}
+	want := resp.FPGA.TotalKg / resp.ASIC.TotalKg
+	if *resp.Ratio != want {
+		t.Errorf("ratio %v, want %v", *resp.Ratio, want)
+	}
+	if resp.Verdict != "fpga" && resp.Verdict != "asic" {
+		t.Errorf("verdict %q", resp.Verdict)
+	}
+}
+
+// TestEvaluatorCompiledCache checks that repeated evaluations of the
+// same platform reuse one compilation.
+func TestEvaluatorCompiledCache(t *testing.T) {
+	e := NewEvaluator(8)
+	req := &EvaluateRequest{Scenario: config.Example()}
+	if _, err := e.Evaluate(req); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := e.CompileStats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("cold evaluate: hits %d misses %d, want 0/2", hits, misses)
+	}
+	if _, err := e.Evaluate(req); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = e.CompileStats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("warm evaluate: hits %d misses %d, want 2/2", hits, misses)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(nil); err == nil {
+		t.Error("nil request must error")
+	}
+	if _, err := Evaluate(&EvaluateRequest{}); err == nil {
+		t.Error("missing scenario must error")
+	}
+	cfg := config.Example()
+	cfg.FPGA = &PlatformConfig{Device: "nope", DutyCycle: 0.3}
+	if _, err := Evaluate(&EvaluateRequest{Scenario: cfg}); err == nil {
+		t.Error("unknown device must error")
+	}
+}
+
+// TestRunCrossoverMatchesCLI pins the DNN crossovers the CLI test
+// asserts ("A2F at N_app = 6", "F2A at T_i = 1.59").
+func TestRunCrossoverMatchesCLI(t *testing.T) {
+	resp, err := RunCrossover(CrossoverRequest{Domain: "DNN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.A2FNumApps.Found || resp.A2FNumApps.Value != 6 {
+		t.Errorf("DNN A2F: %+v, want 6", resp.A2FNumApps)
+	}
+	if !resp.F2ALifetimeYears.Found || math.Abs(resp.F2ALifetimeYears.Value-1.59) > 0.01 {
+		t.Errorf("DNN F2A lifetime: %+v, want ~1.59", resp.F2ALifetimeYears)
+	}
+	if _, err := RunCrossover(CrossoverRequest{Domain: "Quantum"}); err == nil {
+		t.Error("unknown domain must error")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	resp, err := RunSweep(SweepRequest{Domain: "DNN", Axis: "napps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 12 {
+		t.Fatalf("default napps sweep has %d points, want 12", len(resp.Points))
+	}
+	if resp.Points[0].X != 1 || resp.Points[11].X != 12 {
+		t.Errorf("axis range %v..%v, want 1..12", resp.Points[0].X, resp.Points[11].X)
+	}
+	// The DNN A2F crossover at 6 applications must show in the ratio.
+	if resp.Points[4].Ratio <= 1 {
+		t.Errorf("ratio at N=5 is %v, want > 1 (ASIC wins before crossover)", resp.Points[4].Ratio)
+	}
+	if resp.Points[5].Ratio >= 1 {
+		t.Errorf("ratio at N=6 is %v, want < 1 (FPGA wins from crossover)", resp.Points[5].Ratio)
+	}
+	if _, err := RunSweep(SweepRequest{Axis: "frequency"}); err == nil {
+		t.Error("unknown axis must error")
+	}
+}
+
+// TestRunCaps checks the resource bounds on one request.
+func TestRunCaps(t *testing.T) {
+	if _, err := RunSweep(SweepRequest{Axis: "lifetime", Points: MaxSweepPoints + 1}); err == nil {
+		t.Error("oversized point count must error")
+	}
+	if _, err := RunSweep(SweepRequest{Axis: "napps", From: 1, To: 1e12}); err == nil {
+		t.Error("huge napps range must error")
+	}
+	if _, err := RunMonteCarlo(MonteCarloRequest{Samples: MaxMonteCarloSamples + 1}); err == nil {
+		t.Error("oversized sample count must error")
+	}
+}
+
+func TestRunMonteCarloDeterministic(t *testing.T) {
+	req := MonteCarloRequest{Domain: "DNN", Samples: 200, Seed: 7}
+	a, err := RunMonteCarlo(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMonteCarlo(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab, bb bytes.Buffer
+	if err := WriteJSON(&ab, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ab.String() != bb.String() {
+		t.Error("same seed produced different MC responses")
+	}
+	if a.ProbFPGAWins < 0 || a.ProbFPGAWins > 1 {
+		t.Errorf("ProbFPGAWins %v out of [0,1]", a.ProbFPGAWins)
+	}
+	if len(a.Tornado) == 0 {
+		t.Error("tornado ranking empty")
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	dl := Devices()
+	if len(dl.Devices) != len(device.Catalog()) {
+		t.Errorf("device list has %d entries, catalog %d", len(dl.Devices), len(device.Catalog()))
+	}
+	for _, d := range dl.Devices {
+		if d.Name == "" || d.Kind == "" || d.Node == "" {
+			t.Errorf("incomplete device %+v", d)
+		}
+	}
+	dm := Domains()
+	if len(dm.Domains) != len(isoperf.Domains()) {
+		t.Errorf("domain list has %d entries, want %d", len(dm.Domains), len(isoperf.Domains()))
+	}
+	el := Experiments()
+	if len(el.Experiments) == 0 || el.Experiments[0] != "table1" {
+		t.Errorf("experiment list %v", el.Experiments)
+	}
+}
+
+func TestExperimentJSON(t *testing.T) {
+	res, err := Experiment("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table3" || len(res.Tables) == 0 {
+		t.Fatalf("table3 artifact: %+v", res)
+	}
+	found := false
+	for _, row := range res.Tables[0].Rows {
+		if strings.Contains(strings.Join(row, ","), "IndustryFPGA1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("table3 rows missing IndustryFPGA1")
+	}
+	if _, err := Experiment("fig99"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+// TestWriteJSONShape pins the canonical encoding: compact, one
+// trailing newline, HTML escaping off.
+func TestWriteJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, map[string]string{"a": "<b>"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "{\"a\":\"<b>\"}\n"; got != want {
+		t.Errorf("WriteJSON = %q, want %q", got, want)
+	}
+}

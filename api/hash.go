@@ -1,0 +1,23 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// CanonicalKey returns the content address of a request: a SHA-256
+// over the endpoint name and the canonical JSON re-encoding of req.
+// Because req is the decoded, typed (and, for the domain endpoints,
+// normalized) request — not the raw body — two bodies that differ
+// only in field order, whitespace, unknown fields, or spelled-out
+// defaults produce the same key. The server's result cache and the
+// evaluator's compiled-platform cache are both keyed this way.
+func CanonicalKey(endpoint string, req any) (string, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256(b)
+	return endpoint + ":" + hex.EncodeToString(h[:]), nil
+}

@@ -1,0 +1,469 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"greenfpga"
+
+	"greenfpga/internal/cache"
+	"greenfpga/internal/core"
+	"greenfpga/internal/device"
+	"greenfpga/internal/experiments"
+	"greenfpga/internal/isoperf"
+	"greenfpga/internal/sweep"
+	"greenfpga/internal/units"
+)
+
+// Evaluator runs scenario evaluations with a content-addressed cache
+// of compiled platforms: two requests describing the same platform —
+// regardless of scenario — share one core.Compile, so repeated and
+// swept queries hit the compiled fast path. An Evaluator is safe for
+// concurrent use.
+type Evaluator struct {
+	compiled *cache.LRU
+}
+
+// NewEvaluator returns an Evaluator whose compiled-platform cache
+// holds at most maxCompiled entries.
+func NewEvaluator(maxCompiled int) *Evaluator {
+	return &Evaluator{compiled: cache.New(maxCompiled)}
+}
+
+// defaultEvaluator backs the package-level Evaluate used by the CLI.
+var defaultEvaluator = NewEvaluator(64)
+
+// CompileStats returns the compiled-platform cache's cumulative hit
+// and miss counts.
+func (e *Evaluator) CompileStats() (hits, misses uint64) { return e.compiled.Stats() }
+
+// compiledPlatform resolves a platform config to a compiled platform,
+// keyed by the config's canonical JSON.
+func (e *Evaluator) compiledPlatform(pc *PlatformConfig) (*core.Compiled, error) {
+	key, err := CanonicalKey("platform", pc)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := e.compiled.Get(key); ok {
+		return v.(*core.Compiled), nil
+	}
+	p, err := pc.ToPlatform()
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	e.compiled.Put(key, c)
+	return c, nil
+}
+
+// platformResult converts an assessment to its JSON form.
+func platformResult(a core.Assessment) *PlatformResult {
+	b := a.Breakdown
+	return &PlatformResult{
+		Platform: a.Platform,
+		Kind:     string(a.Kind),
+		TotalKg:  a.Total().Kilograms(),
+		Breakdown: Breakdown{
+			DesignKg:         b.Design.Kilograms(),
+			ManufacturingKg:  b.Manufacturing.Kilograms(),
+			PackagingKg:      b.Packaging.Kilograms(),
+			EOLKg:            b.EOL.Kilograms(),
+			OperationKg:      b.Operation.Kilograms(),
+			AppDevelopmentKg: b.AppDevelopment.Kilograms(),
+			ConfigurationKg:  b.Configuration.Kilograms(),
+			TotalKg:          b.Total().Kilograms(),
+		},
+		DevicesManufactured: a.DevicesManufactured,
+		FleetSize:           a.FleetSize,
+		HardwareGenerations: a.HardwareGenerations,
+	}
+}
+
+// Evaluate assesses the request's scenario on its platform(s),
+// matching `greenfpga run` exactly.
+func (e *Evaluator) Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
+	if req == nil || req.Scenario == nil {
+		return nil, &Error{Code: "invalid_request", Message: "missing scenario"}
+	}
+	cfg := req.Scenario
+	scen, err := cfg.ToScenario()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FPGA == nil && cfg.ASIC == nil {
+		return nil, &Error{Code: "invalid_request",
+			Message: fmt.Sprintf("scenario %q needs at least one platform", cfg.Name)}
+	}
+	resp := &EvaluateResponse{Scenario: scen.Name}
+	if cfg.FPGA != nil {
+		c, err := e.compiledPlatform(cfg.FPGA)
+		if err != nil {
+			return nil, fmt.Errorf("fpga: %w", err)
+		}
+		a, err := c.Evaluate(scen)
+		if err != nil {
+			return nil, fmt.Errorf("fpga: %w", err)
+		}
+		resp.FPGA = platformResult(a)
+	}
+	if cfg.ASIC != nil {
+		c, err := e.compiledPlatform(cfg.ASIC)
+		if err != nil {
+			return nil, fmt.Errorf("asic: %w", err)
+		}
+		a, err := c.Evaluate(scen)
+		if err != nil {
+			return nil, fmt.Errorf("asic: %w", err)
+		}
+		resp.ASIC = platformResult(a)
+	}
+	if resp.FPGA != nil && resp.ASIC != nil {
+		if resp.ASIC.TotalKg != 0 {
+			r := resp.FPGA.TotalKg / resp.ASIC.TotalKg
+			resp.Ratio = &r
+		}
+		resp.Verdict = "asic"
+		if resp.FPGA.TotalKg < resp.ASIC.TotalKg {
+			resp.Verdict = "fpga"
+		}
+	}
+	return resp, nil
+}
+
+// Evaluate runs the request through the package-level evaluator (the
+// CLI path; the server holds its own long-lived Evaluator).
+func Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
+	return defaultEvaluator.Evaluate(req)
+}
+
+// domainPairs memoizes compiled iso-performance pairs by canonical
+// domain name; the calibrated domains are immutable, so the cache
+// never invalidates.
+var domainPairs sync.Map
+
+// compiledDomain resolves and compiles a Table 2 domain pair.
+func compiledDomain(name string) (core.CompiledPair, isoperf.Domain, error) {
+	d, err := isoperf.ByName(name)
+	if err != nil {
+		return core.CompiledPair{}, isoperf.Domain{}, err
+	}
+	if v, ok := domainPairs.Load(d.Name); ok {
+		return v.(core.CompiledPair), d, nil
+	}
+	pr, err := d.Pair()
+	if err != nil {
+		return core.CompiledPair{}, isoperf.Domain{}, err
+	}
+	cp, err := pr.Compile()
+	if err != nil {
+		return core.CompiledPair{}, isoperf.Domain{}, err
+	}
+	domainPairs.Store(d.Name, cp)
+	return cp, d, nil
+}
+
+// Normalized returns the request with zero fields replaced by the CLI
+// defaults. The server hashes normalized requests, so an explicit
+// {"domain":"DNN"} and an empty body are the same cache entry.
+func (r CrossoverRequest) Normalized() CrossoverRequest {
+	if r.Domain == "" {
+		r.Domain = "DNN"
+	}
+	if r.LifetimeYears == 0 {
+		r.LifetimeYears = 2
+	}
+	if r.NApps == 0 {
+		r.NApps = 5
+	}
+	if r.Volume == 0 {
+		r.Volume = 1e6
+	}
+	if r.MaxApps == 0 {
+		r.MaxApps = 30
+	}
+	return r
+}
+
+// RunCrossover answers the three §4.2 crossover questions for a
+// domain, matching `greenfpga crossover` exactly.
+func RunCrossover(req CrossoverRequest) (*CrossoverResponse, error) {
+	req = req.Normalized()
+	cp, d, err := compiledDomain(req.Domain)
+	if err != nil {
+		return nil, err
+	}
+	resp := &CrossoverResponse{Domain: d.Name}
+	n, found, err := cp.CrossoverNumApps(units.YearsOf(req.LifetimeYears), req.Volume, 0, req.MaxApps)
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		resp.A2FNumApps = Solve{Found: true, Value: float64(n)}
+	}
+	t, found, err := cp.CrossoverLifetime(req.NApps, req.Volume, 0, units.YearsOf(0.05), units.YearsOf(10))
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		resp.F2ALifetimeYears = Solve{Found: true, Value: t.Years()}
+	}
+	v, found, err := cp.CrossoverVolume(req.NApps, units.YearsOf(req.LifetimeYears), 0, 1e2, 1e8)
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		resp.F2AVolume = Solve{Found: true, Value: v}
+	}
+	return resp, nil
+}
+
+// Normalized fills the per-axis CLI defaults, so bodies that spell
+// the defaults out and bodies that omit them are one cache entry.
+func (r SweepRequest) Normalized() SweepRequest {
+	if r.Domain == "" {
+		r.Domain = "DNN"
+	}
+	if r.Axis == "" {
+		r.Axis = "napps"
+	}
+	switch r.Axis {
+	case "napps":
+		if r.From <= 0 {
+			r.From = 1
+		}
+		if r.To <= 0 {
+			r.To = 12
+		}
+		r.From, r.To = float64(int(r.From)), float64(int(r.To))
+		r.Points = int(r.To-r.From) + 1
+	case "lifetime":
+		if r.From <= 0 {
+			r.From = 0.2
+		}
+		if r.To <= 0 {
+			r.To = 2.5
+		}
+		if r.Points <= 0 {
+			r.Points = 24
+		}
+	case "volume":
+		if r.From <= 0 {
+			r.From = 1e3
+		}
+		if r.To <= 0 {
+			r.To = 1e6
+		}
+		if r.Points <= 0 {
+			r.Points = 13
+		}
+	}
+	return r
+}
+
+// MaxSweepPoints bounds one sweep's sample count: far above any
+// plotting need, low enough that a single request cannot allocate
+// unbounded memory on the service.
+const MaxSweepPoints = 100_000
+
+// MaxMonteCarloSamples bounds one uncertainty study for the same
+// reason (draws cost ~microseconds each).
+const MaxMonteCarloSamples = 1_000_000
+
+// SweepAxis materializes the request's axis sample points.
+func (r SweepRequest) SweepAxis() (sweep.Axis, error) {
+	if r.From > r.To {
+		return sweep.Axis{}, fmt.Errorf("empty sweep range: from %g > to %g", r.From, r.To)
+	}
+	if r.Points > MaxSweepPoints {
+		return sweep.Axis{}, fmt.Errorf("%d sweep points exceeds the %d limit", r.Points, MaxSweepPoints)
+	}
+	switch r.Axis {
+	case "napps":
+		return sweep.Axis{Name: "Num Apps", Values: sweep.IntRange(int(r.From), int(r.To))}, nil
+	case "lifetime":
+		return sweep.Axis{Name: "App Lifetime [y]", Values: sweep.Linspace(r.From, r.To, r.Points)}, nil
+	case "volume":
+		return sweep.Axis{Name: "App Volume", Values: sweep.Logspace(r.From, r.To, r.Points), Log: true}, nil
+	default:
+		return sweep.Axis{}, fmt.Errorf("unknown axis %q (napps, lifetime, volume)", r.Axis)
+	}
+}
+
+// RunSweep runs a 1-D sweep over a domain pair, matching `greenfpga
+// sweep` exactly. Off-axis parameters stay at the CLI defaults
+// (5 applications, 2-year lifetime, 1e6 volume).
+func RunSweep(req SweepRequest) (*SweepResponse, error) {
+	req = req.Normalized()
+	ax, err := req.SweepAxis()
+	if err != nil {
+		return nil, err
+	}
+	cp, d, err := compiledDomain(req.Domain)
+	if err != nil {
+		return nil, err
+	}
+	eval := func(x float64) (units.Mass, units.Mass, error) {
+		nApps, tY, v := 5, 2.0, 1e6
+		switch req.Axis {
+		case "napps":
+			nApps = int(x + 0.5)
+		case "lifetime":
+			tY = x
+		case "volume":
+			v = x
+		}
+		c, err := cp.CompareUniform(nApps, units.YearsOf(tY), v, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		return c.FPGA.Total(), c.ASIC.Total(), nil
+	}
+	pts, err := sweep.Run1D(ax, eval)
+	if err != nil {
+		return nil, err
+	}
+	resp := &SweepResponse{Domain: d.Name, Axis: req.Axis, Points: make([]SweepPoint, len(pts))}
+	for i, p := range pts {
+		resp.Points[i] = SweepPoint{
+			X: p.X, FPGAKg: p.FPGA.Kilograms(), ASICKg: p.ASIC.Kilograms(), Ratio: p.Ratio,
+		}
+	}
+	return resp, nil
+}
+
+// Normalized fills the CLI defaults (2000 samples, seed 1, 5 apps,
+// DNN domain).
+func (r MonteCarloRequest) Normalized() MonteCarloRequest {
+	if r.Domain == "" {
+		r.Domain = "DNN"
+	}
+	if r.Samples == 0 {
+		r.Samples = 2000
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.NApps == 0 {
+		r.NApps = 5
+	}
+	return r
+}
+
+// RunMonteCarlo propagates the Table 1 uncertainty ranges through a
+// domain pair's FPGA:ASIC ratio, matching `greenfpga mc` exactly.
+func RunMonteCarlo(req MonteCarloRequest) (*MonteCarloResponse, error) {
+	req = req.Normalized()
+	if req.Samples > MaxMonteCarloSamples {
+		return nil, fmt.Errorf("%d samples exceeds the %d limit", req.Samples, MaxMonteCarloSamples)
+	}
+	d, err := isoperf.ByName(req.Domain)
+	if err != nil {
+		return nil, err
+	}
+	res, err := greenfpga.DomainRatioStudy(d, req.NApps, req.Samples, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wins := 0
+	for _, s := range res.Samples {
+		if s < 1 {
+			wins++
+		}
+	}
+	resp := &MonteCarloResponse{
+		Domain: d.Name, Samples: req.Samples, Seed: req.Seed, NApps: req.NApps,
+		Mean: res.Mean, StdDev: res.StdDev,
+		Percentiles: Percentiles{
+			P5:  res.Percentile(5),
+			P25: res.Percentile(25),
+			P50: res.Percentile(50),
+			P75: res.Percentile(75),
+			P95: res.Percentile(95),
+		},
+		ProbFPGAWins: float64(wins) / float64(len(res.Samples)),
+	}
+	for _, s := range res.Tornado {
+		resp.Tornado = append(resp.Tornado, TornadoEntry{Param: s.Param, Swing: s.Swing()})
+	}
+	return resp, nil
+}
+
+// Devices returns the Table 3 catalog in JSON form.
+func Devices() DeviceList {
+	var out DeviceList
+	for _, s := range device.Catalog() {
+		out.Devices = append(out.Devices, Device{
+			Name:          s.Name,
+			Kind:          string(s.Kind),
+			Node:          s.Node.Name,
+			DieAreaMM2:    s.DieArea.MM2(),
+			PeakPowerW:    s.PeakPower.Watts(),
+			CapacityGates: s.CapacityGates,
+			BasedOn:       s.BasedOn,
+		})
+	}
+	return out
+}
+
+// Domains returns the Table 2 testcases in JSON form.
+func Domains() DomainList {
+	var out DomainList
+	for _, d := range isoperf.Domains() {
+		out.Domains = append(out.Domains, Domain{
+			Name:            d.Name,
+			AreaRatio:       d.AreaRatio,
+			PowerRatio:      d.PowerRatio,
+			ASICAreaMM2:     d.ASICArea.MM2(),
+			ASICPeakPowerW:  d.ASICPeakPower.Watts(),
+			DutyCycle:       d.DutyCycle,
+			DesignEngineers: d.DesignEngineers,
+		})
+	}
+	return out
+}
+
+// Experiments returns the paper-artifact registry IDs in run order.
+func Experiments() ExperimentList {
+	return ExperimentList{Experiments: experiments.List()}
+}
+
+// Experiment regenerates one paper artifact in JSON form.
+func Experiment(id string) (*ExperimentResult, error) {
+	out, err := experiments.Run(id)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExperimentResult{ID: out.ID, Title: out.Title, Charts: out.Charts, Notes: out.Notes}
+	for _, t := range out.Tables {
+		res.Tables = append(res.Tables, ExperimentTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
+	}
+	return res, nil
+}
+
+// WriteJSON encodes v the service's canonical way — compact, HTML
+// escaping off, trailing newline. The CLI's -json modes and every
+// server handler use it, which is what makes their outputs
+// byte-identical.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+// ToError coerces any compute error into the service's error
+// envelope: *Error values pass through, everything else becomes an
+// invalid_request (every Run* failure is a property of the request —
+// an unknown domain, an invalid scenario — not of the server).
+func ToError(err error) *Error {
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	return &Error{Code: "invalid_request", Message: err.Error()}
+}

@@ -7,14 +7,19 @@
 package greenfpga_test
 
 import (
+	"bytes"
+	"fmt"
 	"io"
+	"net/http/httptest"
 	"testing"
 
 	"greenfpga"
+	"greenfpga/api"
 
 	"greenfpga/internal/core"
 	"greenfpga/internal/experiments"
 	"greenfpga/internal/isoperf"
+	"greenfpga/internal/server"
 	"greenfpga/internal/sweep"
 	"greenfpga/internal/units"
 )
@@ -354,6 +359,121 @@ func BenchmarkEvaluateUniformFPGA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := c.EvaluateUniform(5, units.YearsOf(2), 1e6, 0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Service benchmarks.
+
+// BenchmarkServerEvaluate measures a full /v1/evaluate round trip
+// over loopback HTTP. "cold" renames the scenario per iteration so
+// every request is a fresh content address (result-cache miss,
+// compiled-platform cache warm); "hit" repeats one request so it is
+// served from the content-addressed result cache without evaluating.
+func BenchmarkServerEvaluate(b *testing.B) {
+	srv := server.New(server.Options{CacheEntries: 1 << 17})
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+	url := hts.URL + "/v1/evaluate"
+	hc := hts.Client()
+
+	post := func(body []byte) error {
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	body := func(name string) []byte {
+		cfg := greenfpga.ExampleScenarioConfig()
+		cfg.Name = name
+		var buf bytes.Buffer
+		if err := api.WriteJSON(&buf, &api.EvaluateRequest{Scenario: cfg}); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// The name counter lives outside the sub-benchmark: testing.B
+	// re-runs it with escalating b.N against the same server, and
+	// restarting at bench-0 would turn the early iterations of later
+	// runs into cache hits. Bodies are pre-built outside the timed
+	// loop so cold-vs-hit measures only what the cache removes.
+	cold := 0
+	b.Run("cold", func(b *testing.B) {
+		bodies := make([][]byte, b.N)
+		for i := range bodies {
+			cold++
+			bodies[i] = body(fmt.Sprintf("bench-%d", cold))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := post(bodies[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		warm := body("bench-hit")
+		if err := post(warm); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := post(warm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchEvaluate measures a 64-scenario batch through the
+// pool fan-out (all items distinct, so every one evaluates).
+func BenchmarkBatchEvaluate(b *testing.B) {
+	srv := server.New(server.Options{CacheEntries: 1 << 17})
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+	hc := hts.Client()
+
+	// Bodies are pre-built outside the timed loop (names unique across
+	// b.N escalations) so the number is the round trip, not client-side
+	// request construction.
+	const items = 64
+	n := 0
+	bodies := make([][]byte, b.N)
+	for i := range bodies {
+		var req api.BatchEvaluateRequest
+		for j := 0; j < items; j++ {
+			cfg := greenfpga.ExampleScenarioConfig()
+			cfg.Name = fmt.Sprintf("batch-%d", n)
+			n++
+			req.Requests = append(req.Requests, api.EvaluateRequest{Scenario: cfg})
+		}
+		var buf bytes.Buffer
+		if err := api.WriteJSON(&buf, &req); err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = buf.Bytes()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := hc.Post(hts.URL+"/v1/evaluate/batch", "application/json", bytes.NewReader(bodies[i]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d", resp.StatusCode)
 		}
 	}
 }

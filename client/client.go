@@ -1,0 +1,191 @@
+// Package client is the typed Go client of the GreenFPGA evaluation
+// service (`greenfpga serve`). Requests and responses are the
+// canonical api types; non-2xx responses decode the service's error
+// envelope and surface it as a *StatusError wrapping *api.Error.
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	resp, err := c.Crossover(ctx, api.CrossoverRequest{Domain: "DNN"})
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"greenfpga/api"
+)
+
+// Client talks to one GreenFPGA service instance. It is safe for
+// concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the service at baseURL (scheme and host,
+// e.g. "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// StatusError is a non-2xx response: the HTTP status plus the
+// service's decoded error envelope.
+type StatusError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Err is the decoded envelope; Code is "http_error" when the body
+	// was not an envelope.
+	Err *api.Error
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Status, e.Err.Error())
+}
+
+// Unwrap exposes the envelope to errors.As.
+func (e *StatusError) Unwrap() error { return e.Err }
+
+// do runs one request; in (when non-nil) is sent as canonical JSON,
+// out (when non-nil) receives the decoded response.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		var buf bytes.Buffer
+		if err := api.WriteJSON(&buf, in); err != nil {
+			return err
+		}
+		body = &buf
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		e := &api.Error{}
+		if json.Unmarshal(data, e) != nil || e.Code == "" {
+			e = &api.Error{Code: "http_error", Message: strings.TrimSpace(string(data))}
+		}
+		return &StatusError{Status: resp.StatusCode, Err: e}
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var h api.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return err
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("client: unhealthy: %q", h.Status)
+	}
+	return nil
+}
+
+// Metrics fetches the raw /metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &StatusError{Status: resp.StatusCode,
+			Err: &api.Error{Code: "http_error", Message: strings.TrimSpace(string(data))}}
+	}
+	return string(data), nil
+}
+
+// Devices fetches the Table 3 catalog.
+func (c *Client) Devices(ctx context.Context) (*api.DeviceList, error) {
+	out := &api.DeviceList{}
+	return out, c.do(ctx, http.MethodGet, "/v1/devices", nil, out)
+}
+
+// Domains fetches the Table 2 testcases.
+func (c *Client) Domains(ctx context.Context) (*api.DomainList, error) {
+	out := &api.DomainList{}
+	return out, c.do(ctx, http.MethodGet, "/v1/domains", nil, out)
+}
+
+// Experiments lists the paper-artifact registry.
+func (c *Client) Experiments(ctx context.Context) (*api.ExperimentList, error) {
+	out := &api.ExperimentList{}
+	return out, c.do(ctx, http.MethodGet, "/v1/experiments", nil, out)
+}
+
+// Experiment regenerates one paper artifact in JSON form.
+func (c *Client) Experiment(ctx context.Context, id string) (*api.ExperimentResult, error) {
+	out := &api.ExperimentResult{}
+	return out, c.do(ctx, http.MethodGet, "/v1/experiments/"+url.PathEscape(id)+"?format=json", nil, out)
+}
+
+// Evaluate assesses one scenario.
+func (c *Client) Evaluate(ctx context.Context, req *api.EvaluateRequest) (*api.EvaluateResponse, error) {
+	out := &api.EvaluateResponse{}
+	return out, c.do(ctx, http.MethodPost, "/v1/evaluate", req, out)
+}
+
+// EvaluateBatch assesses many scenarios in one round trip.
+func (c *Client) EvaluateBatch(ctx context.Context, req *api.BatchEvaluateRequest) (*api.BatchEvaluateResponse, error) {
+	out := &api.BatchEvaluateResponse{}
+	return out, c.do(ctx, http.MethodPost, "/v1/evaluate/batch", req, out)
+}
+
+// Crossover solves the three §4.2 crossover questions for a domain.
+func (c *Client) Crossover(ctx context.Context, req api.CrossoverRequest) (*api.CrossoverResponse, error) {
+	out := &api.CrossoverResponse{}
+	return out, c.do(ctx, http.MethodPost, "/v1/crossover", req, out)
+}
+
+// Sweep runs a 1-D domain sweep.
+func (c *Client) Sweep(ctx context.Context, req api.SweepRequest) (*api.SweepResponse, error) {
+	out := &api.SweepResponse{}
+	return out, c.do(ctx, http.MethodPost, "/v1/sweep", req, out)
+}
+
+// MonteCarlo runs the Table 1 uncertainty study for a domain.
+func (c *Client) MonteCarlo(ctx context.Context, req api.MonteCarloRequest) (*api.MonteCarloResponse, error) {
+	out := &api.MonteCarloResponse{}
+	return out, c.do(ctx, http.MethodPost, "/v1/mc", req, out)
+}

@@ -1,0 +1,153 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"greenfpga/api"
+	"greenfpga/internal/config"
+	"greenfpga/internal/server"
+)
+
+// newPair spins a service and a client bound to it.
+func newPair(t *testing.T) *Client {
+	t.Helper()
+	hts := httptest.NewServer(server.New(server.Options{}).Handler())
+	t.Cleanup(hts.Close)
+	return New(hts.URL, WithHTTPClient(hts.Client()))
+}
+
+// TestRoundTrip drives every client method against a live handler.
+func TestRoundTrip(t *testing.T) {
+	c := newPair(t)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	devices, err := c.Devices(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devices.Devices) == 0 || devices.Devices[0].Name == "" {
+		t.Errorf("devices: %+v", devices)
+	}
+	domains, err := c.Domains(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(domains.Domains) != 3 {
+		t.Errorf("domains: %+v", domains)
+	}
+	exps, err := c.Experiments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps.Experiments) == 0 {
+		t.Error("experiment list empty")
+	}
+	art, err := c.Experiment(ctx, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.ID != "table2" || len(art.Tables) == 0 {
+		t.Errorf("artifact: %+v", art)
+	}
+
+	req := &api.EvaluateRequest{Scenario: config.Example()}
+	eval, err := c.Evaluate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.FPGA == nil || eval.ASIC == nil || eval.Ratio == nil {
+		t.Fatalf("evaluate: %+v", eval)
+	}
+	// The client must observe exactly what the shared compute path
+	// (and therefore the CLI) produces.
+	want, err := api.NewEvaluator(4).Evaluate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.FPGA.TotalKg != want.FPGA.TotalKg || eval.ASIC.TotalKg != want.ASIC.TotalKg {
+		t.Errorf("evaluate totals differ from shared compute: %+v vs %+v", eval, want)
+	}
+
+	batch, err := c.EvaluateBatch(ctx, &api.BatchEvaluateRequest{
+		Requests: []api.EvaluateRequest{*req, *req},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 || batch.Results[0].Response == nil {
+		t.Fatalf("batch: %+v", batch)
+	}
+	if batch.Results[0].Response.FPGA.TotalKg != eval.FPGA.TotalKg {
+		t.Error("batch result differs from single evaluate")
+	}
+
+	cross, err := c.Crossover(ctx, api.CrossoverRequest{Domain: "DNN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cross.A2FNumApps.Found || cross.A2FNumApps.Value != 6 {
+		t.Errorf("crossover: %+v", cross)
+	}
+
+	sw, err := c.Sweep(ctx, api.SweepRequest{Domain: "DNN", Axis: "napps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 12 {
+		t.Errorf("sweep: %d points", len(sw.Points))
+	}
+
+	mc, err := c.MonteCarlo(ctx, api.MonteCarloRequest{Samples: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Samples != 100 || len(mc.Tornado) == 0 {
+		t.Errorf("mc: %+v", mc)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "greenfpga_result_cache_misses_total") {
+		t.Errorf("metrics text:\n%s", metrics)
+	}
+}
+
+// TestErrorMapping checks the envelope surfaces as a typed error.
+func TestErrorMapping(t *testing.T) {
+	c := newPair(t)
+	ctx := context.Background()
+
+	_, err := c.Evaluate(ctx, &api.EvaluateRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *StatusError, got %v", err)
+	}
+	if se.Status != http.StatusBadRequest || se.Err.Code != "invalid_request" {
+		t.Errorf("evaluate error: %+v", se)
+	}
+	var envelope *api.Error
+	if !errors.As(err, &envelope) || envelope.Code != "invalid_request" {
+		t.Errorf("unwrap to *api.Error failed: %v", err)
+	}
+
+	_, err = c.Experiment(ctx, "fig99")
+	if !errors.As(err, &se) || se.Status != http.StatusNotFound || se.Err.Code != "not_found" {
+		t.Errorf("unknown experiment error: %v", err)
+	}
+
+	_, err = c.Crossover(ctx, api.CrossoverRequest{Domain: "Quantum"})
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Errorf("unknown domain error: %v", err)
+	}
+}

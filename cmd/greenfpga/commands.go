@@ -7,20 +7,21 @@ import (
 	"os"
 
 	"greenfpga"
+	"greenfpga/api"
 
-	"greenfpga/internal/core"
 	"greenfpga/internal/experiments"
-	"greenfpga/internal/isoperf"
 	"greenfpga/internal/report"
-	"greenfpga/internal/sweep"
-	"greenfpga/internal/units"
 )
 
 // cmdList prints the experiment registry.
 func cmdList(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/experiments)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut {
+		return api.WriteJSON(os.Stdout, api.Experiments())
 	}
 	for _, id := range greenfpga.Experiments() {
 		fmt.Println(id)
@@ -73,8 +74,12 @@ func cmdExperiment(args []string) error {
 // cmdDevices prints the Table 3 catalog.
 func cmdDevices(args []string) error {
 	fs := flag.NewFlagSet("devices", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/devices)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut {
+		return api.WriteJSON(os.Stdout, api.Devices())
 	}
 	t := report.NewTable("Industry device catalog (Table 3)",
 		"Name", "Kind", "Node", "Die area", "TDP", "Capacity [Mgates]", "Based on")
@@ -92,8 +97,12 @@ func cmdDevices(args []string) error {
 // cmdDomains prints the Table 2 testcases.
 func cmdDomains(args []string) error {
 	fs := flag.NewFlagSet("domains", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/domains)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut {
+		return api.WriteJSON(os.Stdout, api.Domains())
 	}
 	t := report.NewTable("Iso-performance domains (Table 2)",
 		"Domain", "Area ratio", "Power ratio", "ASIC area", "ASIC TDP", "Duty")
@@ -104,65 +113,51 @@ func cmdDomains(args []string) error {
 	return t.WriteText(os.Stdout)
 }
 
-// pairFlag resolves the -domain flag to an iso-performance pair.
-func pairFlag(name string) (core.Pair, error) {
-	d, err := greenfpga.DomainByName(name)
-	if err != nil {
-		return core.Pair{}, err
-	}
-	return d.Pair()
-}
-
-// cmdCrossover solves the three §4.2 crossover questions.
+// cmdCrossover solves the three §4.2 crossover questions through the
+// shared api compute path, so its numbers match /v1/crossover exactly.
 func cmdCrossover(args []string) error {
 	fs := flag.NewFlagSet("crossover", flag.ContinueOnError)
 	domain := fs.String("domain", "DNN", "iso-performance domain (DNN, ImgProc, Crypto)")
 	lifetime := fs.Float64("lifetime", 2, "application lifetime in years (for N_app and N_vol solves)")
 	napps := fs.Int("napps", 5, "application count (for T_i and N_vol solves)")
 	volume := fs.Float64("volume", 1e6, "application volume (for N_app and T_i solves)")
+	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/crossover)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	pr, err := pairFlag(*domain)
+	req := api.CrossoverRequest{
+		Domain: *domain, LifetimeYears: *lifetime, NApps: *napps, Volume: *volume,
+	}.Normalized()
+	resp, err := api.RunCrossover(req)
 	if err != nil {
 		return err
 	}
-	cp, err := greenfpga.CompilePair(pr)
-	if err != nil {
-		return err
+	if *jsonOut {
+		return api.WriteJSON(os.Stdout, resp)
 	}
-	n, nFound, err := cp.CrossoverNumApps(units.YearsOf(*lifetime), *volume, 0, 30)
-	if err != nil {
-		return err
-	}
-	tstar, tFound, err := cp.CrossoverLifetime(*napps, *volume, 0, units.YearsOf(0.05), units.YearsOf(10))
-	if err != nil {
-		return err
-	}
-	vstar, vFound, err := cp.CrossoverVolume(*napps, units.YearsOf(*lifetime), 0, 1e2, 1e8)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("domain %s (T=%gy, N=%d, V=%g where fixed)\n", *domain, *lifetime, *napps, *volume)
-	if nFound {
+	fmt.Printf("domain %s (T=%gy, N=%d, V=%g where fixed)\n",
+		resp.Domain, req.LifetimeYears, req.NApps, req.Volume)
+	if s := resp.A2FNumApps; s.Found {
+		n := int(s.Value)
 		fmt.Printf("  A2F at N_app = %d (FPGA wins from %d applications)\n", n, n)
 	} else {
-		fmt.Println("  no N_app crossover within 30 applications")
+		fmt.Printf("  no N_app crossover within %d applications\n", req.MaxApps)
 	}
-	if tFound {
-		fmt.Printf("  F2A at T_i = %.2f years (FPGA wins below)\n", tstar.Years())
+	if s := resp.F2ALifetimeYears; s.Found {
+		fmt.Printf("  F2A at T_i = %.2f years (FPGA wins below)\n", s.Value)
 	} else {
 		fmt.Println("  no lifetime crossover in [0.05, 10] years")
 	}
-	if vFound {
-		fmt.Printf("  F2A at N_vol = %.0f units (FPGA wins below)\n", vstar)
+	if s := resp.F2AVolume; s.Found {
+		fmt.Printf("  F2A at N_vol = %.0f units (FPGA wins below)\n", s.Value)
 	} else {
 		fmt.Println("  no volume crossover in [1e2, 1e8]")
 	}
 	return nil
 }
 
-// cmdSweep runs a 1-D sweep and charts it.
+// cmdSweep runs a 1-D sweep through the shared api compute path (so
+// its numbers match /v1/sweep exactly) and charts it.
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	domain := fs.String("domain", "DNN", "iso-performance domain")
@@ -171,111 +166,54 @@ func cmdSweep(args []string) error {
 	to := fs.Float64("to", 0, "axis end (defaults per axis)")
 	points := fs.Int("points", 0, "sample count (defaults per axis)")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of a chart")
+	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/sweep)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	pr, err := pairFlag(*domain)
+	req := api.SweepRequest{
+		Domain: *domain, Axis: *axis, From: *from, To: *to, Points: *points,
+	}.Normalized()
+	resp, err := api.RunSweep(req)
 	if err != nil {
 		return err
 	}
+	// Chart cosmetics only; the sample values live in resp.Points.
+	axisName, logX := map[string]string{
+		"napps": "Num Apps", "lifetime": "App Lifetime [y]", "volume": "App Volume",
+	}[req.Axis], req.Axis == "volume"
 
-	var ax sweep.Axis
-	var evalAxis string
-	logX := false
-	switch *axis {
-	case "napps":
-		lo, hi := 1, 12
-		if *from > 0 {
-			lo = int(*from)
-		}
-		if *to > 0 {
-			hi = int(*to)
-		}
-		ax = sweep.Axis{Name: "Num Apps", Values: sweep.IntRange(lo, hi)}
-		evalAxis = "n"
-	case "lifetime":
-		lo, hi, n := 0.2, 2.5, 24
-		if *from > 0 {
-			lo = *from
-		}
-		if *to > 0 {
-			hi = *to
-		}
-		if *points > 0 {
-			n = *points
-		}
-		ax = sweep.Axis{Name: "App Lifetime [y]", Values: sweep.Linspace(lo, hi, n)}
-		evalAxis = "t"
-	case "volume":
-		lo, hi, n := 1e3, 1e6, 13
-		if *from > 0 {
-			lo = *from
-		}
-		if *to > 0 {
-			hi = *to
-		}
-		if *points > 0 {
-			n = *points
-		}
-		ax = sweep.Axis{Name: "App Volume", Values: sweep.Logspace(lo, hi, n), Log: true}
-		evalAxis = "v"
-		logX = true
-	default:
-		return fmt.Errorf("unknown axis %q (napps, lifetime, volume)", *axis)
+	if *jsonOut {
+		return api.WriteJSON(os.Stdout, resp)
 	}
-
-	cp, err := greenfpga.CompilePair(pr)
-	if err != nil {
-		return err
-	}
-	eval := func(x float64) (units.Mass, units.Mass, error) {
-		nApps, tY, v := 5, 2.0, 1e6
-		switch evalAxis {
-		case "n":
-			nApps = int(x + 0.5)
-		case "t":
-			tY = x
-		case "v":
-			v = x
-		}
-		c, err := cp.CompareUniform(nApps, units.YearsOf(tY), v, 0)
-		if err != nil {
-			return 0, 0, err
-		}
-		return c.FPGA.Total(), c.ASIC.Total(), nil
-	}
-	pts, err := sweep.Run1D(ax, eval)
-	if err != nil {
-		return err
-	}
-
+	const kgPerKt = 1e6
 	if *csvOut {
-		t := report.NewTable("", ax.Name, "FPGA [kt]", "ASIC [kt]", "ratio")
-		for _, p := range pts {
-			t.AddRow(fmt.Sprintf("%g", p.X), fmt.Sprintf("%.3f", p.FPGA.Kilotonnes()),
-				fmt.Sprintf("%.3f", p.ASIC.Kilotonnes()), fmt.Sprintf("%.4f", p.Ratio))
+		t := report.NewTable("", axisName, "FPGA [kt]", "ASIC [kt]", "ratio")
+		for _, p := range resp.Points {
+			t.AddRow(fmt.Sprintf("%g", p.X), fmt.Sprintf("%.3f", p.FPGAKg/kgPerKt),
+				fmt.Sprintf("%.3f", p.ASICKg/kgPerKt), fmt.Sprintf("%.4f", p.Ratio))
 		}
 		return t.WriteCSV(os.Stdout)
 	}
-	xs := make([]float64, len(pts))
-	fy := make([]float64, len(pts))
-	ay := make([]float64, len(pts))
-	for i, p := range pts {
-		xs[i], fy[i], ay[i] = p.X, p.FPGA.Kilotonnes(), p.ASIC.Kilotonnes()
+	xs := make([]float64, len(resp.Points))
+	fy := make([]float64, len(resp.Points))
+	ay := make([]float64, len(resp.Points))
+	for i, p := range resp.Points {
+		xs[i], fy[i], ay[i] = p.X, p.FPGAKg/kgPerKt, p.ASICKg/kgPerKt
 	}
 	return report.LineChart(os.Stdout, report.ChartOptions{
-		Title:  fmt.Sprintf("%s: CFP vs %s", *domain, ax.Name),
-		XLabel: ax.Name, YLabel: "total CFP [ktCO2e]", LogX: logX,
+		Title:  fmt.Sprintf("%s: CFP vs %s", resp.Domain, axisName),
+		XLabel: axisName, YLabel: "total CFP [ktCO2e]", LogX: logX,
 	},
 		report.Series{Name: "FPGA", X: xs, Y: fy},
 		report.Series{Name: "ASIC", X: xs, Y: ay})
 }
 
-// cmdRun evaluates a JSON scenario config.
+// cmdRun evaluates a JSON scenario config through the shared api
+// compute path, so its numbers match /v1/evaluate exactly.
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	path := fs.String("config", "", "scenario JSON file")
-	jsonOut := fs.Bool("json", false, "emit the breakdown as JSON")
+	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/evaluate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -290,155 +228,92 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-
-	type side struct {
-		name string
-		res  core.Assessment
-	}
-	var sides []side
-	if cfg.FPGA != nil {
-		p, err := cfg.FPGA.ToPlatform()
-		if err != nil {
-			return err
-		}
-		res, err := core.Evaluate(p, scen)
-		if err != nil {
-			return err
-		}
-		sides = append(sides, side{"FPGA", res})
-	}
-	if cfg.ASIC != nil {
-		p, err := cfg.ASIC.ToPlatform()
-		if err != nil {
-			return err
-		}
-		res, err := core.Evaluate(p, scen)
-		if err != nil {
-			return err
-		}
-		sides = append(sides, side{"ASIC", res})
+	resp, err := api.Evaluate(&api.EvaluateRequest{Scenario: cfg})
+	if err != nil {
+		return err
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		out := map[string]any{}
-		for _, s := range sides {
-			out[s.name] = map[string]any{
-				"platform":  s.res.Platform,
-				"total_kg":  s.res.Total().Kilograms(),
-				"breakdown": s.res.Breakdown,
-				"devices":   s.res.DevicesManufactured,
-			}
-		}
-		return enc.Encode(out)
+		return api.WriteJSON(os.Stdout, resp)
 	}
 
+	type side struct {
+		name string
+		res  *api.PlatformResult
+	}
+	var sides []side
+	if resp.FPGA != nil {
+		sides = append(sides, side{"FPGA", resp.FPGA})
+	}
+	if resp.ASIC != nil {
+		sides = append(sides, side{"ASIC", resp.ASIC})
+	}
+	const kgPerKt = 1e6
 	t := report.NewTable(fmt.Sprintf("Scenario %q (%d applications, %s total)",
 		scen.Name, len(scen.Apps), scen.TotalYears()),
 		"Platform", "Design", "Mfg", "Pkg", "EOL", "Operation", "App-dev", "Total [kt]")
 	for _, s := range sides {
 		b := s.res.Breakdown
 		t.AddRow(fmt.Sprintf("%s (%s)", s.name, s.res.Platform),
-			fmt.Sprintf("%.2f", b.Design.Kilotonnes()),
-			fmt.Sprintf("%.2f", b.Manufacturing.Kilotonnes()),
-			fmt.Sprintf("%.2f", b.Packaging.Kilotonnes()),
-			fmt.Sprintf("%.3f", b.EOL.Kilotonnes()),
-			fmt.Sprintf("%.2f", b.Operation.Kilotonnes()),
-			fmt.Sprintf("%.3f", (b.AppDevelopment+b.Configuration).Kilotonnes()),
-			fmt.Sprintf("%.2f", b.Total().Kilotonnes()))
+			fmt.Sprintf("%.2f", b.DesignKg/kgPerKt),
+			fmt.Sprintf("%.2f", b.ManufacturingKg/kgPerKt),
+			fmt.Sprintf("%.2f", b.PackagingKg/kgPerKt),
+			fmt.Sprintf("%.3f", b.EOLKg/kgPerKt),
+			fmt.Sprintf("%.2f", b.OperationKg/kgPerKt),
+			fmt.Sprintf("%.3f", (b.AppDevelopmentKg+b.ConfigurationKg)/kgPerKt),
+			fmt.Sprintf("%.2f", b.TotalKg/kgPerKt))
 	}
 	if err := t.WriteText(os.Stdout); err != nil {
 		return err
 	}
-	if len(sides) == 2 {
-		ratio := sides[0].res.Total().Kilograms() / sides[1].res.Total().Kilograms()
+	if resp.Ratio != nil {
 		verdict := "the FPGA is the more sustainable platform"
-		if ratio >= 1 {
+		if resp.Verdict == "asic" {
 			verdict = "the ASIC is the more sustainable platform"
 		}
-		fmt.Printf("\nFPGA:ASIC ratio = %.3f — %s\n", ratio, verdict)
+		fmt.Printf("\nFPGA:ASIC ratio = %.3f — %s\n", *resp.Ratio, verdict)
 	}
 	return nil
 }
 
-// cmdMC runs the Table 1 uncertainty study for a domain pair ratio.
+// cmdMC runs the Table 1 uncertainty study for a domain pair ratio
+// through the shared api compute path (greenfpga.DomainRatioStudy),
+// so its numbers match /v1/mc exactly.
 func cmdMC(args []string) error {
 	fs := flag.NewFlagSet("mc", flag.ContinueOnError)
 	domain := fs.String("domain", "DNN", "iso-performance domain")
 	samples := fs.Int("samples", 2000, "Monte-Carlo samples")
 	seed := fs.Int64("seed", 1, "random seed")
 	napps := fs.Int("napps", 5, "application count")
+	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/mc)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	d, err := greenfpga.DomainByName(*domain)
+	resp, err := api.RunMonteCarlo(api.MonteCarloRequest{
+		Domain: *domain, Samples: *samples, Seed: *seed, NApps: *napps,
+	})
 	if err != nil {
 		return err
 	}
-	res, err := DomainRatioStudy(d, *napps, *samples, *seed)
-	if err != nil {
-		return err
+	if *jsonOut {
+		return api.WriteJSON(os.Stdout, resp)
 	}
 	fmt.Printf("FPGA:ASIC CFP ratio for %s over Table 1 parameter ranges (%d samples, N=%d apps)\n",
-		*domain, *samples, *napps)
-	fmt.Printf("  mean %.3f  stddev %.3f\n", res.Mean, res.StdDev)
-	for _, p := range []float64{5, 25, 50, 75, 95} {
-		fmt.Printf("  p%-3.0f %.3f\n", p, res.Percentile(p))
+		resp.Domain, resp.Samples, resp.NApps)
+	fmt.Printf("  mean %.3f  stddev %.3f\n", resp.Mean, resp.StdDev)
+	pct := resp.Percentiles
+	for _, p := range []struct {
+		label string
+		v     float64
+	}{{"5", pct.P5}, {"25", pct.P25}, {"50", pct.P50}, {"75", pct.P75}, {"95", pct.P95}} {
+		fmt.Printf("  p%-3s %.3f\n", p.label, p.v)
 	}
-	probFPGA := 0.0
-	for _, s := range res.Samples {
-		if s < 1 {
-			probFPGA++
-		}
-	}
-	fmt.Printf("  P(FPGA wins) = %.1f%%\n", probFPGA/float64(len(res.Samples))*100)
+	fmt.Printf("  P(FPGA wins) = %.1f%%\n", resp.ProbFPGAWins*100)
 	fmt.Println("  tornado (|output swing| per parameter, 10th-90th percentile):")
-	for _, e := range res.Tornado {
-		fmt.Printf("    %-22s %.4f\n", e.Param, e.Swing())
+	for _, e := range resp.Tornado {
+		fmt.Printf("    %-22s %.4f\n", e.Param, e.Swing)
 	}
 	return nil
-}
-
-// DomainRatioStudy propagates Table 1 ranges through a domain pair's
-// FPGA:ASIC ratio. Exported for the uncertainty example and benches.
-func DomainRatioStudy(d isoperf.Domain, nApps, samples int, seed int64) (greenfpga.MCResult, error) {
-	return greenfpga.RunMonteCarlo(greenfpga.MCConfig{
-		Samples: samples,
-		Seed:    seed,
-		Params: []greenfpga.MCParam{
-			{Name: "duty_cycle", Dist: greenfpga.TriangularDist{Lo: d.DutyCycle * 0.5, Mode: d.DutyCycle, Hi: minF(1, d.DutyCycle*1.5)}},
-			{Name: "t_fe_months", Dist: greenfpga.UniformDist{Lo: 1.5, Hi: 2.5}},
-			{Name: "t_be_months", Dist: greenfpga.UniformDist{Lo: 0.5, Hi: 1.5}},
-			{Name: "design_staff", Dist: greenfpga.TriangularDist{Lo: d.DesignEngineers * 0.7, Mode: d.DesignEngineers, Hi: d.DesignEngineers * 1.3}},
-			{Name: "recycled_fraction", Dist: greenfpga.UniformDist{Lo: 0, Hi: 1}},
-			{Name: "eol_delta", Dist: greenfpga.UniformDist{Lo: 0.05, Hi: 0.95}},
-			{Name: "app_lifetime_years", Dist: greenfpga.UniformDist{Lo: 1, Hi: 3}},
-		},
-		Model: func(draw map[string]float64) (float64, error) {
-			dd := d
-			dd.DutyCycle = draw["duty_cycle"]
-			dd.DesignEngineers = draw["design_staff"]
-			pr, err := dd.Pair()
-			if err != nil {
-				return 0, err
-			}
-			ad := pr.FPGA.AppDevProfile()
-			ad.FrontEnd = units.Months(draw["t_fe_months"])
-			ad.BackEnd = units.Months(draw["t_be_months"])
-			pr.FPGA.AppDev = &ad
-			for _, p := range []*core.Platform{&pr.FPGA, &pr.ASIC} {
-				p.RecycledMaterialFraction = draw["recycled_fraction"]
-				p.EOL.RecycleFraction = draw["eol_delta"]
-			}
-			c, err := pr.Compare(core.Uniform("mc", nApps,
-				units.YearsOf(draw["app_lifetime_years"]), isoperf.ReferenceVolume, 0))
-			if err != nil {
-				return 0, err
-			}
-			return c.Ratio, nil
-		},
-	})
 }
 
 // cmdExampleConfig prints a sample scenario document.
@@ -453,12 +328,4 @@ func cmdExampleConfig(args []string) error {
 	}
 	fmt.Println(string(data))
 	return nil
-}
-
-// minF avoids importing math for one clamp.
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }

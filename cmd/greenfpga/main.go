@@ -1,7 +1,8 @@
 // Command greenfpga is the GreenFPGA carbon-footprint tool: it
 // evaluates FPGA- and ASIC-based computing scenarios, regenerates every
 // table and figure of the DAC'24 paper, sweeps parameters, solves
-// crossover points, and runs uncertainty studies.
+// crossover points, runs uncertainty studies, and serves it all over
+// HTTP.
 //
 // Usage:
 //
@@ -13,11 +14,16 @@
 //	greenfpga sweep -domain DNN -axis napps 1-D sweep with a chart
 //	greenfpga run -config file.json         evaluate a JSON scenario
 //	greenfpga mc -domain DNN                Monte-Carlo uncertainty
+//	greenfpga serve -addr 127.0.0.1:8080    HTTP evaluation service
 //	greenfpga example-config                print a sample JSON config
+//	greenfpga help                          print this usage
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -36,36 +42,55 @@ var commands = map[string]func(args []string) error{
 	"dse":            cmdDSE,
 	"mc":             cmdMC,
 	"wafer":          cmdWafer,
+	"serve":          cmdServe,
 	"validate":       cmdValidate,
 	"example-config": cmdExampleConfig,
+	"help":           cmdHelp,
 }
 
 func main() {
 	if len(os.Args) < 2 {
-		usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
-	cmd, ok := commands[os.Args[1]]
+	name := os.Args[1]
+	// Flag spellings of the help command succeed like the command.
+	if name == "-h" || name == "--help" {
+		name = "help"
+	}
+	cmd, ok := commands[name]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "greenfpga: unknown command %q\n\n", os.Args[1])
-		usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
 	if err := cmd(os.Args[2:]); err != nil {
+		// `greenfpga <cmd> -h` is a help request, not a failure: the
+		// flag set already printed its usage.
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintf(os.Stderr, "greenfpga: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// cmdHelp prints the top-level usage to stdout and succeeds — the
+// `greenfpga help`, `-h` and `--help` spellings all land here.
+func cmdHelp(args []string) error {
+	usage(os.Stdout)
+	return nil
+}
+
 // usage prints the top-level help.
-func usage() {
-	fmt.Fprintln(os.Stderr, `GreenFPGA: carbon-footprint assessment of FPGA vs ASIC computing (DAC'24)
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `GreenFPGA: carbon-footprint assessment of FPGA vs ASIC computing (DAC'24)
 
 commands:
-  list                            list the paper-reproduction experiments
+  list [-json]                    list the paper-reproduction experiments
   experiment <id>|all             regenerate a paper table/figure
-  devices                         print the industry device catalog (Table 3)
-  domains                         print the iso-performance testcases (Table 2)
+  devices [-json]                 print the industry device catalog (Table 3)
+  domains [-json]                 print the iso-performance testcases (Table 2)
   kernels                         list the workload kernel library
   compare -fpga <dev> -asic <dev> head-to-head catalog comparison
   crossover -domain <name>        solve the A2F/F2A crossover points
@@ -75,6 +100,11 @@ commands:
   dse -kernel <name>              carbon-aware design-space exploration
   mc -domain <name>               Monte-Carlo uncertainty over Table 1 ranges
   wafer [-device <name>]          wafer-level manufacturing economics
+  serve [-addr host:port]         HTTP evaluation service (/v1/..., /healthz, /metrics)
   validate -config <file.json>    check a scenario JSON
-  example-config                  print a sample scenario JSON`)
+  example-config                  print a sample scenario JSON
+  help                            print this usage (also -h, --help)
+
+The -json flags emit the canonical api documents, byte-identical to
+the corresponding 'greenfpga serve' endpoints.`)
 }

@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"greenfpga/api"
 	"greenfpga/internal/config"
 )
 
@@ -263,9 +267,92 @@ func TestCmdExampleConfig(t *testing.T) {
 func TestCommandTableComplete(t *testing.T) {
 	for _, name := range []string{"list", "experiment", "devices", "domains",
 		"kernels", "crossover", "sweep", "run", "plan", "dse", "mc",
-		"validate", "example-config"} {
+		"serve", "validate", "example-config", "help"} {
 		if _, ok := commands[name]; !ok {
 			t.Errorf("command %q not registered", name)
+		}
+	}
+}
+
+func TestCmdHelp(t *testing.T) {
+	out, err := captureStdout(t, func() error { return cmdHelp(nil) })
+	if err != nil {
+		t.Fatalf("help must succeed, got %v", err)
+	}
+	for _, want := range []string{"commands:", "serve", "crossover", "example-config"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestJSONFlagsMatchAPI checks the satellite guarantee: the CLI's
+// -json modes emit the canonical api documents byte-identically to
+// the corresponding server endpoints.
+func TestJSONFlagsMatchAPI(t *testing.T) {
+	canonical := func(v any) string {
+		var buf bytes.Buffer
+		if err := api.WriteJSON(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, tc := range []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"list", func() error { return cmdList([]string{"-json"}) }, canonical(api.Experiments())},
+		{"devices", func() error { return cmdDevices([]string{"-json"}) }, canonical(api.Devices())},
+		{"domains", func() error { return cmdDomains([]string{"-json"}) }, canonical(api.Domains())},
+	} {
+		out, err := captureStdout(t, tc.run)
+		if err != nil {
+			t.Fatalf("%s -json: %v", tc.name, err)
+		}
+		if out != tc.want {
+			t.Errorf("%s -json differs from the api document:\n%q\nvs\n%q", tc.name, out, tc.want)
+		}
+	}
+}
+
+func TestCmdCrossoverJSON(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdCrossover([]string{"-domain", "DNN", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp api.CrossoverResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("crossover -json is not a CrossoverResponse: %v\n%s", err, out)
+	}
+	if resp.Domain != "DNN" || !resp.A2FNumApps.Found || resp.A2FNumApps.Value != 6 {
+		t.Errorf("crossover -json: %+v", resp)
+	}
+}
+
+func TestCmdServeBadAddr(t *testing.T) {
+	if err := cmdServe([]string{"-addr", "256.1.2.3:bogus"}); err == nil {
+		t.Error("unlistenable address must error")
+	}
+}
+
+// TestSubcommandHelpIsErrHelp pins the contract main relies on to
+// exit 0 on `greenfpga <cmd> -h`: flag sets return flag.ErrHelp.
+func TestSubcommandHelpIsErrHelp(t *testing.T) {
+	old := os.Stderr
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = devnull // the flag set prints its usage to stderr
+	defer func() { os.Stderr = old; devnull.Close() }()
+	for name, cmd := range map[string]func([]string) error{
+		"crossover": cmdCrossover, "serve": cmdServe, "run": cmdRun,
+	} {
+		if err := cmd([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+			t.Errorf("%s -h returned %v, want flag.ErrHelp", name, err)
 		}
 	}
 }

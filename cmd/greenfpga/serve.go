@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"greenfpga/internal/server"
+)
+
+// cmdServe runs the HTTP evaluation service until SIGINT/SIGTERM,
+// then drains in-flight requests and exits cleanly.
+//
+// Endpoints (see DESIGN.md "Service architecture"):
+//
+//	GET  /healthz                liveness
+//	GET  /metrics                Prometheus counters (cache hits, ...)
+//	GET  /v1/devices             Table 3 catalog
+//	GET  /v1/domains             Table 2 testcases
+//	GET  /v1/experiments         paper-artifact registry
+//	GET  /v1/experiments/{id}    one artifact (?format=json|text|markdown|csv)
+//	POST /v1/evaluate            evaluate a {"scenario": ...} document
+//	POST /v1/evaluate/batch      evaluate many scenarios in one call
+//	POST /v1/crossover           solve the A2F/F2A crossover points
+//	POST /v1/sweep               run a 1-D domain sweep
+//	POST /v1/mc                  Monte-Carlo uncertainty study
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	maxConcurrent := fs.Int("max-concurrent", 64, "compute requests evaluated at once")
+	cacheEntries := fs.Int("cache", 1024, "content-addressed result cache entries")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := server.New(server.Options{
+		Addr:          *addr,
+		MaxConcurrent: *maxConcurrent,
+		CacheEntries:  *cacheEntries,
+	})
+	bound, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	// The first output line carries the bound address so scripts (and
+	// the CI smoke job) can discover an ephemeral port.
+	fmt.Printf("listening on http://%s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case got := <-sig:
+		fmt.Printf("received %s, draining\n", got)
+	case err := <-srv.Done():
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-srv.Done(); err != nil {
+		return err
+	}
+	fmt.Println("shutdown complete")
+	return nil
+}

@@ -229,6 +229,55 @@ func RenderExperiment(id string, w io.Writer) error {
 // concurrent use — with results identical across worker counts.
 func RunMonteCarlo(cfg MCConfig) (MCResult, error) { return montecarlo.Run(cfg) }
 
+// DomainRatioStudy propagates the paper's Table 1 parameter ranges
+// through a domain pair's FPGA:ASIC CFP ratio: duty cycle, design
+// staffing, app-development effort, recycled sourcing, EOL recycling
+// and application lifetime are drawn per sample, everything else is
+// held at the domain's calibration. Shared by `greenfpga mc`, the
+// /v1/mc service endpoint and the uncertainty example.
+func DomainRatioStudy(d Domain, nApps, samples int, seed int64) (MCResult, error) {
+	clampHi := d.DutyCycle * 1.5
+	if clampHi > 1 {
+		clampHi = 1
+	}
+	return RunMonteCarlo(MCConfig{
+		Samples: samples,
+		Seed:    seed,
+		Params: []MCParam{
+			{Name: "duty_cycle", Dist: TriangularDist{Lo: d.DutyCycle * 0.5, Mode: d.DutyCycle, Hi: clampHi}},
+			{Name: "t_fe_months", Dist: UniformDist{Lo: 1.5, Hi: 2.5}},
+			{Name: "t_be_months", Dist: UniformDist{Lo: 0.5, Hi: 1.5}},
+			{Name: "design_staff", Dist: TriangularDist{Lo: d.DesignEngineers * 0.7, Mode: d.DesignEngineers, Hi: d.DesignEngineers * 1.3}},
+			{Name: "recycled_fraction", Dist: UniformDist{Lo: 0, Hi: 1}},
+			{Name: "eol_delta", Dist: UniformDist{Lo: 0.05, Hi: 0.95}},
+			{Name: "app_lifetime_years", Dist: UniformDist{Lo: 1, Hi: 3}},
+		},
+		Model: func(draw map[string]float64) (float64, error) {
+			dd := d
+			dd.DutyCycle = draw["duty_cycle"]
+			dd.DesignEngineers = draw["design_staff"]
+			pr, err := dd.Pair()
+			if err != nil {
+				return 0, err
+			}
+			ad := pr.FPGA.AppDevProfile()
+			ad.FrontEnd = units.Months(draw["t_fe_months"])
+			ad.BackEnd = units.Months(draw["t_be_months"])
+			pr.FPGA.AppDev = &ad
+			for _, p := range []*core.Platform{&pr.FPGA, &pr.ASIC} {
+				p.RecycledMaterialFraction = draw["recycled_fraction"]
+				p.EOL.RecycleFraction = draw["eol_delta"]
+			}
+			c, err := pr.Compare(core.Uniform("mc", nApps,
+				units.YearsOf(draw["app_lifetime_years"]), isoperf.ReferenceVolume, 0))
+			if err != nil {
+				return 0, err
+			}
+			return c.Ratio, nil
+		},
+	})
+}
+
 // Kernels lists the built-in workload library.
 func Kernels() []Kernel { return workload.Library() }
 

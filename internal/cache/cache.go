@@ -1,0 +1,82 @@
+// Package cache provides a small, concurrency-safe LRU used for the
+// service's content-addressed result store and the compiled-platform
+// cache: both are keyed by a canonical hash of their inputs, so a hit
+// is a proof that the cached value answers the request exactly.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a bounded least-recently-used map from string keys to
+// arbitrary values. The zero value is not usable; construct with New.
+type LRU struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+// entry is one resident key/value.
+type entry struct {
+	key string
+	val any
+}
+
+// New returns an LRU holding at most max entries; max < 1 is treated
+// as 1.
+func New(max int) *LRU {
+	if max < 1 {
+		max = 1
+	}
+	return &LRU{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the value under key and marks it most recently used.
+func (c *LRU) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry
+// when the cache is full.
+func (c *LRU) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+}
+
+// Len returns the resident entry count.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *LRU) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

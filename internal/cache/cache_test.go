@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	// a is now most recent; inserting c must evict b.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Errorf("a: %v %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Errorf("c: %v %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len %d, want 2", c.Len())
+	}
+}
+
+func TestLRUUpdateInPlace(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh, not insert
+	c.Put("c", 3)  // must evict b, not a
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Errorf("a after update: %v %v", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestLRUStats(t *testing.T) {
+	c := New(4)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("missing")
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := New(0) // clamped to 1
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() != 1 {
+		t.Errorf("len %d, want 1", c.Len())
+	}
+}
+
+// TestLRUConcurrent exercises the lock under -race.
+func TestLRUConcurrent(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				c.Put(key, i)
+				c.Get(key)
+				c.Len()
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("len %d exceeds capacity", c.Len())
+	}
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics holds the server's counters. Request counts are kept per
+// endpoint; cache counters are read from the caches themselves so the
+// numbers can never drift from the structures they describe.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]*atomic.Uint64
+	inflight atomic.Int64
+	rejected atomic.Uint64
+}
+
+// counter returns the request counter for an endpoint, creating it on
+// first use.
+func (m *metrics) counter(endpoint string) *atomic.Uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.requests == nil {
+		m.requests = make(map[string]*atomic.Uint64)
+	}
+	c, ok := m.requests[endpoint]
+	if !ok {
+		c = new(atomic.Uint64)
+		m.requests[endpoint] = c
+	}
+	return c
+}
+
+// write renders the counters in the Prometheus text exposition
+// format, endpoints sorted for deterministic output.
+func (s *Server) writeMetrics(w io.Writer) error {
+	s.m.mu.Lock()
+	endpoints := make([]string, 0, len(s.m.requests))
+	for ep := range s.m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	counts := make([]uint64, len(endpoints))
+	for i, ep := range endpoints {
+		counts[i] = s.m.requests[ep].Load()
+	}
+	s.m.mu.Unlock()
+
+	var b []byte
+	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	add("# HELP greenfpga_requests_total Requests received, by endpoint.\n")
+	add("# TYPE greenfpga_requests_total counter\n")
+	for i, ep := range endpoints {
+		add("greenfpga_requests_total{endpoint=%q} %d\n", ep, counts[i])
+	}
+	rcHits, rcMisses := s.results.Stats()
+	add("# HELP greenfpga_result_cache_hits_total Content-addressed result cache hits.\n")
+	add("# TYPE greenfpga_result_cache_hits_total counter\n")
+	add("greenfpga_result_cache_hits_total %d\n", rcHits)
+	add("# HELP greenfpga_result_cache_misses_total Content-addressed result cache misses.\n")
+	add("# TYPE greenfpga_result_cache_misses_total counter\n")
+	add("greenfpga_result_cache_misses_total %d\n", rcMisses)
+	add("# HELP greenfpga_result_cache_entries Resident result cache entries.\n")
+	add("# TYPE greenfpga_result_cache_entries gauge\n")
+	add("greenfpga_result_cache_entries %d\n", s.results.Len())
+	aHits, aMisses := s.artifacts.Stats()
+	add("# HELP greenfpga_artifact_cache_hits_total Rendered-experiment cache hits.\n")
+	add("# TYPE greenfpga_artifact_cache_hits_total counter\n")
+	add("greenfpga_artifact_cache_hits_total %d\n", aHits)
+	add("# HELP greenfpga_artifact_cache_misses_total Rendered-experiment cache misses.\n")
+	add("# TYPE greenfpga_artifact_cache_misses_total counter\n")
+	add("greenfpga_artifact_cache_misses_total %d\n", aMisses)
+	cpHits, cpMisses := s.eval.CompileStats()
+	add("# HELP greenfpga_compiled_platform_cache_hits_total Compiled-platform cache hits.\n")
+	add("# TYPE greenfpga_compiled_platform_cache_hits_total counter\n")
+	add("greenfpga_compiled_platform_cache_hits_total %d\n", cpHits)
+	add("# HELP greenfpga_compiled_platform_cache_misses_total Compiled-platform cache misses.\n")
+	add("# TYPE greenfpga_compiled_platform_cache_misses_total counter\n")
+	add("greenfpga_compiled_platform_cache_misses_total %d\n", cpMisses)
+	add("# HELP greenfpga_inflight_requests Requests currently being served.\n")
+	add("# TYPE greenfpga_inflight_requests gauge\n")
+	add("greenfpga_inflight_requests %d\n", s.m.inflight.Load())
+	add("# HELP greenfpga_rejected_total Requests abandoned while waiting for a concurrency slot.\n")
+	add("# TYPE greenfpga_rejected_total counter\n")
+	add("greenfpga_rejected_total %d\n", s.m.rejected.Load())
+	_, err := w.Write(b)
+	return err
+}

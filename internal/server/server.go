@@ -1,0 +1,473 @@
+// Package server implements the `greenfpga serve` HTTP evaluation
+// service: the api package's request/response types exposed at
+// /v1/..., plus /healthz and /metrics.
+//
+// Request flow: every request is counted, compute endpoints pass
+// through a concurrency limiter, and each POST body is decoded
+// strictly (unknown fields rejected) into its typed api request,
+// normalized, and content-addressed with api.CanonicalKey. A hit in
+// the result cache returns the stored response without re-evaluating;
+// a miss computes through the shared api entry points — the same code
+// the CLI runs — and caches the result. Batch evaluation fans items
+// out over internal/pool and shares the single-evaluate cache
+// entries, so a batch warms the cache for later singles and vice
+// versa. Compiled platforms and experiment artifacts are likewise
+// cached across requests (see api.Evaluator and the artifact cache
+// here), so repeated and swept queries hit PR 1's compiled fast path
+// or skip evaluation entirely.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+
+	"greenfpga/api"
+	"greenfpga/internal/cache"
+	"greenfpga/internal/experiments"
+	"greenfpga/internal/pool"
+)
+
+// maxBody bounds a request body (1 MiB): scenario documents are a few
+// KiB, so anything larger is a mistake or abuse.
+const maxBody = 1 << 20
+
+// maxBatch bounds the items of one batch evaluate.
+const maxBatch = 1024
+
+// maxCachedSweepPoints bounds the sweep responses admitted to the
+// result cache; larger ones are served but recomputed per request.
+const maxCachedSweepPoints = 10_000
+
+// Options configures a Server. Zero values take defaults.
+type Options struct {
+	// Addr is the listen address ("127.0.0.1:8080"; use port 0 for an
+	// ephemeral port).
+	Addr string
+	// MaxConcurrent bounds the compute requests evaluated at once
+	// (default 64); excess requests queue until a slot frees or the
+	// client gives up.
+	MaxConcurrent int
+	// CacheEntries bounds the content-addressed result cache
+	// (default 1024).
+	CacheEntries int
+	// CompiledPlatforms bounds the compiled-platform cache
+	// (default 256).
+	CompiledPlatforms int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:8080"
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.CompiledPlatforms <= 0 {
+		o.CompiledPlatforms = 256
+	}
+	return o
+}
+
+// Server is the GreenFPGA evaluation service.
+type Server struct {
+	opts    Options
+	eval    *api.Evaluator
+	results *cache.LRU
+	// artifacts caches rendered experiments per (id, format),
+	// separately from results so artifact traffic neither evicts
+	// evaluation entries nor skews the result-cache metrics.
+	artifacts *cache.LRU
+	limiter   chan struct{}
+	mux       *http.ServeMux
+	m         metrics
+
+	known map[string]bool // experiment IDs, for 404 vs 400
+
+	hs   *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// New builds a Server; call Handler for an http.Handler (tests) or
+// Start/Shutdown to run it.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts: opts,
+		eval: api.NewEvaluator(opts.CompiledPlatforms),
+		// ~24 experiment IDs x 4 formats bounds the artifact space.
+		artifacts: cache.New(128),
+		results:   cache.New(opts.CacheEntries),
+		limiter:   make(chan struct{}, opts.MaxConcurrent),
+		known:     make(map[string]bool),
+	}
+	for _, id := range experiments.List() {
+		s.known[id] = true
+	}
+	s.mux = http.NewServeMux()
+	s.route("GET /healthz", "/healthz", false, s.handleHealthz)
+	s.route("GET /metrics", "/metrics", false, s.handleMetrics)
+	s.route("GET /v1/devices", "/v1/devices", false, s.handleDevices)
+	s.route("GET /v1/domains", "/v1/domains", false, s.handleDomains)
+	s.route("GET /v1/experiments", "/v1/experiments", false, s.handleExperimentList)
+	s.route("GET /v1/experiments/{id}", "/v1/experiments/{id}", true, s.handleExperiment)
+	s.route("POST /v1/evaluate", "/v1/evaluate", true, s.handleEvaluate)
+	// The batch endpoint is not limited as a whole: it charges the
+	// limiter per item inside the fan-out, so -max-concurrent bounds
+	// actual concurrent evaluations across every request shape (a
+	// whole-batch slot would both under-count the work and deadlock
+	// against per-item slots).
+	s.route("POST /v1/evaluate/batch", "/v1/evaluate/batch", false, s.handleBatch)
+	s.route("POST /v1/crossover", "/v1/crossover", true, s.handleCrossover)
+	s.route("POST /v1/sweep", "/v1/sweep", true, s.handleSweep)
+	s.route("POST /v1/mc", "/v1/mc", true, s.handleMonteCarlo)
+	return s
+}
+
+// route registers a handler behind the counting and, for compute
+// endpoints, concurrency-limiting middleware.
+func (s *Server) route(pattern, endpoint string, limited bool, h http.HandlerFunc) {
+	ctr := s.m.counter(endpoint)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		ctr.Add(1)
+		s.m.inflight.Add(1)
+		defer s.m.inflight.Add(-1)
+		if limited {
+			select {
+			case s.limiter <- struct{}{}:
+				defer func() { <-s.limiter }()
+			case <-r.Context().Done():
+				// The client gave up while queued; nothing to write.
+				s.m.rejected.Add(1)
+				return
+			}
+		}
+		h(w, r)
+	})
+}
+
+// Handler returns the service's http.Handler (for httptest and
+// embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on the configured address and serves in the
+// background, returning the bound address (which resolves port 0).
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.mux}
+	s.done = make(chan error, 1)
+	go func() {
+		err := s.hs.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Done reports the Serve loop's exit (nil after a clean Shutdown).
+func (s *Server) Done() <-chan error { return s.done }
+
+// Shutdown stops accepting connections and waits for in-flight
+// requests to finish, up to the context's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+// writeJSON writes v as the service's canonical JSON.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := api.WriteJSON(w, v); err != nil {
+		// The header is gone; nothing recoverable remains.
+		return
+	}
+}
+
+// status maps an error code to its HTTP status.
+func status(code string) int {
+	switch code {
+	case "invalid_request":
+		return http.StatusBadRequest
+	case "not_found":
+		return http.StatusNotFound
+	case "overloaded":
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError writes the JSON error envelope.
+func (s *Server) writeError(w http.ResponseWriter, e *api.Error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status(e.Code))
+	_ = api.WriteJSON(w, e)
+}
+
+// decodeJSON strictly decodes the request body into dst, writing the
+// validation error itself when the body is malformed.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.writeError(w, &api.Error{Code: "invalid_request", Message: "bad request body: " + err.Error()})
+		return false
+	}
+	if dec.More() {
+		s.writeError(w, &api.Error{Code: "invalid_request", Message: "bad request body: trailing data"})
+		return false
+	}
+	return true
+}
+
+// serveCached answers from the content-addressed result cache, or
+// computes, caches and answers. req must already be normalized — it
+// is the content being addressed. A non-nil cacheIf gates admission
+// (for responses too large to be worth pinning).
+func (s *Server) serveCached(w http.ResponseWriter, endpoint string, req any,
+	compute func() (any, error), cacheIf func(any) bool) {
+	key, err := api.CanonicalKey(endpoint, req)
+	if err != nil {
+		s.writeError(w, &api.Error{Code: "internal", Message: err.Error()})
+		return
+	}
+	if v, ok := s.results.Get(key); ok {
+		w.Header().Set("X-Cache", "hit")
+		s.writeJSON(w, v)
+		return
+	}
+	v, err := compute()
+	if err != nil {
+		s.writeError(w, api.ToError(err))
+		return
+	}
+	if cacheIf == nil || cacheIf(v) {
+		s.results.Put(key, v)
+	}
+	w.Header().Set("X-Cache", "miss")
+	s.writeJSON(w, v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, api.Health{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.writeMetrics(w)
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, api.Devices())
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, api.Domains())
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, api.Experiments())
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req api.EvaluateRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	s.serveCached(w, "/v1/evaluate", &req, func() (any, error) {
+		return s.eval.Evaluate(&req)
+	}, nil)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchEvaluateRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.writeError(w, &api.Error{Code: "invalid_request", Message: "empty batch"})
+		return
+	}
+	if len(req.Requests) > maxBatch {
+		s.writeError(w, &api.Error{Code: "invalid_request",
+			Message: fmt.Sprintf("batch of %d exceeds the %d-item limit", len(req.Requests), maxBatch)})
+		return
+	}
+	resp := api.BatchEvaluateResponse{Results: make([]api.BatchItem, len(req.Requests))}
+	// Fan out over the worker pool, acquiring one limiter slot per
+	// item so batches share the -max-concurrent budget with single
+	// evaluates. Items share the single-evaluate cache keyspace, so a
+	// batch both benefits from and warms the /v1/evaluate entries.
+	// Item errors land in the item, never abort the batch.
+	_ = pool.Run(len(req.Requests), 1, func(i int) error {
+		select {
+		case s.limiter <- struct{}{}:
+			defer func() { <-s.limiter }()
+		case <-r.Context().Done():
+			s.m.rejected.Add(1)
+			resp.Results[i] = api.BatchItem{Error: &api.Error{
+				Code: "overloaded", Message: "client gave up while the item was queued"}}
+			return nil
+		}
+		item := &req.Requests[i]
+		key, err := api.CanonicalKey("/v1/evaluate", item)
+		if err == nil {
+			if v, ok := s.results.Get(key); ok {
+				resp.Results[i] = api.BatchItem{Response: v.(*api.EvaluateResponse)}
+				return nil
+			}
+		}
+		out, evalErr := s.eval.Evaluate(item)
+		if evalErr != nil {
+			resp.Results[i] = api.BatchItem{Error: api.ToError(evalErr)}
+			return nil
+		}
+		if err == nil {
+			s.results.Put(key, out)
+		}
+		resp.Results[i] = api.BatchItem{Response: out}
+		return nil
+	})
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleCrossover(w http.ResponseWriter, r *http.Request) {
+	var req api.CrossoverRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	norm := req.Normalized()
+	s.serveCached(w, "/v1/crossover", norm, func() (any, error) {
+		return api.RunCrossover(norm)
+	}, nil)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	norm := req.Normalized()
+	s.serveCached(w, "/v1/sweep", norm, func() (any, error) {
+		return api.RunSweep(norm)
+	}, func(v any) bool {
+		// Admit only plot-sized sweeps: a full LRU of MaxSweepPoints
+		// responses would pin gigabytes. Oversized sweeps recompute,
+		// which the compiled pair makes cheap.
+		resp, ok := v.(*api.SweepResponse)
+		return ok && len(resp.Points) <= maxCachedSweepPoints
+	})
+}
+
+func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
+	var req api.MonteCarloRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	norm := req.Normalized()
+	s.serveCached(w, "/v1/mc", norm, func() (any, error) {
+		return api.RunMonteCarlo(norm)
+	}, nil)
+}
+
+// artifact is a cached rendered experiment.
+type artifact struct {
+	contentType string
+	body        []byte
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.known[id] {
+		s.writeError(w, &api.Error{Code: "not_found", Message: fmt.Sprintf("unknown experiment %q", id)})
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	switch format {
+	case "json", "text", "markdown", "csv":
+	default:
+		s.writeError(w, &api.Error{Code: "invalid_request",
+			Message: fmt.Sprintf("unknown format %q (json, text, markdown, csv)", format)})
+		return
+	}
+	key, err := api.CanonicalKey("/v1/experiments", struct {
+		ID     string `json:"id"`
+		Format string `json:"format"`
+	}{id, format})
+	if err != nil {
+		s.writeError(w, &api.Error{Code: "internal", Message: err.Error()})
+		return
+	}
+	if v, ok := s.artifacts.Get(key); ok {
+		a := v.(artifact)
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", a.contentType)
+		_, _ = w.Write(a.body)
+		return
+	}
+	a, err := renderArtifact(id, format)
+	if err != nil {
+		s.writeError(w, &api.Error{Code: "internal", Message: err.Error()})
+		return
+	}
+	s.artifacts.Put(key, a)
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Content-Type", a.contentType)
+	_, _ = w.Write(a.body)
+}
+
+// renderArtifact regenerates one experiment in the requested format.
+func renderArtifact(id, format string) (artifact, error) {
+	if format == "json" {
+		res, err := api.Experiment(id)
+		if err != nil {
+			return artifact{}, err
+		}
+		var buf bytes.Buffer
+		if err := api.WriteJSON(&buf, res); err != nil {
+			return artifact{}, err
+		}
+		return artifact{contentType: "application/json", body: buf.Bytes()}, nil
+	}
+	out, err := experiments.Run(id)
+	if err != nil {
+		return artifact{}, err
+	}
+	var buf bytes.Buffer
+	switch format {
+	case "text":
+		err = out.Render(&buf)
+	case "markdown":
+		err = out.RenderMarkdown(&buf)
+	case "csv":
+		err = out.RenderCSV(&buf)
+	}
+	if err != nil {
+		return artifact{}, err
+	}
+	ct := "text/plain; charset=utf-8"
+	if format == "csv" {
+		ct = "text/csv"
+	}
+	return artifact{contentType: ct, body: buf.Bytes()}, nil
+}

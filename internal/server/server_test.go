@@ -1,0 +1,485 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"greenfpga/api"
+	"greenfpga/internal/config"
+)
+
+// newTestServer returns a service plus an httptest front end.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	hts := httptest.NewServer(s.Handler())
+	t.Cleanup(hts.Close)
+	return s, hts
+}
+
+// postJSON posts body (marshaled) and returns status and response
+// bytes.
+func postJSON(t *testing.T, url string, body any) (int, http.Header, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	return postRaw(t, url, buf.String())
+}
+
+// postRaw posts a literal body.
+func postRaw(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// get fetches a URL.
+func get(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// decodeErr decodes an error envelope.
+func decodeErr(t *testing.T, data []byte) api.Error {
+	t.Helper()
+	var e api.Error
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("not an error envelope: %q", data)
+	}
+	return e
+}
+
+// evaluateBody wraps the example config as an evaluate request.
+func evaluateBody() *api.EvaluateRequest {
+	return &api.EvaluateRequest{Scenario: config.Example()}
+}
+
+func TestHealthz(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, _, data := get(t, hts.URL+"/healthz")
+	if code != http.StatusOK || string(data) != "{\"status\":\"ok\"}\n" {
+		t.Errorf("healthz: %d %q", code, data)
+	}
+}
+
+// TestEvaluateMatchesSharedCompute checks the endpoint returns
+// exactly what the shared compute path (and therefore the CLI)
+// produces.
+func TestEvaluateMatchesSharedCompute(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, _, data := postJSON(t, hts.URL+"/v1/evaluate", evaluateBody())
+	if code != http.StatusOK {
+		t.Fatalf("evaluate: %d %s", code, data)
+	}
+	want, err := api.NewEvaluator(4).Evaluate(evaluateBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != buf.String() {
+		t.Errorf("server response differs from shared compute:\n%s\nvs\n%s", data, buf.String())
+	}
+}
+
+func TestEvaluateValidationErrors(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	for _, tc := range []struct {
+		name, body string
+		wantStatus int
+		wantCode   string
+	}{
+		{"malformed", `{"scenario":`, http.StatusBadRequest, "invalid_request"},
+		{"unknown field", `{"scenario":{"name":"x"},"bogus":1}`, http.StatusBadRequest, "invalid_request"},
+		{"missing scenario", `{}`, http.StatusBadRequest, "invalid_request"},
+		{"trailing data", `{"scenario":{"name":"x"}} garbage`, http.StatusBadRequest, "invalid_request"},
+		{"no platforms", `{"scenario":{"name":"x","apps":[{"name":"a","lifetime_years":1,"volume":10}]}}`,
+			http.StatusBadRequest, "invalid_request"},
+		{"unknown device", `{"scenario":{"name":"x","fpga":{"device":"nope","duty_cycle":0.3},` +
+			`"apps":[{"name":"a","lifetime_years":1,"volume":10}]}}`,
+			http.StatusBadRequest, "invalid_request"},
+	} {
+		code, _, data := postRaw(t, hts.URL+"/v1/evaluate", tc.body)
+		if code != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, code, tc.wantStatus, data)
+			continue
+		}
+		if e := decodeErr(t, data); e.Code != tc.wantCode {
+			t.Errorf("%s: code %q, want %q", tc.name, e.Code, tc.wantCode)
+		}
+	}
+	// Wrong method falls through to ServeMux's 405.
+	code, _, _ := get(t, hts.URL+"/v1/evaluate")
+	if code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/evaluate: %d, want 405", code)
+	}
+}
+
+// metricValue extracts one un-labeled metric value from /metrics.
+func metricValue(t *testing.T, hts *httptest.Server, name string) int {
+	t.Helper()
+	_, _, data := get(t, hts.URL+"/metrics")
+	for _, line := range strings.Split(string(data), "\n") {
+		var v int
+		if _, err := fmt.Sscanf(line, name+" %d", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, data)
+	return 0
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	if v := metricValue(t, hts, "greenfpga_result_cache_hits_total"); v != 0 {
+		t.Fatalf("fresh server has %d hits", v)
+	}
+
+	code, hdr, first := postJSON(t, hts.URL+"/v1/evaluate", evaluateBody())
+	if code != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("first evaluate: %d X-Cache=%q", code, hdr.Get("X-Cache"))
+	}
+	code, hdr, second := postJSON(t, hts.URL+"/v1/evaluate", evaluateBody())
+	if code != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("second evaluate: %d X-Cache=%q", code, hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("cache hit returned different bytes")
+	}
+	if hits := metricValue(t, hts, "greenfpga_result_cache_hits_total"); hits != 1 {
+		t.Errorf("hits %d, want 1", hits)
+	}
+	if misses := metricValue(t, hts, "greenfpga_result_cache_misses_total"); misses != 1 {
+		t.Errorf("misses %d, want 1", misses)
+	}
+
+	// A semantically identical body with shuffled key order is the
+	// same content address.
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, evaluateBody()); err != nil {
+		t.Fatal(err)
+	}
+	var loose map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &loose); err != nil {
+		t.Fatal(err)
+	}
+	reordered, err := json.Marshal(loose) // map marshaling re-sorts keys
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, hdr, _ = postRaw(t, hts.URL+"/v1/evaluate", string(reordered))
+	if code != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Errorf("reordered body: %d X-Cache=%q, want hit", code, hdr.Get("X-Cache"))
+	}
+}
+
+func TestBatchEvaluate(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	good := evaluateBody()
+	bad := &api.EvaluateRequest{Scenario: &api.ScenarioConfig{Name: "broken"}}
+	code, _, data := postJSON(t, hts.URL+"/v1/evaluate/batch", &api.BatchEvaluateRequest{
+		Requests: []api.EvaluateRequest{*good, *bad, *good},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, data)
+	}
+	var resp api.BatchEvaluateResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Response == nil || resp.Results[0].Error != nil {
+		t.Errorf("item 0 should succeed: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == nil || resp.Results[1].Error.Code != "invalid_request" {
+		t.Errorf("item 1 should fail with invalid_request: %+v", resp.Results[1])
+	}
+	if resp.Results[2].Response == nil {
+		t.Fatalf("item 2 should succeed: %+v", resp.Results[2])
+	}
+	a, _ := json.Marshal(resp.Results[0].Response)
+	b, _ := json.Marshal(resp.Results[2].Response)
+	if !bytes.Equal(a, b) {
+		t.Error("identical batch items returned different results")
+	}
+
+	// The batch warmed the single-evaluate cache.
+	_, hdr, _ := postJSON(t, hts.URL+"/v1/evaluate", good)
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("single evaluate after batch: X-Cache=%q, want hit", hdr.Get("X-Cache"))
+	}
+
+	// Empty and oversized batches are rejected.
+	code, _, data = postJSON(t, hts.URL+"/v1/evaluate/batch", &api.BatchEvaluateRequest{})
+	if code != http.StatusBadRequest {
+		t.Errorf("empty batch: %d %s", code, data)
+	}
+}
+
+// TestBatchUnderTightLimiter checks batches drain through a 1-slot
+// limiter (per-item acquisition; a whole-batch slot would deadlock).
+func TestBatchUnderTightLimiter(t *testing.T) {
+	_, hts := newTestServer(t, Options{MaxConcurrent: 1})
+	reqs := make([]api.EvaluateRequest, 8)
+	for i := range reqs {
+		cfg := config.Example()
+		cfg.Name = fmt.Sprintf("tight-%d", i)
+		reqs[i] = api.EvaluateRequest{Scenario: cfg}
+	}
+	code, _, data := postJSON(t, hts.URL+"/v1/evaluate/batch", &api.BatchEvaluateRequest{Requests: reqs})
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, data)
+	}
+	var resp api.BatchEvaluateResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range resp.Results {
+		if item.Response == nil {
+			t.Errorf("item %d failed: %+v", i, item.Error)
+		}
+	}
+}
+
+func TestCrossoverDefaultsAndNormalization(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, hdr, data := postRaw(t, hts.URL+"/v1/crossover", `{}`)
+	if code != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("crossover {}: %d X-Cache=%q %s", code, hdr.Get("X-Cache"), data)
+	}
+	var resp api.CrossoverResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Domain != "DNN" || !resp.A2FNumApps.Found || resp.A2FNumApps.Value != 6 {
+		t.Errorf("default crossover: %+v", resp)
+	}
+	// Spelling out the defaults lands on the same cache entry.
+	code, hdr, _ = postRaw(t, hts.URL+"/v1/crossover",
+		`{"domain":"DNN","lifetime_years":2,"napps":5,"volume":1e6,"max_apps":30}`)
+	if code != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Errorf("normalized crossover: %d X-Cache=%q, want hit", code, hdr.Get("X-Cache"))
+	}
+	code, _, data = postRaw(t, hts.URL+"/v1/crossover", `{"domain":"Quantum"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown domain: %d %s", code, data)
+	}
+}
+
+func TestSweepAndMonteCarlo(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, _, data := postRaw(t, hts.URL+"/v1/sweep", `{"domain":"Crypto","axis":"lifetime","points":5}`)
+	if code != http.StatusOK {
+		t.Fatalf("sweep: %d %s", code, data)
+	}
+	var sw api.SweepResponse
+	if err := json.Unmarshal(data, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 5 || sw.Domain != "Crypto" {
+		t.Errorf("sweep response: %+v", sw)
+	}
+	code, _, data = postRaw(t, hts.URL+"/v1/mc", `{"samples":100,"seed":3}`)
+	if code != http.StatusOK {
+		t.Fatalf("mc: %d %s", code, data)
+	}
+	var mc api.MonteCarloResponse
+	if err := json.Unmarshal(data, &mc); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Samples != 100 || mc.Seed != 3 || len(mc.Tornado) == 0 {
+		t.Errorf("mc response: %+v", mc)
+	}
+	_, hdr, _ := postRaw(t, hts.URL+"/v1/mc", `{"seed":3,"samples":100}`)
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("repeated mc: X-Cache=%q, want hit", hdr.Get("X-Cache"))
+	}
+}
+
+func TestCatalogEndpoints(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, _, data := get(t, hts.URL+"/v1/devices")
+	if code != http.StatusOK {
+		t.Fatalf("devices: %d", code)
+	}
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, api.Devices()); err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != buf.String() {
+		t.Error("/v1/devices differs from api.Devices()")
+	}
+	code, _, data = get(t, hts.URL+"/v1/domains")
+	if code != http.StatusOK || !strings.Contains(string(data), "ImgProc") {
+		t.Errorf("domains: %d %s", code, data)
+	}
+	code, _, data = get(t, hts.URL+"/v1/experiments")
+	if code != http.StatusOK || !strings.Contains(string(data), "table1") {
+		t.Errorf("experiments: %d %s", code, data)
+	}
+}
+
+func TestExperimentArtifact(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, hdr, data := get(t, hts.URL+"/v1/experiments/table3?format=text")
+	if code != http.StatusOK || !strings.Contains(string(data), "IndustryASIC1") {
+		t.Fatalf("table3 text: %d %s", code, data)
+	}
+	if hdr.Get("X-Cache") != "miss" {
+		t.Errorf("first artifact fetch: X-Cache=%q", hdr.Get("X-Cache"))
+	}
+	_, hdr, again := get(t, hts.URL+"/v1/experiments/table3?format=text")
+	if hdr.Get("X-Cache") != "hit" || !bytes.Equal(data, again) {
+		t.Errorf("second artifact fetch: X-Cache=%q, equal=%v", hdr.Get("X-Cache"), bytes.Equal(data, again))
+	}
+	code, _, data = get(t, hts.URL+"/v1/experiments/table3")
+	if code != http.StatusOK {
+		t.Fatalf("table3 json: %d", code)
+	}
+	var res api.ExperimentResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table3" || len(res.Tables) == 0 {
+		t.Errorf("json artifact: %+v", res)
+	}
+	code, _, data = get(t, hts.URL+"/v1/experiments/fig99")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown experiment: %d %s", code, data)
+	} else if e := decodeErr(t, data); e.Code != "not_found" {
+		t.Errorf("unknown experiment code %q", e.Code)
+	}
+	code, _, _ = get(t, hts.URL+"/v1/experiments/table3?format=pdf")
+	if code != http.StatusBadRequest {
+		t.Errorf("bad format: %d", code)
+	}
+	// Artifact traffic must not touch the result-cache counters.
+	if hits := metricValue(t, hts, "greenfpga_result_cache_hits_total"); hits != 0 {
+		t.Errorf("artifact fetches leaked into result-cache hits: %d", hits)
+	}
+	if hits := metricValue(t, hts, "greenfpga_artifact_cache_hits_total"); hits != 1 {
+		t.Errorf("artifact cache hits %d, want 1", hits)
+	}
+}
+
+func TestSweepEmptyRangeRejected(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, _, data := postRaw(t, hts.URL+"/v1/sweep", `{"axis":"napps","from":10,"to":3}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("inverted range: %d %s", code, data)
+	}
+	if e := decodeErr(t, data); e.Code != "invalid_request" {
+		t.Errorf("inverted range code %q", e.Code)
+	}
+}
+
+// TestConcurrentRequests hammers the compute endpoints through a
+// 2-slot limiter; every response must be a 200 and identical to its
+// siblings (run under -race in CI).
+func TestConcurrentRequests(t *testing.T) {
+	_, hts := newTestServer(t, Options{MaxConcurrent: 2})
+	const n = 16
+	var wg sync.WaitGroup
+	evalBodies := make([][]byte, n)
+	crossBodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _, data := postJSON(t, hts.URL+"/v1/evaluate", evaluateBody())
+			if code == http.StatusOK {
+				evalBodies[i] = data
+			}
+			code, _, data = postRaw(t, hts.URL+"/v1/crossover", `{"domain":"ImgProc"}`)
+			if code == http.StatusOK {
+				crossBodies[i] = data
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if evalBodies[i] == nil || !bytes.Equal(evalBodies[0], evalBodies[i]) {
+			t.Fatalf("evaluate %d diverged or failed", i)
+		}
+		if crossBodies[i] == nil || !bytes.Equal(crossBodies[0], crossBodies[i]) {
+			t.Fatalf("crossover %d diverged or failed", i)
+		}
+	}
+}
+
+// TestGracefulShutdown starts a real listener, verifies it serves,
+// shuts down, and verifies in-flight drain plus refusal of new work.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Options{Addr: "127.0.0.1:0"})
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	code, _, _ := get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz before shutdown: %d", code)
+	}
+
+	// An in-flight request must complete during the drain.
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/mc", "application/json",
+			strings.NewReader(`{"samples":20000,"seed":9}`))
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		inflight <- resp.StatusCode
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request reach the handler
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-s.Done(); err != nil {
+		t.Fatalf("serve loop: %v", err)
+	}
+	if code := <-inflight; code != http.StatusOK {
+		t.Errorf("in-flight request during drain: %d, want 200", code)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("request after shutdown must fail")
+	}
+}
