@@ -157,7 +157,7 @@ type BatchEvaluateResponse struct {
 
 // CrossoverRequest is the /v1/crossover body. Zero values take the
 // CLI defaults (DNN domain, 2-year lifetime, 5 applications, 1e6
-// volume, 30-application search ceiling).
+// volume, 30-application search ceiling, FPGA-vs-ASIC platforms).
 type CrossoverRequest struct {
 	// Domain is the iso-performance testcase (DNN, ImgProc, Crypto).
 	Domain string `json:"domain"`
@@ -169,6 +169,14 @@ type CrossoverRequest struct {
 	Volume float64 `json:"volume,omitempty"`
 	// MaxApps bounds the N_app search.
 	MaxApps int `json:"max_apps,omitempty"`
+	// PlatformA and PlatformB select which two platforms of the
+	// domain's set the solvers compare, by kind ("fpga", "asic",
+	// "gpu", "cpu"). Empty selectors keep the paper's FPGA-vs-ASIC
+	// comparison; when set, the A2F solve reports the first N_app
+	// where A's total drops below B's, and the F2A solves report
+	// where the two totals meet.
+	PlatformA string `json:"platform_a,omitempty"`
+	PlatformB string `json:"platform_b,omitempty"`
 }
 
 // Solve is one crossover solver outcome.
@@ -181,18 +189,81 @@ type Solve struct {
 }
 
 // CrossoverResponse is the /v1/crossover result: the three §4.2
-// crossover questions.
+// crossover questions, between the requested platform pair (the
+// FPGA/ASIC default omits the selector echoes, so legacy responses
+// are byte-stable).
 type CrossoverResponse struct {
 	Domain string `json:"domain"`
-	// A2FNumApps is the smallest application count from which the
-	// FPGA wins (Fig. 4).
+	// PlatformA and PlatformB echo non-default platform selectors.
+	PlatformA string `json:"platform_a,omitempty"`
+	PlatformB string `json:"platform_b,omitempty"`
+	// A2FNumApps is the smallest application count from which
+	// platform A (the FPGA by default) wins (Fig. 4).
 	A2FNumApps Solve `json:"a2f_num_apps"`
-	// F2ALifetimeYears is the application lifetime above which the
-	// ASIC wins (Fig. 5).
+	// F2ALifetimeYears is the application lifetime above which
+	// platform B (the ASIC by default) wins (Fig. 5).
 	F2ALifetimeYears Solve `json:"f2a_lifetime_years"`
-	// F2AVolume is the application volume above which the ASIC wins
+	// F2AVolume is the application volume above which platform B wins
 	// (Fig. 6).
 	F2AVolume Solve `json:"f2a_volume"`
+}
+
+// CompareRequest is the /v1/compare body: N platforms of one
+// iso-performance domain set evaluated on a shared uniform scenario.
+// Zero values take the CLI defaults (DNN domain, full platform set,
+// 5 applications, 2-year lifetime, 1e6 volume, 12-application
+// frontier).
+type CompareRequest struct {
+	// Domain is the iso-performance testcase (DNN, ImgProc, Crypto).
+	Domain string `json:"domain,omitempty"`
+	// Platforms restricts and orders the compared platforms by kind
+	// ("fpga", "asic", "gpu", "cpu"); empty means the domain's full
+	// set. At least two platforms must remain.
+	Platforms []string `json:"platforms,omitempty"`
+	// NApps is the shared scenario's application count.
+	NApps int `json:"napps,omitempty"`
+	// LifetimeYears is each application's T_i.
+	LifetimeYears float64 `json:"lifetime_years,omitempty"`
+	// Volume is each application's N_vol.
+	Volume float64 `json:"volume,omitempty"`
+	// MaxApps bounds the winner-per-N_app frontier.
+	MaxApps int `json:"max_apps,omitempty"`
+}
+
+// PairRatio is one pairwise total-CFP ratio of a comparison.
+type PairRatio struct {
+	// A and B are platform names; Ratio is total(A)/total(B).
+	A     string  `json:"a"`
+	B     string  `json:"b"`
+	Ratio float64 `json:"ratio"`
+}
+
+// FrontierPoint is one winner-per-N_app sample: the minimum-CFP
+// platform when the shared scenario holds n applications.
+type FrontierPoint struct {
+	NApps int `json:"napps"`
+	// Winner is the minimum-CFP platform's name; TotalKg its total.
+	Winner  string  `json:"winner"`
+	TotalKg float64 `json:"total_kg"`
+}
+
+// CompareResponse is the /v1/compare result and the `greenfpga
+// compare -json` document.
+type CompareResponse struct {
+	Domain        string  `json:"domain"`
+	NApps         int     `json:"napps"`
+	LifetimeYears float64 `json:"lifetime_years"`
+	Volume        float64 `json:"volume"`
+	// Platforms carries one evaluated assessment per compared
+	// platform, in set order.
+	Platforms []PlatformResult `json:"platforms"`
+	// Ratios lists the pairwise total ratios (i before j in set
+	// order).
+	Ratios []PairRatio `json:"ratios"`
+	// Winner names the minimum-CFP platform at NApps.
+	Winner string `json:"winner"`
+	// Frontier is the winner per application count in 1..MaxApps.
+	Frontier []FrontierPoint `json:"frontier"`
 }
 
 // SweepRequest is the /v1/sweep body. Axis is one of "napps",

@@ -218,6 +218,121 @@ func TestRunMonteCarloDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunCompareDefaults checks the four-way default comparison: full
+// DNN set, §4.2 reference scenario, 12-point frontier, with the
+// pairwise ratios consistent with the per-platform totals.
+func TestRunCompareDefaults(t *testing.T) {
+	resp, err := RunCompare(CompareRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Domain != "DNN" || resp.NApps != 5 || resp.LifetimeYears != 2 || resp.Volume != 1e6 {
+		t.Fatalf("normalized defaults: %+v", resp)
+	}
+	if len(resp.Platforms) != 4 {
+		t.Fatalf("full DNN set has %d platforms, want 4", len(resp.Platforms))
+	}
+	kinds := map[string]bool{}
+	byName := map[string]float64{}
+	for _, p := range resp.Platforms {
+		kinds[p.Kind] = true
+		byName[p.Platform] = p.TotalKg
+	}
+	for _, k := range []string{"fpga", "asic", "gpu", "cpu"} {
+		if !kinds[k] {
+			t.Errorf("missing platform kind %q", k)
+		}
+	}
+	if len(resp.Ratios) != 6 {
+		t.Fatalf("4 platforms need 6 pairwise ratios, got %d", len(resp.Ratios))
+	}
+	for _, r := range resp.Ratios {
+		want := byName[r.A] / byName[r.B]
+		if r.Ratio != want {
+			t.Errorf("ratio %s:%s = %g, want %g", r.A, r.B, r.Ratio, want)
+		}
+	}
+	min := resp.Platforms[0]
+	for _, p := range resp.Platforms {
+		if p.TotalKg < min.TotalKg {
+			min = p
+		}
+	}
+	if resp.Winner != min.Platform {
+		t.Errorf("winner %q, minimum total is %q", resp.Winner, min.Platform)
+	}
+	if len(resp.Frontier) != 12 {
+		t.Fatalf("frontier has %d points, want 12", len(resp.Frontier))
+	}
+	// The §4.2 story: ASIC wins one-shot, FPGA from its paper
+	// crossover at 6 applications.
+	if resp.Frontier[0].Winner != "DNN-ASIC" || resp.Frontier[11].Winner != "DNN-FPGA" {
+		t.Errorf("frontier endpoints: %+v", resp.Frontier)
+	}
+}
+
+// TestRunCompareSelectors checks platform subsetting and its error
+// paths.
+func TestRunCompareSelectors(t *testing.T) {
+	resp, err := RunCompare(CompareRequest{Platforms: []string{"gpu", "asic"}, NApps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Platforms) != 2 || resp.Platforms[0].Kind != "gpu" || resp.Platforms[1].Kind != "asic" {
+		t.Fatalf("selected platforms: %+v", resp.Platforms)
+	}
+	if len(resp.Ratios) != 1 || resp.Ratios[0].A != "DNN-GPU" || resp.Ratios[0].B != "DNN-ASIC" {
+		t.Fatalf("selected ratios: %+v", resp.Ratios)
+	}
+	for _, bad := range []CompareRequest{
+		{Platforms: []string{"fpga"}},
+		{Platforms: []string{"fpga", "fpga"}},
+		{Platforms: []string{"fpga", "npu"}},
+		{Domain: "Quantum"},
+		{NApps: -1},
+		{MaxApps: -5},
+		{MaxApps: MaxCompareApps + 1},
+	} {
+		if _, err := RunCompare(bad); err == nil {
+			t.Errorf("request %+v must error", bad)
+		}
+	}
+}
+
+// TestRunCrossoverSelectors checks that the generalized solvers
+// reproduce the gpu-extension story and reject bad selectors.
+func TestRunCrossoverSelectors(t *testing.T) {
+	// FPGA overtakes the GPU from 3 applications (the gpu-extension
+	// experiment's headline).
+	resp, err := RunCrossover(CrossoverRequest{PlatformA: "fpga", PlatformB: "gpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PlatformA != "fpga" || resp.PlatformB != "gpu" {
+		t.Errorf("selector echo: %+v", resp)
+	}
+	if !resp.A2FNumApps.Found || resp.A2FNumApps.Value != 3 {
+		t.Errorf("FPGA-over-GPU crossover: %+v, want 3", resp.A2FNumApps)
+	}
+	// Default requests keep the legacy shape: no selector echoes.
+	legacy, err := RunCrossover(CrossoverRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.PlatformA != "" || legacy.PlatformB != "" {
+		t.Errorf("legacy response must omit selectors: %+v", legacy)
+	}
+	for _, bad := range []CrossoverRequest{
+		{PlatformA: "fpga"},
+		{PlatformA: "fpga", PlatformB: "fpga"},
+		{PlatformA: "fpga", PlatformB: "npu"},
+	} {
+		if _, err := RunCrossover(bad); err == nil {
+			t.Errorf("request %+v must error", bad)
+		}
+	}
+}
+
 func TestCatalogs(t *testing.T) {
 	dl := Devices()
 	if len(dl.Devices) != len(device.Catalog()) {

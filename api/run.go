@@ -142,30 +142,56 @@ func Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
 	return defaultEvaluator.Evaluate(req)
 }
 
-// domainPairs memoizes compiled iso-performance pairs by canonical
-// domain name; the calibrated domains are immutable, so the cache
-// never invalidates.
-var domainPairs sync.Map
+// domainSets memoizes compiled iso-performance platform sets by
+// canonical domain name; the calibrated domains are immutable, so the
+// cache never invalidates. The set's FPGA/ASIC members double as the
+// legacy pair, so the crossover and sweep endpoints share these
+// compilations with /v1/compare.
+var domainSets sync.Map
 
-// compiledDomain resolves and compiles a Table 2 domain pair.
-func compiledDomain(name string) (core.CompiledPair, isoperf.Domain, error) {
+// compiledDomainSet resolves and compiles a Table 2 domain's full
+// platform set (FPGA, ASIC, then the domain's GPU/CPU calibrations).
+func compiledDomainSet(name string) (core.CompiledSet, isoperf.Domain, error) {
 	d, err := isoperf.ByName(name)
 	if err != nil {
-		return core.CompiledPair{}, isoperf.Domain{}, err
+		return nil, isoperf.Domain{}, err
 	}
-	if v, ok := domainPairs.Load(d.Name); ok {
-		return v.(core.CompiledPair), d, nil
+	if v, ok := domainSets.Load(d.Name); ok {
+		return v.(core.CompiledSet), d, nil
 	}
-	pr, err := d.Pair()
+	set, err := d.Set()
+	if err != nil {
+		return nil, isoperf.Domain{}, err
+	}
+	cs, err := set.Compile()
+	if err != nil {
+		return nil, isoperf.Domain{}, err
+	}
+	domainSets.Store(d.Name, cs)
+	return cs, d, nil
+}
+
+// compiledDomain views a domain set's FPGA/ASIC members as the legacy
+// pair the crossover and sweep endpoints solve over.
+func compiledDomain(name string) (core.CompiledPair, isoperf.Domain, error) {
+	cs, d, err := compiledDomainSet(name)
 	if err != nil {
 		return core.CompiledPair{}, isoperf.Domain{}, err
 	}
-	cp, err := pr.Compile()
-	if err != nil {
-		return core.CompiledPair{}, isoperf.Domain{}, err
+	return core.CompiledPair{FPGA: cs[0], ASIC: cs[1]}, d, nil
+}
+
+// setMember finds the set platform of the given kind.
+func setMember(cs core.CompiledSet, kind string) (*core.Compiled, error) {
+	kinds := make([]string, len(cs))
+	for i, c := range cs {
+		kinds[i] = string(c.Platform().Spec.Kind)
+		if kinds[i] == kind {
+			return c, nil
+		}
 	}
-	domainPairs.Store(d.Name, cp)
-	return cp, d, nil
+	return nil, &Error{Code: "invalid_request",
+		Message: fmt.Sprintf("domain set has no %q platform (have: %v)", kind, kinds)}
 }
 
 // Normalized returns the request with zero fields replaced by the CLI
@@ -191,34 +217,165 @@ func (r CrossoverRequest) Normalized() CrossoverRequest {
 }
 
 // RunCrossover answers the three §4.2 crossover questions for a
-// domain, matching `greenfpga crossover` exactly.
+// domain, matching `greenfpga crossover` exactly. The optional
+// platform selectors swap the paper's FPGA/ASIC operands for any two
+// platforms of the domain's set, solved through the generalized
+// CrossoverBetween solvers.
 func RunCrossover(req CrossoverRequest) (*CrossoverResponse, error) {
 	req = req.Normalized()
-	cp, d, err := compiledDomain(req.Domain)
+	cs, d, err := compiledDomainSet(req.Domain)
 	if err != nil {
 		return nil, err
 	}
+	a, b := cs[0], cs[1] // the paper's FPGA-vs-ASIC default
 	resp := &CrossoverResponse{Domain: d.Name}
-	n, found, err := cp.CrossoverNumApps(units.YearsOf(req.LifetimeYears), req.Volume, 0, req.MaxApps)
+	if req.PlatformA != "" || req.PlatformB != "" {
+		if req.PlatformA == "" || req.PlatformB == "" {
+			return nil, &Error{Code: "invalid_request",
+				Message: "platform_a and platform_b must be set together"}
+		}
+		if req.PlatformA == req.PlatformB {
+			return nil, &Error{Code: "invalid_request",
+				Message: fmt.Sprintf("cannot solve %q against itself", req.PlatformA)}
+		}
+		if a, err = setMember(cs, req.PlatformA); err != nil {
+			return nil, err
+		}
+		if b, err = setMember(cs, req.PlatformB); err != nil {
+			return nil, err
+		}
+		resp.PlatformA, resp.PlatformB = req.PlatformA, req.PlatformB
+	}
+	n, found, err := core.CrossoverNumAppsBetween(a, b, units.YearsOf(req.LifetimeYears), req.Volume, 0, req.MaxApps)
 	if err != nil {
 		return nil, err
 	}
 	if found {
 		resp.A2FNumApps = Solve{Found: true, Value: float64(n)}
 	}
-	t, found, err := cp.CrossoverLifetime(req.NApps, req.Volume, 0, units.YearsOf(0.05), units.YearsOf(10))
+	t, found, err := core.CrossoverLifetimeBetween(a, b, req.NApps, req.Volume, 0, units.YearsOf(0.05), units.YearsOf(10))
 	if err != nil {
 		return nil, err
 	}
 	if found {
 		resp.F2ALifetimeYears = Solve{Found: true, Value: t.Years()}
 	}
-	v, found, err := cp.CrossoverVolume(req.NApps, units.YearsOf(req.LifetimeYears), 0, 1e2, 1e8)
+	v, found, err := core.CrossoverVolumeBetween(a, b, req.NApps, units.YearsOf(req.LifetimeYears), 0, 1e2, 1e8)
 	if err != nil {
 		return nil, err
 	}
 	if found {
 		resp.F2AVolume = Solve{Found: true, Value: v}
+	}
+	return resp, nil
+}
+
+// Normalized fills the CLI defaults for a compare request (DNN
+// domain, full platform set, the §4.2 reference scenario, a
+// 12-application frontier).
+func (r CompareRequest) Normalized() CompareRequest {
+	if r.Domain == "" {
+		r.Domain = "DNN"
+	}
+	if r.NApps == 0 {
+		r.NApps = 5
+	}
+	if r.LifetimeYears == 0 {
+		r.LifetimeYears = 2
+	}
+	if r.Volume == 0 {
+		r.Volume = 1e6
+	}
+	if r.MaxApps == 0 {
+		r.MaxApps = 12
+	}
+	return r
+}
+
+// MaxCompareApps bounds one compare request's frontier length, for
+// the same reason as MaxSweepPoints.
+const MaxCompareApps = 10_000
+
+// RunCompare evaluates N platforms of a domain set on a shared
+// uniform scenario: per-platform assessments, pairwise total ratios,
+// the minimum-CFP winner, and the winner per application count up to
+// MaxApps. It matches `greenfpga compare -json` exactly.
+func RunCompare(req CompareRequest) (*CompareResponse, error) {
+	req = req.Normalized()
+	if req.NApps < 1 {
+		return nil, &Error{Code: "invalid_request",
+			Message: fmt.Sprintf("napps must be >= 1, got %d", req.NApps)}
+	}
+	if req.MaxApps < 1 {
+		return nil, &Error{Code: "invalid_request",
+			Message: fmt.Sprintf("max_apps must be >= 1, got %d", req.MaxApps)}
+	}
+	if req.MaxApps > MaxCompareApps {
+		return nil, &Error{Code: "invalid_request",
+			Message: fmt.Sprintf("%d frontier points exceeds the %d limit", req.MaxApps, MaxCompareApps)}
+	}
+	cs, d, err := compiledDomainSet(req.Domain)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Platforms) > 0 {
+		picked := make(core.CompiledSet, 0, len(req.Platforms))
+		seen := map[string]bool{}
+		for _, kind := range req.Platforms {
+			if seen[kind] {
+				return nil, &Error{Code: "invalid_request",
+					Message: fmt.Sprintf("duplicate platform %q", kind)}
+			}
+			seen[kind] = true
+			c, err := setMember(cs, kind)
+			if err != nil {
+				return nil, err
+			}
+			picked = append(picked, c)
+		}
+		cs = picked
+	}
+	if len(cs) < 2 {
+		return nil, &Error{Code: "invalid_request",
+			Message: "compare needs at least two platforms"}
+	}
+
+	sc, err := cs.CompareUniform(req.NApps, units.YearsOf(req.LifetimeYears), req.Volume, 0)
+	if err != nil {
+		return nil, err
+	}
+	resp := &CompareResponse{
+		Domain: d.Name, NApps: req.NApps,
+		LifetimeYears: req.LifetimeYears, Volume: req.Volume,
+		Winner: sc.WinnerAssessment().Platform,
+	}
+	for _, a := range sc.Assessments {
+		resp.Platforms = append(resp.Platforms, *platformResult(a))
+	}
+	for i := range sc.Assessments {
+		for j := i + 1; j < len(sc.Assessments); j++ {
+			// Zero-total denominators (impossible for physical
+			// platforms) are skipped rather than encoded as +Inf,
+			// which canonical JSON cannot carry.
+			if sc.Assessments[j].Total() == 0 {
+				continue
+			}
+			resp.Ratios = append(resp.Ratios, PairRatio{
+				A:     sc.Assessments[i].Platform,
+				B:     sc.Assessments[j].Platform,
+				Ratio: sc.Ratio(i, j),
+			})
+		}
+	}
+	for n := 1; n <= req.MaxApps; n++ {
+		fsc, err := cs.CompareUniform(n, units.YearsOf(req.LifetimeYears), req.Volume, 0)
+		if err != nil {
+			return nil, err
+		}
+		win := fsc.WinnerAssessment()
+		resp.Frontier = append(resp.Frontier, FrontierPoint{
+			NApps: n, Winner: win.Platform, TotalKg: win.Total().Kilograms(),
+		})
 	}
 	return resp, nil
 }

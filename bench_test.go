@@ -363,6 +363,52 @@ func BenchmarkEvaluateUniformFPGA(b *testing.B) {
 	}
 }
 
+// BenchmarkCompareSet measures the N-way comparison path: one
+// four-platform CompiledSet.CompareUniform (four O(1) evaluations plus
+// the full pairwise ratio matrix) against the same four evaluations
+// expressed as two sequential CompiledPair.CompareUniform calls — the
+// shape a caller was forced into before platform sets existed.
+func BenchmarkCompareSet(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := d.Set()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := set.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(cs) != 4 {
+		b.Fatalf("DNN set has %d platforms, want 4", len(cs))
+	}
+	b.Run("set4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cs.CompareUniform(5, units.YearsOf(2), 1e6, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fpgaASIC := core.CompiledPair{FPGA: cs[0], ASIC: cs[1]}
+	gpuCPU := core.CompiledPair{FPGA: cs[2], ASIC: cs[3]}
+	b.Run("pairs2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fpgaASIC.CompareUniform(5, units.YearsOf(2), 1e6, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := gpuCPU.CompareUniform(5, units.YearsOf(2), 1e6, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlatformFrontier regenerates the four-way frontier
+// experiment.
+func BenchmarkPlatformFrontier(b *testing.B) { benchExperiment(b, "platform-frontier") }
+
 // Service benchmarks.
 
 // BenchmarkServerEvaluate measures a full /v1/evaluate round trip

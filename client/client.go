@@ -172,6 +172,14 @@ func (c *Client) EvaluateBatch(ctx context.Context, req *api.BatchEvaluateReques
 	return out, c.do(ctx, http.MethodPost, "/v1/evaluate/batch", req, out)
 }
 
+// Compare evaluates N platforms of a domain set on a shared uniform
+// scenario: assessments, pairwise ratios, and the winner-per-N_app
+// frontier.
+func (c *Client) Compare(ctx context.Context, req api.CompareRequest) (*api.CompareResponse, error) {
+	out := &api.CompareResponse{}
+	return out, c.do(ctx, http.MethodPost, "/v1/compare", req, out)
+}
+
 // Crossover solves the three §4.2 crossover questions for a domain.
 func (c *Client) Crossover(ctx context.Context, req api.CrossoverRequest) (*api.CrossoverResponse, error) {
 	out := &api.CrossoverResponse{}

@@ -98,6 +98,14 @@ func TestRoundTrip(t *testing.T) {
 		t.Errorf("crossover: %+v", cross)
 	}
 
+	cmp, err := c.Compare(ctx, api.CompareRequest{Domain: "DNN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Platforms) != 4 || cmp.Winner == "" || len(cmp.Frontier) != 12 {
+		t.Errorf("compare: %+v", cmp)
+	}
+
 	sw, err := c.Sweep(ctx, api.SweepRequest{Domain: "DNN", Axis: "napps"})
 	if err != nil {
 		t.Fatal(err)

@@ -4,8 +4,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"greenfpga"
+	"greenfpga/api"
 
 	"greenfpga/internal/config"
 	"greenfpga/internal/fab"
@@ -134,19 +136,47 @@ func cmdPlan(args []string) error {
 	return nil
 }
 
-// cmdCompare evaluates two catalog devices head to head over a uniform
-// scenario, without needing a JSON config.
+// cmdCompare compares platforms on a shared uniform scenario. Two
+// modes: the default domain-set mode evaluates the N platforms of a
+// Table 2 iso-performance set (FPGA, ASIC, GPU, CPU) through the
+// shared api compute, so `-json` output is byte-identical to the
+// POST /v1/compare response; passing -fpga or -asic selects the
+// legacy catalog head-to-head of two Table 3 devices.
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
-	fpgaName := fs.String("fpga", "IndustryFPGA1", "catalog FPGA")
-	asicName := fs.String("asic", "IndustryASIC1", "catalog ASIC")
-	napps := fs.Int("napps", 3, "number of sequential applications")
+	fpgaName := fs.String("fpga", "IndustryFPGA1", "catalog FPGA (catalog head-to-head mode)")
+	asicName := fs.String("asic", "IndustryASIC1", "catalog ASIC (catalog head-to-head mode)")
+	domain := fs.String("domain", "", "iso-performance domain set (DNN, ImgProc, Crypto; default DNN)")
+	platforms := fs.String("platforms", "", "comma-separated platform kinds to compare (fpga,asic,gpu,cpu; default all)")
+	napps := fs.Int("napps", 0, "number of sequential applications (default 3 catalog / 5 domain)")
 	lifetime := fs.Float64("lifetime", 2, "application lifetime in years")
 	volume := fs.Float64("volume", 1e6, "application volume")
-	duty := fs.Float64("duty", 0.3, "duty cycle for both platforms")
-	pue := fs.Float64("pue", 1.2, "facility PUE")
+	maxapps := fs.Int("maxapps", 0, "winner-per-N_app frontier length (domain mode, default 12)")
+	duty := fs.Float64("duty", 0.3, "duty cycle for both platforms (catalog mode)")
+	pue := fs.Float64("pue", 1.2, "facility PUE (catalog mode)")
+	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/compare, domain mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	catalogMode := false
+	var domainOnly []string
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "fpga", "asic":
+			catalogMode = true
+		case "domain", "platforms", "maxapps", "json":
+			domainOnly = append(domainOnly, "-"+f.Name)
+		}
+	})
+	if !catalogMode {
+		return runSetCompare(*domain, *platforms, *napps, *lifetime, *volume, *maxapps, *jsonOut)
+	}
+	if len(domainOnly) > 0 {
+		return fmt.Errorf("%s belong(s) to the domain-set mode; drop -fpga/-asic to use it",
+			strings.Join(domainOnly, ", "))
+	}
+	if *napps == 0 {
+		*napps = 3
 	}
 	build := func(name string, wantKind greenfpga.DeviceKind) (greenfpga.Platform, error) {
 		spec, err := greenfpga.DeviceByName(name)
@@ -201,6 +231,51 @@ func cmdCompare(args []string) error {
 		verdict = "the per-application ASICs are the more sustainable choice"
 	}
 	fmt.Printf("\nFPGA:ASIC ratio = %.3f — %s\n", cmp.Ratio, verdict)
+	return nil
+}
+
+// runSetCompare runs the domain-set comparison through the shared api
+// compute, so numbers (and with -json, bytes) match POST /v1/compare.
+func runSetCompare(domain, platforms string, napps int, lifetime, volume float64, maxapps int, jsonOut bool) error {
+	req := api.CompareRequest{
+		Domain: domain, NApps: napps,
+		LifetimeYears: lifetime, Volume: volume, MaxApps: maxapps,
+	}
+	if platforms != "" {
+		req.Platforms = strings.Split(platforms, ",")
+	}
+	req = req.Normalized()
+	resp, err := api.RunCompare(req)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return api.WriteJSON(os.Stdout, resp)
+	}
+	const kgPerKt = 1e6
+	t := report.NewTable(
+		fmt.Sprintf("%s platform set: %d apps x %gy, %g units",
+			resp.Domain, resp.NApps, resp.LifetimeYears, resp.Volume),
+		"Platform", "Kind", "Embodied [kt]", "Deployment [kt]", "Total [kt]")
+	for _, p := range resp.Platforms {
+		b := p.Breakdown
+		embodied := b.DesignKg + b.ManufacturingKg + b.PackagingKg + b.EOLKg
+		t.AddRow(p.Platform, p.Kind,
+			fmt.Sprintf("%.2f", embodied/kgPerKt),
+			fmt.Sprintf("%.2f", (b.TotalKg-embodied)/kgPerKt),
+			fmt.Sprintf("%.2f", b.TotalKg/kgPerKt))
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nwinner at N_app=%d: %s\n", resp.NApps, resp.Winner)
+	for _, r := range resp.Ratios {
+		fmt.Printf("  %s : %s = %.3f\n", r.A, r.B, r.Ratio)
+	}
+	fmt.Println("\nwinner per N_app:")
+	for _, f := range resp.Frontier {
+		fmt.Printf("  N=%-3d %-12s %.2f kt\n", f.NApps, f.Winner, f.TotalKg/kgPerKt)
+	}
 	return nil
 }
 

@@ -92,7 +92,9 @@ commands:
   devices [-json]                 print the industry device catalog (Table 3)
   domains [-json]                 print the iso-performance testcases (Table 2)
   kernels                         list the workload kernel library
-  compare -fpga <dev> -asic <dev> head-to-head catalog comparison
+  compare [-domain <name>]        N-platform domain-set comparison (FPGA, ASIC,
+                                  GPU, CPU); -fpga/-asic selects the catalog
+                                  head-to-head instead
   crossover -domain <name>        solve the A2F/F2A crossover points
   sweep -domain <name> -axis <a>  run a 1-D sweep (axes: napps, lifetime, volume)
   run -config <file.json>         evaluate a custom scenario

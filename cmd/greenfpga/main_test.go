@@ -113,6 +113,68 @@ func TestCmdCompare(t *testing.T) {
 	if err := cmdCompare([]string{"-fpga", "nope"}); err == nil {
 		t.Error("unknown device must error")
 	}
+	if err := cmdCompare([]string{"-fpga", "IndustryFPGA1", "-json"}); err == nil {
+		t.Error("-json with catalog mode must error")
+	}
+	if err := cmdCompare([]string{"-fpga", "IndustryFPGA1", "-domain", "DNN"}); err == nil {
+		t.Error("-domain with catalog mode must error")
+	}
+	if err := cmdCompare([]string{"-asic", "IndustryASIC1", "-platforms", "fpga,gpu"}); err == nil {
+		t.Error("-platforms with catalog mode must error")
+	}
+}
+
+// TestCmdCompareSetMode covers the default domain-set mode: the full
+// four-platform comparison with frontier, and subsetting.
+func TestCmdCompareSetMode(t *testing.T) {
+	out, err := captureStdout(t, func() error { return cmdCompare(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DNN platform set", "DNN-GPU", "DNN-CPU",
+		"winner at N_app=5", "winner per N_app"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("set compare missing %q:\n%s", want, out)
+		}
+	}
+	out, err = captureStdout(t, func() error {
+		return cmdCompare([]string{"-domain", "Crypto", "-platforms", "fpga,gpu"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Crypto-FPGA") || strings.Contains(out, "Crypto-CPU") {
+		t.Errorf("platform subset broken:\n%s", out)
+	}
+	if err := cmdCompare([]string{"-domain", "Quantum"}); err == nil {
+		t.Error("unknown domain must error")
+	}
+	if err := cmdCompare([]string{"-platforms", "fpga"}); err == nil {
+		t.Error("single platform must error")
+	}
+}
+
+// TestCmdCompareJSONMatchesAPI checks the acceptance guarantee: the
+// -json document equals the canonical api compute result (the same
+// document /v1/compare serves).
+func TestCmdCompareJSONMatchesAPI(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdCompare([]string{"-json", "-domain", "DNN", "-napps", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := api.RunCompare(api.CompareRequest{Domain: "DNN", NApps: 4}.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf.String() {
+		t.Errorf("compare -json differs from the api document:\n%q\nvs\n%q", out, buf.String())
+	}
 }
 
 func TestCmdWafer(t *testing.T) {
@@ -266,7 +328,7 @@ func TestCmdExampleConfig(t *testing.T) {
 
 func TestCommandTableComplete(t *testing.T) {
 	for _, name := range []string{"list", "experiment", "devices", "domains",
-		"kernels", "crossover", "sweep", "run", "plan", "dse", "mc",
+		"kernels", "compare", "crossover", "sweep", "run", "plan", "dse", "mc",
 		"serve", "validate", "example-config", "help"} {
 		if _, ok := commands[name]; !ok {
 			t.Errorf("command %q not registered", name)

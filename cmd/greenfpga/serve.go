@@ -25,6 +25,7 @@ import (
 //	GET  /v1/experiments/{id}    one artifact (?format=json|text|markdown|csv)
 //	POST /v1/evaluate            evaluate a {"scenario": ...} document
 //	POST /v1/evaluate/batch      evaluate many scenarios in one call
+//	POST /v1/compare             N-platform domain-set comparison
 //	POST /v1/crossover           solve the A2F/F2A crossover points
 //	POST /v1/sweep               run a 1-D domain sweep
 //	POST /v1/mc                  Monte-Carlo uncertainty study

@@ -47,14 +47,24 @@ import (
 // DeviceKind distinguishes fixed-function from reconfigurable silicon.
 type DeviceKind = device.Kind
 
-// Device kinds.
+// Device kinds. Each kind carries a ReusePolicy (see
+// DeviceKind.Policy) that selects its accounting equation.
 const (
 	// ASIC devices serve one application and are remanufactured for
 	// each new one.
 	ASIC = device.ASIC
 	// FPGA devices are reconfigured across applications.
 	FPGA = device.FPGA
+	// GPU devices are reprogrammed in software across applications.
+	GPU = device.GPU
+	// CPU devices are general-purpose reusable hosts.
+	CPU = device.CPU
 )
+
+// ReusePolicy states how a device kind amortizes embodied carbon
+// (Eq. 1 vs Eq. 2), whether it gangs devices by gate capacity, and
+// its default application-development class.
+type ReusePolicy = device.ReusePolicy
 
 // Scenario engine types.
 type (
@@ -73,6 +83,14 @@ type (
 	Pair = core.Pair
 	// Comparison is a pair evaluated on one scenario.
 	Comparison = core.Comparison
+	// PlatformSet is an ordered list of platforms compared on one
+	// shared scenario — the N-platform generalization of Pair.
+	PlatformSet = core.Set
+	// CompiledPlatformSet is a set compiled for dense sweeps.
+	CompiledPlatformSet = core.CompiledSet
+	// SetComparison is a set evaluated on one scenario: N assessments,
+	// pairwise ratios, and the minimum-CFP winner.
+	SetComparison = core.SetComparison
 	// CompiledPlatform is a platform with its platform-constant
 	// quantities cached; evaluating it skips the per-call model
 	// re-derivation of Evaluate.
@@ -180,6 +198,10 @@ func Compile(p Platform) (*CompiledPlatform, error) { return core.Compile(p) }
 // CompilePair compiles both sides of a pair for sweep and crossover
 // workloads.
 func CompilePair(pr Pair) (CompiledPair, error) { return pr.Compile() }
+
+// CompileSet compiles every platform of a set for N-way comparison
+// workloads.
+func CompileSet(set PlatformSet) (CompiledPlatformSet, error) { return set.Compile() }
 
 // Uniform builds a scenario of n identical applications.
 func Uniform(name string, n int, lifetime YearSpan, volume, sizeGates float64) Scenario {

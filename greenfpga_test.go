@@ -50,8 +50,8 @@ func TestFacadeUnitsConstructors(t *testing.T) {
 }
 
 func TestFacadeCatalogsAndNodes(t *testing.T) {
-	if len(greenfpga.IndustryDevices()) != 4 {
-		t.Error("industry catalog should have the four Table 3 devices")
+	if len(greenfpga.IndustryDevices()) != 6 {
+		t.Error("industry catalog should have the four Table 3 devices plus the GPU and CPU extensions")
 	}
 	if len(greenfpga.Domains()) != 3 {
 		t.Error("three Table 2 domains expected")

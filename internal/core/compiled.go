@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"greenfpga/internal/device"
 	"greenfpga/internal/units"
 )
 
@@ -119,8 +118,10 @@ func (c *Compiled) addHardware(b *Breakdown, devices float64) {
 }
 
 // Evaluate computes the total CFP of running the scenario on the
-// compiled platform, applying Eq. 1 for ASICs and Eq. 2 for FPGAs.
-// Results are identical to Evaluate on the uncompiled platform.
+// compiled platform, selecting Eq. 1 or Eq. 2 by the device kind's
+// reuse policy (Eq. 1 for per-application embodied carbon, Eq. 2 for
+// reusable fleets). Results are identical to Evaluate on the
+// uncompiled platform.
 func (c *Compiled) Evaluate(s Scenario) (Assessment, error) {
 	if err := s.Validate(); err != nil {
 		return Assessment{}, err
@@ -133,7 +134,7 @@ func (c *Compiled) Evaluate(s Scenario) (Assessment, error) {
 		HardwareGenerations: 1,
 	}
 
-	if p.Spec.Kind == device.ASIC {
+	if !p.Spec.Kind.Policy().Reusable {
 		// Eq. 1: every application pays design + hardware + deployment.
 		for _, app := range s.Apps {
 			n, err := p.Spec.Required(app.SizeGates)
@@ -158,8 +159,9 @@ func (c *Compiled) Evaluate(s Scenario) (Assessment, error) {
 		return out, nil
 	}
 
-	// Eq. 2: the FPGA fleet is built once (per hardware generation) and
-	// reconfigured across applications. Device counts are computed once
+	// Eq. 2: a reusable fleet (FPGA, GPU, CPU) is built once (per
+	// hardware generation) and reconfigured or reprogrammed across
+	// applications. Device counts are computed once
 	// here and reused below, so the per-application pass cannot hit a
 	// Required error the fleet-sizing pass did not already surface.
 	var fleet float64
@@ -249,7 +251,7 @@ func (c *Compiled) EvaluateUniform(n int, lifetime units.Years, volume, sizeGate
 	}
 	app := Application{Lifetime: lifetime, Volume: volume, SizeGates: sizeGates}
 
-	if p.Spec.Kind == device.ASIC {
+	if !p.Spec.Kind.Policy().Reusable {
 		gens := 1
 		if p.ChipLifetime > 0 && lifetime > p.ChipLifetime {
 			gens = int(math.Ceil(lifetime.Years() / p.ChipLifetime.Years()))
@@ -301,13 +303,18 @@ func (c *Compiled) UniformTotal(n int, lifetime units.Years, volume, sizeGates f
 // CompiledPair couples a compiled FPGA platform with its compiled
 // iso-performance ASIC alternative. Compile a Pair once, then run
 // every sweep cell, crossover probe or Monte-Carlo draw against the
-// cached quantities.
+// cached quantities. It is a thin two-element view over the
+// N-platform CompiledSet machinery: every solver delegates to the
+// *Between generalizations in set.go.
 type CompiledPair struct {
 	// FPGA is the reconfigurable platform.
 	FPGA *Compiled
 	// ASIC is the fixed-function alternative.
 	ASIC *Compiled
 }
+
+// Set widens the pair to a two-element compiled set (FPGA first).
+func (cp CompiledPair) Set() CompiledSet { return CompiledSet{cp.FPGA, cp.ASIC} }
 
 // Compile compiles both sides of the pair.
 func (pr Pair) Compile() (CompiledPair, error) {
@@ -361,112 +368,30 @@ func (cp CompiledPair) CompareUniform(n int, lifetime units.Years, volume, sizeG
 }
 
 // DiffUniform is the signed FPGA-minus-ASIC uniform-scenario total in
-// kilograms, the quantity every crossover solver drives to zero.
+// kilograms, the quantity every crossover solver drives to zero. It
+// is DiffUniformBetween with the pair's fixed operand order.
 func (cp CompiledPair) DiffUniform(n int, lifetime units.Years, volume, sizeGates float64) (float64, error) {
-	f, err := cp.FPGA.UniformTotal(n, lifetime, volume, sizeGates)
-	if err != nil {
-		return 0, fmt.Errorf("core: FPGA side: %w", err)
-	}
-	a, err := cp.ASIC.UniformTotal(n, lifetime, volume, sizeGates)
-	if err != nil {
-		return 0, fmt.Errorf("core: ASIC side: %w", err)
-	}
-	return f.Kilograms() - a.Kilograms(), nil
-}
-
-// capped reports whether either platform limits hardware generations,
-// which makes the FPGA-minus-ASIC diff piecewise in the swept
-// parameter instead of affine.
-func (cp CompiledPair) capped() bool {
-	return cp.FPGA.platform.ChipLifetime > 0 || cp.ASIC.platform.ChipLifetime > 0
+	return DiffUniformBetween(cp.FPGA, cp.ASIC, n, lifetime, volume, sizeGates)
 }
 
 // CrossoverNumApps finds the smallest N_app in 1..maxN at which the
 // FPGA total drops below the ASIC total — the A2F crossover of
-// experiment A (Fig. 4). Without chip-lifetime caps both totals are
-// affine in N_app, so the diff is monotone and the first negative N is
-// located by binary search in O(log maxN) probes; with caps the diff
-// is piecewise and the solver falls back to a linear scan (still O(1)
-// per probe). found is false when no crossover occurs within maxN.
+// experiment A (Fig. 4); CrossoverNumAppsBetween with the pair's
+// operand order. found is false when no crossover occurs within maxN.
 func (cp CompiledPair) CrossoverNumApps(lifetime units.Years, volume, sizeGates float64, maxN int) (n int, found bool, err error) {
-	if maxN < 1 {
-		return 0, false, fmt.Errorf("core: maxN must be >= 1, got %d", maxN)
-	}
-	probe := func(n int) (float64, error) {
-		return cp.DiffUniform(n, lifetime, volume, sizeGates)
-	}
-	if cp.capped() {
-		for n := 1; n <= maxN; n++ {
-			d, err := probe(n)
-			if err != nil {
-				return 0, false, err
-			}
-			if d < 0 {
-				return n, true, nil
-			}
-		}
-		return 0, false, nil
-	}
-	d, err := probe(1)
-	if err != nil {
-		return 0, false, err
-	}
-	if d < 0 {
-		return 1, true, nil
-	}
-	if maxN == 1 {
-		return 0, false, nil
-	}
-	d, err = probe(maxN)
-	if err != nil {
-		return 0, false, err
-	}
-	if d >= 0 {
-		// The diff is affine in n: non-negative at both ends means
-		// non-negative everywhere between.
-		return 0, false, nil
-	}
-	// Invariant: diff(lo) >= 0, diff(hi) < 0.
-	lo, hi := 1, maxN
-	for hi-lo > 1 {
-		mid := lo + (hi-lo)/2
-		d, err := probe(mid)
-		if err != nil {
-			return 0, false, err
-		}
-		if d < 0 {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	return hi, true, nil
+	return CrossoverNumAppsBetween(cp.FPGA, cp.ASIC, lifetime, volume, sizeGates, maxN)
 }
 
 // CrossoverLifetime bisects the application lifetime T_i on [lo, hi]
 // with fixed N_app and volume for the point where the FPGA and ASIC
 // totals meet — the F2A point of experiment B (Fig. 5).
 func (cp CompiledPair) CrossoverLifetime(nApps int, volume, sizeGates float64, lo, hi units.Years) (units.Years, bool, error) {
-	if nApps < 1 {
-		return 0, false, fmt.Errorf("core: nApps must be >= 1, got %d", nApps)
-	}
-	x, found, err := Bisect(lo.Years(), hi.Years(), 1e-4, func(t float64) (float64, error) {
-		return cp.DiffUniform(nApps, units.YearsOf(t), volume, sizeGates)
-	})
-	return units.YearsOf(x), found, err
+	return CrossoverLifetimeBetween(cp.FPGA, cp.ASIC, nApps, volume, sizeGates, lo, hi)
 }
 
 // CrossoverVolume bisects the application volume N_vol on [lo, hi]
 // with fixed N_app and lifetime — the F2A point of experiment C
 // (Fig. 6).
 func (cp CompiledPair) CrossoverVolume(nApps int, lifetime units.Years, sizeGates float64, lo, hi float64) (float64, bool, error) {
-	if nApps < 1 {
-		return 0, false, fmt.Errorf("core: nApps must be >= 1, got %d", nApps)
-	}
-	if lo <= 0 {
-		return 0, false, fmt.Errorf("core: volume range must be positive, got lo=%g", lo)
-	}
-	return Bisect(lo, hi, math.Max(1, lo*1e-6), func(v float64) (float64, error) {
-		return cp.DiffUniform(nApps, lifetime, v, sizeGates)
-	})
+	return CrossoverVolumeBetween(cp.FPGA, cp.ASIC, nApps, lifetime, sizeGates, lo, hi)
 }

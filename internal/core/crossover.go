@@ -8,13 +8,18 @@ import (
 )
 
 // Pair couples an FPGA platform with its iso-performance ASIC
-// alternative, the comparison setting of the whole paper.
+// alternative, the comparison setting of the whole paper. It is
+// retained as a thin two-element wrapper over the N-platform Set; use
+// Set directly to compare more than two platforms.
 type Pair struct {
 	// FPGA is the reconfigurable platform.
 	FPGA Platform
 	// ASIC is the fixed-function alternative.
 	ASIC Platform
 }
+
+// Set widens the pair to a two-element platform set (FPGA first).
+func (pr Pair) Set() Set { return Set{pr.FPGA, pr.ASIC} }
 
 // Comparison is the outcome of evaluating both platforms on the same
 // scenario.

@@ -85,8 +85,9 @@ type Platform struct {
 	// UseMix is the deployment grid; nil means the world preset.
 	UseMix grid.Mix
 	// AppDev overrides the application-development profile. Nil uses
-	// deploy.DefaultFPGAAppDev for FPGAs and deploy.ASICAppDev for
-	// ASICs (Eq. 7 with T_FE = T_BE = 0).
+	// the device kind's reuse-policy default (deploy.DefaultAppDev):
+	// the FPGA hardware flow, the GPU/CPU software port, or the
+	// paper's ASIC accounting (Eq. 7 with T_FE = T_BE = 0).
 	AppDev *deploy.AppDev
 	// ChipLifetime caps how long one hardware generation can serve;
 	// zero means uncapped. Fig. 9 uses 15 years.
@@ -118,15 +119,12 @@ func (p Platform) Validate() error {
 }
 
 // appDev resolves the application-development profile for the
-// platform's device kind.
+// platform's device kind, following the kind's reuse policy.
 func (p Platform) appDev() deploy.AppDev {
 	if p.AppDev != nil {
 		return *p.AppDev
 	}
-	if p.Spec.Kind == device.FPGA {
-		return deploy.DefaultFPGAAppDev
-	}
-	return deploy.ASICAppDev
+	return deploy.DefaultAppDev(p.Spec.Kind)
 }
 
 // operation builds the per-device operation profile.

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"greenfpga/internal/device"
+	"greenfpga/internal/units"
+)
+
+// TestQuickSetMatchesPair is the set/policy equivalence property: for
+// FPGA/ASIC inputs, the N-platform path (CompiledSet, the *Between
+// crossover solvers) reproduces the legacy Pair/CompiledPair results
+// exactly — same frozen-reference harness as compiled_test.go, so the
+// set path is compared against the pre-set implementation rather than
+// against itself.
+func TestQuickSetMatchesPair(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		pr := Pair{
+			FPGA: randomPlatform(t, r, device.FPGA),
+			ASIC: randomPlatform(t, r, device.ASIC),
+		}
+		s := randomScenario(r)
+
+		cp, err := pr.Compile()
+		if err != nil {
+			t.Fatalf("iter %d: pair compile: %v", i, err)
+		}
+		cs, err := pr.Set().Compile()
+		if err != nil {
+			t.Fatalf("iter %d: set compile: %v", i, err)
+		}
+
+		// Full-scenario comparison: assessments and the FPGA:ASIC ratio
+		// must be bit-identical, and each side must match the frozen
+		// reference implementation.
+		want, err := cp.Compare(s)
+		if err != nil {
+			t.Fatalf("iter %d: pair compare: %v", i, err)
+		}
+		got, err := cs.Compare(s)
+		if err != nil {
+			t.Fatalf("iter %d: set compare: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.Assessments[0], want.FPGA) ||
+			!reflect.DeepEqual(got.Assessments[1], want.ASIC) {
+			t.Fatalf("iter %d: set assessments diverge from pair", i)
+		}
+		if got.Ratios[0][1] != want.Ratio {
+			t.Fatalf("iter %d: set ratio %g, pair ratio %g", i, got.Ratios[0][1], want.Ratio)
+		}
+		ref, err := evaluateReference(pr.FPGA, s)
+		if err != nil {
+			t.Fatalf("iter %d: reference: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.Assessments[0], ref) {
+			t.Fatalf("iter %d: set FPGA assessment diverges from frozen reference", i)
+		}
+		wantWinner := 1
+		if want.Ratio < 1 {
+			wantWinner = 0
+		}
+		if got.Winner != wantWinner {
+			t.Fatalf("iter %d: winner %d, want %d (ratio %g)", i, got.Winner, wantWinner, want.Ratio)
+		}
+
+		// Uniform comparison through the O(1) path.
+		n := 1 + r.Intn(12)
+		lifetime := units.YearsOf(0.2 + r.Float64()*4)
+		volume := 1 + r.Float64()*1e6
+		wantU, err := cp.CompareUniform(n, lifetime, volume, 0)
+		if err != nil {
+			t.Fatalf("iter %d: pair uniform: %v", i, err)
+		}
+		gotU, err := cs.CompareUniform(n, lifetime, volume, 0)
+		if err != nil {
+			t.Fatalf("iter %d: set uniform: %v", i, err)
+		}
+		if !reflect.DeepEqual(gotU.Assessments[0], wantU.FPGA) ||
+			!reflect.DeepEqual(gotU.Assessments[1], wantU.ASIC) ||
+			gotU.Ratios[0][1] != wantU.Ratio {
+			t.Fatalf("iter %d: uniform set comparison diverges from pair", i)
+		}
+
+		// Crossover solvers between the set members must reproduce the
+		// legacy pair solvers exactly.
+		wn, wf, err := cp.CrossoverNumApps(lifetime, volume, 0, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gn, gf, err := CrossoverNumAppsBetween(cs[0], cs[1], lifetime, volume, 0, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wn != gn || wf != gf {
+			t.Fatalf("iter %d: num-apps crossover (%d,%v) vs pair (%d,%v)", i, gn, gf, wn, wf)
+		}
+		wt, wtf, err := cp.CrossoverLifetime(5, volume, 0, units.YearsOf(0.05), units.YearsOf(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt, gtf, err := CrossoverLifetimeBetween(cs[0], cs[1], 5, volume, 0, units.YearsOf(0.05), units.YearsOf(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wt != gt || wtf != gtf {
+			t.Fatalf("iter %d: lifetime crossover (%v,%v) vs pair (%v,%v)", i, gt, gtf, wt, wtf)
+		}
+		wv, wvf, err := cp.CrossoverVolume(5, lifetime, 0, 1e2, 1e8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv, gvf, err := CrossoverVolumeBetween(cs[0], cs[1], 5, lifetime, 0, 1e2, 1e8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wv != gv || wvf != gvf {
+			t.Fatalf("iter %d: volume crossover (%g,%v) vs pair (%g,%v)", i, gv, gvf, wv, wvf)
+		}
+	}
+}
+
+// TestQuickReusableKindsMatchReference extends the frozen-reference
+// equivalence to the new first-class GPU and CPU kinds: their reuse
+// policies select the reference's Eq. 2 branch, so the policy-driven
+// engine must agree bit-for-bit.
+func TestQuickReusableKindsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		kind := device.GPU
+		if i%2 == 0 {
+			kind = device.CPU
+		}
+		p := randomPlatform(t, r, kind)
+		s := randomScenario(r)
+		want, err := evaluateReference(p, s)
+		if err != nil {
+			t.Fatalf("iter %d: reference: %v", i, err)
+		}
+		got, err := Evaluate(p, s)
+		if err != nil {
+			t.Fatalf("iter %d: Evaluate: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: %s evaluation diverges from reference:\ngot  %+v\nwant %+v",
+				i, kind, got, want)
+		}
+	}
+}
+
+// TestSetComparisonShape pins the ratio matrix and winner semantics on
+// a mixed four-kind set.
+func TestSetComparisonShape(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	set := Set{
+		randomPlatform(t, r, device.FPGA),
+		randomPlatform(t, r, device.ASIC),
+		randomPlatform(t, r, device.GPU),
+		randomPlatform(t, r, device.CPU),
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := set.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Set(); len(got) != 4 || got[2].Spec.Kind != device.GPU {
+		t.Fatalf("CompiledSet.Set round trip: %+v", got)
+	}
+	sc, err := cs.CompareUniform(5, units.YearsOf(2), 1e5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Assessments) != 4 || len(sc.Ratios) != 4 {
+		t.Fatalf("comparison shape: %d assessments, %d ratio rows", len(sc.Assessments), len(sc.Ratios))
+	}
+	minTotal := sc.Assessments[sc.Winner].Total()
+	for i, a := range sc.Assessments {
+		if a.Total() < minTotal {
+			t.Errorf("winner %d is not minimal: %d has %v < %v", sc.Winner, i, a.Total(), minTotal)
+		}
+		for j := range sc.Assessments {
+			want := sc.Assessments[i].Total().Kilograms() / sc.Assessments[j].Total().Kilograms()
+			if i == j {
+				want = 1
+			}
+			if sc.Ratio(i, j) != want {
+				t.Errorf("ratio[%d][%d] = %g, want %g", i, j, sc.Ratio(i, j), want)
+			}
+		}
+	}
+	if sc.WinnerAssessment().Platform != sc.Assessments[sc.Winner].Platform {
+		t.Error("WinnerAssessment must return the winner entry")
+	}
+	if _, err := (Set{}).Compile(); err == nil {
+		t.Error("empty set must not compile")
+	}
+	if (Set{}).Validate() == nil {
+		t.Error("empty set must not validate")
+	}
+	if _, err := (CompiledSet{}).Compare(Uniform("x", 1, units.YearsOf(1), 1, 0)); err == nil {
+		t.Error("empty compiled set must not compare")
+	}
+}

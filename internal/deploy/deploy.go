@@ -20,6 +20,7 @@ package deploy
 import (
 	"fmt"
 
+	"greenfpga/internal/device"
 	"greenfpga/internal/grid"
 	"greenfpga/internal/units"
 )
@@ -125,6 +126,50 @@ var DefaultFPGAAppDev = AppDev{
 // ASICAppDev is the ASIC profile: FE/BE are zero per the paper (already
 // accounted in Eq. 4), and there is no field configuration.
 var ASICAppDev = AppDev{}
+
+// GPUAppDev is the software-port profile of a reusable GPU platform:
+// half a month of porting and tuning on a 2 kW development cluster,
+// with no hardware back end and no per-device configuration energy.
+var GPUAppDev = AppDev{
+	FrontEnd:     units.Months(0.5),
+	ComputePower: units.Kilowatts(2),
+}
+
+// CPUAppDev is the software-port profile of a general-purpose CPU
+// deployment: a quarter month of porting on a 1 kW cluster —
+// the lightest bring-up of the platform classes.
+var CPUAppDev = AppDev{
+	FrontEnd:     units.Months(0.25),
+	ComputePower: units.Kilowatts(1),
+}
+
+// kindProfiles refines the default profile per device kind — data,
+// like the reuse-policy table itself, so adding a platform class is a
+// map entry here, not a new branch.
+var kindProfiles = map[device.Kind]AppDev{
+	device.ASIC: ASICAppDev,
+	device.FPGA: DefaultFPGAAppDev,
+	device.GPU:  GPUAppDev,
+	device.CPU:  CPUAppDev,
+}
+
+// classProfiles maps each app-dev class of a device reuse policy to
+// its fallback profile, for kinds without a refined entry above.
+var classProfiles = map[device.AppDevClass]AppDev{
+	device.AppDevHardware: DefaultFPGAAppDev,
+	device.AppDevSoftware: GPUAppDev,
+	device.AppDevNone:     ASICAppDev,
+}
+
+// DefaultAppDev resolves the default application-development profile
+// for a device kind: the kind's own profile when one is tabled,
+// otherwise its reuse policy's app-dev class default.
+func DefaultAppDev(k device.Kind) AppDev {
+	if p, ok := kindProfiles[k]; ok {
+		return p
+	}
+	return classProfiles[k.Policy().AppDev]
+}
 
 // Validate checks the profile.
 func (a AppDev) Validate() error {

@@ -20,6 +20,8 @@ func TestCatalogMatchesTable3(t *testing.T) {
 		{"IndustryASIC2", ASIC, 600, 192, 7},
 		{"IndustryFPGA1", FPGA, 380, 160, 14},
 		{"IndustryFPGA2", FPGA, 550, 220, 10},
+		{"IndustryGPU1", GPU, 826, 400, 7},
+		{"IndustryCPU1", CPU, 660, 270, 10},
 	}
 	cat := Catalog()
 	if len(cat) != len(want) {
@@ -49,8 +51,43 @@ func TestByName(t *testing.T) {
 	if s.Kind != FPGA || s.CapacityGates <= 0 {
 		t.Errorf("IndustryFPGA2: %+v", s)
 	}
-	if _, err := ByName("IndustryGPU1"); err == nil {
+	if _, err := ByName("IndustryNPU1"); err == nil {
 		t.Error("unknown device must error")
+	}
+	g, err := ByName("IndustryGPU1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != GPU || g.CapacityGates != 0 {
+		t.Errorf("IndustryGPU1: %+v", g)
+	}
+}
+
+// TestReusePolicies pins the per-kind policy table the scenario engine
+// keys its accounting off.
+func TestReusePolicies(t *testing.T) {
+	want := map[Kind]ReusePolicy{
+		ASIC: {Reusable: false, CapacityGanged: false, AppDev: AppDevNone},
+		FPGA: {Reusable: true, CapacityGanged: true, AppDev: AppDevHardware},
+		GPU:  {Reusable: true, CapacityGanged: false, AppDev: AppDevSoftware},
+		CPU:  {Reusable: true, CapacityGanged: false, AppDev: AppDevSoftware},
+	}
+	if len(Kinds()) != len(want) {
+		t.Fatalf("Kinds() lists %d kinds, want %d", len(Kinds()), len(want))
+	}
+	for _, k := range Kinds() {
+		if got := k.Policy(); got != want[k] {
+			t.Errorf("%s policy %+v, want %+v", k, got, want[k])
+		}
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+	if Kind("npu").Validate() == nil {
+		t.Error("unknown kind must fail validation")
+	}
+	if got := Kind("npu").Policy(); got != (ReusePolicy{}) {
+		t.Errorf("unknown kind policy %+v, want zero", got)
 	}
 }
 
@@ -61,14 +98,23 @@ func TestValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Errorf("good spec invalid: %v", err)
 	}
+	// GPU and CPU are first-class kinds: capacity-free specs validate.
+	for _, k := range []Kind{GPU, CPU} {
+		s := Spec{Name: "x", Kind: k, Node: node, DieArea: units.MM2(100), PeakPower: units.Watts(10)}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s spec invalid: %v", k, err)
+		}
+	}
 	bad := []Spec{
 		{},
-		{Name: "x", Kind: "gpu", Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(1)},
+		{Name: "x", Kind: "npu", Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(1)},
 		{Name: "x", Kind: ASIC, DieArea: units.MM2(1), PeakPower: units.Watts(1)},
 		{Name: "x", Kind: ASIC, Node: node, DieArea: units.MM2(0), PeakPower: units.Watts(1)},
 		{Name: "x", Kind: ASIC, Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(0)},
 		{Name: "x", Kind: FPGA, Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(1)},
 		{Name: "x", Kind: ASIC, Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(1), CapacityGates: 5},
+		{Name: "x", Kind: GPU, Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(1), CapacityGates: 5},
+		{Name: "x", Kind: CPU, Node: node, DieArea: units.MM2(1), PeakPower: units.Watts(1), CapacityGates: 5},
 	}
 	for i, s := range bad {
 		if s.Validate() == nil {
@@ -90,6 +136,7 @@ func TestRequired(t *testing.T) {
 	fpga := Spec{Name: "f", Kind: FPGA, Node: node, DieArea: units.MM2(100),
 		PeakPower: units.Watts(10), CapacityGates: 10e6}
 	asic := Spec{Name: "a", Kind: ASIC, Node: node, DieArea: units.MM2(100), PeakPower: units.Watts(10)}
+	gpu := Spec{Name: "g", Kind: GPU, Node: node, DieArea: units.MM2(100), PeakPower: units.Watts(10)}
 
 	cases := []struct {
 		spec Spec
@@ -102,6 +149,7 @@ func TestRequired(t *testing.T) {
 		{fpga, 10e6 + 1, 2}, // one gate over
 		{fpga, 35e6, 4},     // ceil(3.5)
 		{asic, 1e12, 1},     // ASIC is always one device (paper footnote)
+		{gpu, 1e12, 1},      // software-reusable kinds never gang by capacity
 	}
 	for _, c := range cases {
 		got, err := c.spec.Required(c.app)

@@ -181,28 +181,44 @@ func domainPair(name string) (core.Pair, error) {
 	return d.Pair()
 }
 
-// compiledPairs memoizes compiled domain pairs across artifacts, so
-// every sweep cell of every figure runs against cached platform
-// constants instead of re-deriving them.
-var compiledPairs sync.Map // domain name -> core.CompiledPair
+// compiledSets memoizes compiled domain platform sets across
+// artifacts, so every sweep cell of every figure runs against cached
+// platform constants instead of re-deriving them. Pair-based
+// experiments view the same cache through compiledDomainPair, so each
+// domain platform is compiled once per process however it is used.
+var compiledSets sync.Map // domain name -> core.CompiledSet
 
-// compiledDomainPair resolves and compiles an iso-performance pair by
-// domain name, memoized for the life of the process (the calibrated
-// domains are immutable).
+// compiledDomainSet resolves and compiles a domain's full platform set
+// (FPGA, ASIC, GPU, CPU) by name, memoized for the life of the
+// process (the calibrated domains are immutable).
+func compiledDomainSet(name string) (core.CompiledSet, error) {
+	if cached, ok := compiledSets.Load(name); ok {
+		return cached.(core.CompiledSet), nil
+	}
+	d, err := isoperf.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	set, err := d.Set()
+	if err != nil {
+		return nil, err
+	}
+	cs, err := set.Compile()
+	if err != nil {
+		return nil, err
+	}
+	compiledSets.Store(name, cs)
+	return cs, nil
+}
+
+// compiledDomainPair views a domain set's FPGA/ASIC members as the
+// legacy compiled pair the two-platform figures sweep.
 func compiledDomainPair(name string) (core.CompiledPair, error) {
-	if cached, ok := compiledPairs.Load(name); ok {
-		return cached.(core.CompiledPair), nil
-	}
-	pr, err := domainPair(name)
+	cs, err := compiledDomainSet(name)
 	if err != nil {
 		return core.CompiledPair{}, err
 	}
-	cp, err := pr.Compile()
-	if err != nil {
-		return core.CompiledPair{}, err
-	}
-	compiledPairs.Store(name, cp)
-	return cp, nil
+	return core.CompiledPair{FPGA: cs[0], ASIC: cs[1]}, nil
 }
 
 // uniformEval builds a sweep evaluator over n/lifetime/volume with two

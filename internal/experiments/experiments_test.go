@@ -214,7 +214,7 @@ func TestDesignAblationUnderestimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(o.Tables) == 0 || len(o.Tables[0].Rows) != 4 {
+	if len(o.Tables) == 0 || len(o.Tables[0].Rows) != 6 {
 		t.Fatalf("ablation table: %+v", o.Tables)
 	}
 	if !strings.Contains(strings.Join(o.Notes, " "), "underestimates") {

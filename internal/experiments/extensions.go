@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"greenfpga/internal/core"
-	"greenfpga/internal/deploy"
 	"greenfpga/internal/device"
 	"greenfpga/internal/dse"
 	"greenfpga/internal/fab"
@@ -27,54 +26,40 @@ func init() {
 // gpuExtension adds the third acceleration option the paper mentions
 // but does not model: a GPU is reusable across applications like an
 // FPGA (software reprogramming), but burns more power at
-// iso-performance and needs no hardware-level application development.
+// iso-performance — the DNN domain calibrates it at 2.5x ASIC silicon
+// and 5x ASIC power ("GPUs have high power and less flexibility than
+// FPGAs", §1) — and needs only a software port per application. The
+// GPU is the first-class catalog spec of the DNN domain set, and
+// every probe runs through the compiled O(1) uniform path.
 func gpuExtension() (*Output, error) {
-	d, err := isoperf.ByName("DNN")
+	cs, err := compiledDomainSet("DNN")
 	if err != nil {
 		return nil, err
 	}
-	pr, err := d.Pair()
-	if err != nil {
-		return nil, err
-	}
-	// GPU vs the DNN ASIC: 2.5x silicon, 5x power at iso-performance
-	// ("GPUs have high power and less flexibility than FPGAs", §1);
-	// application development is a software port.
-	gpu := pr.FPGA
-	gpu.Spec.Name = "DNN-GPU"
-	gpu.Spec.DieArea = d.ASICArea.Scale(2.5)
-	gpu.Spec.PeakPower = d.ASICPeakPower.Scale(5)
-	softDev := deploy.AppDev{
-		FrontEnd:     units.Months(0.5),
-		ComputePower: units.Kilowatts(2),
-	}
-	gpu.AppDev = &softDev
+	// Domain-set order: FPGA, ASIC, GPU (the CPU member belongs to the
+	// platform-frontier experiment).
+	fpga, asic, gpu := cs[0], cs[1], cs[2]
 
 	t := report.NewTable("GPU extension: DNN totals vs N_app (T=2y, V=1e6) [ktCO2e]",
 		"N_app", "ASIC", "FPGA", "GPU")
 	var gpuCross, fpgaCross, fpgaOvertakesGPU int
 	for n := 1; n <= 8; n++ {
-		s := core.Uniform("gpu", n, isoperf.ReferenceLifetime(), isoperf.ReferenceVolume, 0)
-		asicRes, err := core.Evaluate(pr.ASIC, s)
-		if err != nil {
-			return nil, err
+		totals := make([]units.Mass, 3)
+		for i, c := range []*core.Compiled{asic, fpga, gpu} {
+			totals[i], err = c.UniformTotal(n, isoperf.ReferenceLifetime(), isoperf.ReferenceVolume, 0)
+			if err != nil {
+				return nil, err
+			}
 		}
-		fpgaRes, err := core.Evaluate(pr.FPGA, s)
-		if err != nil {
-			return nil, err
-		}
-		gpuRes, err := core.Evaluate(gpu, s)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%d", n), kt(asicRes.Total()), kt(fpgaRes.Total()), kt(gpuRes.Total()))
-		if fpgaOvertakesGPU == 0 && fpgaRes.Total() < gpuRes.Total() {
+		asicT, fpgaT, gpuT := totals[0], totals[1], totals[2]
+		t.AddRow(fmt.Sprintf("%d", n), kt(asicT), kt(fpgaT), kt(gpuT))
+		if fpgaOvertakesGPU == 0 && fpgaT < gpuT {
 			fpgaOvertakesGPU = n
 		}
-		if gpuCross == 0 && gpuRes.Total() < asicRes.Total() {
+		if gpuCross == 0 && gpuT < asicT {
 			gpuCross = n
 		}
-		if fpgaCross == 0 && fpgaRes.Total() < asicRes.Total() {
+		if fpgaCross == 0 && fpgaT < asicT {
 			fpgaCross = n
 		}
 	}

@@ -7,10 +7,47 @@ import (
 )
 
 func TestExtensionExperimentsRegistered(t *testing.T) {
-	for _, id := range []string{"gpu-extension", "chiplet-ablation", "dse", "planner", "multi-fpga"} {
+	for _, id := range []string{"gpu-extension", "chiplet-ablation", "dse", "planner",
+		"multi-fpga", "platform-frontier"} {
 		if _, err := Run(id); err != nil {
 			t.Errorf("%s: %v", id, err)
 		}
+	}
+}
+
+// TestPlatformFrontierStory pins the four-way comparison headline: the
+// ASIC wins one-shot deployments, the FPGA takes the frontier from its
+// paper crossover, and the CPU never wins.
+func TestPlatformFrontierStory(t *testing.T) {
+	o, err := Run("platform-frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Tables) != 3 {
+		t.Fatalf("frontier should sweep N_app, lifetime and volume: %d tables", len(o.Tables))
+	}
+	apps := o.Tables[0]
+	if len(apps.Rows) != 12 || len(apps.Columns) != 6 {
+		t.Fatalf("N_app frontier shape: %d rows x %d cols", len(apps.Rows), len(apps.Columns))
+	}
+	winner := func(row []string) string { return row[len(row)-1] }
+	if winner(apps.Rows[0]) != "DNN-ASIC" {
+		t.Errorf("single application should favour the ASIC, got %s", winner(apps.Rows[0]))
+	}
+	if winner(apps.Rows[11]) != "DNN-FPGA" {
+		t.Errorf("twelve applications should favour the FPGA, got %s", winner(apps.Rows[11]))
+	}
+	for _, row := range apps.Rows {
+		if w := winner(row); w == "DNN-CPU" {
+			t.Errorf("the CPU should never win the N_app frontier: %v", row)
+		}
+	}
+	joined := strings.Join(o.Notes, "\n")
+	if !strings.Contains(joined, "FPGA takes the frontier from N_app=6") {
+		t.Errorf("frontier notes missing the FPGA takeover: %v", o.Notes)
+	}
+	if !strings.Contains(joined, "FPGA overtakes the GPU from 3 applications") {
+		t.Errorf("frontier notes missing the GPU crossover: %v", o.Notes)
 	}
 }
 

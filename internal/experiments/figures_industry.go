@@ -33,6 +33,8 @@ var industryDesignStaff = map[string]float64{
 	"IndustryASIC2": 500,
 	"IndustryFPGA1": 666,
 	"IndustryFPGA2": 1230,
+	"IndustryGPU1":  800,
+	"IndustryCPU1":  900,
 }
 
 // IndustryPlatform wraps a Table 3 catalog device in its §4.3

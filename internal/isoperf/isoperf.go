@@ -12,7 +12,8 @@
 // area, peak power, duty cycle, design staffing) chosen so the paper's
 // §4.2 crossover observations are reproduced; EXPERIMENTS.md documents
 // the calibration. Pair() builds the core.Pair that the experiments
-// sweep.
+// sweep; Set() widens it with the domain's calibrated GPU and CPU
+// iso-performance platforms for the four-way comparison.
 package isoperf
 
 import (
@@ -27,7 +28,10 @@ import (
 	"greenfpga/internal/yield"
 )
 
-// Domain is one iso-performance testcase.
+// Domain is one iso-performance testcase. Beyond the paper's Table 2
+// FPGA:ASIC ratios it carries GPU and CPU iso-performance ratios for
+// the TOCS-style four-way comparison; a zero GPU or CPU ratio pair
+// drops that platform from the domain's Set.
 type Domain struct {
 	// Name is the domain label (DNN, ImgProc, Crypto).
 	Name string
@@ -45,6 +49,17 @@ type Domain struct {
 	// (Eq. 4); the FPGA fabric's regularity makes its design effort
 	// comparable to the domain ASIC's despite the larger die.
 	DesignEngineers float64
+	// GPUAreaRatio and GPUPowerRatio place a software-reusable GPU at
+	// iso-performance with the domain ASIC (both zero: no GPU in the
+	// domain set). GPUs carry less silicon than the FPGA fabric but
+	// burn far more power per delivered operation.
+	GPUAreaRatio  float64
+	GPUPowerRatio float64
+	// CPUAreaRatio and CPUPowerRatio place a general-purpose CPU at
+	// iso-performance with the domain ASIC (both zero: no CPU in the
+	// domain set).
+	CPUAreaRatio  float64
+	CPUPowerRatio float64
 }
 
 // The calibrated domain testcases. Areas, powers, duty cycles and
@@ -52,6 +67,12 @@ type Domain struct {
 // DNN A2F at 6 applications and F2A at ~1.6 years; ImgProc A2F at 12
 // applications and F2A at ~300 K units with ASICs always winning the
 // lifetime sweep; Crypto favouring FPGAs from the second application.
+// The GPU and CPU ratios extend each domain toward the follow-up
+// four-way comparison: GPUs sit between the ASIC and the FPGA on
+// silicon but pay the worst accelerator power at iso-performance
+// (the paper's §1 rationale for preferring FPGAs over GPUs), and CPUs
+// pay both a large general-purpose die and an order-of-magnitude
+// power penalty on these accelerator workloads.
 var domains = []Domain{
 	{
 		Name:            "DNN",
@@ -61,6 +82,10 @@ var domains = []Domain{
 		ASICPeakPower:   units.Watts(1.05),
 		DutyCycle:       0.10,
 		DesignEngineers: 369,
+		GPUAreaRatio:    2.5,
+		GPUPowerRatio:   5,
+		CPUAreaRatio:    6,
+		CPUPowerRatio:   15,
 	},
 	{
 		Name:            "ImgProc",
@@ -70,6 +95,10 @@ var domains = []Domain{
 		ASICPeakPower:   units.Watts(2.4),
 		DutyCycle:       0.30,
 		DesignEngineers: 380,
+		GPUAreaRatio:    3,
+		GPUPowerRatio:   4,
+		CPUAreaRatio:    5,
+		CPUPowerRatio:   10,
 	},
 	{
 		Name:            "Crypto",
@@ -79,6 +108,10 @@ var domains = []Domain{
 		ASICPeakPower:   units.Watts(1.0),
 		DutyCycle:       0.20,
 		DesignEngineers: 369,
+		GPUAreaRatio:    2,
+		GPUPowerRatio:   8,
+		CPUAreaRatio:    3,
+		CPUPowerRatio:   12,
 	},
 }
 
@@ -121,6 +154,18 @@ func (d Domain) Validate() error {
 		return fmt.Errorf("isoperf: domain %s: duty cycle %g outside (0,1]", d.Name, d.DutyCycle)
 	case d.DesignEngineers <= 0:
 		return fmt.Errorf("isoperf: domain %s: design staffing must be positive", d.Name)
+	}
+	for _, ext := range []struct {
+		kind        string
+		area, power float64
+	}{{"GPU", d.GPUAreaRatio, d.GPUPowerRatio}, {"CPU", d.CPUAreaRatio, d.CPUPowerRatio}} {
+		if ext.area < 0 || ext.power < 0 {
+			return fmt.Errorf("isoperf: domain %s: negative %s ratio", d.Name, ext.kind)
+		}
+		if (ext.area > 0) != (ext.power > 0) {
+			return fmt.Errorf("isoperf: domain %s: %s area and power ratios must be set together",
+				d.Name, ext.kind)
+		}
 	}
 	return nil
 }
@@ -179,14 +224,59 @@ func (d Domain) Pair() (core.Pair, error) {
 	return pr, nil
 }
 
-// buildPair constructs the pair without consulting the cache.
+// buildPair constructs the pair without consulting the cache: the
+// FPGA and ASIC members of the domain set.
 func (d Domain) buildPair() (core.Pair, error) {
-	if err := d.Validate(); err != nil {
+	set, err := d.buildSet()
+	if err != nil {
 		return core.Pair{}, err
+	}
+	return core.Pair{FPGA: set[0], ASIC: set[1]}, nil
+}
+
+// setCache memoizes Set for the calibrated domains, mirroring
+// pairCache (see its comment for the modified-domain bypass).
+var setCache struct {
+	sync.Mutex
+	m map[Domain]core.Set
+}
+
+// Set builds the domain's full iso-performance platform set, ordered
+// FPGA, ASIC, then GPU and CPU where the domain calibrates them. The
+// FPGA and ASIC members are identical to Pair()'s — Set is the
+// N-platform generalization, not a different calibration. Results for
+// the calibrated domains are memoized.
+func (d Domain) Set() (core.Set, error) {
+	if !d.calibrated() {
+		return d.buildSet()
+	}
+	setCache.Lock()
+	set, ok := setCache.m[d]
+	setCache.Unlock()
+	if ok {
+		return append(core.Set(nil), set...), nil
+	}
+	set, err := d.buildSet()
+	if err != nil {
+		return nil, err
+	}
+	setCache.Lock()
+	if setCache.m == nil {
+		setCache.m = make(map[Domain]core.Set)
+	}
+	setCache.m[d] = set
+	setCache.Unlock()
+	return append(core.Set(nil), set...), nil
+}
+
+// buildSet constructs the platform set without consulting the cache.
+func (d Domain) buildSet() (core.Set, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
 	}
 	node, err := technode.ByName("10nm")
 	if err != nil {
-		return core.Pair{}, err
+		return nil, err
 	}
 	asicYield, err := (yield.Calculator{
 		Model:          yield.Murphy,
@@ -194,7 +284,7 @@ func (d Domain) buildPair() (core.Pair, error) {
 		CriticalLayers: node.CriticalLayers,
 	}).DieYield(d.ASICArea)
 	if err != nil {
-		return core.Pair{}, err
+		return nil, err
 	}
 
 	asicSpec := device.Spec{
@@ -226,7 +316,31 @@ func (d Domain) buildPair() (core.Pair, error) {
 	asic.Spec = asicSpec
 	fpga := common
 	fpga.Spec = fpgaSpec
-	return core.Pair{FPGA: fpga, ASIC: asic}, nil
+	set := core.Set{fpga, asic}
+
+	for _, ext := range []struct {
+		kind        device.Kind
+		suffix      string
+		area, power float64
+	}{
+		{device.GPU, "-GPU", d.GPUAreaRatio, d.GPUPowerRatio},
+		{device.CPU, "-CPU", d.CPUAreaRatio, d.CPUPowerRatio},
+	} {
+		if ext.area == 0 {
+			continue
+		}
+		p := common
+		p.Spec = device.Spec{
+			Name:      d.Name + ext.suffix,
+			Kind:      ext.kind,
+			Node:      node,
+			DieArea:   d.ASICArea.Scale(ext.area),
+			PeakPower: d.ASICPeakPower.Scale(ext.power),
+			BasedOn:   "iso-performance extension (TOCS follow-up)",
+		}
+		set = append(set, p)
+	}
+	return set, nil
 }
 
 // ReferenceVolume is the N_vol = 1e6 units used throughout §4.2.

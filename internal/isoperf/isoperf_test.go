@@ -146,6 +146,71 @@ func TestPairCache(t *testing.T) {
 	}
 }
 
+// TestSetExtendsPair asserts the domain set is the pair plus the
+// calibrated GPU and CPU platforms, with the shared members identical.
+func TestSetExtendsPair(t *testing.T) {
+	for _, d := range Domains() {
+		pr, err := d.Pair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := d.Set()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != 4 {
+			t.Fatalf("%s set has %d platforms, want 4 (FPGA, ASIC, GPU, CPU)", d.Name, len(set))
+		}
+		if !reflect.DeepEqual(set[0], pr.FPGA) || !reflect.DeepEqual(set[1], pr.ASIC) {
+			t.Errorf("%s set FPGA/ASIC diverge from Pair()", d.Name)
+		}
+		gpu, cpu := set[2], set[3]
+		if gpu.Spec.Kind != "gpu" || cpu.Spec.Kind != "cpu" {
+			t.Fatalf("%s set kinds: %s, %s", d.Name, gpu.Spec.Kind, cpu.Spec.Kind)
+		}
+		if gpu.Spec.DieArea != d.ASICArea.Scale(d.GPUAreaRatio) ||
+			gpu.Spec.PeakPower != d.ASICPeakPower.Scale(d.GPUPowerRatio) {
+			t.Errorf("%s GPU spec off calibration: %+v", d.Name, gpu.Spec)
+		}
+		if gpu.YieldOverride != pr.ASIC.YieldOverride || gpu.DutyCycle != d.DutyCycle {
+			t.Errorf("%s GPU must share the common deployment knobs", d.Name)
+		}
+	}
+}
+
+// TestSetCacheIsolation asserts memoized sets are isolated from caller
+// mutation and that ratio-free domains drop the extension platforms.
+func TestSetCacheIsolation(t *testing.T) {
+	d, _ := ByName("DNN")
+	set, err := d.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set[0].DutyCycle = 0.99
+	again, err := d.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].DutyCycle == 0.99 {
+		t.Fatal("set cache returned a mutated set")
+	}
+	dd := d
+	dd.GPUAreaRatio, dd.GPUPowerRatio = 0, 0
+	dd.CPUAreaRatio, dd.CPUPowerRatio = 0, 0
+	bare, err := dd.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bare) != 2 {
+		t.Fatalf("ratio-free domain set has %d platforms, want 2", len(bare))
+	}
+	bad := d
+	bad.GPUPowerRatio = 0
+	if bad.Validate() == nil {
+		t.Error("GPU area without power ratio must invalidate")
+	}
+}
+
 // The headline §4.2 experiment-A result: DNN A2F after 6 applications,
 // ImgProc after 12, Crypto after the first.
 func TestPaperCrossoverNumApps(t *testing.T) {

@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"greenfpga/internal/core"
-	"greenfpga/internal/device"
 	"greenfpga/internal/units"
 )
 
@@ -156,11 +156,13 @@ func Run(c Config) (Result, error) {
 	appLife := c.AppLifetime.Years()
 	nApps := int(math.Ceil(horizon / appLife))
 
-	if p.Spec.Kind == device.FPGA {
-		// One design; hardware at t=0 and at chip-lifetime multiples;
-		// app-dev + full-fleet reconfiguration at each app start.
+	if p.Spec.Kind.Policy().Reusable {
+		// A reusable fleet (FPGA, GPU, CPU): one design; hardware at
+		// t=0 and at chip-lifetime multiples; app-dev + full-fleet
+		// reconfiguration at each app start.
 		res.Events = append(res.Events,
-			Event{Time: 0, Kind: EventDesign, Carbon: des, Note: "FPGA design"},
+			Event{Time: 0, Kind: EventDesign, Carbon: des,
+				Note: fmt.Sprintf("%s design", strings.ToUpper(string(p.Spec.Kind)))},
 		)
 		life := p.ChipLifetime.Years()
 		gen := 0

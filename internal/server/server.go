@@ -126,6 +126,7 @@ func New(opts Options) *Server {
 	// whole-batch slot would both under-count the work and deadlock
 	// against per-item slots).
 	s.route("POST /v1/evaluate/batch", "/v1/evaluate/batch", false, s.handleBatch)
+	s.route("POST /v1/compare", "/v1/compare", true, s.handleCompare)
 	s.route("POST /v1/crossover", "/v1/crossover", true, s.handleCrossover)
 	s.route("POST /v1/sweep", "/v1/sweep", true, s.handleSweep)
 	s.route("POST /v1/mc", "/v1/mc", true, s.handleMonteCarlo)
@@ -346,6 +347,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req api.CompareRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	norm := req.Normalized()
+	s.serveCached(w, "/v1/compare", norm, func() (any, error) {
+		return api.RunCompare(norm)
+	}, nil)
 }
 
 func (s *Server) handleCrossover(w http.ResponseWriter, r *http.Request) {

@@ -328,6 +328,80 @@ func TestSweepAndMonteCarlo(t *testing.T) {
 	}
 }
 
+// TestCompareEndpoint covers the /v1/compare route: the response
+// matches the shared compute byte-for-byte, a repeat request is a
+// result-cache hit (normalized keying: an empty body and spelled-out
+// defaults share one entry), and /metrics carries the per-endpoint
+// request counter.
+func TestCompareEndpoint(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, hdr, data := postRaw(t, hts.URL+"/v1/compare", `{}`)
+	if code != http.StatusOK {
+		t.Fatalf("compare: %d %s", code, data)
+	}
+	if hdr.Get("X-Cache") != "miss" {
+		t.Errorf("first compare should miss, got %q", hdr.Get("X-Cache"))
+	}
+	want, err := api.RunCompare(api.CompareRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != buf.String() {
+		t.Errorf("server compare differs from shared compute:\n%s\nvs\n%s", data, buf.String())
+	}
+	// Spelled-out defaults normalize onto the same cache entry.
+	code, hdr, data2 := postRaw(t, hts.URL+"/v1/compare",
+		`{"domain":"DNN","napps":5,"lifetime_years":2,"volume":1e6,"max_apps":12}`)
+	if code != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Errorf("normalized repeat should hit: %d %q", code, hdr.Get("X-Cache"))
+	}
+	if string(data2) != string(data) {
+		t.Error("cache hit returned a different document")
+	}
+	var resp api.CompareResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Platforms) != 4 || resp.Winner == "" || len(resp.Frontier) != 12 {
+		t.Errorf("compare response shape: %+v", resp)
+	}
+	// Error envelope for bad selectors.
+	code, _, data = postRaw(t, hts.URL+"/v1/compare", `{"platforms":["fpga","npu"]}`)
+	if code != http.StatusBadRequest || decodeErr(t, data).Code != "invalid_request" {
+		t.Errorf("bad selector: %d %s", code, data)
+	}
+	// The per-endpoint request counter counts all three requests.
+	_, _, metrics := get(t, hts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `greenfpga_requests_total{endpoint="/v1/compare"} 3`) {
+		t.Errorf("metrics missing the /v1/compare counter:\n%s", metrics)
+	}
+}
+
+// TestCrossoverPlatformSelectors covers the selector extension of the
+// crossover endpoint end to end.
+func TestCrossoverPlatformSelectors(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, _, data := postRaw(t, hts.URL+"/v1/crossover", `{"platform_a":"fpga","platform_b":"gpu"}`)
+	if code != http.StatusOK {
+		t.Fatalf("crossover with selectors: %d %s", code, data)
+	}
+	var resp api.CrossoverResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PlatformA != "fpga" || resp.PlatformB != "gpu" || !resp.A2FNumApps.Found {
+		t.Errorf("selector crossover: %+v", resp)
+	}
+	code, _, data = postRaw(t, hts.URL+"/v1/crossover", `{"platform_a":"fpga"}`)
+	if code != http.StatusBadRequest || decodeErr(t, data).Code != "invalid_request" {
+		t.Errorf("half-set selectors: %d %s", code, data)
+	}
+}
+
 func TestCatalogEndpoints(t *testing.T) {
 	_, hts := newTestServer(t, Options{})
 	code, _, data := get(t, hts.URL+"/v1/devices")
