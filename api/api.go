@@ -266,6 +266,99 @@ type CompareResponse struct {
 	Frontier []FrontierPoint `json:"frontier"`
 }
 
+// TimelineDeployment is one scheduled application residency of a
+// timeline request: the application occupies
+// [start_years, start_years+lifetime_years) on a shared wall-clock
+// timeline.
+type TimelineDeployment struct {
+	// Name labels the deployment; empty names are normalized to
+	// "app1", "app2", ... in timeline order.
+	Name string `json:"name,omitempty"`
+	// StartYears is the arrival offset from the schedule origin.
+	StartYears float64 `json:"start_years,omitempty"`
+	// LifetimeYears is the residency duration (T_i).
+	LifetimeYears float64 `json:"lifetime_years"`
+	// Volume is the deployment volume (N_vol).
+	Volume float64 `json:"volume"`
+	// SizeGates sizes the application for N_FPGA (0 fits one device).
+	SizeGates float64 `json:"size_gates,omitempty"`
+}
+
+// TimelineRequest is the /v1/timeline body: a time-phased deployment
+// schedule evaluated against an iso-performance domain's platform set.
+// The timeline is given either explicitly (deployments) or via the
+// staggered-arrival generator shorthand (napps/interval_years/
+// lifetime_years/volume); normalization expands the shorthand into
+// explicit deployments, so equivalent requests share one cache entry.
+// Zero values take the CLI defaults (DNN domain, full platform set,
+// 5 applications arriving every 0.5 years, 2-year lifetimes, 1e6
+// volume, shared fleet sizing, uncapped hardware).
+type TimelineRequest struct {
+	// Domain is the iso-performance testcase (DNN, ImgProc, Crypto).
+	Domain string `json:"domain,omitempty"`
+	// Platforms restricts and orders the compared platforms by kind,
+	// as in CompareRequest; empty means the domain's full set.
+	Platforms []string `json:"platforms,omitempty"`
+	// Deployments is the explicit timeline. When set, the generator
+	// fields below are ignored (and zeroed by normalization).
+	Deployments []TimelineDeployment `json:"deployments,omitempty"`
+	// NApps, IntervalYears, LifetimeYears and Volume are the
+	// staggered-arrival generator: napps identical applications
+	// arriving every interval_years. Normalization expands them into
+	// Deployments and clears them.
+	NApps         int     `json:"napps,omitempty"`
+	IntervalYears float64 `json:"interval_years,omitempty"`
+	LifetimeYears float64 `json:"lifetime_years,omitempty"`
+	Volume        float64 `json:"volume,omitempty"`
+	// Sizing provisions reusable fleets: "shared" (overlapping
+	// residents time-share reconfigured devices; the default) or
+	// "dedicated" (peak aggregate demand).
+	Sizing string `json:"sizing,omitempty"`
+	// ChipLifetimeYears is the hardware-refresh policy: every platform
+	// refreshes its fleet each chip_lifetime_years of wall-clock span
+	// (0 = never). Fig. 9 uses 15.
+	ChipLifetimeYears float64 `json:"chip_lifetime_years,omitempty"`
+}
+
+// TimelinePlatform is one platform's timeline result: the evaluated
+// assessment plus the timeline-only quantities.
+type TimelinePlatform struct {
+	PlatformResult
+	// PeakDemandDevices is the peak aggregate device demand across
+	// resident deployments (reflects this platform's device ganging).
+	PeakDemandDevices float64 `json:"peak_demand_devices"`
+	// SequentialTotalKg is the same deployments serialized back to
+	// back — the paper's Eqs. 1–2 assumption — for contrast with
+	// TotalKg.
+	SequentialTotalKg float64 `json:"sequential_total_kg"`
+}
+
+// TimelineResponse is the /v1/timeline result and the `greenfpga
+// timeline -json` document.
+type TimelineResponse struct {
+	Domain string `json:"domain"`
+	Sizing string `json:"sizing"`
+	// SpanYears is the timeline's wall-clock extent;
+	// SequentialSpanYears is the span the same deployments would cover
+	// back to back (the legacy accounting's refresh clock).
+	SpanYears           float64 `json:"span_years"`
+	SequentialSpanYears float64 `json:"sequential_span_years"`
+	// PeakConcurrent counts the most simultaneously-resident
+	// deployments.
+	PeakConcurrent int `json:"peak_concurrent"`
+	// Deployments echoes the normalized timeline (generator shorthand
+	// expanded).
+	Deployments []TimelineDeployment `json:"deployments"`
+	// Platforms carries one evaluated result per compared platform, in
+	// set order.
+	Platforms []TimelinePlatform `json:"platforms"`
+	// Ratios lists the pairwise total ratios (i before j in set
+	// order).
+	Ratios []PairRatio `json:"ratios"`
+	// Winner names the minimum-CFP platform on this timeline.
+	Winner string `json:"winner"`
+}
+
 // SweepRequest is the /v1/sweep body. Axis is one of "napps",
 // "lifetime", "volume"; zero range fields take the CLI's per-axis
 // defaults.

@@ -3,6 +3,7 @@ package api
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -330,6 +331,182 @@ func TestRunCrossoverSelectors(t *testing.T) {
 		if _, err := RunCrossover(bad); err == nil {
 			t.Errorf("request %+v must error", bad)
 		}
+	}
+}
+
+// TestTimelineNormalization checks the generator-shorthand expansion:
+// an empty body and its spelled-out equivalent are one cache entry,
+// normalization is idempotent, and explicit deployments win over (and
+// clear) the generator fields.
+func TestTimelineNormalization(t *testing.T) {
+	norm := TimelineRequest{}.Normalized()
+	if norm.Domain != "DNN" || norm.Sizing != "shared" || len(norm.Deployments) != 5 {
+		t.Fatalf("defaults: %+v", norm)
+	}
+	if norm.NApps != 0 || norm.IntervalYears != 0 || norm.LifetimeYears != 0 || norm.Volume != 0 {
+		t.Errorf("generator fields must clear after expansion: %+v", norm)
+	}
+	for i, d := range norm.Deployments {
+		want := TimelineDeployment{
+			Name: fmt.Sprintf("app%d", i+1), StartYears: float64(i) * 0.5,
+			LifetimeYears: 2, Volume: 1e6,
+		}
+		if d != want {
+			t.Errorf("deployment %d: %+v, want %+v", i, d, want)
+		}
+	}
+	// Idempotence, and shorthand vs spelled-out equivalence under the
+	// canonical key.
+	again := norm.Normalized()
+	k1, err := CanonicalKey("/v1/timeline", norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := CanonicalKey("/v1/timeline", again)
+	explicit := TimelineRequest{Domain: "DNN", Deployments: append([]TimelineDeployment(nil), norm.Deployments...)}
+	k3, _ := CanonicalKey("/v1/timeline", explicit.Normalized())
+	if k1 != k2 || k1 != k3 {
+		t.Errorf("equivalent timeline requests disagree on keys: %s / %s / %s", k1, k2, k3)
+	}
+	// Explicit deployments silence the generator.
+	mixed := TimelineRequest{
+		NApps: 9, IntervalYears: 3,
+		Deployments: []TimelineDeployment{{LifetimeYears: 1, Volume: 10}},
+	}.Normalized()
+	if len(mixed.Deployments) != 1 || mixed.NApps != 0 || mixed.Deployments[0].Name != "app1" {
+		t.Errorf("explicit deployments must win over the generator: %+v", mixed)
+	}
+}
+
+// TestRunTimelineDefaults checks the default staggered timeline: with
+// uncapped hardware the span changes nothing, so every platform's
+// timeline total equals its sequential contrast, and the ratios and
+// winner stay consistent with the totals.
+func TestRunTimelineDefaults(t *testing.T) {
+	resp, err := RunTimeline(TimelineRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Domain != "DNN" || resp.Sizing != "shared" || len(resp.Platforms) != 4 {
+		t.Fatalf("defaults: %+v", resp)
+	}
+	if resp.SpanYears != 4 || resp.SequentialSpanYears != 10 || resp.PeakConcurrent != 4 {
+		t.Fatalf("timeline shape: span %g seq %g peak %d, want 4/10/4",
+			resp.SpanYears, resp.SequentialSpanYears, resp.PeakConcurrent)
+	}
+	if len(resp.Deployments) != 5 || resp.Deployments[4].StartYears != 2 {
+		t.Fatalf("echoed deployments: %+v", resp.Deployments)
+	}
+	byName := map[string]float64{}
+	for _, p := range resp.Platforms {
+		byName[p.Platform] = p.TotalKg
+		if p.TotalKg != p.SequentialTotalKg {
+			t.Errorf("%s: uncapped timeline total %g differs from sequential %g",
+				p.Platform, p.TotalKg, p.SequentialTotalKg)
+		}
+		if p.HardwareGenerations != 1 {
+			t.Errorf("%s: uncapped platform has %d generations", p.Platform, p.HardwareGenerations)
+		}
+		if p.Kind == "asic" {
+			if p.PeakDemandDevices != 4e6 {
+				t.Errorf("ASIC peak demand %g, want 4e6 (four resident 1e6 deployments)", p.PeakDemandDevices)
+			}
+		}
+	}
+	if len(resp.Ratios) != 6 {
+		t.Fatalf("4 platforms need 6 ratios, got %d", len(resp.Ratios))
+	}
+	for _, r := range resp.Ratios {
+		if want := byName[r.A] / byName[r.B]; r.Ratio != want {
+			t.Errorf("ratio %s:%s = %g, want %g", r.A, r.B, r.Ratio, want)
+		}
+	}
+	min := resp.Platforms[0]
+	for _, p := range resp.Platforms {
+		if p.TotalKg < min.TotalKg {
+			min = p
+		}
+	}
+	if resp.Winner != min.Platform {
+		t.Errorf("winner %q, minimum total is %q", resp.Winner, min.Platform)
+	}
+}
+
+// TestRunTimelineRefreshCap checks the headline timeline effect: under
+// a refresh cap, staggered arrivals compress the wall-clock span below
+// one chip lifetime while the sequential contrast pays a fleet
+// rebuild.
+func TestRunTimelineRefreshCap(t *testing.T) {
+	resp, err := RunTimeline(TimelineRequest{ChipLifetimeYears: 8, Platforms: []string{"fpga", "asic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Platforms) != 2 {
+		t.Fatalf("platform subset: %+v", resp.Platforms)
+	}
+	fpga, asic := resp.Platforms[0], resp.Platforms[1]
+	if fpga.Kind != "fpga" || asic.Kind != "asic" {
+		t.Fatalf("subset order: %+v", resp.Platforms)
+	}
+	if fpga.HardwareGenerations != 1 {
+		t.Errorf("staggered FPGA generations %d, want 1 (span 4y < 8y cap)", fpga.HardwareGenerations)
+	}
+	if fpga.SequentialTotalKg <= fpga.TotalKg {
+		t.Errorf("sequential accounting must cost more under the cap: %g vs %g",
+			fpga.SequentialTotalKg, fpga.TotalKg)
+	}
+	if asic.SequentialTotalKg != asic.TotalKg {
+		t.Errorf("ASIC totals must be schedule-independent: %g vs %g",
+			asic.SequentialTotalKg, asic.TotalKg)
+	}
+	// Dedicated sizing must cost a reusable platform more than shared.
+	ded, err := RunTimeline(TimelineRequest{Sizing: "dedicated", Platforms: []string{"fpga", "asic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunTimeline(TimelineRequest{Platforms: []string{"fpga", "asic"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ded.Platforms[0].TotalKg <= shared.Platforms[0].TotalKg {
+		t.Errorf("dedicated FPGA %g must exceed shared %g",
+			ded.Platforms[0].TotalKg, shared.Platforms[0].TotalKg)
+	}
+	if ded.Platforms[0].FleetSize != ded.Platforms[0].PeakDemandDevices {
+		t.Errorf("dedicated fleet %g must equal peak demand %g",
+			ded.Platforms[0].FleetSize, ded.Platforms[0].PeakDemandDevices)
+	}
+}
+
+// TestRunTimelineValidation exercises the request error paths,
+// including the generator bounds: a huge napps must be rejected
+// without materializing the timeline (normalization clamps the
+// expansion to one entry past the limit), and a negative napps errors
+// like /v1/compare instead of silently serving the default.
+func TestRunTimelineValidation(t *testing.T) {
+	for _, bad := range []TimelineRequest{
+		{Domain: "Quantum"},
+		{Sizing: "elastic"},
+		{ChipLifetimeYears: -1},
+		{NApps: -1},
+		{NApps: 2_000_000_000},
+		{NApps: MaxTimelineDeployments + 1},
+		{Platforms: []string{"fpga"}},
+		{Platforms: []string{"fpga", "fpga"}},
+		{Platforms: []string{"fpga", "npu"}},
+		{Deployments: []TimelineDeployment{{LifetimeYears: 1, Volume: -2}}},
+		{Deployments: []TimelineDeployment{{StartYears: -1, LifetimeYears: 1, Volume: 1}}},
+	} {
+		if _, err := RunTimeline(bad); err == nil {
+			t.Errorf("request %+v must error", bad)
+		}
+	}
+	if norm := (TimelineRequest{NApps: 2_000_000_000}).Normalized(); len(norm.Deployments) != MaxTimelineDeployments+1 {
+		t.Errorf("oversized generator expanded %d deployments, want the clamp at %d",
+			len(norm.Deployments), MaxTimelineDeployments+1)
+	}
+	if norm := (TimelineRequest{NApps: -4}).Normalized(); len(norm.Deployments) != 0 || norm.NApps != -4 {
+		t.Errorf("negative napps must be preserved un-expanded: %+v", norm)
 	}
 }
 

@@ -1,0 +1,108 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalKey is the content-addressing property: two bodies that
+// describe the same semantic request — different field order, spelled
+// defaults vs omitted, shorthand vs expanded timeline — must share one
+// canonical key, and keys must be deterministic across re-normalizing.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add("DNN", 5, 2.0, 1e6, 30, 0.5, 8.0)
+	f.Add("", 0, 0.0, 0.0, 0, 0.0, 0.0)
+	f.Add("Crypto", 1, 0.05, 1e2, 1, 0.25, 15.0)
+	f.Add("ImgProc", 12, 9.9, 1e8, 64, 3.0, 1.0)
+	f.Add("Quantum", -3, -1.0, -2.0, -4, -0.5, -1.0)
+	f.Fuzz(func(t *testing.T, domain string, napps int, lifetime, volume float64, maxapps int, interval, chipLife float64) {
+		// Typed requests only ever come out of the JSON decoder, which
+		// coerces invalid UTF-8 to U+FFFD; mirror that here (a raw Go
+		// string with invalid bytes marshals as a � escape where
+		// its decoded round trip re-marshals as raw replacement bytes,
+		// a divergence no decodable body can produce).
+		domain = strings.ToValidUTF8(domain, "�")
+		// Crossover requests: a strictly-decoded body with fields
+		// re-ordered and defaults spelled out must normalize to the
+		// same key as the typed request.
+		cross := CrossoverRequest{
+			Domain: domain, NApps: napps, LifetimeYears: lifetime,
+			Volume: volume, MaxApps: maxapps,
+		}
+		norm := cross.Normalized()
+		k1, err := CanonicalKey("/v1/crossover", norm)
+		if err != nil {
+			t.Fatalf("key: %v", err)
+		}
+		spelled, err := json.Marshal(map[string]any{
+			"max_apps": norm.MaxApps, "volume": norm.Volume, "napps": norm.NApps,
+			"lifetime_years": norm.LifetimeYears, "domain": norm.Domain,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded CrossoverRequest
+		if err := json.Unmarshal(spelled, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		k2, err := CanonicalKey("/v1/crossover", decoded.Normalized())
+		if err != nil {
+			t.Fatalf("key: %v", err)
+		}
+		if k1 != k2 {
+			t.Fatalf("re-ordered spelled-out body changed the key: %s vs %s", k1, k2)
+		}
+		// Normalization must be idempotent under the key.
+		k3, err := CanonicalKey("/v1/crossover", norm.Normalized())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k3 {
+			t.Fatalf("re-normalizing changed the key: %s vs %s", k1, k3)
+		}
+
+		// Timeline requests: the generator shorthand and its expanded
+		// explicit-deployment equivalent are one key, and normalizing
+		// is idempotent.
+		short := TimelineRequest{
+			Domain: domain, NApps: napps, IntervalYears: interval,
+			LifetimeYears: lifetime, Volume: volume, ChipLifetimeYears: chipLife,
+		}
+		tnorm := short.Normalized()
+		tk1, err := CanonicalKey("/v1/timeline", tnorm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Negative counts are preserved un-expanded (for RunTimeline to
+		// reject), so the explicit-spelling equivalence only applies
+		// when the generator produced a timeline.
+		if len(tnorm.Deployments) > 0 {
+			explicit := TimelineRequest{
+				Domain: tnorm.Domain, Sizing: tnorm.Sizing,
+				ChipLifetimeYears: tnorm.ChipLifetimeYears,
+				Deployments:       append([]TimelineDeployment(nil), tnorm.Deployments...),
+			}
+			tk2, err := CanonicalKey("/v1/timeline", explicit.Normalized())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tk1 != tk2 {
+				t.Fatalf("expanded timeline changed the key: %s vs %s", tk1, tk2)
+			}
+		} else if tnorm.NApps >= 0 {
+			t.Fatalf("only negative napps may normalize to an empty timeline: %+v", tnorm)
+		}
+		tk3, err := CanonicalKey("/v1/timeline", tnorm.Normalized())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk1 != tk3 {
+			t.Fatalf("re-normalizing the timeline changed the key: %s vs %s", tk1, tk3)
+		}
+		// Distinct endpoints never share a key space.
+		if k1 == tk1 {
+			t.Fatal("crossover and timeline requests share a key")
+		}
+	})
+}

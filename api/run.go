@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"greenfpga"
@@ -194,6 +195,52 @@ func setMember(cs core.CompiledSet, kind string) (*core.Compiled, error) {
 		Message: fmt.Sprintf("domain set has no %q platform (have: %v)", kind, kinds)}
 }
 
+// selectPlatforms restricts and orders a compiled set by kind
+// selectors ("fpga", "asic", ...); empty selectors keep the full set.
+// At least two platforms must remain; what names the endpoint in the
+// error.
+func selectPlatforms(cs core.CompiledSet, kinds []string, what string) (core.CompiledSet, error) {
+	if len(kinds) > 0 {
+		picked := make(core.CompiledSet, 0, len(kinds))
+		seen := map[string]bool{}
+		for _, kind := range kinds {
+			if seen[kind] {
+				return nil, &Error{Code: "invalid_request",
+					Message: fmt.Sprintf("duplicate platform %q", kind)}
+			}
+			seen[kind] = true
+			c, err := setMember(cs, kind)
+			if err != nil {
+				return nil, err
+			}
+			picked = append(picked, c)
+		}
+		cs = picked
+	}
+	if len(cs) < 2 {
+		return nil, &Error{Code: "invalid_request",
+			Message: what + " needs at least two platforms"}
+	}
+	return cs, nil
+}
+
+// pairRatios lists the upper-triangle pairwise total ratios of a
+// comparison. Zero-total denominators (impossible for physical
+// platforms) are skipped rather than encoded as +Inf, which canonical
+// JSON cannot carry.
+func pairRatios(as []core.Assessment, ratios [][]float64) []PairRatio {
+	var out []PairRatio
+	for i := range as {
+		for j := i + 1; j < len(as); j++ {
+			if as[j].Total() == 0 {
+				continue
+			}
+			out = append(out, PairRatio{A: as[i].Platform, B: as[j].Platform, Ratio: ratios[i][j]})
+		}
+	}
+	return out
+}
+
 // Normalized returns the request with zero fields replaced by the CLI
 // defaults. The server hashes normalized requests, so an explicit
 // {"domain":"DNN"} and an empty body are the same cache entry.
@@ -318,26 +365,8 @@ func RunCompare(req CompareRequest) (*CompareResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(req.Platforms) > 0 {
-		picked := make(core.CompiledSet, 0, len(req.Platforms))
-		seen := map[string]bool{}
-		for _, kind := range req.Platforms {
-			if seen[kind] {
-				return nil, &Error{Code: "invalid_request",
-					Message: fmt.Sprintf("duplicate platform %q", kind)}
-			}
-			seen[kind] = true
-			c, err := setMember(cs, kind)
-			if err != nil {
-				return nil, err
-			}
-			picked = append(picked, c)
-		}
-		cs = picked
-	}
-	if len(cs) < 2 {
-		return nil, &Error{Code: "invalid_request",
-			Message: "compare needs at least two platforms"}
+	if cs, err = selectPlatforms(cs, req.Platforms, "compare"); err != nil {
+		return nil, err
 	}
 
 	sc, err := cs.CompareUniform(req.NApps, units.YearsOf(req.LifetimeYears), req.Volume, 0)
@@ -352,21 +381,7 @@ func RunCompare(req CompareRequest) (*CompareResponse, error) {
 	for _, a := range sc.Assessments {
 		resp.Platforms = append(resp.Platforms, *platformResult(a))
 	}
-	for i := range sc.Assessments {
-		for j := i + 1; j < len(sc.Assessments); j++ {
-			// Zero-total denominators (impossible for physical
-			// platforms) are skipped rather than encoded as +Inf,
-			// which canonical JSON cannot carry.
-			if sc.Assessments[j].Total() == 0 {
-				continue
-			}
-			resp.Ratios = append(resp.Ratios, PairRatio{
-				A:     sc.Assessments[i].Platform,
-				B:     sc.Assessments[j].Platform,
-				Ratio: sc.Ratio(i, j),
-			})
-		}
-	}
+	resp.Ratios = pairRatios(sc.Assessments, sc.Ratios)
 	for n := 1; n <= req.MaxApps; n++ {
 		fsc, err := cs.CompareUniform(n, units.YearsOf(req.LifetimeYears), req.Volume, 0)
 		if err != nil {
@@ -377,6 +392,191 @@ func RunCompare(req CompareRequest) (*CompareResponse, error) {
 			NApps: n, Winner: win.Platform, TotalKg: win.Total().Kilograms(),
 		})
 	}
+	return resp, nil
+}
+
+// Normalized fills the CLI defaults for a timeline request and
+// expands the staggered-arrival generator shorthand into explicit
+// deployments, so a shorthand body and its spelled-out equivalent are
+// one cache entry. Explicit deployments win over the generator fields,
+// which are cleared either way; empty deployment names become "app1",
+// "app2", ... in timeline order.
+func (r TimelineRequest) Normalized() TimelineRequest {
+	if r.Domain == "" {
+		r.Domain = "DNN"
+	}
+	if r.Sizing == "" {
+		r.Sizing = string(core.SizeShared)
+	}
+	switch {
+	case len(r.Deployments) == 0 && r.NApps >= 0:
+		n := r.NApps
+		if n == 0 {
+			n = 5
+		}
+		// Expansion is bounded regardless of the requested count: one
+		// entry past the limit is enough for RunTimeline to reject the
+		// request, and a 2e9-app body must not allocate 2e9 structs
+		// here (normalization runs before any cap check).
+		if n > MaxTimelineDeployments {
+			n = MaxTimelineDeployments + 1
+		}
+		interval := r.IntervalYears
+		if interval == 0 {
+			interval = 0.5
+		}
+		lifetime := r.LifetimeYears
+		if lifetime == 0 {
+			lifetime = 2
+		}
+		volume := r.Volume
+		if volume == 0 {
+			volume = 1e6
+		}
+		for i := 0; i < n; i++ {
+			r.Deployments = append(r.Deployments, TimelineDeployment{
+				StartYears:    float64(i) * interval,
+				LifetimeYears: lifetime,
+				Volume:        volume,
+			})
+		}
+		r.NApps, r.IntervalYears, r.LifetimeYears, r.Volume = 0, 0, 0, 0
+	case len(r.Deployments) > 0:
+		// Explicit deployments win over the generator fields. The copy
+		// keeps re-normalizing from sharing the input's backing array.
+		r.Deployments = append([]TimelineDeployment(nil), r.Deployments...)
+		r.NApps, r.IntervalYears, r.LifetimeYears, r.Volume = 0, 0, 0, 0
+	default:
+		// Negative NApps is preserved un-expanded so RunTimeline can
+		// reject it like RunCompare does, rather than silently serving
+		// the default timeline for a client typo.
+	}
+	for i := range r.Deployments {
+		if r.Deployments[i].Name == "" {
+			r.Deployments[i].Name = fmt.Sprintf("app%d", i+1)
+		}
+	}
+	return r
+}
+
+// MaxTimelineDeployments bounds one timeline's deployment count, for
+// the same reason as MaxSweepPoints.
+const MaxTimelineDeployments = 10_000
+
+// schedule materializes the request's core.Schedule.
+func (r TimelineRequest) schedule() core.Schedule {
+	sch := core.Schedule{Name: r.Domain + "-timeline", Sizing: core.FleetSizing(r.Sizing)}
+	for _, d := range r.Deployments {
+		sch.Deployments = append(sch.Deployments, core.Deployment{
+			App: core.Application{
+				Name:      d.Name,
+				Lifetime:  units.YearsOf(d.LifetimeYears),
+				Volume:    d.Volume,
+				SizeGates: d.SizeGates,
+			},
+			Start: units.YearsOf(d.StartYears),
+		})
+	}
+	return sch
+}
+
+// sequentialized re-packs the schedule's deployments back to back in
+// arrival order — the legacy Eqs. 1–2 assumption — for the
+// sequential-contrast columns of the timeline response.
+func sequentialized(sch core.Schedule) core.Schedule {
+	deps := append([]core.Deployment(nil), sch.Deployments...)
+	sort.SliceStable(deps, func(i, j int) bool { return deps[i].Start < deps[j].Start })
+	out := core.Schedule{Name: sch.Name + "-sequential", Sizing: sch.Sizing, StrictEq2: sch.StrictEq2}
+	var at float64
+	for _, d := range deps {
+		d.Start = units.YearsOf(at)
+		at += d.App.Lifetime.Years()
+		out.Deployments = append(out.Deployments, d)
+	}
+	return out
+}
+
+// RunTimeline evaluates a time-phased deployment schedule on N
+// platforms of a domain set: per-platform assessments with fleet,
+// refresh and concurrency quantities, pairwise ratios, the winner, and
+// a sequential-accounting contrast per platform. It matches `greenfpga
+// timeline -json` exactly.
+func RunTimeline(req TimelineRequest) (*TimelineResponse, error) {
+	req = req.Normalized()
+	if req.NApps < 0 {
+		return nil, &Error{Code: "invalid_request",
+			Message: fmt.Sprintf("napps must be >= 1, got %d", req.NApps)}
+	}
+	if len(req.Deployments) > MaxTimelineDeployments {
+		return nil, &Error{Code: "invalid_request",
+			Message: fmt.Sprintf("more than %d deployments exceeds the limit", MaxTimelineDeployments)}
+	}
+	if req.ChipLifetimeYears < 0 {
+		return nil, &Error{Code: "invalid_request",
+			Message: fmt.Sprintf("negative chip lifetime %g", req.ChipLifetimeYears)}
+	}
+
+	var cs core.CompiledSet
+	var d isoperf.Domain
+	var err error
+	if req.ChipLifetimeYears == 0 {
+		cs, d, err = compiledDomainSet(req.Domain)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// A refresh cap changes every platform, so the memoized
+		// compilations do not apply; compile a capped set per request
+		// (the result cache absorbs repeats).
+		d, err = isoperf.ByName(req.Domain)
+		if err != nil {
+			return nil, err
+		}
+		set, err := d.Set()
+		if err != nil {
+			return nil, err
+		}
+		for i := range set {
+			set[i].ChipLifetime = units.YearsOf(req.ChipLifetimeYears)
+		}
+		cs, err = set.Compile()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cs, err = selectPlatforms(cs, req.Platforms, "timeline"); err != nil {
+		return nil, err
+	}
+
+	sch := req.schedule()
+	sc, err := cs.CompareSchedule(sch)
+	if err != nil {
+		return nil, ToError(err)
+	}
+	seq := sequentialized(sch)
+	resp := &TimelineResponse{
+		Domain:              d.Name,
+		Sizing:              req.Sizing,
+		SpanYears:           sc.Span.Years(),
+		SequentialSpanYears: seq.Span().Years(),
+		PeakConcurrent:      sc.PeakConcurrent,
+		Deployments:         req.Deployments,
+		Winner:              sc.WinnerAssessment().Platform,
+	}
+	plain := make([]core.Assessment, len(sc.Assessments))
+	for i, a := range sc.Assessments {
+		plain[i] = a.Assessment
+		sa, err := cs[i].EvaluateSchedule(seq)
+		if err != nil {
+			return nil, ToError(err)
+		}
+		resp.Platforms = append(resp.Platforms, TimelinePlatform{
+			PlatformResult:    *platformResult(a.Assessment),
+			PeakDemandDevices: a.PeakDemand,
+			SequentialTotalKg: sa.Total().Kilograms(),
+		})
+	}
+	resp.Ratios = pairRatios(plain, sc.Ratios)
 	return resp, nil
 }
 

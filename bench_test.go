@@ -409,6 +409,39 @@ func BenchmarkCompareSet(b *testing.B) {
 // experiment.
 func BenchmarkPlatformFrontier(b *testing.B) { benchExperiment(b, "platform-frontier") }
 
+// BenchmarkTimeline measures one four-platform timeline evaluation:
+// a 12-deployment staggered schedule with a refresh cap through
+// CompiledSet.CompareSchedule (the /v1/timeline compute path minus
+// JSON).
+func BenchmarkTimeline(b *testing.B) {
+	d, err := isoperf.ByName("DNN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := d.Set()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range set {
+		set[i].ChipLifetime = greenfpga.Years(8)
+	}
+	cs, err := set.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch := core.Staggered("bench", 12, units.YearsOf(0.5), units.YearsOf(2), 1e6, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.CompareSchedule(sch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimelineStaggered regenerates the staggered-timeline
+// experiment.
+func BenchmarkTimelineStaggered(b *testing.B) { benchExperiment(b, "timeline-staggered") }
+
 // Service benchmarks.
 
 // BenchmarkServerEvaluate measures a full /v1/evaluate round trip

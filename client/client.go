@@ -180,6 +180,14 @@ func (c *Client) Compare(ctx context.Context, req api.CompareRequest) (*api.Comp
 	return out, c.do(ctx, http.MethodPost, "/v1/compare", req, out)
 }
 
+// Timeline evaluates a time-phased deployment schedule on a domain
+// set: per-platform totals with fleet, refresh and concurrency
+// quantities, plus a sequential-accounting contrast.
+func (c *Client) Timeline(ctx context.Context, req api.TimelineRequest) (*api.TimelineResponse, error) {
+	out := &api.TimelineResponse{}
+	return out, c.do(ctx, http.MethodPost, "/v1/timeline", req, out)
+}
+
 // Crossover solves the three §4.2 crossover questions for a domain.
 func (c *Client) Crossover(ctx context.Context, req api.CrossoverRequest) (*api.CrossoverResponse, error) {
 	out := &api.CrossoverResponse{}

@@ -3,10 +3,12 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"greenfpga/api"
 	"greenfpga/internal/config"
@@ -106,6 +108,14 @@ func TestRoundTrip(t *testing.T) {
 		t.Errorf("compare: %+v", cmp)
 	}
 
+	tl, err := c.Timeline(ctx, api.TimelineRequest{Domain: "DNN", ChipLifetimeYears: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Platforms) != 4 || tl.SpanYears != 4 || tl.PeakConcurrent != 4 || tl.Winner == "" {
+		t.Errorf("timeline: %+v", tl)
+	}
+
 	sw, err := c.Sweep(ctx, api.SweepRequest{Domain: "DNN", Axis: "napps"})
 	if err != nil {
 		t.Fatal(err)
@@ -157,5 +167,126 @@ func TestErrorMapping(t *testing.T) {
 	_, err = c.Crossover(ctx, api.CrossoverRequest{Domain: "Quantum"})
 	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
 		t.Errorf("unknown domain error: %v", err)
+	}
+
+	_, err = c.Timeline(ctx, api.TimelineRequest{Sizing: "elastic"})
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest || se.Err.Code != "invalid_request" {
+		t.Errorf("bad timeline sizing error: %v", err)
+	}
+}
+
+// TestNonEnvelopeErrors checks the fallback when a non-2xx body is not
+// the service's JSON envelope: net/http's plain-text 404/405 pages and
+// arbitrary proxy bodies surface as code "http_error" with the raw
+// body as the message.
+func TestNonEnvelopeErrors(t *testing.T) {
+	ctx := context.Background()
+
+	// A real server's unregistered path: plain-text 404.
+	c := newPair(t)
+	var se *StatusError
+	err := c.do(ctx, http.MethodGet, "/v1/nope", nil, &struct{}{})
+	if !errors.As(err, &se) || se.Status != http.StatusNotFound || se.Err.Code != "http_error" {
+		t.Errorf("plain 404: %v", err)
+	}
+
+	// A proxy-shaped 503 with an HTML body.
+	hts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "<html>upstream down</html>")
+	}))
+	t.Cleanup(hts.Close)
+	pc := New(hts.URL, WithHTTPClient(hts.Client()))
+	_, err = pc.Crossover(ctx, api.CrossoverRequest{})
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable || se.Err.Code != "http_error" {
+		t.Fatalf("html 503: %v", err)
+	}
+	if !strings.Contains(se.Err.Message, "upstream down") {
+		t.Errorf("raw body missing from message: %q", se.Err.Message)
+	}
+	if !strings.Contains(se.Error(), "503") {
+		t.Errorf("status missing from Error(): %q", se.Error())
+	}
+
+	// An envelope missing its code falls back to http_error too.
+	hts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"message":"no code"}`)
+	}))
+	t.Cleanup(hts2.Close)
+	cc := New(hts2.URL, WithHTTPClient(hts2.Client()))
+	_, err = cc.Crossover(ctx, api.CrossoverRequest{})
+	if !errors.As(err, &se) || se.Err.Code != "http_error" {
+		t.Errorf("codeless envelope: %v", err)
+	}
+
+	// Metrics propagates non-200s with the raw body.
+	if _, err := pc.Metrics(ctx); !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Errorf("metrics error: %v", err)
+	}
+}
+
+// TestMalformedBodies checks 2xx responses whose bodies do not decode:
+// the JSON error must surface rather than a zero-valued response.
+func TestMalformedBodies(t *testing.T) {
+	ctx := context.Background()
+	hts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"domain": "DNN", "a2f_num_apps": {`) // truncated
+	}))
+	t.Cleanup(hts.Close)
+	c := New(hts.URL, WithHTTPClient(hts.Client()))
+	if _, err := c.Crossover(ctx, api.CrossoverRequest{}); err == nil {
+		t.Error("truncated body must error")
+	}
+
+	// A healthy status line with a non-ok payload.
+	hts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"degraded"}`)
+	}))
+	t.Cleanup(hts2.Close)
+	c2 := New(hts2.URL, WithHTTPClient(hts2.Client()))
+	if err := c2.Health(ctx); err == nil || !strings.Contains(err.Error(), "degraded") {
+		t.Errorf("degraded health: %v", err)
+	}
+}
+
+// TestContextCancellation checks both cancellation phases: a context
+// canceled mid-request (the handler holds the response) and one
+// canceled before the request is built.
+func TestContextCancellation(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	hts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(func() { close(release); hts.Close() })
+	c := New(hts.URL, WithHTTPClient(hts.Client()))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Evaluate(ctx, &api.EvaluateRequest{Scenario: config.Example()})
+		done <- err
+	}()
+	<-started // the handler owns the request; cancel mid-flight
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("mid-request cancellation: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled request never returned")
+	}
+
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := c.Devices(pre); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled request: %v", err)
 	}
 }

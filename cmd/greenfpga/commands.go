@@ -17,7 +17,7 @@ import (
 func cmdList(args []string) error {
 	fs := flag.NewFlagSet("list", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/experiments)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *jsonOut {
@@ -33,11 +33,11 @@ func cmdList(args []string) error {
 func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	format := fs.String("format", "text", "output format: text, markdown, csv")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: greenfpga experiment [-format text|markdown|csv] <id>|all")
+		return usagef("usage: greenfpga experiment [-format text|markdown|csv] <id>|all")
 	}
 	render := func(o *experiments.Output) error {
 		switch *format {
@@ -75,7 +75,7 @@ func cmdExperiment(args []string) error {
 func cmdDevices(args []string) error {
 	fs := flag.NewFlagSet("devices", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/devices)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *jsonOut {
@@ -98,7 +98,7 @@ func cmdDevices(args []string) error {
 func cmdDomains(args []string) error {
 	fs := flag.NewFlagSet("domains", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/domains)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *jsonOut {
@@ -122,7 +122,7 @@ func cmdCrossover(args []string) error {
 	napps := fs.Int("napps", 5, "application count (for T_i and N_vol solves)")
 	volume := fs.Float64("volume", 1e6, "application volume (for N_app and T_i solves)")
 	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/crossover)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	req := api.CrossoverRequest{
@@ -167,7 +167,7 @@ func cmdSweep(args []string) error {
 	points := fs.Int("points", 0, "sample count (defaults per axis)")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of a chart")
 	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/sweep)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	req := api.SweepRequest{
@@ -214,11 +214,11 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	path := fs.String("config", "", "scenario JSON file")
 	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/evaluate)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *path == "" {
-		return fmt.Errorf("usage: greenfpga run -config <file.json>")
+		return usagef("usage: greenfpga run -config <file.json>")
 	}
 	cfg, err := greenfpga.LoadScenarioConfig(*path)
 	if err != nil {
@@ -286,7 +286,7 @@ func cmdMC(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	napps := fs.Int("napps", 5, "application count")
 	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/mc)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	resp, err := api.RunMonteCarlo(api.MonteCarloRequest{
@@ -319,7 +319,7 @@ func cmdMC(args []string) error {
 // cmdExampleConfig prints a sample scenario document.
 func cmdExampleConfig(args []string) error {
 	fs := flag.NewFlagSet("example-config", flag.ContinueOnError)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(greenfpga.ExampleScenarioConfig(), "", "  ")

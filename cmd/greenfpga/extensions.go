@@ -19,7 +19,7 @@ import (
 func cmdKernels(args []string) error {
 	fs := flag.NewFlagSet("kernels", flag.ContinueOnError)
 	domain := fs.String("domain", "", "filter by domain (DNN, ImgProc, Crypto)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	t := report.NewTable("Workload kernel library",
@@ -48,7 +48,7 @@ func cmdDSE(args []string) error {
 	volume := fs.Float64("volume", 2e4, "deployment volume")
 	duty := fs.Float64("duty", 0.3, "duty cycle")
 	top := fs.Int("top", 10, "candidates to print")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	k, err := greenfpga.KernelByName(*kernel)
@@ -91,11 +91,11 @@ func cmdDSE(args []string) error {
 func cmdPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	path := fs.String("config", "", "scenario JSON with both fpga and asic platforms")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *path == "" {
-		return fmt.Errorf("usage: greenfpga plan -config <file.json>")
+		return usagef("usage: greenfpga plan -config <file.json>")
 	}
 	cfg, err := config.Load(*path)
 	if err != nil {
@@ -155,20 +155,29 @@ func cmdCompare(args []string) error {
 	duty := fs.Float64("duty", 0.3, "duty cycle for both platforms (catalog mode)")
 	pue := fs.Float64("pue", 1.2, "facility PUE (catalog mode)")
 	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/compare, domain mode)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	catalogMode := false
-	var domainOnly []string
+	var domainOnly, catalogOnly []string
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "fpga", "asic":
 			catalogMode = true
+		case "duty", "pue":
+			catalogOnly = append(catalogOnly, "-"+f.Name)
 		case "domain", "platforms", "maxapps", "json":
 			domainOnly = append(domainOnly, "-"+f.Name)
 		}
 	})
 	if !catalogMode {
+		// The domain sets carry Table 2's calibrated deployment knobs;
+		// silently dropping an explicit -duty/-pue would report numbers
+		// for inputs the user did not ask for.
+		if len(catalogOnly) > 0 {
+			return fmt.Errorf("%s belong(s) to the catalog head-to-head mode; pass -fpga/-asic to use it",
+				strings.Join(catalogOnly, ", "))
+		}
 		return runSetCompare(*domain, *platforms, *napps, *lifetime, *volume, *maxapps, *jsonOut)
 	}
 	if len(domainOnly) > 0 {
@@ -284,7 +293,7 @@ func runSetCompare(domain, platforms string, napps int, lifetime, volume float64
 func cmdWafer(args []string) error {
 	fs := flag.NewFlagSet("wafer", flag.ContinueOnError)
 	name := fs.String("device", "", "catalog device (default: the whole Table 3 catalog)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	devices := greenfpga.IndustryDevices()
@@ -316,11 +325,11 @@ func cmdWafer(args []string) error {
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
 	path := fs.String("config", "", "scenario JSON file")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *path == "" {
-		return fmt.Errorf("usage: greenfpga validate -config <file.json>")
+		return usagef("usage: greenfpga validate -config <file.json>")
 	}
 	cfg, err := config.Load(*path)
 	if err != nil {

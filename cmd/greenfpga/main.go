@@ -12,11 +12,16 @@
 //	greenfpga domains                       print the Table 2 testcases
 //	greenfpga crossover -domain DNN         solve A2F/F2A points
 //	greenfpga sweep -domain DNN -axis napps 1-D sweep with a chart
+//	greenfpga timeline -domain DNN          time-phased deployment schedule
 //	greenfpga run -config file.json         evaluate a JSON scenario
 //	greenfpga mc -domain DNN                Monte-Carlo uncertainty
 //	greenfpga serve -addr 127.0.0.1:8080    HTTP evaluation service
 //	greenfpga example-config                print a sample JSON config
 //	greenfpga help                          print this usage
+//
+// Exit codes: 0 on success (including every help spelling), 1 on
+// runtime failures, 2 on usage mistakes (unknown commands, bad flags,
+// missing required arguments).
 package main
 
 import (
@@ -37,6 +42,7 @@ var commands = map[string]func(args []string) error{
 	"compare":        cmdCompare,
 	"crossover":      cmdCrossover,
 	"sweep":          cmdSweep,
+	"timeline":       cmdTimeline,
 	"run":            cmdRun,
 	"plan":           cmdPlan,
 	"dse":            cmdDSE,
@@ -48,31 +54,76 @@ var commands = map[string]func(args []string) error{
 	"help":           cmdHelp,
 }
 
-func main() {
-	if len(os.Args) < 2 {
-		usage(os.Stderr)
-		os.Exit(2)
+// usageError marks a command-line usage mistake — an unknown flag, a
+// missing required argument — as opposed to a runtime failure: run
+// prints it to stderr (unless the flag package already did) and exits
+// 2, the conventional usage-error status.
+type usageError struct {
+	err error
+	// printed records that the flag set already wrote the message (and
+	// its usage text) to stderr, so run must not repeat it.
+	printed bool
+}
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// usagef builds a usage error that run still needs to print.
+func usagef(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// parseFlags parses a subcommand's flags, classifying parse failures
+// as usage errors. flag.ErrHelp passes through so `greenfpga <cmd> -h`
+// keeps exiting 0; ContinueOnError flag sets print their own message
+// and usage to stderr, so the error is marked already-printed.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
 	}
-	name := os.Args[1]
+	return &usageError{err: err, printed: true}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches one command line and returns the process exit code.
+func run(args []string) int {
+	if len(args) < 1 {
+		usage(os.Stderr)
+		return 2
+	}
+	name := args[0]
 	// Flag spellings of the help command succeed like the command.
 	if name == "-h" || name == "--help" {
 		name = "help"
 	}
 	cmd, ok := commands[name]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "greenfpga: unknown command %q\n\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "greenfpga: unknown command %q\n\n", args[0])
 		usage(os.Stderr)
-		os.Exit(2)
+		return 2
 	}
-	if err := cmd(os.Args[2:]); err != nil {
-		// `greenfpga <cmd> -h` is a help request, not a failure: the
-		// flag set already printed its usage.
-		if errors.Is(err, flag.ErrHelp) {
-			return
+	err := cmd(args[1:])
+	if err == nil {
+		return 0
+	}
+	// `greenfpga <cmd> -h` is a help request, not a failure: the flag
+	// set already printed its usage.
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		if !ue.printed {
+			fmt.Fprintf(os.Stderr, "greenfpga: %v\n", err)
 		}
-		fmt.Fprintf(os.Stderr, "greenfpga: %v\n", err)
-		os.Exit(1)
+		return 2
 	}
+	fmt.Fprintf(os.Stderr, "greenfpga: %v\n", err)
+	return 1
 }
 
 // cmdHelp prints the top-level usage to stdout and succeeds — the
@@ -97,6 +148,8 @@ commands:
                                   head-to-head instead
   crossover -domain <name>        solve the A2F/F2A crossover points
   sweep -domain <name> -axis <a>  run a 1-D sweep (axes: napps, lifetime, volume)
+  timeline [-domain <name>]       evaluate a time-phased deployment schedule
+                                  (staggered arrivals, refresh policy, fleet sizing)
   run -config <file.json>         evaluate a custom scenario
   plan -config <file.json>        optimize a portfolio across FPGA fleet and ASICs
   dse -kernel <name>              carbon-aware design-space exploration

@@ -122,6 +122,14 @@ func TestCmdCompare(t *testing.T) {
 	if err := cmdCompare([]string{"-asic", "IndustryASIC1", "-platforms", "fpga,gpu"}); err == nil {
 		t.Error("-platforms with catalog mode must error")
 	}
+	// Catalog-only deployment knobs must not be silently dropped by
+	// the domain-set mode.
+	if err := cmdCompare([]string{"-duty", "0.9"}); err == nil || !strings.Contains(err.Error(), "catalog") {
+		t.Errorf("-duty without catalog mode must error, got %v", err)
+	}
+	if err := cmdCompare([]string{"-domain", "DNN", "-pue", "1.5"}); err == nil {
+		t.Error("-pue with domain mode must error")
+	}
 }
 
 // TestCmdCompareSetMode covers the default domain-set mode: the full
@@ -260,6 +268,69 @@ func TestCmdSweep(t *testing.T) {
 	}
 }
 
+// TestCmdTimeline covers the timeline mode: the staggered default,
+// refresh-cap behavior, platform subsetting, and its error paths.
+func TestCmdTimeline(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdTimeline([]string{"-chip-lifetime", "8"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DNN timeline: 5 deployments over 4y (sequential span 10y)",
+		"Sequential [kt]", "peak concurrency: 4", "winner on this timeline:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = captureStdout(t, func() error {
+		return cmdTimeline([]string{"-domain", "Crypto", "-platforms", "fpga,asic", "-sizing", "dedicated"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Crypto-FPGA") || strings.Contains(out, "Crypto-GPU") {
+		t.Errorf("platform subset broken:\n%s", out)
+	}
+	if !strings.Contains(out, "dedicated fleet sizing") {
+		t.Errorf("sizing missing from header:\n%s", out)
+	}
+	if err := cmdTimeline([]string{"-domain", "Quantum"}); err == nil {
+		t.Error("unknown domain must error")
+	}
+	if err := cmdTimeline([]string{"-sizing", "elastic"}); err == nil {
+		t.Error("unknown sizing must error")
+	}
+	if err := cmdTimeline([]string{"-platforms", "fpga"}); err == nil {
+		t.Error("single platform must error")
+	}
+}
+
+// TestCmdTimelineJSONMatchesAPI checks the acceptance guarantee: the
+// -json document equals the canonical api compute result (the same
+// document POST /v1/timeline serves).
+func TestCmdTimelineJSONMatchesAPI(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdTimeline([]string{"-json", "-napps", "4", "-interval", "1", "-chip-lifetime", "8"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := api.RunTimeline(api.TimelineRequest{
+		NApps: 4, IntervalYears: 1, ChipLifetimeYears: 8,
+	}.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf.String() {
+		t.Errorf("timeline -json differs from the api document:\n%q\nvs\n%q", out, buf.String())
+	}
+}
+
 func TestCmdRun(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "scenario.json")
@@ -328,11 +399,81 @@ func TestCmdExampleConfig(t *testing.T) {
 
 func TestCommandTableComplete(t *testing.T) {
 	for _, name := range []string{"list", "experiment", "devices", "domains",
-		"kernels", "compare", "crossover", "sweep", "run", "plan", "dse", "mc",
-		"serve", "validate", "example-config", "help"} {
+		"kernels", "compare", "crossover", "sweep", "timeline", "run", "plan",
+		"dse", "mc", "serve", "validate", "example-config", "help"} {
 		if _, ok := commands[name]; !ok {
 			t.Errorf("command %q not registered", name)
 		}
+	}
+}
+
+// captureStderr runs f with os.Stderr redirected to a buffer.
+func captureStderr(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+
+	done := make(chan struct{})
+	var buf bytes.Buffer
+	go func() {
+		defer close(done)
+		io.Copy(&buf, r)
+	}()
+	f()
+	w.Close()
+	<-done
+	return buf.String()
+}
+
+// TestRunExitCodes pins the process exit-code contract: 0 on success
+// and every help spelling, 1 on runtime failures, 2 on usage mistakes
+// — with the diagnostics on stderr exactly once.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string // substring the diagnostics must carry ("" = none)
+	}{
+		{"no args", nil, 2, "commands:"},
+		{"unknown command", []string{"frobnicate"}, 2, `unknown command "frobnicate"`},
+		{"unknown flag", []string{"crossover", "-bogus"}, 2, "flag provided but not defined"},
+		{"bad flag value", []string{"timeline", "-napps", "x"}, 2, "invalid value"},
+		{"missing required", []string{"run"}, 2, "usage: greenfpga run"},
+		{"missing experiment id", []string{"experiment"}, 2, "usage: greenfpga experiment"},
+		{"runtime failure", []string{"crossover", "-domain", "Quantum"}, 1, "unknown domain"},
+		{"subcommand help", []string{"crossover", "-h"}, 0, "Usage of crossover"},
+		{"top-level help flag", []string{"--help"}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var code int
+			var stdout string
+			stderr := captureStderr(t, func() {
+				stdout, _ = captureStdout(t, func() error { code = run(tc.args); return nil })
+			})
+			if code != tc.code {
+				t.Errorf("run(%v) = %d, want %d (stderr: %q)", tc.args, code, tc.code, stderr)
+			}
+			if tc.stderr != "" && !strings.Contains(stderr, tc.stderr) {
+				t.Errorf("stderr missing %q:\n%s", tc.stderr, stderr)
+			}
+			if tc.stderr != "" && strings.Count(stderr, "greenfpga:")+strings.Count(stderr, "Usage of") > 2 {
+				t.Errorf("diagnostics repeated on stderr:\n%s", stderr)
+			}
+			_ = stdout
+		})
+	}
+	// Usage errors never print the message twice: a flag-parse failure
+	// is reported by the flag set only.
+	stderr := captureStderr(t, func() { run([]string{"sweep", "-bogus"}) })
+	if strings.Contains(stderr, "greenfpga: flag provided") {
+		t.Errorf("flag error printed twice:\n%s", stderr)
 	}
 }
 

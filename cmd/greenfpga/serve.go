@@ -26,6 +26,7 @@ import (
 //	POST /v1/evaluate            evaluate a {"scenario": ...} document
 //	POST /v1/evaluate/batch      evaluate many scenarios in one call
 //	POST /v1/compare             N-platform domain-set comparison
+//	POST /v1/timeline            time-phased deployment schedule
 //	POST /v1/crossover           solve the A2F/F2A crossover points
 //	POST /v1/sweep               run a 1-D domain sweep
 //	POST /v1/mc                  Monte-Carlo uncertainty study
@@ -35,7 +36,7 @@ func cmdServe(args []string) error {
 	maxConcurrent := fs.Int("max-concurrent", 64, "compute requests evaluated at once")
 	cacheEntries := fs.Int("cache", 1024, "content-addressed result cache entries")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	srv := server.New(server.Options{

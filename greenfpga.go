@@ -98,6 +98,20 @@ type (
 	// CompiledPair is a pair compiled for dense sweeps, crossover
 	// probes and Monte-Carlo draws.
 	CompiledPair = core.CompiledPair
+	// Schedule is a time-phased deployment plan: applications
+	// arriving, retiring and overlapping on one wall-clock timeline —
+	// the generalization of Scenario's back-to-back sequence.
+	Schedule = core.Schedule
+	// Deployment is one scheduled application residency.
+	Deployment = core.Deployment
+	// ScheduleAssessment is an assessment plus timeline quantities
+	// (span, peak concurrency, peak device demand).
+	ScheduleAssessment = core.ScheduleAssessment
+	// ScheduleComparison is a compiled set evaluated on one schedule.
+	ScheduleComparison = core.ScheduleComparison
+	// FleetSizing selects shared vs dedicated provisioning of a
+	// reusable fleet's overlapping residents.
+	FleetSizing = core.FleetSizing
 	// DeviceSpec describes an ASIC or FPGA device.
 	DeviceSpec = device.Spec
 	// Domain is one Table 2 iso-performance testcase.
@@ -207,6 +221,27 @@ func CompileSet(set PlatformSet) (CompiledPlatformSet, error) { return set.Compi
 func Uniform(name string, n int, lifetime YearSpan, volume, sizeGates float64) Scenario {
 	return core.Uniform(name, n, lifetime, volume, sizeGates)
 }
+
+// Staggered builds a schedule of n identical applications arriving
+// every interval years (0 means simultaneously), the timeline
+// generalization of Uniform.
+func Staggered(name string, n int, interval, lifetime YearSpan, volume, sizeGates float64) Schedule {
+	return core.Staggered(name, n, interval, lifetime, volume, sizeGates)
+}
+
+// Sequential serializes a scenario onto the timeline back to back;
+// evaluating the result reproduces Evaluate exactly.
+func Sequential(s Scenario) Schedule { return core.Sequential(s) }
+
+// Fleet-sizing policies for overlapping residents of a reusable
+// fleet.
+const (
+	// SizeShared time-shares the fleet across residents (the paper's
+	// Eq. 2 reading; the default).
+	SizeShared = core.SizeShared
+	// SizeDedicated gives every resident its own devices.
+	SizeDedicated = core.SizeDedicated
+)
 
 // Domains lists the iso-performance testcases of Table 2 (DNN,
 // ImgProc, Crypto).

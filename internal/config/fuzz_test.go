@@ -5,6 +5,43 @@ import (
 	"testing"
 )
 
+// FuzzConfigScenario drives the decoder through structured field
+// values rather than raw JSON: whatever the knobs, Validate must never
+// panic, and every document it accepts must materialize to a core
+// scenario and survive a save/parse round trip.
+func FuzzConfigScenario(f *testing.F) {
+	f.Add("example", "IndustryFPGA1", 0.3, 1.2, 2.0, 1e6, 0.0, 15.0, false)
+	f.Add("inline", "", 0.5, 0.0, 1.0, 100.0, 5e7, 0.0, true)
+	f.Add("bad-duty", "IndustryASIC1", 7.5, 1.0, 2.0, 1e3, 0.0, 0.0, false)
+	f.Add("bad-lifetime", "IndustryFPGA2", 0.2, 1.0, -3.0, 1e3, 0.0, 0.0, false)
+	f.Add("", "nope", 0.1, 1.0, 1.0, 0.0, -1.0, -2.0, true)
+	f.Fuzz(func(t *testing.T, name, dev string, duty, pue, lifeYears, volume, sizeGates, chipLife float64, strict bool) {
+		p := &Platform{Device: dev, DutyCycle: duty, PUE: pue, ChipLifetimeYears: chipLife}
+		if dev == "" {
+			p = &Platform{Name: "inline", Kind: "fpga", Node: "10nm",
+				DieAreaMM2: 100, PeakPowerW: 10, CapacityGates: 1e8,
+				DutyCycle: duty, PUE: pue, ChipLifetimeYears: chipLife}
+		}
+		s := &Scenario{
+			Name: name, FPGA: p, StrictEq2: strict,
+			Apps: []Application{{Name: "a", LifetimeYears: lifeYears, Volume: volume, SizeGates: sizeGates}},
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		if _, err := s.ToScenario(); err != nil {
+			t.Fatalf("validated scenario fails to materialize: %v", err)
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if _, err := Parse(data); err != nil {
+			t.Fatalf("re-parse of %s: %v", data, err)
+		}
+	})
+}
+
 // FuzzParse checks the scenario-config parser never panics and that
 // accepted documents re-serialize and re-parse.
 func FuzzParse(f *testing.F) {

@@ -13,6 +13,7 @@ func TestListOrderAndCoverage(t *testing.T) {
 		"table1", "table2", "table3",
 		"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"scenarios", "design-ablation", "yield-ablation", "recycling-sweep",
+		"timeline-staggered",
 	}
 	have := map[string]bool{}
 	for _, id := range ids {

@@ -1,0 +1,132 @@
+// Golden-artifact conformance corpus: every registered experiment's
+// rendered text and canonical JSON are snapshotted under
+// testdata/golden/ and diffed on every run, locking all paper
+// artifacts against accidental numeric drift. After an intentional
+// model change, regenerate with:
+//
+//	go test ./internal/experiments -run TestGoldenArtifacts -update
+//
+// and review the diff like any other code change.
+package experiments_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"greenfpga/api"
+	"greenfpga/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden artifact files")
+
+// goldenPath locates one artifact snapshot.
+func goldenPath(id, ext string) string {
+	return filepath.Join("testdata", "golden", id+"."+ext)
+}
+
+// renderGolden produces the two snapshotted forms of one experiment:
+// the rendered text artifact and the canonical JSON document served by
+// GET /v1/experiments/{id}?format=json.
+func renderGolden(t *testing.T, id string) (text, jsonDoc []byte) {
+	t.Helper()
+	out, err := experiments.Run(id)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var tb bytes.Buffer
+	if err := out.Render(&tb); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	res, err := api.Experiment(id)
+	if err != nil {
+		t.Fatalf("api: %v", err)
+	}
+	var jb bytes.Buffer
+	if err := api.WriteJSON(&jb, res); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return tb.Bytes(), jb.Bytes()
+}
+
+// TestGoldenArtifacts diffs every registered experiment against its
+// snapshots, regenerating them under -update.
+func TestGoldenArtifacts(t *testing.T) {
+	ids := experiments.List()
+	if len(ids) == 0 {
+		t.Fatal("empty experiment registry")
+	}
+	for _, id := range ids {
+		t.Run(id, func(t *testing.T) {
+			text, jsonDoc := renderGolden(t, id)
+			for _, g := range []struct {
+				ext string
+				got []byte
+			}{{"txt", text}, {"json", jsonDoc}} {
+				path := goldenPath(id, g.ext)
+				if *update {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, g.got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden %s (regenerate with -update): %v", path, err)
+				}
+				if !bytes.Equal(g.got, want) {
+					t.Errorf("%s drifted from its golden snapshot (%d vs %d bytes).\n"+
+						"If the change is intentional, regenerate with -update and review the diff.\n%s",
+						path, len(g.got), len(want), firstDiff(g.got, want))
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusComplete fails when a golden file has no registered
+// experiment (a renamed or removed ID leaves a stale snapshot) or when
+// a registered experiment has no snapshot yet.
+func TestGoldenCorpusComplete(t *testing.T) {
+	if *update {
+		t.Skip("regenerating")
+	}
+	known := map[string]bool{}
+	for _, id := range experiments.List() {
+		known[id] = true
+		for _, ext := range []string{"txt", "json"} {
+			if _, err := os.Stat(goldenPath(id, ext)); err != nil {
+				t.Errorf("experiment %q has no golden .%s (regenerate with -update)", id, ext)
+			}
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		id := strings.TrimSuffix(strings.TrimSuffix(e.Name(), ".txt"), ".json")
+		if !known[id] {
+			t.Errorf("stale golden file %s: no experiment %q is registered", e.Name(), id)
+		}
+	}
+}
+
+// firstDiff renders the first divergent line for readable failures.
+func firstDiff(got, want []byte) string {
+	gl := strings.Split(string(got), "\n")
+	wl := strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			return fmt.Sprintf("first diff at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("lengths diverge: got %d lines, want %d", len(gl), len(wl))
+}

@@ -127,6 +127,7 @@ func New(opts Options) *Server {
 	// against per-item slots).
 	s.route("POST /v1/evaluate/batch", "/v1/evaluate/batch", false, s.handleBatch)
 	s.route("POST /v1/compare", "/v1/compare", true, s.handleCompare)
+	s.route("POST /v1/timeline", "/v1/timeline", true, s.handleTimeline)
 	s.route("POST /v1/crossover", "/v1/crossover", true, s.handleCrossover)
 	s.route("POST /v1/sweep", "/v1/sweep", true, s.handleSweep)
 	s.route("POST /v1/mc", "/v1/mc", true, s.handleMonteCarlo)
@@ -357,6 +358,17 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	norm := req.Normalized()
 	s.serveCached(w, "/v1/compare", norm, func() (any, error) {
 		return api.RunCompare(norm)
+	}, nil)
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	var req api.TimelineRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	norm := req.Normalized()
+	s.serveCached(w, "/v1/timeline", norm, func() (any, error) {
+		return api.RunTimeline(norm)
 	}, nil)
 }
 

@@ -381,6 +381,72 @@ func TestCompareEndpoint(t *testing.T) {
 	}
 }
 
+// TestTimelineEndpoint covers the /v1/timeline route: the response
+// matches the shared compute byte-for-byte, the generator shorthand
+// and its spelled-out deployment list share one cache entry, and
+// /metrics carries the per-endpoint counter.
+func TestTimelineEndpoint(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, hdr, data := postRaw(t, hts.URL+"/v1/timeline", `{}`)
+	if code != http.StatusOK {
+		t.Fatalf("timeline: %d %s", code, data)
+	}
+	if hdr.Get("X-Cache") != "miss" {
+		t.Errorf("first timeline should miss, got %q", hdr.Get("X-Cache"))
+	}
+	want, err := api.RunTimeline(api.TimelineRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != buf.String() {
+		t.Errorf("server timeline differs from shared compute:\n%s\nvs\n%s", data, buf.String())
+	}
+	// The explicit-deployment spelling of the default staggered
+	// timeline normalizes onto the same cache entry.
+	explicit := `{"domain":"DNN","sizing":"shared","deployments":[` +
+		`{"name":"app1","start_years":0,"lifetime_years":2,"volume":1e6},` +
+		`{"name":"app2","start_years":0.5,"lifetime_years":2,"volume":1e6},` +
+		`{"name":"app3","start_years":1,"lifetime_years":2,"volume":1e6},` +
+		`{"name":"app4","start_years":1.5,"lifetime_years":2,"volume":1e6},` +
+		`{"name":"app5","start_years":2,"lifetime_years":2,"volume":1e6}]}`
+	code, hdr, data2 := postRaw(t, hts.URL+"/v1/timeline", explicit)
+	if code != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Errorf("normalized repeat should hit: %d %q", code, hdr.Get("X-Cache"))
+	}
+	if string(data2) != string(data) {
+		t.Error("cache hit returned a different document")
+	}
+	var resp api.TimelineResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Platforms) != 4 || resp.Winner == "" || resp.SpanYears != 4 || resp.PeakConcurrent != 4 {
+		t.Errorf("timeline response shape: %+v", resp)
+	}
+	// Error envelope for invalid requests.
+	code, _, data = postRaw(t, hts.URL+"/v1/timeline", `{"sizing":"elastic"}`)
+	if code != http.StatusBadRequest || decodeErr(t, data).Code != "invalid_request" {
+		t.Errorf("bad sizing: %d %s", code, data)
+	}
+	code, _, data = postRaw(t, hts.URL+"/v1/timeline", `{"deployments":[{"lifetime_years":-1,"volume":1}]}`)
+	if code != http.StatusBadRequest || decodeErr(t, data).Code != "invalid_request" {
+		t.Errorf("bad deployment: %d %s", code, data)
+	}
+	// Unknown fields are rejected like every other endpoint.
+	code, _, data = postRaw(t, hts.URL+"/v1/timeline", `{"bogus":1}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown field: %d %s", code, data)
+	}
+	_, _, metrics := get(t, hts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `greenfpga_requests_total{endpoint="/v1/timeline"} 5`) {
+		t.Errorf("metrics missing the /v1/timeline counter:\n%s", metrics)
+	}
+}
+
 // TestCrossoverPlatformSelectors covers the selector extension of the
 // crossover endpoint end to end.
 func TestCrossoverPlatformSelectors(t *testing.T) {
