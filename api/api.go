@@ -4,15 +4,24 @@
 // client (client), and the CLI's `-json` output modes, so a scripted
 // consumer sees byte-identical documents whichever door it knocks on.
 //
+// Every compute endpoint shares one request model: a list of
+// PlatformSpec selectors (iso-performance domain member, Table 3
+// catalog device, or inline config, plus cross-cutting overrides) and
+// a WorkloadSpec (uniform scenario, explicit applications, or a
+// deployment timeline). The pre-existing per-endpoint fields are pure
+// normalization sugar that expands into specs, so a legacy body and
+// its spec spelling share one canonical key — and one server cache
+// entry. See DESIGN.md's "Request model".
+//
 // Scenario documents reuse the JSON schema of the `greenfpga run`
 // config (internal/config) via the ScenarioConfig alias: a file that
 // works with `greenfpga run -config` is, wrapped in
 // {"scenario": ...}, a valid /v1/evaluate body.
 //
-// The compute entry points (Evaluator, RunCrossover, RunSweep,
-// RunMonteCarlo) are shared by CLI and server so both produce
-// identical numbers; the server adds caching, batching and metrics on
-// top (see internal/server).
+// The compute entry points (Evaluator.Evaluate and the Run* methods,
+// with package-level wrappers over a default Evaluator) are shared by
+// CLI and server so both produce identical numbers; the server adds
+// caching, batching and metrics on top (see internal/server).
 package api
 
 import "greenfpga/internal/config"
@@ -99,7 +108,7 @@ type Breakdown struct {
 type PlatformResult struct {
 	// Platform is the device name.
 	Platform string `json:"platform"`
-	// Kind is "asic" or "fpga".
+	// Kind is the device kind: "asic", "fpga", "gpu" or "cpu".
 	Kind string `json:"kind"`
 	// TotalKg is the scenario-total CFP.
 	TotalKg float64 `json:"total_kg"`
@@ -114,15 +123,38 @@ type PlatformResult struct {
 	HardwareGenerations int `json:"hardware_generations"`
 }
 
-// EvaluateRequest is the /v1/evaluate body.
+// EvaluateRequest is the /v1/evaluate body: either a legacy scenario
+// document or the spec form (name + platforms + workload). The legacy
+// scenario is pure normalization sugar — it expands into
+// {Config: ...} platform specs and an apps workload, so a scenario
+// body and its spec spelling are one cache entry.
 type EvaluateRequest struct {
-	// Scenario is the run configuration; the document accepted by
-	// `greenfpga run -config`.
-	Scenario *ScenarioConfig `json:"scenario"`
+	// Scenario is the legacy run configuration, the document accepted
+	// by `greenfpga run -config`. Mutually exclusive with the spec
+	// fields below.
+	Scenario *ScenarioConfig `json:"scenario,omitempty"`
+	// Name labels the study (the scenario name in spec form).
+	Name string `json:"name,omitempty"`
+	// Platforms selects one or two platforms. Because the evaluate
+	// response carries dedicated fpga/asic sides, each platform must
+	// resolve to one of those kinds (at most one of each); GPU/CPU
+	// platforms are rejected here — route them at /v1/compare, whose
+	// response is kind-agnostic. A platform lands on the side its
+	// *resolved kind* names, including for the legacy scenario sugar:
+	// a config whose kind disagrees with the scenario slot it sits in
+	// (an asic-kind device in the "fpga" slot) reports under its real
+	// kind — the old positional routing mislabeled it — and two
+	// same-kind configs are rejected rather than mislabeled as a
+	// comparison.
+	Platforms []PlatformSpec `json:"platforms,omitempty"`
+	// Workload describes the work (uniform or apps arm).
+	Workload *WorkloadSpec `json:"workload,omitempty"`
 }
 
 // EvaluateResponse is the /v1/evaluate result and the `greenfpga run
-// -json` document.
+// -json` document. Its shape is the paper's two-sided comparison:
+// only fpga- and asic-kind platforms fit it (see
+// EvaluateRequest.Platforms).
 type EvaluateResponse struct {
 	// Scenario echoes the scenario name.
 	Scenario string `json:"scenario"`
@@ -158,23 +190,33 @@ type BatchEvaluateResponse struct {
 // CrossoverRequest is the /v1/crossover body. Zero values take the
 // CLI defaults (DNN domain, 2-year lifetime, 5 applications, 1e6
 // volume, 30-application search ceiling, FPGA-vs-ASIC platforms).
+// The solvers run between any two platform specs — two domain-set
+// members, two catalog devices, two inline configs; the legacy
+// domain/platform_a/platform_b fields are normalization sugar that
+// expands into kind specs.
 type CrossoverRequest struct {
-	// Domain is the iso-performance testcase (DNN, ImgProc, Crypto).
-	Domain string `json:"domain"`
-	// LifetimeYears fixes T_i for the N_app and N_vol solves.
+	// Domain is the iso-performance testcase (DNN, ImgProc, Crypto),
+	// the default domain for kind selectors.
+	Domain string `json:"domain,omitempty"`
+	// Platforms selects exactly two platforms; the A2F solve reports
+	// the first N_app where the first's total drops below the
+	// second's, and the F2A solves report where the two totals meet.
+	Platforms []PlatformSpec `json:"platforms,omitempty"`
+	// Workload fixes the solves' off-axis scenario (uniform arm:
+	// napps for the T_i and N_vol solves, lifetime_years and volume
+	// for the others).
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// LifetimeYears fixes T_i for the N_app and N_vol solves (legacy
+	// sugar for Workload.LifetimeYears).
 	LifetimeYears float64 `json:"lifetime_years,omitempty"`
-	// NApps fixes N_app for the T_i and N_vol solves.
+	// NApps fixes N_app for the T_i and N_vol solves (legacy sugar).
 	NApps int `json:"napps,omitempty"`
-	// Volume fixes N_vol for the N_app and T_i solves.
+	// Volume fixes N_vol for the N_app and T_i solves (legacy sugar).
 	Volume float64 `json:"volume,omitempty"`
 	// MaxApps bounds the N_app search.
 	MaxApps int `json:"max_apps,omitempty"`
-	// PlatformA and PlatformB select which two platforms of the
-	// domain's set the solvers compare, by kind ("fpga", "asic",
-	// "gpu", "cpu"). Empty selectors keep the paper's FPGA-vs-ASIC
-	// comparison; when set, the A2F solve reports the first N_app
-	// where A's total drops below B's, and the F2A solves report
-	// where the two totals meet.
+	// PlatformA and PlatformB are legacy sugar for Platforms: two
+	// kind selectors of the request domain's set.
 	PlatformA string `json:"platform_a,omitempty"`
 	PlatformB string `json:"platform_b,omitempty"`
 }
@@ -194,7 +236,9 @@ type Solve struct {
 // are byte-stable).
 type CrossoverResponse struct {
 	Domain string `json:"domain"`
-	// PlatformA and PlatformB echo non-default platform selectors.
+	// PlatformA and PlatformB echo non-default platform selectors:
+	// the kind for domain-set members of the request domain, the
+	// resolved device name otherwise.
 	PlatformA string `json:"platform_a,omitempty"`
 	PlatformB string `json:"platform_b,omitempty"`
 	// A2FNumApps is the smallest application count from which
@@ -208,23 +252,28 @@ type CrossoverResponse struct {
 	F2AVolume Solve `json:"f2a_volume"`
 }
 
-// CompareRequest is the /v1/compare body: N platforms of one
-// iso-performance domain set evaluated on a shared uniform scenario.
-// Zero values take the CLI defaults (DNN domain, full platform set,
-// 5 applications, 2-year lifetime, 1e6 volume, 12-application
-// frontier).
+// CompareRequest is the /v1/compare body: N platforms evaluated on a
+// shared uniform scenario. Zero values take the CLI defaults (DNN
+// domain, full platform set, 5 applications, 2-year lifetime, 1e6
+// volume, 12-application frontier). Platforms take the full spec
+// grammar — bare kind strings ("gpu") stay valid as shorthand for
+// domain-set members — so catalog devices and inline configs compare
+// alongside domain platforms.
 type CompareRequest struct {
-	// Domain is the iso-performance testcase (DNN, ImgProc, Crypto).
+	// Domain is the iso-performance testcase (DNN, ImgProc, Crypto),
+	// the default domain for kind selectors.
 	Domain string `json:"domain,omitempty"`
-	// Platforms restricts and orders the compared platforms by kind
-	// ("fpga", "asic", "gpu", "cpu"); empty means the domain's full
-	// set. At least two platforms must remain.
-	Platforms []string `json:"platforms,omitempty"`
-	// NApps is the shared scenario's application count.
+	// Platforms restricts and orders the compared platforms; empty
+	// means the domain's full set. At least two platforms must remain.
+	Platforms []PlatformSpec `json:"platforms,omitempty"`
+	// Workload is the shared scenario (uniform arm).
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// NApps is the shared scenario's application count (legacy sugar
+	// for Workload.NApps).
 	NApps int `json:"napps,omitempty"`
-	// LifetimeYears is each application's T_i.
+	// LifetimeYears is each application's T_i (legacy sugar).
 	LifetimeYears float64 `json:"lifetime_years,omitempty"`
-	// Volume is each application's N_vol.
+	// Volume is each application's N_vol (legacy sugar).
 	Volume float64 `json:"volume,omitempty"`
 	// MaxApps bounds the winner-per-N_app frontier.
 	MaxApps int `json:"max_apps,omitempty"`
@@ -294,29 +343,38 @@ type TimelineDeployment struct {
 // 5 applications arriving every 0.5 years, 2-year lifetimes, 1e6
 // volume, shared fleet sizing, uncapped hardware).
 type TimelineRequest struct {
-	// Domain is the iso-performance testcase (DNN, ImgProc, Crypto).
+	// Domain is the iso-performance testcase (DNN, ImgProc, Crypto),
+	// the default domain for kind selectors.
 	Domain string `json:"domain,omitempty"`
-	// Platforms restricts and orders the compared platforms by kind,
-	// as in CompareRequest; empty means the domain's full set.
-	Platforms []string `json:"platforms,omitempty"`
-	// Deployments is the explicit timeline. When set, the generator
-	// fields below are ignored (and zeroed by normalization).
+	// Platforms restricts and orders the compared platforms, as in
+	// CompareRequest; empty means the domain's full set. Inline
+	// configs and catalog devices run timelines too.
+	Platforms []PlatformSpec `json:"platforms,omitempty"`
+	// Workload is the timeline (deployments or the staggered
+	// generator, with sizing).
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Deployments is the legacy explicit timeline (sugar for
+	// Workload.Deployments). When set, the generator fields below are
+	// ignored (and zeroed by normalization).
 	Deployments []TimelineDeployment `json:"deployments,omitempty"`
-	// NApps, IntervalYears, LifetimeYears and Volume are the
+	// NApps, IntervalYears, LifetimeYears and Volume are the legacy
 	// staggered-arrival generator: napps identical applications
 	// arriving every interval_years. Normalization expands them into
-	// Deployments and clears them.
+	// workload deployments and clears them.
 	NApps         int     `json:"napps,omitempty"`
 	IntervalYears float64 `json:"interval_years,omitempty"`
 	LifetimeYears float64 `json:"lifetime_years,omitempty"`
 	Volume        float64 `json:"volume,omitempty"`
 	// Sizing provisions reusable fleets: "shared" (overlapping
 	// residents time-share reconfigured devices; the default) or
-	// "dedicated" (peak aggregate demand).
+	// "dedicated" (peak aggregate demand). Legacy sugar for
+	// Workload.Sizing.
 	Sizing string `json:"sizing,omitempty"`
 	// ChipLifetimeYears is the hardware-refresh policy: every platform
 	// refreshes its fleet each chip_lifetime_years of wall-clock span
-	// (0 = never). Fig. 9 uses 15.
+	// (0 = never). Fig. 9 uses 15. Normalization distributes it onto
+	// each platform spec's chip-lifetime override (specs carrying
+	// their own keep it).
 	ChipLifetimeYears float64 `json:"chip_lifetime_years,omitempty"`
 }
 
@@ -361,37 +419,68 @@ type TimelineResponse struct {
 
 // SweepRequest is the /v1/sweep body. Axis is one of "napps",
 // "lifetime", "volume"; zero range fields take the CLI's per-axis
-// defaults.
+// defaults. Platforms sweep any spec set (empty means the domain's
+// FPGA-vs-ASIC pair, the paper's shape); Workload fixes the off-axis
+// scenario values (the swept axis overrides its own).
 type SweepRequest struct {
-	Domain string  `json:"domain"`
-	Axis   string  `json:"axis"`
+	// Domain is the default domain for kind selectors.
+	Domain string  `json:"domain,omitempty"`
+	Axis   string  `json:"axis,omitempty"`
 	From   float64 `json:"from,omitempty"`
 	To     float64 `json:"to,omitempty"`
 	Points int     `json:"points,omitempty"`
+	// Platforms selects the swept platforms; empty means the legacy
+	// {domain fpga, domain asic} pair.
+	Platforms []PlatformSpec `json:"platforms,omitempty"`
+	// Workload fixes the off-axis scenario (uniform arm; defaults 5
+	// apps, 2-year lifetime, 1e6 volume).
+	Workload *WorkloadSpec `json:"workload,omitempty"`
 }
 
-// SweepPoint is one sweep sample.
+// SweepPoint is one sweep sample. The legacy domain-pair shape keeps
+// the dedicated fpga_kg/asic_kg/ratio fields; any other platform set
+// carries per-platform totals in totals_kg, ordered like the sweep
+// response's platform list.
 type SweepPoint struct {
 	X      float64 `json:"x"`
-	FPGAKg float64 `json:"fpga_kg"`
-	ASICKg float64 `json:"asic_kg"`
-	Ratio  float64 `json:"ratio"`
+	FPGAKg float64 `json:"fpga_kg,omitempty"`
+	ASICKg float64 `json:"asic_kg,omitempty"`
+	Ratio  float64 `json:"ratio,omitempty"`
+	// TotalsKg holds one total per swept platform (absent on the
+	// legacy pair shape).
+	TotalsKg []float64 `json:"totals_kg,omitempty"`
 }
 
 // SweepResponse is the /v1/sweep result.
 type SweepResponse struct {
-	Domain string       `json:"domain"`
-	Axis   string       `json:"axis"`
-	Points []SweepPoint `json:"points"`
+	Domain string `json:"domain"`
+	Axis   string `json:"axis"`
+	// Platforms names the swept platforms in totals_kg order (absent
+	// on the legacy pair shape).
+	Platforms []string     `json:"platforms,omitempty"`
+	Points    []SweepPoint `json:"points"`
 }
 
 // MonteCarloRequest is the /v1/mc body: the Table 1 uncertainty study
-// over a domain pair's FPGA:ASIC ratio.
+// over the CFP ratio of two platforms of one iso-performance domain
+// set (the FPGA:ASIC pair by default). The draws perturb the domain
+// calibration itself, so platforms must be plain kind selectors of a
+// single domain — catalog devices, inline configs and overrides have
+// no Table 1 ranges to draw from and are rejected.
 type MonteCarloRequest struct {
-	Domain  string `json:"domain"`
+	// Domain is the default domain for kind selectors.
+	Domain  string `json:"domain,omitempty"`
 	Samples int    `json:"samples,omitempty"`
 	Seed    int64  `json:"seed,omitempty"`
-	NApps   int    `json:"napps,omitempty"`
+	// NApps is legacy sugar for Workload.NApps.
+	NApps int `json:"napps,omitempty"`
+	// Platforms selects exactly two domain-set kinds; the study's
+	// ratio is first:second.
+	Platforms []PlatformSpec `json:"platforms,omitempty"`
+	// Workload fixes the scenario's application count (uniform arm,
+	// napps only: the lifetime is a Table 1 draw and the volume is the
+	// §4.2 reference).
+	Workload *WorkloadSpec `json:"workload,omitempty"`
 }
 
 // Percentiles summarizes a sample distribution.
@@ -409,15 +498,24 @@ type TornadoEntry struct {
 	Swing float64 `json:"swing"`
 }
 
-// MonteCarloResponse is the /v1/mc result.
+// MonteCarloResponse is the /v1/mc result. The distribution is of the
+// first-platform : second-platform total-CFP ratio — FPGA:ASIC by
+// default, in which case the platform echoes are omitted and the
+// response keeps its legacy shape.
 type MonteCarloResponse struct {
-	Domain       string         `json:"domain"`
-	Samples      int            `json:"samples"`
-	Seed         int64          `json:"seed"`
-	NApps        int            `json:"napps"`
-	Mean         float64        `json:"mean"`
-	StdDev       float64        `json:"std_dev"`
-	Percentiles  Percentiles    `json:"percentiles"`
+	Domain  string `json:"domain"`
+	Samples int    `json:"samples"`
+	Seed    int64  `json:"seed"`
+	NApps   int    `json:"napps"`
+	// PlatformA and PlatformB echo non-default platform selectors.
+	PlatformA   string      `json:"platform_a,omitempty"`
+	PlatformB   string      `json:"platform_b,omitempty"`
+	Mean        float64     `json:"mean"`
+	StdDev      float64     `json:"std_dev"`
+	Percentiles Percentiles `json:"percentiles"`
+	// ProbFPGAWins is the fraction of draws where the ratio lands
+	// below 1 — the probability that platform A (the FPGA by default)
+	// beats platform B.
 	ProbFPGAWins float64        `json:"prob_fpga_wins"`
 	Tornado      []TornadoEntry `json:"tornado"`
 }

@@ -275,7 +275,7 @@ func TestRunCompareDefaults(t *testing.T) {
 // TestRunCompareSelectors checks platform subsetting and its error
 // paths.
 func TestRunCompareSelectors(t *testing.T) {
-	resp, err := RunCompare(CompareRequest{Platforms: []string{"gpu", "asic"}, NApps: 3})
+	resp, err := RunCompare(CompareRequest{Platforms: KindSpecs("gpu", "asic"), NApps: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,9 +286,9 @@ func TestRunCompareSelectors(t *testing.T) {
 		t.Fatalf("selected ratios: %+v", resp.Ratios)
 	}
 	for _, bad := range []CompareRequest{
-		{Platforms: []string{"fpga"}},
-		{Platforms: []string{"fpga", "fpga"}},
-		{Platforms: []string{"fpga", "npu"}},
+		{Platforms: KindSpecs("fpga")},
+		{Platforms: KindSpecs("fpga", "fpga")},
+		{Platforms: KindSpecs("fpga", "npu")},
 		{Domain: "Quantum"},
 		{NApps: -1},
 		{MaxApps: -5},
@@ -340,13 +340,24 @@ func TestRunCrossoverSelectors(t *testing.T) {
 // clear) the generator fields.
 func TestTimelineNormalization(t *testing.T) {
 	norm := TimelineRequest{}.Normalized()
-	if norm.Domain != "DNN" || norm.Sizing != "shared" || len(norm.Deployments) != 5 {
+	if norm.Domain != "DNN" || norm.Workload == nil {
 		t.Fatalf("defaults: %+v", norm)
 	}
-	if norm.NApps != 0 || norm.IntervalYears != 0 || norm.LifetimeYears != 0 || norm.Volume != 0 {
-		t.Errorf("generator fields must clear after expansion: %+v", norm)
+	w := norm.Workload
+	if w.Sizing != "shared" || len(w.Deployments) != 5 {
+		t.Fatalf("workload defaults: %+v", w)
 	}
-	for i, d := range norm.Deployments {
+	if norm.NApps != 0 || norm.IntervalYears != 0 || norm.LifetimeYears != 0 || norm.Volume != 0 ||
+		norm.Sizing != "" || len(norm.Deployments) != 0 {
+		t.Errorf("legacy fields must fold into the workload: %+v", norm)
+	}
+	if w.NApps != 0 || w.IntervalYears != 0 || w.LifetimeYears != 0 || w.Volume != 0 {
+		t.Errorf("generator fields must clear after expansion: %+v", w)
+	}
+	if len(norm.Platforms) != 4 || !norm.Platforms[0].isPlainKind("DNN", "fpga") {
+		t.Errorf("empty platform list must expand to the domain set: %+v", norm.Platforms)
+	}
+	for i, d := range w.Deployments {
 		want := TimelineDeployment{
 			Name: fmt.Sprintf("app%d", i+1), StartYears: float64(i) * 0.5,
 			LifetimeYears: 2, Volume: 1e6,
@@ -356,25 +367,47 @@ func TestTimelineNormalization(t *testing.T) {
 		}
 	}
 	// Idempotence, and shorthand vs spelled-out equivalence under the
-	// canonical key.
+	// canonical key — across the legacy-explicit and spec-form
+	// spellings.
 	again := norm.Normalized()
 	k1, err := CanonicalKey("/v1/timeline", norm)
 	if err != nil {
 		t.Fatal(err)
 	}
 	k2, _ := CanonicalKey("/v1/timeline", again)
-	explicit := TimelineRequest{Domain: "DNN", Deployments: append([]TimelineDeployment(nil), norm.Deployments...)}
+	explicit := TimelineRequest{Domain: "DNN", Deployments: append([]TimelineDeployment(nil), w.Deployments...)}
 	k3, _ := CanonicalKey("/v1/timeline", explicit.Normalized())
-	if k1 != k2 || k1 != k3 {
-		t.Errorf("equivalent timeline requests disagree on keys: %s / %s / %s", k1, k2, k3)
+	spec := TimelineRequest{
+		Platforms: []PlatformSpec{
+			{Domain: "DNN", Kind: "fpga"}, {Domain: "DNN", Kind: "asic"},
+			{Domain: "DNN", Kind: "gpu"}, {Domain: "DNN", Kind: "cpu"},
+		},
+		Workload: &WorkloadSpec{Deployments: append([]TimelineDeployment(nil), w.Deployments...)},
+	}
+	k4, _ := CanonicalKey("/v1/timeline", spec.Normalized())
+	if k1 != k2 || k1 != k3 || k1 != k4 {
+		t.Errorf("equivalent timeline requests disagree on keys: %s / %s / %s / %s", k1, k2, k3, k4)
 	}
 	// Explicit deployments silence the generator.
 	mixed := TimelineRequest{
 		NApps: 9, IntervalYears: 3,
 		Deployments: []TimelineDeployment{{LifetimeYears: 1, Volume: 10}},
 	}.Normalized()
-	if len(mixed.Deployments) != 1 || mixed.NApps != 0 || mixed.Deployments[0].Name != "app1" {
-		t.Errorf("explicit deployments must win over the generator: %+v", mixed)
+	mw := mixed.Workload
+	if mw == nil || len(mw.Deployments) != 1 || mw.NApps != 0 || mw.Deployments[0].Name != "app1" {
+		t.Errorf("explicit deployments must win over the generator: %+v", mw)
+	}
+	// A request-level chip-lifetime cap distributes onto the platform
+	// specs (specs carrying their own keep it).
+	capped := TimelineRequest{
+		ChipLifetimeYears: 8,
+		Platforms: []PlatformSpec{
+			{Kind: "fpga"}, {Kind: "asic", ChipLifetimeYears: 3},
+		},
+	}.Normalized()
+	if capped.ChipLifetimeYears != 0 ||
+		capped.Platforms[0].ChipLifetimeYears != 8 || capped.Platforms[1].ChipLifetimeYears != 3 {
+		t.Errorf("chip lifetime must distribute onto specs: %+v", capped.Platforms)
 	}
 }
 
@@ -437,7 +470,7 @@ func TestRunTimelineDefaults(t *testing.T) {
 // one chip lifetime while the sequential contrast pays a fleet
 // rebuild.
 func TestRunTimelineRefreshCap(t *testing.T) {
-	resp, err := RunTimeline(TimelineRequest{ChipLifetimeYears: 8, Platforms: []string{"fpga", "asic"}})
+	resp, err := RunTimeline(TimelineRequest{ChipLifetimeYears: 8, Platforms: KindSpecs("fpga", "asic")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,11 +493,11 @@ func TestRunTimelineRefreshCap(t *testing.T) {
 			asic.SequentialTotalKg, asic.TotalKg)
 	}
 	// Dedicated sizing must cost a reusable platform more than shared.
-	ded, err := RunTimeline(TimelineRequest{Sizing: "dedicated", Platforms: []string{"fpga", "asic"}})
+	ded, err := RunTimeline(TimelineRequest{Sizing: "dedicated", Platforms: KindSpecs("fpga", "asic")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	shared, err := RunTimeline(TimelineRequest{Platforms: []string{"fpga", "asic"}})
+	shared, err := RunTimeline(TimelineRequest{Platforms: KindSpecs("fpga", "asic")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,9 +524,9 @@ func TestRunTimelineValidation(t *testing.T) {
 		{NApps: -1},
 		{NApps: 2_000_000_000},
 		{NApps: MaxTimelineDeployments + 1},
-		{Platforms: []string{"fpga"}},
-		{Platforms: []string{"fpga", "fpga"}},
-		{Platforms: []string{"fpga", "npu"}},
+		{Platforms: KindSpecs("fpga")},
+		{Platforms: KindSpecs("fpga", "fpga")},
+		{Platforms: KindSpecs("fpga", "npu")},
 		{Deployments: []TimelineDeployment{{LifetimeYears: 1, Volume: -2}}},
 		{Deployments: []TimelineDeployment{{StartYears: -1, LifetimeYears: 1, Volume: 1}}},
 	} {
@@ -501,12 +534,12 @@ func TestRunTimelineValidation(t *testing.T) {
 			t.Errorf("request %+v must error", bad)
 		}
 	}
-	if norm := (TimelineRequest{NApps: 2_000_000_000}).Normalized(); len(norm.Deployments) != MaxTimelineDeployments+1 {
+	if norm := (TimelineRequest{NApps: 2_000_000_000}).Normalized(); len(norm.Workload.Deployments) != MaxTimelineDeployments+1 {
 		t.Errorf("oversized generator expanded %d deployments, want the clamp at %d",
-			len(norm.Deployments), MaxTimelineDeployments+1)
+			len(norm.Workload.Deployments), MaxTimelineDeployments+1)
 	}
-	if norm := (TimelineRequest{NApps: -4}).Normalized(); len(norm.Deployments) != 0 || norm.NApps != -4 {
-		t.Errorf("negative napps must be preserved un-expanded: %+v", norm)
+	if norm := (TimelineRequest{NApps: -4}).Normalized(); len(norm.Workload.Deployments) != 0 || norm.Workload.NApps != -4 {
+		t.Errorf("negative napps must be preserved un-expanded: %+v", norm.Workload)
 	}
 }
 

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -8,8 +9,9 @@ import (
 
 // FuzzCanonicalKey is the content-addressing property: two bodies that
 // describe the same semantic request — different field order, spelled
-// defaults vs omitted, shorthand vs expanded timeline — must share one
-// canonical key, and keys must be deterministic across re-normalizing.
+// defaults vs omitted, legacy sugar vs spec form, shorthand vs
+// expanded timeline — must share one canonical key, and keys must be
+// deterministic across re-normalizing.
 func FuzzCanonicalKey(f *testing.F) {
 	f.Add("DNN", 5, 2.0, 1e6, 30, 0.5, 8.0)
 	f.Add("", 0, 0.0, 0.0, 0, 0.0, 0.0)
@@ -24,8 +26,8 @@ func FuzzCanonicalKey(f *testing.F) {
 		// a divergence no decodable body can produce).
 		domain = strings.ToValidUTF8(domain, "�")
 		// Crossover requests: a strictly-decoded body with fields
-		// re-ordered and defaults spelled out must normalize to the
-		// same key as the typed request.
+		// re-ordered must normalize to the same key as the typed
+		// request.
 		cross := CrossoverRequest{
 			Domain: domain, NApps: napps, LifetimeYears: lifetime,
 			Volume: volume, MaxApps: maxapps,
@@ -36,8 +38,8 @@ func FuzzCanonicalKey(f *testing.F) {
 			t.Fatalf("key: %v", err)
 		}
 		spelled, err := json.Marshal(map[string]any{
-			"max_apps": norm.MaxApps, "volume": norm.Volume, "napps": norm.NApps,
-			"lifetime_years": norm.LifetimeYears, "domain": norm.Domain,
+			"max_apps": maxapps, "volume": volume, "napps": napps,
+			"lifetime_years": lifetime, "domain": domain,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -61,10 +63,24 @@ func FuzzCanonicalKey(f *testing.F) {
 		if k1 != k3 {
 			t.Fatalf("re-normalizing changed the key: %s vs %s", k1, k3)
 		}
+		// The legacy scenario fields are sugar for the workload spec:
+		// the spec spelling of the same solves is the same entry.
+		spec := CrossoverRequest{
+			Domain:   domain,
+			Workload: &WorkloadSpec{NApps: napps, LifetimeYears: lifetime, Volume: volume},
+			MaxApps:  maxapps,
+		}
+		k4, err := CanonicalKey("/v1/crossover", spec.Normalized())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k4 {
+			t.Fatalf("workload spec spelling changed the key: %s vs %s", k1, k4)
+		}
 
-		// Timeline requests: the generator shorthand and its expanded
-		// explicit-deployment equivalent are one key, and normalizing
-		// is idempotent.
+		// Timeline requests: the generator shorthand, its expanded
+		// legacy-explicit equivalent and the spec form are one key, and
+		// normalizing is idempotent.
 		short := TimelineRequest{
 			Domain: domain, NApps: napps, IntervalYears: interval,
 			LifetimeYears: lifetime, Volume: volume, ChipLifetimeYears: chipLife,
@@ -77,11 +93,12 @@ func FuzzCanonicalKey(f *testing.F) {
 		// Negative counts are preserved un-expanded (for RunTimeline to
 		// reject), so the explicit-spelling equivalence only applies
 		// when the generator produced a timeline.
-		if len(tnorm.Deployments) > 0 {
+		if tw := tnorm.Workload; len(tw.Deployments) > 0 {
 			explicit := TimelineRequest{
-				Domain: tnorm.Domain, Sizing: tnorm.Sizing,
-				ChipLifetimeYears: tnorm.ChipLifetimeYears,
-				Deployments:       append([]TimelineDeployment(nil), tnorm.Deployments...),
+				Domain:            domain,
+				ChipLifetimeYears: chipLife,
+				Sizing:            tw.Sizing,
+				Deployments:       append([]TimelineDeployment(nil), tw.Deployments...),
 			}
 			tk2, err := CanonicalKey("/v1/timeline", explicit.Normalized())
 			if err != nil {
@@ -90,8 +107,8 @@ func FuzzCanonicalKey(f *testing.F) {
 			if tk1 != tk2 {
 				t.Fatalf("expanded timeline changed the key: %s vs %s", tk1, tk2)
 			}
-		} else if tnorm.NApps >= 0 {
-			t.Fatalf("only negative napps may normalize to an empty timeline: %+v", tnorm)
+		} else if tnorm.Workload.NApps >= 0 {
+			t.Fatalf("only negative napps may normalize to an empty timeline: %+v", tnorm.Workload)
 		}
 		tk3, err := CanonicalKey("/v1/timeline", tnorm.Normalized())
 		if err != nil {
@@ -103,6 +120,86 @@ func FuzzCanonicalKey(f *testing.F) {
 		// Distinct endpoints never share a key space.
 		if k1 == tk1 {
 			t.Fatal("crossover and timeline requests share a key")
+		}
+	})
+}
+
+// FuzzPlatformSpec is the spec-grammar property: any decodable
+// platform spec body must decode strictly and deterministically —
+// the bare-string kind shorthand is the same spec as its object form,
+// normalization is idempotent, a marshal/decode round trip preserves
+// the canonical key, and validation plus resolution never panic
+// (resolution of the same valid spec twice agrees with itself).
+func FuzzPlatformSpec(f *testing.F) {
+	f.Add(`{"domain":"DNN","kind":"fpga"}`)
+	f.Add(`"gpu"`)
+	f.Add(`{"kind":"cpu","duty_cycle":0.4}`)
+	f.Add(`{"device":"IndustryFPGA1"}`)
+	f.Add(`{"device":"IndustryASIC1","use_region":"france","chip_lifetime_years":8}`)
+	f.Add(`{"config":{"name":"inline","kind":"asic","node":"10nm","die_area_mm2":100,"peak_power_w":2,"duty_cycle":0.2}}`)
+	f.Add(`{"domain":"Crypto","kind":"asic","duty_cycle":1.5}`)
+	f.Add(`{"kind":"fpga","device":"IndustryFPGA1"}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		dec := json.NewDecoder(strings.NewReader(body))
+		dec.DisallowUnknownFields()
+		var sp PlatformSpec
+		if err := dec.Decode(&sp); err != nil {
+			return // not a decodable spec; nothing to check
+		}
+		// Kind-only specs and their bare-string shorthand are one spec.
+		if sp == (PlatformSpec{Kind: sp.Kind}) && sp.Kind != "" {
+			shorthand, err := json.Marshal(sp.Kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var viaString PlatformSpec
+			if err := json.Unmarshal(shorthand, &viaString); err != nil {
+				t.Fatalf("bare-string kind did not decode: %v", err)
+			}
+			if viaString != sp {
+				t.Fatalf("string shorthand decoded to %+v, object to %+v", viaString, sp)
+			}
+		}
+		// Domain normalization is idempotent.
+		n1 := sp.normalizedWith("DNN")
+		n2 := n1.normalizedWith("DNN")
+		if n1 != n2 {
+			t.Fatalf("normalizedWith not idempotent: %+v vs %+v", n1, n2)
+		}
+		// The canonical key survives a marshal/decode round trip.
+		k1, err := CanonicalKey("spec", n1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, n1); err != nil {
+			t.Fatal(err)
+		}
+		var back PlatformSpec
+		if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+			t.Fatalf("re-decoding a marshaled spec failed: %v\n%s", err, buf.String())
+		}
+		k2, err := CanonicalKey("spec", back.normalizedWith("DNN"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k2 {
+			t.Fatalf("round trip changed the key: %s vs %s\n%s", k1, k2, buf.String())
+		}
+		// Validation and resolution must never panic, and resolving the
+		// same valid spec twice must agree (the second hit comes from
+		// the compiled-platform cache).
+		if err := n1.Validate(); err != nil {
+			return
+		}
+		e := NewEvaluator(8)
+		c1, err1 := e.resolveSpec(n1)
+		c2, err2 := e.resolveSpec(n1)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("resolution not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 == nil && c1 != c2 {
+			t.Fatalf("re-resolving the same spec returned a different compilation")
 		}
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 
@@ -19,11 +20,12 @@ import (
 	"greenfpga/internal/units"
 )
 
-// Evaluator runs scenario evaluations with a content-addressed cache
-// of compiled platforms: two requests describing the same platform —
-// regardless of scenario — share one core.Compile, so repeated and
-// swept queries hit the compiled fast path. An Evaluator is safe for
-// concurrent use.
+// Evaluator runs the compute endpoints with a content-addressed cache
+// of compiled platforms: two requests resolving the same platform spec
+// — regardless of workload — share one core.Compile, so repeated and
+// swept queries hit the compiled fast path. Plain domain-set members
+// additionally share the package-wide memoized domain compilations.
+// An Evaluator is safe for concurrent use.
 type Evaluator struct {
 	compiled *cache.LRU
 }
@@ -34,34 +36,13 @@ func NewEvaluator(maxCompiled int) *Evaluator {
 	return &Evaluator{compiled: cache.New(maxCompiled)}
 }
 
-// defaultEvaluator backs the package-level Evaluate used by the CLI.
+// defaultEvaluator backs the package-level compute functions (the CLI
+// path; the server holds its own long-lived Evaluator).
 var defaultEvaluator = NewEvaluator(64)
 
 // CompileStats returns the compiled-platform cache's cumulative hit
 // and miss counts.
 func (e *Evaluator) CompileStats() (hits, misses uint64) { return e.compiled.Stats() }
-
-// compiledPlatform resolves a platform config to a compiled platform,
-// keyed by the config's canonical JSON.
-func (e *Evaluator) compiledPlatform(pc *PlatformConfig) (*core.Compiled, error) {
-	key, err := CanonicalKey("platform", pc)
-	if err != nil {
-		return nil, err
-	}
-	if v, ok := e.compiled.Get(key); ok {
-		return v.(*core.Compiled), nil
-	}
-	p, err := pc.ToPlatform()
-	if err != nil {
-		return nil, err
-	}
-	c, err := core.Compile(p)
-	if err != nil {
-		return nil, err
-	}
-	e.compiled.Put(key, c)
-	return c, nil
-}
 
 // platformResult converts an assessment to its JSON form.
 func platformResult(a core.Assessment) *PlatformResult {
@@ -86,43 +67,99 @@ func platformResult(a core.Assessment) *PlatformResult {
 	}
 }
 
-// Evaluate assesses the request's scenario on its platform(s),
-// matching `greenfpga run` exactly.
+// Normalized expands the legacy scenario document into its spec form
+// — name, {Config: ...} platform specs, an apps workload — so a
+// scenario body and its spec spelling produce one canonical key, and
+// fills the DNN default domain on bare kind selectors (the request
+// carries no domain field of its own). A request that mixes the
+// scenario with any spec field is left alone for Evaluate to reject.
+func (r EvaluateRequest) Normalized() EvaluateRequest {
+	if r.Scenario != nil && r.Name == "" && len(r.Platforms) == 0 && r.Workload == nil {
+		sc := r.Scenario
+		r.Name = sc.Name
+		if sc.FPGA != nil {
+			r.Platforms = append(r.Platforms, PlatformSpec{Config: sc.FPGA})
+		}
+		if sc.ASIC != nil {
+			r.Platforms = append(r.Platforms, PlatformSpec{Config: sc.ASIC})
+		}
+		r.Workload = &WorkloadSpec{
+			Apps:      append([]AppConfig(nil), sc.Apps...),
+			StrictEq2: sc.StrictEq2,
+		}
+		r.Scenario = nil
+		return r
+	}
+	if needsDomain(r.Platforms) && len(r.Platforms) > 0 {
+		r.Platforms = append([]PlatformSpec(nil), r.Platforms...)
+		for i := range r.Platforms {
+			r.Platforms[i] = r.Platforms[i].normalizedWith("DNN")
+		}
+	}
+	return r
+}
+
+// Evaluate assesses the request's platforms on its workload, matching
+// `greenfpga run` exactly for legacy scenario bodies. Because the
+// response carries dedicated fpga/asic sides, each platform must
+// resolve to one of those kinds; GPU/CPU platforms are rejected rather
+// than silently dropped — their studies go to RunCompare, whose
+// response is kind-agnostic.
 func (e *Evaluator) Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
-	if req == nil || req.Scenario == nil {
+	if req == nil {
 		return nil, &Error{Code: "invalid_request", Message: "missing scenario"}
 	}
-	cfg := req.Scenario
-	scen, err := cfg.ToScenario()
+	r := req.Normalized()
+	if r.Scenario != nil {
+		return nil, &Error{Code: "invalid_request",
+			Message: "scenario is legacy sugar for name/platforms/workload; use exactly one form"}
+	}
+	if len(r.Platforms) == 0 {
+		if r.Workload != nil {
+			return nil, &Error{Code: "invalid_request",
+				Message: fmt.Sprintf("study %q needs at least one platform", r.Name)}
+		}
+		return nil, &Error{Code: "invalid_request", Message: "missing scenario (or platforms/workload specs)"}
+	}
+	if len(r.Platforms) > 2 {
+		return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
+			"the evaluate response carries one fpga and one asic side; %d platforms need /v1/compare",
+			len(r.Platforms))}
+	}
+	if r.Workload == nil {
+		return nil, &Error{Code: "invalid_request", Message: "missing workload"}
+	}
+	scen, err := r.Workload.scenario(r.Name)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.FPGA == nil && cfg.ASIC == nil {
-		return nil, &Error{Code: "invalid_request",
-			Message: fmt.Sprintf("scenario %q needs at least one platform", cfg.Name)}
-	}
-	resp := &EvaluateResponse{Scenario: scen.Name}
-	if cfg.FPGA != nil {
-		c, err := e.compiledPlatform(cfg.FPGA)
+	resp := &EvaluateResponse{Scenario: r.Name}
+	for _, sp := range r.Platforms {
+		c, err := e.resolveSpec(sp)
 		if err != nil {
-			return nil, fmt.Errorf("fpga: %w", err)
+			return nil, fmt.Errorf("platform %s: %w", sp.describe(), err)
+		}
+		kind := string(c.Platform().Spec.Kind)
+		var slot **PlatformResult
+		switch kind {
+		case "fpga":
+			slot = &resp.FPGA
+		case "asic":
+			slot = &resp.ASIC
+		default:
+			return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
+				"the evaluate response carries dedicated fpga/asic sides; %s platform %s does not fit it — use /v1/compare",
+				kind, sp.describe())}
+		}
+		if *slot != nil {
+			return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
+				"two %s platforms; the evaluate response carries one per side — use /v1/compare", kind)}
 		}
 		a, err := c.Evaluate(scen)
 		if err != nil {
-			return nil, fmt.Errorf("fpga: %w", err)
+			return nil, fmt.Errorf("%s: %w", kind, err)
 		}
-		resp.FPGA = platformResult(a)
-	}
-	if cfg.ASIC != nil {
-		c, err := e.compiledPlatform(cfg.ASIC)
-		if err != nil {
-			return nil, fmt.Errorf("asic: %w", err)
-		}
-		a, err := c.Evaluate(scen)
-		if err != nil {
-			return nil, fmt.Errorf("asic: %w", err)
-		}
-		resp.ASIC = platformResult(a)
+		*slot = platformResult(a)
 	}
 	if resp.FPGA != nil && resp.ASIC != nil {
 		if resp.ASIC.TotalKg != 0 {
@@ -137,17 +174,16 @@ func (e *Evaluator) Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
 	return resp, nil
 }
 
-// Evaluate runs the request through the package-level evaluator (the
-// CLI path; the server holds its own long-lived Evaluator).
+// Evaluate runs the request through the package-level evaluator.
 func Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
 	return defaultEvaluator.Evaluate(req)
 }
 
 // domainSets memoizes compiled iso-performance platform sets by
 // canonical domain name; the calibrated domains are immutable, so the
-// cache never invalidates. The set's FPGA/ASIC members double as the
-// legacy pair, so the crossover and sweep endpoints share these
-// compilations with /v1/compare.
+// cache never invalidates. Plain {domain, kind} specs resolve to these
+// members, so every endpoint — and every Evaluator — shares one
+// compilation per domain platform.
 var domainSets sync.Map
 
 // compiledDomainSet resolves and compiles a Table 2 domain's full
@@ -172,16 +208,6 @@ func compiledDomainSet(name string) (core.CompiledSet, isoperf.Domain, error) {
 	return cs, d, nil
 }
 
-// compiledDomain views a domain set's FPGA/ASIC members as the legacy
-// pair the crossover and sweep endpoints solve over.
-func compiledDomain(name string) (core.CompiledPair, isoperf.Domain, error) {
-	cs, d, err := compiledDomainSet(name)
-	if err != nil {
-		return core.CompiledPair{}, isoperf.Domain{}, err
-	}
-	return core.CompiledPair{FPGA: cs[0], ASIC: cs[1]}, d, nil
-}
-
 // setMember finds the set platform of the given kind.
 func setMember(cs core.CompiledSet, kind string) (*core.Compiled, error) {
 	kinds := make([]string, len(cs))
@@ -193,35 +219,6 @@ func setMember(cs core.CompiledSet, kind string) (*core.Compiled, error) {
 	}
 	return nil, &Error{Code: "invalid_request",
 		Message: fmt.Sprintf("domain set has no %q platform (have: %v)", kind, kinds)}
-}
-
-// selectPlatforms restricts and orders a compiled set by kind
-// selectors ("fpga", "asic", ...); empty selectors keep the full set.
-// At least two platforms must remain; what names the endpoint in the
-// error.
-func selectPlatforms(cs core.CompiledSet, kinds []string, what string) (core.CompiledSet, error) {
-	if len(kinds) > 0 {
-		picked := make(core.CompiledSet, 0, len(kinds))
-		seen := map[string]bool{}
-		for _, kind := range kinds {
-			if seen[kind] {
-				return nil, &Error{Code: "invalid_request",
-					Message: fmt.Sprintf("duplicate platform %q", kind)}
-			}
-			seen[kind] = true
-			c, err := setMember(cs, kind)
-			if err != nil {
-				return nil, err
-			}
-			picked = append(picked, c)
-		}
-		cs = picked
-	}
-	if len(cs) < 2 {
-		return nil, &Error{Code: "invalid_request",
-			Message: what + " needs at least two platforms"}
-	}
-	return cs, nil
 }
 
 // pairRatios lists the upper-triangle pairwise total ratios of a
@@ -241,73 +238,108 @@ func pairRatios(as []core.Assessment, ratios [][]float64) []PairRatio {
 	return out
 }
 
-// Normalized returns the request with zero fields replaced by the CLI
-// defaults. The server hashes normalized requests, so an explicit
-// {"domain":"DNN"} and an empty body are the same cache entry.
+// specEchoes derives the response's platform_a/platform_b echoes: the
+// paper's plain FPGA-vs-ASIC default stays silent (so legacy responses
+// are byte-stable), anything else echoes the kind (for members of the
+// request domain) or the resolved device name.
+func specEchoes(specs []PlatformSpec, domain string, cs core.CompiledSet) (a, b string) {
+	if domain != "" && specs[0].isPlainKind(domain, "fpga") && specs[1].isPlainKind(domain, "asic") {
+		return "", ""
+	}
+	echo := func(sp PlatformSpec, c *core.Compiled) string {
+		if sp.Kind != "" && sp.Domain == domain {
+			return sp.Kind
+		}
+		return c.Platform().Spec.Name
+	}
+	return echo(specs[0], cs[0]), echo(specs[1], cs[1])
+}
+
+// Normalized canonicalizes the request: zero fields take the CLI
+// defaults, the legacy domain/platform_a/platform_b selectors expand
+// into platform specs, and the legacy scenario fields fold into the
+// workload — so a legacy body and its spec spelling are one cache
+// entry. Partially-set legacy selectors and legacy fields set
+// alongside their spec forms are left in place for RunCrossover to
+// reject.
 func (r CrossoverRequest) Normalized() CrossoverRequest {
-	if r.Domain == "" {
+	r.Platforms = append([]PlatformSpec(nil), r.Platforms...)
+	if r.Domain == "" && (needsDomain(r.Platforms) || r.PlatformA != "" || r.PlatformB != "") {
 		r.Domain = "DNN"
 	}
-	if r.LifetimeYears == 0 {
-		r.LifetimeYears = 2
+	switch {
+	case len(r.Platforms) == 0 && r.PlatformA == "" && r.PlatformB == "":
+		r.Platforms = []PlatformSpec{{Domain: r.Domain, Kind: "fpga"}, {Domain: r.Domain, Kind: "asic"}}
+	case len(r.Platforms) == 0 && r.PlatformA != "" && r.PlatformB != "":
+		r.Platforms = []PlatformSpec{{Domain: r.Domain, Kind: r.PlatformA}, {Domain: r.Domain, Kind: r.PlatformB}}
+		r.PlatformA, r.PlatformB = "", ""
 	}
-	if r.NApps == 0 {
-		r.NApps = 5
+	if len(r.Platforms) > 0 {
+		r.Domain = specDomains(r.Platforms, r.Domain)
 	}
-	if r.Volume == 0 {
-		r.Volume = 1e6
+	if r.Workload == nil {
+		r.Workload = &WorkloadSpec{NApps: r.NApps, LifetimeYears: r.LifetimeYears, Volume: r.Volume}
+		r.NApps, r.LifetimeYears, r.Volume = 0, 0, 0
 	}
+	w := r.Workload.withUniformDefaults(5, 2, 1e6)
+	r.Workload = &w
 	if r.MaxApps == 0 {
 		r.MaxApps = 30
 	}
 	return r
 }
 
-// RunCrossover answers the three §4.2 crossover questions for a
-// domain, matching `greenfpga crossover` exactly. The optional
-// platform selectors swap the paper's FPGA/ASIC operands for any two
-// platforms of the domain's set, solved through the generalized
-// CrossoverBetween solvers.
-func RunCrossover(req CrossoverRequest) (*CrossoverResponse, error) {
+// RunCrossover answers the three §4.2 crossover questions between the
+// request's two platforms, matching `greenfpga crossover` exactly for
+// legacy bodies. Any two specs solve — domain-set members, catalog
+// devices, inline configs — through the generalized CrossoverBetween
+// solvers: the A2F solve reports the first N_app where the first
+// platform's total drops below the second's, and the F2A solves
+// report where the two totals meet.
+func (e *Evaluator) RunCrossover(req CrossoverRequest) (*CrossoverResponse, error) {
 	req = req.Normalized()
-	cs, d, err := compiledDomainSet(req.Domain)
+	if req.PlatformA != "" || req.PlatformB != "" {
+		if len(req.Platforms) > 0 {
+			return nil, &Error{Code: "invalid_request",
+				Message: "platform_a/platform_b are legacy sugar for platforms; use exactly one form"}
+		}
+		return nil, &Error{Code: "invalid_request",
+			Message: "platform_a and platform_b must be set together"}
+	}
+	if req.NApps != 0 || req.LifetimeYears != 0 || req.Volume != 0 {
+		return nil, &Error{Code: "invalid_request",
+			Message: "napps/lifetime_years/volume are legacy sugar for workload; use exactly one form"}
+	}
+	w, err := req.Workload.uniformArm("crossover")
 	if err != nil {
 		return nil, err
 	}
-	a, b := cs[0], cs[1] // the paper's FPGA-vs-ASIC default
-	resp := &CrossoverResponse{Domain: d.Name}
-	if req.PlatformA != "" || req.PlatformB != "" {
-		if req.PlatformA == "" || req.PlatformB == "" {
-			return nil, &Error{Code: "invalid_request",
-				Message: "platform_a and platform_b must be set together"}
-		}
-		if req.PlatformA == req.PlatformB {
-			return nil, &Error{Code: "invalid_request",
-				Message: fmt.Sprintf("cannot solve %q against itself", req.PlatformA)}
-		}
-		if a, err = setMember(cs, req.PlatformA); err != nil {
-			return nil, err
-		}
-		if b, err = setMember(cs, req.PlatformB); err != nil {
-			return nil, err
-		}
-		resp.PlatformA, resp.PlatformB = req.PlatformA, req.PlatformB
+	if len(req.Platforms) != 2 {
+		return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
+			"crossover solves between exactly two platforms, got %d", len(req.Platforms))}
 	}
-	n, found, err := core.CrossoverNumAppsBetween(a, b, units.YearsOf(req.LifetimeYears), req.Volume, 0, req.MaxApps)
+	cs, err := e.resolveAll(req.Platforms, req.Domain, "crossover", 2)
+	if err != nil {
+		return nil, err
+	}
+	a, b := cs[0], cs[1]
+	resp := &CrossoverResponse{Domain: req.Domain}
+	resp.PlatformA, resp.PlatformB = specEchoes(req.Platforms, req.Domain, cs)
+	n, found, err := core.CrossoverNumAppsBetween(a, b, units.YearsOf(w.LifetimeYears), w.Volume, w.SizeGates, req.MaxApps)
 	if err != nil {
 		return nil, err
 	}
 	if found {
 		resp.A2FNumApps = Solve{Found: true, Value: float64(n)}
 	}
-	t, found, err := core.CrossoverLifetimeBetween(a, b, req.NApps, req.Volume, 0, units.YearsOf(0.05), units.YearsOf(10))
+	t, found, err := core.CrossoverLifetimeBetween(a, b, w.NApps, w.Volume, w.SizeGates, units.YearsOf(0.05), units.YearsOf(10))
 	if err != nil {
 		return nil, err
 	}
 	if found {
 		resp.F2ALifetimeYears = Solve{Found: true, Value: t.Years()}
 	}
-	v, found, err := core.CrossoverVolumeBetween(a, b, req.NApps, units.YearsOf(req.LifetimeYears), 0, 1e2, 1e8)
+	v, found, err := core.CrossoverVolumeBetween(a, b, w.NApps, units.YearsOf(w.LifetimeYears), w.SizeGates, 1e2, 1e8)
 	if err != nil {
 		return nil, err
 	}
@@ -317,22 +349,33 @@ func RunCrossover(req CrossoverRequest) (*CrossoverResponse, error) {
 	return resp, nil
 }
 
+// RunCrossover runs the request through the package-level evaluator.
+func RunCrossover(req CrossoverRequest) (*CrossoverResponse, error) {
+	return defaultEvaluator.RunCrossover(req)
+}
+
 // Normalized fills the CLI defaults for a compare request (DNN
 // domain, full platform set, the §4.2 reference scenario, a
-// 12-application frontier).
+// 12-application frontier), expands an empty platform list into the
+// domain's explicit kind specs, and folds the legacy scenario fields
+// into the workload — one cache entry per semantic request.
 func (r CompareRequest) Normalized() CompareRequest {
-	if r.Domain == "" {
+	r.Platforms = append([]PlatformSpec(nil), r.Platforms...)
+	if r.Domain == "" && needsDomain(r.Platforms) {
 		r.Domain = "DNN"
 	}
-	if r.NApps == 0 {
-		r.NApps = 5
+	if len(r.Platforms) == 0 {
+		r.Platforms = domainKindSpecs(r.Domain)
 	}
-	if r.LifetimeYears == 0 {
-		r.LifetimeYears = 2
+	if len(r.Platforms) > 0 {
+		r.Domain = specDomains(r.Platforms, r.Domain)
 	}
-	if r.Volume == 0 {
-		r.Volume = 1e6
+	if r.Workload == nil {
+		r.Workload = &WorkloadSpec{NApps: r.NApps, LifetimeYears: r.LifetimeYears, Volume: r.Volume}
+		r.NApps, r.LifetimeYears, r.Volume = 0, 0, 0
 	}
+	w := r.Workload.withUniformDefaults(5, 2, 1e6)
+	r.Workload = &w
 	if r.MaxApps == 0 {
 		r.MaxApps = 12
 	}
@@ -343,15 +386,23 @@ func (r CompareRequest) Normalized() CompareRequest {
 // the same reason as MaxSweepPoints.
 const MaxCompareApps = 10_000
 
-// RunCompare evaluates N platforms of a domain set on a shared
-// uniform scenario: per-platform assessments, pairwise total ratios,
-// the minimum-CFP winner, and the winner per application count up to
-// MaxApps. It matches `greenfpga compare -json` exactly.
-func RunCompare(req CompareRequest) (*CompareResponse, error) {
+// RunCompare evaluates N platforms on a shared uniform scenario:
+// per-platform assessments, pairwise total ratios, the minimum-CFP
+// winner, and the winner per application count up to MaxApps. It
+// matches `greenfpga compare -json` exactly.
+func (e *Evaluator) RunCompare(req CompareRequest) (*CompareResponse, error) {
 	req = req.Normalized()
-	if req.NApps < 1 {
+	if req.NApps != 0 || req.LifetimeYears != 0 || req.Volume != 0 {
 		return nil, &Error{Code: "invalid_request",
-			Message: fmt.Sprintf("napps must be >= 1, got %d", req.NApps)}
+			Message: "napps/lifetime_years/volume are legacy sugar for workload; use exactly one form"}
+	}
+	w, err := req.Workload.uniformArm("compare")
+	if err != nil {
+		return nil, err
+	}
+	if w.NApps < 1 {
+		return nil, &Error{Code: "invalid_request",
+			Message: fmt.Sprintf("napps must be >= 1, got %d", w.NApps)}
 	}
 	if req.MaxApps < 1 {
 		return nil, &Error{Code: "invalid_request",
@@ -361,21 +412,18 @@ func RunCompare(req CompareRequest) (*CompareResponse, error) {
 		return nil, &Error{Code: "invalid_request",
 			Message: fmt.Sprintf("%d frontier points exceeds the %d limit", req.MaxApps, MaxCompareApps)}
 	}
-	cs, d, err := compiledDomainSet(req.Domain)
+	cs, err := e.resolveAll(req.Platforms, req.Domain, "compare", 2)
 	if err != nil {
 		return nil, err
 	}
-	if cs, err = selectPlatforms(cs, req.Platforms, "compare"); err != nil {
-		return nil, err
-	}
 
-	sc, err := cs.CompareUniform(req.NApps, units.YearsOf(req.LifetimeYears), req.Volume, 0)
+	sc, err := cs.CompareUniform(w.NApps, units.YearsOf(w.LifetimeYears), w.Volume, w.SizeGates)
 	if err != nil {
 		return nil, err
 	}
 	resp := &CompareResponse{
-		Domain: d.Name, NApps: req.NApps,
-		LifetimeYears: req.LifetimeYears, Volume: req.Volume,
+		Domain: req.Domain, NApps: w.NApps,
+		LifetimeYears: w.LifetimeYears, Volume: w.Volume,
 		Winner: sc.WinnerAssessment().Platform,
 	}
 	for _, a := range sc.Assessments {
@@ -383,7 +431,7 @@ func RunCompare(req CompareRequest) (*CompareResponse, error) {
 	}
 	resp.Ratios = pairRatios(sc.Assessments, sc.Ratios)
 	for n := 1; n <= req.MaxApps; n++ {
-		fsc, err := cs.CompareUniform(n, units.YearsOf(req.LifetimeYears), req.Volume, 0)
+		fsc, err := cs.CompareUniform(n, units.YearsOf(w.LifetimeYears), w.Volume, w.SizeGates)
 		if err != nil {
 			return nil, err
 		}
@@ -395,66 +443,47 @@ func RunCompare(req CompareRequest) (*CompareResponse, error) {
 	return resp, nil
 }
 
-// Normalized fills the CLI defaults for a timeline request and
-// expands the staggered-arrival generator shorthand into explicit
-// deployments, so a shorthand body and its spelled-out equivalent are
-// one cache entry. Explicit deployments win over the generator fields,
-// which are cleared either way; empty deployment names become "app1",
-// "app2", ... in timeline order.
+// RunCompare runs the request through the package-level evaluator.
+func RunCompare(req CompareRequest) (*CompareResponse, error) {
+	return defaultEvaluator.RunCompare(req)
+}
+
+// Normalized fills the CLI defaults for a timeline request, expands
+// the platform list and the generator shorthand, folds the legacy
+// timeline fields into the workload, and distributes a request-level
+// chip-lifetime cap onto each platform spec's override — so a
+// shorthand body and its spelled-out spec equivalent are one cache
+// entry.
 func (r TimelineRequest) Normalized() TimelineRequest {
-	if r.Domain == "" {
+	r.Platforms = append([]PlatformSpec(nil), r.Platforms...)
+	if r.Domain == "" && needsDomain(r.Platforms) {
 		r.Domain = "DNN"
 	}
-	if r.Sizing == "" {
-		r.Sizing = string(core.SizeShared)
+	if len(r.Platforms) == 0 {
+		r.Platforms = domainKindSpecs(r.Domain)
 	}
-	switch {
-	case len(r.Deployments) == 0 && r.NApps >= 0:
-		n := r.NApps
-		if n == 0 {
-			n = 5
-		}
-		// Expansion is bounded regardless of the requested count: one
-		// entry past the limit is enough for RunTimeline to reject the
-		// request, and a 2e9-app body must not allocate 2e9 structs
-		// here (normalization runs before any cap check).
-		if n > MaxTimelineDeployments {
-			n = MaxTimelineDeployments + 1
-		}
-		interval := r.IntervalYears
-		if interval == 0 {
-			interval = 0.5
-		}
-		lifetime := r.LifetimeYears
-		if lifetime == 0 {
-			lifetime = 2
-		}
-		volume := r.Volume
-		if volume == 0 {
-			volume = 1e6
-		}
-		for i := 0; i < n; i++ {
-			r.Deployments = append(r.Deployments, TimelineDeployment{
-				StartYears:    float64(i) * interval,
-				LifetimeYears: lifetime,
-				Volume:        volume,
-			})
-		}
-		r.NApps, r.IntervalYears, r.LifetimeYears, r.Volume = 0, 0, 0, 0
-	case len(r.Deployments) > 0:
-		// Explicit deployments win over the generator fields. The copy
-		// keeps re-normalizing from sharing the input's backing array.
-		r.Deployments = append([]TimelineDeployment(nil), r.Deployments...)
-		r.NApps, r.IntervalYears, r.LifetimeYears, r.Volume = 0, 0, 0, 0
-	default:
-		// Negative NApps is preserved un-expanded so RunTimeline can
-		// reject it like RunCompare does, rather than silently serving
-		// the default timeline for a client typo.
+	if len(r.Platforms) > 0 {
+		r.Domain = specDomains(r.Platforms, r.Domain)
 	}
-	for i := range r.Deployments {
-		if r.Deployments[i].Name == "" {
-			r.Deployments[i].Name = fmt.Sprintf("app%d", i+1)
+	if r.Workload == nil {
+		r.Workload = &WorkloadSpec{
+			NApps: r.NApps, IntervalYears: r.IntervalYears,
+			LifetimeYears: r.LifetimeYears, Volume: r.Volume,
+			Deployments: r.Deployments, Sizing: r.Sizing,
 		}
+		r.Deployments, r.NApps, r.IntervalYears, r.LifetimeYears, r.Volume, r.Sizing =
+			nil, 0, 0, 0, 0, ""
+	}
+	if w, err := r.Workload.normalizedTimeline(); err == nil {
+		r.Workload = &w
+	}
+	if r.ChipLifetimeYears > 0 {
+		for i := range r.Platforms {
+			if r.Platforms[i].ChipLifetimeYears == 0 {
+				r.Platforms[i].ChipLifetimeYears = r.ChipLifetimeYears
+			}
+		}
+		r.ChipLifetimeYears = 0
 	}
 	return r
 }
@@ -462,23 +491,6 @@ func (r TimelineRequest) Normalized() TimelineRequest {
 // MaxTimelineDeployments bounds one timeline's deployment count, for
 // the same reason as MaxSweepPoints.
 const MaxTimelineDeployments = 10_000
-
-// schedule materializes the request's core.Schedule.
-func (r TimelineRequest) schedule() core.Schedule {
-	sch := core.Schedule{Name: r.Domain + "-timeline", Sizing: core.FleetSizing(r.Sizing)}
-	for _, d := range r.Deployments {
-		sch.Deployments = append(sch.Deployments, core.Deployment{
-			App: core.Application{
-				Name:      d.Name,
-				Lifetime:  units.YearsOf(d.LifetimeYears),
-				Volume:    d.Volume,
-				SizeGates: d.SizeGates,
-			},
-			Start: units.YearsOf(d.StartYears),
-		})
-	}
-	return sch
-}
 
 // sequentialized re-packs the schedule's deployments back to back in
 // arrival order — the legacy Eqs. 1–2 assumption — for the
@@ -497,17 +509,28 @@ func sequentialized(sch core.Schedule) core.Schedule {
 }
 
 // RunTimeline evaluates a time-phased deployment schedule on N
-// platforms of a domain set: per-platform assessments with fleet,
-// refresh and concurrency quantities, pairwise ratios, the winner, and
-// a sequential-accounting contrast per platform. It matches `greenfpga
-// timeline -json` exactly.
-func RunTimeline(req TimelineRequest) (*TimelineResponse, error) {
+// platforms: per-platform assessments with fleet, refresh and
+// concurrency quantities, pairwise ratios, the winner, and a
+// sequential-accounting contrast per platform. It matches `greenfpga
+// timeline -json` exactly. Chip-lifetime caps ride on the platform
+// specs, so capped platforms are compiled once and content-addressed
+// like any other spec instead of recompiled per request.
+func (e *Evaluator) RunTimeline(req TimelineRequest) (*TimelineResponse, error) {
 	req = req.Normalized()
-	if req.NApps < 0 {
+	if len(req.Deployments) > 0 || req.NApps != 0 || req.IntervalYears != 0 ||
+		req.LifetimeYears != 0 || req.Volume != 0 || req.Sizing != "" {
 		return nil, &Error{Code: "invalid_request",
-			Message: fmt.Sprintf("napps must be >= 1, got %d", req.NApps)}
+			Message: "deployments/napps/interval_years/lifetime_years/volume/sizing are legacy sugar for workload; use exactly one form"}
 	}
-	if len(req.Deployments) > MaxTimelineDeployments {
+	w, err := req.Workload.normalizedTimeline()
+	if err != nil {
+		return nil, err
+	}
+	if w.NApps < 0 {
+		return nil, &Error{Code: "invalid_request",
+			Message: fmt.Sprintf("napps must be >= 1, got %d", w.NApps)}
+	}
+	if len(w.Deployments) > MaxTimelineDeployments {
 		return nil, &Error{Code: "invalid_request",
 			Message: fmt.Sprintf("more than %d deployments exceeds the limit", MaxTimelineDeployments)}
 	}
@@ -515,52 +538,24 @@ func RunTimeline(req TimelineRequest) (*TimelineResponse, error) {
 		return nil, &Error{Code: "invalid_request",
 			Message: fmt.Sprintf("negative chip lifetime %g", req.ChipLifetimeYears)}
 	}
-
-	var cs core.CompiledSet
-	var d isoperf.Domain
-	var err error
-	if req.ChipLifetimeYears == 0 {
-		cs, d, err = compiledDomainSet(req.Domain)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		// A refresh cap changes every platform, so the memoized
-		// compilations do not apply; compile a capped set per request
-		// (the result cache absorbs repeats).
-		d, err = isoperf.ByName(req.Domain)
-		if err != nil {
-			return nil, err
-		}
-		set, err := d.Set()
-		if err != nil {
-			return nil, err
-		}
-		for i := range set {
-			set[i].ChipLifetime = units.YearsOf(req.ChipLifetimeYears)
-		}
-		cs, err = set.Compile()
-		if err != nil {
-			return nil, err
-		}
-	}
-	if cs, err = selectPlatforms(cs, req.Platforms, "timeline"); err != nil {
+	cs, err := e.resolveAll(req.Platforms, req.Domain, "timeline", 2)
+	if err != nil {
 		return nil, err
 	}
 
-	sch := req.schedule()
+	sch := w.schedule(req.Domain + "-timeline")
 	sc, err := cs.CompareSchedule(sch)
 	if err != nil {
 		return nil, ToError(err)
 	}
 	seq := sequentialized(sch)
 	resp := &TimelineResponse{
-		Domain:              d.Name,
-		Sizing:              req.Sizing,
+		Domain:              req.Domain,
+		Sizing:              w.Sizing,
 		SpanYears:           sc.Span.Years(),
 		SequentialSpanYears: seq.Span().Years(),
 		PeakConcurrent:      sc.PeakConcurrent,
-		Deployments:         req.Deployments,
+		Deployments:         w.Deployments,
 		Winner:              sc.WinnerAssessment().Platform,
 	}
 	plain := make([]core.Assessment, len(sc.Assessments))
@@ -580,12 +575,25 @@ func RunTimeline(req TimelineRequest) (*TimelineResponse, error) {
 	return resp, nil
 }
 
-// Normalized fills the per-axis CLI defaults, so bodies that spell
-// the defaults out and bodies that omit them are one cache entry.
+// RunTimeline runs the request through the package-level evaluator.
+func RunTimeline(req TimelineRequest) (*TimelineResponse, error) {
+	return defaultEvaluator.RunTimeline(req)
+}
+
+// Normalized fills the per-axis CLI defaults, expands an empty
+// platform list into the legacy {domain fpga, domain asic} pair, and
+// canonicalizes the off-axis workload (the swept axis's own field is
+// zeroed — its value comes from the axis), so bodies that spell the
+// defaults out and bodies that omit them are one cache entry.
 func (r SweepRequest) Normalized() SweepRequest {
-	if r.Domain == "" {
+	r.Platforms = append([]PlatformSpec(nil), r.Platforms...)
+	if r.Domain == "" && needsDomain(r.Platforms) {
 		r.Domain = "DNN"
 	}
+	if len(r.Platforms) == 0 {
+		r.Platforms = []PlatformSpec{{Domain: r.Domain, Kind: "fpga"}, {Domain: r.Domain, Kind: "asic"}}
+	}
+	r.Domain = specDomains(r.Platforms, r.Domain)
 	if r.Axis == "" {
 		r.Axis = "napps"
 	}
@@ -620,6 +628,19 @@ func (r SweepRequest) Normalized() SweepRequest {
 			r.Points = 13
 		}
 	}
+	if r.Workload == nil {
+		r.Workload = &WorkloadSpec{}
+	}
+	w := r.Workload.withUniformDefaults(5, 2, 1e6)
+	switch r.Axis {
+	case "napps":
+		w.NApps = 0
+	case "lifetime":
+		w.LifetimeYears = 0
+	case "volume":
+		w.Volume = 0
+	}
+	r.Workload = &w
 	return r
 }
 
@@ -652,21 +673,36 @@ func (r SweepRequest) SweepAxis() (sweep.Axis, error) {
 	}
 }
 
-// RunSweep runs a 1-D sweep over a domain pair, matching `greenfpga
-// sweep` exactly. Off-axis parameters stay at the CLI defaults
-// (5 applications, 2-year lifetime, 1e6 volume).
-func RunSweep(req SweepRequest) (*SweepResponse, error) {
+// legacyPairShape reports the paper's sweep shape — exactly the
+// request domain's plain FPGA and ASIC members — which keeps the
+// dedicated fpga_kg/asic_kg/ratio response fields; any other platform
+// set carries per-platform totals instead.
+func (r SweepRequest) legacyPairShape() bool {
+	return len(r.Platforms) == 2 && r.Domain != "" &&
+		r.Platforms[0].isPlainKind(r.Domain, "fpga") &&
+		r.Platforms[1].isPlainKind(r.Domain, "asic")
+}
+
+// RunSweep runs a 1-D sweep over the request's platform set, matching
+// `greenfpga sweep` exactly for the legacy domain-pair shape.
+// Off-axis parameters come from the workload (CLI defaults:
+// 5 applications, 2-year lifetime, 1e6 volume).
+func (e *Evaluator) RunSweep(req SweepRequest) (*SweepResponse, error) {
 	req = req.Normalized()
 	ax, err := req.SweepAxis()
 	if err != nil {
 		return nil, err
 	}
-	cp, d, err := compiledDomain(req.Domain)
+	w, err := req.Workload.uniformArm("sweep")
 	if err != nil {
 		return nil, err
 	}
-	eval := func(x float64) (units.Mass, units.Mass, error) {
-		nApps, tY, v := 5, 2.0, 1e6
+	cs, err := e.resolveAll(req.Platforms, req.Domain, "sweep", 1)
+	if err != nil {
+		return nil, err
+	}
+	eval := func(x float64, totals []units.Mass) error {
+		nApps, tY, v := w.NApps, w.LifetimeYears, w.Volume
 		switch req.Axis {
 		case "napps":
 			nApps = int(x + 0.5)
@@ -675,55 +711,131 @@ func RunSweep(req SweepRequest) (*SweepResponse, error) {
 		case "volume":
 			v = x
 		}
-		c, err := cp.CompareUniform(nApps, units.YearsOf(tY), v, 0)
-		if err != nil {
-			return 0, 0, err
+		for i, c := range cs {
+			m, err := c.UniformTotal(nApps, units.YearsOf(tY), v, w.SizeGates)
+			if err != nil {
+				return err
+			}
+			totals[i] = m
 		}
-		return c.FPGA.Total(), c.ASIC.Total(), nil
+		return nil
 	}
-	pts, err := sweep.Run1D(ax, eval)
+	pts, err := sweep.RunN(ax, len(cs), eval)
 	if err != nil {
 		return nil, err
 	}
-	resp := &SweepResponse{Domain: d.Name, Axis: req.Axis, Points: make([]SweepPoint, len(pts))}
-	for i, p := range pts {
-		resp.Points[i] = SweepPoint{
-			X: p.X, FPGAKg: p.FPGA.Kilograms(), ASICKg: p.ASIC.Kilograms(), Ratio: p.Ratio,
+	resp := &SweepResponse{Domain: req.Domain, Axis: req.Axis, Points: make([]SweepPoint, len(pts))}
+	if req.legacyPairShape() {
+		for i, p := range pts {
+			f, a := p.Totals[0], p.Totals[1]
+			ratio := math.Inf(1)
+			if a != 0 {
+				ratio = f.Kilograms() / a.Kilograms()
+			}
+			resp.Points[i] = SweepPoint{
+				X: p.X, FPGAKg: f.Kilograms(), ASICKg: a.Kilograms(), Ratio: ratio,
+			}
 		}
+		return resp, nil
+	}
+	for _, c := range cs {
+		resp.Platforms = append(resp.Platforms, c.Platform().Spec.Name)
+	}
+	for i, p := range pts {
+		totals := make([]float64, len(p.Totals))
+		for j, m := range p.Totals {
+			totals[j] = m.Kilograms()
+		}
+		resp.Points[i] = SweepPoint{X: p.X, TotalsKg: totals}
 	}
 	return resp, nil
 }
 
+// RunSweep runs the request through the package-level evaluator.
+func RunSweep(req SweepRequest) (*SweepResponse, error) {
+	return defaultEvaluator.RunSweep(req)
+}
+
 // Normalized fills the CLI defaults (2000 samples, seed 1, 5 apps,
-// DNN domain).
+// DNN domain, FPGA-vs-ASIC pair) and expands the legacy fields into
+// the spec form.
 func (r MonteCarloRequest) Normalized() MonteCarloRequest {
-	if r.Domain == "" {
+	r.Platforms = append([]PlatformSpec(nil), r.Platforms...)
+	if r.Domain == "" && needsDomain(r.Platforms) {
 		r.Domain = "DNN"
 	}
+	if len(r.Platforms) == 0 {
+		r.Platforms = []PlatformSpec{{Domain: r.Domain, Kind: "fpga"}, {Domain: r.Domain, Kind: "asic"}}
+	}
+	r.Domain = specDomains(r.Platforms, r.Domain)
 	if r.Samples == 0 {
 		r.Samples = 2000
 	}
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
-	if r.NApps == 0 {
-		r.NApps = 5
+	if r.Workload == nil {
+		r.Workload = &WorkloadSpec{NApps: r.NApps}
+		r.NApps = 0
 	}
+	w := r.Workload.withUniformDefaults(5, 0, 0)
+	r.Workload = &w
 	return r
 }
 
-// RunMonteCarlo propagates the Table 1 uncertainty ranges through a
-// domain pair's FPGA:ASIC ratio, matching `greenfpga mc` exactly.
-func RunMonteCarlo(req MonteCarloRequest) (*MonteCarloResponse, error) {
+// RunMonteCarlo propagates the Table 1 uncertainty ranges through the
+// CFP ratio of two platforms of one domain set, matching `greenfpga
+// mc` exactly for the legacy FPGA:ASIC shape. Because the draws
+// perturb the domain calibration itself (duty cycle, design staffing,
+// the FPGA app-dev flow), the platforms must be plain kind selectors
+// of a single domain.
+func (e *Evaluator) RunMonteCarlo(req MonteCarloRequest) (*MonteCarloResponse, error) {
 	req = req.Normalized()
+	if req.NApps != 0 {
+		return nil, &Error{Code: "invalid_request",
+			Message: "napps is legacy sugar for workload; use exactly one form"}
+	}
+	w, err := req.Workload.uniformArm("mc")
+	if err != nil {
+		return nil, err
+	}
+	if w.LifetimeYears != 0 || w.Volume != 0 || w.SizeGates != 0 {
+		return nil, &Error{Code: "invalid_request",
+			Message: "mc draws the application lifetime from Table 1 and fixes the reference volume; the workload sets napps only"}
+	}
 	if req.Samples > MaxMonteCarloSamples {
 		return nil, fmt.Errorf("%d samples exceeds the %d limit", req.Samples, MaxMonteCarloSamples)
+	}
+	if len(req.Platforms) != 2 {
+		return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
+			"mc studies the ratio of exactly two platforms, got %d", len(req.Platforms))}
+	}
+	for _, sp := range req.Platforms {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		if sp.Kind == "" || sp.hasOverrides() {
+			return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
+				"mc draws Table 1 ranges around a domain calibration; platform %s must be a plain domain kind (fpga, asic, gpu, cpu)",
+				sp.describe())}
+		}
+	}
+	a, b := req.Platforms[0], req.Platforms[1]
+	if a.Kind == b.Kind {
+		return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
+			"cannot study %q against itself", a.Kind)}
+	}
+	if req.Domain == "" {
+		return nil, &Error{Code: "invalid_request",
+			Message: "mc platforms must share one domain calibration"}
 	}
 	d, err := isoperf.ByName(req.Domain)
 	if err != nil {
 		return nil, err
 	}
-	res, err := greenfpga.DomainRatioStudy(d, req.NApps, req.Samples, req.Seed)
+	res, err := greenfpga.DomainRatioStudyBetween(d,
+		greenfpga.DeviceKind(a.Kind), greenfpga.DeviceKind(b.Kind),
+		w.NApps, req.Samples, req.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -734,7 +846,7 @@ func RunMonteCarlo(req MonteCarloRequest) (*MonteCarloResponse, error) {
 		}
 	}
 	resp := &MonteCarloResponse{
-		Domain: d.Name, Samples: req.Samples, Seed: req.Seed, NApps: req.NApps,
+		Domain: d.Name, Samples: req.Samples, Seed: req.Seed, NApps: w.NApps,
 		Mean: res.Mean, StdDev: res.StdDev,
 		Percentiles: Percentiles{
 			P5:  res.Percentile(5),
@@ -745,10 +857,18 @@ func RunMonteCarlo(req MonteCarloRequest) (*MonteCarloResponse, error) {
 		},
 		ProbFPGAWins: float64(wins) / float64(len(res.Samples)),
 	}
+	if !(a.isPlainKind(req.Domain, "fpga") && b.isPlainKind(req.Domain, "asic")) {
+		resp.PlatformA, resp.PlatformB = a.Kind, b.Kind
+	}
 	for _, s := range res.Tornado {
 		resp.Tornado = append(resp.Tornado, TornadoEntry{Param: s.Param, Swing: s.Swing()})
 	}
 	return resp, nil
+}
+
+// RunMonteCarlo runs the request through the package-level evaluator.
+func RunMonteCarlo(req MonteCarloRequest) (*MonteCarloResponse, error) {
+	return defaultEvaluator.RunMonteCarlo(req)
 }
 
 // Devices returns the Table 3 catalog in JSON form.

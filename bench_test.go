@@ -556,3 +556,29 @@ func BenchmarkBatchEvaluate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkResolveSpecs measures the unified request model's
+// resolution layer: one four-spec platform set — a plain domain
+// member, a kind spec with a chip-lifetime override, a catalog
+// device, an inline config — resolved through the Evaluator's
+// compiled-platform cache (warm: every spec after the first pass is a
+// content-address lookup, the plain member a memoized set lookup).
+func BenchmarkResolveSpecs(b *testing.B) {
+	e := api.NewEvaluator(64)
+	specs := []api.PlatformSpec{
+		{Domain: "DNN", Kind: "fpga"},
+		{Domain: "DNN", Kind: "asic", ChipLifetimeYears: 8},
+		{Device: "IndustryFPGA1"},
+		{Config: &api.PlatformConfig{Device: "IndustryASIC1", DutyCycle: 0.3}},
+	}
+	if _, err := e.ResolveSet(specs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ResolveSet(specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -132,6 +132,28 @@ func TestRoundTrip(t *testing.T) {
 		t.Errorf("mc: %+v", mc)
 	}
 
+	// Spec-form requests travel the same typed surface: a platform-set
+	// sweep comes back with per-platform totals, and a GPU-vs-FPGA
+	// uncertainty study echoes its pair.
+	setSweep, err := c.Sweep(ctx, api.SweepRequest{
+		Axis: "napps", To: 3, Platforms: api.KindSpecs("gpu", "cpu"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(setSweep.Platforms) != 2 || len(setSweep.Points) != 3 || len(setSweep.Points[0].TotalsKg) != 2 {
+		t.Errorf("spec sweep: %+v", setSweep)
+	}
+	gpuMC, err := c.MonteCarlo(ctx, api.MonteCarloRequest{
+		Samples: 40, Platforms: api.KindSpecs("gpu", "fpga"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpuMC.PlatformA != "gpu" || gpuMC.PlatformB != "fpga" {
+		t.Errorf("spec mc echoes: %+v", gpuMC)
+	}
+
 	metrics, err := c.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"greenfpga"
 	"greenfpga/api"
@@ -136,7 +137,7 @@ func cmdCrossover(args []string) error {
 		return api.WriteJSON(os.Stdout, resp)
 	}
 	fmt.Printf("domain %s (T=%gy, N=%d, V=%g where fixed)\n",
-		resp.Domain, req.LifetimeYears, req.NApps, req.Volume)
+		resp.Domain, req.Workload.LifetimeYears, req.Workload.NApps, req.Workload.Volume)
 	if s := resp.A2FNumApps; s.Found {
 		n := int(s.Value)
 		fmt.Printf("  A2F at N_app = %d (FPGA wins from %d applications)\n", n, n)
@@ -156,6 +157,23 @@ func cmdCrossover(args []string) error {
 	return nil
 }
 
+// platformSpecArgs parses a -platforms flag value into specs: known
+// platform kinds become domain-set selectors, anything else a catalog
+// device selector. Empty entries are usage mistakes (exit 2).
+func platformSpecArgs(list string) ([]api.PlatformSpec, error) {
+	if list == "" {
+		return nil, nil
+	}
+	tokens := strings.Split(list, ",")
+	for i, t := range tokens {
+		tokens[i] = strings.TrimSpace(t)
+		if tokens[i] == "" {
+			return nil, usagef("empty platform in -platforms %q", list)
+		}
+	}
+	return api.PlatformSpecs(tokens), nil
+}
+
 // cmdSweep runs a 1-D sweep through the shared api compute path (so
 // its numbers match /v1/sweep exactly) and charts it.
 func cmdSweep(args []string) error {
@@ -165,6 +183,7 @@ func cmdSweep(args []string) error {
 	from := fs.Float64("from", 0, "axis start (defaults per axis)")
 	to := fs.Float64("to", 0, "axis end (defaults per axis)")
 	points := fs.Int("points", 0, "sample count (defaults per axis)")
+	platforms := fs.String("platforms", "", "comma-separated platforms to sweep: kinds (fpga,asic,gpu,cpu) or catalog device names (default: the domain's fpga,asic pair)")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of a chart")
 	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/sweep)")
 	if err := parseFlags(fs, args); err != nil {
@@ -172,7 +191,13 @@ func cmdSweep(args []string) error {
 	}
 	req := api.SweepRequest{
 		Domain: *domain, Axis: *axis, From: *from, To: *to, Points: *points,
-	}.Normalized()
+	}
+	specs, err := platformSpecArgs(*platforms)
+	if err != nil {
+		return err
+	}
+	req.Platforms = specs
+	req = req.Normalized()
 	resp, err := api.RunSweep(req)
 	if err != nil {
 		return err
@@ -186,6 +211,40 @@ func cmdSweep(args []string) error {
 		return api.WriteJSON(os.Stdout, resp)
 	}
 	const kgPerKt = 1e6
+	if len(resp.Platforms) > 0 {
+		// Spec-selected platform sets carry per-platform totals.
+		if *csvOut {
+			cols := append([]string{axisName}, resp.Platforms...)
+			t := report.NewTable("", cols...)
+			for _, p := range resp.Points {
+				row := []string{fmt.Sprintf("%g", p.X)}
+				for _, kg := range p.TotalsKg {
+					row = append(row, fmt.Sprintf("%.3f", kg/kgPerKt))
+				}
+				t.AddRow(row...)
+			}
+			return t.WriteCSV(os.Stdout)
+		}
+		xs := make([]float64, len(resp.Points))
+		ys := make([][]float64, len(resp.Platforms))
+		for j := range ys {
+			ys[j] = make([]float64, len(resp.Points))
+		}
+		for i, p := range resp.Points {
+			xs[i] = p.X
+			for j, kg := range p.TotalsKg {
+				ys[j][i] = kg / kgPerKt
+			}
+		}
+		series := make([]report.Series, len(resp.Platforms))
+		for j, name := range resp.Platforms {
+			series[j] = report.Series{Name: name, X: xs, Y: ys[j]}
+		}
+		return report.LineChart(os.Stdout, report.ChartOptions{
+			Title:  fmt.Sprintf("%d-platform sweep: CFP vs %s", len(resp.Platforms), axisName),
+			XLabel: axisName, YLabel: "total CFP [ktCO2e]", LogX: logX,
+		}, series...)
+	}
 	if *csvOut {
 		t := report.NewTable("", axisName, "FPGA [kt]", "ASIC [kt]", "ratio")
 		for _, p := range resp.Points {
@@ -285,21 +344,32 @@ func cmdMC(args []string) error {
 	samples := fs.Int("samples", 2000, "Monte-Carlo samples")
 	seed := fs.Int64("seed", 1, "random seed")
 	napps := fs.Int("napps", 5, "application count")
+	platforms := fs.String("platforms", "", "two comma-separated platform kinds of the domain set (fpga,asic,gpu,cpu; default fpga,asic)")
 	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/mc)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	resp, err := api.RunMonteCarlo(api.MonteCarloRequest{
+	req := api.MonteCarloRequest{
 		Domain: *domain, Samples: *samples, Seed: *seed, NApps: *napps,
-	})
+	}
+	specs, err := platformSpecArgs(*platforms)
+	if err != nil {
+		return err
+	}
+	req.Platforms = specs
+	resp, err := api.RunMonteCarlo(req)
 	if err != nil {
 		return err
 	}
 	if *jsonOut {
 		return api.WriteJSON(os.Stdout, resp)
 	}
-	fmt.Printf("FPGA:ASIC CFP ratio for %s over Table 1 parameter ranges (%d samples, N=%d apps)\n",
-		resp.Domain, resp.Samples, resp.NApps)
+	labelA, labelB := "FPGA", "ASIC"
+	if resp.PlatformA != "" {
+		labelA, labelB = strings.ToUpper(resp.PlatformA), strings.ToUpper(resp.PlatformB)
+	}
+	fmt.Printf("%s:%s CFP ratio for %s over Table 1 parameter ranges (%d samples, N=%d apps)\n",
+		labelA, labelB, resp.Domain, resp.Samples, resp.NApps)
 	fmt.Printf("  mean %.3f  stddev %.3f\n", resp.Mean, resp.StdDev)
 	pct := resp.Percentiles
 	for _, p := range []struct {
@@ -308,7 +378,7 @@ func cmdMC(args []string) error {
 	}{{"5", pct.P5}, {"25", pct.P25}, {"50", pct.P50}, {"75", pct.P75}, {"95", pct.P95}} {
 		fmt.Printf("  p%-3s %.3f\n", p.label, p.v)
 	}
-	fmt.Printf("  P(FPGA wins) = %.1f%%\n", resp.ProbFPGAWins*100)
+	fmt.Printf("  P(%s wins) = %.1f%%\n", labelA, resp.ProbFPGAWins*100)
 	fmt.Println("  tornado (|output swing| per parameter, 10th-90th percentile):")
 	for _, e := range resp.Tornado {
 		fmt.Printf("    %-22s %.4f\n", e.Param, e.Swing)

@@ -147,7 +147,7 @@ func cmdCompare(args []string) error {
 	fpgaName := fs.String("fpga", "IndustryFPGA1", "catalog FPGA (catalog head-to-head mode)")
 	asicName := fs.String("asic", "IndustryASIC1", "catalog ASIC (catalog head-to-head mode)")
 	domain := fs.String("domain", "", "iso-performance domain set (DNN, ImgProc, Crypto; default DNN)")
-	platforms := fs.String("platforms", "", "comma-separated platform kinds to compare (fpga,asic,gpu,cpu; default all)")
+	platforms := fs.String("platforms", "", "comma-separated platforms to compare: kinds (fpga,asic,gpu,cpu) or catalog device names (default: the domain's full set)")
 	napps := fs.Int("napps", 0, "number of sequential applications (default 3 catalog / 5 domain)")
 	lifetime := fs.Float64("lifetime", 2, "application lifetime in years")
 	volume := fs.Float64("volume", 1e6, "application volume")
@@ -250,9 +250,11 @@ func runSetCompare(domain, platforms string, napps int, lifetime, volume float64
 		Domain: domain, NApps: napps,
 		LifetimeYears: lifetime, Volume: volume, MaxApps: maxapps,
 	}
-	if platforms != "" {
-		req.Platforms = strings.Split(platforms, ",")
+	specs, err := platformSpecArgs(platforms)
+	if err != nil {
+		return err
 	}
+	req.Platforms = specs
 	req = req.Normalized()
 	resp, err := api.RunCompare(req)
 	if err != nil {

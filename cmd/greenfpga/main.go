@@ -143,17 +143,19 @@ commands:
   devices [-json]                 print the industry device catalog (Table 3)
   domains [-json]                 print the iso-performance testcases (Table 2)
   kernels                         list the workload kernel library
-  compare [-domain <name>]        N-platform domain-set comparison (FPGA, ASIC,
-                                  GPU, CPU); -fpga/-asic selects the catalog
-                                  head-to-head instead
+  compare [-domain <name>]        N-platform comparison; -platforms mixes kinds
+                                  and catalog devices, -fpga/-asic selects the
+                                  catalog head-to-head instead
   crossover -domain <name>        solve the A2F/F2A crossover points
-  sweep -domain <name> -axis <a>  run a 1-D sweep (axes: napps, lifetime, volume)
+  sweep -domain <name> -axis <a>  run a 1-D sweep (axes: napps, lifetime, volume);
+                                  -platforms sweeps any kind/device set
   timeline [-domain <name>]       evaluate a time-phased deployment schedule
                                   (staggered arrivals, refresh policy, fleet sizing)
   run -config <file.json>         evaluate a custom scenario
   plan -config <file.json>        optimize a portfolio across FPGA fleet and ASICs
   dse -kernel <name>              carbon-aware design-space exploration
-  mc -domain <name>               Monte-Carlo uncertainty over Table 1 ranges
+  mc -domain <name>               Monte-Carlo uncertainty over Table 1 ranges;
+                                  -platforms picks the studied kind pair
   wafer [-device <name>]          wafer-level manufacturing economics
   serve [-addr host:port]         HTTP evaluation service (/v1/..., /healthz, /metrics)
   validate -config <file.json>    check a scenario JSON

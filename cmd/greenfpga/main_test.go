@@ -268,6 +268,102 @@ func TestCmdSweep(t *testing.T) {
 	}
 }
 
+// TestCmdSweepPlatforms covers the -platforms spec wiring: kind lists
+// and catalog device names sweep any platform set, the -json document
+// is exactly the api (and therefore server) response, and empty list
+// entries are usage errors (exit 2).
+func TestCmdSweepPlatforms(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdSweep([]string{"-platforms", "gpu,cpu", "-to", "3", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := api.SweepRequest{Domain: "DNN", Axis: "napps", To: 3,
+		Platforms: api.PlatformSpecs([]string{"gpu", "cpu"})}.Normalized()
+	want, err := api.RunSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf.String() {
+		t.Errorf("sweep -platforms -json differs from the api document:\n%q\nvs\n%q", out, buf.String())
+	}
+	// Catalog device names become device specs; the chart carries one
+	// series per platform.
+	out, err = captureStdout(t, func() error {
+		return cmdSweep([]string{"-platforms", "IndustryFPGA1,IndustryASIC1", "-to", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IndustryFPGA1") || !strings.Contains(out, "IndustryASIC1") {
+		t.Errorf("device sweep chart:\n%s", out)
+	}
+	// CSV mode names the platforms as columns.
+	out, err = captureStdout(t, func() error {
+		return cmdSweep([]string{"-platforms", "fpga,asic,gpu", "-to", "2", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DNN-GPU") {
+		t.Errorf("set sweep csv:\n%s", out)
+	}
+	if code := run([]string{"sweep", "-platforms", "gpu,,cpu"}); code != 2 {
+		t.Errorf("empty -platforms entry exited %d, want 2", code)
+	}
+	if code := run([]string{"sweep", "-platforms", "npu,asic"}); code != 1 {
+		t.Errorf("unknown platform exited %d, want 1 (runtime error)", code)
+	}
+}
+
+// TestCmdMCPlatforms covers the -platforms pair on the uncertainty
+// study: labels follow the studied pair and -json is exactly the api
+// document.
+func TestCmdMCPlatforms(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdMC([]string{"-samples", "50", "-seed", "3", "-platforms", "gpu,asic"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GPU:ASIC CFP ratio", "P(GPU wins)", "tornado"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mc -platforms output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = captureStdout(t, func() error {
+		return cmdMC([]string{"-samples", "50", "-seed", "3", "-platforms", "gpu,asic", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := api.RunMonteCarlo(api.MonteCarloRequest{
+		Domain: "DNN", Samples: 50, Seed: 3, NApps: 5,
+		Platforms: api.PlatformSpecs([]string{"gpu", "asic"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf.String() {
+		t.Errorf("mc -platforms -json differs from the api document:\n%q\nvs\n%q", out, buf.String())
+	}
+	if code := run([]string{"mc", "-platforms", ","}); code != 2 {
+		t.Errorf("empty -platforms entries exited %d, want 2", code)
+	}
+	if code := run([]string{"mc", "-platforms", "IndustryFPGA1,IndustryASIC1"}); code != 1 {
+		t.Errorf("catalog devices at mc exited %d, want 1 (calibration-bound study)", code)
+	}
+}
+
 // TestCmdTimeline covers the timeline mode: the staggered default,
 // refresh-cap behavior, platform subsetting, and its error paths.
 func TestCmdTimeline(t *testing.T) {

@@ -4,7 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"greenfpga/api"
 	"greenfpga/internal/report"
@@ -18,7 +17,7 @@ import (
 func cmdTimeline(args []string) error {
 	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
 	domain := fs.String("domain", "", "iso-performance domain set (DNN, ImgProc, Crypto; default DNN)")
-	platforms := fs.String("platforms", "", "comma-separated platform kinds to compare (fpga,asic,gpu,cpu; default all)")
+	platforms := fs.String("platforms", "", "comma-separated platforms to compare: kinds (fpga,asic,gpu,cpu) or catalog device names (default: the domain's full set)")
 	napps := fs.Int("napps", 0, "number of applications (default 5)")
 	interval := fs.Float64("interval", 0, "arrival interval in years (default 0.5)")
 	lifetime := fs.Float64("lifetime", 0, "application lifetime in years (default 2)")
@@ -34,9 +33,11 @@ func cmdTimeline(args []string) error {
 		LifetimeYears: *lifetime, Volume: *volume, Sizing: *sizing,
 		ChipLifetimeYears: *chipLifetime,
 	}
-	if *platforms != "" {
-		req.Platforms = strings.Split(*platforms, ",")
+	specs, err := platformSpecArgs(*platforms)
+	if err != nil {
+		return err
 	}
+	req.Platforms = specs
 	req = req.Normalized()
 	resp, err := api.RunTimeline(req)
 	if err != nil {

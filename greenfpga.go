@@ -27,7 +27,9 @@
 package greenfpga
 
 import (
+	"fmt"
 	"io"
+	"math"
 
 	"greenfpga/internal/config"
 	"greenfpga/internal/core"
@@ -293,9 +295,29 @@ func RunMonteCarlo(cfg MCConfig) (MCResult, error) { return montecarlo.Run(cfg) 
 // held at the domain's calibration. Shared by `greenfpga mc`, the
 // /v1/mc service endpoint and the uncertainty example.
 func DomainRatioStudy(d Domain, nApps, samples int, seed int64) (MCResult, error) {
+	return DomainRatioStudyBetween(d, FPGA, ASIC, nApps, samples, seed)
+}
+
+// DomainRatioStudyBetween generalizes DomainRatioStudy to any two
+// platform kinds of the domain's iso-performance set: the study's
+// output is kindA's total over kindB's per draw. The Table 1 draws
+// perturb the shared calibration (duty cycle, design staffing,
+// recycled sourcing, EOL recycling, application lifetime); the
+// reconfiguration-flow draws (t_fe/t_be) apply to FPGA-kind members,
+// whose app-development is the paper's hardware flow — GPU/CPU
+// members keep their software-port profiles. DomainRatioStudy is
+// exactly the (FPGA, ASIC) instance.
+func DomainRatioStudyBetween(d Domain, kindA, kindB DeviceKind, nApps, samples int, seed int64) (MCResult, error) {
 	clampHi := d.DutyCycle * 1.5
 	if clampHi > 1 {
 		clampHi = 1
+	}
+	member := func(set PlatformSet, kind DeviceKind) (Platform, error) {
+		p, err := set.Member(kind)
+		if err != nil {
+			return Platform{}, fmt.Errorf("greenfpga: domain %s: %w", d.Name, err)
+		}
+		return p, nil
 	}
 	return RunMonteCarlo(MCConfig{
 		Samples: samples,
@@ -313,24 +335,42 @@ func DomainRatioStudy(d Domain, nApps, samples int, seed int64) (MCResult, error
 			dd := d
 			dd.DutyCycle = draw["duty_cycle"]
 			dd.DesignEngineers = draw["design_staff"]
-			pr, err := dd.Pair()
+			set, err := dd.Set()
 			if err != nil {
 				return 0, err
 			}
-			ad := pr.FPGA.AppDevProfile()
-			ad.FrontEnd = units.Months(draw["t_fe_months"])
-			ad.BackEnd = units.Months(draw["t_be_months"])
-			pr.FPGA.AppDev = &ad
-			for _, p := range []*core.Platform{&pr.FPGA, &pr.ASIC} {
+			pa, err := member(set, kindA)
+			if err != nil {
+				return 0, err
+			}
+			pb, err := member(set, kindB)
+			if err != nil {
+				return 0, err
+			}
+			for _, p := range []*core.Platform{&pa, &pb} {
+				if p.Spec.Kind == FPGA {
+					ad := p.AppDevProfile()
+					ad.FrontEnd = units.Months(draw["t_fe_months"])
+					ad.BackEnd = units.Months(draw["t_be_months"])
+					p.AppDev = &ad
+				}
 				p.RecycledMaterialFraction = draw["recycled_fraction"]
 				p.EOL.RecycleFraction = draw["eol_delta"]
 			}
-			c, err := pr.Compare(core.Uniform("mc", nApps,
-				units.YearsOf(draw["app_lifetime_years"]), isoperf.ReferenceVolume, 0))
+			s := core.Uniform("mc", nApps,
+				units.YearsOf(draw["app_lifetime_years"]), isoperf.ReferenceVolume, 0)
+			fa, err := core.Evaluate(pa, s)
 			if err != nil {
-				return 0, err
+				return 0, fmt.Errorf("greenfpga: %s side: %w", kindA, err)
 			}
-			return c.Ratio, nil
+			fb, err := core.Evaluate(pb, s)
+			if err != nil {
+				return 0, fmt.Errorf("greenfpga: %s side: %w", kindB, err)
+			}
+			if bt := fb.Total().Kilograms(); bt != 0 {
+				return fa.Total().Kilograms() / bt, nil
+			}
+			return math.Inf(1), nil
 		},
 	})
 }

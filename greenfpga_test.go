@@ -204,3 +204,45 @@ func TestFacadeScenarioConfig(t *testing.T) {
 		t.Error("example scenario should produce positive CFP")
 	}
 }
+
+// TestDomainRatioStudyBetween pins the generalized uncertainty study:
+// the (FPGA, ASIC) instance IS DomainRatioStudy sample for sample, a
+// GPU-vs-FPGA study runs on the same calibration, and unknown kinds
+// error instead of panicking.
+func TestDomainRatioStudyBetween(t *testing.T) {
+	d, err := greenfpga.DomainByName("DNN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := greenfpga.DomainRatioStudy(d, 5, 80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	between, err := greenfpga.DomainRatioStudyBetween(d, greenfpga.FPGA, greenfpga.ASIC, 5, 80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.Samples) != len(between.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(legacy.Samples), len(between.Samples))
+	}
+	for i := range legacy.Samples {
+		if legacy.Samples[i] != between.Samples[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, legacy.Samples[i], between.Samples[i])
+		}
+	}
+	if legacy.Mean != between.Mean || legacy.StdDev != between.StdDev {
+		t.Errorf("summary stats differ: %v/%v vs %v/%v",
+			legacy.Mean, legacy.StdDev, between.Mean, between.StdDev)
+	}
+
+	gpu, err := greenfpga.DomainRatioStudyBetween(d, greenfpga.GPU, greenfpga.FPGA, 5, 80, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpu.Mean <= 0 || len(gpu.Tornado) == 0 {
+		t.Errorf("gpu study: %+v", gpu)
+	}
+	if _, err := greenfpga.DomainRatioStudyBetween(d, greenfpga.DeviceKind("npu"), greenfpga.ASIC, 5, 10, 1); err == nil {
+		t.Error("unknown kind must error")
+	}
+}

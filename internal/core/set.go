@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"greenfpga/internal/device"
 	"greenfpga/internal/units"
 )
 
@@ -26,6 +27,19 @@ func (set Set) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Member finds the set platform of the given device kind; the error
+// lists the kinds the set does carry.
+func (set Set) Member(kind device.Kind) (Platform, error) {
+	kinds := make([]device.Kind, len(set))
+	for i, p := range set {
+		kinds[i] = p.Spec.Kind
+		if kinds[i] == kind {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("core: set has no %q platform (have: %v)", kind, kinds)
 }
 
 // Compile compiles every platform of the set.

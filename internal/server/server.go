@@ -293,8 +293,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	s.serveCached(w, "/v1/evaluate", &req, func() (any, error) {
-		return s.eval.Evaluate(&req)
+	// Keying on the normalized request makes a legacy scenario body
+	// and its spec spelling one cache entry.
+	norm := req.Normalized()
+	s.serveCached(w, "/v1/evaluate", &norm, func() (any, error) {
+		return s.eval.Evaluate(&norm)
 	}, nil)
 }
 
@@ -328,15 +331,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Code: "overloaded", Message: "client gave up while the item was queued"}}
 			return nil
 		}
-		item := &req.Requests[i]
-		key, err := api.CanonicalKey("/v1/evaluate", item)
+		item := req.Requests[i].Normalized()
+		key, err := api.CanonicalKey("/v1/evaluate", &item)
 		if err == nil {
 			if v, ok := s.results.Get(key); ok {
 				resp.Results[i] = api.BatchItem{Response: v.(*api.EvaluateResponse)}
 				return nil
 			}
 		}
-		out, evalErr := s.eval.Evaluate(item)
+		out, evalErr := s.eval.Evaluate(&item)
 		if evalErr != nil {
 			resp.Results[i] = api.BatchItem{Error: api.ToError(evalErr)}
 			return nil
@@ -357,7 +360,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	norm := req.Normalized()
 	s.serveCached(w, "/v1/compare", norm, func() (any, error) {
-		return api.RunCompare(norm)
+		return s.eval.RunCompare(norm)
 	}, nil)
 }
 
@@ -368,7 +371,7 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	}
 	norm := req.Normalized()
 	s.serveCached(w, "/v1/timeline", norm, func() (any, error) {
-		return api.RunTimeline(norm)
+		return s.eval.RunTimeline(norm)
 	}, nil)
 }
 
@@ -379,7 +382,7 @@ func (s *Server) handleCrossover(w http.ResponseWriter, r *http.Request) {
 	}
 	norm := req.Normalized()
 	s.serveCached(w, "/v1/crossover", norm, func() (any, error) {
-		return api.RunCrossover(norm)
+		return s.eval.RunCrossover(norm)
 	}, nil)
 }
 
@@ -390,7 +393,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	norm := req.Normalized()
 	s.serveCached(w, "/v1/sweep", norm, func() (any, error) {
-		return api.RunSweep(norm)
+		return s.eval.RunSweep(norm)
 	}, func(v any) bool {
 		// Admit only plot-sized sweeps: a full LRU of MaxSweepPoints
 		// responses would pin gigabytes. Oversized sweeps recompute,
@@ -407,7 +410,7 @@ func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 	}
 	norm := req.Normalized()
 	s.serveCached(w, "/v1/mc", norm, func() (any, error) {
-		return api.RunMonteCarlo(norm)
+		return s.eval.RunMonteCarlo(norm)
 	}, nil)
 }
 

@@ -298,6 +298,132 @@ func TestCrossoverDefaultsAndNormalization(t *testing.T) {
 	}
 }
 
+// TestLegacySpecSharedCacheEntry is the serve-side cache contract of
+// the unified request model: a study posted in legacy form and then in
+// its spec-form spelling lands on one cache entry — the second POST is
+// an X-Cache hit with byte-identical body — on every retrofitted
+// endpoint shape.
+func TestLegacySpecSharedCacheEntry(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	for _, tc := range []struct {
+		name, path, legacy, spec string
+	}{
+		{
+			"sweep", "/v1/sweep",
+			`{"domain":"DNN","axis":"napps","to":4}`,
+			`{"axis":"napps","to":4,"platforms":[{"domain":"DNN","kind":"fpga"},{"domain":"DNN","kind":"asic"}],` +
+				`"workload":{"lifetime_years":2,"volume":1e6}}`,
+		},
+		{
+			"compare", "/v1/compare",
+			`{"domain":"Crypto","platforms":["gpu","asic"],"napps":2,"max_apps":3}`,
+			`{"platforms":[{"domain":"Crypto","kind":"gpu"},{"domain":"Crypto","kind":"asic"}],` +
+				`"workload":{"napps":2,"lifetime_years":2,"volume":1e6},"max_apps":3}`,
+		},
+		{
+			"crossover", "/v1/crossover",
+			`{"domain":"DNN","platform_a":"fpga","platform_b":"gpu"}`,
+			`{"platforms":[{"domain":"DNN","kind":"fpga"},{"domain":"DNN","kind":"gpu"}],` +
+				`"workload":{"napps":5,"lifetime_years":2,"volume":1e6}}`,
+		},
+		{
+			"timeline", "/v1/timeline",
+			`{"napps":2,"platforms":["fpga","asic"],"chip_lifetime_years":8}`,
+			`{"platforms":[{"domain":"DNN","kind":"fpga","chip_lifetime_years":8},` +
+				`{"domain":"DNN","kind":"asic","chip_lifetime_years":8}],` +
+				`"workload":{"sizing":"shared","deployments":[` +
+				`{"name":"app1","lifetime_years":2,"volume":1e6},` +
+				`{"name":"app2","start_years":0.5,"lifetime_years":2,"volume":1e6}]}}`,
+		},
+		{
+			"mc", "/v1/mc",
+			`{"samples":60,"seed":5,"napps":3}`,
+			`{"samples":60,"seed":5,"platforms":["fpga","asic"],"workload":{"napps":3}}`,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, hdr, legacyBody := postRaw(t, hts.URL+tc.path, tc.legacy)
+			if code != http.StatusOK {
+				t.Fatalf("legacy body: %d %s", code, legacyBody)
+			}
+			if hdr.Get("X-Cache") != "miss" {
+				t.Fatalf("legacy body: X-Cache=%q, want miss", hdr.Get("X-Cache"))
+			}
+			code, hdr, specBody := postRaw(t, hts.URL+tc.path, tc.spec)
+			if code != http.StatusOK {
+				t.Fatalf("spec body: %d %s", code, specBody)
+			}
+			if hdr.Get("X-Cache") != "hit" {
+				t.Errorf("spec spelling missed the legacy cache entry (X-Cache=%q)", hdr.Get("X-Cache"))
+			}
+			if !bytes.Equal(legacyBody, specBody) {
+				t.Errorf("legacy and spec responses differ:\n%s\nvs\n%s", legacyBody, specBody)
+			}
+		})
+	}
+	// Evaluate: the scenario document vs its spec spelling.
+	cfg := config.Example()
+	code, hdr, legacyBody := postJSON(t, hts.URL+"/v1/evaluate", evaluateBody())
+	if code != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("legacy evaluate: %d X-Cache=%q", code, hdr.Get("X-Cache"))
+	}
+	code, hdr, specBody := postJSON(t, hts.URL+"/v1/evaluate", &api.EvaluateRequest{
+		Name:      cfg.Name,
+		Platforms: []api.PlatformSpec{{Config: cfg.FPGA}, {Config: cfg.ASIC}},
+		Workload:  &api.WorkloadSpec{Apps: cfg.Apps},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("spec evaluate: %d %s", code, specBody)
+	}
+	if hdr.Get("X-Cache") != "hit" {
+		t.Errorf("spec evaluate missed the scenario's cache entry (X-Cache=%q)", hdr.Get("X-Cache"))
+	}
+	if !bytes.Equal(legacyBody, specBody) {
+		t.Errorf("evaluate responses differ:\n%s\nvs\n%s", legacyBody, specBody)
+	}
+}
+
+// TestSpecEndpointShapes covers the new spec-only studies over HTTP:
+// platform-set sweeps carry per-platform totals, GPU-vs-FPGA mc
+// echoes its pair, and a GPU platform routed at the legacy evaluate
+// shape is rejected with a pointer to /v1/compare.
+func TestSpecEndpointShapes(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, _, data := postRaw(t, hts.URL+"/v1/sweep",
+		`{"axis":"napps","to":3,"platforms":["gpu","cpu"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("set sweep: %d %s", code, data)
+	}
+	var sw api.SweepResponse
+	if err := json.Unmarshal(data, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Platforms) != 2 || len(sw.Points) != 3 || len(sw.Points[0].TotalsKg) != 2 {
+		t.Errorf("set sweep response: %+v", sw)
+	}
+	code, _, data = postRaw(t, hts.URL+"/v1/mc",
+		`{"samples":40,"platforms":["gpu","fpga"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("mc: %d %s", code, data)
+	}
+	var mc api.MonteCarloResponse
+	if err := json.Unmarshal(data, &mc); err != nil {
+		t.Fatal(err)
+	}
+	if mc.PlatformA != "gpu" || mc.PlatformB != "fpga" {
+		t.Errorf("mc echoes: %+v", mc)
+	}
+	code, _, data = postRaw(t, hts.URL+"/v1/evaluate",
+		`{"platforms":[{"domain":"DNN","kind":"gpu"},{"domain":"DNN","kind":"asic"}],`+
+			`"workload":{"napps":1,"lifetime_years":1,"volume":10}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("gpu at evaluate: %d %s", code, data)
+	}
+	if e := decodeErr(t, data); e.Code != "invalid_request" || !strings.Contains(e.Message, "/v1/compare") {
+		t.Errorf("gpu-at-evaluate error: %+v", e)
+	}
+}
+
 func TestSweepAndMonteCarlo(t *testing.T) {
 	_, hts := newTestServer(t, Options{})
 	code, _, data := postRaw(t, hts.URL+"/v1/sweep", `{"domain":"Crypto","axis":"lifetime","points":5}`)

@@ -122,6 +122,49 @@ func Run1D(axis Axis, eval PairEval) ([]Point1D, error) {
 	return pts, nil
 }
 
+// SetEval evaluates an N-platform set at one axis value, filling one
+// total per platform in set order. The totals slice is the point's
+// own backing array — implementations must not retain it.
+type SetEval func(x float64, totals []units.Mass) error
+
+// PointN is one sample of an N-platform sweep.
+type PointN struct {
+	// X is the axis value.
+	X float64
+	// Totals holds one platform total per set member, in set order.
+	Totals []units.Mass
+}
+
+// RunN evaluates the axis for an n-platform set in parallel and
+// returns points in axis order — the N-platform generalization of
+// Run1D (which remains the dedicated FPGA/ASIC pair shape with its
+// ratio column).
+func RunN(axis Axis, n int, eval SetEval) ([]PointN, error) {
+	if err := axis.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("sweep: need at least one platform, got %d", n)
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("sweep: nil evaluator")
+	}
+	pts := make([]PointN, len(axis.Values))
+	err := runPool(len(axis.Values), func(i int) error {
+		x := axis.Values[i]
+		totals := make([]units.Mass, n)
+		if err := eval(x, totals); err != nil {
+			return err
+		}
+		pts[i] = PointN{X: x, Totals: totals}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
 // PairEval2D evaluates both platforms at one grid cell.
 type PairEval2D func(x, y float64) (fpga, asic units.Mass, err error)
 

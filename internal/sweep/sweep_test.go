@@ -259,3 +259,71 @@ func TestQuickRun1DDeterministic(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRunN checks the N-platform sweep: totals land in axis and set
+// order, and it agrees with Run1D on the two-platform shape.
+func TestRunN(t *testing.T) {
+	axis := Axis{Name: "x", Values: Linspace(1, 4, 4)}
+	pts, err := RunN(axis, 3, func(x float64, totals []units.Mass) error {
+		for i := range totals {
+			totals[i] = units.Kilograms(x * float64(i+1))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i, p := range pts {
+		wantX := axis.Values[i]
+		if p.X != wantX || len(p.Totals) != 3 {
+			t.Fatalf("point %d: %+v", i, p)
+		}
+		for j, m := range p.Totals {
+			if m != units.Kilograms(wantX*float64(j+1)) {
+				t.Errorf("point %d total %d: %v", i, j, m)
+			}
+		}
+	}
+	// Two-platform agreement with Run1D.
+	pairEval := func(x float64) (units.Mass, units.Mass, error) {
+		return units.Kilograms(x * x), units.Kilograms(x + 1), nil
+	}
+	p1, err := Run1D(axis, pairEval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := RunN(axis, 2, func(x float64, totals []units.Mass) error {
+		f, a, err := pairEval(x)
+		totals[0], totals[1] = f, a
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i].FPGA != pn[i].Totals[0] || p1[i].ASIC != pn[i].Totals[1] {
+			t.Errorf("point %d: Run1D %+v vs RunN %+v", i, p1[i], pn[i])
+		}
+	}
+}
+
+// TestRunNErrors covers the argument checks and evaluator failures.
+func TestRunNErrors(t *testing.T) {
+	axis := Axis{Name: "x", Values: Linspace(1, 2, 2)}
+	if _, err := RunN(axis, 0, func(float64, []units.Mass) error { return nil }); err == nil {
+		t.Error("zero platforms must error")
+	}
+	if _, err := RunN(axis, 1, nil); err == nil {
+		t.Error("nil evaluator must error")
+	}
+	if _, err := RunN(Axis{}, 1, func(float64, []units.Mass) error { return nil }); err == nil {
+		t.Error("invalid axis must error")
+	}
+	boom := fmt.Errorf("boom")
+	if _, err := RunN(axis, 1, func(float64, []units.Mass) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("evaluator error not surfaced: %v", err)
+	}
+}
