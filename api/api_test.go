@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -107,14 +108,14 @@ func TestEvaluateMatchesCore(t *testing.T) {
 func TestEvaluatorCompiledCache(t *testing.T) {
 	e := NewEvaluator(8)
 	req := &EvaluateRequest{Scenario: config.Example()}
-	if _, err := e.Evaluate(req); err != nil {
+	if _, err := e.Evaluate(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses := e.CompileStats()
 	if hits != 0 || misses != 2 {
 		t.Fatalf("cold evaluate: hits %d misses %d, want 0/2", hits, misses)
 	}
-	if _, err := e.Evaluate(req); err != nil {
+	if _, err := e.Evaluate(context.Background(), req); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses = e.CompileStats()

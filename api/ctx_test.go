@@ -1,0 +1,84 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"greenfpga/internal/config"
+)
+
+// TestCanceledContextStopsEveryEntryPoint checks each Evaluator entry
+// point observes an already-dead context instead of computing.
+func TestCanceledContextStopsEveryEntryPoint(t *testing.T) {
+	e := NewEvaluator(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	checks := []struct {
+		name string
+		run  func() error
+	}{
+		{"Evaluate", func() error {
+			_, err := e.Evaluate(ctx, &EvaluateRequest{Scenario: config.Example()})
+			return err
+		}},
+		{"RunCrossover", func() error {
+			_, err := e.RunCrossover(ctx, CrossoverRequest{}.Normalized())
+			return err
+		}},
+		{"RunCompare", func() error {
+			_, err := e.RunCompare(ctx, CompareRequest{}.Normalized())
+			return err
+		}},
+		{"RunTimeline", func() error {
+			_, err := e.RunTimeline(ctx, TimelineRequest{}.Normalized())
+			return err
+		}},
+		{"RunSweep", func() error {
+			_, err := e.RunSweep(ctx, SweepRequest{Domain: "Crypto", Axis: "lifetime", Points: 64}.Normalized())
+			return err
+		}},
+		{"RunMonteCarlo", func() error {
+			_, err := e.RunMonteCarlo(ctx, MonteCarloRequest{Samples: 5000, Seed: 1}.Normalized())
+			return err
+		}},
+	}
+	for _, c := range checks {
+		if err := c.run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with canceled ctx: err = %v, want context.Canceled", c.name, err)
+		}
+	}
+}
+
+// TestDeadlineStopsLongMonteCarlo checks an expired deadline actually
+// halts the draw loop: a study sized for ~10s of compute returns
+// context.DeadlineExceeded in a small fraction of that.
+func TestDeadlineStopsLongMonteCarlo(t *testing.T) {
+	e := NewEvaluator(4)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.RunMonteCarlo(ctx, MonteCarloRequest{Samples: 200_000, Seed: 1}.Normalized())
+	took := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if took > 5*time.Second {
+		t.Errorf("cancellation observed after %v; the workers kept drawing", took)
+	}
+}
+
+// TestToErrorMapsContextErrors checks the envelope mapping the server
+// relies on for 504 and 499 responses.
+func TestToErrorMapsContextErrors(t *testing.T) {
+	if e := ToError(context.DeadlineExceeded); e.Code != "deadline_exceeded" {
+		t.Errorf("DeadlineExceeded maps to %q, want deadline_exceeded", e.Code)
+	}
+	if e := ToError(context.Canceled); e.Code != "canceled" {
+		t.Errorf("Canceled maps to %q, want canceled", e.Code)
+	}
+	if e := ToError(errors.New("bad domain")); e.Code != "invalid_request" {
+		t.Errorf("plain error maps to %q, want invalid_request", e.Code)
+	}
+}

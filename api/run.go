@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -104,8 +105,9 @@ func (r EvaluateRequest) Normalized() EvaluateRequest {
 // response carries dedicated fpga/asic sides, each platform must
 // resolve to one of those kinds; GPU/CPU platforms are rejected rather
 // than silently dropped — their studies go to RunCompare, whose
-// response is kind-agnostic.
-func (e *Evaluator) Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
+// response is kind-agnostic. Cancelling ctx stops the evaluation
+// between platforms and surfaces the context error.
+func (e *Evaluator) Evaluate(ctx context.Context, req *EvaluateRequest) (*EvaluateResponse, error) {
 	if req == nil {
 		return nil, &Error{Code: "invalid_request", Message: "missing scenario"}
 	}
@@ -135,6 +137,9 @@ func (e *Evaluator) Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
 	}
 	resp := &EvaluateResponse{Scenario: r.Name}
 	for _, sp := range r.Platforms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c, err := e.resolveSpec(sp)
 		if err != nil {
 			return nil, fmt.Errorf("platform %s: %w", sp.describe(), err)
@@ -174,9 +179,11 @@ func (e *Evaluator) Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
 	return resp, nil
 }
 
-// Evaluate runs the request through the package-level evaluator.
+// Evaluate runs the request through the package-level evaluator under
+// a background context (the CLI path; the server passes its own
+// request-scoped context to the Evaluator method).
 func Evaluate(req *EvaluateRequest) (*EvaluateResponse, error) {
-	return defaultEvaluator.Evaluate(req)
+	return defaultEvaluator.Evaluate(context.Background(), req)
 }
 
 // domainSets memoizes compiled iso-performance platform sets by
@@ -295,8 +302,9 @@ func (r CrossoverRequest) Normalized() CrossoverRequest {
 // devices, inline configs — through the generalized CrossoverBetween
 // solvers: the A2F solve reports the first N_app where the first
 // platform's total drops below the second's, and the F2A solves
-// report where the two totals meet.
-func (e *Evaluator) RunCrossover(req CrossoverRequest) (*CrossoverResponse, error) {
+// report where the two totals meet. The three solvers check ctx
+// between solves.
+func (e *Evaluator) RunCrossover(ctx context.Context, req CrossoverRequest) (*CrossoverResponse, error) {
 	req = req.Normalized()
 	if req.PlatformA != "" || req.PlatformB != "" {
 		if len(req.Platforms) > 0 {
@@ -332,12 +340,18 @@ func (e *Evaluator) RunCrossover(req CrossoverRequest) (*CrossoverResponse, erro
 	if found {
 		resp.A2FNumApps = Solve{Found: true, Value: float64(n)}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t, found, err := core.CrossoverLifetimeBetween(a, b, w.NApps, w.Volume, w.SizeGates, units.YearsOf(0.05), units.YearsOf(10))
 	if err != nil {
 		return nil, err
 	}
 	if found {
 		resp.F2ALifetimeYears = Solve{Found: true, Value: t.Years()}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	v, found, err := core.CrossoverVolumeBetween(a, b, w.NApps, units.YearsOf(w.LifetimeYears), w.SizeGates, 1e2, 1e8)
 	if err != nil {
@@ -349,9 +363,10 @@ func (e *Evaluator) RunCrossover(req CrossoverRequest) (*CrossoverResponse, erro
 	return resp, nil
 }
 
-// RunCrossover runs the request through the package-level evaluator.
+// RunCrossover runs the request through the package-level evaluator
+// under a background context.
 func RunCrossover(req CrossoverRequest) (*CrossoverResponse, error) {
-	return defaultEvaluator.RunCrossover(req)
+	return defaultEvaluator.RunCrossover(context.Background(), req)
 }
 
 // Normalized fills the CLI defaults for a compare request (DNN
@@ -389,8 +404,9 @@ const MaxCompareApps = 10_000
 // RunCompare evaluates N platforms on a shared uniform scenario:
 // per-platform assessments, pairwise total ratios, the minimum-CFP
 // winner, and the winner per application count up to MaxApps. It
-// matches `greenfpga compare -json` exactly.
-func (e *Evaluator) RunCompare(req CompareRequest) (*CompareResponse, error) {
+// matches `greenfpga compare -json` exactly. The frontier loop checks
+// ctx per application count, so a cancelled request stops sweeping.
+func (e *Evaluator) RunCompare(ctx context.Context, req CompareRequest) (*CompareResponse, error) {
 	req = req.Normalized()
 	if req.NApps != 0 || req.LifetimeYears != 0 || req.Volume != 0 {
 		return nil, &Error{Code: "invalid_request",
@@ -431,6 +447,9 @@ func (e *Evaluator) RunCompare(req CompareRequest) (*CompareResponse, error) {
 	}
 	resp.Ratios = pairRatios(sc.Assessments, sc.Ratios)
 	for n := 1; n <= req.MaxApps; n++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fsc, err := cs.CompareUniform(n, units.YearsOf(w.LifetimeYears), w.Volume, w.SizeGates)
 		if err != nil {
 			return nil, err
@@ -443,9 +462,10 @@ func (e *Evaluator) RunCompare(req CompareRequest) (*CompareResponse, error) {
 	return resp, nil
 }
 
-// RunCompare runs the request through the package-level evaluator.
+// RunCompare runs the request through the package-level evaluator
+// under a background context.
 func RunCompare(req CompareRequest) (*CompareResponse, error) {
-	return defaultEvaluator.RunCompare(req)
+	return defaultEvaluator.RunCompare(context.Background(), req)
 }
 
 // Normalized fills the CLI defaults for a timeline request, expands
@@ -514,8 +534,9 @@ func sequentialized(sch core.Schedule) core.Schedule {
 // sequential-accounting contrast per platform. It matches `greenfpga
 // timeline -json` exactly. Chip-lifetime caps ride on the platform
 // specs, so capped platforms are compiled once and content-addressed
-// like any other spec instead of recompiled per request.
-func (e *Evaluator) RunTimeline(req TimelineRequest) (*TimelineResponse, error) {
+// like any other spec instead of recompiled per request. The
+// per-platform schedule evaluations check ctx between platforms.
+func (e *Evaluator) RunTimeline(ctx context.Context, req TimelineRequest) (*TimelineResponse, error) {
 	req = req.Normalized()
 	if len(req.Deployments) > 0 || req.NApps != 0 || req.IntervalYears != 0 ||
 		req.LifetimeYears != 0 || req.Volume != 0 || req.Sizing != "" {
@@ -560,6 +581,9 @@ func (e *Evaluator) RunTimeline(req TimelineRequest) (*TimelineResponse, error) 
 	}
 	plain := make([]core.Assessment, len(sc.Assessments))
 	for i, a := range sc.Assessments {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		plain[i] = a.Assessment
 		sa, err := cs[i].EvaluateSchedule(seq)
 		if err != nil {
@@ -575,9 +599,10 @@ func (e *Evaluator) RunTimeline(req TimelineRequest) (*TimelineResponse, error) 
 	return resp, nil
 }
 
-// RunTimeline runs the request through the package-level evaluator.
+// RunTimeline runs the request through the package-level evaluator
+// under a background context.
 func RunTimeline(req TimelineRequest) (*TimelineResponse, error) {
-	return defaultEvaluator.RunTimeline(req)
+	return defaultEvaluator.RunTimeline(context.Background(), req)
 }
 
 // Normalized fills the per-axis CLI defaults, expands an empty
@@ -686,8 +711,10 @@ func (r SweepRequest) legacyPairShape() bool {
 // RunSweep runs a 1-D sweep over the request's platform set, matching
 // `greenfpga sweep` exactly for the legacy domain-pair shape.
 // Off-axis parameters come from the workload (CLI defaults:
-// 5 applications, 2-year lifetime, 1e6 volume).
-func (e *Evaluator) RunSweep(req SweepRequest) (*SweepResponse, error) {
+// 5 applications, 2-year lifetime, 1e6 volume). Every sweep worker
+// checks ctx before its point, so a cancelled request stops the grid
+// instead of computing doomed cells.
+func (e *Evaluator) RunSweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
 	req = req.Normalized()
 	ax, err := req.SweepAxis()
 	if err != nil {
@@ -702,6 +729,9 @@ func (e *Evaluator) RunSweep(req SweepRequest) (*SweepResponse, error) {
 		return nil, err
 	}
 	eval := func(x float64, totals []units.Mass) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		nApps, tY, v := w.NApps, w.LifetimeYears, w.Volume
 		switch req.Axis {
 		case "napps":
@@ -751,9 +781,10 @@ func (e *Evaluator) RunSweep(req SweepRequest) (*SweepResponse, error) {
 	return resp, nil
 }
 
-// RunSweep runs the request through the package-level evaluator.
+// RunSweep runs the request through the package-level evaluator under
+// a background context.
 func RunSweep(req SweepRequest) (*SweepResponse, error) {
-	return defaultEvaluator.RunSweep(req)
+	return defaultEvaluator.RunSweep(context.Background(), req)
 }
 
 // Normalized fills the CLI defaults (2000 samples, seed 1, 5 apps,
@@ -789,7 +820,7 @@ func (r MonteCarloRequest) Normalized() MonteCarloRequest {
 // perturb the domain calibration itself (duty cycle, design staffing,
 // the FPGA app-dev flow), the platforms must be plain kind selectors
 // of a single domain.
-func (e *Evaluator) RunMonteCarlo(req MonteCarloRequest) (*MonteCarloResponse, error) {
+func (e *Evaluator) RunMonteCarlo(ctx context.Context, req MonteCarloRequest) (*MonteCarloResponse, error) {
 	req = req.Normalized()
 	if req.NApps != 0 {
 		return nil, &Error{Code: "invalid_request",
@@ -833,7 +864,7 @@ func (e *Evaluator) RunMonteCarlo(req MonteCarloRequest) (*MonteCarloResponse, e
 	if err != nil {
 		return nil, err
 	}
-	res, err := greenfpga.DomainRatioStudyBetween(d,
+	res, err := greenfpga.DomainRatioStudyBetweenCtx(ctx, d,
 		greenfpga.DeviceKind(a.Kind), greenfpga.DeviceKind(b.Kind),
 		w.NApps, req.Samples, req.Seed)
 	if err != nil {
@@ -866,9 +897,10 @@ func (e *Evaluator) RunMonteCarlo(req MonteCarloRequest) (*MonteCarloResponse, e
 	return resp, nil
 }
 
-// RunMonteCarlo runs the request through the package-level evaluator.
+// RunMonteCarlo runs the request through the package-level evaluator
+// under a background context.
 func RunMonteCarlo(req MonteCarloRequest) (*MonteCarloResponse, error) {
-	return defaultEvaluator.RunMonteCarlo(req)
+	return defaultEvaluator.RunMonteCarlo(context.Background(), req)
 }
 
 // Devices returns the Table 3 catalog in JSON form.
@@ -934,13 +966,22 @@ func WriteJSON(w io.Writer, v any) error {
 }
 
 // ToError coerces any compute error into the service's error
-// envelope: *Error values pass through, everything else becomes an
-// invalid_request (every Run* failure is a property of the request —
-// an unknown domain, an invalid scenario — not of the server).
+// envelope: *Error values pass through, context errors become the
+// deadline_exceeded / canceled codes (the request was fine; its time
+// ran out), and everything else becomes an invalid_request (every
+// other Run* failure is a property of the request — an unknown
+// domain, an invalid scenario — not of the server).
 func ToError(err error) *Error {
 	var e *Error
 	if errors.As(err, &e) {
 		return e
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &Error{Code: "deadline_exceeded",
+			Message: "request deadline exceeded before the evaluation finished"}
+	}
+	if errors.Is(err, context.Canceled) {
+		return &Error{Code: "canceled", Message: "request canceled before the evaluation finished"}
 	}
 	return &Error{Code: "invalid_request", Message: err.Error()}
 }

@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -169,11 +170,11 @@ func TestEvaluateKeyUnification(t *testing.T) {
 	}
 	// And they evaluate to byte-identical responses.
 	e := NewEvaluator(8)
-	rl, err := e.Evaluate(&legacy)
+	rl, err := e.Evaluate(context.Background(), &legacy)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := e.Evaluate(&spec)
+	rs, err := e.Evaluate(context.Background(), &spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +376,7 @@ func TestResolveSpecArms(t *testing.T) {
 // fpga/asic sides, so GPU/CPU platforms are rejected, not dropped.
 func TestEvaluateSpecForm(t *testing.T) {
 	e := NewEvaluator(8)
-	resp, err := e.Evaluate(&EvaluateRequest{
+	resp, err := e.Evaluate(context.Background(), &EvaluateRequest{
 		Name: "uniform-study",
 		Platforms: []PlatformSpec{
 			{Domain: "DNN", Kind: "fpga"},
@@ -394,7 +395,7 @@ func TestEvaluateSpecForm(t *testing.T) {
 		t.Errorf("DNN at N=5: verdict %q, want asic", resp.Verdict)
 	}
 	// Single-platform studies keep working.
-	single, err := e.Evaluate(&EvaluateRequest{
+	single, err := e.Evaluate(context.Background(), &EvaluateRequest{
 		Platforms: []PlatformSpec{{Device: "IndustryASIC1"}},
 		Workload:  &WorkloadSpec{NApps: 1, LifetimeYears: 2, Volume: 1e5},
 	})
@@ -448,7 +449,7 @@ func TestEvaluateSpecForm(t *testing.T) {
 			},
 		}, "exactly one arm"},
 	} {
-		_, err := e.Evaluate(&tc.req)
+		_, err := e.Evaluate(context.Background(), &tc.req)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
 		}
@@ -460,7 +461,7 @@ func TestEvaluateSpecForm(t *testing.T) {
 		Platforms: KindSpecs("fpga"),
 		Workload:  &WorkloadSpec{NApps: 1, LifetimeYears: 1, Volume: 10},
 	}
-	resp2, err := e.Evaluate(&bare)
+	resp2, err := e.Evaluate(context.Background(), &bare)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,7 +481,7 @@ func TestEvaluateSpecForm(t *testing.T) {
 	}
 	// A legacy scenario with an empty apps list keeps its
 	// no-applications error (not a complaint about napps).
-	_, err = e.Evaluate(&EvaluateRequest{Scenario: &ScenarioConfig{
+	_, err = e.Evaluate(context.Background(), &EvaluateRequest{Scenario: &ScenarioConfig{
 		Name: "x", FPGA: &PlatformConfig{Device: "IndustryFPGA1", DutyCycle: 0.3},
 	}})
 	if err == nil || !strings.Contains(err.Error(), "no applications") {

@@ -11,11 +11,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"greenfpga/api"
 )
@@ -23,8 +27,12 @@ import (
 // Client talks to one GreenFPGA service instance. It is safe for
 // concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+	// sleep waits out a backoff delay; tests substitute it to run
+	// retry schedules without real time passing.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // Option configures a Client.
@@ -36,14 +44,69 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// RetryPolicy bounds the client's automatic retries. Every request
+// the service exposes is a pure function of its body, so replays are
+// idempotent and safe; the policy only decides how hard to try.
+//
+// A retried attempt waits BaseDelay doubled per attempt, capped at
+// MaxDelay, with uniform jitter in [delay/2, delay] so synchronized
+// clients spread out. When the response carried a Retry-After header
+// (the service's 503 sheds do), the wait is at least that long.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter wait before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+}
+
+// WithRetry turns on automatic retries for transient failures:
+// transport errors, 5xx and 429 responses, and truncated or garbled
+// 2xx bodies. Other 4xx responses are the server's verdict on the
+// request and are never retried, and no retry is attempted once ctx
+// is done. Zero fields take defaults (4 attempts, 100ms base, 2s
+// cap).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) {
+		if p.MaxAttempts <= 0 {
+			p.MaxAttempts = 4
+		}
+		if p.BaseDelay <= 0 {
+			p.BaseDelay = 100 * time.Millisecond
+		}
+		if p.MaxDelay <= 0 {
+			p.MaxDelay = 2 * time.Second
+		}
+		c.retry = p
+	}
+}
+
 // New builds a client for the service at baseURL (scheme and host,
-// e.g. "http://127.0.0.1:8080").
+// e.g. "http://127.0.0.1:8080"). Without WithRetry each request is
+// attempted exactly once.
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		hc:    http.DefaultClient,
+		sleep: sleepCtx,
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// sleepCtx waits for d or until ctx ends, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // StatusError is a non-2xx response: the HTTP status plus the
@@ -54,6 +117,9 @@ type StatusError struct {
 	// Err is the decoded envelope; Code is "http_error" when the body
 	// was not an envelope.
 	Err *api.Error
+	// RetryAfter is the parsed Retry-After header when the response
+	// carried one (the service's 503 sheds do), zero otherwise.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -64,22 +130,57 @@ func (e *StatusError) Error() string {
 // Unwrap exposes the envelope to errors.As.
 func (e *StatusError) Unwrap() error { return e.Err }
 
-// do runs one request; in (when non-nil) is sent as canonical JSON,
-// out (when non-nil) receives the decoded response.
+// transientError marks a fault on an otherwise-successful exchange —
+// a 2xx response whose body was cut short or garbled in transit — as
+// eligible for retry.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// do runs one request under the retry policy; in (when non-nil) is
+// sent as canonical JSON, out (when non-nil) receives the decoded
+// response. The payload is built once so replays send identical
+// bytes. When the context ends during a backoff wait, the last
+// attempt's error is returned (it explains why retries were running).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		var buf bytes.Buffer
 		if err := api.WriteJSON(&buf, in); err != nil {
 			return err
 		}
-		body = &buf
+		payload = buf.Bytes()
+	}
+	attempts := c.retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, payload, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		if attempt+1 >= attempts || ctx.Err() != nil || !retryable(err) {
+			return err
+		}
+		if c.sleep(ctx, c.backoff(attempt, err)) != nil {
+			return err
+		}
+	}
+}
+
+// once runs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, isJSON bool, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if isJSON {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -93,13 +194,76 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if json.Unmarshal(data, e) != nil || e.Code == "" {
 			e = &api.Error{Code: "http_error", Message: strings.TrimSpace(string(data))}
 		}
-		return &StatusError{Status: resp.StatusCode, Err: e}
+		return &StatusError{Status: resp.StatusCode, Err: e, RetryAfter: retryAfterHeader(resp)}
 	}
 	if out == nil {
 		_, err = io.Copy(io.Discard, resp.Body)
 		return err
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	data, err := io.ReadAll(resp.Body)
+	if err == nil {
+		err = json.Unmarshal(data, out)
+	}
+	if err != nil {
+		// Drain whatever is left so the connection can be reused, and
+		// mark the error transient: a cut-short or garbled 2xx body is
+		// a transport fault, not the server's verdict on the request.
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return &transientError{fmt.Errorf("client: decoding %s response: %w", path, err)}
+	}
+	return nil
+}
+
+// retryable reports whether err is worth another attempt: transport
+// failures, 5xx and 429 statuses, and truncated 2xx bodies. Other
+// 4xx statuses would fail identically on replay.
+func retryable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status == http.StatusTooManyRequests || se.Status >= 500
+	}
+	var te *transientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// backoff computes the wait before retry number attempt+1:
+// exponential growth with jitter, floored at the server's Retry-After
+// hint when the error carried one.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	d := c.retry.BaseDelay << attempt
+	if d <= 0 || d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	if half := int64(d / 2); half > 0 {
+		d = d/2 + time.Duration(rand.Int63n(half+1))
+	}
+	var se *StatusError
+	if errors.As(err, &se) && se.RetryAfter > d {
+		d = se.RetryAfter
+	}
+	return d
+}
+
+// retryAfterHeader parses a Retry-After header: delay-seconds or an
+// HTTP date. Absent or malformed values report zero.
+func retryAfterHeader(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Health checks /healthz.

@@ -71,7 +71,7 @@ func TestRoundTrip(t *testing.T) {
 	}
 	// The client must observe exactly what the shared compute path
 	// (and therefore the CLI) produces.
-	want, err := api.NewEvaluator(4).Evaluate(req)
+	want, err := api.NewEvaluator(4).Evaluate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,189 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"greenfpga/api"
+)
+
+// retryClient builds a client against h with retries on and the
+// backoff sleep replaced by a recorder, so schedules run instantly.
+func retryClient(t *testing.T, h http.HandlerFunc, p RetryPolicy) (*Client, *[]time.Duration) {
+	t.Helper()
+	hts := httptest.NewServer(h)
+	t.Cleanup(hts.Close)
+	c := New(hts.URL, WithRetry(p))
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	return c, &slept
+}
+
+// TestRetryConvergesAfterSheds checks that transient 503s are retried
+// until a success, and that the Retry-After hint floors the waits.
+func TestRetryConvergesAfterSheds(t *testing.T) {
+	var calls atomic.Int64
+	c, slept := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"code":"overloaded","message":"shed"}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}, RetryPolicy{MaxAttempts: 4})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after sheds: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+	for i, d := range *slept {
+		if d < 2*time.Second {
+			t.Errorf("backoff %d = %v, want >= Retry-After of 2s", i, d)
+		}
+	}
+}
+
+// TestRetryGivesUpAtMaxAttempts checks the attempt budget is a hard
+// cap and the final error is the server's envelope.
+func TestRetryGivesUpAtMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"code":"internal","message":"boom"}`)
+	}, RetryPolicy{MaxAttempts: 3})
+	err := c.Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want StatusError 500", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want exactly MaxAttempts=3", got)
+	}
+}
+
+// TestRetryNeverRepeats4xx checks a client-error verdict is accepted
+// on the first answer.
+func TestRetryNeverRepeats4xx(t *testing.T) {
+	var calls atomic.Int64
+	c, slept := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"code":"invalid_request","message":"no"}`)
+	}, RetryPolicy{MaxAttempts: 5})
+	_, err := c.Evaluate(context.Background(), &api.EvaluateRequest{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (4xx must not retry)", got)
+	}
+	if len(*slept) != 0 {
+		t.Fatalf("client backed off %d times on a 4xx", len(*slept))
+	}
+}
+
+// TestRetryTruncatedBody checks a 2xx response cut short mid-body is
+// treated as transient and replayed.
+func TestRetryTruncatedBody(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Declare more bytes than are sent, then cut the stream.
+			w.Header().Set("Content-Length", "64")
+			fmt.Fprint(w, `{"status":`)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("recorder cannot hijack")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatalf("hijack: %v", err)
+			}
+			conn.Close()
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}, RetryPolicy{MaxAttempts: 3})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after truncated body: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestRetryStopsOnContextCancel checks cancellation during the
+// backoff wait ends the retry loop immediately, surfacing the last
+// attempt's error.
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	c, _ := retryClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"code":"overloaded","message":"shed"}`)
+	}, RetryPolicy{MaxAttempts: 5})
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // the context dies while the client is backing off
+		return ctx.Err()
+	}
+	err := c.Health(ctx)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the last attempt's 503", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls after cancellation, want 1", got)
+	}
+}
+
+// TestRetryBackoffGrows checks the exponential schedule: successive
+// pre-jitter delays double and respect the cap.
+func TestRetryBackoffGrows(t *testing.T) {
+	c := New("http://unused", WithRetry(RetryPolicy{
+		MaxAttempts: 8,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    time.Second,
+	}))
+	err := &StatusError{Status: 503, Err: &api.Error{Code: "overloaded"}}
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 8; attempt++ {
+		d := c.backoff(attempt, err)
+		base := c.retry.BaseDelay << attempt
+		if base <= 0 || base > c.retry.MaxDelay {
+			base = c.retry.MaxDelay
+		}
+		if d < base/2 || d > base {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, d, base/2, base)
+		}
+		if d > c.retry.MaxDelay {
+			t.Errorf("attempt %d: backoff %v exceeds cap %v", attempt, d, c.retry.MaxDelay)
+		}
+		_ = prev
+		prev = d
+	}
+	// A Retry-After larger than the computed delay wins.
+	err.RetryAfter = 5 * time.Second
+	if d := c.backoff(0, err); d != 5*time.Second {
+		t.Errorf("backoff with Retry-After 5s = %v, want 5s", d)
+	}
+}

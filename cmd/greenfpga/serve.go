@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,13 +37,36 @@ func cmdServe(args []string) error {
 	maxConcurrent := fs.Int("max-concurrent", 64, "compute requests evaluated at once")
 	cacheEntries := fs.Int("cache", 1024, "content-addressed result cache entries")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	timeout := fs.Duration("timeout", 30*time.Second,
+		"per-request compute deadline: overruns answer 504 deadline_exceeded (0 disables)")
+	endpointTimeouts := fs.String("endpoint-timeouts", "",
+		"per-endpoint deadline overrides, comma-separated path=duration (e.g. /v1/mc=2m,/v1/sweep=1m)")
+	maxQueueWait := fs.Duration("max-queue-wait", 2*time.Second,
+		"longest a request may queue for an evaluation slot before being shed with 503 + Retry-After (0 sheds immediately when saturated)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	overrides, err := parseEndpointTimeouts(*endpointTimeouts)
+	if err != nil {
+		return usagef("bad -endpoint-timeouts: %v", err)
+	}
+	reqTimeout := *timeout
+	if reqTimeout == 0 {
+		reqTimeout = -1 // Options: 0 means default, negative disables.
+	}
+	queueWait := *maxQueueWait
+	if queueWait == 0 {
+		// Options treat 0 as "default": an explicit 0 means shed as
+		// soon as the limiter is saturated.
+		queueWait = time.Nanosecond
+	}
 	srv := server.New(server.Options{
-		Addr:          *addr,
-		MaxConcurrent: *maxConcurrent,
-		CacheEntries:  *cacheEntries,
+		Addr:             *addr,
+		MaxConcurrent:    *maxConcurrent,
+		CacheEntries:     *cacheEntries,
+		RequestTimeout:   reqTimeout,
+		EndpointTimeouts: overrides,
+		MaxQueueWait:     queueWait,
 	})
 	bound, err := srv.Start()
 	if err != nil {
@@ -71,4 +95,25 @@ func cmdServe(args []string) error {
 	}
 	fmt.Println("shutdown complete")
 	return nil
+}
+
+// parseEndpointTimeouts parses the -endpoint-timeouts value: a
+// comma-separated list of path=duration overrides.
+func parseEndpointTimeouts(s string) (map[string]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]time.Duration)
+	for _, part := range strings.Split(s, ",") {
+		path, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || path == "" {
+			return nil, fmt.Errorf("entry %q is not path=duration", part)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %v", part, err)
+		}
+		out[path] = d
+	}
+	return out, nil
 }

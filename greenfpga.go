@@ -27,6 +27,7 @@
 package greenfpga
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -308,6 +309,16 @@ func DomainRatioStudy(d Domain, nApps, samples int, seed int64) (MCResult, error
 // members keep their software-port profiles. DomainRatioStudy is
 // exactly the (FPGA, ASIC) instance.
 func DomainRatioStudyBetween(d Domain, kindA, kindB DeviceKind, nApps, samples int, seed int64) (MCResult, error) {
+	return DomainRatioStudyBetweenCtx(context.Background(), d, kindA, kindB, nApps, samples, seed)
+}
+
+// DomainRatioStudyBetweenCtx is DomainRatioStudyBetween under a
+// context: every Monte-Carlo worker checks ctx before its draw, so a
+// cancelled study (a served request past its deadline, an interrupted
+// CLI run) stops evaluating instead of grinding through the remaining
+// samples. The draws consumed before cancellation are identical to an
+// uncancelled run's.
+func DomainRatioStudyBetweenCtx(ctx context.Context, d Domain, kindA, kindB DeviceKind, nApps, samples int, seed int64) (MCResult, error) {
 	clampHi := d.DutyCycle * 1.5
 	if clampHi > 1 {
 		clampHi = 1
@@ -332,6 +343,9 @@ func DomainRatioStudyBetween(d Domain, kindA, kindB DeviceKind, nApps, samples i
 			{Name: "app_lifetime_years", Dist: UniformDist{Lo: 1, Hi: 3}},
 		},
 		Model: func(draw map[string]float64) (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			dd := d
 			dd.DutyCycle = draw["duty_cycle"]
 			dd.DesignEngineers = draw["design_staff"]

@@ -1,0 +1,163 @@
+// Package faults is a deterministic, seed-driven fault injector for
+// resilience testing. An Injector wraps an http.Handler (it fits the
+// server's test-only ComputeWrap hook) and, per request, draws from a
+// seeded PRNG to decide whether to misbehave: panic, stall before
+// computing, answer a transient 503, or cut the response body short.
+// Every injected fault is counted, so a chaos test can reconcile the
+// server's /metrics against what was actually inflicted.
+//
+// The draw sequence is fully determined by the seed; under concurrent
+// requests the assignment of draws to requests follows arrival order,
+// so totals are deterministic even when per-request outcomes are not.
+// The package is test-only: nothing in the serving path imports it.
+package faults
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+)
+
+// Plan sets per-request fault probabilities. Rates are cumulative
+// draws from one uniform sample, so their sum must be <= 1; the
+// remainder passes the request through untouched.
+type Plan struct {
+	// PanicRate is the chance the wrapped handler is replaced by a
+	// panic (exercises recovery middleware).
+	PanicRate float64
+	// LatencyRate is the chance the request stalls for Latency before
+	// the handler runs (exercises deadlines under slow compute).
+	LatencyRate float64
+	// Latency is the injected stall (default 10ms).
+	Latency time.Duration
+	// UnavailableRate is the chance the request answers a transient
+	// 503 overloaded envelope with Retry-After: 1 (exercises client
+	// retries).
+	UnavailableRate float64
+	// TruncateRate is the chance the response body is cut short after
+	// TruncateAt bytes (exercises client handling of garbled 2xx).
+	TruncateRate float64
+	// TruncateAt is where the body is cut (default 8 bytes).
+	TruncateAt int
+}
+
+// Injector injects the Plan's faults into wrapped handlers.
+type Injector struct {
+	plan Plan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Panics, Latencies, Unavailables, Truncates count the faults
+	// actually injected, by kind.
+	Panics       atomic.Uint64
+	Latencies    atomic.Uint64
+	Unavailables atomic.Uint64
+	Truncates    atomic.Uint64
+}
+
+// New builds an Injector drawing from a PRNG seeded with seed.
+func New(seed int64, plan Plan) *Injector {
+	if plan.Latency <= 0 {
+		plan.Latency = 10 * time.Millisecond
+	}
+	if plan.TruncateAt <= 0 {
+		plan.TruncateAt = 8
+	}
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// fault kinds, in cumulative-draw order.
+const (
+	faultNone = iota
+	faultPanic
+	faultLatency
+	faultUnavailable
+	faultTruncate
+)
+
+// draw picks the next request's fate from the seeded sequence.
+func (i *Injector) draw() int {
+	i.mu.Lock()
+	u := i.rng.Float64()
+	i.mu.Unlock()
+	p := i.plan
+	switch {
+	case u < p.PanicRate:
+		return faultPanic
+	case u < p.PanicRate+p.LatencyRate:
+		return faultLatency
+	case u < p.PanicRate+p.LatencyRate+p.UnavailableRate:
+		return faultUnavailable
+	case u < p.PanicRate+p.LatencyRate+p.UnavailableRate+p.TruncateRate:
+		return faultTruncate
+	default:
+		return faultNone
+	}
+}
+
+// Total reports every fault injected so far.
+func (i *Injector) Total() uint64 {
+	return i.Panics.Load() + i.Latencies.Load() + i.Unavailables.Load() + i.Truncates.Load()
+}
+
+// Wrap returns next behind the fault layer; pass it as the server's
+// ComputeWrap.
+func (i *Injector) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch i.draw() {
+		case faultPanic:
+			i.Panics.Add(1)
+			panic("faults: induced panic")
+		case faultLatency:
+			i.Latencies.Add(1)
+			t := time.NewTimer(i.plan.Latency)
+			defer t.Stop()
+			select {
+			case <-r.Context().Done():
+				// The deadline (or the client) gave up during the
+				// stall; let the handler observe the dead context.
+			case <-t.C:
+			}
+			next.ServeHTTP(w, r)
+		case faultUnavailable:
+			i.Unavailables.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"code":"overloaded","message":"faults: induced transient unavailability"}`) //nolint:errcheck
+		case faultTruncate:
+			i.Truncates.Add(1)
+			next.ServeHTTP(&truncatingWriter{ResponseWriter: w, remaining: i.plan.TruncateAt}, r)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// truncatingWriter passes the first remaining bytes through and
+// silently swallows the rest, simulating a response cut short on the
+// wire. Writes report full length so handlers proceed obliviously.
+type truncatingWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	if t.remaining <= 0 {
+		return n, nil
+	}
+	if len(p) > t.remaining {
+		p = p[:t.remaining]
+	}
+	if _, err := t.ResponseWriter.Write(p); err != nil {
+		return 0, err
+	}
+	t.remaining -= len(p)
+	return n, nil
+}

@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okHandler writes a fixed 26-byte JSON body.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok","pad":"xyz"}`)
+	})
+}
+
+// run fires n sequential requests and tallies the injector.
+func run(t *testing.T, inj *Injector, n int) {
+	t.Helper()
+	h := inj.Wrap(okHandler())
+	for range n {
+		w := httptest.NewRecorder()
+		func() {
+			defer func() { recover() }() // a real server recovers, so must the harness
+			h.ServeHTTP(w, httptest.NewRequest("GET", "/x", nil))
+		}()
+	}
+}
+
+// TestDeterministicSequence checks two injectors with one seed inject
+// identical fault totals over identical request streams.
+func TestDeterministicSequence(t *testing.T) {
+	plan := Plan{PanicRate: 0.2, LatencyRate: 0.2, Latency: time.Microsecond,
+		UnavailableRate: 0.2, TruncateRate: 0.2}
+	a, b := New(7, plan), New(7, plan)
+	run(t, a, 200)
+	run(t, b, 200)
+	if a.Panics.Load() != b.Panics.Load() || a.Latencies.Load() != b.Latencies.Load() ||
+		a.Unavailables.Load() != b.Unavailables.Load() || a.Truncates.Load() != b.Truncates.Load() {
+		t.Fatalf("same seed, different injections: %d/%d/%d/%d vs %d/%d/%d/%d",
+			a.Panics.Load(), a.Latencies.Load(), a.Unavailables.Load(), a.Truncates.Load(),
+			b.Panics.Load(), b.Latencies.Load(), b.Unavailables.Load(), b.Truncates.Load())
+	}
+	if a.Total() == 0 {
+		t.Fatal("no faults injected over 200 draws at 80% rate")
+	}
+	if got := a.Panics.Load() + a.Latencies.Load() + a.Unavailables.Load() + a.Truncates.Load(); got != a.Total() {
+		t.Fatalf("Total() = %d, want sum %d", a.Total(), got)
+	}
+}
+
+// TestTruncateCutsBody checks the truncation fault delivers a strict
+// prefix of the real body.
+func TestTruncateCutsBody(t *testing.T) {
+	inj := New(1, Plan{TruncateRate: 1, TruncateAt: 8})
+	w := httptest.NewRecorder()
+	inj.Wrap(okHandler()).ServeHTTP(w, httptest.NewRequest("GET", "/x", nil))
+	if got := w.Body.String(); got != `{"status` {
+		t.Fatalf("truncated body = %q, want the 8-byte prefix", got)
+	}
+	if inj.Truncates.Load() != 1 {
+		t.Fatalf("Truncates = %d, want 1", inj.Truncates.Load())
+	}
+}
+
+// TestUnavailableShape checks the induced 503 looks like the server's
+// own shed: envelope body plus Retry-After.
+func TestUnavailableShape(t *testing.T) {
+	inj := New(1, Plan{UnavailableRate: 1})
+	w := httptest.NewRecorder()
+	inj.Wrap(okHandler()).ServeHTTP(w, httptest.NewRequest("GET", "/x", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("induced 503 carries no Retry-After")
+	}
+	body, _ := io.ReadAll(w.Result().Body)
+	if want := `"code":"overloaded"`; !strings.Contains(string(body), want) {
+		t.Fatalf("body %q does not carry %s", body, want)
+	}
+}
+
+// TestPanicFault checks the panic fault escapes to the caller (where
+// recovery middleware lives) and is counted.
+func TestPanicFault(t *testing.T) {
+	inj := New(1, Plan{PanicRate: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("panic fault did not panic")
+		}
+		if inj.Panics.Load() != 1 {
+			t.Errorf("Panics = %d, want 1", inj.Panics.Load())
+		}
+	}()
+	inj.Wrap(okHandler()).ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+}

@@ -1,0 +1,77 @@
+// Package resilience holds the serving-path protection primitives
+// behind `greenfpga serve`: a concurrency limiter with a bounded queue
+// wait (load shedding instead of unbounded queueing), request-scoped
+// singleflight coalescing of identical in-flight computations, a
+// deadline middleware that turns overrunning handlers into proper
+// gateway-timeout envelopes, and a panic-recovery middleware that
+// turns handler panics into internal-error envelopes instead of
+// dropped connections. The primitives are transport-shaped but
+// policy-free: what gets written on shed/timeout/panic is injected by
+// the server, so this package stays independent of the api types.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrShed reports that a request waited the limiter's full queue-wait
+// bound without a slot freeing — the server is saturated and the
+// caller should be told to retry later rather than queue forever.
+var ErrShed = errors.New("resilience: saturated, load shed after max queue wait")
+
+// Limiter bounds concurrent work with a bounded queue: Acquire waits
+// for a slot at most maxWait before giving up with ErrShed, so a
+// saturated server degrades into fast 503s instead of an unbounded
+// queue of doomed requests. The zero Limiter is unusable; call
+// NewLimiter.
+type Limiter struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+}
+
+// NewLimiter returns a limiter admitting n concurrent holders.
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{slots: make(chan struct{}, n)}
+}
+
+// Acquire claims a slot, waiting up to maxWait (forever when maxWait
+// < 0). It returns nil once a slot is held, ErrShed when the wait
+// bound elapses first, and ctx.Err() when the caller gives up first.
+// Every successful Acquire must be paired with Release.
+func (l *Limiter) Acquire(ctx context.Context, maxWait time.Duration) error {
+	// Fast path: a free slot costs no timer and no waiting-gauge blip.
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	l.waiting.Add(1)
+	defer l.waiting.Add(-1)
+	var bound <-chan time.Time
+	if maxWait >= 0 {
+		t := time.NewTimer(maxWait)
+		defer t.Stop()
+		bound = t.C
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-bound:
+		return ErrShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by Acquire.
+func (l *Limiter) Release() { <-l.slots }
+
+// Waiting is the number of requests currently queued for a slot — the
+// queue-depth gauge exposed on /metrics.
+func (l *Limiter) Waiting() int64 { return l.waiting.Load() }

@@ -1,0 +1,118 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"time"
+)
+
+// Recover converts a panic below it into a response written by
+// onPanic — the connection stays open, the client gets an envelope —
+// instead of net/http's dropped connection. onPanic receives the
+// recovered value and a writer that may already carry a partial
+// response (the buffered deadline writer makes header rewrites safe
+// for compute endpoints).
+func Recover(next http.Handler, onPanic func(w http.ResponseWriter, r *http.Request, v any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				onPanic(w, r, v)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// deadlineWriter buffers a handler's response so the Deadline
+// middleware can decide, once the handler finishes or the deadline
+// fires, whether to flush it or discard it in favor of the timeout
+// envelope. Buffering also makes a post-panic header rewrite safe:
+// nothing reaches the wire until the handler goroutine is done.
+type deadlineWriter struct {
+	header      http.Header
+	code        int
+	wroteHeader bool
+	buf         bytes.Buffer
+}
+
+func newDeadlineWriter() *deadlineWriter {
+	return &deadlineWriter{header: make(http.Header), code: http.StatusOK}
+}
+
+// Header implements http.ResponseWriter.
+func (dw *deadlineWriter) Header() http.Header { return dw.header }
+
+// WriteHeader implements http.ResponseWriter; like the wire writer,
+// only the first call sticks.
+func (dw *deadlineWriter) WriteHeader(code int) {
+	if !dw.wroteHeader {
+		dw.code = code
+		dw.wroteHeader = true
+	}
+}
+
+// Write implements http.ResponseWriter.
+func (dw *deadlineWriter) Write(p []byte) (int, error) {
+	dw.wroteHeader = true
+	return dw.buf.Write(p)
+}
+
+// Reset discards everything written so far — the panic handler uses
+// it to replace a half-written response with a clean envelope.
+func (dw *deadlineWriter) Reset() {
+	for k := range dw.header {
+		delete(dw.header, k)
+	}
+	dw.code = http.StatusOK
+	dw.wroteHeader = false
+	dw.buf.Reset()
+}
+
+// flush copies the buffered response to the wire writer.
+func (dw *deadlineWriter) flush(w http.ResponseWriter) {
+	h := w.Header()
+	for k, vs := range dw.header {
+		h[k] = vs
+	}
+	w.WriteHeader(dw.code)
+	_, _ = w.Write(dw.buf.Bytes())
+}
+
+// Deadline bounds next's wall-clock time: the request context gets the
+// deadline (so context-aware compute below actually stops working),
+// and if the handler overruns it anyway the middleware writes the
+// onTimeout response — a deadline_exceeded envelope in the server —
+// while the handler's eventual output is discarded. next's writes go
+// to a buffer, never the wire, so the late handler cannot race the
+// timeout response.
+//
+// next must not panic: wrap it in Recover first (the handler runs on a
+// separate goroutine here, so an escaping panic would kill the
+// process, not the request).
+func Deadline(d time.Duration, next http.Handler, onTimeout func(w http.ResponseWriter, r *http.Request)) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+		dw := newDeadlineWriter()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			next.ServeHTTP(dw, r)
+		}()
+		select {
+		case <-done:
+			dw.flush(w)
+		case <-ctx.Done():
+			if ctx.Err() == context.Canceled {
+				// The client went away; there is no one to answer.
+				return
+			}
+			onTimeout(w, r)
+		}
+	})
+}

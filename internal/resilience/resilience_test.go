@@ -1,0 +1,276 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToN(t *testing.T) {
+	l := NewLimiter(2)
+	ctx := context.Background()
+	if err := l.Acquire(ctx, 0); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := l.Acquire(ctx, 0); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+	// Saturated: a zero wait bound sheds immediately.
+	if err := l.Acquire(ctx, 0); !errors.Is(err, ErrShed) {
+		t.Fatalf("saturated acquire: %v, want ErrShed", err)
+	}
+	l.Release()
+	if err := l.Acquire(ctx, 0); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestLimiterShedsAfterBoundedWait(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := l.Acquire(context.Background(), 30*time.Millisecond)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if wait := time.Since(start); wait < 25*time.Millisecond || wait > 5*time.Second {
+		t.Errorf("shed after %v, want ~30ms", wait)
+	}
+}
+
+func TestLimiterWaitsWhenSlotFrees(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		l.Release()
+	}()
+	if err := l.Acquire(context.Background(), 5*time.Second); err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+}
+
+func TestLimiterHonorsContext(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if err := l.Acquire(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestLimiterWaitingGauge(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = l.Acquire(context.Background(), time.Second)
+	}()
+	deadline := time.Now().Add(time.Second)
+	for l.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiting gauge never reached 1 (got %d)", l.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Release()
+	<-done
+	if got := l.Waiting(); got != 0 {
+		t.Errorf("waiting after drain = %d, want 0", got)
+	}
+}
+
+// TestSingleflightCoalesces proves the headline property: N
+// concurrent callers of one key run fn exactly once.
+func TestSingleflightCoalesces(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	sharedCount := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (any, error) {
+				calls.Add(1)
+				<-gate
+				return "value", nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = v
+			if shared {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	// Wait until the leader is inside fn so every follower coalesces.
+	deadline := time.Now().Add(time.Second)
+	for calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let the followers pile up
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want exactly 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Errorf("%d shared results, want %d", got, n-1)
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Errorf("caller %d got %v", i, v)
+		}
+	}
+}
+
+func TestSingleflightSequentialCallsRunSeparately(t *testing.T) {
+	var g Group
+	var calls int
+	for i := 0; i < 3; i++ {
+		_, _, shared := g.Do("k", func() (any, error) { calls++; return nil, nil })
+		if shared {
+			t.Errorf("call %d unexpectedly shared", i)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3 (finished flights must be forgotten)", calls)
+	}
+}
+
+func TestSingleflightLeaderPanicReleasesFollowers(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	follower := make(chan error, 1)
+	go func() {
+		<-started
+		_, err, _ := g.Do("k", func() (any, error) { return "recomputed", nil })
+		follower <- err
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		g.Do("k", func() (any, error) {
+			close(started)
+			time.Sleep(20 * time.Millisecond) // let the follower join
+			panic("boom")
+		})
+	}()
+	select {
+	case err := <-follower:
+		// The follower either joined the doomed flight (ErrLeaderPanic)
+		// or arrived after it was forgotten and computed itself (nil).
+		if err != nil && !errors.Is(err, ErrLeaderPanic) {
+			t.Fatalf("follower err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower stranded after leader panic")
+	}
+}
+
+func TestRecoverWritesResponse(t *testing.T) {
+	h := Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}), func(w http.ResponseWriter, r *http.Request, v any) {
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte("recovered"))
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusInternalServerError || rec.Body.String() != "recovered" {
+		t.Fatalf("got %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDeadlinePassesFastResponses(t *testing.T) {
+	h := Deadline(time.Second, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Test", "yes")
+		w.WriteHeader(http.StatusTeapot)
+		_, _ = w.Write([]byte("fast"))
+	}), func(w http.ResponseWriter, r *http.Request) {
+		t.Error("timeout fired for a fast handler")
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusTeapot || rec.Body.String() != "fast" || rec.Header().Get("X-Test") != "yes" {
+		t.Fatalf("buffered response mangled: %d %q %v", rec.Code, rec.Body.String(), rec.Header())
+	}
+}
+
+func TestDeadlineTimesOutSlowHandler(t *testing.T) {
+	observed := make(chan error, 1)
+	h := Deadline(20*time.Millisecond, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+		observed <- r.Context().Err()
+		_, _ = w.Write([]byte("too late"))
+	}), func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusGatewayTimeout)
+		_, _ = w.Write([]byte("deadline"))
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusGatewayTimeout || rec.Body.String() != "deadline" {
+		t.Fatalf("got %d %q, want the timeout response", rec.Code, rec.Body.String())
+	}
+	select {
+	case err := <-observed:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("handler context err = %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never observed cancellation")
+	}
+}
+
+func TestDeadlineZeroDisables(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if h := Deadline(0, inner, nil); h == nil {
+		t.Fatal("nil handler")
+	} else {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("code %d", rec.Code)
+		}
+	}
+}
+
+func TestDeadlineWriterReset(t *testing.T) {
+	dw := newDeadlineWriter()
+	dw.Header().Set("X-Partial", "1")
+	dw.WriteHeader(http.StatusOK)
+	_, _ = dw.Write([]byte("partial"))
+	dw.Reset()
+	dw.WriteHeader(http.StatusInternalServerError)
+	_, _ = dw.Write([]byte("clean"))
+	rec := httptest.NewRecorder()
+	dw.flush(rec)
+	if rec.Code != http.StatusInternalServerError || rec.Body.String() != "clean" || rec.Header().Get("X-Partial") != "" {
+		t.Fatalf("reset failed: %d %q %v", rec.Code, rec.Body.String(), rec.Header())
+	}
+}

@@ -1,0 +1,79 @@
+package resilience
+
+import "sync"
+
+// call is one in-flight computation shared by every caller that asked
+// for its key while it ran.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Group coalesces duplicate concurrent work: Do with a key already in
+// flight waits for the running computation and shares its result
+// instead of recomputing. Between the server's content-addressed
+// result cache and this group, N concurrent identical cache misses
+// cost exactly one evaluation.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do runs fn under key, coalescing with an identical in-flight call:
+// the first caller (the leader) executes fn, everyone who arrives
+// before it finishes shares the same result. shared reports whether
+// this caller got the leader's result rather than executing fn itself.
+//
+// fn runs on the leader's goroutine with the leader's context, so a
+// leader that dies of its own deadline hands its context error to the
+// followers; followers whose own context is still live should retry
+// Do (the finished flight is forgotten, so a retry starts fresh).
+func (g *Group) Do(key string, fn func() (any, error)) (v any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &call{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		// A panicking fn must not strand the followers on c.done: hand
+		// them the flight with err set, then let the panic propagate to
+		// the leader's recovery middleware.
+		if r := recover(); r != nil {
+			c.err = ErrLeaderPanic
+			g.finish(key, c)
+			panic(r)
+		}
+	}()
+	c.val, c.err = fn()
+	g.finish(key, c)
+	return c.val, c.err, false
+}
+
+// finish publishes the call's result and forgets the key so later
+// callers start a fresh flight.
+func (g *Group) finish(key string, c *call) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// ErrLeaderPanic is handed to singleflight followers whose leader
+// panicked: the leader's own request surfaces the panic through the
+// recovery middleware; followers see this error and may retry.
+var ErrLeaderPanic = &leaderPanicError{}
+
+type leaderPanicError struct{}
+
+func (*leaderPanicError) Error() string {
+	return "resilience: coalesced computation panicked"
+}

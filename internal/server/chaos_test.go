@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"greenfpga/api"
+	"greenfpga/client"
+	"greenfpga/internal/faults"
+)
+
+// chaosBodies is one valid request body per compute endpoint, plus a
+// malformed variant exercised alongside them.
+var chaosBodies = []struct {
+	path string
+	body string
+}{
+	{"/v1/evaluate", ""}, // filled with the example scenario at init
+	{"/v1/evaluate/batch", ""},
+	{"/v1/compare", `{}`},
+	{"/v1/timeline", `{}`},
+	{"/v1/crossover", `{"domain":"ImgProc"}`},
+	{"/v1/sweep", `{"domain":"Crypto","axis":"lifetime","points":5}`},
+	{"/v1/mc", `{"samples":100,"seed":3}`},
+}
+
+func init() {
+	var eval string
+	{
+		b, err := json.Marshal(evaluateBody())
+		if err != nil {
+			panic(err)
+		}
+		eval = string(b)
+	}
+	chaosBodies[0].body = eval
+	chaosBodies[1].body = fmt.Sprintf(`{"requests":[%s,%s]}`, eval, eval)
+}
+
+// TestChaosEnvelopesStayWellFormed drives every compute endpoint
+// through a fault injector mixing panics, latency spikes and
+// transient 503s, and checks the acceptance invariants: the server
+// never crashes, every single response is either a success or a
+// well-formed error envelope with a known code, and /metrics accounts
+// for every injected panic.
+func TestChaosEnvelopesStayWellFormed(t *testing.T) {
+	inj := faults.New(42, faults.Plan{
+		PanicRate:       0.15,
+		LatencyRate:     0.10,
+		Latency:         2 * time.Millisecond,
+		UnavailableRate: 0.15,
+	})
+	_, hts := newTestServer(t, Options{ComputeWrap: inj.Wrap})
+
+	const rounds = 25
+	type result struct {
+		path string
+		code int
+		body []byte
+	}
+	results := make(chan result, rounds*(len(chaosBodies)+1))
+	var wg sync.WaitGroup
+	for round := range rounds {
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			for _, ep := range chaosBodies {
+				code, _, data := postRaw(t, hts.URL+ep.path, ep.body)
+				results <- result{ep.path, code, data}
+			}
+			// A malformed body must stay a clean 400 even amid faults.
+			code, _, data := postRaw(t, hts.URL+"/v1/evaluate", `{"unknown_field":1}`)
+			results <- result{"/v1/evaluate(bad)", code, data}
+		}(round)
+	}
+	wg.Wait()
+	close(results)
+
+	okCodes := map[string]bool{
+		"invalid_request": true, "overloaded": true,
+		"deadline_exceeded": true, "internal": true,
+	}
+	var total int
+	for res := range results {
+		total++
+		switch {
+		case res.code/100 == 2:
+			if !json.Valid(res.body) {
+				t.Errorf("%s: 2xx with invalid JSON: %q", res.path, res.body)
+			}
+		default:
+			var e api.Error
+			if err := json.Unmarshal(res.body, &e); err != nil || !okCodes[e.Code] {
+				t.Errorf("%s: status %d with malformed envelope %q", res.path, res.code, res.body)
+			}
+		}
+	}
+	if want := rounds * (len(chaosBodies) + 1); total != want {
+		t.Fatalf("collected %d responses, want %d", total, want)
+	}
+	// The server survived and still serves.
+	if code, _, _ := get(t, hts.URL+"/healthz"); code != http.StatusOK {
+		t.Error("server unhealthy after the chaos run")
+	}
+	// Every injected panic is accounted for on /metrics.
+	if inj.Panics.Load() == 0 {
+		t.Fatal("chaos run injected no panics; raise rounds or rates")
+	}
+	if got := metricValue(t, hts, "greenfpga_panics_total"); uint64(got) != inj.Panics.Load() {
+		t.Errorf("greenfpga_panics_total = %d, injector panicked %d times", got, inj.Panics.Load())
+	}
+}
+
+// TestChaosClientRetriesConverge closes the loop end to end: with the
+// injector also truncating response bodies, a retrying client gets a
+// correct answer from every endpoint despite panics and cut-short
+// responses on the wire.
+func TestChaosClientRetriesConverge(t *testing.T) {
+	inj := faults.New(7, faults.Plan{
+		PanicRate:    0.2,
+		TruncateRate: 0.2,
+		TruncateAt:   16,
+	})
+	_, hts := newTestServer(t, Options{ComputeWrap: inj.Wrap})
+	c := client.New(hts.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 12,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for round := range 3 {
+		if _, err := c.Evaluate(ctx, evaluateBody()); err != nil {
+			t.Errorf("round %d evaluate: %v", round, err)
+		}
+		if _, err := c.EvaluateBatch(ctx, &api.BatchEvaluateRequest{
+			Requests: []api.EvaluateRequest{*evaluateBody()}}); err != nil {
+			t.Errorf("round %d batch: %v", round, err)
+		}
+		if _, err := c.Compare(ctx, api.CompareRequest{}); err != nil {
+			t.Errorf("round %d compare: %v", round, err)
+		}
+		if _, err := c.Timeline(ctx, api.TimelineRequest{}); err != nil {
+			t.Errorf("round %d timeline: %v", round, err)
+		}
+		if _, err := c.Crossover(ctx, api.CrossoverRequest{Domain: "ImgProc"}); err != nil {
+			t.Errorf("round %d crossover: %v", round, err)
+		}
+		if _, err := c.Sweep(ctx, api.SweepRequest{Domain: "Crypto", Axis: "lifetime", Points: 5}); err != nil {
+			t.Errorf("round %d sweep: %v", round, err)
+		}
+		if _, err := c.MonteCarlo(ctx, api.MonteCarloRequest{Samples: 100, Seed: 3}); err != nil {
+			t.Errorf("round %d mc: %v", round, err)
+		}
+	}
+	if inj.Total() == 0 {
+		t.Fatal("chaos run injected nothing; raise rounds or rates")
+	}
+}

@@ -16,6 +16,19 @@ type metrics struct {
 	requests map[string]*atomic.Uint64
 	inflight atomic.Int64
 	rejected atomic.Uint64
+	// shed counts requests (or batch items) refused with 503 +
+	// Retry-After because no limiter slot freed within the queue-wait
+	// bound.
+	shed atomic.Uint64
+	// deadlines counts requests answered 504 because the handler
+	// overran its deadline.
+	deadlines atomic.Uint64
+	// panics counts handler panics recovered into internal envelopes.
+	panics atomic.Uint64
+	// coalesced counts requests that shared another request's
+	// in-flight evaluation instead of computing (the singleflight
+	// followers; the leader counts as the result-cache miss).
+	coalesced atomic.Uint64
 }
 
 // counter returns the request counter for an endpoint, creating it on
@@ -86,6 +99,21 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	add("# HELP greenfpga_rejected_total Requests abandoned while waiting for a concurrency slot.\n")
 	add("# TYPE greenfpga_rejected_total counter\n")
 	add("greenfpga_rejected_total %d\n", s.m.rejected.Load())
+	add("# HELP greenfpga_shed_total Requests shed with 503 after the bounded queue wait elapsed.\n")
+	add("# TYPE greenfpga_shed_total counter\n")
+	add("greenfpga_shed_total %d\n", s.m.shed.Load())
+	add("# HELP greenfpga_deadline_exceeded_total Requests answered 504 after overrunning their deadline.\n")
+	add("# TYPE greenfpga_deadline_exceeded_total counter\n")
+	add("greenfpga_deadline_exceeded_total %d\n", s.m.deadlines.Load())
+	add("# HELP greenfpga_panics_total Handler panics recovered into internal-error envelopes.\n")
+	add("# TYPE greenfpga_panics_total counter\n")
+	add("greenfpga_panics_total %d\n", s.m.panics.Load())
+	add("# HELP greenfpga_coalesced_total Requests that shared a concurrent identical evaluation (singleflight followers).\n")
+	add("# TYPE greenfpga_coalesced_total counter\n")
+	add("greenfpga_coalesced_total %d\n", s.m.coalesced.Load())
+	add("# HELP greenfpga_queue_depth Requests currently waiting for an evaluation slot.\n")
+	add("# TYPE greenfpga_queue_depth gauge\n")
+	add("greenfpga_queue_depth %d\n", s.limiter.Waiting())
 	_, err := w.Write(b)
 	return err
 }

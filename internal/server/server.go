@@ -3,32 +3,44 @@
 // /v1/..., plus /healthz and /metrics.
 //
 // Request flow: every request is counted, compute endpoints pass
-// through a concurrency limiter, and each POST body is decoded
-// strictly (unknown fields rejected) into its typed api request,
-// normalized, and content-addressed with api.CanonicalKey. A hit in
-// the result cache returns the stored response without re-evaluating;
-// a miss computes through the shared api entry points — the same code
-// the CLI runs — and caches the result. Batch evaluation fans items
-// out over internal/pool and shares the single-evaluate cache
-// entries, so a batch warms the cache for later singles and vice
-// versa. Compiled platforms and experiment artifacts are likewise
-// cached across requests (see api.Evaluator and the artifact cache
-// here), so repeated and swept queries hit PR 1's compiled fast path
-// or skip evaluation entirely.
+// through a bounded-wait concurrency limiter (a saturated server sheds
+// load with 503 + Retry-After instead of queueing unboundedly) and a
+// per-endpoint request deadline (overruns answer 504 with a
+// deadline_exceeded envelope and cancel the compute context, which the
+// api layer's sweeps, frontiers and Monte-Carlo workers observe), and
+// each POST body is decoded strictly (unknown fields rejected) into
+// its typed api request, normalized, and content-addressed with
+// api.CanonicalKey. A hit in the result cache returns the stored
+// response without re-evaluating; concurrent identical misses coalesce
+// through a singleflight group so N waiters cost one evaluation (the
+// followers answer X-Cache: coalesced); the leader computes through
+// the shared api entry points — the same code the CLI runs — and
+// caches the result. Handler panics are recovered into internal-error
+// envelopes and counted instead of dropping the connection. Batch
+// evaluation fans items out over internal/pool and shares the
+// single-evaluate cache entries and singleflight keyspace, so a batch
+// warms the cache for later singles and vice versa. Compiled platforms
+// and experiment artifacts are likewise cached across requests (see
+// api.Evaluator and the artifact cache here), so repeated and swept
+// queries hit PR 1's compiled fast path or skip evaluation entirely.
 package server
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"time"
 
 	"greenfpga/api"
 	"greenfpga/internal/cache"
 	"greenfpga/internal/experiments"
 	"greenfpga/internal/pool"
+	"greenfpga/internal/resilience"
 )
 
 // maxBody bounds a request body (1 MiB): scenario documents are a few
@@ -48,8 +60,7 @@ type Options struct {
 	// ephemeral port).
 	Addr string
 	// MaxConcurrent bounds the compute requests evaluated at once
-	// (default 64); excess requests queue until a slot frees or the
-	// client gives up.
+	// (default 64); excess requests queue up to MaxQueueWait.
 	MaxConcurrent int
 	// CacheEntries bounds the content-addressed result cache
 	// (default 1024).
@@ -57,6 +68,22 @@ type Options struct {
 	// CompiledPlatforms bounds the compiled-platform cache
 	// (default 256).
 	CompiledPlatforms int
+	// RequestTimeout is the wall-clock deadline of one compute request
+	// (default 30s; negative disables). An overrun answers 504 with a
+	// deadline_exceeded envelope and cancels the compute context.
+	RequestTimeout time.Duration
+	// EndpointTimeouts overrides RequestTimeout per endpoint path
+	// (e.g. {"/v1/mc": 2 * time.Minute}).
+	EndpointTimeouts map[string]time.Duration
+	// MaxQueueWait bounds how long a compute request may wait for a
+	// limiter slot before the server sheds it with 503 + Retry-After
+	// (default 2s; negative queues without bound).
+	MaxQueueWait time.Duration
+	// ComputeWrap, when non-nil, wraps every compute handler innermost
+	// — inside the deadline and panic-recovery middleware — so tests
+	// can inject faults (panics, latency, truncation) exactly where a
+	// misbehaving handler would produce them. Test-only.
+	ComputeWrap func(http.Handler) http.Handler
 }
 
 // withDefaults fills unset options.
@@ -73,7 +100,27 @@ func (o Options) withDefaults() Options {
 	if o.CompiledPlatforms <= 0 {
 		o.CompiledPlatforms = 256
 	}
+	switch {
+	case o.RequestTimeout == 0:
+		o.RequestTimeout = 30 * time.Second
+	case o.RequestTimeout < 0:
+		o.RequestTimeout = 0 // disabled
+	}
+	switch {
+	case o.MaxQueueWait == 0:
+		o.MaxQueueWait = 2 * time.Second
+	case o.MaxQueueWait < 0:
+		o.MaxQueueWait = -1 // unbounded
+	}
 	return o
+}
+
+// timeoutFor resolves an endpoint's request deadline.
+func (o Options) timeoutFor(endpoint string) time.Duration {
+	if d, ok := o.EndpointTimeouts[endpoint]; ok {
+		return d
+	}
+	return o.RequestTimeout
 }
 
 // Server is the GreenFPGA evaluation service.
@@ -85,9 +132,12 @@ type Server struct {
 	// separately from results so artifact traffic neither evicts
 	// evaluation entries nor skews the result-cache metrics.
 	artifacts *cache.LRU
-	limiter   chan struct{}
-	mux       *http.ServeMux
-	m         metrics
+	limiter   *resilience.Limiter
+	// flight coalesces concurrent identical cache misses: N waiters on
+	// one CanonicalKey cost exactly one evaluation.
+	flight resilience.Group
+	mux    *http.ServeMux
+	m      metrics
 
 	known map[string]bool // experiment IDs, for 404 vs 400
 
@@ -106,54 +156,106 @@ func New(opts Options) *Server {
 		// ~24 experiment IDs x 4 formats bounds the artifact space.
 		artifacts: cache.New(128),
 		results:   cache.New(opts.CacheEntries),
-		limiter:   make(chan struct{}, opts.MaxConcurrent),
+		limiter:   resilience.NewLimiter(opts.MaxConcurrent),
 		known:     make(map[string]bool),
 	}
 	for _, id := range experiments.List() {
 		s.known[id] = true
 	}
 	s.mux = http.NewServeMux()
-	s.route("GET /healthz", "/healthz", false, s.handleHealthz)
-	s.route("GET /metrics", "/metrics", false, s.handleMetrics)
-	s.route("GET /v1/devices", "/v1/devices", false, s.handleDevices)
-	s.route("GET /v1/domains", "/v1/domains", false, s.handleDomains)
-	s.route("GET /v1/experiments", "/v1/experiments", false, s.handleExperimentList)
-	s.route("GET /v1/experiments/{id}", "/v1/experiments/{id}", true, s.handleExperiment)
-	s.route("POST /v1/evaluate", "/v1/evaluate", true, s.handleEvaluate)
+	s.route("GET /healthz", "/healthz", false, false, s.handleHealthz)
+	s.route("GET /metrics", "/metrics", false, false, s.handleMetrics)
+	s.route("GET /v1/devices", "/v1/devices", false, false, s.handleDevices)
+	s.route("GET /v1/domains", "/v1/domains", false, false, s.handleDomains)
+	s.route("GET /v1/experiments", "/v1/experiments", false, false, s.handleExperimentList)
+	s.route("GET /v1/experiments/{id}", "/v1/experiments/{id}", true, true, s.handleExperiment)
+	s.route("POST /v1/evaluate", "/v1/evaluate", true, true, s.handleEvaluate)
 	// The batch endpoint is not limited as a whole: it charges the
 	// limiter per item inside the fan-out, so -max-concurrent bounds
 	// actual concurrent evaluations across every request shape (a
 	// whole-batch slot would both under-count the work and deadlock
-	// against per-item slots).
-	s.route("POST /v1/evaluate/batch", "/v1/evaluate/batch", false, s.handleBatch)
-	s.route("POST /v1/compare", "/v1/compare", true, s.handleCompare)
-	s.route("POST /v1/timeline", "/v1/timeline", true, s.handleTimeline)
-	s.route("POST /v1/crossover", "/v1/crossover", true, s.handleCrossover)
-	s.route("POST /v1/sweep", "/v1/sweep", true, s.handleSweep)
-	s.route("POST /v1/mc", "/v1/mc", true, s.handleMonteCarlo)
+	// against per-item slots). It still gets the compute stack — one
+	// deadline over the whole batch, panic recovery, fault wrap.
+	s.route("POST /v1/evaluate/batch", "/v1/evaluate/batch", false, true, s.handleBatch)
+	s.route("POST /v1/compare", "/v1/compare", true, true, s.handleCompare)
+	s.route("POST /v1/timeline", "/v1/timeline", true, true, s.handleTimeline)
+	s.route("POST /v1/crossover", "/v1/crossover", true, true, s.handleCrossover)
+	s.route("POST /v1/sweep", "/v1/sweep", true, true, s.handleSweep)
+	s.route("POST /v1/mc", "/v1/mc", true, true, s.handleMonteCarlo)
 	return s
 }
 
-// route registers a handler behind the counting and, for compute
-// endpoints, concurrency-limiting middleware.
-func (s *Server) route(pattern, endpoint string, limited bool, h http.HandlerFunc) {
+// route registers a handler behind the middleware stack, outermost
+// first: request counting, bounded-wait concurrency limiting (limited
+// endpoints; saturation sheds with 503 + Retry-After), the request
+// deadline (compute endpoints; overruns answer 504 and cancel the
+// compute context), panic recovery (all endpoints; panics answer 500
+// internal envelopes and are counted), and the test-only fault wrap
+// (compute endpoints, innermost — where a misbehaving handler would
+// fault). The deadline middleware runs its inner handler on a child
+// goroutine against a buffered writer, so recovery sits inside it:
+// a panicking compute handler is recovered on that goroutine and its
+// half-written buffer replaced with a clean envelope.
+func (s *Server) route(pattern, endpoint string, limited, compute bool, h http.HandlerFunc) {
+	var inner http.Handler = h
+	if compute && s.opts.ComputeWrap != nil {
+		inner = s.opts.ComputeWrap(inner)
+	}
+	inner = resilience.Recover(inner, s.onPanic)
+	if compute {
+		inner = resilience.Deadline(s.opts.timeoutFor(endpoint), inner, s.onDeadline)
+	}
 	ctr := s.m.counter(endpoint)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		ctr.Add(1)
 		s.m.inflight.Add(1)
 		defer s.m.inflight.Add(-1)
 		if limited {
-			select {
-			case s.limiter <- struct{}{}:
-				defer func() { <-s.limiter }()
-			case <-r.Context().Done():
-				// The client gave up while queued; nothing to write.
-				s.m.rejected.Add(1)
+			if err := s.limiter.Acquire(r.Context(), s.opts.MaxQueueWait); err != nil {
+				if errors.Is(err, resilience.ErrShed) {
+					s.m.shed.Add(1)
+					s.writeShed(w)
+				} else {
+					// The client gave up while queued; nothing to write.
+					s.m.rejected.Add(1)
+				}
 				return
 			}
+			defer s.limiter.Release()
 		}
-		h(w, r)
+		inner.ServeHTTP(w, r)
 	})
+}
+
+// onPanic converts a recovered handler panic into an internal-error
+// envelope. Under the deadline middleware the writer is buffered, so a
+// half-written response is reset cleanly before the envelope.
+func (s *Server) onPanic(w http.ResponseWriter, r *http.Request, v any) {
+	s.m.panics.Add(1)
+	if rw, ok := w.(interface{ Reset() }); ok {
+		rw.Reset()
+	}
+	s.writeError(w, &api.Error{Code: "internal",
+		Message: fmt.Sprintf("panic serving %s: %v", r.URL.Path, v)})
+}
+
+// onDeadline answers a request whose handler overran its deadline.
+func (s *Server) onDeadline(w http.ResponseWriter, r *http.Request) {
+	s.m.deadlines.Add(1)
+	s.writeError(w, &api.Error{Code: "deadline_exceeded",
+		Message: "request deadline exceeded before the evaluation finished"})
+}
+
+// writeShed answers a request shed by the saturated limiter: 503 with
+// a Retry-After hint sized to the queue-wait bound.
+func (s *Server) writeShed(w http.ResponseWriter) {
+	after := int64(1)
+	if wait := s.opts.MaxQueueWait; wait > time.Second {
+		after = int64((wait + time.Second - 1) / time.Second)
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(after, 10))
+	s.writeError(w, &api.Error{Code: "overloaded",
+		Message: "saturated: no evaluation slot freed within the queue-wait bound; retry later"})
 }
 
 // Handler returns the service's http.Handler (for httptest and
@@ -168,7 +270,14 @@ func (s *Server) Start() (string, error) {
 		return "", err
 	}
 	s.ln = ln
-	s.hs = &http.Server{Handler: s.mux}
+	s.hs = &http.Server{
+		Handler: s.mux,
+		// A client that dribbles its headers (or never sends them)
+		// must not hold a connection forever; idle keep-alive
+		// connections are likewise bounded.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	s.done = make(chan error, 1)
 	go func() {
 		err := s.hs.Serve(ln)
@@ -210,6 +319,12 @@ func status(code string) int {
 		return http.StatusNotFound
 	case "overloaded":
 		return http.StatusServiceUnavailable
+	case "deadline_exceeded":
+		return http.StatusGatewayTimeout
+	case "canceled":
+		// 499 Client Closed Request (nginx convention): the client
+		// abandoned the request; usually no one reads this.
+		return 499
 	default:
 		return http.StatusInternalServerError
 	}
@@ -229,6 +344,12 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) boo
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, &api.Error{Code: "invalid_request",
+				Message: "request body exceeds the 1 MiB limit"})
+			return false
+		}
 		s.writeError(w, &api.Error{Code: "invalid_request", Message: "bad request body: " + err.Error()})
 		return false
 	}
@@ -239,12 +360,45 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) boo
 	return true
 }
 
+// deadFlight reports a flight result that died with its leader — a
+// context error or panic belonging to the leader's request — rather
+// than a verdict about the computation itself. A follower whose own
+// context is still live should retry such a flight.
+func deadFlight(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, resilience.ErrLeaderPanic)
+}
+
+// computeCoalesced runs compute through the singleflight group: the
+// first caller of a key evaluates while everyone who arrives during
+// the flight shares the result (shared=true, counted as coalesced).
+// A flight that died with its leader — the leader's deadline fired,
+// its client hung up, its handler panicked — proves nothing about the
+// request, so a follower whose own context is still live starts a
+// fresh flight instead of inheriting the corpse.
+func (s *Server) computeCoalesced(ctx context.Context, key string,
+	compute func() (any, error)) (v any, err error, shared bool) {
+	for {
+		v, err, shared = s.flight.Do(key, compute)
+		if shared && err != nil && deadFlight(err) && ctx.Err() == nil {
+			continue
+		}
+		if shared {
+			s.m.coalesced.Add(1)
+		}
+		return v, err, shared
+	}
+}
+
 // serveCached answers from the content-addressed result cache, or
-// computes, caches and answers. req must already be normalized — it
-// is the content being addressed. A non-nil cacheIf gates admission
-// (for responses too large to be worth pinning).
-func (s *Server) serveCached(w http.ResponseWriter, endpoint string, req any,
-	compute func() (any, error), cacheIf func(any) bool) {
+// computes, caches and answers; concurrent identical misses coalesce
+// onto one evaluation through the singleflight group, with the
+// followers marked X-Cache: coalesced. req must already be normalized
+// — it is the content being addressed. A non-nil cacheIf gates
+// admission (for responses too large to be worth pinning).
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint string, req any,
+	compute func(ctx context.Context) (any, error), cacheIf func(any) bool) {
 	key, err := api.CanonicalKey(endpoint, req)
 	if err != nil {
 		s.writeError(w, &api.Error{Code: "internal", Message: err.Error()})
@@ -255,15 +409,20 @@ func (s *Server) serveCached(w http.ResponseWriter, endpoint string, req any,
 		s.writeJSON(w, v)
 		return
 	}
-	v, err := compute()
+	v, err, shared := s.computeCoalesced(r.Context(), key,
+		func() (any, error) { return compute(r.Context()) })
 	if err != nil {
 		s.writeError(w, api.ToError(err))
 		return
 	}
-	if cacheIf == nil || cacheIf(v) {
-		s.results.Put(key, v)
+	if shared {
+		w.Header().Set("X-Cache", "coalesced")
+	} else {
+		if cacheIf == nil || cacheIf(v) {
+			s.results.Put(key, v)
+		}
+		w.Header().Set("X-Cache", "miss")
 	}
-	w.Header().Set("X-Cache", "miss")
 	s.writeJSON(w, v)
 }
 
@@ -296,8 +455,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// Keying on the normalized request makes a legacy scenario body
 	// and its spec spelling one cache entry.
 	norm := req.Normalized()
-	s.serveCached(w, "/v1/evaluate", &norm, func() (any, error) {
-		return s.eval.Evaluate(&norm)
+	s.serveCached(w, r, "/v1/evaluate", &norm, func(ctx context.Context) (any, error) {
+		return s.eval.Evaluate(ctx, &norm)
 	}, nil)
 }
 
@@ -318,33 +477,49 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := api.BatchEvaluateResponse{Results: make([]api.BatchItem, len(req.Requests))}
 	// Fan out over the worker pool, acquiring one limiter slot per
 	// item so batches share the -max-concurrent budget with single
-	// evaluates. Items share the single-evaluate cache keyspace, so a
-	// batch both benefits from and warms the /v1/evaluate entries.
+	// evaluates — and shed per item when the slot wait exceeds the
+	// bound. Items share the single-evaluate cache keyspace and
+	// singleflight group, so a batch both benefits from and warms the
+	// /v1/evaluate entries and coalesces with concurrent singles.
 	// Item errors land in the item, never abort the batch.
 	_ = pool.Run(len(req.Requests), 1, func(i int) error {
-		select {
-		case s.limiter <- struct{}{}:
-			defer func() { <-s.limiter }()
-		case <-r.Context().Done():
-			s.m.rejected.Add(1)
-			resp.Results[i] = api.BatchItem{Error: &api.Error{
-				Code: "overloaded", Message: "client gave up while the item was queued"}}
+		if err := s.limiter.Acquire(r.Context(), s.opts.MaxQueueWait); err != nil {
+			if errors.Is(err, resilience.ErrShed) {
+				s.m.shed.Add(1)
+				resp.Results[i] = api.BatchItem{Error: &api.Error{
+					Code: "overloaded", Message: "saturated: item shed after the queue-wait bound; retry later"}}
+			} else {
+				s.m.rejected.Add(1)
+				resp.Results[i] = api.BatchItem{Error: &api.Error{
+					Code: "overloaded", Message: "client gave up while the item was queued"}}
+			}
 			return nil
 		}
+		defer s.limiter.Release()
 		item := req.Requests[i].Normalized()
 		key, err := api.CanonicalKey("/v1/evaluate", &item)
-		if err == nil {
-			if v, ok := s.results.Get(key); ok {
-				resp.Results[i] = api.BatchItem{Response: v.(*api.EvaluateResponse)}
+		if err != nil {
+			out, evalErr := s.eval.Evaluate(r.Context(), &item)
+			if evalErr != nil {
+				resp.Results[i] = api.BatchItem{Error: api.ToError(evalErr)}
 				return nil
 			}
+			resp.Results[i] = api.BatchItem{Response: out}
+			return nil
 		}
-		out, evalErr := s.eval.Evaluate(&item)
+		if v, ok := s.results.Get(key); ok {
+			resp.Results[i] = api.BatchItem{Response: v.(*api.EvaluateResponse)}
+			return nil
+		}
+		v, evalErr, shared := s.computeCoalesced(r.Context(), key, func() (any, error) {
+			return s.eval.Evaluate(r.Context(), &item)
+		})
 		if evalErr != nil {
 			resp.Results[i] = api.BatchItem{Error: api.ToError(evalErr)}
 			return nil
 		}
-		if err == nil {
+		out := v.(*api.EvaluateResponse)
+		if !shared {
 			s.results.Put(key, out)
 		}
 		resp.Results[i] = api.BatchItem{Response: out}
@@ -359,8 +534,8 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	norm := req.Normalized()
-	s.serveCached(w, "/v1/compare", norm, func() (any, error) {
-		return s.eval.RunCompare(norm)
+	s.serveCached(w, r, "/v1/compare", norm, func(ctx context.Context) (any, error) {
+		return s.eval.RunCompare(ctx, norm)
 	}, nil)
 }
 
@@ -370,8 +545,8 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	norm := req.Normalized()
-	s.serveCached(w, "/v1/timeline", norm, func() (any, error) {
-		return s.eval.RunTimeline(norm)
+	s.serveCached(w, r, "/v1/timeline", norm, func(ctx context.Context) (any, error) {
+		return s.eval.RunTimeline(ctx, norm)
 	}, nil)
 }
 
@@ -381,8 +556,8 @@ func (s *Server) handleCrossover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	norm := req.Normalized()
-	s.serveCached(w, "/v1/crossover", norm, func() (any, error) {
-		return s.eval.RunCrossover(norm)
+	s.serveCached(w, r, "/v1/crossover", norm, func(ctx context.Context) (any, error) {
+		return s.eval.RunCrossover(ctx, norm)
 	}, nil)
 }
 
@@ -392,8 +567,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	norm := req.Normalized()
-	s.serveCached(w, "/v1/sweep", norm, func() (any, error) {
-		return s.eval.RunSweep(norm)
+	s.serveCached(w, r, "/v1/sweep", norm, func(ctx context.Context) (any, error) {
+		return s.eval.RunSweep(ctx, norm)
 	}, func(v any) bool {
 		// Admit only plot-sized sweeps: a full LRU of MaxSweepPoints
 		// responses would pin gigabytes. Oversized sweeps recompute,
@@ -409,8 +584,8 @@ func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	norm := req.Normalized()
-	s.serveCached(w, "/v1/mc", norm, func() (any, error) {
-		return s.eval.RunMonteCarlo(norm)
+	s.serveCached(w, r, "/v1/mc", norm, func(ctx context.Context) (any, error) {
+		return s.eval.RunMonteCarlo(ctx, norm)
 	}, nil)
 }
 

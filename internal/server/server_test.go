@@ -99,7 +99,7 @@ func TestEvaluateMatchesSharedCompute(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("evaluate: %d %s", code, data)
 	}
-	want, err := api.NewEvaluator(4).Evaluate(evaluateBody())
+	want, err := api.NewEvaluator(4).Evaluate(context.Background(), evaluateBody())
 	if err != nil {
 		t.Fatal(err)
 	}
