@@ -18,6 +18,7 @@ import (
 	"greenfpga/internal/experiments"
 	"greenfpga/internal/isoperf"
 	"greenfpga/internal/sweep"
+	"greenfpga/internal/telemetry"
 	"greenfpga/internal/units"
 )
 
@@ -140,7 +141,9 @@ func (e *Evaluator) Evaluate(ctx context.Context, req *EvaluateRequest) (*Evalua
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		stop := telemetry.StartStage(ctx, "resolve")
 		c, err := e.resolveSpec(sp)
+		stop()
 		if err != nil {
 			return nil, fmt.Errorf("platform %s: %w", sp.describe(), err)
 		}
@@ -160,7 +163,9 @@ func (e *Evaluator) Evaluate(ctx context.Context, req *EvaluateRequest) (*Evalua
 			return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
 				"two %s platforms; the evaluate response carries one per side — use /v1/compare", kind)}
 		}
+		stop = telemetry.StartStage(ctx, "compute")
 		a, err := c.Evaluate(scen)
+		stop()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", kind, err)
 		}
@@ -326,10 +331,13 @@ func (e *Evaluator) RunCrossover(ctx context.Context, req CrossoverRequest) (*Cr
 		return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
 			"crossover solves between exactly two platforms, got %d", len(req.Platforms))}
 	}
+	stop := telemetry.StartStage(ctx, "resolve")
 	cs, err := e.resolveAll(req.Platforms, req.Domain, "crossover", 2)
+	stop()
 	if err != nil {
 		return nil, err
 	}
+	defer telemetry.StartStage(ctx, "compute")()
 	a, b := cs[0], cs[1]
 	resp := &CrossoverResponse{Domain: req.Domain}
 	resp.PlatformA, resp.PlatformB = specEchoes(req.Platforms, req.Domain, cs)
@@ -428,11 +436,14 @@ func (e *Evaluator) RunCompare(ctx context.Context, req CompareRequest) (*Compar
 		return nil, &Error{Code: "invalid_request",
 			Message: fmt.Sprintf("%d frontier points exceeds the %d limit", req.MaxApps, MaxCompareApps)}
 	}
+	stop := telemetry.StartStage(ctx, "resolve")
 	cs, err := e.resolveAll(req.Platforms, req.Domain, "compare", 2)
+	stop()
 	if err != nil {
 		return nil, err
 	}
 
+	defer telemetry.StartStage(ctx, "compute")()
 	sc, err := cs.CompareUniform(w.NApps, units.YearsOf(w.LifetimeYears), w.Volume, w.SizeGates)
 	if err != nil {
 		return nil, err
@@ -559,11 +570,14 @@ func (e *Evaluator) RunTimeline(ctx context.Context, req TimelineRequest) (*Time
 		return nil, &Error{Code: "invalid_request",
 			Message: fmt.Sprintf("negative chip lifetime %g", req.ChipLifetimeYears)}
 	}
+	stop := telemetry.StartStage(ctx, "resolve")
 	cs, err := e.resolveAll(req.Platforms, req.Domain, "timeline", 2)
+	stop()
 	if err != nil {
 		return nil, err
 	}
 
+	defer telemetry.StartStage(ctx, "compute")()
 	sch := w.schedule(req.Domain + "-timeline")
 	sc, err := cs.CompareSchedule(sch)
 	if err != nil {
@@ -724,10 +738,13 @@ func (e *Evaluator) RunSweep(ctx context.Context, req SweepRequest) (*SweepRespo
 	if err != nil {
 		return nil, err
 	}
+	stop := telemetry.StartStage(ctx, "resolve")
 	cs, err := e.resolveAll(req.Platforms, req.Domain, "sweep", 1)
+	stop()
 	if err != nil {
 		return nil, err
 	}
+	defer telemetry.StartStage(ctx, "compute")()
 	eval := func(x float64, totals []units.Mass) error {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -860,10 +877,13 @@ func (e *Evaluator) RunMonteCarlo(ctx context.Context, req MonteCarloRequest) (*
 		return nil, &Error{Code: "invalid_request",
 			Message: "mc platforms must share one domain calibration"}
 	}
+	stop := telemetry.StartStage(ctx, "resolve")
 	d, err := isoperf.ByName(req.Domain)
+	stop()
 	if err != nil {
 		return nil, err
 	}
+	defer telemetry.StartStage(ctx, "compute")()
 	res, err := greenfpga.DomainRatioStudyBetweenCtx(ctx, d,
 		greenfpga.DeviceKind(a.Kind), greenfpga.DeviceKind(b.Kind),
 		w.NApps, req.Samples, req.Seed)

@@ -1,0 +1,49 @@
+package api
+
+import (
+	"runtime/debug"
+)
+
+// VersionInfo identifies the running build: the module version, the
+// Go toolchain, and — when the binary was built from a git checkout —
+// the VCS revision and commit time. `greenfpga version`, the server's
+// /v1/version endpoint and the access-log preamble all render this,
+// so a log line or a bug report pins the exact build.
+type VersionInfo struct {
+	// Version is the module version ("(devel)" for a source build).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// CommitTime is the commit's timestamp (RFC 3339), when stamped.
+	CommitTime string `json:"commit_time,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// BuildVersion reads the build's identity from the information the Go
+// linker embeds (runtime/debug.ReadBuildInfo) — no ldflags plumbing,
+// so every build path (go build, go test, go run) is stamped alike.
+func BuildVersion() VersionInfo {
+	v := VersionInfo{Version: "(devel)"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.GoVersion = bi.GoVersion
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.time":
+			v.CommitTime = s.Value
+		case "vcs.modified":
+			v.Dirty = s.Value == "true"
+		}
+	}
+	return v
+}

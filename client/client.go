@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"greenfpga/api"
+	"greenfpga/internal/telemetry"
 )
 
 // Client talks to one GreenFPGA service instance. It is safe for
@@ -30,6 +31,8 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	retry RetryPolicy
+	// onRetry, when non-nil, observes every retry decision.
+	onRetry func(RetryEvent)
 	// sleep waits out a backoff delay; tests substitute it to run
 	// retry schedules without real time passing.
 	sleep func(ctx context.Context, d time.Duration) error
@@ -82,6 +85,30 @@ func WithRetry(p RetryPolicy) Option {
 	}
 }
 
+// RetryEvent describes one about-to-be-retried failure: which attempt
+// just failed (1-based), why, the request ID the failing exchange
+// carried (constant across a request's retries, so the server's access
+// log lines for every attempt correlate), and how long the client will
+// wait before the next attempt.
+type RetryEvent struct {
+	// Attempt is the failed attempt's number, starting at 1.
+	Attempt int
+	// RequestID is the X-Request-ID the attempt was sent with.
+	RequestID string
+	// Err is the failure that triggered the retry.
+	Err error
+	// Delay is the backoff wait before the next attempt.
+	Delay time.Duration
+}
+
+// WithRetryLog registers a callback invoked before each retry sleep —
+// the hook for surfacing "attempt 2/4 failed (id=...): 503, retrying
+// in 800ms" in CLI and loadgen output. The callback runs on the
+// requesting goroutine; keep it fast.
+func WithRetryLog(fn func(RetryEvent)) Option {
+	return func(c *Client) { c.onRetry = fn }
+}
+
 // New builds a client for the service at baseURL (scheme and host,
 // e.g. "http://127.0.0.1:8080"). Without WithRetry each request is
 // attempted exactly once.
@@ -120,6 +147,10 @@ type StatusError struct {
 	// RetryAfter is the parsed Retry-After header when the response
 	// carried one (the service's 503 sheds do), zero otherwise.
 	RetryAfter time.Duration
+	// RequestID correlates the failure with the server's access log:
+	// the response's echoed X-Request-ID, or the ID the request was
+	// sent with when the response carried none.
+	RequestID string
 }
 
 // Error implements the error interface.
@@ -141,8 +172,10 @@ func (e *transientError) Unwrap() error { return e.err }
 // do runs one request under the retry policy; in (when non-nil) is
 // sent as canonical JSON, out (when non-nil) receives the decoded
 // response. The payload is built once so replays send identical
-// bytes. When the context ends during a backoff wait, the last
-// attempt's error is returned (it explains why retries were running).
+// bytes, and one request ID covers every attempt so the server's
+// access log correlates a retry storm to its logical request. When
+// the context ends during a backoff wait, the last attempt's error is
+// returned (it explains why retries were running).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var payload []byte
 	if in != nil {
@@ -152,26 +185,31 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		payload = buf.Bytes()
 	}
+	id := telemetry.NewRequestID()
 	attempts := c.retry.MaxAttempts
 	if attempts <= 0 {
 		attempts = 1
 	}
 	for attempt := 0; ; attempt++ {
-		err := c.once(ctx, method, path, payload, in != nil, out)
+		err := c.once(ctx, method, path, id, payload, in != nil, out)
 		if err == nil {
 			return nil
 		}
 		if attempt+1 >= attempts || ctx.Err() != nil || !retryable(err) {
 			return err
 		}
-		if c.sleep(ctx, c.backoff(attempt, err)) != nil {
+		delay := c.backoff(attempt, err)
+		if c.onRetry != nil {
+			c.onRetry(RetryEvent{Attempt: attempt + 1, RequestID: id, Err: err, Delay: delay})
+		}
+		if c.sleep(ctx, delay) != nil {
 			return err
 		}
 	}
 }
 
 // once runs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, method, path string, payload []byte, isJSON bool, out any) error {
+func (c *Client) once(ctx context.Context, method, path, id string, payload []byte, isJSON bool, out any) error {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
@@ -180,6 +218,7 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 	if err != nil {
 		return err
 	}
+	req.Header.Set("X-Request-ID", id)
 	if isJSON {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -194,7 +233,12 @@ func (c *Client) once(ctx context.Context, method, path string, payload []byte, 
 		if json.Unmarshal(data, e) != nil || e.Code == "" {
 			e = &api.Error{Code: "http_error", Message: strings.TrimSpace(string(data))}
 		}
-		return &StatusError{Status: resp.StatusCode, Err: e, RetryAfter: retryAfterHeader(resp)}
+		echoed := resp.Header.Get("X-Request-ID")
+		if echoed == "" {
+			echoed = id
+		}
+		return &StatusError{Status: resp.StatusCode, Err: e,
+			RetryAfter: retryAfterHeader(resp), RequestID: echoed}
 	}
 	if out == nil {
 		_, err = io.Copy(io.Discard, resp.Body)
@@ -298,6 +342,12 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 			Err: &api.Error{Code: "http_error", Message: strings.TrimSpace(string(data))}}
 	}
 	return string(data), nil
+}
+
+// Version fetches the service build's identity.
+func (c *Client) Version(ctx context.Context) (*api.VersionInfo, error) {
+	out := &api.VersionInfo{}
+	return out, c.do(ctx, http.MethodGet, "/v1/version", nil, out)
 }
 
 // Devices fetches the Table 3 catalog.

@@ -1,0 +1,139 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"greenfpga/api"
+	"greenfpga/internal/telemetry"
+)
+
+// TestStatusErrorCarriesEchoedRequestID checks a failing exchange
+// surfaces the server's echoed X-Request-ID on the error, so the
+// caller can quote the exact ID the server logged.
+func TestStatusErrorCarriesEchoedRequestID(t *testing.T) {
+	hts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", "server-rewrote-this")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"code":"internal","message":"boom"}`)
+	}))
+	t.Cleanup(hts.Close)
+	err := New(hts.URL).Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.RequestID != "server-rewrote-this" {
+		t.Errorf("RequestID = %q, want the server's echoed ID", se.RequestID)
+	}
+}
+
+// TestStatusErrorFallsBackToSentID checks that against a server that
+// echoes nothing, the error still carries the ID the request was sent
+// with — there is always something to correlate on.
+func TestStatusErrorFallsBackToSentID(t *testing.T) {
+	var mu sync.Mutex
+	var seen string
+	hts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = r.Header.Get("X-Request-ID")
+		mu.Unlock()
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"code":"invalid_request","message":"no"}`)
+	}))
+	t.Cleanup(hts.Close)
+	err := New(hts.URL).Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen == "" || !telemetry.ValidRequestID(seen) {
+		t.Fatalf("request carried X-Request-ID %q, want a generated valid ID", seen)
+	}
+	if se.RequestID != seen {
+		t.Errorf("RequestID = %q, want the sent ID %q", se.RequestID, seen)
+	}
+}
+
+// TestRetryLogCarriesStableRequestID checks WithRetryLog observes
+// every retry with the one ID all attempts were sent under, so the
+// server's access-log lines for the whole retry schedule correlate.
+func TestRetryLogCarriesStableRequestID(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	hts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen = append(seen, r.Header.Get("X-Request-ID"))
+		n := len(seen)
+		mu.Unlock()
+		if n <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"code":"overloaded","message":"shed"}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	t.Cleanup(hts.Close)
+	var events []RetryEvent
+	c := New(hts.URL,
+		WithRetry(RetryPolicy{MaxAttempts: 4}),
+		WithRetryLog(func(e RetryEvent) { events = append(events, e) }))
+	c.sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after sheds: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d retry events, want 2", len(events))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 || seen[0] == "" || seen[0] != seen[1] || seen[1] != seen[2] {
+		t.Fatalf("attempts carried IDs %q, want one stable ID across all three", seen)
+	}
+	for i, e := range events {
+		if e.Attempt != i+1 {
+			t.Errorf("event %d: Attempt = %d, want %d", i, e.Attempt, i+1)
+		}
+		if e.RequestID != seen[0] {
+			t.Errorf("event %d: RequestID = %q, want the wire ID %q", i, e.RequestID, seen[0])
+		}
+		if e.Err == nil {
+			t.Errorf("event %d: nil Err", i)
+		}
+		var se *StatusError
+		if !errors.As(e.Err, &se) || se.Status != http.StatusServiceUnavailable {
+			t.Errorf("event %d: Err = %v, want the 503 StatusError", i, e.Err)
+		}
+		if e.Delay <= 0 {
+			t.Errorf("event %d: Delay = %v, want > 0", i, e.Delay)
+		}
+	}
+}
+
+// TestVersionRoundTrip checks the client decodes the /v1/version
+// document.
+func TestVersionRoundTrip(t *testing.T) {
+	want := api.VersionInfo{Version: "v1.2.3", GoVersion: "go1.24.0", Revision: "abcdef", Dirty: true}
+	hts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/version" {
+			t.Errorf("path %q, want /v1/version", r.URL.Path)
+		}
+		_ = api.WriteJSON(w, want)
+	}))
+	t.Cleanup(hts.Close)
+	got, err := New(hts.URL).Version(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != want {
+		t.Errorf("Version() = %+v, want %+v", *got, want)
+	}
+}

@@ -49,6 +49,8 @@ var commands = map[string]func(args []string) error{
 	"mc":             cmdMC,
 	"wafer":          cmdWafer,
 	"serve":          cmdServe,
+	"loadgen":        cmdLoadgen,
+	"version":        cmdVersion,
 	"validate":       cmdValidate,
 	"example-config": cmdExampleConfig,
 	"help":           cmdHelp,
@@ -157,7 +159,12 @@ commands:
   mc -domain <name>               Monte-Carlo uncertainty over Table 1 ranges;
                                   -platforms picks the studied kind pair
   wafer [-device <name>]          wafer-level manufacturing economics
-  serve [-addr host:port]         HTTP evaluation service (/v1/..., /healthz, /metrics)
+  serve [-addr host:port]         HTTP evaluation service (/v1/..., /healthz, /metrics);
+                                  -access-log writes JSON access records,
+                                  -pprof serves the profiler on a loopback port
+  loadgen -base <url>             closed-loop stepped load ramp against a running
+                                  service; writes the BENCH_serve.json trajectory
+  version                         print the build's version and VCS revision
   validate -config <file.json>    check a scenario JSON
   example-config                  print a sample scenario JSON
   help                            print this usage (also -h, --help)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -43,6 +44,10 @@ func cmdServe(args []string) error {
 		"per-endpoint deadline overrides, comma-separated path=duration (e.g. /v1/mc=2m,/v1/sweep=1m)")
 	maxQueueWait := fs.Duration("max-queue-wait", 2*time.Second,
 		"longest a request may queue for an evaluation slot before being shed with 503 + Retry-After (0 sheds immediately when saturated)")
+	accessLog := fs.String("access-log", "",
+		"write one-line JSON access records to this file ('-' for stderr); the first line identifies the build")
+	pprofAddr := fs.String("pprof", "",
+		"serve net/http/pprof on this address (loopback only, e.g. 127.0.0.1:6060; port 0 picks one)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -60,6 +65,19 @@ func cmdServe(args []string) error {
 		// soon as the limiter is saturated.
 		queueWait = time.Nanosecond
 	}
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open -access-log: %w", err)
+		}
+		defer f.Close()
+		accessW = f
+	}
 	srv := server.New(server.Options{
 		Addr:             *addr,
 		MaxConcurrent:    *maxConcurrent,
@@ -67,6 +85,8 @@ func cmdServe(args []string) error {
 		RequestTimeout:   reqTimeout,
 		EndpointTimeouts: overrides,
 		MaxQueueWait:     queueWait,
+		AccessLog:        accessW,
+		PprofAddr:        *pprofAddr,
 	})
 	bound, err := srv.Start()
 	if err != nil {
@@ -75,6 +95,9 @@ func cmdServe(args []string) error {
 	// The first output line carries the bound address so scripts (and
 	// the CI smoke job) can discover an ephemeral port.
 	fmt.Printf("listening on http://%s\n", bound)
+	if pa := srv.PprofAddr(); pa != "" {
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pa)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

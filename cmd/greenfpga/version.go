@@ -1,0 +1,36 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"greenfpga/api"
+)
+
+// cmdVersion prints the build's identity — module version, Go
+// toolchain, VCS revision — from the linker-embedded build info, the
+// same document the service answers on /v1/version.
+func cmdVersion(args []string) error {
+	fs := flag.NewFlagSet("version", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the canonical JSON document (matches GET /v1/version)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	v := api.BuildVersion()
+	if *jsonOut {
+		return api.WriteJSON(os.Stdout, v)
+	}
+	fmt.Printf("greenfpga %s (%s)\n", v.Version, v.GoVersion)
+	if v.Revision != "" {
+		dirty := ""
+		if v.Dirty {
+			dirty = " (dirty)"
+		}
+		fmt.Printf("  revision %s%s\n", v.Revision, dirty)
+	}
+	if v.CommitTime != "" {
+		fmt.Printf("  committed %s\n", v.CommitTime)
+	}
+	return nil
+}

@@ -45,12 +45,21 @@ func NewLimiter(n int) *Limiter {
 // bound elapses first, and ctx.Err() when the caller gives up first.
 // Every successful Acquire must be paired with Release.
 func (l *Limiter) Acquire(ctx context.Context, maxWait time.Duration) error {
+	_, err := l.AcquireWait(ctx, maxWait)
+	return err
+}
+
+// AcquireWait is Acquire plus how long the caller actually queued —
+// the sample behind the server's queue-wait histogram, which shows
+// saturation building before the shed counter moves.
+func (l *Limiter) AcquireWait(ctx context.Context, maxWait time.Duration) (time.Duration, error) {
 	// Fast path: a free slot costs no timer and no waiting-gauge blip.
 	select {
 	case l.slots <- struct{}{}:
-		return nil
+		return 0, nil
 	default:
 	}
+	start := time.Now()
 	l.waiting.Add(1)
 	defer l.waiting.Add(-1)
 	var bound <-chan time.Time
@@ -61,11 +70,11 @@ func (l *Limiter) Acquire(ctx context.Context, maxWait time.Duration) error {
 	}
 	select {
 	case l.slots <- struct{}{}:
-		return nil
+		return time.Since(start), nil
 	case <-bound:
-		return ErrShed
+		return time.Since(start), ErrShed
 	case <-ctx.Done():
-		return ctx.Err()
+		return time.Since(start), ctx.Err()
 	}
 }
 

@@ -114,6 +114,16 @@ func TestChaosEnvelopesStayWellFormed(t *testing.T) {
 	if got := metricValue(t, hts, "greenfpga_panics_total"); uint64(got) != inj.Panics.Load() {
 		t.Errorf("greenfpga_panics_total = %d, injector panicked %d times", got, inj.Panics.Load())
 	}
+	// The duration histogram reconciles with the request counters even
+	// under faults: every counted request — panicking, delayed, 503'd
+	// by the injector — produced exactly one duration sample, and the
+	// whole page still parses strictly.
+	sc := scrapeMetrics(t, hts)
+	eps := []string{"/healthz"}
+	for _, ep := range chaosBodies {
+		eps = append(eps, ep.path)
+	}
+	reconcileRequestDurations(t, sc, eps)
 }
 
 // TestChaosClientRetriesConverge closes the loop end to end: with the

@@ -1,16 +1,29 @@
 package server
 
 import (
-	"fmt"
 	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"greenfpga/internal/telemetry"
 )
 
-// metrics holds the server's counters. Request counts are kept per
-// endpoint; cache counters are read from the caches themselves so the
-// numbers can never drift from the structures they describe.
+// Histogram bucket layouts. Durations span 1µs–10s (log-spaced, 3
+// buckets per decade): cache hits land near the bottom, Monte-Carlo
+// runs near the top. Response sizes span 100B–10MB: an error envelope
+// to an admitted full-size sweep.
+var (
+	durationBuckets = telemetry.LogBuckets(1e-6, 10, 3)
+	sizeBuckets     = telemetry.LogBuckets(100, 1e7, 2)
+)
+
+// metrics holds the server's counters and histograms. Request counts
+// are kept per endpoint; cache counters are read from the caches
+// themselves so the numbers can never drift from the structures they
+// describe. The duration histogram's per-outcome series sum to the
+// endpoint's request counter (minus requests still in flight) — the
+// reconciliation the chaos suite asserts.
 type metrics struct {
 	mu       sync.Mutex
 	requests map[string]*atomic.Uint64
@@ -29,6 +42,29 @@ type metrics struct {
 	// in-flight evaluation instead of computing (the singleflight
 	// followers; the leader counts as the result-cache miss).
 	coalesced atomic.Uint64
+
+	// reqDur is wall-clock time per finished request, by endpoint and
+	// outcome (ok, cache-hit, coalesced, shed, deadline, panic,
+	// canceled, invalid, error).
+	reqDur *telemetry.Vec
+	// respSize is response body bytes per finished request, by
+	// endpoint.
+	respSize *telemetry.Vec
+	// stageDur is accumulated time per pipeline stage (decode,
+	// resolve, compute, encode) across all endpoints.
+	stageDur *telemetry.Vec
+	// queueWait is time spent waiting for a limiter slot, for
+	// admitted and shed requests alike — saturation shows here before
+	// the shed counter moves.
+	queueWait *telemetry.Histogram
+}
+
+// init builds the histogram vectors (the atomic counters need none).
+func (m *metrics) init() {
+	m.reqDur = telemetry.NewVec(durationBuckets, "endpoint", "outcome")
+	m.respSize = telemetry.NewVec(sizeBuckets, "endpoint")
+	m.stageDur = telemetry.NewVec(durationBuckets, "stage")
+	m.queueWait = telemetry.NewHistogram(durationBuckets)
 }
 
 // counter returns the request counter for an endpoint, creating it on
@@ -47,8 +83,12 @@ func (m *metrics) counter(endpoint string) *atomic.Uint64 {
 	return c
 }
 
-// write renders the counters in the Prometheus text exposition
-// format, endpoints sorted for deterministic output.
+// writeMetrics renders the page in the Prometheus text exposition
+// format via the telemetry builder — HELP/TYPE always precede
+// samples, label values are escaped per the format, endpoints are
+// sorted for deterministic output. The server's own tests parse this
+// page with the strict checker, so it cannot drift from what real
+// scrapers accept.
 func (s *Server) writeMetrics(w io.Writer) error {
 	s.m.mu.Lock()
 	endpoints := make([]string, 0, len(s.m.requests))
@@ -62,58 +102,61 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	}
 	s.m.mu.Unlock()
 
-	var b []byte
-	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
-	add("# HELP greenfpga_requests_total Requests received, by endpoint.\n")
-	add("# TYPE greenfpga_requests_total counter\n")
+	e := telemetry.NewExposition()
+	e.Family("greenfpga_requests_total", "counter", "Requests received, by endpoint.")
 	for i, ep := range endpoints {
-		add("greenfpga_requests_total{endpoint=%q} %d\n", ep, counts[i])
+		e.Sample(float64(counts[i]), "endpoint", ep)
 	}
+	e.Family("greenfpga_request_duration_seconds", "histogram",
+		"Wall-clock request duration, by endpoint and outcome.")
+	for _, ser := range s.m.reqDur.Snapshots() {
+		e.Histogram(ser.Snap, "endpoint", ser.Labels[0], "outcome", ser.Labels[1])
+	}
+	e.Family("greenfpga_response_size_bytes", "histogram",
+		"Response body size, by endpoint.")
+	for _, ser := range s.m.respSize.Snapshots() {
+		e.Histogram(ser.Snap, "endpoint", ser.Labels[0])
+	}
+	e.Family("greenfpga_stage_duration_seconds", "histogram",
+		"Accumulated time per request pipeline stage (decode, resolve, compute, encode).")
+	for _, ser := range s.m.stageDur.Snapshots() {
+		e.Histogram(ser.Snap, "stage", ser.Labels[0])
+	}
+	e.Family("greenfpga_queue_wait_seconds", "histogram",
+		"Time spent queued for an evaluation slot (admitted and shed requests).")
+	e.Histogram(s.m.queueWait.Snapshot())
+
 	rcHits, rcMisses := s.results.Stats()
-	add("# HELP greenfpga_result_cache_hits_total Content-addressed result cache hits.\n")
-	add("# TYPE greenfpga_result_cache_hits_total counter\n")
-	add("greenfpga_result_cache_hits_total %d\n", rcHits)
-	add("# HELP greenfpga_result_cache_misses_total Content-addressed result cache misses.\n")
-	add("# TYPE greenfpga_result_cache_misses_total counter\n")
-	add("greenfpga_result_cache_misses_total %d\n", rcMisses)
-	add("# HELP greenfpga_result_cache_entries Resident result cache entries.\n")
-	add("# TYPE greenfpga_result_cache_entries gauge\n")
-	add("greenfpga_result_cache_entries %d\n", s.results.Len())
+	e.Family("greenfpga_result_cache_hits_total", "counter",
+		"Content-addressed result cache hits.").Sample(float64(rcHits))
+	e.Family("greenfpga_result_cache_misses_total", "counter",
+		"Content-addressed result cache misses.").Sample(float64(rcMisses))
+	e.Family("greenfpga_result_cache_entries", "gauge",
+		"Resident result cache entries.").Sample(float64(s.results.Len()))
 	aHits, aMisses := s.artifacts.Stats()
-	add("# HELP greenfpga_artifact_cache_hits_total Rendered-experiment cache hits.\n")
-	add("# TYPE greenfpga_artifact_cache_hits_total counter\n")
-	add("greenfpga_artifact_cache_hits_total %d\n", aHits)
-	add("# HELP greenfpga_artifact_cache_misses_total Rendered-experiment cache misses.\n")
-	add("# TYPE greenfpga_artifact_cache_misses_total counter\n")
-	add("greenfpga_artifact_cache_misses_total %d\n", aMisses)
+	e.Family("greenfpga_artifact_cache_hits_total", "counter",
+		"Rendered-experiment cache hits.").Sample(float64(aHits))
+	e.Family("greenfpga_artifact_cache_misses_total", "counter",
+		"Rendered-experiment cache misses.").Sample(float64(aMisses))
 	cpHits, cpMisses := s.eval.CompileStats()
-	add("# HELP greenfpga_compiled_platform_cache_hits_total Compiled-platform cache hits.\n")
-	add("# TYPE greenfpga_compiled_platform_cache_hits_total counter\n")
-	add("greenfpga_compiled_platform_cache_hits_total %d\n", cpHits)
-	add("# HELP greenfpga_compiled_platform_cache_misses_total Compiled-platform cache misses.\n")
-	add("# TYPE greenfpga_compiled_platform_cache_misses_total counter\n")
-	add("greenfpga_compiled_platform_cache_misses_total %d\n", cpMisses)
-	add("# HELP greenfpga_inflight_requests Requests currently being served.\n")
-	add("# TYPE greenfpga_inflight_requests gauge\n")
-	add("greenfpga_inflight_requests %d\n", s.m.inflight.Load())
-	add("# HELP greenfpga_rejected_total Requests abandoned while waiting for a concurrency slot.\n")
-	add("# TYPE greenfpga_rejected_total counter\n")
-	add("greenfpga_rejected_total %d\n", s.m.rejected.Load())
-	add("# HELP greenfpga_shed_total Requests shed with 503 after the bounded queue wait elapsed.\n")
-	add("# TYPE greenfpga_shed_total counter\n")
-	add("greenfpga_shed_total %d\n", s.m.shed.Load())
-	add("# HELP greenfpga_deadline_exceeded_total Requests answered 504 after overrunning their deadline.\n")
-	add("# TYPE greenfpga_deadline_exceeded_total counter\n")
-	add("greenfpga_deadline_exceeded_total %d\n", s.m.deadlines.Load())
-	add("# HELP greenfpga_panics_total Handler panics recovered into internal-error envelopes.\n")
-	add("# TYPE greenfpga_panics_total counter\n")
-	add("greenfpga_panics_total %d\n", s.m.panics.Load())
-	add("# HELP greenfpga_coalesced_total Requests that shared a concurrent identical evaluation (singleflight followers).\n")
-	add("# TYPE greenfpga_coalesced_total counter\n")
-	add("greenfpga_coalesced_total %d\n", s.m.coalesced.Load())
-	add("# HELP greenfpga_queue_depth Requests currently waiting for an evaluation slot.\n")
-	add("# TYPE greenfpga_queue_depth gauge\n")
-	add("greenfpga_queue_depth %d\n", s.limiter.Waiting())
-	_, err := w.Write(b)
+	e.Family("greenfpga_compiled_platform_cache_hits_total", "counter",
+		"Compiled-platform cache hits.").Sample(float64(cpHits))
+	e.Family("greenfpga_compiled_platform_cache_misses_total", "counter",
+		"Compiled-platform cache misses.").Sample(float64(cpMisses))
+	e.Family("greenfpga_inflight_requests", "gauge",
+		"Requests currently being served.").Sample(float64(s.m.inflight.Load()))
+	e.Family("greenfpga_rejected_total", "counter",
+		"Requests abandoned while waiting for a concurrency slot.").Sample(float64(s.m.rejected.Load()))
+	e.Family("greenfpga_shed_total", "counter",
+		"Requests shed with 503 after the bounded queue wait elapsed.").Sample(float64(s.m.shed.Load()))
+	e.Family("greenfpga_deadline_exceeded_total", "counter",
+		"Requests answered 504 after overrunning their deadline.").Sample(float64(s.m.deadlines.Load()))
+	e.Family("greenfpga_panics_total", "counter",
+		"Handler panics recovered into internal-error envelopes.").Sample(float64(s.m.panics.Load()))
+	e.Family("greenfpga_coalesced_total", "counter",
+		"Requests that shared a concurrent identical evaluation (singleflight followers).").Sample(float64(s.m.coalesced.Load()))
+	e.Family("greenfpga_queue_depth", "gauge",
+		"Requests currently waiting for an evaluation slot.").Sample(float64(s.limiter.Waiting()))
+	_, err := e.WriteTo(w)
 	return err
 }

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"greenfpga/internal/telemetry"
+)
+
+// scrapeMetrics fetches the full /metrics page and runs it through the
+// strict exposition parser, so any formatting drift — a sample without
+// its HELP/TYPE, a duplicate series, a broken label quoting, an
+// inconsistent histogram — fails the suite instead of a scraper.
+func scrapeMetrics(t *testing.T, hts *httptest.Server) *telemetry.Scrape {
+	t.Helper()
+	code, _, data := get(t, hts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	sc, err := telemetry.ParseExposition(string(data))
+	if err != nil {
+		t.Fatalf("/metrics does not parse strictly: %v\npage:\n%s", err, data)
+	}
+	return sc
+}
+
+// allOutcomes is every label value outcomeFor can produce.
+var allOutcomes = []string{
+	"ok", "cache-hit", "coalesced", "shed", "deadline",
+	"panic", "canceled", "invalid", "error",
+}
+
+// durationCount sums one endpoint's request-duration samples across
+// every outcome.
+func durationCount(sc *telemetry.Scrape, endpoint string) float64 {
+	var sum float64
+	for _, o := range allOutcomes {
+		if v, ok := sc.Value("greenfpga_request_duration_seconds_count",
+			"endpoint", endpoint, "outcome", o); ok {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// reconcileRequestDurations asserts the acceptance invariant: for each
+// finished endpoint, the duration histogram holds exactly one sample
+// per counted request — no request slips past the telemetry wrapper,
+// and no unknown outcome label hides samples from the per-outcome sum.
+func reconcileRequestDurations(t *testing.T, sc *telemetry.Scrape, endpoints []string) {
+	t.Helper()
+	for _, ep := range endpoints {
+		total, ok := sc.Value("greenfpga_requests_total", "endpoint", ep)
+		if !ok {
+			t.Errorf("%s: no greenfpga_requests_total series", ep)
+			continue
+		}
+		if got := durationCount(sc, ep); got != total {
+			t.Errorf("%s: %g duration samples != %g requests counted", ep, got, total)
+		}
+	}
+	// Page-wide, the only unreconciled request is the /metrics scrape
+	// itself: counted on entry, observed only after this very page was
+	// rendered.
+	counted := sc.Total("greenfpga_requests_total")
+	observed := sc.Total("greenfpga_request_duration_seconds_count")
+	if counted-observed != 1 {
+		t.Errorf("page-wide: %g counted - %g observed = %g, want exactly 1 (the live scrape)",
+			counted, observed, counted-observed)
+	}
+}
+
+// TestMetricsPageParsesStrictly drives a spread of outcomes through
+// the server and strict-parses the resulting page: the telemetry
+// families are present with their declared types, per-outcome duration
+// series land where expected, the pipeline stages all recorded time,
+// and the histograms reconcile with the request counters.
+func TestMetricsPageParsesStrictly(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+
+	if code, _, _ := postJSON(t, hts.URL+"/v1/evaluate", evaluateBody()); code != 200 {
+		t.Fatalf("first evaluate: %d", code)
+	}
+	if code, hdr, _ := postJSON(t, hts.URL+"/v1/evaluate", evaluateBody()); code != 200 || hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("second evaluate: %d X-Cache=%q", code, hdr.Get("X-Cache"))
+	}
+	if code, _, _ := postRaw(t, hts.URL+"/v1/evaluate", `{"unknown_field":1}`); code != 400 {
+		t.Fatalf("bad evaluate: %d", code)
+	}
+	if code, _, _ := get(t, hts.URL+"/healthz"); code != 200 {
+		t.Fatal("healthz failed")
+	}
+
+	sc := scrapeMetrics(t, hts)
+	for family, typ := range map[string]string{
+		"greenfpga_requests_total":           "counter",
+		"greenfpga_request_duration_seconds": "histogram",
+		"greenfpga_response_size_bytes":      "histogram",
+		"greenfpga_stage_duration_seconds":   "histogram",
+		"greenfpga_queue_wait_seconds":       "histogram",
+		"greenfpga_result_cache_hits_total":  "counter",
+		"greenfpga_inflight_requests":        "gauge",
+	} {
+		if got := sc.Type(family); got != typ {
+			t.Errorf("family %s: type %q, want %q", family, got, typ)
+		}
+	}
+
+	// One sample per outcome the run produced, under the right label.
+	for outcome, want := range map[string]float64{
+		"ok": 1, "cache-hit": 1, "invalid": 1,
+	} {
+		got, ok := sc.Value("greenfpga_request_duration_seconds_count",
+			"endpoint", "/v1/evaluate", "outcome", outcome)
+		if !ok || got != want {
+			t.Errorf("duration{/v1/evaluate,%s} = %g (present=%v), want %g", outcome, got, ok, want)
+		}
+	}
+
+	// Every pipeline stage recorded time: decode and encode on each
+	// evaluate, resolve and compute on the one cache miss.
+	for _, stage := range []string{"decode", "resolve", "compute", "encode"} {
+		if v, ok := sc.Value("greenfpga_stage_duration_seconds_count", "stage", stage); !ok || v < 1 {
+			t.Errorf("stage %s: count %g (present=%v), want >= 1", stage, v, ok)
+		}
+	}
+
+	// Response sizes were observed for the answered endpoints.
+	if v, ok := sc.Value("greenfpga_response_size_bytes_count", "endpoint", "/v1/evaluate"); !ok || v != 3 {
+		t.Errorf("response_size{/v1/evaluate} count = %g (present=%v), want 3", v, ok)
+	}
+
+	reconcileRequestDurations(t, sc, []string{"/healthz", "/v1/evaluate"})
+}

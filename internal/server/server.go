@@ -31,8 +31,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -41,6 +43,7 @@ import (
 	"greenfpga/internal/experiments"
 	"greenfpga/internal/pool"
 	"greenfpga/internal/resilience"
+	"greenfpga/internal/telemetry"
 )
 
 // maxBody bounds a request body (1 MiB): scenario documents are a few
@@ -84,6 +87,15 @@ type Options struct {
 	// can inject faults (panics, latency, truncation) exactly where a
 	// misbehaving handler would produce them. Test-only.
 	ComputeWrap func(http.Handler) http.Handler
+	// AccessLog, when non-nil, receives one-line JSON access records —
+	// request ID, method, path, status, bytes, duration, outcome,
+	// per-stage timings — plus a build-identity preamble at Start.
+	AccessLog io.Writer
+	// PprofAddr, when non-empty, serves net/http/pprof on a separate
+	// listener. It must resolve to a loopback address: the profiler
+	// exposes heap contents and must never ride the service port or an
+	// external interface.
+	PprofAddr string
 }
 
 // withDefaults fills unset options.
@@ -141,9 +153,13 @@ type Server struct {
 
 	known map[string]bool // experiment IDs, for 404 vs 400
 
-	hs   *http.Server
-	ln   net.Listener
-	done chan error
+	access *accessLogger // nil without -access-log
+
+	hs      *http.Server
+	ln      net.Listener
+	pprofHS *http.Server
+	pprofLn net.Listener
+	done    chan error
 }
 
 // New builds a Server; call Handler for an http.Handler (tests) or
@@ -162,9 +178,14 @@ func New(opts Options) *Server {
 	for _, id := range experiments.List() {
 		s.known[id] = true
 	}
+	s.m.init()
+	if opts.AccessLog != nil {
+		s.access = &accessLogger{w: opts.AccessLog}
+	}
 	s.mux = http.NewServeMux()
 	s.route("GET /healthz", "/healthz", false, false, s.handleHealthz)
 	s.route("GET /metrics", "/metrics", false, false, s.handleMetrics)
+	s.route("GET /v1/version", "/v1/version", false, false, s.handleVersion)
 	s.route("GET /v1/devices", "/v1/devices", false, false, s.handleDevices)
 	s.route("GET /v1/domains", "/v1/domains", false, false, s.handleDomains)
 	s.route("GET /v1/experiments", "/v1/experiments", false, false, s.handleExperimentList)
@@ -186,16 +207,20 @@ func New(opts Options) *Server {
 }
 
 // route registers a handler behind the middleware stack, outermost
-// first: request counting, bounded-wait concurrency limiting (limited
-// endpoints; saturation sheds with 503 + Retry-After), the request
-// deadline (compute endpoints; overruns answer 504 and cancel the
-// compute context), panic recovery (all endpoints; panics answer 500
-// internal envelopes and are counted), and the test-only fault wrap
-// (compute endpoints, innermost — where a misbehaving handler would
-// fault). The deadline middleware runs its inner handler on a child
-// goroutine against a buffered writer, so recovery sits inside it:
-// a panicking compute handler is recovered on that goroutine and its
-// half-written buffer replaced with a clean envelope.
+// first: the telemetry wrapper (request ID accept-or-generate, trace
+// context, duration/size/stage histograms, the access log), request
+// counting, bounded-wait concurrency limiting (limited endpoints;
+// saturation sheds with 503 + Retry-After), the request deadline
+// (compute endpoints; overruns answer 504 and cancel the compute
+// context), panic recovery (all endpoints; panics answer 500 internal
+// envelopes and are counted), and the test-only fault wrap (compute
+// endpoints, innermost — where a misbehaving handler would fault).
+// The deadline middleware runs its inner handler on a child goroutine
+// against a buffered writer, so recovery sits inside it: a panicking
+// compute handler is recovered on that goroutine and its half-written
+// buffer replaced with a clean envelope. The telemetry wrapper sits
+// outside everything so a shed, timed-out or panicking request is
+// observed like any other.
 func (s *Server) route(pattern, endpoint string, limited, compute bool, h http.HandlerFunc) {
 	var inner http.Handler = h
 	if compute && s.opts.ComputeWrap != nil {
@@ -207,14 +232,29 @@ func (s *Server) route(pattern, endpoint string, limited, compute bool, h http.H
 	}
 	ctr := s.m.counter(endpoint)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if !telemetry.ValidRequestID(id) {
+			id = telemetry.NewRequestID()
+		}
+		tr := telemetry.NewTrace(id)
+		r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-ID", id)
+		if r.Header.Get("X-Server-Timing") != "" {
+			sw.timing = tr
+		}
+		defer func() { s.observe(r, sw, tr, endpoint, time.Since(start)) }()
 		ctr.Add(1)
 		s.m.inflight.Add(1)
 		defer s.m.inflight.Add(-1)
 		if limited {
-			if err := s.limiter.Acquire(r.Context(), s.opts.MaxQueueWait); err != nil {
+			wait, err := s.limiter.AcquireWait(r.Context(), s.opts.MaxQueueWait)
+			s.m.queueWait.Observe(wait.Seconds())
+			if err != nil {
 				if errors.Is(err, resilience.ErrShed) {
 					s.m.shed.Add(1)
-					s.writeShed(w)
+					s.writeShed(sw)
 				} else {
 					// The client gave up while queued; nothing to write.
 					s.m.rejected.Add(1)
@@ -223,7 +263,7 @@ func (s *Server) route(pattern, endpoint string, limited, compute bool, h http.H
 			}
 			defer s.limiter.Release()
 		}
-		inner.ServeHTTP(w, r)
+		inner.ServeHTTP(sw, r)
 	})
 }
 
@@ -232,6 +272,9 @@ func (s *Server) route(pattern, endpoint string, limited, compute bool, h http.H
 // half-written response is reset cleanly before the envelope.
 func (s *Server) onPanic(w http.ResponseWriter, r *http.Request, v any) {
 	s.m.panics.Add(1)
+	// Status alone cannot tell a panic from any other internal error;
+	// the trace outcome can.
+	telemetry.FromContext(r.Context()).SetOutcome("panic")
 	if rw, ok := w.(interface{ Reset() }); ok {
 		rw.Reset()
 	}
@@ -264,12 +307,22 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Start listens on the configured address and serves in the
 // background, returning the bound address (which resolves port 0).
+// With PprofAddr set it also starts the loopback-only profiler
+// listener, and with an access log configured it writes the
+// build-identity preamble.
 func (s *Server) Start() (string, error) {
 	ln, err := net.Listen("tcp", s.opts.Addr)
 	if err != nil {
 		return "", err
 	}
 	s.ln = ln
+	if s.opts.PprofAddr != "" {
+		if err := s.startPprof(); err != nil {
+			ln.Close()
+			return "", err
+		}
+	}
+	s.access.preamble(ln.Addr().String())
 	s.hs = &http.Server{
 		Handler: s.mux,
 		// A client that dribbles its headers (or never sends them)
@@ -292,17 +345,58 @@ func (s *Server) Start() (string, error) {
 // Done reports the Serve loop's exit (nil after a clean Shutdown).
 func (s *Server) Done() <-chan error { return s.done }
 
+// startPprof serves net/http/pprof on its own listener with its own
+// mux — never the service mux, so the profiler cannot leak onto the
+// service port, and never DefaultServeMux, so nothing else leaks onto
+// the profiler port. The address must resolve to loopback.
+func (s *Server) startPprof() error {
+	host, _, err := net.SplitHostPort(s.opts.PprofAddr)
+	if err != nil {
+		return fmt.Errorf("pprof addr: %w", err)
+	}
+	if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+		return fmt.Errorf("pprof addr %q is not loopback; the profiler exposes heap contents and must stay local", s.opts.PprofAddr)
+	}
+	ln, err := net.Listen("tcp", s.opts.PprofAddr)
+	if err != nil {
+		return fmt.Errorf("pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.pprofLn = ln
+	s.pprofHS = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.pprofHS.Serve(ln) }()
+	return nil
+}
+
+// PprofAddr returns the profiler's bound address ("" when disabled).
+func (s *Server) PprofAddr() string {
+	if s.pprofLn == nil {
+		return ""
+	}
+	return s.pprofLn.Addr().String()
+}
+
 // Shutdown stops accepting connections and waits for in-flight
 // requests to finish, up to the context's deadline.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.pprofHS != nil {
+		_ = s.pprofHS.Close()
+	}
 	if s.hs == nil {
 		return nil
 	}
 	return s.hs.Shutdown(ctx)
 }
 
-// writeJSON writes v as the service's canonical JSON.
-func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+// writeJSON writes v as the service's canonical JSON, timing the
+// encode stage on the request's trace.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v any) {
+	defer telemetry.StartStage(r.Context(), "encode")()
 	w.Header().Set("Content-Type", "application/json")
 	if err := api.WriteJSON(w, v); err != nil {
 		// The header is gone; nothing recoverable remains.
@@ -340,6 +434,7 @@ func (s *Server) writeError(w http.ResponseWriter, e *api.Error) {
 // decodeJSON strictly decodes the request body into dst, writing the
 // validation error itself when the body is malformed.
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	defer telemetry.StartStage(r.Context(), "decode")()
 	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -406,7 +501,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 	}
 	if v, ok := s.results.Get(key); ok {
 		w.Header().Set("X-Cache", "hit")
-		s.writeJSON(w, v)
+		s.writeJSON(w, r, v)
 		return
 	}
 	v, err, shared := s.computeCoalesced(r.Context(), key,
@@ -423,11 +518,15 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		}
 		w.Header().Set("X-Cache", "miss")
 	}
-	s.writeJSON(w, v)
+	s.writeJSON(w, r, v)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, api.Health{Status: "ok"})
+	s.writeJSON(w, r, api.Health{Status: "ok"})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, api.BuildVersion())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -436,15 +535,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, api.Devices())
+	s.writeJSON(w, r, api.Devices())
 }
 
 func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, api.Domains())
+	s.writeJSON(w, r, api.Domains())
 }
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, api.Experiments())
+	s.writeJSON(w, r, api.Experiments())
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -525,7 +624,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = api.BatchItem{Response: out}
 		return nil
 	})
-	s.writeJSON(w, resp)
+	s.writeJSON(w, r, resp)
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {

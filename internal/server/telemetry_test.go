@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"greenfpga/api"
+	"greenfpga/internal/telemetry"
+)
+
+// doRequest issues one request with extra headers, returning the
+// response status, headers and body.
+func doRequest(t *testing.T, method, url, body string, headers map[string]string) (int, http.Header, []byte) {
+	t.Helper()
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, buf.Bytes()
+}
+
+// accessLines decodes an access-log buffer into one generic map per
+// line. Reading after the response completed is safe: the telemetry
+// wrapper logs before the handler returns, and net/http finishes the
+// response only after that.
+func accessLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		m := make(map[string]any)
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("access log line %q is not JSON: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestAccessLogRecords checks one line lands per request, with the
+// method, path, status, outcome, cache verdict and per-stage timings a
+// reader needs to reconstruct what the server did.
+func TestAccessLogRecords(t *testing.T) {
+	var buf bytes.Buffer
+	_, hts := newTestServer(t, Options{AccessLog: &buf})
+
+	postJSON(t, hts.URL+"/v1/evaluate", evaluateBody())
+	postJSON(t, hts.URL+"/v1/evaluate", evaluateBody())
+	postRaw(t, hts.URL+"/v1/evaluate", `{"unknown_field":1}`)
+	get(t, hts.URL+"/healthz")
+
+	lines := accessLines(t, &buf)
+	if len(lines) != 4 {
+		t.Fatalf("got %d access log lines, want 4:\n%s", len(lines), buf.String())
+	}
+	type want struct {
+		method, path, outcome, cache string
+		status                       float64
+		stages                       []string
+	}
+	wants := []want{
+		{"POST", "/v1/evaluate", "ok", "miss", 200, []string{"decode", "resolve", "compute", "encode"}},
+		{"POST", "/v1/evaluate", "cache-hit", "hit", 200, []string{"decode", "encode"}},
+		{"POST", "/v1/evaluate", "invalid", "", 400, []string{"decode"}},
+		{"GET", "/healthz", "ok", "", 200, []string{"encode"}},
+	}
+	for i, w := range wants {
+		l := lines[i]
+		if l["method"] != w.method || l["path"] != w.path {
+			t.Errorf("line %d: %v %v, want %s %s", i, l["method"], l["path"], w.method, w.path)
+		}
+		if l["status"] != w.status || l["outcome"] != w.outcome {
+			t.Errorf("line %d: status=%v outcome=%v, want %g %q", i, l["status"], l["outcome"], w.status, w.outcome)
+		}
+		if w.cache == "" {
+			if _, ok := l["cache"]; ok {
+				t.Errorf("line %d: unexpected cache field %v", i, l["cache"])
+			}
+		} else if l["cache"] != w.cache {
+			t.Errorf("line %d: cache=%v, want %q", i, l["cache"], w.cache)
+		}
+		id, _ := l["id"].(string)
+		if !telemetry.ValidRequestID(id) || id == "" {
+			t.Errorf("line %d: bad request id %v", i, l["id"])
+		}
+		if dur, ok := l["dur_ms"].(float64); !ok || dur < 0 {
+			t.Errorf("line %d: bad dur_ms %v", i, l["dur_ms"])
+		}
+		stages, _ := l["stages_ms"].(map[string]any)
+		for _, st := range w.stages {
+			if _, ok := stages[st]; !ok {
+				t.Errorf("line %d: stage %q missing from stages_ms %v", i, st, l["stages_ms"])
+			}
+		}
+	}
+}
+
+// TestAccessLogPreamble starts a real listener and checks the log's
+// first line identifies the build: a rotated file names its process
+// without external context.
+func TestAccessLogPreamble(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Options{Addr: "127.0.0.1:0", AccessLog: &buf})
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	lines := accessLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d preamble lines, want 1", len(lines))
+	}
+	pre := lines[0]
+	v := api.BuildVersion()
+	if pre["msg"] != "serving" || pre["version"] != v.Version || pre["go_version"] != v.GoVersion {
+		t.Errorf("preamble %v does not carry the build identity %+v", pre, v)
+	}
+	if addr, _ := pre["addr"].(string); !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Errorf("preamble addr %v, want a bound 127.0.0.1 address", pre["addr"])
+	}
+}
+
+// TestRequestIDAcceptGenerateEcho checks the three ID paths: a valid
+// client-sent ID is used verbatim, a missing one is generated, and an
+// invalid one (unprintable or oversized) is replaced — the response
+// header always carries the ID the access log recorded.
+func TestRequestIDAcceptGenerateEcho(t *testing.T) {
+	var buf bytes.Buffer
+	_, hts := newTestServer(t, Options{AccessLog: &buf})
+
+	_, hdr, _ := doRequest(t, http.MethodGet, hts.URL+"/healthz", "", map[string]string{
+		"X-Request-ID": "chaos-run-42"})
+	if got := hdr.Get("X-Request-ID"); got != "chaos-run-42" {
+		t.Errorf("valid client ID: echoed %q, want it verbatim", got)
+	}
+
+	_, hdr, _ = doRequest(t, http.MethodGet, hts.URL+"/healthz", "", nil)
+	generated := hdr.Get("X-Request-ID")
+	if !telemetry.ValidRequestID(generated) || generated == "" {
+		t.Errorf("missing client ID: generated %q is not a valid ID", generated)
+	}
+
+	bad := `evil"id` + strings.Repeat("x", 200)
+	_, hdr, _ = doRequest(t, http.MethodGet, hts.URL+"/healthz", "", map[string]string{
+		"X-Request-ID": bad})
+	replaced := hdr.Get("X-Request-ID")
+	if replaced == bad || !telemetry.ValidRequestID(replaced) {
+		t.Errorf("invalid client ID: echoed %q, want a fresh valid ID", replaced)
+	}
+
+	lines := accessLines(t, &buf)
+	if len(lines) != 3 {
+		t.Fatalf("got %d access lines, want 3", len(lines))
+	}
+	for i, want := range []string{"chaos-run-42", generated, replaced} {
+		if lines[i]["id"] != want {
+			t.Errorf("access line %d: id %v, want %q (the echoed header)", i, lines[i]["id"], want)
+		}
+	}
+}
+
+// TestServerTimingOptIn checks the Server-Timing header appears only
+// when the client asks for it, and then carries every pipeline stage.
+func TestServerTimingOptIn(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	body, err := json.Marshal(evaluateBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, hdr, _ := doRequest(t, http.MethodPost, hts.URL+"/v1/evaluate", string(body), nil)
+	if got := hdr.Get("Server-Timing"); got != "" {
+		t.Errorf("without opt-in: Server-Timing %q, want none", got)
+	}
+
+	_, hdr, _ = doRequest(t, http.MethodPost, hts.URL+"/v1/evaluate", string(body), map[string]string{
+		"X-Server-Timing": "1"})
+	st := hdr.Get("Server-Timing")
+	// The second request is a cache hit: decode and encode ran, compute
+	// did not.
+	for _, stage := range []string{"decode;dur=", "encode;dur="} {
+		if !strings.Contains(st, stage) {
+			t.Errorf("opt-in Server-Timing %q missing %q", st, stage)
+		}
+	}
+	if strings.Contains(st, "compute") {
+		t.Errorf("cache-hit Server-Timing %q should not carry a compute stage", st)
+	}
+}
+
+// TestVersionEndpoint checks /v1/version serves the same build
+// identity the CLI prints and the preamble logs.
+func TestVersionEndpoint(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, _, data := get(t, hts.URL+"/v1/version")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/version: %d", code)
+	}
+	var got api.VersionInfo
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("/v1/version body %q: %v", data, err)
+	}
+	if want := api.BuildVersion(); got != want {
+		t.Errorf("/v1/version = %+v, want %+v", got, want)
+	}
+}

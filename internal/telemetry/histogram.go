@@ -1,0 +1,202 @@
+// Package telemetry holds the zero-dependency observability
+// primitives behind `greenfpga serve` and `greenfpga loadgen`:
+// a lock-cheap log-bucketed histogram (atomic buckets, mergeable
+// snapshots, interpolated quantiles), a label-keyed histogram vector,
+// a Prometheus text-exposition builder with proper label escaping and
+// a strict parser for it, and a request-scoped trace (request ID plus
+// per-stage timers) that rides a context.Context through the serve
+// path. Nothing here imports the api or server packages, so every
+// layer — server, client, load generator, tests — can share one
+// measurement vocabulary.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// LogBuckets returns log-spaced histogram bucket upper bounds from
+// min to at least max, with perDecade buckets per factor of ten.
+// Durations in seconds and sizes in bytes both span several decades,
+// which is exactly what fixed-width buckets cannot cover and
+// log-spaced ones can: relative (not absolute) resolution everywhere.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade < 1 {
+		panic(fmt.Sprintf("telemetry: bad bucket spec [%g, %g] x %d", min, max, perDecade))
+	}
+	var out []float64
+	for i := 0; ; i++ {
+		b := min * math.Pow(10, float64(i)/float64(perDecade))
+		out = append(out, b)
+		if b >= max {
+			return out
+		}
+	}
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe
+// calls: one atomic add per bucket, no locks, no allocation on the
+// hot path. Values above the last bound land in an overflow bucket
+// whose quantiles report the observed maximum.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; immutable after New
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-add
+	max    atomic.Uint64 // float64 bits, CAS-max
+}
+
+// NewHistogram returns a histogram over the given sorted upper
+// bounds (LogBuckets builds suitable ones).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: bucket bounds not increasing at %d: %g <= %g",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1), // +1: overflow
+	}
+}
+
+// Observe records one value. Negative values clamp to zero (they can
+// only arise from clock weirdness; losing them would skew counts).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	// First bound whose value >= v: the bucket is (prev, bound].
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Snapshot copies the histogram's current state. Buckets are read
+// individually, so a snapshot taken mid-Observe can be off by the
+// in-flight observation; totals are recomputed from the bucket copy
+// so Count always equals the bucket sum.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Max:    math.Float64frombits(h.max.Load()),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Snapshot is an immutable copy of a histogram: per-bucket counts
+// (the last entry is the overflow bucket), total count and sum, and
+// the observed maximum. Snapshots with identical bounds merge.
+type Snapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+	Max    float64
+}
+
+// Merge folds other into s and returns the result; both snapshots
+// must share bucket bounds (histograms built from the same LogBuckets
+// spec do).
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	if len(s.Bounds) == 0 {
+		return other
+	}
+	if len(other.Bounds) == 0 {
+		return s
+	}
+	if len(s.Bounds) != len(other.Bounds) {
+		panic(fmt.Sprintf("telemetry: merging histograms with %d vs %d buckets",
+			len(s.Bounds), len(other.Bounds)))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != other.Bounds[i] {
+			panic(fmt.Sprintf("telemetry: merging histograms with different bounds at %d: %g vs %g",
+				i, s.Bounds[i], other.Bounds[i]))
+		}
+	}
+	out := Snapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count + other.Count,
+		Sum:    s.Sum + other.Sum,
+		Max:    math.Max(s.Max, other.Max),
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + other.Counts[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the bucket holding the target rank. The
+// overflow bucket reports the observed maximum, and every estimate is
+// capped at it (no observation exceeds Max, so the cap only removes
+// bucket-edge overestimation).
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Max // overflow bucket
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		v := lo + (s.Bounds[i]-lo)*(rank-prev)/float64(c)
+		if s.Max > 0 && v > s.Max {
+			v = s.Max
+		}
+		return v
+	}
+	return s.Max
+}
+
+// Mean is the average observed value.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestLogBucketsSpanAndGrowth(t *testing.T) {
+	b := LogBuckets(1e-6, 10, 3)
+	if b[0] != 1e-6 {
+		t.Fatalf("first bound %g, want 1e-6", b[0])
+	}
+	if last := b[len(b)-1]; last < 10 {
+		t.Fatalf("last bound %g does not cover 10", last)
+	}
+	factor := math.Pow(10, 1.0/3)
+	for i := 1; i < len(b); i++ {
+		if got := b[i] / b[i-1]; math.Abs(got-factor) > 1e-9 {
+			t.Fatalf("growth %g at %d, want %g", got, i, factor)
+		}
+	}
+}
+
+func TestHistogramCountSumMax(t *testing.T) {
+	h := NewHistogram(LogBuckets(1, 100, 2))
+	for _, v := range []float64{1, 2, 3, 500} { // 500 overflows
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count %d, want 4", s.Count)
+	}
+	if s.Sum != 506 {
+		t.Fatalf("sum %g, want 506", s.Sum)
+	}
+	if s.Max != 500 {
+		t.Fatalf("max %g, want 500", s.Max)
+	}
+	if over := s.Counts[len(s.Counts)-1]; over != 1 {
+		t.Fatalf("overflow bucket %d, want 1", over)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestHistogramNegativeAndNaNClampToZero(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	s := h.Snapshot()
+	if s.Count != 2 || s.Counts[0] != 2 || s.Sum != 0 {
+		t.Fatalf("clamped observations misrecorded: %+v", s)
+	}
+}
+
+// TestQuantileAccuracy checks interpolated quantiles against a sorted
+// reference on known distributions: the estimate must land within one
+// bucket's relative width of the true order statistic.
+func TestQuantileAccuracy(t *testing.T) {
+	const perDecade = 5
+	tolerance := math.Pow(10, 1.0/perDecade) // one bucket of relative error
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() float64{
+		"uniform":   func() float64 { return 1e-4 + rng.Float64()*1e-2 },
+		"lognormal": func() float64 { return 1e-4 * math.Exp(rng.NormFloat64()) },
+		"bimodal": func() float64 {
+			if rng.Intn(10) < 9 {
+				return 60e-6 + rng.Float64()*10e-6 // the cache-hit mode
+			}
+			return 3e-3 + rng.Float64()*1e-3 // the compute mode
+		},
+	}
+	for name, draw := range distributions {
+		h := NewHistogram(LogBuckets(1e-6, 10, perDecade))
+		values := make([]float64, 20000)
+		for i := range values {
+			values[i] = draw()
+			h.Observe(values[i])
+		}
+		sort.Float64s(values)
+		s := h.Snapshot()
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			ref := values[int(math.Ceil(q*float64(len(values))))-1]
+			got := s.Quantile(q)
+			if ratio := got / ref; ratio > tolerance || ratio < 1/tolerance {
+				t.Errorf("%s p%g: got %g, reference %g (ratio %.3f beyond bucket tolerance %.3f)",
+					name, q*100, got, ref, ratio, tolerance)
+			}
+		}
+		if got := s.Quantile(1); got != s.Max {
+			t.Errorf("%s p100: got %g, want max %g", name, got, s.Max)
+		}
+	}
+}
+
+func TestQuantileEmptyAndSingleValue(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 %g, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.99} {
+		if got := s.Quantile(q); got > 3 || got < 2 {
+			t.Fatalf("constant-value p%g = %g, want within (2, 3]", q*100, got)
+		}
+	}
+}
+
+// TestConcurrentObserve hammers one histogram from many goroutines;
+// under -race this is the histogram's data-race proof, and the final
+// snapshot must account for every observation exactly.
+func TestConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LogBuckets(1e-6, 1, 3))
+	const goroutines, perG = 16, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Observe(rng.Float64())
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*perG)
+	}
+	var bucketSum uint64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if s.Max > 1 || s.Max <= 0 {
+		t.Fatalf("max %g out of (0, 1]", s.Max)
+	}
+}
+
+// TestSnapshotMergeDeterminism: merging per-shard snapshots must be
+// associative and equal a single histogram fed the union, bucket for
+// bucket.
+func TestSnapshotMergeDeterminism(t *testing.T) {
+	bounds := LogBuckets(1e-3, 1e3, 4)
+	whole := NewHistogram(bounds)
+	shards := make([]*Histogram, 3)
+	for i := range shards {
+		shards[i] = NewHistogram(bounds)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 9000; i++ {
+		v := math.Exp(rng.NormFloat64() * 2)
+		whole.Observe(v)
+		shards[i%3].Observe(v)
+	}
+	ab := shards[0].Snapshot().Merge(shards[1].Snapshot()).Merge(shards[2].Snapshot())
+	bc := shards[2].Snapshot().Merge(shards[1].Snapshot()).Merge(shards[0].Snapshot())
+	want := whole.Snapshot()
+	for name, got := range map[string]Snapshot{"left-fold": ab, "right-fold": bc} {
+		if got.Count != want.Count || got.Max != want.Max ||
+			math.Abs(got.Sum-want.Sum) > 1e-9*want.Sum {
+			t.Fatalf("%s totals diverge: got %+v, want %+v", name, got, want)
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("%s bucket %d: got %d, want %d", name, i, got.Counts[i], want.Counts[i])
+			}
+		}
+	}
+	if got := (Snapshot{}).Merge(want); got.Count != want.Count {
+		t.Fatalf("merge into zero snapshot lost data")
+	}
+}
+
+func TestMergeRejectsMismatchedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched bounds did not panic")
+		}
+	}()
+	a := NewHistogram([]float64{1, 2}).Snapshot()
+	b := NewHistogram([]float64{1, 3}).Snapshot()
+	a.Merge(b)
+}
+
+func TestVecLabelsAndDeterministicOrder(t *testing.T) {
+	v := NewVec([]float64{1, 10}, "endpoint", "outcome")
+	v.With("/v1/mc", "ok").Observe(0.5)
+	v.With("/v1/evaluate", "ok").Observe(0.5)
+	v.With("/v1/evaluate", "shed").Observe(0.5)
+	if h1, h2 := v.With("/v1/mc", "ok"), v.With("/v1/mc", "ok"); h1 != h2 {
+		t.Fatal("With returned distinct histograms for one label tuple")
+	}
+	series := v.Snapshots()
+	if len(series) != 3 {
+		t.Fatalf("got %d series, want 3", len(series))
+	}
+	want := [][]string{
+		{"/v1/evaluate", "ok"},
+		{"/v1/evaluate", "shed"},
+		{"/v1/mc", "ok"},
+	}
+	for i, s := range series {
+		if s.Labels[0] != want[i][0] || s.Labels[1] != want[i][1] {
+			t.Fatalf("series %d labels %v, want %v", i, s.Labels, want[i])
+		}
+		if s.Snap.Count != 1 {
+			t.Fatalf("series %d count %d, want 1", i, s.Snap.Count)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Exposition builds a Prometheus text-format (version 0.0.4) metrics
+// page. Families are declared once (HELP and TYPE ahead of their
+// samples, the order scrapers require) and label values are escaped
+// per the format — the two properties the strict parser in this
+// package checks, so the server's /metrics page can never silently
+// drift from what scrapers accept.
+type Exposition struct {
+	buf      bytes.Buffer
+	family   string
+	familyTy string
+	declared map[string]bool
+}
+
+// NewExposition returns an empty metrics page builder.
+func NewExposition() *Exposition {
+	return &Exposition{declared: make(map[string]bool)}
+}
+
+// Family starts a metric family: HELP and TYPE lines for name. Every
+// subsequent Sample/Histogram call renders under it until the next
+// Family. Re-declaring a family panics — that is exactly the
+// duplicate-TYPE page corruption the strict checker exists to catch,
+// and a programming error here, not a runtime condition.
+func (e *Exposition) Family(name, typ, help string) *Exposition {
+	if e.declared[name] {
+		panic("telemetry: family " + name + " declared twice")
+	}
+	e.declared[name] = true
+	e.family, e.familyTy = name, typ
+	fmt.Fprintf(&e.buf, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&e.buf, "# TYPE %s %s\n", name, typ)
+	return e
+}
+
+// Sample renders one sample of the current family; labels are
+// alternating name, value pairs.
+func (e *Exposition) Sample(value float64, labels ...string) *Exposition {
+	if e.family == "" || e.familyTy == "histogram" {
+		panic("telemetry: Sample outside a counter/gauge family")
+	}
+	e.sample(e.family, value, labels)
+	return e
+}
+
+// Histogram renders one histogram series of the current family:
+// cumulative _bucket samples with le labels, then _sum and _count.
+func (e *Exposition) Histogram(s Snapshot, labels ...string) *Exposition {
+	if e.familyTy != "histogram" {
+		panic("telemetry: Histogram outside a histogram family")
+	}
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		e.sample(e.family+"_bucket", float64(cum),
+			append(append([]string(nil), labels...), "le", formatFloat(b)))
+	}
+	e.sample(e.family+"_bucket", float64(s.Count),
+		append(append([]string(nil), labels...), "le", "+Inf"))
+	e.sample(e.family+"_sum", s.Sum, labels)
+	e.sample(e.family+"_count", float64(s.Count), labels)
+	return e
+}
+
+// sample renders one line: name{labels} value.
+func (e *Exposition) sample(name string, value float64, labels []string) {
+	if len(labels)%2 != 0 {
+		panic("telemetry: odd label list for " + name)
+	}
+	e.buf.WriteString(name)
+	if len(labels) > 0 {
+		e.buf.WriteByte('{')
+		for i := 0; i < len(labels); i += 2 {
+			if i > 0 {
+				e.buf.WriteByte(',')
+			}
+			e.buf.WriteString(labels[i])
+			e.buf.WriteString(`="`)
+			e.buf.WriteString(EscapeLabel(labels[i+1]))
+			e.buf.WriteByte('"')
+		}
+		e.buf.WriteByte('}')
+	}
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(formatFloat(value))
+	e.buf.WriteByte('\n')
+}
+
+// WriteTo writes the page to w.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(e.buf.Bytes())
+	return int64(n), err
+}
+
+// String returns the page text.
+func (e *Exposition) String() string { return e.buf.String() }
+
+// EscapeLabel escapes a label value per the text exposition format:
+// backslash, double-quote and newline get backslash escapes — and
+// nothing else does (Go's %q would also escape non-ASCII and control
+// bytes in ways Prometheus parsers do not undo).
+func EscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and newline only (quotes
+// are fine in help).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the shortest exact way; integral
+// values print as integers, which keeps counters grep-able.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	cases := map[string]string{
+		"plain":             "plain",
+		`/v1/eval`:          `/v1/eval`,
+		`has"quote`:         `has\"quote`,
+		`back\slash`:        `back\\slash`,
+		"new\nline":         `new\nline`,
+		`all"three\` + "\n": `all\"three\\\n`,
+		"unicode µs ok":     "unicode µs ok",
+	}
+	for in, want := range cases {
+		if got := EscapeLabel(in); got != want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	h := NewHistogram(LogBuckets(0.001, 10, 1))
+	for _, v := range []float64{0.002, 0.05, 0.05, 3, 42} {
+		h.Observe(v)
+	}
+	e := NewExposition()
+	e.Family("app_requests_total", "counter", "Requests served.").
+		Sample(7, "endpoint", "/v1/eval", "outcome", "ok").
+		Sample(2, "endpoint", `tricky"ep\`, "outcome", "shed")
+	e.Family("app_inflight", "gauge", "In-flight requests.").Sample(3)
+	e.Family("app_latency_seconds", "histogram", "Latency.").
+		Histogram(h.Snapshot(), "endpoint", "/v1/eval")
+
+	scrape, err := ParseExposition(e.String())
+	if err != nil {
+		t.Fatalf("strict parse of own output failed: %v\npage:\n%s", err, e.String())
+	}
+	if v, ok := scrape.Value("app_requests_total", "endpoint", "/v1/eval", "outcome", "ok"); !ok || v != 7 {
+		t.Fatalf("requests_total ok series: %g %v", v, ok)
+	}
+	// The escaped label must round-trip back to its raw value.
+	if v, ok := scrape.Value("app_requests_total", "endpoint", `tricky"ep\`, "outcome", "shed"); !ok || v != 2 {
+		t.Fatalf("escaped label did not round-trip: %g %v", v, ok)
+	}
+	if got := scrape.Total("app_requests_total"); got != 9 {
+		t.Fatalf("Total = %g, want 9", got)
+	}
+	if v, ok := scrape.Value("app_latency_seconds_count", "endpoint", "/v1/eval"); !ok || v != 5 {
+		t.Fatalf("histogram _count: %g %v", v, ok)
+	}
+	if v, ok := scrape.Value("app_latency_seconds_bucket", "endpoint", "/v1/eval", "le", "+Inf"); !ok || v != 5 {
+		t.Fatalf("+Inf bucket: %g %v", v, ok)
+	}
+	if typ := scrape.Type("app_latency_seconds"); typ != "histogram" {
+		t.Fatalf("Type = %q, want histogram", typ)
+	}
+}
+
+func TestExpositionIntegersStayGreppable(t *testing.T) {
+	e := NewExposition()
+	e.Family("app_hits_total", "counter", "Hits.").Sample(1)
+	if !strings.Contains(e.String(), "app_hits_total 1\n") {
+		t.Fatalf("integer sample not rendered as integer:\n%s", e.String())
+	}
+}
+
+func TestExpositionPanicsOnDuplicateFamily(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Family did not panic")
+		}
+	}()
+	e := NewExposition()
+	e.Family("x_total", "counter", "x")
+	e.Family("x_total", "counter", "x again")
+}
+
+func TestParseExpositionRejectsMalformedPages(t *testing.T) {
+	bad := map[string]string{
+		"sample without family": "orphan_total 1\n",
+		"TYPE before HELP":      "# TYPE x_total counter\n# HELP x_total x\nx_total 1\n",
+		"unknown TYPE":          "# HELP x_total x\n# TYPE x_total flugel\nx_total 1\n",
+		"duplicate TYPE":        "# HELP x x\n# TYPE x gauge\n# HELP y y\n# TYPE x gauge\n",
+		"duplicate series":      "# HELP x x\n# TYPE x gauge\nx 1\nx 2\n",
+		"duplicate series with labels": "# HELP x x\n# TYPE x gauge\n" +
+			`x{b="2",a="1"} 1` + "\n" + `x{a="1",b="2"} 2` + "\n",
+		"bad value":          "# HELP x x\n# TYPE x gauge\nx pancake\n",
+		"unterminated label": "# HELP x x\n# TYPE x gauge\n" + `x{a="1 2` + "\n",
+		"missing +Inf bucket": "# HELP h h\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"decreasing buckets": "# HELP h h\n# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"+Inf != count": "# HELP h h\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 4` + "\nh_sum 1\nh_count 5\n",
+		"histogram without count": "# HELP h h\n# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 4` + "\nh_sum 1\n",
+	}
+	for name, page := range bad {
+		if _, err := ParseExposition(page); err == nil {
+			t.Errorf("%s: strict parser accepted malformed page:\n%s", name, page)
+		}
+	}
+}
+
+func TestParseExpositionToleratesLegalExtras(t *testing.T) {
+	page := "# just a comment\n" +
+		"# HELP x_total Total xs.\n# TYPE x_total counter\n" +
+		"x_total 4 1712000000000\n" // trailing timestamp is legal
+	s, err := ParseExposition(page)
+	if err != nil {
+		t.Fatalf("legal page rejected: %v", err)
+	}
+	if v, ok := s.Value("x_total"); !ok || v != 4 {
+		t.Fatalf("x_total = %g %v, want 4", v, ok)
+	}
+}

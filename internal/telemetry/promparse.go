@@ -1,0 +1,371 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape is a parsed metrics page: every sample keyed by its
+// canonical series identity (name plus sorted labels), with the
+// declared family types. ParseExposition builds one strictly, so a
+// page that parses is also a page real scrapers accept.
+type Scrape struct {
+	samples map[string]float64
+	types   map[string]string
+}
+
+// ParseExposition parses a Prometheus text-format page strictly:
+// every sample must belong to a family with HELP and TYPE declared
+// first (histogram _bucket/_sum/_count samples belong to their base
+// family), no family may be declared twice, no series may appear
+// twice, and every histogram series must be internally consistent
+// (le buckets cumulative and capped by a +Inf bucket equal to
+// _count). The server's metrics test runs the full /metrics page
+// through this, so a new series that forgets its HELP/TYPE — or a
+// label that breaks the quoting — fails fast instead of breaking
+// scrapers in production.
+func ParseExposition(text string) (*Scrape, error) {
+	s := &Scrape{
+		samples: make(map[string]float64),
+		types:   make(map[string]string),
+	}
+	help := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				if help[name] {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				help[name] = true
+			case "TYPE":
+				if _, ok := s.types[name]; ok {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if !help[name] {
+					return nil, fmt.Errorf("line %d: TYPE %s before its HELP", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, rest, name)
+				}
+				s.types[name] = rest
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if _, ok := s.familyOf(name); !ok {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding HELP/TYPE family", lineNo, name)
+		}
+		key := seriesKey(name, labels)
+		if _, dup := s.samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		s.samples[key] = value
+	}
+	if err := s.checkHistograms(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// familyOf resolves a sample name to its declared family: the name
+// itself, or — for _bucket/_sum/_count — a declared histogram or
+// summary base.
+func (s *Scrape) familyOf(name string) (string, bool) {
+	if _, ok := s.types[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suffix)
+		if !found {
+			continue
+		}
+		switch s.types[base] {
+		case "histogram", "summary":
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// checkHistograms validates every histogram family: each series (the
+// labels minus le) must have a +Inf bucket equal to its _count, and
+// cumulative bucket counts must be non-decreasing by le.
+func (s *Scrape) checkHistograms() error {
+	type serieskey struct{ family, rest string }
+	buckets := make(map[serieskey]map[float64]float64)
+	for key, v := range s.samples {
+		name, labels := splitKey(key)
+		base, found := strings.CutSuffix(name, "_bucket")
+		if !found || s.types[base] != "histogram" {
+			continue
+		}
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram %s: bucket series %s has no le label", base, key)
+		}
+		bound := inf
+		if le != "+Inf" {
+			var err error
+			bound, err = strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", base, le)
+			}
+		}
+		delete(labels, "le")
+		k := serieskey{base, canonLabels(labels)}
+		if buckets[k] == nil {
+			buckets[k] = make(map[float64]float64)
+		}
+		buckets[k][bound] = v
+	}
+	for k, bs := range buckets {
+		bounds := make([]float64, 0, len(bs))
+		for b := range bs {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		if len(bounds) == 0 || bounds[len(bounds)-1] != inf {
+			return fmt.Errorf("histogram %s{%s}: no +Inf bucket", k.family, k.rest)
+		}
+		prev := -1.0
+		for _, b := range bounds {
+			if bs[b] < prev {
+				return fmt.Errorf("histogram %s{%s}: bucket counts decrease at le=%g", k.family, k.rest, b)
+			}
+			prev = bs[b]
+		}
+		countKey := k.family + "_count"
+		if k.rest != "" {
+			countKey += "{" + k.rest + "}"
+		}
+		count, ok := s.samples[countKey]
+		if !ok {
+			return fmt.Errorf("histogram %s{%s}: missing _count", k.family, k.rest)
+		}
+		if bs[inf] != count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != count %g",
+				k.family, k.rest, bs[inf], count)
+		}
+	}
+	return nil
+}
+
+var inf = math.Inf(1)
+
+// Value returns one series' sample; labels are alternating name,
+// value pairs, matched exactly.
+func (s *Scrape) Value(name string, labels ...string) (float64, bool) {
+	if len(labels)%2 != 0 {
+		return 0, false
+	}
+	m := make(map[string]string, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		m[labels[i]] = labels[i+1]
+	}
+	key := name
+	if c := canonLabels(m); c != "" {
+		key += "{" + c + "}"
+	}
+	v, ok := s.samples[key]
+	return v, ok
+}
+
+// Total sums every series of one metric name, across all label
+// values — the page-wide requests_total, say.
+func (s *Scrape) Total(name string) float64 {
+	var sum float64
+	for key, v := range s.samples {
+		n, _ := splitKey(key)
+		if n == name {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Names lists the distinct sample names on the page, sorted.
+func (s *Scrape) Names() []string {
+	seen := make(map[string]bool)
+	for key := range s.samples {
+		n, _ := splitKey(key)
+		seen[n] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Type returns a declared family's TYPE.
+func (s *Scrape) Type(family string) string { return s.types[family] }
+
+// parseComment parses a "# HELP name text" / "# TYPE name type" line;
+// other comments return kind "".
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimLeft(body, " ")
+	kind, after, _ := strings.Cut(body, " ")
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", nil
+	}
+	name, rest, ok := strings.Cut(after, " ")
+	if name == "" || (kind == "TYPE" && !ok) {
+		return "", "", "", fmt.Errorf("malformed %s line %q", kind, line)
+	}
+	return kind, name, rest, nil
+}
+
+// parseSample parses one "name{labels} value" sample line.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.Index(rest, "=")
+			if eq <= 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := rest[:eq]
+			val, remain, err := unquoteLabel(rest[eq+1:])
+			if err != nil {
+				return "", nil, 0, fmt.Errorf("%v in %q", err, line)
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %s in %q", lname, line)
+			}
+			labels[lname] = val
+			rest = remain
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A trailing timestamp is legal in the format; our writer never
+	// emits one, but the parser stays honest about the grammar.
+	valStr, _, _ := strings.Cut(rest, " ")
+	value, err = strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q", valStr)
+	}
+	return name, labels, value, nil
+}
+
+// unquoteLabel decodes a quoted label value starting at the opening
+// quote, returning the value and the remainder after the closing
+// quote.
+func unquoteLabel(s string) (string, string, error) {
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("label value not quoted")
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// seriesKey builds the canonical series identity: name{k="v",...}
+// with labels sorted by name.
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + canonLabels(labels) + "}"
+}
+
+// canonLabels renders labels sorted, escaped, comma-joined.
+func canonLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(labels))
+	for n := range labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabel(labels[n]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// splitKey splits a canonical series key back into name and labels.
+func splitKey(key string) (string, map[string]string) {
+	name, rest, found := strings.Cut(key, "{")
+	if !found {
+		return key, nil
+	}
+	labels := make(map[string]string)
+	rest = strings.TrimSuffix(rest, "}")
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			break
+		}
+		val, remain, err := unquoteLabel(rest[eq+1:])
+		if err != nil {
+			break
+		}
+		labels[rest[:eq]] = val
+		rest = strings.TrimPrefix(remain, ",")
+	}
+	return name, labels
+}

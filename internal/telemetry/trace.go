@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is the request-scoped observability record: the request ID
+// plus per-stage timers (decode, resolve, compute, encode) that the
+// serve path accumulates as a request flows decode → resolve →
+// compute → encode. It rides the request context, so the api layer
+// records stages without knowing about HTTP, and the server's
+// telemetry middleware flushes them into the stage histograms and the
+// access log when the request finishes. A Trace is safe for
+// concurrent use — batch items time their stages from pool
+// goroutines, and a deadline-abandoned handler may still be timing
+// when the middleware reads the stages.
+type Trace struct {
+	// ID is the request ID: accepted from the client's X-Request-ID
+	// or generated, echoed on the response, stamped on every access
+	// log line.
+	ID string
+
+	mu      sync.Mutex
+	order   []string
+	stages  map[string]time.Duration
+	outcome string
+}
+
+// NewTrace returns a trace with the given request ID.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, stages: make(map[string]time.Duration)}
+}
+
+// StartStage starts timing one stage; the returned func stops it and
+// adds the elapsed time to the stage's total (stages that run more
+// than once per request — resolve per platform, say — accumulate).
+func (t *Trace) StartStage(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Add(name, time.Since(start)) }
+}
+
+// Add adds d to a stage's accumulated duration.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.stages[name]; !ok {
+		t.order = append(t.order, name)
+	}
+	t.stages[name] += d
+}
+
+// Stage is one accumulated stage duration.
+type Stage struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Stages returns the accumulated stages in first-recorded order.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Stage, len(t.order))
+	for i, name := range t.order {
+		out[i] = Stage{Name: name, Duration: t.stages[name]}
+	}
+	return out
+}
+
+// SetOutcome records a classification that the status code alone
+// cannot carry (the panic-recovery middleware marks "panic" here,
+// since any internal error answers 500).
+func (t *Trace) SetOutcome(o string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.outcome = o
+}
+
+// Outcome returns the recorded classification, or "".
+func (t *Trace) Outcome() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.outcome
+}
+
+// ServerTiming renders the stages as a Server-Timing header value
+// (durations in milliseconds, the header's unit).
+func (t *Trace) ServerTiming() string {
+	var b strings.Builder
+	for i, s := range t.Stages() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s;dur=%.3f", s.Name, float64(s.Duration)/float64(time.Millisecond))
+	}
+	return b.String()
+}
+
+// traceKey is the context key for the request trace.
+type traceKey struct{}
+
+// WithTrace attaches a trace to a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil — every Trace
+// method is nil-safe, so callers never need to check.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartStage times one stage on the context's trace; without a trace
+// (the CLI path, tests) it is a no-op.
+func StartStage(ctx context.Context, name string) func() {
+	return FromContext(ctx).StartStage(name)
+}
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; an ID of
+		// zeros still traces a request.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a client-supplied request ID is safe
+// to accept: printable ASCII without quotes or backslashes (it lands
+// in JSON logs and headers), at most 128 bytes.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}

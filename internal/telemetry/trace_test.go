@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceStagesAccumulateInOrder(t *testing.T) {
+	tr := NewTrace("abc123")
+	tr.Add("decode", 2*time.Millisecond)
+	tr.Add("compute", 10*time.Millisecond)
+	tr.Add("decode", 3*time.Millisecond) // re-entry accumulates
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(stages))
+	}
+	if stages[0].Name != "decode" || stages[0].Duration != 5*time.Millisecond {
+		t.Fatalf("decode stage = %+v, want 5ms accumulated first", stages[0])
+	}
+	if stages[1].Name != "compute" || stages[1].Duration != 10*time.Millisecond {
+		t.Fatalf("compute stage = %+v", stages[1])
+	}
+}
+
+func TestTraceStartStageTimes(t *testing.T) {
+	tr := NewTrace("t")
+	done := tr.StartStage("compute")
+	time.Sleep(5 * time.Millisecond)
+	done()
+	stages := tr.Stages()
+	if len(stages) != 1 || stages[0].Duration <= 0 {
+		t.Fatalf("StartStage recorded %+v", stages)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.StartStage("x")()
+	tr.Add("x", time.Second)
+	tr.SetOutcome("ok")
+	if tr.Stages() != nil || tr.Outcome() != "" {
+		t.Fatal("nil trace returned data")
+	}
+	// A context without a trace must be a no-op too.
+	StartStage(context.Background(), "x")()
+}
+
+func TestTraceConcurrentRecording(t *testing.T) {
+	tr := NewTrace("race")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Add("compute", time.Microsecond)
+				tr.Stages()
+				tr.SetOutcome("ok")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Stages()[0].Duration; got != 1600*time.Microsecond {
+		t.Fatalf("accumulated %v, want 1.6ms", got)
+	}
+}
+
+func TestServerTimingFormat(t *testing.T) {
+	tr := NewTrace("t")
+	tr.Add("decode", 1500*time.Microsecond)
+	tr.Add("compute", 42*time.Millisecond)
+	got := tr.ServerTiming()
+	want := "decode;dur=1.500, compute;dur=42.000"
+	if got != want {
+		t.Fatalf("ServerTiming = %q, want %q", got, want)
+	}
+}
+
+func TestWithTraceFromContext(t *testing.T) {
+	tr := NewTrace("ctx-id")
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext did not return the attached trace")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on bare context not nil")
+	}
+	StartStage(ctx, "resolve")()
+	if stages := tr.Stages(); len(stages) != 1 || stages[0].Name != "resolve" {
+		t.Fatalf("context StartStage recorded %+v", stages)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("IDs %q/%q, want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatal("two generated IDs collided")
+	}
+	if !ValidRequestID(a) {
+		t.Fatalf("generated ID %q fails its own validation", a)
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	if !ValidRequestID("client-req-42_x.y") {
+		t.Fatal("reasonable ID rejected")
+	}
+	for _, bad := range []string{
+		"",
+		"has space",
+		"has\"quote",
+		`has\slash`,
+		"has\nnewline",
+		"ünïcode",
+		strings.Repeat("a", 129),
+	} {
+		if ValidRequestID(bad) {
+			t.Errorf("ValidRequestID(%q) = true, want false", bad)
+		}
+	}
+}

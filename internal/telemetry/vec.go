@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Vec is a set of histograms sharing one bucket layout, keyed by
+// label values — the shape behind
+// greenfpga_request_duration_seconds{endpoint=...,outcome=...}.
+// With is read-locked on the hot path; a label set's first
+// observation takes the write lock once to create its histogram.
+type Vec struct {
+	bounds []float64
+	names  []string // label names, fixed at construction
+
+	mu sync.RWMutex
+	m  map[string]*vecEntry
+}
+
+type vecEntry struct {
+	values []string
+	h      *Histogram
+}
+
+// NewVec returns a histogram vector over the given bucket bounds and
+// label names.
+func NewVec(bounds []float64, labelNames ...string) *Vec {
+	return &Vec{
+		bounds: bounds,
+		names:  labelNames,
+		m:      make(map[string]*vecEntry),
+	}
+}
+
+// LabelNames returns the vector's label names, in declaration order.
+func (v *Vec) LabelNames() []string { return v.names }
+
+// With returns the histogram for one label-value tuple, creating it
+// on first use. The value count must match the label names.
+func (v *Vec) With(values ...string) *Histogram {
+	if len(values) != len(v.names) {
+		panic("telemetry: label value count does not match the vec's label names")
+	}
+	// \xff cannot appear in UTF-8 text, so the join is unambiguous.
+	key := strings.Join(values, "\xff")
+	v.mu.RLock()
+	e, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return e.h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if e, ok := v.m[key]; ok {
+		return e.h
+	}
+	e = &vecEntry{values: append([]string(nil), values...), h: NewHistogram(v.bounds)}
+	v.m[key] = e
+	return e.h
+}
+
+// Series is one labeled snapshot of a Vec.
+type Series struct {
+	Labels []string // label values, in the vec's LabelNames order
+	Snap   Snapshot
+}
+
+// Snapshots returns every series sorted by label values, for
+// deterministic rendering.
+func (v *Vec) Snapshots() []Series {
+	v.mu.RLock()
+	entries := make([]*vecEntry, 0, len(v.m))
+	for _, e := range v.m {
+		entries = append(entries, e)
+	}
+	v.mu.RUnlock()
+	out := make([]Series, len(entries))
+	for i, e := range entries {
+		out[i] = Series{Labels: e.values, Snap: e.h.Snapshot()}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Labels, out[j].Labels
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
