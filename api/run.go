@@ -1,6 +1,7 @@
 package api
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -975,14 +976,57 @@ func Experiment(id string) (*ExperimentResult, error) {
 	return res, nil
 }
 
+// encBuffers pools the encode-side scratch buffers: the server's miss
+// path and the CLI's -json modes encode every response through one of
+// these instead of allocating a fresh buffer per request.
+var encBuffers = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeTo appends v's canonical encoding — compact, HTML escaping
+// off, trailing newline — to buf. It is the single definition of the
+// service's wire encoding; WriteJSON and EncodeJSON are its two
+// callers (write-through vs retain).
+func encodeTo(buf *bytes.Buffer, v any) error {
+	enc := json.NewEncoder(buf)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}
+
+// EncodeJSON returns v's canonical encoding as a fresh byte slice —
+// the exact bytes WriteJSON would write, safe to retain indefinitely
+// (the server's result cache stores these, and cached bytes are
+// immutable by contract). The encode itself runs through a pooled
+// buffer, so steady-state misses allocate only the retained copy.
+func EncodeJSON(v any) ([]byte, error) {
+	buf := encBuffers.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		encBuffers.Put(buf)
+	}()
+	if err := encodeTo(buf, v); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
 // WriteJSON encodes v the service's canonical way — compact, HTML
 // escaping off, trailing newline. The CLI's -json modes and every
 // server handler use it, which is what makes their outputs
-// byte-identical.
+// byte-identical. The encode lands in a pooled buffer and reaches w
+// as one Write (buffers are written into directly).
 func WriteJSON(w io.Writer, v any) error {
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	return enc.Encode(v)
+	if buf, ok := w.(*bytes.Buffer); ok {
+		return encodeTo(buf, v)
+	}
+	buf := encBuffers.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		encBuffers.Put(buf)
+	}()
+	if err := encodeTo(buf, v); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // ToError coerces any compute error into the service's error

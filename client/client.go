@@ -109,13 +109,27 @@ func WithRetryLog(fn func(RetryEvent)) Option {
 	return func(c *Client) { c.onRetry = fn }
 }
 
+// defaultHTTPClient carries a keep-alive-tuned transport shared by
+// every Client that does not bring its own. http.DefaultTransport
+// caps idle connections at 2 per host, so any client driving more
+// than 2 concurrent requests at one service (the loadgen ramp, a
+// fan-out caller) would re-dial constantly and measure connection
+// setup instead of the server. The service talks to one host, so the
+// per-host idle pool is sized to the transport-wide one.
+var defaultHTTPClient = func() *http.Client {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 256
+	return &http.Client{Transport: t}
+}()
+
 // New builds a client for the service at baseURL (scheme and host,
 // e.g. "http://127.0.0.1:8080"). Without WithRetry each request is
 // attempted exactly once.
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		base:  strings.TrimRight(baseURL, "/"),
-		hc:    http.DefaultClient,
+		hc:    defaultHTTPClient,
 		sleep: sleepCtx,
 	}
 	for _, o := range opts {

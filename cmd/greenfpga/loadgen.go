@@ -24,56 +24,91 @@ import (
 // every repeat is a result-cache hit, so the ramp measures the serving
 // floor (transport, decode, cache lookup, encode) rather than compute
 // throughput; mixing in "mc" or "sweep" adds compute-bound traffic.
+// With -unique, endpoints that can salt their bodies (a free-text
+// name or seed) make every request a fresh content address instead,
+// so the ramp tracks the cold miss path — decode, resolve, compute,
+// encode — rather than the hit floor.
 type lgEndpoint struct {
 	name   string
 	weight int
 	call   func(ctx context.Context, c *client.Client) error
+	// unique, when non-nil, issues the salted variant: request n must
+	// produce a CanonicalKey no other request produces.
+	unique func(ctx context.Context, c *client.Client, n uint64) error
+}
+
+// lgCall is one endpoint's fixed and salted request shapes.
+type lgCall struct {
+	call   func(ctx context.Context, c *client.Client) error
+	unique func(ctx context.Context, c *client.Client, n uint64) error
 }
 
 // lgCalls builds the endpoint table against one client.
-func lgCalls() map[string]func(ctx context.Context, c *client.Client) error {
+func lgCalls() map[string]lgCall {
 	evalReq := &api.EvaluateRequest{
 		Platforms: []api.PlatformSpec{{Domain: "DNN", Kind: "fpga"}, {Domain: "DNN", Kind: "asic"}},
 		Workload:  &api.WorkloadSpec{NApps: 5, LifetimeYears: 2, Volume: 1e6},
 	}
-	return map[string]func(ctx context.Context, c *client.Client) error{
-		"healthz": func(ctx context.Context, c *client.Client) error {
+	return map[string]lgCall{
+		"healthz": {call: func(ctx context.Context, c *client.Client) error {
 			return c.Health(ctx)
-		},
-		"devices": func(ctx context.Context, c *client.Client) error {
+		}},
+		"devices": {call: func(ctx context.Context, c *client.Client) error {
 			_, err := c.Devices(ctx)
 			return err
+		}},
+		"evaluate": {
+			call: func(ctx context.Context, c *client.Client) error {
+				_, err := c.Evaluate(ctx, evalReq)
+				return err
+			},
+			// The scenario name rides into the canonical key, so a
+			// salted name is a guaranteed result-cache miss with
+			// identical (O(1), compiled-cache-warm) compute — the
+			// purest view of the cold decode/resolve/encode path.
+			unique: func(ctx context.Context, c *client.Client, n uint64) error {
+				req := *evalReq
+				req.Name = "lg-unique-" + strconv.FormatUint(n, 10)
+				_, err := c.Evaluate(ctx, &req)
+				return err
+			},
 		},
-		"evaluate": func(ctx context.Context, c *client.Client) error {
-			_, err := c.Evaluate(ctx, evalReq)
-			return err
-		},
-		"compare": func(ctx context.Context, c *client.Client) error {
+		"compare": {call: func(ctx context.Context, c *client.Client) error {
 			_, err := c.Compare(ctx, api.CompareRequest{Domain: "DNN"})
 			return err
-		},
-		"crossover": func(ctx context.Context, c *client.Client) error {
+		}},
+		"crossover": {call: func(ctx context.Context, c *client.Client) error {
 			_, err := c.Crossover(ctx, api.CrossoverRequest{Domain: "DNN"})
 			return err
-		},
-		"sweep": func(ctx context.Context, c *client.Client) error {
+		}},
+		"sweep": {call: func(ctx context.Context, c *client.Client) error {
 			_, err := c.Sweep(ctx, api.SweepRequest{Domain: "DNN", Axis: "napps"})
 			return err
-		},
-		"timeline": func(ctx context.Context, c *client.Client) error {
+		}},
+		"timeline": {call: func(ctx context.Context, c *client.Client) error {
 			_, err := c.Timeline(ctx, api.TimelineRequest{Domain: "DNN"})
 			return err
-		},
-		"mc": func(ctx context.Context, c *client.Client) error {
-			_, err := c.MonteCarlo(ctx, api.MonteCarloRequest{Domain: "DNN", Samples: 500})
-			return err
+		}},
+		"mc": {
+			call: func(ctx context.Context, c *client.Client) error {
+				_, err := c.MonteCarlo(ctx, api.MonteCarloRequest{Domain: "DNN", Samples: 500})
+				return err
+			},
+			// A salted seed is a fresh content address whose compute is
+			// real (500 draws) — the compute-bound miss profile.
+			unique: func(ctx context.Context, c *client.Client, n uint64) error {
+				_, err := c.MonteCarlo(ctx, api.MonteCarloRequest{
+					Domain: "DNN", Samples: 500, Seed: int64(n + 1)})
+				return err
+			},
 		},
 	}
 }
 
 // parseEndpointMix parses "-endpoints": comma-separated name[:weight]
-// entries (e.g. "evaluate:4,mc:1").
-func parseEndpointMix(s string, calls map[string]func(context.Context, *client.Client) error) ([]lgEndpoint, error) {
+// entries (e.g. "evaluate:4,mc:1"). With unique set, every listed
+// endpoint must support body salting.
+func parseEndpointMix(s string, calls map[string]lgCall, unique bool) ([]lgEndpoint, error) {
 	var out []lgEndpoint
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -97,12 +132,28 @@ func parseEndpointMix(s string, calls map[string]func(context.Context, *client.C
 			sort.Strings(known)
 			return nil, fmt.Errorf("unknown endpoint %q (have: %s)", name, strings.Join(known, ", "))
 		}
-		out = append(out, lgEndpoint{name: name, weight: w, call: call})
+		if unique && call.unique == nil {
+			return nil, fmt.Errorf("endpoint %q has no salt-able body; -unique supports: %s",
+				name, strings.Join(uniqueNames(calls), ", "))
+		}
+		out = append(out, lgEndpoint{name: name, weight: w, call: call.call, unique: call.unique})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty endpoint mix")
 	}
 	return out, nil
+}
+
+// uniqueNames lists the endpoints supporting -unique, sorted.
+func uniqueNames(calls map[string]lgCall) []string {
+	var out []string
+	for name, c := range calls {
+		if c.unique != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // benchStep is one rung of the concurrency ramp in BENCH_serve.json.
@@ -130,11 +181,12 @@ type benchServer struct {
 	Deadlines float64 `json:"deadlines"`
 }
 
-// benchDoc is the whole BENCH_serve.json document. It carries no
-// wall-clock timestamp so re-runs on identical builds diff cleanly.
+// benchDoc is one loadgen run. It carries no wall-clock timestamp so
+// re-runs on identical builds diff cleanly.
 type benchDoc struct {
 	Base      string      `json:"base"`
 	Endpoints []string    `json:"endpoints"`
+	Unique    bool        `json:"unique,omitempty"`
 	Steps     []benchStep `json:"steps"`
 }
 
@@ -154,6 +206,10 @@ func cmdLoadgen(args []string) error {
 	step := fs.Int("step", 0, "workers added per rung (default: begin)")
 	maxC := fs.Int("max", 8, "last rung's concurrent workers")
 	duration := fs.Duration("duration", 3*time.Second, "time to hold each rung")
+	unique := fs.Bool("unique", false,
+		"salt every request body so each is a result-cache miss (cold-path ramp; endpoints must support salting)")
+	label := fs.String("label", "",
+		"store the run under runs.<label> in the output document, preserving other labels (default: overwrite with a single-run document)")
 	out := fs.String("o", "BENCH_serve.json", "output path ('-' for stdout)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -167,7 +223,7 @@ func cmdLoadgen(args []string) error {
 	if *step <= 0 {
 		*step = *begin
 	}
-	mix, err := parseEndpointMix(*endpoints, lgCalls())
+	mix, err := parseEndpointMix(*endpoints, lgCalls(), *unique)
 	if err != nil {
 		return usagef("loadgen: bad -endpoints: %v", err)
 	}
@@ -186,14 +242,15 @@ func cmdLoadgen(args []string) error {
 		}
 	}
 
-	doc := benchDoc{Base: *base}
+	doc := benchDoc{Base: *base, Unique: *unique}
 	for _, ep := range mix {
 		doc.Endpoints = append(doc.Endpoints, fmt.Sprintf("%s:%d", ep.name, ep.weight))
 	}
+	var salt atomic.Uint64
 	fmt.Printf("%-12s %10s %12s %10s %10s %10s\n",
 		"concurrency", "requests", "rps", "p50_ms", "p99_ms", "max_ms")
 	for n := *begin; n <= *maxC; n += *step {
-		st, err := runStep(ctx, c, mix, n, *duration)
+		st, err := runStep(ctx, c, mix, n, *duration, uniqueSalt(*unique, &salt))
 		if err != nil {
 			return err
 		}
@@ -202,11 +259,10 @@ func cmdLoadgen(args []string) error {
 			n, st.Requests, st.ThroughputRPS, st.P50Ms, st.P99Ms, st.MaxMs)
 	}
 
-	var buf []byte
-	if buf, err = json.MarshalIndent(doc, "", "  "); err != nil {
+	buf, err := renderBench(doc, *label, *out)
+	if err != nil {
 		return err
 	}
-	buf = append(buf, '\n')
 	if *out == "-" {
 		_, err = os.Stdout.Write(buf)
 		return err
@@ -218,9 +274,55 @@ func cmdLoadgen(args []string) error {
 	return nil
 }
 
+// uniqueSalt returns the per-request salt source, or nil for the
+// fixed-body (cache-hit) ramp. The counter spans all rungs so a later
+// rung can never replay an earlier rung's key.
+func uniqueSalt(unique bool, salt *atomic.Uint64) func() uint64 {
+	if !unique {
+		return nil
+	}
+	return func() uint64 { return salt.Add(1) }
+}
+
+// renderBench marshals the output document: a plain single-run doc,
+// or — under -label — the labeled-runs form {"runs": {label: doc}},
+// merging with any labeled runs already in the output file so
+// successive PRs' trajectories accumulate side by side.
+func renderBench(doc benchDoc, label, path string) ([]byte, error) {
+	var v any = doc
+	if label != "" {
+		runs := make(map[string]json.RawMessage)
+		if path != "-" {
+			if prev, err := os.ReadFile(path); err == nil {
+				var existing struct {
+					Runs map[string]json.RawMessage `json:"runs"`
+				}
+				if json.Unmarshal(prev, &existing) == nil && existing.Runs != nil {
+					runs = existing.Runs
+				}
+			}
+		}
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			return nil, err
+		}
+		runs[label] = raw
+		v = struct {
+			Runs map[string]json.RawMessage `json:"runs"`
+		}{runs}
+	}
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
 // runStep holds one rung: n workers in a closed loop for d, latencies
 // into a shared atomic histogram, /metrics scraped before and after.
-func runStep(ctx context.Context, c *client.Client, mix []lgEndpoint, n int, d time.Duration) (benchStep, error) {
+// A non-nil salt switches every call to its salted variant, each
+// request a fresh content address (the -unique cold-path ramp).
+func runStep(ctx context.Context, c *client.Client, mix []lgEndpoint, n int, d time.Duration, salt func() uint64) (benchStep, error) {
 	before, err := scrape(ctx, c)
 	if err != nil {
 		return benchStep{}, fmt.Errorf("loadgen: scraping /metrics: %w", err)
@@ -250,16 +352,21 @@ func runStep(ctx context.Context, c *client.Client, mix []lgEndpoint, n int, d t
 				}
 				pick := at % totalWeight
 				at++
-				var call func(context.Context, *client.Client) error
+				var chosen lgEndpoint
 				for _, ep := range mix {
 					if pick < ep.weight {
-						call = ep.call
+						chosen = ep
 						break
 					}
 					pick -= ep.weight
 				}
 				t0 := time.Now()
-				err := call(stepCtx, c)
+				var err error
+				if salt != nil {
+					err = chosen.unique(stepCtx, c, salt())
+				} else {
+					err = chosen.call(stepCtx, c)
+				}
 				if stepCtx.Err() != nil && err != nil {
 					// The rung ended mid-request; a cut-off request is
 					// neither a sample nor an error.

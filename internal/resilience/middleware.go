@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -36,8 +37,24 @@ type deadlineWriter struct {
 	buf         bytes.Buffer
 }
 
-func newDeadlineWriter() *deadlineWriter {
+// maxPooledResponse bounds the buffer capacity a pooled deadline
+// writer may retain (1 MiB — well above every envelope but the
+// largest sweeps).
+const maxPooledResponse = 1 << 20
+
+// deadlineWriters pools the per-request buffers: every compute
+// request passes through Deadline, so an unpooled writer would cost a
+// header map and a response-sized buffer per request on the cache-hit
+// floor. A writer is returned to the pool only when its handler
+// goroutine has provably finished (the done path); a timed-out
+// handler may still be writing to its buffer, so that writer is
+// abandoned to the garbage collector instead.
+var deadlineWriters = sync.Pool{New: func() any {
 	return &deadlineWriter{header: make(http.Header), code: http.StatusOK}
+}}
+
+func newDeadlineWriter() *deadlineWriter {
+	return deadlineWriters.Get().(*deadlineWriter)
 }
 
 // Header implements http.ResponseWriter.
@@ -107,6 +124,12 @@ func Deadline(d time.Duration, next http.Handler, onTimeout func(w http.Response
 		select {
 		case <-done:
 			dw.flush(w)
+			// An occasional huge response (an admitted full-size
+			// sweep) must not pin its buffer in the pool forever.
+			if dw.buf.Cap() <= maxPooledResponse {
+				dw.Reset()
+				deadlineWriters.Put(dw)
+			}
 		case <-ctx.Done():
 			if ctx.Err() == context.Canceled {
 				// The client went away; there is no one to answer.

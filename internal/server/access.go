@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"math"
@@ -89,6 +90,28 @@ type accessLogger struct {
 	w  io.Writer
 }
 
+// logBuffers pools the access-log encode buffers so a logged request
+// allocates no per-line scratch (json.Encoder appends the newline the
+// line format needs, where json.Marshal would cost a copy to add it).
+var logBuffers = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeLine encodes v as one line and writes it under the logger's
+// lock.
+func (l *accessLogger) writeLine(v any) {
+	buf := logBuffers.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		logBuffers.Put(buf)
+	}()
+	enc := json.NewEncoder(buf)
+	if err := enc.Encode(v); err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(buf.Bytes())
+}
+
 // accessRecord is one access-log line. Durations are milliseconds —
 // the human-scanning unit — while the histograms keep seconds, the
 // Prometheus convention.
@@ -110,14 +133,7 @@ func (l *accessLogger) log(rec accessRecord) {
 	if l == nil {
 		return
 	}
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return
-	}
-	b = append(b, '\n')
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	_, _ = l.w.Write(b)
+	l.writeLine(&rec)
 }
 
 // preamble writes the first line of an access log: which build is
@@ -140,14 +156,7 @@ func (l *accessLogger) preamble(addr string) {
 		Time: time.Now().UTC().Format(time.RFC3339Nano), Msg: "serving",
 		Addr: addr, Version: v.Version, Go: v.GoVersion, Rev: v.Revision, Dirty: v.Dirty,
 	}
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return
-	}
-	b = append(b, '\n')
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	_, _ = l.w.Write(b)
+	l.writeLine(&rec)
 }
 
 // observe flushes one finished request into the telemetry surfaces:

@@ -83,12 +83,65 @@ func (m *metrics) counter(endpoint string) *atomic.Uint64 {
 	return c
 }
 
+// promFamilies holds every /metrics family header pre-rendered once:
+// scraping appends samples to static HELP/TYPE bytes instead of
+// formatting them per scrape.
+var promFamilies = struct {
+	requests, reqDur, respSize, stageDur, queueWait,
+	rcHits, rcMisses, rcEntries, aHits, aMisses, cpHits, cpMisses,
+	inflight, rejected, shed, deadlines, panics, coalesced, queueDepth *telemetry.FamilyPrefab
+}{
+	requests: telemetry.NewFamilyPrefab("greenfpga_requests_total", "counter",
+		"Requests received, by endpoint."),
+	reqDur: telemetry.NewFamilyPrefab("greenfpga_request_duration_seconds", "histogram",
+		"Wall-clock request duration, by endpoint and outcome."),
+	respSize: telemetry.NewFamilyPrefab("greenfpga_response_size_bytes", "histogram",
+		"Response body size, by endpoint."),
+	stageDur: telemetry.NewFamilyPrefab("greenfpga_stage_duration_seconds", "histogram",
+		"Accumulated time per request pipeline stage (decode, resolve, compute, encode)."),
+	queueWait: telemetry.NewFamilyPrefab("greenfpga_queue_wait_seconds", "histogram",
+		"Time spent queued for an evaluation slot (admitted and shed requests)."),
+	rcHits: telemetry.NewFamilyPrefab("greenfpga_result_cache_hits_total", "counter",
+		"Content-addressed result cache hits."),
+	rcMisses: telemetry.NewFamilyPrefab("greenfpga_result_cache_misses_total", "counter",
+		"Content-addressed result cache misses."),
+	rcEntries: telemetry.NewFamilyPrefab("greenfpga_result_cache_entries", "gauge",
+		"Resident result cache entries."),
+	aHits: telemetry.NewFamilyPrefab("greenfpga_artifact_cache_hits_total", "counter",
+		"Rendered-experiment cache hits."),
+	aMisses: telemetry.NewFamilyPrefab("greenfpga_artifact_cache_misses_total", "counter",
+		"Rendered-experiment cache misses."),
+	cpHits: telemetry.NewFamilyPrefab("greenfpga_compiled_platform_cache_hits_total", "counter",
+		"Compiled-platform cache hits."),
+	cpMisses: telemetry.NewFamilyPrefab("greenfpga_compiled_platform_cache_misses_total", "counter",
+		"Compiled-platform cache misses."),
+	inflight: telemetry.NewFamilyPrefab("greenfpga_inflight_requests", "gauge",
+		"Requests currently being served."),
+	rejected: telemetry.NewFamilyPrefab("greenfpga_rejected_total", "counter",
+		"Requests abandoned while waiting for a concurrency slot."),
+	shed: telemetry.NewFamilyPrefab("greenfpga_shed_total", "counter",
+		"Requests shed with 503 after the bounded queue wait elapsed."),
+	deadlines: telemetry.NewFamilyPrefab("greenfpga_deadline_exceeded_total", "counter",
+		"Requests answered 504 after overrunning their deadline."),
+	panics: telemetry.NewFamilyPrefab("greenfpga_panics_total", "counter",
+		"Handler panics recovered into internal-error envelopes."),
+	coalesced: telemetry.NewFamilyPrefab("greenfpga_coalesced_total", "counter",
+		"Requests that shared a concurrent identical evaluation (singleflight followers)."),
+	queueDepth: telemetry.NewFamilyPrefab("greenfpga_queue_depth", "gauge",
+		"Requests currently waiting for an evaluation slot."),
+}
+
+// expositions pools scrape builders; the retained buffer grows to the
+// page size once and is reused across scrapes.
+var expositions = sync.Pool{New: func() any { return telemetry.NewExposition() }}
+
 // writeMetrics renders the page in the Prometheus text exposition
 // format via the telemetry builder — HELP/TYPE always precede
 // samples, label values are escaped per the format, endpoints are
 // sorted for deterministic output. The server's own tests parse this
 // page with the strict checker, so it cannot drift from what real
-// scrapers accept.
+// scrapers accept. Family headers are pre-rendered (promFamilies) and
+// the builder is pooled, so a scrape formats only the sample values.
 func (s *Server) writeMetrics(w io.Writer) error {
 	s.m.mu.Lock()
 	endpoints := make([]string, 0, len(s.m.requests))
@@ -102,61 +155,47 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	}
 	s.m.mu.Unlock()
 
-	e := telemetry.NewExposition()
-	e.Family("greenfpga_requests_total", "counter", "Requests received, by endpoint.")
+	e := expositions.Get().(*telemetry.Exposition)
+	defer func() {
+		e.Reset()
+		expositions.Put(e)
+	}()
+	e.Prefab(promFamilies.requests)
 	for i, ep := range endpoints {
 		e.Sample(float64(counts[i]), "endpoint", ep)
 	}
-	e.Family("greenfpga_request_duration_seconds", "histogram",
-		"Wall-clock request duration, by endpoint and outcome.")
+	e.Prefab(promFamilies.reqDur)
 	for _, ser := range s.m.reqDur.Snapshots() {
 		e.Histogram(ser.Snap, "endpoint", ser.Labels[0], "outcome", ser.Labels[1])
 	}
-	e.Family("greenfpga_response_size_bytes", "histogram",
-		"Response body size, by endpoint.")
+	e.Prefab(promFamilies.respSize)
 	for _, ser := range s.m.respSize.Snapshots() {
 		e.Histogram(ser.Snap, "endpoint", ser.Labels[0])
 	}
-	e.Family("greenfpga_stage_duration_seconds", "histogram",
-		"Accumulated time per request pipeline stage (decode, resolve, compute, encode).")
+	e.Prefab(promFamilies.stageDur)
 	for _, ser := range s.m.stageDur.Snapshots() {
 		e.Histogram(ser.Snap, "stage", ser.Labels[0])
 	}
-	e.Family("greenfpga_queue_wait_seconds", "histogram",
-		"Time spent queued for an evaluation slot (admitted and shed requests).")
+	e.Prefab(promFamilies.queueWait)
 	e.Histogram(s.m.queueWait.Snapshot())
 
 	rcHits, rcMisses := s.results.Stats()
-	e.Family("greenfpga_result_cache_hits_total", "counter",
-		"Content-addressed result cache hits.").Sample(float64(rcHits))
-	e.Family("greenfpga_result_cache_misses_total", "counter",
-		"Content-addressed result cache misses.").Sample(float64(rcMisses))
-	e.Family("greenfpga_result_cache_entries", "gauge",
-		"Resident result cache entries.").Sample(float64(s.results.Len()))
+	e.Prefab(promFamilies.rcHits).Sample(float64(rcHits))
+	e.Prefab(promFamilies.rcMisses).Sample(float64(rcMisses))
+	e.Prefab(promFamilies.rcEntries).Sample(float64(s.results.Len()))
 	aHits, aMisses := s.artifacts.Stats()
-	e.Family("greenfpga_artifact_cache_hits_total", "counter",
-		"Rendered-experiment cache hits.").Sample(float64(aHits))
-	e.Family("greenfpga_artifact_cache_misses_total", "counter",
-		"Rendered-experiment cache misses.").Sample(float64(aMisses))
+	e.Prefab(promFamilies.aHits).Sample(float64(aHits))
+	e.Prefab(promFamilies.aMisses).Sample(float64(aMisses))
 	cpHits, cpMisses := s.eval.CompileStats()
-	e.Family("greenfpga_compiled_platform_cache_hits_total", "counter",
-		"Compiled-platform cache hits.").Sample(float64(cpHits))
-	e.Family("greenfpga_compiled_platform_cache_misses_total", "counter",
-		"Compiled-platform cache misses.").Sample(float64(cpMisses))
-	e.Family("greenfpga_inflight_requests", "gauge",
-		"Requests currently being served.").Sample(float64(s.m.inflight.Load()))
-	e.Family("greenfpga_rejected_total", "counter",
-		"Requests abandoned while waiting for a concurrency slot.").Sample(float64(s.m.rejected.Load()))
-	e.Family("greenfpga_shed_total", "counter",
-		"Requests shed with 503 after the bounded queue wait elapsed.").Sample(float64(s.m.shed.Load()))
-	e.Family("greenfpga_deadline_exceeded_total", "counter",
-		"Requests answered 504 after overrunning their deadline.").Sample(float64(s.m.deadlines.Load()))
-	e.Family("greenfpga_panics_total", "counter",
-		"Handler panics recovered into internal-error envelopes.").Sample(float64(s.m.panics.Load()))
-	e.Family("greenfpga_coalesced_total", "counter",
-		"Requests that shared a concurrent identical evaluation (singleflight followers).").Sample(float64(s.m.coalesced.Load()))
-	e.Family("greenfpga_queue_depth", "gauge",
-		"Requests currently waiting for an evaluation slot.").Sample(float64(s.limiter.Waiting()))
+	e.Prefab(promFamilies.cpHits).Sample(float64(cpHits))
+	e.Prefab(promFamilies.cpMisses).Sample(float64(cpMisses))
+	e.Prefab(promFamilies.inflight).Sample(float64(s.m.inflight.Load()))
+	e.Prefab(promFamilies.rejected).Sample(float64(s.m.rejected.Load()))
+	e.Prefab(promFamilies.shed).Sample(float64(s.m.shed.Load()))
+	e.Prefab(promFamilies.deadlines).Sample(float64(s.m.deadlines.Load()))
+	e.Prefab(promFamilies.panics).Sample(float64(s.m.panics.Load()))
+	e.Prefab(promFamilies.coalesced).Sample(float64(s.m.coalesced.Load()))
+	e.Prefab(promFamilies.queueDepth).Sample(float64(s.limiter.Waiting()))
 	_, err := e.WriteTo(w)
 	return err
 }

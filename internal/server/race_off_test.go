@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether this binary was built with -race; the
+// allocation guard skips its strict budget there (the detector's
+// shadow bookkeeping inflates counts).
+const raceEnabled = false

@@ -42,6 +42,44 @@ func (e *Exposition) Family(name, typ, help string) *Exposition {
 	return e
 }
 
+// FamilyPrefab is a metric family's static header — the HELP and TYPE
+// lines rendered once at construction. Hot scrape paths declare
+// families through prefabs so the per-scrape work is a single buffer
+// write instead of two fmt.Fprintf calls per family.
+type FamilyPrefab struct {
+	name, typ string
+	header    []byte
+}
+
+// NewFamilyPrefab renders a family header once, for reuse across
+// every scrape.
+func NewFamilyPrefab(name, typ, help string) *FamilyPrefab {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+	return &FamilyPrefab{name: name, typ: typ, header: b.Bytes()}
+}
+
+// Prefab starts a metric family from its precomputed header; it is
+// Family minus the per-scrape formatting.
+func (e *Exposition) Prefab(f *FamilyPrefab) *Exposition {
+	if e.declared[f.name] {
+		panic("telemetry: family " + f.name + " declared twice")
+	}
+	e.declared[f.name] = true
+	e.family, e.familyTy = f.name, f.typ
+	e.buf.Write(f.header)
+	return e
+}
+
+// Reset empties the builder for reuse (pooled scrape paths); the
+// underlying buffer's capacity is retained.
+func (e *Exposition) Reset() {
+	e.buf.Reset()
+	e.family, e.familyTy = "", ""
+	clear(e.declared)
+}
+
 // Sample renders one sample of the current family; labels are
 // alternating name, value pairs.
 func (e *Exposition) Sample(value float64, labels ...string) *Exposition {
