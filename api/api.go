@@ -24,7 +24,11 @@
 // caching, batching and metrics on top (see internal/server).
 package api
 
-import "greenfpga/internal/config"
+import (
+	"encoding/json"
+
+	"greenfpga/internal/config"
+)
 
 // ScenarioConfig is the scenario JSON document, shared with
 // `greenfpga run` (see internal/config.Scenario).
@@ -540,4 +544,41 @@ type ExperimentResult struct {
 // Health is the /healthz response.
 type Health struct {
 	Status string `json:"status"`
+}
+
+// JobSubmitRequest is the POST /v1/jobs body: one compute request,
+// wrapped with the endpoint it targets, to run asynchronously. The
+// request document is exactly what the synchronous endpoint accepts.
+type JobSubmitRequest struct {
+	// Endpoint names the compute endpoint ("mc" or "/v1/mc", ...).
+	Endpoint string `json:"endpoint"`
+	// Request is the compute request body.
+	Request json.RawMessage `json:"request"`
+}
+
+// JobStatus is a job's lifecycle record, returned by POST /v1/jobs
+// (202) and GET /v1/jobs/{id}.
+type JobStatus struct {
+	// ID is the job handle.
+	ID string `json:"id"`
+	// Endpoint is the canonical compute endpoint.
+	Endpoint string `json:"endpoint"`
+	// State is queued, running, done, failed or canceled.
+	State string `json:"state"`
+	// Chunks and ChunksDone report checkpoint progress.
+	Chunks     int `json:"chunks"`
+	ChunksDone int `json:"chunks_done"`
+	// Key is the result's content address — the same CanonicalKey the
+	// result cache uses for the equivalent synchronous request.
+	Key string `json:"key,omitempty"`
+	// Error describes a failed or canceled job.
+	Error *Error `json:"error,omitempty"`
+	// CreatedUnixMs and UpdatedUnixMs are wall-clock bookkeeping.
+	CreatedUnixMs int64 `json:"created_unix_ms,omitempty"`
+	UpdatedUnixMs int64 `json:"updated_unix_ms,omitempty"`
+}
+
+// JobList is the GET /v1/jobs response, newest first.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
 }

@@ -730,6 +730,35 @@ func (r SweepRequest) legacyPairShape() bool {
 // checks ctx before its point, so a cancelled request stops the grid
 // instead of computing doomed cells.
 func (e *Evaluator) RunSweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
+	st, err := e.prepareSweep(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	defer telemetry.StartStage(ctx, "compute")()
+	pts, err := sweep.RunN(st.ax, len(st.cs), st.eval(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return st.assemble(pts), nil
+}
+
+// sweepStudy is a validated, resolved sweep: the axis, the compiled
+// platform set and the off-axis workload parameters — everything the
+// point evaluation needs, with the evaluation itself left to the
+// caller. RunSweep evaluates all points in one shot; the jobs layer
+// evaluates index ranges (sweep.RunRangeN) and reassembles, which
+// yields the identical response because point values depend only on
+// the axis and the compiled set.
+type sweepStudy struct {
+	req SweepRequest // normalized
+	ax  sweep.Axis
+	w   WorkloadSpec
+	cs  core.CompiledSet
+}
+
+// prepareSweep normalizes and validates the request and resolves its
+// platform set (timing the resolve stage), without evaluating points.
+func (e *Evaluator) prepareSweep(ctx context.Context, req SweepRequest) (*sweepStudy, error) {
 	req = req.Normalized()
 	ax, err := req.SweepAxis()
 	if err != nil {
@@ -745,13 +774,19 @@ func (e *Evaluator) RunSweep(ctx context.Context, req SweepRequest) (*SweepRespo
 	if err != nil {
 		return nil, err
 	}
-	defer telemetry.StartStage(ctx, "compute")()
-	eval := func(x float64, totals []units.Mass) error {
+	return &sweepStudy{req: req, ax: ax, w: w, cs: cs}, nil
+}
+
+// eval builds the per-point evaluator over the compiled set, bound to
+// ctx so a cancelled request stops the grid instead of computing
+// doomed cells.
+func (st *sweepStudy) eval(ctx context.Context) sweep.SetEval {
+	return func(x float64, totals []units.Mass) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		nApps, tY, v := w.NApps, w.LifetimeYears, w.Volume
-		switch req.Axis {
+		nApps, tY, v := st.w.NApps, st.w.LifetimeYears, st.w.Volume
+		switch st.req.Axis {
 		case "napps":
 			nApps = int(x + 0.5)
 		case "lifetime":
@@ -759,8 +794,8 @@ func (e *Evaluator) RunSweep(ctx context.Context, req SweepRequest) (*SweepRespo
 		case "volume":
 			v = x
 		}
-		for i, c := range cs {
-			m, err := c.UniformTotal(nApps, units.YearsOf(tY), v, w.SizeGates)
+		for i, c := range st.cs {
+			m, err := c.UniformTotal(nApps, units.YearsOf(tY), v, st.w.SizeGates)
 			if err != nil {
 				return err
 			}
@@ -768,10 +803,11 @@ func (e *Evaluator) RunSweep(ctx context.Context, req SweepRequest) (*SweepRespo
 		}
 		return nil
 	}
-	pts, err := sweep.RunN(ax, len(cs), eval)
-	if err != nil {
-		return nil, err
-	}
+}
+
+// assemble shapes the evaluated points into the response document.
+func (st *sweepStudy) assemble(pts []sweep.PointN) *SweepResponse {
+	req := st.req
 	resp := &SweepResponse{Domain: req.Domain, Axis: req.Axis, Points: make([]SweepPoint, len(pts))}
 	if req.legacyPairShape() {
 		for i, p := range pts {
@@ -784,9 +820,9 @@ func (e *Evaluator) RunSweep(ctx context.Context, req SweepRequest) (*SweepRespo
 				X: p.X, FPGAKg: f.Kilograms(), ASICKg: a.Kilograms(), Ratio: ratio,
 			}
 		}
-		return resp, nil
+		return resp
 	}
-	for _, c := range cs {
+	for _, c := range st.cs {
 		resp.Platforms = append(resp.Platforms, c.Platform().Spec.Name)
 	}
 	for i, p := range pts {
@@ -796,7 +832,7 @@ func (e *Evaluator) RunSweep(ctx context.Context, req SweepRequest) (*SweepRespo
 		}
 		resp.Points[i] = SweepPoint{X: p.X, TotalsKg: totals}
 	}
-	return resp, nil
+	return resp
 }
 
 // RunSweep runs the request through the package-level evaluator under
@@ -839,6 +875,35 @@ func (r MonteCarloRequest) Normalized() MonteCarloRequest {
 // the FPGA app-dev flow), the platforms must be plain kind selectors
 // of a single domain.
 func (e *Evaluator) RunMonteCarlo(ctx context.Context, req MonteCarloRequest) (*MonteCarloResponse, error) {
+	m, err := e.prepareMonteCarlo(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	defer telemetry.StartStage(ctx, "compute")()
+	res, err := greenfpga.RunMonteCarlo(m.config(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return m.assemble(res), nil
+}
+
+// mcStudy is a validated, resolved Monte-Carlo study: the domain
+// calibration, the two plain platform kinds and the draw plan. The
+// draw evaluation itself is left to the caller: RunMonteCarlo runs it
+// in one shot; the jobs layer evaluates index ranges of the same
+// config (montecarlo.RunRange) and finalizes the concatenation, which
+// is bit-identical because every draw is sub-seeded by its index.
+type mcStudy struct {
+	req   MonteCarloRequest // normalized
+	d     greenfpga.Domain
+	a, b  PlatformSpec
+	nApps int
+}
+
+// prepareMonteCarlo normalizes and validates the request and resolves
+// the domain calibration (timing the resolve stage), without running
+// any draws.
+func (e *Evaluator) prepareMonteCarlo(ctx context.Context, req MonteCarloRequest) (*mcStudy, error) {
 	req = req.Normalized()
 	if req.NApps != 0 {
 		return nil, &Error{Code: "invalid_request",
@@ -884,13 +949,19 @@ func (e *Evaluator) RunMonteCarlo(ctx context.Context, req MonteCarloRequest) (*
 	if err != nil {
 		return nil, err
 	}
-	defer telemetry.StartStage(ctx, "compute")()
-	res, err := greenfpga.DomainRatioStudyBetweenCtx(ctx, d,
-		greenfpga.DeviceKind(a.Kind), greenfpga.DeviceKind(b.Kind),
-		w.NApps, req.Samples, req.Seed)
-	if err != nil {
-		return nil, err
-	}
+	return &mcStudy{req: req, d: d, a: a, b: b, nApps: w.NApps}, nil
+}
+
+// config builds the study's Monte-Carlo configuration bound to ctx
+// (the model closure checks it per draw).
+func (m *mcStudy) config(ctx context.Context) greenfpga.MCConfig {
+	return greenfpga.DomainRatioStudyConfig(ctx, m.d,
+		greenfpga.DeviceKind(m.a.Kind), greenfpga.DeviceKind(m.b.Kind),
+		m.nApps, m.req.Samples, m.req.Seed)
+}
+
+// assemble shapes a finalized study result into the response document.
+func (m *mcStudy) assemble(res greenfpga.MCResult) *MonteCarloResponse {
 	wins := 0
 	for _, s := range res.Samples {
 		if s < 1 {
@@ -898,7 +969,7 @@ func (e *Evaluator) RunMonteCarlo(ctx context.Context, req MonteCarloRequest) (*
 		}
 	}
 	resp := &MonteCarloResponse{
-		Domain: d.Name, Samples: req.Samples, Seed: req.Seed, NApps: w.NApps,
+		Domain: m.d.Name, Samples: m.req.Samples, Seed: m.req.Seed, NApps: m.nApps,
 		Mean: res.Mean, StdDev: res.StdDev,
 		Percentiles: Percentiles{
 			P5:  res.Percentile(5),
@@ -909,13 +980,13 @@ func (e *Evaluator) RunMonteCarlo(ctx context.Context, req MonteCarloRequest) (*
 		},
 		ProbFPGAWins: float64(wins) / float64(len(res.Samples)),
 	}
-	if !(a.isPlainKind(req.Domain, "fpga") && b.isPlainKind(req.Domain, "asic")) {
-		resp.PlatformA, resp.PlatformB = a.Kind, b.Kind
+	if !(m.a.isPlainKind(m.req.Domain, "fpga") && m.b.isPlainKind(m.req.Domain, "asic")) {
+		resp.PlatformA, resp.PlatformB = m.a.Kind, m.b.Kind
 	}
 	for _, s := range res.Tornado {
 		resp.Tornado = append(resp.Tornado, TornadoEntry{Param: s.Param, Swing: s.Swing()})
 	}
-	return resp, nil
+	return resp
 }
 
 // RunMonteCarlo runs the request through the package-level evaluator

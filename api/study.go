@@ -1,0 +1,346 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"greenfpga/internal/montecarlo"
+	"greenfpga/internal/sweep"
+	"greenfpga/internal/units"
+)
+
+// This file decomposes the six compute request shapes into resumable
+// studies: a fixed number of independently computable chunks plus a
+// finalizer that assembles chunk payloads into the exact bytes the
+// synchronous endpoint would have written. The jobs layer checkpoints
+// chunk payloads as they complete, so a killed process re-runs only
+// the chunks that had not landed — and because Monte-Carlo draws are
+// sub-seeded by index and sweep points depend only on the axis, the
+// resumed result is bit-identical to an uninterrupted run.
+
+// Chunk sizing: big enough that per-chunk checkpoint writes are noise
+// against the compute, small enough that a kill loses little work. A
+// 200k-draw study is ~49 chunks; the 100k-point sweep cap is ~98.
+const (
+	mcChunkDraws     = 4096
+	sweepChunkPoints = 1024
+)
+
+// Study is one compute request decomposed into checkpointable chunks.
+// ComputeChunk is safe to call for any chunk in any order (each call
+// parallelizes internally over the worker pool); Finalize requires
+// every chunk's payload, in chunk order, and returns the response's
+// canonical JSON — byte-identical to the synchronous endpoint's for
+// the same CanonicalKey.
+type Study struct {
+	// Endpoint is the canonical endpoint path ("/v1/mc", ...).
+	Endpoint string
+	// Key is CanonicalKey(Endpoint, normalized request) — the same
+	// content address the server's result cache uses, which is what
+	// lets a finished job's bytes serve later synchronous requests.
+	Key string
+	// Req is the normalized request.
+	Req any
+
+	chunks   int
+	compute  func(ctx context.Context, i int) ([]byte, error)
+	finalize func(ctx context.Context, chunks [][]byte) ([]byte, error)
+}
+
+// NumChunks is the study's chunk count (≥ 1).
+func (s *Study) NumChunks() int { return s.chunks }
+
+// ComputeChunk evaluates chunk i and returns its checkpoint payload.
+func (s *Study) ComputeChunk(ctx context.Context, i int) ([]byte, error) {
+	if i < 0 || i >= s.chunks {
+		return nil, fmt.Errorf("chunk %d outside [0, %d)", i, s.chunks)
+	}
+	return s.compute(ctx, i)
+}
+
+// Finalize assembles the chunk payloads (all of them, in chunk order)
+// into the response's canonical JSON bytes.
+func (s *Study) Finalize(ctx context.Context, chunks [][]byte) ([]byte, error) {
+	if len(chunks) != s.chunks {
+		return nil, fmt.Errorf("finalizing %d chunks of %d", len(chunks), s.chunks)
+	}
+	return s.finalize(ctx, chunks)
+}
+
+// CanonicalEndpoint maps an endpoint spelling ("mc", "/v1/mc") to its
+// canonical path, or errors for endpoints that cannot run as jobs.
+func CanonicalEndpoint(name string) (string, error) {
+	switch name {
+	case "evaluate", "/v1/evaluate":
+		return "/v1/evaluate", nil
+	case "compare", "/v1/compare":
+		return "/v1/compare", nil
+	case "crossover", "/v1/crossover":
+		return "/v1/crossover", nil
+	case "timeline", "/v1/timeline":
+		return "/v1/timeline", nil
+	case "sweep", "/v1/sweep":
+		return "/v1/sweep", nil
+	case "mc", "/v1/mc":
+		return "/v1/mc", nil
+	default:
+		return "", &Error{Code: "invalid_request", Message: fmt.Sprintf(
+			"unknown job endpoint %q (evaluate, compare, crossover, timeline, sweep, mc)", name)}
+	}
+}
+
+// decodeStrict decodes raw with the same strictness the server applies
+// to request bodies: unknown fields and trailing data are errors.
+func decodeStrict(raw json.RawMessage, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return &Error{Code: "invalid_request", Message: "bad job request: " + err.Error()}
+	}
+	if dec.More() {
+		return &Error{Code: "invalid_request", Message: "bad job request: trailing data"}
+	}
+	return nil
+}
+
+// NewStudy decodes one compute request (the body the synchronous
+// endpoint would accept) and decomposes it into a resumable Study.
+// Validation and platform resolution happen here — a malformed request
+// fails at submission, not mid-job. ctx bounds the resolution work
+// only; each chunk runs under its own context.
+func (e *Evaluator) NewStudy(ctx context.Context, endpoint string, raw json.RawMessage) (*Study, error) {
+	canon, err := CanonicalEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	switch canon {
+	case "/v1/mc":
+		var req MonteCarloRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return nil, err
+		}
+		return e.newMonteCarloStudy(ctx, req)
+	case "/v1/sweep":
+		var req SweepRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return nil, err
+		}
+		return e.newSweepStudy(ctx, req)
+	case "/v1/evaluate":
+		var req EvaluateRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return nil, err
+		}
+		norm := req.Normalized()
+		return e.newSingleChunkStudy(canon, &norm, func(ctx context.Context) (any, error) {
+			return e.Evaluate(ctx, &norm)
+		})
+	case "/v1/compare":
+		var req CompareRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return nil, err
+		}
+		norm := req.Normalized()
+		return e.newSingleChunkStudy(canon, norm, func(ctx context.Context) (any, error) {
+			return e.RunCompare(ctx, norm)
+		})
+	case "/v1/crossover":
+		var req CrossoverRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return nil, err
+		}
+		norm := req.Normalized()
+		return e.newSingleChunkStudy(canon, norm, func(ctx context.Context) (any, error) {
+			return e.RunCrossover(ctx, norm)
+		})
+	case "/v1/timeline":
+		var req TimelineRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return nil, err
+		}
+		norm := req.Normalized()
+		return e.newSingleChunkStudy(canon, norm, func(ctx context.Context) (any, error) {
+			return e.RunTimeline(ctx, norm)
+		})
+	}
+	panic("unreachable")
+}
+
+// newSingleChunkStudy wraps an endpoint without a natural chunk
+// decomposition as a one-chunk study whose payload is already the
+// final response bytes. These evaluations are microseconds to
+// milliseconds — there is nothing worth checkpointing below whole-
+// result granularity.
+func (e *Evaluator) newSingleChunkStudy(endpoint string, norm any,
+	run func(ctx context.Context) (any, error)) (*Study, error) {
+	key, err := CanonicalKey(endpoint, norm)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{
+		Endpoint: endpoint,
+		Key:      key,
+		Req:      norm,
+		chunks:   1,
+		compute: func(ctx context.Context, _ int) ([]byte, error) {
+			v, err := run(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return EncodeJSON(v)
+		},
+		finalize: func(_ context.Context, chunks [][]byte) ([]byte, error) {
+			return chunks[0], nil
+		},
+	}, nil
+}
+
+// chunkSpan is chunk i's index range under a fixed chunk size.
+func chunkSpan(i, size, total int) (lo, hi int) {
+	lo = i * size
+	hi = lo + size
+	if hi > total {
+		hi = total
+	}
+	return lo, hi
+}
+
+// chunkCount is the chunk count covering total at the given size,
+// never below one (a zero-point study still needs a finalize pass).
+func chunkCount(total, size int) int {
+	n := (total + size - 1) / size
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// newMonteCarloStudy decomposes a Monte-Carlo request into draw-range
+// chunks. A chunk payload is its draws' model outputs in index order,
+// as raw little-endian float64s; Finalize concatenates them and runs
+// the same moment/percentile/tornado arithmetic as the synchronous
+// path, so the result is bit-identical.
+func (e *Evaluator) newMonteCarloStudy(ctx context.Context, req MonteCarloRequest) (*Study, error) {
+	m, err := e.prepareMonteCarlo(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	key, err := CanonicalKey("/v1/mc", m.req)
+	if err != nil {
+		return nil, err
+	}
+	samples := m.req.Samples
+	return &Study{
+		Endpoint: "/v1/mc",
+		Key:      key,
+		Req:      m.req,
+		chunks:   chunkCount(samples, mcChunkDraws),
+		compute: func(ctx context.Context, i int) ([]byte, error) {
+			lo, hi := chunkSpan(i, mcChunkDraws, samples)
+			out, err := montecarlo.RunRange(m.config(ctx), lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			return packFloats(out), nil
+		},
+		finalize: func(ctx context.Context, chunks [][]byte) ([]byte, error) {
+			all := make([]float64, 0, samples)
+			for i, c := range chunks {
+				lo, hi := chunkSpan(i, mcChunkDraws, samples)
+				vals, err := unpackFloats(c, hi-lo)
+				if err != nil {
+					return nil, fmt.Errorf("mc chunk %d: %w", i, err)
+				}
+				all = append(all, vals...)
+			}
+			res, err := montecarlo.Finalize(m.config(ctx), all)
+			if err != nil {
+				return nil, err
+			}
+			return EncodeJSON(m.assemble(res))
+		},
+	}, nil
+}
+
+// newSweepStudy decomposes a sweep request into axis-range chunks. A
+// chunk payload holds (x, totals...) per point as raw little-endian
+// float64s; Finalize rebuilds the point list and runs the synchronous
+// path's assembly.
+func (e *Evaluator) newSweepStudy(ctx context.Context, req SweepRequest) (*Study, error) {
+	st, err := e.prepareSweep(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	key, err := CanonicalKey("/v1/sweep", st.req)
+	if err != nil {
+		return nil, err
+	}
+	points := len(st.ax.Values)
+	width := 1 + len(st.cs) // x + one total per platform
+	return &Study{
+		Endpoint: "/v1/sweep",
+		Key:      key,
+		Req:      st.req,
+		chunks:   chunkCount(points, sweepChunkPoints),
+		compute: func(ctx context.Context, i int) ([]byte, error) {
+			lo, hi := chunkSpan(i, sweepChunkPoints, points)
+			pts, err := sweep.RunRangeN(st.ax, len(st.cs), lo, hi, st.eval(ctx))
+			if err != nil {
+				return nil, err
+			}
+			flat := make([]float64, 0, len(pts)*width)
+			for _, p := range pts {
+				flat = append(flat, p.X)
+				for _, m := range p.Totals {
+					flat = append(flat, float64(m))
+				}
+			}
+			return packFloats(flat), nil
+		},
+		finalize: func(_ context.Context, chunks [][]byte) ([]byte, error) {
+			pts := make([]sweep.PointN, 0, points)
+			for i, c := range chunks {
+				lo, hi := chunkSpan(i, sweepChunkPoints, points)
+				flat, err := unpackFloats(c, (hi-lo)*width)
+				if err != nil {
+					return nil, fmt.Errorf("sweep chunk %d: %w", i, err)
+				}
+				for o := 0; o < len(flat); o += width {
+					p := sweep.PointN{X: flat[o], Totals: make([]units.Mass, len(st.cs))}
+					for j := range p.Totals {
+						p.Totals[j] = units.Mass(flat[o+1+j])
+					}
+					pts = append(pts, p)
+				}
+			}
+			return EncodeJSON(st.assemble(pts))
+		},
+	}, nil
+}
+
+// packFloats encodes vals as little-endian IEEE-754 bits — an exact
+// round-trip, unlike any decimal rendering.
+func packFloats(vals []float64) []byte {
+	out := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// unpackFloats decodes exactly want float64s, erroring on any size
+// mismatch (a corrupt or mismatched checkpoint payload).
+func unpackFloats(b []byte, want int) ([]float64, error) {
+	if len(b) != 8*want {
+		return nil, fmt.Errorf("payload is %d bytes, want %d", len(b), 8*want)
+	}
+	out := make([]float64, want)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}

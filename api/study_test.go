@@ -1,0 +1,165 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// runStudy computes every chunk (deliberately out of order — resume
+// never sees them sequentially) and finalizes.
+func runStudy(t *testing.T, s *Study) []byte {
+	t.Helper()
+	ctx := context.Background()
+	chunks := make([][]byte, s.NumChunks())
+	for i := s.NumChunks() - 1; i >= 0; i-- {
+		c, err := s.ComputeChunk(ctx, i)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		chunks[i] = c
+	}
+	out, err := s.Finalize(ctx, chunks)
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return out
+}
+
+// TestStudyBytesMatchSync is the acceptance contract: for every
+// endpoint, a chunked study's finalized bytes are identical to the
+// synchronous endpoint's canonical encoding of the same request — the
+// property that lets a job result serve later synchronous requests
+// from the durable tier.
+func TestStudyBytesMatchSync(t *testing.T) {
+	e := NewEvaluator(8)
+	ctx := context.Background()
+	cases := []struct {
+		endpoint string
+		raw      string
+		sync     func() ([]byte, error)
+	}{
+		{"mc", `{"domain": "DNN", "samples": 9000, "seed": 7}`, func() ([]byte, error) {
+			var req MonteCarloRequest
+			if err := json.Unmarshal([]byte(`{"domain": "DNN", "samples": 9000, "seed": 7}`), &req); err != nil {
+				return nil, err
+			}
+			v, err := e.RunMonteCarlo(ctx, req.Normalized())
+			if err != nil {
+				return nil, err
+			}
+			return EncodeJSON(v)
+		}},
+		{"sweep", `{"domain": "DNN", "axis": "lifetime", "from": 1, "to": 10, "points": 3000}`, func() ([]byte, error) {
+			var req SweepRequest
+			if err := json.Unmarshal([]byte(`{"domain": "DNN", "axis": "lifetime", "from": 1, "to": 10, "points": 3000}`), &req); err != nil {
+				return nil, err
+			}
+			v, err := e.RunSweep(ctx, req.Normalized())
+			if err != nil {
+				return nil, err
+			}
+			return EncodeJSON(v)
+		}},
+		{"evaluate", `{"platforms": [{"domain": "DNN", "kind": "fpga"}], "workload": {"napps": 5, "lifetime_years": 2, "volume": 1e6}}`, func() ([]byte, error) {
+			var req EvaluateRequest
+			if err := json.Unmarshal([]byte(`{"platforms": [{"domain": "DNN", "kind": "fpga"}], "workload": {"napps": 5, "lifetime_years": 2, "volume": 1e6}}`), &req); err != nil {
+				return nil, err
+			}
+			norm := req.Normalized()
+			v, err := e.Evaluate(ctx, &norm)
+			if err != nil {
+				return nil, err
+			}
+			return EncodeJSON(v)
+		}},
+		{"compare", `{"domain": "Crypto"}`, func() ([]byte, error) {
+			var req CompareRequest
+			if err := json.Unmarshal([]byte(`{"domain": "Crypto"}`), &req); err != nil {
+				return nil, err
+			}
+			v, err := e.RunCompare(ctx, req.Normalized())
+			if err != nil {
+				return nil, err
+			}
+			return EncodeJSON(v)
+		}},
+		{"crossover", `{"domain": "DNN", "lifetime_years": 2}`, func() ([]byte, error) {
+			var req CrossoverRequest
+			if err := json.Unmarshal([]byte(`{"domain": "DNN", "lifetime_years": 2}`), &req); err != nil {
+				return nil, err
+			}
+			v, err := e.RunCrossover(ctx, req.Normalized())
+			if err != nil {
+				return nil, err
+			}
+			return EncodeJSON(v)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.endpoint, func(t *testing.T) {
+			s, err := e.NewStudy(ctx, tc.endpoint, json.RawMessage(tc.raw))
+			if err != nil {
+				t.Fatalf("NewStudy: %v", err)
+			}
+			want, err := tc.sync()
+			if err != nil {
+				t.Fatalf("sync run: %v", err)
+			}
+			got := runStudy(t, s)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("study bytes differ from sync endpoint:\nstudy: %.200s\nsync:  %.200s", got, want)
+			}
+		})
+	}
+}
+
+// TestStudyChunking pins the decomposition: a 9000-draw MC study at
+// 4096 draws per chunk is 3 chunks, and its key matches the
+// synchronous cache key for the same normalized request.
+func TestStudyChunking(t *testing.T) {
+	e := NewEvaluator(4)
+	ctx := context.Background()
+	s, err := e.NewStudy(ctx, "/v1/mc", json.RawMessage(`{"domain": "DNN", "samples": 9000, "seed": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumChunks() != 3 {
+		t.Fatalf("NumChunks = %d, want 3", s.NumChunks())
+	}
+	var req MonteCarloRequest
+	if err := json.Unmarshal([]byte(`{"domain": "DNN", "samples": 9000, "seed": 7}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	key, err := CanonicalKey("/v1/mc", req.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Key != key {
+		t.Fatalf("study key %q != sync cache key %q", s.Key, key)
+	}
+	if _, err := s.ComputeChunk(ctx, 3); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+	if _, err := s.Finalize(ctx, make([][]byte, 2)); err == nil {
+		t.Fatal("short finalize accepted")
+	}
+}
+
+// TestStudyRejects pins submission-time validation.
+func TestStudyRejects(t *testing.T) {
+	e := NewEvaluator(4)
+	ctx := context.Background()
+	for _, tc := range []struct{ endpoint, raw string }{
+		{"nonsense", `{}`},
+		{"mc", `{"domain": "DNN", "bogus_field": 1}`},
+		{"mc", `{"domain": "NoSuchDomain"}`},
+		{"sweep", `{"domain": "DNN", "axis": "bogus"}`},
+		{"mc", `{} trailing`},
+	} {
+		if _, err := e.NewStudy(ctx, tc.endpoint, json.RawMessage(tc.raw)); err == nil {
+			t.Errorf("NewStudy(%q, %s) accepted", tc.endpoint, tc.raw)
+		}
+	}
+}

@@ -450,7 +450,10 @@ func BenchmarkTimelineStaggered(b *testing.B) { benchExperiment(b, "timeline-sta
 // compiled-platform cache warm); "hit" repeats one request so it is
 // served from the content-addressed result cache without evaluating.
 func BenchmarkServerEvaluate(b *testing.B) {
-	srv := server.New(server.Options{CacheEntries: 1 << 17})
+	srv, err := server.New(server.Options{CacheEntries: 1 << 17})
+	if err != nil {
+		b.Fatal(err)
+	}
 	hts := httptest.NewServer(srv.Handler())
 	defer hts.Close()
 	url := hts.URL + "/v1/evaluate"
@@ -516,7 +519,10 @@ func BenchmarkServerEvaluate(b *testing.B) {
 // BenchmarkBatchEvaluate measures a 64-scenario batch through the
 // pool fan-out (all items distinct, so every one evaluates).
 func BenchmarkBatchEvaluate(b *testing.B) {
-	srv := server.New(server.Options{CacheEntries: 1 << 17})
+	srv, err := server.New(server.Options{CacheEntries: 1 << 17})
+	if err != nil {
+		b.Fatal(err)
+	}
 	hts := httptest.NewServer(srv.Handler())
 	defer hts.Close()
 	hc := hts.Client()

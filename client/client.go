@@ -290,7 +290,11 @@ func retryable(err error) bool {
 
 // backoff computes the wait before retry number attempt+1:
 // exponential growth with jitter, floored at the server's Retry-After
-// hint when the error carried one.
+// hint when the error carried one. The hint is still clamped to the
+// policy's MaxDelay: Retry-After is advisory, and honoring an
+// arbitrarily large value would let one bad response pin the caller
+// far past the bound it configured (the sleep is context-aware, but a
+// caller without a deadline would wait the whole hint out).
 func (c *Client) backoff(attempt int, err error) time.Duration {
 	d := c.retry.BaseDelay << attempt
 	if d <= 0 || d > c.retry.MaxDelay {
@@ -302,6 +306,9 @@ func (c *Client) backoff(attempt int, err error) time.Duration {
 	var se *StatusError
 	if errors.As(err, &se) && se.RetryAfter > d {
 		d = se.RetryAfter
+		if d > c.retry.MaxDelay {
+			d = c.retry.MaxDelay
+		}
 	}
 	return d
 }

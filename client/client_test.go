@@ -18,8 +18,24 @@ import (
 // newPair spins a service and a client bound to it.
 func newPair(t *testing.T) *Client {
 	t.Helper()
-	hts := httptest.NewServer(server.New(server.Options{}).Handler())
-	t.Cleanup(hts.Close)
+	return newPairOpts(t, server.Options{})
+}
+
+// newPairOpts is newPair with server options (e.g. a durable store for
+// the job endpoints).
+func newPairOpts(t *testing.T, opts server.Options) *Client {
+	t.Helper()
+	s, err := server.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
 	return New(hts.URL, WithHTTPClient(hts.Client()))
 }
 

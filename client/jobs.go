@@ -1,0 +1,88 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"greenfpga/api"
+)
+
+// This file is the client side of the asynchronous job surface: submit
+// a compute request to /v1/jobs, poll its record, wait it out, fetch
+// the result (the exact bytes the synchronous endpoint would answer)
+// and cancel it. Every call runs under the client's retry policy —
+// jobs are keyed server-side by content address, so a replayed poll or
+// result fetch is idempotent (a replayed submit creates a second job,
+// but both converge on the same stored result bytes).
+
+// SubmitJob submits one compute request for asynchronous, durable
+// execution. endpoint is the compute endpoint name ("mc", "sweep",
+// "evaluate", ... or the "/v1/..." path) and request its request
+// document (a typed api request or raw JSON). The returned status
+// carries the job ID to poll.
+func (c *Client) SubmitJob(ctx context.Context, endpoint string, request any) (*api.JobStatus, error) {
+	raw, ok := request.(json.RawMessage)
+	if !ok {
+		data, err := api.EncodeJSON(request)
+		if err != nil {
+			return nil, err
+		}
+		raw = data
+	}
+	out := &api.JobStatus{}
+	return out, c.do(ctx, http.MethodPost, "/v1/jobs",
+		&api.JobSubmitRequest{Endpoint: endpoint, Request: raw}, out)
+}
+
+// Job fetches one job's current record.
+func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
+	out := &api.JobStatus{}
+	return out, c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, out)
+}
+
+// Jobs lists the server's jobs, newest first.
+func (c *Client) Jobs(ctx context.Context) (*api.JobList, error) {
+	out := &api.JobList{}
+	return out, c.do(ctx, http.MethodGet, "/v1/jobs", nil, out)
+}
+
+// WaitJob polls a job until it reaches a terminal state (done, failed
+// or canceled), sleeping poll between polls (default 250ms), and
+// returns the terminal record. It does not error on a failed or
+// canceled job — the record says so — only on polling failures or a
+// finished context.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*api.JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case "done", "failed", "canceled":
+			return st, nil
+		}
+		if err := c.sleep(ctx, poll); err != nil {
+			return nil, fmt.Errorf("client: waiting on job %s: %w", id, err)
+		}
+	}
+}
+
+// JobResult decodes a done job's result into out — the same typed
+// response the synchronous endpoint returns (e.g. *api.MonteCarloResponse
+// for an "mc" job).
+func (c *Client) JobResult(ctx context.Context, id string, out any) error {
+	return c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, out)
+}
+
+// CancelJob cancels an active job (after its current chunk) and
+// removes its record and checkpoints.
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, nil)
+}

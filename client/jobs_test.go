@@ -1,0 +1,96 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"greenfpga/api"
+	"greenfpga/internal/server"
+	"greenfpga/internal/store"
+)
+
+// jobClient is newPair over a server with a durable store, so the job
+// endpoints are up.
+func jobClient(t *testing.T) *Client {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	return newPairOpts(t, server.Options{Store: st})
+}
+
+// TestJobRoundTrip drives submit → wait → result → cancel through the
+// typed client and checks the job's decoded result equals the
+// synchronous endpoint's for the same request.
+func TestJobRoundTrip(t *testing.T) {
+	c := jobClient(t)
+	ctx := context.Background()
+	req := api.MonteCarloRequest{Domain: "DNN", Samples: 6000, Seed: 11}
+
+	st, err := c.SubmitJob(ctx, "mc", req)
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if st.ID == "" || st.Endpoint != "/v1/mc" {
+		t.Fatalf("submitted status: %+v", st)
+	}
+	fin, err := c.WaitJob(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if fin.State != "done" {
+		t.Fatalf("final state %q (%+v)", fin.State, fin.Error)
+	}
+
+	var jobRes api.MonteCarloResponse
+	if err := c.JobResult(ctx, st.ID, &jobRes); err != nil {
+		t.Fatalf("JobResult: %v", err)
+	}
+	syncRes, err := c.MonteCarlo(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&jobRes, syncRes) {
+		t.Fatalf("job result differs from sync response:\njob:  %+v\nsync: %+v", jobRes, syncRes)
+	}
+
+	if err := c.CancelJob(ctx, st.ID); err != nil {
+		t.Fatalf("CancelJob: %v", err)
+	}
+	if _, err := c.Job(ctx, st.ID); err == nil {
+		t.Fatal("Job after cancel+delete succeeded")
+	}
+
+	// A fresh submission of the same request must list.
+	if _, err := c.SubmitJob(ctx, "mc", req); err != nil {
+		t.Fatal(err)
+	}
+	list, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) == 0 {
+		t.Fatal("Jobs listed nothing")
+	}
+}
+
+// TestJobSubmitErrors pins the error surface: bad endpoint and bad
+// request fail at submission with the envelope decoded.
+func TestJobSubmitErrors(t *testing.T) {
+	c := jobClient(t)
+	ctx := context.Background()
+	if _, err := c.SubmitJob(ctx, "bogus", api.MonteCarloRequest{}); err == nil {
+		t.Fatal("bogus endpoint accepted")
+	}
+	_, err := c.SubmitJob(ctx, "mc", api.MonteCarloRequest{Domain: "NoSuchDomain"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("bad domain: %v, want StatusError 400", err)
+	}
+}

@@ -181,9 +181,33 @@ func TestRetryBackoffGrows(t *testing.T) {
 		_ = prev
 		prev = d
 	}
-	// A Retry-After larger than the computed delay wins.
-	err.RetryAfter = 5 * time.Second
-	if d := c.backoff(0, err); d != 5*time.Second {
-		t.Errorf("backoff with Retry-After 5s = %v, want 5s", d)
+	// A Retry-After above the computed delay floors the wait...
+	err.RetryAfter = 500 * time.Millisecond
+	if d := c.backoff(0, err); d != 500*time.Millisecond {
+		t.Errorf("backoff with Retry-After 500ms = %v, want 500ms", d)
+	}
+	// ...but never past the policy's cap: a server hinting an hour must
+	// not pin a client whose configured ceiling is one second.
+	err.RetryAfter = time.Hour
+	if d := c.backoff(0, err); d != c.retry.MaxDelay {
+		t.Errorf("backoff with Retry-After 1h = %v, want the %v cap", d, c.retry.MaxDelay)
+	}
+}
+
+// TestSleepCtxReturnsOnCancel checks the real backoff sleep (not the
+// test recorder) unblocks as soon as the request context dies rather
+// than waiting the delay out.
+func TestSleepCtxReturnsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := sleepCtx(ctx, time.Hour); err == nil {
+		t.Fatal("sleepCtx returned nil after cancel")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("sleepCtx waited %v past cancellation", waited)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -267,7 +268,7 @@ func cmdLoadgen(args []string) error {
 		_, err = os.Stdout.Write(buf)
 		return err
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := writeFileAtomic(*out, buf); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d steps)\n", *out, len(doc.Steps))
@@ -316,6 +317,34 @@ func renderBench(doc benchDoc, label, path string) ([]byte, error) {
 		return nil, err
 	}
 	return append(buf, '\n'), nil
+}
+
+// writeFileAtomic replaces path via a temp file in the same directory
+// plus rename. The -label path reads the previous document back and
+// merges labeled runs into it, so an in-place truncate-and-write that
+// dies (or races a reader) mid-write would destroy every earlier run;
+// the rename publishes the merged document all-or-nothing.
+func writeFileAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		// CreateTemp's 0600 would make the artifact owner-only.
+		werr = os.Chmod(tmp, 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+	}
+	return werr
 }
 
 // runStep holds one rung: n workers in a closed loop for d, latencies

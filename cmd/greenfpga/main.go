@@ -16,6 +16,7 @@
 //	greenfpga run -config file.json         evaluate a JSON scenario
 //	greenfpga mc -domain DNN                Monte-Carlo uncertainty
 //	greenfpga serve -addr 127.0.0.1:8080    HTTP evaluation service
+//	greenfpga job submit -base <url> ...    durable async studies on a -store service
 //	greenfpga example-config                print a sample JSON config
 //	greenfpga help                          print this usage
 //
@@ -49,6 +50,7 @@ var commands = map[string]func(args []string) error{
 	"mc":             cmdMC,
 	"wafer":          cmdWafer,
 	"serve":          cmdServe,
+	"job":            cmdJob,
 	"loadgen":        cmdLoadgen,
 	"version":        cmdVersion,
 	"validate":       cmdValidate,
@@ -161,7 +163,10 @@ commands:
   wafer [-device <name>]          wafer-level manufacturing economics
   serve [-addr host:port]         HTTP evaluation service (/v1/..., /healthz, /metrics);
                                   -access-log writes JSON access records,
-                                  -pprof serves the profiler on a loopback port
+                                  -pprof serves the profiler on a loopback port,
+                                  -store <dir> persists results and enables /v1/jobs
+  job <sub> -base <url>           async jobs on a -store service: submit, list,
+                                  status, result, cancel ('job help' for details)
   loadgen -base <url>             closed-loop stepped load ramp against a running
                                   service; writes the BENCH_serve.json trajectory
   version                         print the build's version and VCS revision

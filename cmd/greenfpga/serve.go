@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"greenfpga/internal/server"
+	"greenfpga/internal/store"
 )
 
 // cmdServe runs the HTTP evaluation service until SIGINT/SIGTERM,
@@ -32,6 +33,16 @@ import (
 //	POST /v1/crossover           solve the A2F/F2A crossover points
 //	POST /v1/sweep               run a 1-D domain sweep
 //	POST /v1/mc                  Monte-Carlo uncertainty study
+//
+// With -store, results persist across restarts and the asynchronous
+// job endpoints come up (see DESIGN.md "Jobs and durability"):
+//
+//	POST   /v1/jobs              submit a compute request as a job (202)
+//	GET    /v1/jobs              list jobs, newest first
+//	GET    /v1/jobs/{id}         poll one job's state and progress
+//	GET    /v1/jobs/{id}/result  fetch a done job's result
+//	                             (?format=ndjson streams sweep points)
+//	DELETE /v1/jobs/{id}         cancel and remove a job
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
@@ -48,6 +59,9 @@ func cmdServe(args []string) error {
 		"write one-line JSON access records to this file ('-' for stderr); the first line identifies the build")
 	pprofAddr := fs.String("pprof", "",
 		"serve net/http/pprof on this address (loopback only, e.g. 127.0.0.1:6060; port 0 picks one)")
+	storeDir := fs.String("store", "",
+		"durable store directory: results persist across restarts and /v1/jobs accepts resumable async studies")
+	jobWorkers := fs.Int("job-workers", 1, "jobs run concurrently (with -store)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -78,7 +92,17 @@ func cmdServe(args []string) error {
 		defer f.Close()
 		accessW = f
 	}
-	srv := server.New(server.Options{
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			return fmt.Errorf("open -store: %w", err)
+		}
+		// Closed after Shutdown: the jobs manager checkpoints in-flight
+		// studies into it while draining.
+		defer st.Close()
+	}
+	srv, err := server.New(server.Options{
 		Addr:             *addr,
 		MaxConcurrent:    *maxConcurrent,
 		CacheEntries:     *cacheEntries,
@@ -87,7 +111,12 @@ func cmdServe(args []string) error {
 		MaxQueueWait:     queueWait,
 		AccessLog:        accessW,
 		PprofAddr:        *pprofAddr,
+		Store:            st,
+		JobWorkers:       *jobWorkers,
 	})
+	if err != nil {
+		return err
+	}
 	bound, err := srv.Start()
 	if err != nil {
 		return err

@@ -319,6 +319,16 @@ func DomainRatioStudyBetween(d Domain, kindA, kindB DeviceKind, nApps, samples i
 // samples. The draws consumed before cancellation are identical to an
 // uncancelled run's.
 func DomainRatioStudyBetweenCtx(ctx context.Context, d Domain, kindA, kindB DeviceKind, nApps, samples int, seed int64) (MCResult, error) {
+	return RunMonteCarlo(DomainRatioStudyConfig(ctx, d, kindA, kindB, nApps, samples, seed))
+}
+
+// DomainRatioStudyConfig builds the Monte-Carlo configuration that
+// DomainRatioStudyBetweenCtx runs, without running it. Callers that
+// need more than a one-shot study — chunked evaluation through
+// montecarlo.RunRange/Finalize, as the async jobs layer does to
+// checkpoint and resume — get the exact same parameter set and model
+// closure, so their draws are bit-identical to the synchronous path's.
+func DomainRatioStudyConfig(ctx context.Context, d Domain, kindA, kindB DeviceKind, nApps, samples int, seed int64) MCConfig {
 	clampHi := d.DutyCycle * 1.5
 	if clampHi > 1 {
 		clampHi = 1
@@ -330,7 +340,7 @@ func DomainRatioStudyBetweenCtx(ctx context.Context, d Domain, kindA, kindB Devi
 		}
 		return p, nil
 	}
-	return RunMonteCarlo(MCConfig{
+	return MCConfig{
 		Samples: samples,
 		Seed:    seed,
 		Params: []MCParam{
@@ -386,7 +396,7 @@ func DomainRatioStudyBetweenCtx(ctx context.Context, d Domain, kindA, kindB Devi
 			}
 			return math.Inf(1), nil
 		},
-	})
+	}
 }
 
 // Kernels lists the built-in workload library.

@@ -1,0 +1,622 @@
+// Package jobs runs compute requests asynchronously with durable,
+// resumable progress. A job is one of the service's compute requests
+// decomposed into chunks (api.Study); the manager executes chunks on
+// worker goroutines, checkpointing each completed chunk's payload into
+// the store, so a killed process re-runs only the chunks that had not
+// landed. Because chunk outputs are deterministic (Monte-Carlo draws
+// are sub-seeded by index, sweep points depend only on the axis), a
+// resumed job's final bytes are identical to an uninterrupted run's —
+// and identical to the synchronous endpoint's for the same request.
+//
+// Store layout (all under one store.Store):
+//
+//	job:<id>          job record (JSON: endpoint, raw request, state)
+//	ckpt:<id>:<n>     chunk n's checkpoint payload
+//	result:<key>      finished response bytes, keyed by CanonicalKey —
+//	                  the same content address the result cache uses,
+//	                  so finished jobs serve later synchronous requests
+//
+// Lifecycle: queued → running → done | failed | canceled. Shutdown
+// interrupts running jobs after their current chunk and leaves them in
+// state running; the next Open re-enqueues them and they resume from
+// their checkpoints.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"greenfpga/api"
+	"greenfpga/internal/store"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The job lifecycle.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a state ends the lifecycle.
+func terminal(s State) bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Record is the durable job metadata, stored at job:<id>. The raw
+// request rides along so a restarted process can rebuild the study.
+type Record struct {
+	// ID is the job handle.
+	ID string `json:"id"`
+	// Endpoint is the canonical compute endpoint ("/v1/mc", ...).
+	Endpoint string `json:"endpoint"`
+	// Request is the submitted request body.
+	Request json.RawMessage `json:"request"`
+	// Key is the result's content address (api.CanonicalKey).
+	Key string `json:"key"`
+	// State is the lifecycle state.
+	State State `json:"state"`
+	// Chunks and ChunksDone report progress. ChunksDone is refreshed
+	// from the store's checkpoints on load, so a crashed job reports
+	// its durable progress, not its in-memory high-water mark.
+	Chunks     int `json:"chunks"`
+	ChunksDone int `json:"chunks_done"`
+	// Error and ErrorCode describe a failed job.
+	Error     string `json:"error,omitempty"`
+	ErrorCode string `json:"error_code,omitempty"`
+	// CreatedUnixMs and UpdatedUnixMs are wall-clock bookkeeping.
+	CreatedUnixMs int64 `json:"created_unix_ms"`
+	UpdatedUnixMs int64 `json:"updated_unix_ms"`
+}
+
+// Study is the slice of api.Study the manager runs: a fixed chunk
+// count, independently computable chunks, and a finalizer over all
+// chunk payloads.
+type Study interface {
+	NumChunks() int
+	ComputeChunk(ctx context.Context, i int) ([]byte, error)
+	Finalize(ctx context.Context, chunks [][]byte) ([]byte, error)
+}
+
+// Builder turns a submitted (endpoint, request) into a Study and its
+// result key. The default wraps api.Evaluator.NewStudy; tests inject
+// counting fakes.
+type Builder func(ctx context.Context, endpoint string, raw json.RawMessage) (Study, string, error)
+
+// EvaluatorBuilder adapts an api.Evaluator into the default Builder.
+func EvaluatorBuilder(e *api.Evaluator) Builder {
+	return func(ctx context.Context, endpoint string, raw json.RawMessage) (Study, string, error) {
+		s, err := e.NewStudy(ctx, endpoint, raw)
+		if err != nil {
+			return nil, "", err
+		}
+		return s, s.Key, nil
+	}
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Store is the durable tier (required).
+	Store *store.Store
+	// Build turns submissions into studies (required).
+	Build Builder
+	// Workers is the number of jobs run concurrently (default 1 —
+	// each chunk already parallelizes over the shared worker pool, so
+	// more job workers trade single-job latency for queue fairness).
+	Workers int
+	// QueueDepth bounds the submission queue (default 256).
+	QueueDepth int
+}
+
+// Stats is a point-in-time snapshot of the manager's counters.
+type Stats struct {
+	// Queued and Running are current gauges.
+	Queued, Running int
+	// Submitted, Done, Failed, Canceled and Resumed are lifetime
+	// totals (Resumed counts jobs re-enqueued from a previous
+	// process's store).
+	Submitted, Done, Failed, Canceled, Resumed uint64
+	// ChunksComputed and ChunksSkipped split chunk work into freshly
+	// evaluated vs served from a checkpoint — skipped chunks are the
+	// work a restart did NOT redo.
+	ChunksComputed, ChunksSkipped uint64
+}
+
+// errShutdown is the cancel cause for jobs interrupted by Shutdown —
+// distinct from a user cancel, so the worker leaves the job resumable
+// instead of marking it canceled.
+var errShutdown = errors.New("jobs: shutting down")
+
+// errCanceled is the cancel cause for user-requested cancels.
+var errCanceled = errors.New("jobs: canceled by request")
+
+// job is one in-memory active job.
+type job struct {
+	rec    Record
+	study  Study // nil for jobs resumed from the store until a worker rebuilds them
+	cancel context.CancelCauseFunc
+}
+
+// Manager owns the job queue, the worker goroutines and the durable
+// records. It is safe for concurrent use.
+type Manager struct {
+	store *store.Store
+	build Builder
+
+	mu     sync.Mutex
+	active map[string]*job // queued or running
+
+	queue    chan *job
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	base     context.Context
+	stop     context.CancelCauseFunc
+
+	submitted, done, failed, canceled, resumed atomic.Uint64
+	chunksComputed, chunksSkipped              atomic.Uint64
+	running                                    atomic.Int64
+}
+
+// New starts a manager over the store, re-enqueuing any job a previous
+// process left queued or running — the crash-resume path.
+func New(opts Options) (*Manager, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("jobs: nil store")
+	}
+	if opts.Build == nil {
+		return nil, fmt.Errorf("jobs: nil builder")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	base, stop := context.WithCancelCause(context.Background())
+	m := &Manager{
+		store:  opts.Store,
+		build:  opts.Build,
+		active: make(map[string]*job),
+		queue:  make(chan *job, depth),
+		base:   base,
+		stop:   stop,
+	}
+	if err := m.recover(); err != nil {
+		stop(nil)
+		return nil, err
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// recover re-enqueues jobs a previous process left unfinished.
+func (m *Manager) recover() error {
+	for _, key := range m.store.Keys("job:") {
+		raw, ok, err := m.store.Get(key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A malformed record (foreign writer, partial migration)
+			// should not take the service down; skip it.
+			continue
+		}
+		if terminal(rec.State) {
+			continue
+		}
+		rec.State = StateQueued
+		rec.ChunksDone = len(m.store.Keys(ckptPrefix(rec.ID)))
+		j := &job{rec: rec}
+		if len(m.queue) == cap(m.queue) {
+			return fmt.Errorf("jobs: recovery overflows the %d-deep queue", cap(m.queue))
+		}
+		m.active[rec.ID] = j
+		m.queue <- j
+		m.resumed.Add(1)
+	}
+	return nil
+}
+
+// Submit validates, records and enqueues one job, returning its
+// durable record. During shutdown it refuses with an overloaded error
+// (the caller maps it to 503).
+func (m *Manager) Submit(ctx context.Context, endpoint string, raw json.RawMessage) (Record, error) {
+	if m.draining.Load() {
+		return Record{}, &api.Error{Code: "overloaded", Message: "server is shutting down; submit to another replica"}
+	}
+	study, key, err := m.build(ctx, endpoint, raw)
+	if err != nil {
+		return Record{}, err
+	}
+	canon, err := api.CanonicalEndpoint(endpoint)
+	if err != nil {
+		return Record{}, err
+	}
+	id, err := newID()
+	if err != nil {
+		return Record{}, err
+	}
+	now := time.Now().UnixMilli()
+	rec := Record{
+		ID: id, Endpoint: canon, Request: append(json.RawMessage(nil), raw...),
+		Key: key, State: StateQueued, Chunks: study.NumChunks(),
+		CreatedUnixMs: now, UpdatedUnixMs: now,
+	}
+	j := &job{rec: rec, study: study}
+	m.mu.Lock()
+	if err := m.persist(&rec); err != nil {
+		m.mu.Unlock()
+		return Record{}, err
+	}
+	m.active[id] = j
+	m.mu.Unlock()
+	m.submitted.Add(1)
+	select {
+	case m.queue <- j:
+		return rec, nil
+	default:
+		// Queue full: roll the record back to a terminal state so it
+		// does not resurrect on restart.
+		m.finish(j, StateFailed, &api.Error{Code: "overloaded", Message: "job queue is full; retry later"})
+		return Record{}, &api.Error{Code: "overloaded", Message: "job queue is full; retry later"}
+	}
+}
+
+// Status returns a job's record — from memory while active (freshest),
+// from the store once terminal or after a restart.
+func (m *Manager) Status(id string) (Record, error) {
+	m.mu.Lock()
+	if j, ok := m.active[id]; ok {
+		rec := j.rec
+		m.mu.Unlock()
+		return rec, nil
+	}
+	m.mu.Unlock()
+	raw, ok, err := m.store.Get("job:" + id)
+	if err != nil {
+		return Record{}, err
+	}
+	if !ok {
+		return Record{}, &api.Error{Code: "not_found", Message: fmt.Sprintf("unknown job %q", id)}
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return Record{}, fmt.Errorf("jobs: corrupt record %s: %w", id, err)
+	}
+	return rec, nil
+}
+
+// Result returns a done job's response bytes — exactly what the
+// synchronous endpoint would have written for the same request.
+func (m *Manager) Result(id string) (Record, []byte, error) {
+	rec, err := m.Status(id)
+	if err != nil {
+		return Record{}, nil, err
+	}
+	if rec.State != StateDone {
+		return rec, nil, &api.Error{Code: "invalid_request",
+			Message: fmt.Sprintf("job %s is %s, not done", id, rec.State)}
+	}
+	body, ok, err := m.store.Get("result:" + rec.Key)
+	if err != nil {
+		return rec, nil, err
+	}
+	if !ok {
+		return rec, nil, &api.Error{Code: "not_found",
+			Message: fmt.Sprintf("job %s's result was evicted from the store", id)}
+	}
+	return rec, body, nil
+}
+
+// Cancel stops an active job (its context is cancelled after the
+// current chunk) or reports the terminal state it already reached.
+func (m *Manager) Cancel(id string) (Record, error) {
+	m.mu.Lock()
+	j, ok := m.active[id]
+	if ok && j.cancel != nil {
+		j.cancel(errCanceled)
+	}
+	if ok && j.rec.State == StateQueued {
+		// Not picked up yet: mark it so the worker drops it on pickup.
+		j.rec.State = StateCanceled
+		j.rec.UpdatedUnixMs = time.Now().UnixMilli()
+		_ = m.persist(&j.rec)
+		rec := j.rec
+		delete(m.active, id)
+		m.mu.Unlock()
+		m.canceled.Add(1)
+		return rec, nil
+	}
+	var rec Record
+	if ok {
+		rec = j.rec
+	}
+	m.mu.Unlock()
+	if !ok {
+		return m.Status(id)
+	}
+	return rec, nil
+}
+
+// Delete cancels the job if active and removes its record and
+// checkpoints. The result bytes stay: they are content-addressed and
+// may be serving the cache tier or other jobs.
+func (m *Manager) Delete(id string) error {
+	if _, err := m.Cancel(id); err != nil {
+		return err
+	}
+	for _, k := range m.store.Keys(ckptPrefix(id)) {
+		if err := m.store.Delete(k); err != nil {
+			return err
+		}
+	}
+	return m.store.Delete("job:" + id)
+}
+
+// List returns every job record, newest first.
+func (m *Manager) List() ([]Record, error) {
+	var out []Record
+	seen := map[string]bool{}
+	m.mu.Lock()
+	for _, j := range m.active {
+		out = append(out, j.rec)
+		seen[j.rec.ID] = true
+	}
+	m.mu.Unlock()
+	for _, key := range m.store.Keys("job:") {
+		id := key[len("job:"):]
+		if seen[id] {
+			continue
+		}
+		rec, err := m.Status(id)
+		if err != nil {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].CreatedUnixMs != out[k].CreatedUnixMs {
+			return out[i].CreatedUnixMs > out[k].CreatedUnixMs
+		}
+		return out[i].ID > out[k].ID
+	})
+	return out, nil
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	queued := 0
+	for _, j := range m.active {
+		if j.rec.State == StateQueued {
+			queued++
+		}
+	}
+	m.mu.Unlock()
+	return Stats{
+		Queued:         queued,
+		Running:        int(m.running.Load()),
+		Submitted:      m.submitted.Load(),
+		Done:           m.done.Load(),
+		Failed:         m.failed.Load(),
+		Canceled:       m.canceled.Load(),
+		Resumed:        m.resumed.Load(),
+		ChunksComputed: m.chunksComputed.Load(),
+		ChunksSkipped:  m.chunksSkipped.Load(),
+	}
+}
+
+// Drain makes Submit refuse immediately (the server's first shutdown
+// step, before the HTTP listener drains) without interrupting running
+// jobs — they keep checkpointing until Shutdown proper.
+func (m *Manager) Drain() { m.draining.Store(true) }
+
+// Shutdown refuses new submissions, interrupts running jobs after
+// their in-flight chunk, waits for the workers (bounded by ctx) and
+// syncs the store. Interrupted jobs keep state running in the store —
+// the next New resumes them from their checkpoints, so a SIGTERM
+// mid-study never loses completed chunks.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.draining.Store(true)
+	m.stop(errShutdown) // every job context inherits the cause
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: workers still draining: %w", ctx.Err())
+	}
+	return m.store.Sync()
+}
+
+// worker drains the queue until shutdown.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.base.Done():
+			return
+		case j := <-m.queue:
+			m.run(j)
+		}
+	}
+}
+
+// run executes one job to a terminal state — or, on shutdown, parks it
+// resumable.
+func (m *Manager) run(j *job) {
+	m.mu.Lock()
+	if j.rec.State != StateQueued {
+		// Canceled while queued.
+		m.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancelCause(m.base)
+	defer cancel(nil)
+	j.cancel = cancel
+	j.rec.State = StateRunning
+	j.rec.UpdatedUnixMs = time.Now().UnixMilli()
+	err := m.persist(&j.rec)
+	m.mu.Unlock()
+	if err != nil {
+		m.finish(j, StateFailed, err)
+		return
+	}
+	m.running.Add(1)
+	defer m.running.Add(-1)
+
+	study := j.study
+	if study == nil {
+		// Resumed from the store: rebuild from the recorded request.
+		var berr error
+		study, _, berr = m.build(ctx, j.rec.Endpoint, j.rec.Request)
+		if berr != nil {
+			m.finish(j, StateFailed, berr)
+			return
+		}
+		j.study = study
+	}
+
+	chunks := make([][]byte, study.NumChunks())
+	for i := range chunks {
+		key := ckptKey(j.rec.ID, i)
+		if c, ok, err := m.store.Get(key); err == nil && ok {
+			chunks[i] = c
+			m.chunksSkipped.Add(1)
+			m.progress(j, i+1)
+			continue
+		}
+		c, err := study.ComputeChunk(ctx, i)
+		if err != nil {
+			m.interrupted(j, ctx, err)
+			return
+		}
+		if err := m.store.Put(key, c); err != nil {
+			m.finish(j, StateFailed, err)
+			return
+		}
+		chunks[i] = c
+		m.chunksComputed.Add(1)
+		m.progress(j, i+1)
+	}
+	body, err := study.Finalize(ctx, chunks)
+	if err != nil {
+		m.interrupted(j, ctx, err)
+		return
+	}
+	if err := m.store.Put("result:"+j.rec.Key, body); err != nil {
+		m.finish(j, StateFailed, err)
+		return
+	}
+	// The result supersedes the checkpoints; tombstone them.
+	for i := range chunks {
+		_ = m.store.Delete(ckptKey(j.rec.ID, i))
+	}
+	m.finish(j, StateDone, nil)
+}
+
+// interrupted routes a chunk/finalize error: shutdown parks the job
+// resumable, a user cancel ends it canceled, anything else fails it.
+func (m *Manager) interrupted(j *job, ctx context.Context, err error) {
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(cause, errShutdown):
+		// Shutdown: leave state running in the store; drop from the
+		// active set so Status reads the durable record. The next New
+		// re-enqueues it.
+		m.mu.Lock()
+		delete(m.active, j.rec.ID)
+		m.mu.Unlock()
+	case errors.Is(cause, errCanceled):
+		m.finish(j, StateCanceled, err)
+	default:
+		m.finish(j, StateFailed, err)
+	}
+}
+
+// progress records durable chunk progress on the in-memory record (the
+// checkpoint write itself is the durable part).
+func (m *Manager) progress(j *job, done int) {
+	m.mu.Lock()
+	j.rec.ChunksDone = done
+	j.rec.UpdatedUnixMs = time.Now().UnixMilli()
+	m.mu.Unlock()
+}
+
+// finish moves a job to a terminal state, persists it and syncs the
+// store — terminal states are the durability points a client may act
+// on (fetch the result, resubmit), so they must survive a crash.
+func (m *Manager) finish(j *job, s State, err error) {
+	m.mu.Lock()
+	j.rec.State = s
+	j.rec.UpdatedUnixMs = time.Now().UnixMilli()
+	if s == StateDone {
+		j.rec.ChunksDone = j.rec.Chunks
+	}
+	if err != nil && s != StateDone {
+		ae := api.ToError(err)
+		j.rec.Error = ae.Message
+		j.rec.ErrorCode = ae.Code
+	}
+	_ = m.persist(&j.rec)
+	delete(m.active, j.rec.ID)
+	m.mu.Unlock()
+	_ = m.store.Sync()
+	switch s {
+	case StateDone:
+		m.done.Add(1)
+	case StateFailed:
+		m.failed.Add(1)
+	case StateCanceled:
+		m.canceled.Add(1)
+	}
+}
+
+// persist writes the record at job:<id>.
+func (m *Manager) persist(rec *Record) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return m.store.Put("job:"+rec.ID, raw)
+}
+
+// ckptPrefix is the checkpoint keyspace of one job.
+func ckptPrefix(id string) string { return "ckpt:" + id + ":" }
+
+// ckptKey is chunk i's checkpoint key.
+func ckptKey(id string, i int) string { return ckptPrefix(id) + strconv.Itoa(i) }
+
+// newID returns a 16-hex-char random job handle.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("jobs: id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,361 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"greenfpga/api"
+	"greenfpga/internal/store"
+)
+
+// fakeStudy is a controllable study: each chunk's payload is its
+// index, compute calls are counted per chunk, and an optional gate
+// blocks a chosen chunk until its context dies — the hook that lets
+// tests interrupt a job mid-study deterministically.
+type fakeStudy struct {
+	chunks   int
+	computed []atomic.Int64
+	blockAt  int // chunk index that blocks until ctx is done; -1 for none
+	started  chan struct{}
+}
+
+func newFakeStudy(chunks, blockAt int) *fakeStudy {
+	return &fakeStudy{
+		chunks:   chunks,
+		computed: make([]atomic.Int64, chunks),
+		blockAt:  blockAt,
+		started:  make(chan struct{}, chunks+1),
+	}
+}
+
+func (f *fakeStudy) NumChunks() int { return f.chunks }
+
+func (f *fakeStudy) ComputeChunk(ctx context.Context, i int) ([]byte, error) {
+	select {
+	case f.started <- struct{}{}:
+	default:
+	}
+	if i == f.blockAt {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	f.computed[i].Add(1)
+	return []byte(fmt.Sprintf("chunk-%d", i)), nil
+}
+
+func (f *fakeStudy) Finalize(_ context.Context, chunks [][]byte) ([]byte, error) {
+	return bytes.Join(chunks, []byte("|")), nil
+}
+
+// builderFor serves one fake study per build call, recording them so
+// the test can inspect compute counts across manager generations.
+type fakeBuilder struct {
+	chunks  int
+	blockAt int
+	key     string
+	builds  []*fakeStudy
+}
+
+func (b *fakeBuilder) build(_ context.Context, _ string, _ json.RawMessage) (Study, string, error) {
+	s := newFakeStudy(b.chunks, b.blockAt)
+	b.builds = append(b.builds, s)
+	return s, b.key, nil
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	return st
+}
+
+func newManager(t *testing.T, st *store.Store, b Builder) *Manager {
+	t.Helper()
+	m, err := New(Options{Store: st, Build: b})
+	if err != nil {
+		t.Fatalf("jobs.New: %v", err)
+	}
+	return m
+}
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, m *Manager, id string, want State) Record {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, err := m.Status(id)
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		if rec.State == want {
+			return rec
+		}
+		if terminal(rec.State) && rec.State != want {
+			t.Fatalf("job reached %s (error %q), want %s", rec.State, rec.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job never reached %s", want)
+	return Record{}
+}
+
+func TestJobRunsToDone(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	defer st.Close()
+	b := &fakeBuilder{chunks: 5, blockAt: -1, key: "mc:abc"}
+	m := newManager(t, st, b.build)
+	defer m.Shutdown(context.Background())
+
+	rec, err := m.Submit(context.Background(), "mc", json.RawMessage(`{"samples": 5}`))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if rec.Endpoint != "/v1/mc" || rec.Chunks != 5 || rec.State != StateQueued {
+		t.Fatalf("bad submit record: %+v", rec)
+	}
+	final := waitState(t, m, rec.ID, StateDone)
+	if final.ChunksDone != 5 {
+		t.Errorf("ChunksDone = %d, want 5", final.ChunksDone)
+	}
+
+	_, body, err := m.Result(rec.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	want := "chunk-0|chunk-1|chunk-2|chunk-3|chunk-4"
+	if string(body) != want {
+		t.Fatalf("result = %q, want %q", body, want)
+	}
+	// The result lives at the content address, not under the job.
+	if v, ok, _ := st.Get("result:mc:abc"); !ok || string(v) != want {
+		t.Fatalf("result:mc:abc = %q, %v", v, ok)
+	}
+	// Checkpoints are tombstoned once the result lands.
+	if ks := st.Keys(ckptPrefix(rec.ID)); len(ks) != 0 {
+		t.Fatalf("checkpoints remain after done: %v", ks)
+	}
+	s := m.Stats()
+	if s.Done != 1 || s.ChunksComputed != 5 || s.ChunksSkipped != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestResumeAfterShutdown is the crash contract: kill the manager
+// mid-study, open a new one on the same store, and the job resumes
+// from its checkpoints — completed chunks are never recomputed.
+func TestResumeAfterShutdown(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	b := &fakeBuilder{chunks: 6, blockAt: 3, key: "mc:xyz"}
+	m := newManager(t, st, b.build)
+
+	rec, err := m.Submit(context.Background(), "mc", json.RawMessage(`{"samples": 6}`))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Wait until the job has durably finished chunks 0-2 and is
+	// blocked inside chunk 3.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(st.Keys(ckptPrefix(rec.ID))) < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := len(st.Keys(ckptPrefix(rec.ID))); got != 3 {
+		t.Fatalf("%d checkpoints before shutdown, want 3", got)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The durable record still says running — resumable, not lost.
+	raw, ok, _ := st.Get("job:" + rec.ID)
+	if !ok {
+		t.Fatal("job record gone after shutdown")
+	}
+	var parked Record
+	if err := json.Unmarshal(raw, &parked); err != nil {
+		t.Fatal(err)
+	}
+	if parked.State != StateRunning {
+		t.Fatalf("parked state = %s, want running", parked.State)
+	}
+	st.Close()
+
+	// "Restart": new store handle, new manager, unblocked builder.
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	b2 := &fakeBuilder{chunks: 6, blockAt: -1, key: "mc:xyz"}
+	m2 := newManager(t, st2, b2.build)
+	defer m2.Shutdown(context.Background())
+	final := waitState(t, m2, rec.ID, StateDone)
+	if final.Chunks != 6 {
+		t.Fatalf("resumed chunks = %d", final.Chunks)
+	}
+	_, body, err := m2.Result(rec.ID)
+	if err != nil {
+		t.Fatalf("Result after resume: %v", err)
+	}
+	want := "chunk-0|chunk-1|chunk-2|chunk-3|chunk-4|chunk-5"
+	if string(body) != want {
+		t.Fatalf("resumed result = %q", body)
+	}
+	// Chunks 0-2 were checkpointed before the kill: the resumed study
+	// must not have recomputed them.
+	if len(b2.builds) != 1 {
+		t.Fatalf("resume built %d studies, want 1", len(b2.builds))
+	}
+	for i := 0; i < 3; i++ {
+		if n := b2.builds[0].computed[i].Load(); n != 0 {
+			t.Errorf("chunk %d recomputed %d times after resume", i, n)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if n := b2.builds[0].computed[i].Load(); n != 1 {
+			t.Errorf("chunk %d computed %d times on resume, want 1", i, n)
+		}
+	}
+	s := m2.Stats()
+	if s.Resumed != 1 || s.ChunksSkipped != 3 || s.ChunksComputed != 3 {
+		t.Fatalf("resume stats = %+v", s)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	defer st.Close()
+	b := &fakeBuilder{chunks: 4, blockAt: 1, key: "k"}
+	m := newManager(t, st, b.build)
+	defer m.Shutdown(context.Background())
+
+	rec, err := m.Submit(context.Background(), "sweep", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, rec.ID, StateRunning)
+	<-b.builds[0].started // the worker is inside a chunk
+	if _, err := m.Cancel(rec.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final := waitState(t, m, rec.ID, StateCanceled)
+	if final.ErrorCode == "" {
+		t.Error("canceled job carries no error code")
+	}
+	if _, _, err := m.Result(rec.ID); err == nil {
+		t.Error("Result of a canceled job succeeded")
+	}
+	// Cancel is terminal across restarts: a new manager must not
+	// resurrect it.
+	if recs, _ := m.List(); len(recs) != 1 || recs[0].State != StateCanceled {
+		t.Fatalf("List = %+v", recs)
+	}
+}
+
+func TestSubmitWhileDraining(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	defer st.Close()
+	b := &fakeBuilder{chunks: 1, blockAt: -1, key: "k"}
+	m := newManager(t, st, b.build)
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Submit(context.Background(), "mc", json.RawMessage(`{}`))
+	ae := api.ToError(err)
+	if ae == nil || ae.Code != "overloaded" {
+		t.Fatalf("submit while draining: %v", err)
+	}
+}
+
+func TestDeleteJob(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	defer st.Close()
+	b := &fakeBuilder{chunks: 2, blockAt: -1, key: "kd"}
+	m := newManager(t, st, b.build)
+	defer m.Shutdown(context.Background())
+
+	rec, err := m.Submit(context.Background(), "mc", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, rec.ID, StateDone)
+	if err := m.Delete(rec.ID); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := m.Status(rec.ID); err == nil {
+		t.Fatal("deleted job still has status")
+	}
+	// The content-addressed result outlives the job record.
+	if _, ok, _ := st.Get("result:kd"); !ok {
+		t.Fatal("result deleted with the job")
+	}
+	if err := m.Delete("no-such-job"); err == nil {
+		t.Fatal("deleting an unknown job succeeded")
+	}
+}
+
+func TestSubmitValidationFailure(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	defer st.Close()
+	m := newManager(t, st, func(_ context.Context, _ string, _ json.RawMessage) (Study, string, error) {
+		return nil, "", &api.Error{Code: "invalid_request", Message: "nope"}
+	})
+	defer m.Shutdown(context.Background())
+	_, err := m.Submit(context.Background(), "mc", json.RawMessage(`{}`))
+	ae := api.ToError(err)
+	if ae == nil || ae.Code != "invalid_request" {
+		t.Fatalf("err = %v", err)
+	}
+	// A rejected submission leaves no durable residue.
+	if n := st.Len(); n != 0 {
+		t.Fatalf("store has %d keys after rejected submit", n)
+	}
+}
+
+// TestRealStudyBytesMatchSync runs a real Monte-Carlo job end to end
+// through the manager and asserts the stored result bytes are
+// identical to the synchronous /v1/mc path — the property that lets
+// the store serve the synchronous cache tier.
+func TestRealStudyBytesMatchSync(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	defer st.Close()
+	e := api.NewEvaluator(8)
+	m := newManager(t, st, EvaluatorBuilder(e))
+	defer m.Shutdown(context.Background())
+
+	body := `{"domain": "DNN", "samples": 9000, "seed": 3}`
+	rec, err := m.Submit(context.Background(), "mc", json.RawMessage(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, rec.ID, StateDone)
+	_, got, err := m.Result(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var req api.MonteCarloRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.RunMonteCarlo(context.Background(), req.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := api.EncodeJSON(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("job result differs from sync endpoint:\njob:  %.200s\nsync: %.200s", got, want)
+	}
+}

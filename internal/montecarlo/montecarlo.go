@@ -158,24 +158,25 @@ func (r Result) Percentile(p float64) float64 {
 	return r.Samples[i]*(1-frac) + r.Samples[i+1]*frac
 }
 
-// Run executes the study.
-func Run(cfg Config) (Result, error) {
+// Validate checks the study configuration and returns the effective
+// sample count (the default applied when Samples is zero).
+func Validate(cfg Config) (int, error) {
 	if cfg.Model == nil {
-		return Result{}, fmt.Errorf("montecarlo: nil model")
+		return 0, fmt.Errorf("montecarlo: nil model")
 	}
 	if len(cfg.Params) == 0 {
-		return Result{}, fmt.Errorf("montecarlo: no parameters")
+		return 0, fmt.Errorf("montecarlo: no parameters")
 	}
 	seen := map[string]bool{}
 	for _, p := range cfg.Params {
 		if p.Name == "" {
-			return Result{}, fmt.Errorf("montecarlo: unnamed parameter")
+			return 0, fmt.Errorf("montecarlo: unnamed parameter")
 		}
 		if p.Dist == nil {
-			return Result{}, fmt.Errorf("montecarlo: parameter %q has no distribution", p.Name)
+			return 0, fmt.Errorf("montecarlo: parameter %q has no distribution", p.Name)
 		}
 		if seen[p.Name] {
-			return Result{}, fmt.Errorf("montecarlo: duplicate parameter %q", p.Name)
+			return 0, fmt.Errorf("montecarlo: duplicate parameter %q", p.Name)
 		}
 		seen[p.Name] = true
 	}
@@ -184,25 +185,70 @@ func Run(cfg Config) (Result, error) {
 		samples = 1000
 	}
 	if samples < 0 {
-		return Result{}, fmt.Errorf("montecarlo: negative sample count %d", samples)
+		return 0, fmt.Errorf("montecarlo: negative sample count %d", samples)
 	}
+	return samples, nil
+}
 
-	// Each draw runs against its own sub-seeded generator, so the
-	// sample stream depends only on (seed, index) and the draws can be
-	// evaluated by a worker pool in any order. Statistics are
-	// accumulated sequentially over the index-ordered outputs, keeping
-	// them bit-for-bit reproducible across worker counts.
-	res := Result{Samples: make([]float64, samples)}
-	if err := evalDraws(cfg, res.Samples); err != nil {
+// Run executes the study.
+func Run(cfg Config) (Result, error) {
+	samples, err := Validate(cfg)
+	if err != nil {
 		return Result{}, err
 	}
+	// Each draw runs against its own sub-seeded generator, so the
+	// sample stream depends only on (seed, index) and the draws can be
+	// evaluated by a worker pool in any order.
+	out := make([]float64, samples)
+	if err := evalDraws(cfg, 0, out); err != nil {
+		return Result{}, err
+	}
+	return Finalize(cfg, out)
+}
+
+// RunRange evaluates draws [lo, hi) of the study and returns their
+// outputs in index order: out[i] is draw lo+i. Because every draw is
+// sub-seeded from (cfg.Seed, index), a range evaluation is bit-
+// identical to the same indices of a full Run — the primitive that
+// lets the jobs layer checkpoint a study in chunks and resume it after
+// a crash without perturbing a single sample.
+func RunRange(cfg Config, lo, hi int) ([]float64, error) {
+	samples, err := Validate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi < lo || hi > samples {
+		return nil, fmt.Errorf("montecarlo: draw range [%d, %d) outside [0, %d)", lo, hi, samples)
+	}
+	out := make([]float64, hi-lo)
+	if err := evalDraws(cfg, lo, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Finalize turns the index-ordered draw outputs (a full Run's, or
+// RunRange chunks concatenated in index order) into a Result. The
+// statistics are accumulated sequentially over the index order before
+// sorting, so chunked-then-finalized studies are bit-for-bit identical
+// to Run: same sums, same percentiles, same tornado. samples is sorted
+// in place and retained by the Result.
+func Finalize(cfg Config, samples []float64) (Result, error) {
+	want, err := Validate(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(samples) != want {
+		return Result{}, fmt.Errorf("montecarlo: finalizing %d outputs for a %d-sample study", len(samples), want)
+	}
+	res := Result{Samples: samples}
 	var sum, sumSq float64
 	for _, v := range res.Samples {
 		sum += v
 		sumSq += v * v
 	}
 	sort.Float64s(res.Samples)
-	n := float64(samples)
+	n := float64(len(res.Samples))
 	res.Mean = sum / n
 	if variance := sumSq/n - res.Mean*res.Mean; variance > 0 {
 		res.StdDev = math.Sqrt(variance)
@@ -245,13 +291,13 @@ func Run(cfg Config) (Result, error) {
 // larger chunk amortizes the counter without hurting balance.
 const drawChunk = 16
 
-// evalDraws fills out[i] with the model output for draw i, fanning the
-// draws across the shared fixed worker pool. Draw i's parameters come
-// from a generator sub-seeded with (cfg.Seed, i), so the result is
-// identical to a sequential run and independent of the worker count —
-// including the reported error, which is always the lowest failing
-// index's.
-func evalDraws(cfg Config, out []float64) error {
+// evalDraws fills out[i] with the model output for draw base+i,
+// fanning the draws across the shared fixed worker pool. Each draw's
+// parameters come from a generator sub-seeded with (cfg.Seed, index),
+// so the result is identical to a sequential run and independent of
+// the worker count — including the reported error, which is always the
+// lowest failing index's.
+func evalDraws(cfg Config, base int, out []float64) error {
 	return pool.RunWorkers(len(out), drawChunk, func() pool.Eval {
 		// Per-worker scratch: the generator state is reset per draw,
 		// the draw map is reused across draws.
@@ -259,13 +305,13 @@ func evalDraws(cfg Config, out []float64) error {
 		rng := rand.New(src)
 		draw := make(map[string]float64, len(cfg.Params))
 		return func(i int) error {
-			src.state = subSeed(cfg.Seed, i)
+			src.state = subSeed(cfg.Seed, base+i)
 			for _, p := range cfg.Params {
 				draw[p.Name] = p.Dist.Sample(rng)
 			}
 			v, err := cfg.Model(draw)
 			if err != nil {
-				return fmt.Errorf("montecarlo: sample %d: %w", i, err)
+				return fmt.Errorf("montecarlo: sample %d: %w", base+i, err)
 			}
 			out[i] = v
 			return nil

@@ -295,3 +295,77 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRunRangeFinalizeMatchesRun pins the resume contract the jobs
+// layer depends on: splitting a study into arbitrary index ranges,
+// concatenating the chunk outputs in order, and Finalizing must be
+// bit-for-bit identical to a one-shot Run — samples, moments,
+// percentiles and tornado alike.
+func TestRunRangeFinalizeMatchesRun(t *testing.T) {
+	cfg := Config{
+		Params:  []Param{{Name: "a", Dist: Uniform{1, 3}}, {Name: "b", Dist: Triangular{0, 1, 4}}},
+		Samples: 1777,
+		Seed:    77,
+		Model: func(d map[string]float64) (float64, error) {
+			return d["a"]*d["b"] + d["a"], nil
+		},
+	}
+	whole, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uneven chunking on purpose: resume never sees tidy boundaries.
+	var chunked []float64
+	for lo := 0; lo < cfg.Samples; {
+		hi := lo + 400
+		if lo == 0 {
+			hi = 13
+		}
+		if hi > cfg.Samples {
+			hi = cfg.Samples
+		}
+		part, err := RunRange(cfg, lo, hi)
+		if err != nil {
+			t.Fatalf("RunRange(%d, %d): %v", lo, hi, err)
+		}
+		chunked = append(chunked, part...)
+		lo = hi
+	}
+	res, err := Finalize(cfg, chunked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean != whole.Mean || res.StdDev != whole.StdDev {
+		t.Errorf("moments differ: %g/%g vs %g/%g", res.Mean, res.StdDev, whole.Mean, whole.StdDev)
+	}
+	for i := range whole.Samples {
+		if res.Samples[i] != whole.Samples[i] {
+			t.Fatalf("sample %d differs after chunked evaluation", i)
+		}
+	}
+	if len(res.Tornado) != len(whole.Tornado) {
+		t.Fatalf("tornado lengths differ")
+	}
+	for i := range whole.Tornado {
+		if res.Tornado[i] != whole.Tornado[i] {
+			t.Fatalf("tornado entry %d differs", i)
+		}
+	}
+}
+
+// TestRunRangeBounds pins range validation.
+func TestRunRangeBounds(t *testing.T) {
+	cfg := Config{
+		Params:  []Param{{Name: "a", Dist: Uniform{0, 1}}},
+		Samples: 10,
+		Model:   func(d map[string]float64) (float64, error) { return d["a"], nil },
+	}
+	for _, r := range [][2]int{{-1, 5}, {5, 4}, {0, 11}} {
+		if _, err := RunRange(cfg, r[0], r[1]); err == nil {
+			t.Errorf("RunRange(%d, %d) accepted", r[0], r[1])
+		}
+	}
+	if _, err := Finalize(cfg, make([]float64, 9)); err == nil {
+		t.Error("Finalize accepted a short sample vector")
+	}
+}

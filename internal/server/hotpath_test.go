@@ -107,7 +107,10 @@ func TestHitPathAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are inflated under the race detector")
 	}
-	s := New(Options{})
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := s.Handler()
 	body := []byte(computeBodies(t)["/v1/evaluate"])
 	do := func() *httptest.ResponseRecorder {

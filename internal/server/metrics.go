@@ -42,6 +42,10 @@ type metrics struct {
 	// in-flight evaluation instead of computing (the singleflight
 	// followers; the leader counts as the result-cache miss).
 	coalesced atomic.Uint64
+	// storeHits counts synchronous requests answered from the durable
+	// store tier — results that survived a restart or were finished by
+	// an asynchronous job.
+	storeHits atomic.Uint64
 
 	// reqDur is wall-clock time per finished request, by endpoint and
 	// outcome (ok, cache-hit, coalesced, shed, deadline, panic,
@@ -89,7 +93,8 @@ func (m *metrics) counter(endpoint string) *atomic.Uint64 {
 var promFamilies = struct {
 	requests, reqDur, respSize, stageDur, queueWait,
 	rcHits, rcMisses, rcEntries, aHits, aMisses, cpHits, cpMisses,
-	inflight, rejected, shed, deadlines, panics, coalesced, queueDepth *telemetry.FamilyPrefab
+	inflight, rejected, shed, deadlines, panics, coalesced, queueDepth,
+	jobsTotal, jobsActive, jobChunks, storeHits, storeKeys, storeBytes *telemetry.FamilyPrefab
 }{
 	requests: telemetry.NewFamilyPrefab("greenfpga_requests_total", "counter",
 		"Requests received, by endpoint."),
@@ -129,6 +134,18 @@ var promFamilies = struct {
 		"Requests that shared a concurrent identical evaluation (singleflight followers)."),
 	queueDepth: telemetry.NewFamilyPrefab("greenfpga_queue_depth", "gauge",
 		"Requests currently waiting for an evaluation slot."),
+	jobsTotal: telemetry.NewFamilyPrefab("greenfpga_jobs_total", "counter",
+		"Jobs by lifecycle event (submitted, resumed, done, failed, canceled)."),
+	jobsActive: telemetry.NewFamilyPrefab("greenfpga_jobs_active", "gauge",
+		"Jobs currently queued or running."),
+	jobChunks: telemetry.NewFamilyPrefab("greenfpga_job_chunks_total", "counter",
+		"Study chunks freshly computed vs served from a durable checkpoint."),
+	storeHits: telemetry.NewFamilyPrefab("greenfpga_store_result_hits_total", "counter",
+		"Synchronous requests answered from the durable store tier."),
+	storeKeys: telemetry.NewFamilyPrefab("greenfpga_store_keys", "gauge",
+		"Live keys in the durable store."),
+	storeBytes: telemetry.NewFamilyPrefab("greenfpga_store_log_bytes", "gauge",
+		"Durable store log size, split into live and garbage (superseded) bytes."),
 }
 
 // expositions pools scrape builders; the retained buffer grows to the
@@ -196,6 +213,29 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	e.Prefab(promFamilies.panics).Sample(float64(s.m.panics.Load()))
 	e.Prefab(promFamilies.coalesced).Sample(float64(s.m.coalesced.Load()))
 	e.Prefab(promFamilies.queueDepth).Sample(float64(s.limiter.Waiting()))
+	if s.jobs != nil {
+		js := s.jobs.Stats()
+		e.Prefab(promFamilies.jobsTotal)
+		e.Sample(float64(js.Submitted), "state", "submitted")
+		e.Sample(float64(js.Resumed), "state", "resumed")
+		e.Sample(float64(js.Done), "state", "done")
+		e.Sample(float64(js.Failed), "state", "failed")
+		e.Sample(float64(js.Canceled), "state", "canceled")
+		e.Prefab(promFamilies.jobsActive)
+		e.Sample(float64(js.Queued), "state", "queued")
+		e.Sample(float64(js.Running), "state", "running")
+		e.Prefab(promFamilies.jobChunks)
+		e.Sample(float64(js.ChunksComputed), "kind", "computed")
+		e.Sample(float64(js.ChunksSkipped), "kind", "skipped")
+	}
+	if s.store != nil {
+		total, garbage := s.store.Size()
+		e.Prefab(promFamilies.storeHits).Sample(float64(s.m.storeHits.Load()))
+		e.Prefab(promFamilies.storeKeys).Sample(float64(s.store.Len()))
+		e.Prefab(promFamilies.storeBytes)
+		e.Sample(float64(total-garbage), "section", "live")
+		e.Sample(float64(garbage), "section", "garbage")
+	}
 	_, err := e.WriteTo(w)
 	return err
 }

@@ -41,8 +41,10 @@ import (
 	"greenfpga/api"
 	"greenfpga/internal/cache"
 	"greenfpga/internal/experiments"
+	"greenfpga/internal/jobs"
 	"greenfpga/internal/pool"
 	"greenfpga/internal/resilience"
+	"greenfpga/internal/store"
 	"greenfpga/internal/telemetry"
 )
 
@@ -96,6 +98,15 @@ type Options struct {
 	// exposes heap contents and must never ride the service port or an
 	// external interface.
 	PprofAddr string
+	// Store, when non-nil, enables the durable tier: computed results
+	// persist across restarts (result-cache misses fall through to the
+	// store before computing) and the /v1/jobs endpoints accept
+	// asynchronous, checkpoint-resumable studies. The caller owns the
+	// store's lifecycle and closes it after Shutdown returns.
+	Store *store.Store
+	// JobWorkers bounds concurrently running jobs (default 1 — each
+	// chunk already parallelizes over the shared worker pool).
+	JobWorkers int
 }
 
 // withDefaults fills unset options.
@@ -155,6 +166,12 @@ type Server struct {
 
 	access *accessLogger // nil without -access-log
 
+	// store and jobs are the durable tier (nil without Options.Store):
+	// finished results persist at result:<CanonicalKey> and the jobs
+	// manager checkpoints asynchronous studies into the same store.
+	store *store.Store
+	jobs  *jobs.Manager
+
 	hs      *http.Server
 	ln      net.Listener
 	pprofHS *http.Server
@@ -163,8 +180,10 @@ type Server struct {
 }
 
 // New builds a Server; call Handler for an http.Handler (tests) or
-// Start/Shutdown to run it.
-func New(opts Options) *Server {
+// Start/Shutdown to run it. It fails only when the durable tier cannot
+// start (a corrupt job record queue overflowing, which recovery
+// surfaces here rather than at first submission).
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts: opts,
@@ -203,7 +222,29 @@ func New(opts Options) *Server {
 	s.route("POST /v1/crossover", "/v1/crossover", true, true, s.handleCrossover)
 	s.route("POST /v1/sweep", "/v1/sweep", true, true, s.handleSweep)
 	s.route("POST /v1/mc", "/v1/mc", true, true, s.handleMonteCarlo)
-	return s
+	if opts.Store != nil {
+		s.store = opts.Store
+		mgr, err := jobs.New(jobs.Options{
+			Store:   opts.Store,
+			Build:   jobs.EvaluatorBuilder(s.eval),
+			Workers: opts.JobWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = mgr
+		// Job endpoints are not limiter-gated: submission and polling
+		// are metadata operations, and the study itself executes on the
+		// manager's workers, not in-request. They are registered only
+		// with a store — an async job must outlive the process that
+		// accepted it, which requires the durable tier.
+		s.route("POST /v1/jobs", "/v1/jobs", false, false, s.handleJobSubmit)
+		s.route("GET /v1/jobs", "/v1/jobs", false, false, s.handleJobList)
+		s.route("GET /v1/jobs/{id}", "/v1/jobs/{id}", false, false, s.handleJobStatus)
+		s.route("GET /v1/jobs/{id}/result", "/v1/jobs/{id}/result", false, false, s.handleJobResult)
+		s.route("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", false, false, s.handleJobDelete)
+	}
+	return s, nil
 }
 
 // route registers a handler behind the middleware stack, outermost
@@ -381,16 +422,30 @@ func (s *Server) PprofAddr() string {
 	return s.pprofLn.Addr().String()
 }
 
-// Shutdown stops accepting connections and waits for in-flight
-// requests to finish, up to the context's deadline.
+// Shutdown stops the service in dependency order: new job submissions
+// are refused first (503, so nothing durable is accepted that the
+// dying process cannot run), then the HTTP listener drains in-flight
+// requests, then the jobs manager interrupts running studies after
+// their current chunk — parking them resumable in the store and
+// syncing it — so the caller can close the store last. Everything is
+// bounded by ctx.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.pprofHS != nil {
 		_ = s.pprofHS.Close()
 	}
-	if s.hs == nil {
-		return nil
+	if s.jobs != nil {
+		s.jobs.Drain()
 	}
-	return s.hs.Shutdown(ctx)
+	var err error
+	if s.hs != nil {
+		err = s.hs.Shutdown(ctx)
+	}
+	if s.jobs != nil {
+		if jerr := s.jobs.Shutdown(ctx); err == nil {
+			err = jerr
+		}
+	}
+	return err
 }
 
 // writeJSON writes v as the service's canonical JSON, timing the
@@ -543,6 +598,18 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		s.writeCached(w, r, "hit", v.(*cachedResponse))
 		return
 	}
+	// The durable tier sits under the LRU: a result computed before a
+	// restart — or finished by an asynchronous job — serves without
+	// recomputing. It answers bytes only (the decoded value is gone
+	// with the old process), so it must not enter the LRU, whose batch
+	// consumers type-assert the decoded value.
+	if s.store != nil {
+		if body, ok, err := s.store.Get("result:" + key); err == nil && ok {
+			s.m.storeHits.Add(1)
+			s.writeCached(w, r, "store", &cachedResponse{body: body})
+			return
+		}
+	}
 	v, err, shared := s.computeCoalesced(r.Context(), key, func() (any, error) {
 		out, err := compute(r.Context())
 		if err != nil {
@@ -560,6 +627,11 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint st
 		state = "miss"
 		if cacheIf == nil || cacheIf(cr.val) {
 			s.results.Put(key, cr)
+			// Persist under the same admission predicate, so the next
+			// process (or an eviction) finds it in the durable tier.
+			if s.store != nil {
+				_ = s.store.Put("result:"+key, cr.body)
+			}
 		}
 	}
 	s.writeCached(w, r, state, cr)

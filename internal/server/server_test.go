@@ -20,7 +20,10 @@ import (
 // newTestServer returns a service plus an httptest front end.
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hts := httptest.NewServer(s.Handler())
 	t.Cleanup(hts.Close)
 	return s, hts
@@ -708,7 +711,10 @@ func TestConcurrentRequests(t *testing.T) {
 // TestGracefulShutdown starts a real listener, verifies it serves,
 // shuts down, and verifies in-flight drain plus refusal of new work.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Options{Addr: "127.0.0.1:0"})
+	s, err := New(Options{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr, err := s.Start()
 	if err != nil {
 		t.Fatal(err)

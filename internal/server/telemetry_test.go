@@ -128,7 +128,10 @@ func TestAccessLogRecords(t *testing.T) {
 // without external context.
 func TestAccessLogPreamble(t *testing.T) {
 	var buf bytes.Buffer
-	s := New(Options{Addr: "127.0.0.1:0", AccessLog: &buf})
+	s, err := New(Options{Addr: "127.0.0.1:0", AccessLog: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.Start(); err != nil {
 		t.Fatal(err)
 	}

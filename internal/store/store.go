@@ -1,0 +1,329 @@
+// Package store is an embedded, pure-Go, file-backed key-value store:
+// the durable tier under the serving layer's result cache and the jobs
+// manager's record of truth. It is an append-only record log with an
+// in-memory index — the shape that makes crash safety simple: records
+// are only ever appended, never rewritten, so the only corruption a
+// crash can produce is a torn record at the tail, and reopen recovers
+// by truncating it.
+//
+// Log layout: an 8-byte magic header, then records back to back. One
+// record is
+//
+//	[1B op][4B keyLen][4B valLen][key][val][4B crc32]
+//
+// with the CRC (Castagnoli) covering everything before it. op is put
+// or delete; a delete carries no value and acts as a tombstone, so a
+// key's liveness is decided by its last record. Open replays the log
+// into the index (a map from key to the value's offset and length),
+// stopping at the first short or CRC-failing record and truncating the
+// file there — a torn tail record costs exactly the write that was in
+// flight, never the log behind it.
+//
+// Reads go through ReadAt against immutable earlier bytes, so they run
+// concurrently with appends; writes serialize on one mutex. Put/Delete
+// only buffer through the OS — call Sync to force the log to stable
+// storage (the jobs manager syncs at terminal states and shutdown).
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// magic identifies (and versions) the log file format.
+var magic = []byte("GFPSTOR1")
+
+// Record ops.
+const (
+	opPut    = 1
+	opDelete = 2
+)
+
+// recHeaderLen is op + keyLen + valLen.
+const recHeaderLen = 1 + 4 + 4
+
+// MaxValueLen bounds one record's value (64 MiB): far above any
+// response or checkpoint this service stores, low enough that a
+// corrupt length field can never drive a multi-gigabyte allocation
+// during replay.
+const MaxValueLen = 64 << 20
+
+// MaxKeyLen bounds one record's key.
+const MaxKeyLen = 4096
+
+// castagnoli is the CRC-32C table (hardware-accelerated on the
+// platforms Go supports).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// entry locates one live value inside the log.
+type entry struct {
+	off int64 // offset of the value bytes
+	len int32
+}
+
+// Store is the embedded log-structured store. It is safe for
+// concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	f     *os.File
+	tail  int64 // append offset == current log length
+	index map[string]entry
+	// garbage counts bytes belonging to superseded or deleted records
+	// — what a compaction would reclaim (observability only; this store
+	// does not compact in-process).
+	garbage int64
+}
+
+// FileName is the log's name inside the store directory.
+const FileName = "greenfpga.log"
+
+// Open opens (creating if needed) the store in dir. A log with a torn
+// or corrupt tail — the footprint of a crash mid-append — is truncated
+// back to its last intact record and opened normally; corruption is
+// never fatal here, because everything behind the tear is still sound.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{f: f, index: make(map[string]entry)}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay scans the log into the index, truncating at the first record
+// that does not check out.
+func (s *Store) replay() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+	if size < int64(len(magic)) {
+		// New (or header-torn) file: start fresh.
+		if err := s.f.Truncate(0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := s.f.WriteAt(magic, 0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.tail = int64(len(magic))
+		return nil
+	}
+	head := make([]byte, len(magic))
+	if _, err := s.f.ReadAt(head, 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if string(head) != string(magic) {
+		return fmt.Errorf("store: %s is not a greenfpga store log", s.f.Name())
+	}
+	off := int64(len(magic))
+	for off < size {
+		n, ok := s.replayRecord(off, size)
+		if !ok {
+			break
+		}
+		off += n
+	}
+	s.tail = off
+	if off < size {
+		// Torn tail: everything from the first bad record on is the
+		// remains of an interrupted append (or trailing junk); drop it
+		// so new appends land on a clean boundary.
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// replayRecord validates the record at off and applies it to the
+// index, returning the record's total length. ok is false when the
+// record is torn or corrupt — the truncation point.
+func (s *Store) replayRecord(off, size int64) (int64, bool) {
+	var hdr [recHeaderLen]byte
+	if off+recHeaderLen > size {
+		return 0, false
+	}
+	if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+		return 0, false
+	}
+	op := hdr[0]
+	keyLen := int64(binary.LittleEndian.Uint32(hdr[1:5]))
+	valLen := int64(binary.LittleEndian.Uint32(hdr[5:9]))
+	if (op != opPut && op != opDelete) ||
+		keyLen == 0 || keyLen > MaxKeyLen || valLen > MaxValueLen ||
+		(op == opDelete && valLen != 0) {
+		return 0, false
+	}
+	total := recHeaderLen + keyLen + valLen + 4
+	if off+total > size {
+		return 0, false
+	}
+	body := make([]byte, total-recHeaderLen)
+	if _, err := s.f.ReadAt(body, off+recHeaderLen); err != nil {
+		return 0, false
+	}
+	crc := crc32.Checksum(hdr[:], castagnoli)
+	crc = crc32.Update(crc, castagnoli, body[:keyLen+valLen])
+	if crc != binary.LittleEndian.Uint32(body[keyLen+valLen:]) {
+		return 0, false
+	}
+	key := string(body[:keyLen])
+	if old, ok := s.index[key]; ok {
+		s.garbage += recordLen(key, int(old.len))
+	}
+	if op == opDelete {
+		delete(s.index, key)
+		s.garbage += total
+	} else {
+		s.index[key] = entry{off: off + recHeaderLen + keyLen, len: int32(valLen)}
+	}
+	return total, true
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	e, ok := s.index[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	buf := make([]byte, e.len)
+	if _, err := s.f.ReadAt(buf, e.off); err != nil {
+		return nil, false, fmt.Errorf("store: reading %q: %w", key, err)
+	}
+	return buf, true, nil
+}
+
+// Put durably records key → val (durably once Sync or Close returns).
+func (s *Store) Put(key string, val []byte) error {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return fmt.Errorf("store: key length %d out of range", len(key))
+	}
+	if len(val) > MaxValueLen {
+		return fmt.Errorf("store: value of %d bytes exceeds the %d limit", len(val), MaxValueLen)
+	}
+	rec := appendRecord(nil, opPut, key, val)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := s.f.WriteAt(rec, s.tail); err != nil {
+		return fmt.Errorf("store: appending %q: %w", key, err)
+	}
+	valOff := s.tail + recHeaderLen + int64(len(key))
+	if old, ok := s.index[key]; ok {
+		s.garbage += recordLen(key, int(old.len))
+	}
+	s.index[key] = entry{off: valOff, len: int32(len(val))}
+	s.tail += int64(len(rec))
+	return nil
+}
+
+// Delete removes key (a tombstone append; absent keys are a no-op).
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: closed")
+	}
+	old, ok := s.index[key]
+	if !ok {
+		return nil
+	}
+	rec := appendRecord(nil, opDelete, key, nil)
+	if _, err := s.f.WriteAt(rec, s.tail); err != nil {
+		return fmt.Errorf("store: deleting %q: %w", key, err)
+	}
+	delete(s.index, key)
+	s.garbage += recordLen(key, int(old.len)) + int64(len(rec))
+	s.tail += int64(len(rec))
+	return nil
+}
+
+// Keys returns the live keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.RLock()
+	out := make([]string, 0, 8)
+	for k := range s.index {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len counts live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Size reports the log length in bytes and how much of it is garbage
+// (superseded or deleted records).
+func (s *Store) Size() (total, garbage int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tail, s.garbage
+}
+
+// Sync forces the log to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Close syncs and closes the log. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// recordLen is the on-disk footprint of one put record.
+func recordLen(key string, valLen int) int64 {
+	return int64(recHeaderLen + len(key) + valLen + 4)
+}
+
+// appendRecord appends one framed record to buf.
+func appendRecord(buf []byte, op byte, key string, val []byte) []byte {
+	start := len(buf)
+	buf = append(buf, op)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+	buf = append(buf, key...)
+	buf = append(buf, val...)
+	crc := crc32.Checksum(buf[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}

@@ -1,0 +1,303 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// reopen closes s and opens the same directory again.
+func reopen(t *testing.T, s *Store, dir string) *Store {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return s2
+}
+
+func mustPut(t *testing.T, s *Store, key string, val []byte) {
+	t.Helper()
+	if err := s.Put(key, val); err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+}
+
+func mustGet(t *testing.T, s *Store, key string) []byte {
+	t.Helper()
+	v, ok, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	}
+	if !ok {
+		t.Fatalf("Get(%q): missing", key)
+	}
+	return v
+}
+
+// TestPutGetReopen pins the core contract: everything written before
+// Close is there after Open — last write wins, deletes stay deleted.
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustPut(t, s, "a", []byte("one"))
+	mustPut(t, s, "b", []byte("two"))
+	mustPut(t, s, "a", []byte("three")) // supersede
+	mustPut(t, s, "empty", nil)         // zero-length values are valid
+	if err := s.Delete("b"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete("never-existed"); err != nil {
+		t.Fatalf("Delete absent: %v", err)
+	}
+
+	check := func(s *Store) {
+		t.Helper()
+		if got := mustGet(t, s, "a"); string(got) != "three" {
+			t.Fatalf("a = %q, want %q", got, "three")
+		}
+		if got := mustGet(t, s, "empty"); len(got) != 0 {
+			t.Fatalf("empty = %q, want empty", got)
+		}
+		if _, ok, _ := s.Get("b"); ok {
+			t.Fatalf("b resurrected after delete")
+		}
+		if n := s.Len(); n != 2 {
+			t.Fatalf("Len = %d, want 2", n)
+		}
+	}
+	check(s)
+	s = reopen(t, s, dir)
+	defer s.Close()
+	check(s)
+}
+
+// TestKeysPrefix pins the prefix scan the jobs manager uses for
+// resume.
+func TestKeysPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for _, k := range []string{"job:2", "job:1", "result:x", "ckpt:1:0"} {
+		mustPut(t, s, k, []byte(k))
+	}
+	got := s.Keys("job:")
+	want := []string{"job:1", "job:2"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Keys(job:) = %v, want %v", got, want)
+	}
+	if all := s.Keys(""); len(all) != 4 {
+		t.Fatalf("Keys(\"\") = %v, want 4 keys", all)
+	}
+}
+
+// TestTornTailTruncated pins the crash contract: a log whose last
+// record was cut mid-append reopens cleanly with every record before
+// the tear intact, and the torn bytes are physically gone so the next
+// append lands on a clean boundary.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustPut(t, s, "keep-1", bytes.Repeat([]byte("x"), 1000))
+	mustPut(t, s, "keep-2", []byte("intact"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(dir, FileName)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	goodSize := fi.Size()
+
+	// Simulate a crash mid-append: a full record plus a cut-off one.
+	whole := appendRecord(nil, opPut, "torn", bytes.Repeat([]byte("y"), 500))
+	for _, cut := range []int{1, recHeaderLen, len(whole) / 2, len(whole) - 1} {
+		if err := os.Truncate(path, goodSize); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if _, err := f.Write(whole[:cut]); err != nil {
+			t.Fatalf("write torn: %v", err)
+		}
+		f.Close()
+
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen after tear: %v", cut, err)
+		}
+		if got := mustGet(t, s, "keep-2"); string(got) != "intact" {
+			t.Fatalf("cut=%d: keep-2 = %q", cut, got)
+		}
+		if _, ok, _ := s.Get("torn"); ok {
+			t.Fatalf("cut=%d: torn record visible", cut)
+		}
+		if fi, _ := os.Stat(path); fi.Size() != goodSize {
+			t.Fatalf("cut=%d: log is %d bytes, want truncated to %d", cut, fi.Size(), goodSize)
+		}
+		// The store keeps working on the truncated log.
+		mustPut(t, s, "after-crash", []byte("ok"))
+		s = reopen(t, s, dir)
+		if got := mustGet(t, s, "after-crash"); string(got) != "ok" {
+			t.Fatalf("cut=%d: after-crash = %q", cut, got)
+		}
+		if err := s.Delete("after-crash"); err != nil {
+			t.Fatalf("cleanup delete: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		// Re-freeze goodSize for the next cut (the log grew by the
+		// after-crash put + delete).
+		fi, err = os.Stat(path)
+		if err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		goodSize = fi.Size()
+	}
+}
+
+// TestCorruptTailTruncated pins that a bit-flip in the tail record —
+// torn by a crash after a partial page write — truncates from the
+// corrupt record on instead of failing the open.
+func TestCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	mustPut(t, s, "keep", []byte("safe"))
+	sizeBefore, _ := s.Size()
+	mustPut(t, s, "doomed", bytes.Repeat([]byte("z"), 256))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Flip one bit inside the doomed record's value.
+	data[sizeBefore+recHeaderLen+int64(len("doomed"))+10] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after corruption: %v", err)
+	}
+	defer s.Close()
+	if got := mustGet(t, s, "keep"); string(got) != "safe" {
+		t.Fatalf("keep = %q", got)
+	}
+	if _, ok, _ := s.Get("doomed"); ok {
+		t.Fatalf("corrupt record served")
+	}
+	if total, _ := s.Size(); total != sizeBefore {
+		t.Fatalf("log is %d bytes, want %d", total, sizeBefore)
+	}
+}
+
+// TestNotAStoreLog pins that a foreign file is refused rather than
+// silently truncated to nothing.
+func TestNotAStoreLog(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, FileName), []byte("definitely not a log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "not a greenfpga store log") {
+		t.Fatalf("Open foreign file: err = %v, want magic mismatch", err)
+	}
+}
+
+// TestLimits pins the key/value bounds.
+func TestLimits(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(strings.Repeat("k", MaxKeyLen+1), []byte("x")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+// TestConcurrent exercises parallel writers and readers; run under
+// -race this is the store's concurrency contract.
+func TestConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i%10)
+				if err := s.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, _, err := s.Get(key); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				s.Keys("w")
+			}
+		}(w)
+	}
+	wg.Wait()
+	s = reopen(t, s, dir)
+	defer s.Close()
+	if n := s.Len(); n != 80 {
+		t.Fatalf("Len = %d, want 80", n)
+	}
+}
+
+// TestClosedStore pins the closed-store errors.
+func TestClosedStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if err := s.Put("k", nil); err == nil {
+		t.Fatal("Put on closed store succeeded")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync on closed store: %v", err)
+	}
+}

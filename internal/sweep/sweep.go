@@ -140,6 +140,15 @@ type PointN struct {
 // Run1D (which remains the dedicated FPGA/ASIC pair shape with its
 // ratio column).
 func RunN(axis Axis, n int, eval SetEval) ([]PointN, error) {
+	return RunRangeN(axis, n, 0, len(axis.Values), eval)
+}
+
+// RunRangeN evaluates axis indices [lo, hi) for an n-platform set in
+// parallel, returning those points in axis order. Point values depend
+// only on the axis, so a range evaluation is identical to the same
+// slice of a full RunN — the primitive behind chunked, resumable
+// sweep jobs.
+func RunRangeN(axis Axis, n, lo, hi int, eval SetEval) ([]PointN, error) {
 	if err := axis.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,9 +158,12 @@ func RunN(axis Axis, n int, eval SetEval) ([]PointN, error) {
 	if eval == nil {
 		return nil, fmt.Errorf("sweep: nil evaluator")
 	}
-	pts := make([]PointN, len(axis.Values))
-	err := runPool(len(axis.Values), func(i int) error {
-		x := axis.Values[i]
+	if lo < 0 || hi < lo || hi > len(axis.Values) {
+		return nil, fmt.Errorf("sweep: point range [%d, %d) outside [0, %d)", lo, hi, len(axis.Values))
+	}
+	pts := make([]PointN, hi-lo)
+	err := runPool(hi-lo, func(i int) error {
+		x := axis.Values[lo+i]
 		totals := make([]units.Mass, n)
 		if err := eval(x, totals); err != nil {
 			return err
