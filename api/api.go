@@ -89,6 +89,37 @@ type DomainList struct {
 	Domains []Domain `json:"domains"`
 }
 
+// Region is one deployment-grid region of the carbon registry: the
+// scalar presets plus the traced regions whose hourly intensity the
+// carbon engine synthesizes.
+type Region struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Traced reports whether the region carries an hourly intensity
+	// trace; scalar regions keep the legacy closed-form path.
+	Traced bool `json:"traced"`
+	// IntensityGPerKWh is the region mix's scalar carbon intensity.
+	IntensityGPerKWh float64 `json:"intensity_g_per_kwh"`
+	// MeanGPerKWh, MinGPerKWh and MaxGPerKWh summarize the hourly
+	// trace (traced regions only).
+	MeanGPerKWh float64 `json:"mean_g_per_kwh,omitempty"`
+	MinGPerKWh  float64 `json:"min_g_per_kwh,omitempty"`
+	MaxGPerKWh  float64 `json:"max_g_per_kwh,omitempty"`
+}
+
+// RegionList is the /v1/regions response and the `greenfpga regions
+// -json` document.
+type RegionList struct {
+	Regions []Region `json:"regions"`
+}
+
+// TraceSpec is an inline hourly carbon-intensity profile: sample h is
+// the grid intensity during hour [h, h+1), in g/kWh, tiling cyclically
+// over the operating calendar (24 samples repeat daily, 8760 yearly).
+type TraceSpec struct {
+	GPerKWh []float64 `json:"g_per_kwh"`
+}
+
 // ExperimentList is the /v1/experiments response and the `greenfpga
 // list -json` document.
 type ExperimentList struct {
@@ -522,6 +553,81 @@ type MonteCarloResponse struct {
 	// beats platform B.
 	ProbFPGAWins float64        `json:"prob_fpga_wins"`
 	Tornado      []TornadoEntry `json:"tornado"`
+}
+
+// FleetRequest is the /v1/fleet body: a carbon-aware placement study.
+// Each platform is sited in each region — scalar regions run the
+// legacy closed-form path, traced regions integrate the hourly
+// intensity trace — and the response reports the full siting matrix
+// plus the minimum-CFP placements. Zero values take the CLI defaults
+// (DNN domain, FPGA-vs-ASIC pair, every registry region, 5
+// applications, 2-year lifetime, 1e6 volume).
+type FleetRequest struct {
+	// Domain is the default domain for kind selectors.
+	Domain string `json:"domain,omitempty"`
+	// Platforms selects the sited platforms; empty means the legacy
+	// {domain fpga, domain asic} pair. Because the study assigns the
+	// region, specs may not carry their own region or trace.
+	Platforms []PlatformSpec `json:"platforms,omitempty"`
+	// Regions selects the candidate regions by registry name; empty
+	// means every region.
+	Regions []string `json:"regions,omitempty"`
+	// Workload is the shared scenario (uniform arm).
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Shift applies a load-shifting policy ("daily") in the traced
+	// regions; scalar regions have no hourly signal to shift against
+	// and run uniformly.
+	Shift string `json:"shift,omitempty"`
+}
+
+// FleetCell is one platform's assessment sited in one region.
+type FleetCell struct {
+	TotalKg     float64 `json:"total_kg"`
+	OperationKg float64 `json:"operation_kg"`
+	// EmbodiedKg is everything but operation: design, manufacturing,
+	// packaging, EOL, app development and configuration.
+	EmbodiedKg float64 `json:"embodied_kg"`
+}
+
+// FleetRegionRow is one region's row of the siting matrix.
+type FleetRegionRow struct {
+	Region string `json:"region"`
+	Traced bool   `json:"traced"`
+	// MeanGPerKWh is the region's mean grid intensity (the trace mean
+	// for traced regions, the scalar mix intensity otherwise).
+	MeanGPerKWh float64 `json:"mean_g_per_kwh"`
+	// Cells holds one assessment per platform, in platform order.
+	Cells []FleetCell `json:"cells"`
+	// Winner names the minimum-CFP platform in this region.
+	Winner string `json:"winner"`
+	// A2FNumApps is the grid-aware crossover — the first application
+	// count where the first platform's total drops below the second's
+	// under this region's grid signal. Present when the study sites
+	// exactly two platforms.
+	A2FNumApps *Solve `json:"a2f_num_apps,omitempty"`
+}
+
+// FleetBest is one minimum-CFP placement.
+type FleetBest struct {
+	Region   string  `json:"region"`
+	Platform string  `json:"platform"`
+	TotalKg  float64 `json:"total_kg"`
+}
+
+// FleetResponse is the /v1/fleet result and the `greenfpga fleet
+// -json` document.
+type FleetResponse struct {
+	Domain string `json:"domain"`
+	Shift  string `json:"shift,omitempty"`
+	// Platforms names the sited platforms in cell order.
+	Platforms []string `json:"platforms"`
+	// Regions is the siting matrix, in requested region order.
+	Regions []FleetRegionRow `json:"regions"`
+	// BestByPlatform is each platform's minimum-CFP region, in
+	// platform order.
+	BestByPlatform []FleetBest `json:"best_by_platform"`
+	// Best is the minimum-CFP placement over the whole matrix.
+	Best FleetBest `json:"best"`
 }
 
 // ExperimentTable is one tabular artifact in JSON form.

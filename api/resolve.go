@@ -10,10 +10,10 @@ package api
 import (
 	"fmt"
 
+	"greenfpga/internal/carbon"
 	"greenfpga/internal/config"
 	"greenfpga/internal/core"
 	"greenfpga/internal/device"
-	"greenfpga/internal/grid"
 	"greenfpga/internal/isoperf"
 	"greenfpga/internal/units"
 )
@@ -72,11 +72,31 @@ func (p PlatformSpec) platform() (core.Platform, error) {
 		base.DutyCycle = p.DutyCycle
 	}
 	if p.UseRegion != "" {
-		mix, err := grid.ByRegion(grid.Region(p.UseRegion))
+		reg, err := carbon.ByName(p.UseRegion)
 		if err != nil {
-			return core.Platform{}, err
+			return core.Platform{}, &Error{Code: "invalid_request", Message: err.Error()}
 		}
-		base.UseMix = mix
+		base.UseMix = reg.Mix
+		base.UseTrace, base.UseIntegrator = nil, nil
+		if reg.Traced {
+			// Traced regions ship their cached compiled constants so
+			// every spec siting a platform there shares one prefix table.
+			it, err := carbon.IntegratorFor(reg.Name)
+			if err != nil {
+				return core.Platform{}, err
+			}
+			base.UseIntegrator = it
+		}
+	}
+	if p.Trace != nil {
+		tr, err := carbon.FromGrams(p.Trace.GPerKWh)
+		if err != nil {
+			return core.Platform{}, &Error{Code: "invalid_request", Message: err.Error()}
+		}
+		base.UseTrace, base.UseIntegrator = tr, nil
+	}
+	if p.Shift != "" {
+		base.UseShift = p.Shift
 	}
 	if p.ChipLifetimeYears != 0 {
 		base.ChipLifetime = units.YearsOf(p.ChipLifetimeYears)

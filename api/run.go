@@ -14,6 +14,7 @@ import (
 	"greenfpga"
 
 	"greenfpga/internal/cache"
+	"greenfpga/internal/carbon"
 	"greenfpga/internal/core"
 	"greenfpga/internal/device"
 	"greenfpga/internal/experiments"
@@ -1027,6 +1028,291 @@ func Domains() DomainList {
 		})
 	}
 	return out
+}
+
+// Regions returns the carbon registry — scalar grid presets plus the
+// traced hourly-signal regions — in JSON form.
+func Regions() RegionList {
+	var out RegionList
+	for _, r := range carbon.Regions() {
+		ci, _ := r.Intensity()
+		entry := Region{
+			Name:             r.Name,
+			Description:      r.Description,
+			Traced:           r.Traced,
+			IntensityGPerKWh: ci.GramsPerKWh(),
+		}
+		if r.Traced {
+			if t, err := r.Trace(); err == nil {
+				entry.MeanGPerKWh = t.Mean().GramsPerKWh()
+				lo, hi := t.Bounds()
+				entry.MinGPerKWh = lo.GramsPerKWh()
+				entry.MaxGPerKWh = hi.GramsPerKWh()
+			}
+		}
+		out.Regions = append(out.Regions, entry)
+	}
+	return out
+}
+
+// fleetMaxApps bounds the per-region A2F crossover search, the same
+// ceiling the crossover endpoint defaults to.
+const fleetMaxApps = 30
+
+// Normalized fills the CLI defaults for a fleet request (DNN domain,
+// FPGA-vs-ASIC pair, every registry region, the §4.2 reference
+// workload), so spelled-out and omitted defaults share one cache
+// entry.
+func (r FleetRequest) Normalized() FleetRequest {
+	r.Platforms = append([]PlatformSpec(nil), r.Platforms...)
+	if r.Domain == "" && needsDomain(r.Platforms) {
+		r.Domain = "DNN"
+	}
+	if len(r.Platforms) == 0 {
+		r.Platforms = []PlatformSpec{{Domain: r.Domain, Kind: "fpga"}, {Domain: r.Domain, Kind: "asic"}}
+	}
+	r.Domain = specDomains(r.Platforms, r.Domain)
+	if len(r.Regions) == 0 {
+		r.Regions = carbon.Names()
+	} else {
+		r.Regions = append([]string(nil), r.Regions...)
+	}
+	if r.Workload == nil {
+		r.Workload = &WorkloadSpec{}
+	}
+	w := r.Workload.withUniformDefaults(5, 2, 1e6)
+	r.Workload = &w
+	return r
+}
+
+// fleetStudy is a validated, resolved siting study: the candidate
+// regions, the workload, and each platform compiled in each region
+// (cells[region][platform]). The region evaluations are independent,
+// which is what lets the jobs layer run one chunk per region and
+// reassemble the identical response.
+type fleetStudy struct {
+	req     FleetRequest // normalized
+	w       WorkloadSpec
+	regions []carbon.Region
+	means   []float64 // mean g/kWh per region (trace mean or scalar)
+	names   []string  // platform names, cell order
+	cells   [][]*core.Compiled
+}
+
+// prepareFleet normalizes and validates the request and compiles every
+// (region, platform) cell — through the content-addressed spec cache,
+// so two studies over overlapping grids share compilations — without
+// evaluating anything.
+func (e *Evaluator) prepareFleet(ctx context.Context, req FleetRequest) (*fleetStudy, error) {
+	req = req.Normalized()
+	w, err := req.Workload.uniformArm("fleet")
+	if err != nil {
+		return nil, err
+	}
+	if w.NApps < 1 {
+		return nil, &Error{Code: "invalid_request",
+			Message: fmt.Sprintf("napps must be >= 1, got %d", w.NApps)}
+	}
+	switch req.Shift {
+	case "", carbon.ShiftDaily:
+	default:
+		return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
+			"unknown shift policy %q (valid: %s)", req.Shift, carbon.ShiftDaily)}
+	}
+	st := &fleetStudy{req: req, w: w}
+	seenRegion := make(map[string]bool, len(req.Regions))
+	for _, name := range req.Regions {
+		reg, err := carbon.ByName(name)
+		if err != nil {
+			return nil, &Error{Code: "invalid_request", Message: err.Error()}
+		}
+		if seenRegion[reg.Name] {
+			return nil, &Error{Code: "invalid_request",
+				Message: fmt.Sprintf("duplicate region %q", reg.Name)}
+		}
+		seenRegion[reg.Name] = true
+		mean, err := reg.Intensity()
+		if err != nil {
+			return nil, err
+		}
+		if reg.Traced {
+			t, err := reg.Trace()
+			if err != nil {
+				return nil, err
+			}
+			mean = t.Mean()
+		}
+		st.regions = append(st.regions, reg)
+		st.means = append(st.means, mean.GramsPerKWh())
+	}
+	seenSpec := make(map[string]bool, len(req.Platforms))
+	for _, sp := range req.Platforms {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		if sp.UseRegion != "" || sp.Trace != nil || sp.Shift != "" {
+			return nil, &Error{Code: "invalid_request", Message: fmt.Sprintf(
+				"fleet sites each platform in every candidate region; platform spec %s cannot carry its own region, trace or shift",
+				sp.describe())}
+		}
+		key, err := CanonicalKey("spec", sp)
+		if err != nil {
+			return nil, err
+		}
+		if seenSpec[key] {
+			return nil, &Error{Code: "invalid_request",
+				Message: fmt.Sprintf("duplicate platform %s", sp.describe())}
+		}
+		seenSpec[key] = true
+	}
+	stop := telemetry.StartStage(ctx, "resolve")
+	defer stop()
+	st.cells = make([][]*core.Compiled, len(st.regions))
+	for ri, reg := range st.regions {
+		st.cells[ri] = make([]*core.Compiled, len(req.Platforms))
+		for pi, sp := range req.Platforms {
+			sited := sp
+			sited.UseRegion = reg.Name
+			if reg.Traced {
+				sited.Shift = req.Shift
+			}
+			c, err := e.resolveSpec(sited)
+			if err != nil {
+				return nil, fmt.Errorf("platform %s in %s: %w", sp.describe(), reg.Name, err)
+			}
+			st.cells[ri][pi] = c
+			if ri == 0 {
+				st.names = append(st.names, c.Platform().Spec.Name)
+			}
+		}
+	}
+	return st, nil
+}
+
+// width is the per-region payload length: (total, operation, embodied)
+// per platform, plus the crossover solve pair when the study sites
+// exactly two platforms.
+func (st *fleetStudy) width() int {
+	n := 3 * len(st.names)
+	if len(st.names) == 2 {
+		n += 2
+	}
+	return n
+}
+
+// evalRegion evaluates region ri's full platform row — the shared
+// uniform scenario per platform plus the pairwise A2F crossover — as a
+// flat float vector, the unit the jobs layer checkpoints.
+func (st *fleetStudy) evalRegion(ctx context.Context, ri int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	life := units.YearsOf(st.w.LifetimeYears)
+	out := make([]float64, 0, st.width())
+	for _, c := range st.cells[ri] {
+		a, err := c.EvaluateUniform(st.w.NApps, life, st.w.Volume, st.w.SizeGates)
+		if err != nil {
+			return nil, err
+		}
+		total := a.Total().Kilograms()
+		op := a.Breakdown.Operation.Kilograms()
+		out = append(out, total, op, total-op)
+	}
+	if len(st.cells[ri]) == 2 {
+		n, found, err := core.CrossoverNumAppsBetween(
+			st.cells[ri][0], st.cells[ri][1], life, st.w.Volume, st.w.SizeGates, fleetMaxApps)
+		if err != nil {
+			return nil, err
+		}
+		f := 0.0
+		if found {
+			f = 1
+		}
+		out = append(out, f, float64(n))
+	}
+	return out, nil
+}
+
+// assemble shapes the per-region vectors into the response document.
+func (st *fleetStudy) assemble(rows [][]float64) *FleetResponse {
+	nP := len(st.names)
+	resp := &FleetResponse{
+		Domain:    st.req.Domain,
+		Shift:     st.req.Shift,
+		Platforms: st.names,
+		Best:      FleetBest{TotalKg: math.Inf(1)},
+	}
+	bestBy := make([]FleetBest, nP)
+	for i := range bestBy {
+		bestBy[i].TotalKg = math.Inf(1)
+	}
+	for ri, reg := range st.regions {
+		vals := rows[ri]
+		row := FleetRegionRow{
+			Region:      reg.Name,
+			Traced:      reg.Traced,
+			MeanGPerKWh: st.means[ri],
+			Cells:       make([]FleetCell, nP),
+		}
+		win := 0
+		for pi := 0; pi < nP; pi++ {
+			cell := FleetCell{
+				TotalKg:     vals[3*pi],
+				OperationKg: vals[3*pi+1],
+				EmbodiedKg:  vals[3*pi+2],
+			}
+			row.Cells[pi] = cell
+			if cell.TotalKg < row.Cells[win].TotalKg {
+				win = pi
+			}
+			if cell.TotalKg < bestBy[pi].TotalKg {
+				bestBy[pi] = FleetBest{Region: reg.Name, Platform: st.names[pi], TotalKg: cell.TotalKg}
+			}
+			if cell.TotalKg < resp.Best.TotalKg {
+				resp.Best = FleetBest{Region: reg.Name, Platform: st.names[pi], TotalKg: cell.TotalKg}
+			}
+		}
+		row.Winner = st.names[win]
+		if nP == 2 {
+			s := Solve{Found: vals[3*nP] != 0}
+			if s.Found {
+				s.Value = vals[3*nP+1]
+			}
+			row.A2FNumApps = &s
+		}
+		resp.Regions = append(resp.Regions, row)
+	}
+	resp.BestByPlatform = bestBy
+	return resp
+}
+
+// RunFleet runs a carbon-aware placement study: every platform sited
+// in every candidate region on a shared uniform scenario, with the
+// minimum-CFP placements and the per-region grid-aware crossovers. It
+// matches `greenfpga fleet -json` exactly; scalar regions run the
+// legacy closed-form path, traced regions integrate their hourly
+// signal. The per-region evaluations check ctx between regions.
+func (e *Evaluator) RunFleet(ctx context.Context, req FleetRequest) (*FleetResponse, error) {
+	st, err := e.prepareFleet(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	defer telemetry.StartStage(ctx, "compute")()
+	rows := make([][]float64, len(st.regions))
+	for i := range rows {
+		vals, err := st.evalRegion(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = vals
+	}
+	return st.assemble(rows), nil
+}
+
+// RunFleet runs the request through the package-level evaluator under
+// a background context.
+func RunFleet(req FleetRequest) (*FleetResponse, error) {
+	return defaultEvaluator.RunFleet(context.Background(), req)
 }
 
 // Experiments returns the paper-artifact registry IDs in run order.

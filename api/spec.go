@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"greenfpga/internal/carbon"
 	"greenfpga/internal/config"
 	"greenfpga/internal/core"
 	"greenfpga/internal/device"
@@ -42,8 +43,17 @@ type PlatformSpec struct {
 	// DutyCycle overrides the deployment utilization (0 keeps the
 	// platform's own).
 	DutyCycle float64 `json:"duty_cycle,omitempty"`
-	// UseRegion overrides the deployment grid preset.
+	// UseRegion sites the platform in a carbon-registry region: the
+	// deployment grid takes the region's mix, and traced regions
+	// additionally integrate their hourly intensity trace.
 	UseRegion string `json:"use_region,omitempty"`
+	// Trace supplies an inline hourly intensity profile instead of a
+	// registry region's. Mutually exclusive with UseRegion.
+	Trace *TraceSpec `json:"trace,omitempty"`
+	// Shift selects a temporal load-shifting policy over the hourly
+	// trace ("daily" packs each day's run-hours into its cleanest
+	// hours); requires a trace, inline or via a traced region.
+	Shift string `json:"shift,omitempty"`
 	// ChipLifetimeYears caps one hardware generation (0 keeps the
 	// platform's own policy).
 	ChipLifetimeYears float64 `json:"chip_lifetime_years,omitempty"`
@@ -143,6 +153,38 @@ func (p PlatformSpec) Validate() error {
 	case p.ChipLifetimeYears < 0:
 		return &Error{Code: "invalid_request", Message: fmt.Sprintf(
 			"platform spec %s: negative chip lifetime %g", p.describe(), p.ChipLifetimeYears)}
+	case p.UseRegion != "" && p.Trace != nil:
+		return &Error{Code: "invalid_request", Message: fmt.Sprintf(
+			"platform spec %s sets both use_region and an inline trace; they are mutually exclusive",
+			p.describe())}
+	}
+	traced := p.Trace != nil
+	if p.UseRegion != "" {
+		reg, err := carbon.ByName(p.UseRegion)
+		if err != nil {
+			return &Error{Code: "invalid_request", Message: fmt.Sprintf(
+				"platform spec %s: unknown region %q (valid: %s)",
+				p.describe(), p.UseRegion, carbon.NamesList())}
+		}
+		traced = traced || reg.Traced
+	}
+	if p.Trace != nil {
+		if _, err := carbon.FromGrams(p.Trace.GPerKWh); err != nil {
+			return &Error{Code: "invalid_request", Message: fmt.Sprintf(
+				"platform spec %s: %v", p.describe(), err)}
+		}
+	}
+	switch p.Shift {
+	case "", carbon.ShiftDaily:
+	default:
+		return &Error{Code: "invalid_request", Message: fmt.Sprintf(
+			"platform spec %s: unknown shift policy %q (valid: %s)",
+			p.describe(), p.Shift, carbon.ShiftDaily)}
+	}
+	if p.Shift != "" && !traced {
+		return &Error{Code: "invalid_request", Message: fmt.Sprintf(
+			"platform spec %s: shift %q needs an hourly trace — an inline trace or a traced region",
+			p.describe(), p.Shift)}
 	}
 	return nil
 }
@@ -166,7 +208,8 @@ func (p PlatformSpec) describe() string {
 
 // hasOverrides reports whether any cross-cutting override is set.
 func (p PlatformSpec) hasOverrides() bool {
-	return p.DutyCycle != 0 || p.UseRegion != "" || p.ChipLifetimeYears != 0
+	return p.DutyCycle != 0 || p.UseRegion != "" || p.Trace != nil ||
+		p.Shift != "" || p.ChipLifetimeYears != 0
 }
 
 // normalizedWith fills a kind selector's empty domain from the

@@ -87,9 +87,11 @@ func CanonicalEndpoint(name string) (string, error) {
 		return "/v1/sweep", nil
 	case "mc", "/v1/mc":
 		return "/v1/mc", nil
+	case "fleet", "/v1/fleet":
+		return "/v1/fleet", nil
 	default:
 		return "", &Error{Code: "invalid_request", Message: fmt.Sprintf(
-			"unknown job endpoint %q (evaluate, compare, crossover, timeline, sweep, mc)", name)}
+			"unknown job endpoint %q (evaluate, compare, crossover, timeline, sweep, mc, fleet)", name)}
 	}
 }
 
@@ -130,6 +132,12 @@ func (e *Evaluator) NewStudy(ctx context.Context, endpoint string, raw json.RawM
 			return nil, err
 		}
 		return e.newSweepStudy(ctx, req)
+	case "/v1/fleet":
+		var req FleetRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return nil, err
+		}
+		return e.newFleetStudy(ctx, req)
 	case "/v1/evaluate":
 		var req EvaluateRequest
 		if err := decodeStrict(raw, &req); err != nil {
@@ -318,6 +326,49 @@ func (e *Evaluator) newSweepStudy(ctx context.Context, req SweepRequest) (*Study
 				}
 			}
 			return EncodeJSON(st.assemble(pts))
+		},
+	}, nil
+}
+
+// newFleetStudy decomposes a fleet request into one chunk per region:
+// a region's whole platform row — shared-scenario totals plus the
+// grid-aware crossover — is a natural checkpoint unit (regions are
+// independent, and a row is a handful of evaluations). A chunk payload
+// is the row's flat float vector packed little-endian; Finalize
+// rebuilds the rows and runs the synchronous path's assembly, so the
+// bytes match a /v1/fleet response exactly.
+func (e *Evaluator) newFleetStudy(ctx context.Context, req FleetRequest) (*Study, error) {
+	st, err := e.prepareFleet(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	key, err := CanonicalKey("/v1/fleet", st.req)
+	if err != nil {
+		return nil, err
+	}
+	width := st.width()
+	return &Study{
+		Endpoint: "/v1/fleet",
+		Key:      key,
+		Req:      st.req,
+		chunks:   len(st.regions),
+		compute: func(ctx context.Context, i int) ([]byte, error) {
+			vals, err := st.evalRegion(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			return packFloats(vals), nil
+		},
+		finalize: func(_ context.Context, chunks [][]byte) ([]byte, error) {
+			rows := make([][]float64, len(chunks))
+			for i, c := range chunks {
+				vals, err := unpackFloats(c, width)
+				if err != nil {
+					return nil, fmt.Errorf("fleet chunk %d: %w", i, err)
+				}
+				rows[i] = vals
+			}
+			return EncodeJSON(st.assemble(rows))
 		},
 	}, nil
 }

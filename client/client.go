@@ -383,6 +383,13 @@ func (c *Client) Domains(ctx context.Context) (*api.DomainList, error) {
 	return out, c.do(ctx, http.MethodGet, "/v1/domains", nil, out)
 }
 
+// Regions fetches the carbon-region registry: the scalar grid presets
+// plus the traced hourly-signal regions.
+func (c *Client) Regions(ctx context.Context) (*api.RegionList, error) {
+	out := &api.RegionList{}
+	return out, c.do(ctx, http.MethodGet, "/v1/regions", nil, out)
+}
+
 // Experiments lists the paper-artifact registry.
 func (c *Client) Experiments(ctx context.Context) (*api.ExperimentList, error) {
 	out := &api.ExperimentList{}
@@ -439,4 +446,12 @@ func (c *Client) Sweep(ctx context.Context, req api.SweepRequest) (*api.SweepRes
 func (c *Client) MonteCarlo(ctx context.Context, req api.MonteCarloRequest) (*api.MonteCarloResponse, error) {
 	out := &api.MonteCarloResponse{}
 	return out, c.do(ctx, http.MethodPost, "/v1/mc", req, out)
+}
+
+// Fleet runs a carbon-aware placement study: every platform sited in
+// every candidate region, with the minimum-CFP placements and the
+// per-region grid-aware crossovers.
+func (c *Client) Fleet(ctx context.Context, req api.FleetRequest) (*api.FleetResponse, error) {
+	out := &api.FleetResponse{}
+	return out, c.do(ctx, http.MethodPost, "/v1/fleet", req, out)
 }

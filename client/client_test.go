@@ -148,6 +148,22 @@ func TestRoundTrip(t *testing.T) {
 		t.Errorf("mc: %+v", mc)
 	}
 
+	regions, err := c.Regions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions.Regions) == 0 || regions.Regions[0].Name == "" {
+		t.Errorf("regions: %+v", regions)
+	}
+
+	fleet, err := c.Fleet(ctx, api.FleetRequest{Regions: []string{"iceland", "oregon"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Regions) != 2 || fleet.Best.Region != "iceland" {
+		t.Errorf("fleet: %+v", fleet)
+	}
+
 	// Spec-form requests travel the same typed surface: a platform-set
 	// sweep comes back with per-platform totals, and a GPU-vs-FPGA
 	// uncertainty study echoes its pair.

@@ -114,6 +114,120 @@ func cmdDomains(args []string) error {
 	return t.WriteText(os.Stdout)
 }
 
+// cmdRegions prints the carbon-region registry.
+func cmdRegions(args []string) error {
+	fs := flag.NewFlagSet("regions", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/regions)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *jsonOut {
+		return api.WriteJSON(os.Stdout, api.Regions())
+	}
+	t := report.NewTable("Carbon regions (scalar presets + hourly traces)",
+		"Region", "Signal", "CI [g/kWh]", "Trace mean/min/max [g/kWh]", "Description")
+	for _, r := range api.Regions().Regions {
+		signal, span := "scalar", "-"
+		if r.Traced {
+			signal = "hourly"
+			span = fmt.Sprintf("%.0f / %.0f / %.0f", r.MeanGPerKWh, r.MinGPerKWh, r.MaxGPerKWh)
+		}
+		t.AddRow(r.Name, signal, fmt.Sprintf("%.0f", r.IntensityGPerKWh), span, r.Description)
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// cmdFleet runs a carbon-aware placement study through the shared api
+// compute path, so its numbers match /v1/fleet exactly.
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	domain := fs.String("domain", "DNN", "iso-performance domain")
+	platforms := fs.String("platforms", "", "comma-separated platforms to site: kinds (fpga,asic,gpu,cpu) or catalog device names (default: the domain's fpga,asic pair)")
+	regions := fs.String("regions", "", "comma-separated candidate regions (default: every registry region; see 'greenfpga regions')")
+	shift := fs.String("shift", "", "load-shifting policy in traced regions: daily")
+	napps := fs.Int("napps", 5, "application count")
+	lifetime := fs.Float64("lifetime", 2, "application lifetime in years")
+	volume := fs.Float64("volume", 1e6, "application volume")
+	jsonOut := fs.Bool("json", false, "emit the canonical api document (/v1/fleet)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	req := api.FleetRequest{
+		Domain: *domain, Shift: *shift,
+		Workload: &api.WorkloadSpec{NApps: *napps, LifetimeYears: *lifetime, Volume: *volume},
+	}
+	specs, err := platformSpecArgs(*platforms)
+	if err != nil {
+		return err
+	}
+	req.Platforms = specs
+	if *regions != "" {
+		for _, r := range strings.Split(*regions, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				return usagef("empty region in -regions %q", *regions)
+			}
+			req.Regions = append(req.Regions, r)
+		}
+	}
+	req = req.Normalized()
+	resp, err := api.RunFleet(req)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return api.WriteJSON(os.Stdout, resp)
+	}
+	const kgPerKt = 1e6
+	cols := []string{"Region", "Signal"}
+	for _, name := range resp.Platforms {
+		cols = append(cols, name+" [kt]")
+	}
+	cols = append(cols, "Winner")
+	hasSolves := false
+	for _, row := range resp.Regions {
+		if row.A2FNumApps != nil {
+			hasSolves = true
+		}
+	}
+	if hasSolves {
+		cols = append(cols, "A2F N_app")
+	}
+	t := report.NewTable(fmt.Sprintf("Fleet siting: %s (N=%d apps, T=%gy, V=%g)",
+		resp.Domain, req.Workload.NApps, req.Workload.LifetimeYears, req.Workload.Volume), cols...)
+	for _, row := range resp.Regions {
+		signal := "scalar"
+		if row.Traced {
+			signal = "hourly"
+		}
+		cells := []string{row.Region, signal}
+		for _, c := range row.Cells {
+			cells = append(cells, fmt.Sprintf("%.2f", c.TotalKg/kgPerKt))
+		}
+		cells = append(cells, row.Winner)
+		if hasSolves {
+			s := "-"
+			if row.A2FNumApps != nil && row.A2FNumApps.Found {
+				s = fmt.Sprintf("%d", int(row.A2FNumApps.Value))
+			}
+			cells = append(cells, s)
+		}
+		t.AddRow(cells...)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	for _, b := range resp.BestByPlatform {
+		fmt.Printf("\nbest region for %s: %s (%.2f kt)", b.Platform, b.Region, b.TotalKg/kgPerKt)
+	}
+	fmt.Printf("\nminimum-CFP placement: %s in %s (%.2f kt)\n",
+		resp.Best.Platform, resp.Best.Region, resp.Best.TotalKg/kgPerKt)
+	if resp.Shift != "" {
+		fmt.Printf("load shifting: %s (traced regions pack run-hours into their cleanest hours)\n", resp.Shift)
+	}
+	return nil
+}
+
 // cmdCrossover solves the three §4.2 crossover questions through the
 // shared api compute path, so its numbers match /v1/crossover exactly.
 func cmdCrossover(args []string) error {

@@ -90,6 +90,13 @@ func lgCalls() map[string]lgCall {
 			_, err := c.Timeline(ctx, api.TimelineRequest{Domain: "DNN"})
 			return err
 		}},
+		"fleet": {call: func(ctx context.Context, c *client.Client) error {
+			// The full-registry siting study: 12 regions x 2 platforms,
+			// four of them trace-integrated, with the per-region A2F
+			// solves — the compute-heaviest fixed body in the mix.
+			_, err := c.Fleet(ctx, api.FleetRequest{Domain: "DNN"})
+			return err
+		}},
 		"mc": {
 			call: func(ctx context.Context, c *client.Client) error {
 				_, err := c.MonteCarlo(ctx, api.MonteCarloRequest{Domain: "DNN", Samples: 500})

@@ -10,7 +10,9 @@
 //	greenfpga experiment <id>|all           regenerate a table/figure
 //	greenfpga devices                       print the Table 3 catalog
 //	greenfpga domains                       print the Table 2 testcases
+//	greenfpga regions                       print the carbon-region registry
 //	greenfpga crossover -domain DNN         solve A2F/F2A points
+//	greenfpga fleet -domain DNN             carbon-aware placement study
 //	greenfpga sweep -domain DNN -axis napps 1-D sweep with a chart
 //	greenfpga timeline -domain DNN          time-phased deployment schedule
 //	greenfpga run -config file.json         evaluate a JSON scenario
@@ -39,7 +41,9 @@ var commands = map[string]func(args []string) error{
 	"experiment":     cmdExperiment,
 	"devices":        cmdDevices,
 	"domains":        cmdDomains,
+	"regions":        cmdRegions,
 	"kernels":        cmdKernels,
+	"fleet":          cmdFleet,
 	"compare":        cmdCompare,
 	"crossover":      cmdCrossover,
 	"sweep":          cmdSweep,
@@ -146,11 +150,17 @@ commands:
   experiment <id>|all             regenerate a paper table/figure
   devices [-json]                 print the industry device catalog (Table 3)
   domains [-json]                 print the iso-performance testcases (Table 2)
+  regions [-json]                 print the carbon-region registry (scalar grid
+                                  presets plus hourly-trace regions)
   kernels                         list the workload kernel library
   compare [-domain <name>]        N-platform comparison; -platforms mixes kinds
                                   and catalog devices, -fpga/-asic selects the
                                   catalog head-to-head instead
   crossover -domain <name>        solve the A2F/F2A crossover points
+  fleet [-domain <name>]          carbon-aware placement study: platforms x
+                                  regions siting matrix; -shift daily packs
+                                  run-hours into each traced region's
+                                  cleanest hours
   sweep -domain <name> -axis <a>  run a 1-D sweep (axes: napps, lifetime, volume);
                                   -platforms sweeps any kind/device set
   timeline [-domain <name>]       evaluate a time-phased deployment schedule

@@ -604,6 +604,7 @@ func TestJSONFlagsMatchAPI(t *testing.T) {
 		{"list", func() error { return cmdList([]string{"-json"}) }, canonical(api.Experiments())},
 		{"devices", func() error { return cmdDevices([]string{"-json"}) }, canonical(api.Devices())},
 		{"domains", func() error { return cmdDomains([]string{"-json"}) }, canonical(api.Domains())},
+		{"regions", func() error { return cmdRegions([]string{"-json"}) }, canonical(api.Regions())},
 	} {
 		out, err := captureStdout(t, tc.run)
 		if err != nil {
@@ -628,6 +629,48 @@ func TestCmdCrossoverJSON(t *testing.T) {
 	}
 	if resp.Domain != "DNN" || !resp.A2FNumApps.Found || resp.A2FNumApps.Value != 6 {
 		t.Errorf("crossover -json: %+v", resp)
+	}
+}
+
+func TestCmdFleetJSON(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdFleet([]string{"-regions", "iceland,taiwan,oregon", "-shift", "daily", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp api.FleetResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("fleet -json is not a FleetResponse: %v\n%s", err, out)
+	}
+	if resp.Domain != "DNN" || len(resp.Regions) != 3 || len(resp.Platforms) != 2 {
+		t.Fatalf("fleet -json shape: %+v", resp)
+	}
+	if resp.Best.Region != "iceland" {
+		t.Errorf("hydro grid must win the siting study, got %+v", resp.Best)
+	}
+	if resp.Shift != "daily" {
+		t.Errorf("shift policy not echoed: %+v", resp)
+	}
+}
+
+func TestCmdFleetText(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdFleet([]string{"-regions", "iceland,oregon"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fleet siting", "iceland", "oregon", "hourly", "minimum-CFP placement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdFleetBadRegion(t *testing.T) {
+	if err := cmdFleet([]string{"-regions", "atlantis"}); err == nil {
+		t.Error("unknown region must error")
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 //	GET  /metrics                Prometheus counters (cache hits, ...)
 //	GET  /v1/devices             Table 3 catalog
 //	GET  /v1/domains             Table 2 testcases
+//	GET  /v1/regions             carbon-region registry (scalar + traced)
 //	GET  /v1/experiments         paper-artifact registry
 //	GET  /v1/experiments/{id}    one artifact (?format=json|text|markdown|csv)
 //	POST /v1/evaluate            evaluate a {"scenario": ...} document
@@ -33,6 +34,7 @@ import (
 //	POST /v1/crossover           solve the A2F/F2A crossover points
 //	POST /v1/sweep               run a 1-D domain sweep
 //	POST /v1/mc                  Monte-Carlo uncertainty study
+//	POST /v1/fleet               carbon-aware placement study
 //
 // With -store, results persist across restarts and the asynchronous
 // job endpoints come up (see DESIGN.md "Jobs and durability"):

@@ -1,0 +1,135 @@
+// Package carbon is the time-varying grid-signal engine. Where
+// internal/grid reduces a regional mix to one scalar carbon intensity,
+// this package carries hourly intensity traces — synthetic annual
+// profiles composed from the grid presets, or measured series loaded
+// from CSV/JSON — and integrates them against device operating windows
+// so operational CFP can be accumulated hour-by-hour over a
+// deployment's [start, start+lifetime) span.
+//
+// Traces tile cyclically: an 8760-sample trace repeats every year, a
+// 24-sample trace every day. Regions whose grid signal is a scalar
+// keep no trace at all, so every model built on them stays on the
+// legacy closed-form path bit-for-bit.
+package carbon
+
+import (
+	"fmt"
+	"math"
+
+	"greenfpga/internal/units"
+)
+
+// ShiftDaily names the daily load-shifting policy: each day's
+// run-hours pack into that day's cleanest hours (see
+// Integrator.Shift). It is the only policy besides "" (none).
+const ShiftDaily = "daily"
+
+// MaxTraceHours bounds loadable traces to ten years of hourly samples,
+// which is enough for any measured series the tool ingests and keeps
+// adversarial inputs from allocating unbounded prefix tables.
+const MaxTraceHours = 10 * 8760
+
+// maxIntensity rejects nonsense samples: no grid on earth emits more
+// than 5 kgCO2e/kWh (lignite peaks near 1.2).
+const maxIntensity = 5.0
+
+// Trace is an hourly carbon-intensity series. Element h is the grid
+// intensity during hour [h, h+1); the series tiles cyclically over the
+// operating calendar.
+type Trace []units.CarbonIntensity
+
+// Validate checks that the trace is usable: non-empty, bounded, and
+// every sample finite, non-negative and physically plausible.
+func (t Trace) Validate() error {
+	if len(t) == 0 {
+		return fmt.Errorf("carbon: empty trace")
+	}
+	if len(t) > MaxTraceHours {
+		return fmt.Errorf("carbon: trace has %d samples, max %d", len(t), MaxTraceHours)
+	}
+	for i, ci := range t {
+		v := ci.KgPerKWh()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("carbon: trace sample %d is not finite", i)
+		}
+		if v < 0 {
+			return fmt.Errorf("carbon: trace sample %d is negative (%g kg/kWh)", i, v)
+		}
+		if v > maxIntensity {
+			return fmt.Errorf("carbon: trace sample %d is %g kg/kWh, above the %g kg/kWh plausibility bound", i, v, maxIntensity)
+		}
+	}
+	return nil
+}
+
+// Flat reports whether every sample equals the first — a flat trace
+// integrates to exactly hours x intensity, the scalar-grid case.
+func (t Trace) Flat() bool {
+	for _, ci := range t {
+		if ci != t[0] {
+			return false
+		}
+	}
+	return len(t) > 0
+}
+
+// Mean is the arithmetic mean intensity of one cycle, summed in index
+// order so repeated calls are bit-identical.
+func (t Trace) Mean() units.CarbonIntensity {
+	if len(t) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ci := range t {
+		sum += ci.KgPerKWh()
+	}
+	return units.KgPerKWh(sum / float64(len(t)))
+}
+
+// Bounds reports the minimum and maximum sample of the trace.
+func (t Trace) Bounds() (min, max units.CarbonIntensity) {
+	if len(t) == 0 {
+		return 0, 0
+	}
+	min, max = t[0], t[0]
+	for _, ci := range t[1:] {
+		if ci < min {
+			min = ci
+		}
+		if ci > max {
+			max = ci
+		}
+	}
+	return min, max
+}
+
+// Flat builds a trace of n identical samples.
+func Flat(ci units.CarbonIntensity, n int) Trace {
+	t := make(Trace, n)
+	for i := range t {
+		t[i] = ci
+	}
+	return t
+}
+
+// FromGrams builds a trace from g/kWh samples — the unit measured
+// series and the API's inline profiles are expressed in.
+func FromGrams(values []float64) (Trace, error) {
+	t := make(Trace, len(values))
+	for i, v := range values {
+		t[i] = units.GramsPerKWh(v)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Grams returns the trace samples in g/kWh, the wire unit.
+func (t Trace) Grams() []float64 {
+	out := make([]float64, len(t))
+	for i, ci := range t {
+		out[i] = ci.GramsPerKWh()
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package carbon
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzTrace drives the CSV and JSON trace loaders with arbitrary
+// bytes. Whatever parses must then survive the whole downstream
+// pipeline: validation holds, the integrator compiles, and window
+// integrals stay finite, non-negative and inside the bounds the trace
+// extremes imply. The seed corpus under testdata/fuzz/FuzzTrace keeps
+// the interesting shapes (headers, indexed rows, object form,
+// boundary intensities) in every run, fuzzing or not.
+func FuzzTrace(f *testing.F) {
+	f.Add([]byte("400\n350\n300\n"))
+	f.Add([]byte("hour,g_per_kwh\n0,420\n1,11\n"))
+	f.Add([]byte("[400, 350, 300]"))
+	f.Add([]byte(`{"g_per_kwh": [820, 0, 24]}`))
+	f.Add([]byte("# comment\n\n5000\n"))
+	f.Add([]byte("0,400\n2,300\n"))
+	f.Add([]byte("[-1]"))
+	f.Add([]byte("[1e309]"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		traces := make([]Trace, 0, 2)
+		if tr, err := ParseCSV(data); err == nil {
+			traces = append(traces, tr)
+		}
+		if bytes.HasPrefix(bytes.TrimSpace(data), []byte("[")) || bytes.HasPrefix(bytes.TrimSpace(data), []byte("{")) {
+			if tr, err := ParseJSON(data); err == nil {
+				traces = append(traces, tr)
+			}
+		}
+		for _, tr := range traces {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("parser accepted a trace Validate rejects: %v", err)
+			}
+			it, err := NewIntegrator(tr)
+			if err != nil {
+				t.Fatalf("NewIntegrator on a validated trace: %v", err)
+			}
+			min, max := tr.Bounds()
+			for _, hours := range []float64{1, 24, 8760, 3.5 * 8760} {
+				w := it.Window(17.25, hours)
+				if math.IsNaN(w) || math.IsInf(w, 0) {
+					t.Fatalf("Window(17.25, %g) not finite: %v", hours, w)
+				}
+				lo, hi := hours*min.KgPerKWh(), hours*max.KgPerKWh()
+				if w < lo-1e-6*math.Max(1, hi) || w > hi+1e-6*math.Max(1, hi) {
+					t.Fatalf("Window(17.25, %g) = %v outside [%v, %v]", hours, w, lo, hi)
+				}
+			}
+			if tr.Flat() && it.Window(0, 8760) != 8760*tr[0].KgPerKWh() {
+				t.Fatalf("flat trace window not exactly hours x intensity")
+			}
+			if len(tr)%24 == 0 {
+				sp, err := it.Shift(7.2)
+				if err != nil {
+					t.Fatalf("Shift on whole-day trace: %v", err)
+				}
+				shifted, uniform := sp.Window(0, 8760), 0.3*it.Window(0, 8760)
+				if shifted > uniform*(1+1e-9)+1e-12 {
+					t.Fatalf("daily shift (%v) burned more than uniform operation (%v)", shifted, uniform)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package carbon
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file loads measured intensity series. Both formats carry g/kWh
+// samples — the unit grid operators publish — and both land in the
+// same Validate gate as the synthesized traces, so a malformed or
+// physically implausible series is rejected before it can reach an
+// Integrator. FuzzTrace drives these parsers.
+
+// ParseCSV reads an hourly trace from CSV text: one sample per line,
+// either a bare g/kWh value or an "hour,g_per_kwh" pair (the hour
+// column must count 0,1,2,... so shuffled exports are caught). Blank
+// lines and #-comments are skipped, and a non-numeric header line
+// (e.g. "hour,g_per_kwh") is tolerated.
+func ParseCSV(data []byte) (Trace, error) {
+	var values []float64
+	row := 0
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		var raw string
+		switch len(fields) {
+		case 1:
+			raw = strings.TrimSpace(fields[0])
+		case 2:
+			hour := strings.TrimSpace(fields[0])
+			raw = strings.TrimSpace(fields[1])
+			idx, err := strconv.Atoi(hour)
+			if err != nil {
+				// A non-numeric first row is a header.
+				if row == 0 {
+					continue
+				}
+				return nil, fmt.Errorf("carbon: csv line %d: bad hour %q", ln+1, hour)
+			}
+			if idx != row {
+				return nil, fmt.Errorf("carbon: csv line %d: hour %d out of order (want %d)", ln+1, idx, row)
+			}
+		default:
+			return nil, fmt.Errorf("carbon: csv line %d: want 1 or 2 fields, got %d", ln+1, len(fields))
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			// A non-numeric first row is a header.
+			if row == 0 && len(fields) == 1 {
+				continue
+			}
+			return nil, fmt.Errorf("carbon: csv line %d: bad value %q", ln+1, raw)
+		}
+		values = append(values, v)
+		row++
+		if row > MaxTraceHours {
+			return nil, fmt.Errorf("carbon: csv trace exceeds %d samples", MaxTraceHours)
+		}
+	}
+	return FromGrams(values)
+}
+
+// ParseJSON reads an hourly trace from JSON: either a bare array of
+// g/kWh samples or an object {"g_per_kwh": [...]}.
+func ParseJSON(data []byte) (Trace, error) {
+	trimmed := strings.TrimSpace(string(data))
+	var values []float64
+	if strings.HasPrefix(trimmed, "{") {
+		var doc struct {
+			Grams []float64 `json:"g_per_kwh"`
+		}
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&doc); err != nil {
+			return nil, fmt.Errorf("carbon: json trace: %w", err)
+		}
+		values = doc.Grams
+	} else {
+		if err := json.Unmarshal(data, &values); err != nil {
+			return nil, fmt.Errorf("carbon: json trace: %w", err)
+		}
+	}
+	return FromGrams(values)
+}

@@ -1,0 +1,180 @@
+package carbon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"greenfpga/internal/grid"
+	"greenfpga/internal/units"
+)
+
+// Region is a named grid a platform can be sited in. Scalar regions
+// (the grid package presets) carry only a mix and reduce every model
+// to the legacy closed-form path; traced regions additionally carry an
+// hourly intensity trace synthesized from their mix, and platforms
+// sited there integrate operational CFP hour-by-hour.
+type Region struct {
+	Name        string
+	Description string
+	Mix         grid.Mix
+	Traced      bool
+}
+
+// scalarDescriptions annotates the grid package presets.
+var scalarDescriptions = map[grid.Region]string{
+	grid.RegionTaiwan:    "Taiwan national blend (fab host)",
+	grid.RegionUSA:       "United States national blend",
+	grid.RegionEurope:    "European Union blend",
+	grid.RegionKorea:     "South Korea national blend (fab host)",
+	grid.RegionJapan:     "Japan national blend",
+	grid.RegionIceland:   "Iceland hydro/geothermal grid",
+	grid.RegionWorld:     "World-average blend (paper default)",
+	grid.RegionRenewable: "All-renewable procurement blend",
+}
+
+// tracedDefs are the hourly-signal regions: coarse US balancing-area
+// blends whose variable-renewable shares give the synthesized traces
+// their structure (hydro seasons in Oregon, midday solar dips in
+// California, synoptic wind swings in Texas, gas-flat Virginia).
+var tracedDefs = []Region{
+	{
+		Name:        "oregon",
+		Description: "Pacific Northwest hydro-heavy grid (hourly trace)",
+		Mix:         grid.Mix{grid.Hydro: 0.55, grid.Wind: 0.12, grid.Gas: 0.18, grid.Solar: 0.04, grid.Nuclear: 0.03, grid.Coal: 0.08},
+		Traced:      true,
+	},
+	{
+		Name:        "virginia",
+		Description: "Mid-Atlantic gas-heavy data-center grid (hourly trace)",
+		Mix:         grid.Mix{grid.Gas: 0.55, grid.Nuclear: 0.29, grid.Coal: 0.04, grid.Solar: 0.06, grid.Biomass: 0.03, grid.Hydro: 0.03},
+		Traced:      true,
+	},
+	{
+		Name:        "california",
+		Description: "California solar-heavy grid with midday dips (hourly trace)",
+		Mix:         grid.Mix{grid.Solar: 0.27, grid.Gas: 0.38, grid.Wind: 0.07, grid.Hydro: 0.09, grid.Nuclear: 0.08, grid.Geothermal: 0.05, grid.Biomass: 0.02, grid.Coal: 0.04},
+		Traced:      true,
+	},
+	{
+		Name:        "texas",
+		Description: "Texas wind-and-gas grid with synoptic swings (hourly trace)",
+		Mix:         grid.Mix{grid.Wind: 0.25, grid.Gas: 0.42, grid.Coal: 0.16, grid.Solar: 0.06, grid.Nuclear: 0.10, grid.Hydro: 0.01},
+		Traced:      true,
+	},
+}
+
+// regions is the full registry, built once and sorted by name.
+var regions = buildRegions()
+
+func buildRegions() []Region {
+	out := make([]Region, 0, len(scalarDescriptions)+len(tracedDefs))
+	for _, r := range grid.Regions() {
+		mix, err := grid.ByRegion(r)
+		if err != nil {
+			panic(err) // registry presets cannot be invalid
+		}
+		out = append(out, Region{
+			Name:        string(r),
+			Description: scalarDescriptions[r],
+			Mix:         mix,
+		})
+	}
+	for _, def := range tracedDefs {
+		mix, err := def.Mix.Normalize()
+		if err != nil {
+			panic(err) // registry presets cannot be invalid
+		}
+		def.Mix = mix
+		out = append(out, def)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Regions lists every known region sorted by name.
+func Regions() []Region {
+	out := make([]Region, len(regions))
+	copy(out, regions)
+	return out
+}
+
+// Names lists the known region names sorted.
+func Names() []string {
+	out := make([]string, len(regions))
+	for i, r := range regions {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// NamesList renders the valid region set for error envelopes.
+func NamesList() string { return strings.Join(Names(), ", ") }
+
+// ByName looks a region up; the error names the valid set so API
+// validation can surface it verbatim in a 400 envelope.
+func ByName(name string) (Region, error) {
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].Name >= name })
+	if i < len(regions) && regions[i].Name == name {
+		return regions[i], nil
+	}
+	return Region{}, fmt.Errorf("carbon: unknown region %q (valid: %s)", name, NamesList())
+}
+
+// Intensity is the region's scalar (annual-average) grid intensity,
+// computed from its mix — the figure scalar regions use directly and
+// traced regions report for context.
+func (r Region) Intensity() (units.CarbonIntensity, error) {
+	return r.Mix.Intensity()
+}
+
+// traceCache holds each traced region's synthesized trace, built on
+// first use — synthesis walks 8760 hours, so it is done once.
+var traceCache sync.Map // name -> Trace
+
+// Trace returns the region's hourly trace, synthesizing and caching it
+// on first use. Scalar regions return nil with no error.
+func (r Region) Trace() (Trace, error) {
+	if !r.Traced {
+		return nil, nil
+	}
+	if t, ok := traceCache.Load(r.Name); ok {
+		return t.(Trace), nil
+	}
+	t, err := Synthesize(r.Mix)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := traceCache.LoadOrStore(r.Name, t)
+	return actual.(Trace), nil
+}
+
+// integCache holds each traced region's compiled Integrator — the
+// per-region trace constants, cached like platform constants.
+var integCache sync.Map // name -> *Integrator
+
+// IntegratorFor compiles (once) and returns the named region's trace
+// integrator. Scalar regions return nil with no error.
+func IntegratorFor(name string) (*Integrator, error) {
+	if it, ok := integCache.Load(name); ok {
+		return it.(*Integrator), nil
+	}
+	r, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Traced {
+		return nil, nil
+	}
+	t, err := r.Trace()
+	if err != nil {
+		return nil, err
+	}
+	it, err := NewIntegrator(t)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := integCache.LoadOrStore(name, it)
+	return actual.(*Integrator), nil
+}

@@ -1,0 +1,141 @@
+package carbon
+
+import (
+	"math"
+
+	"greenfpga/internal/grid"
+	"greenfpga/internal/units"
+)
+
+// This file composes synthetic 8760-hour annual intensity traces from
+// the grid.Mix presets. The shapes are deterministic closed forms (no
+// clock, no randomness, bit-reproducible): solar follows a daylight
+// arc with a summer-peaked seasonal envelope, wind a multi-day
+// oscillation that strengthens in winter, hydro a spring-melt swell.
+// Dispatchable fossil sources fill whatever the variable renewables
+// leave uncovered each hour, which is what makes solar-heavy grids dip
+// at midday and gas-heavy grids flatten out — the structure the fleet
+// siting studies exercise.
+
+// synthHours is one year of hourly samples.
+const synthHours = 8760
+
+// solarShape is the relative solar availability at hour h of the year:
+// a half-sine daylight arc between 06:00 and 18:00 scaled by a
+// seasonal envelope peaking near the summer solstice.
+func solarShape(h int) float64 {
+	d, hod := h/24, h%24
+	seasonal := 1 - 0.45*math.Cos(2*math.Pi*float64(d+10)/365)
+	daylight := math.Sin(math.Pi * (float64(hod) + 0.5 - 6) / 12)
+	if hod < 6 || hod >= 18 || daylight < 0 {
+		return 0
+	}
+	return daylight * seasonal
+}
+
+// windShape is the relative wind availability: an 86-hour synoptic
+// oscillation (weather fronts) over a winter-strong seasonal base,
+// floored so the fleet never sees a dead calm year-round.
+func windShape(h int) float64 {
+	d := h / 24
+	v := 1 + 0.55*math.Sin(2*math.Pi*float64(h)/86) + 0.25*math.Cos(2*math.Pi*float64(d)/365)
+	return math.Max(v, 0.05)
+}
+
+// hydroShape is the relative hydro availability: a spring-melt swell
+// cresting around day 190.
+func hydroShape(h int) float64 {
+	d := h / 24
+	v := 1 + 0.3*math.Sin(2*math.Pi*float64(d-100)/365)
+	return math.Max(v, 0.3)
+}
+
+// meanNormalize scales a shape series so its annual mean is exactly 1,
+// keeping the synthesized trace's annual energy shares equal to the
+// mix shares it was composed from.
+func meanNormalize(s []float64) {
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	if sum == 0 {
+		return
+	}
+	mean := sum / float64(len(s))
+	for i := range s {
+		s[i] /= mean
+	}
+}
+
+// Synthesize composes an 8760-hour annual intensity trace from a grid
+// mix. Variable renewables (solar, wind, hydro) follow their
+// availability shapes, baseload sources (nuclear, geothermal, biomass)
+// hold constant shares, and dispatchable fossils (coal, gas, oil)
+// expand or contract to fill the residual demand each hour; surplus
+// renewable hours are curtailed proportionally. The result is
+// deterministic for a given mix.
+func Synthesize(m grid.Mix) (Trace, error) {
+	norm, err := m.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	solar := make([]float64, synthHours)
+	wind := make([]float64, synthHours)
+	hydro := make([]float64, synthHours)
+	for h := 0; h < synthHours; h++ {
+		solar[h] = solarShape(h)
+		wind[h] = windShape(h)
+		hydro[h] = hydroShape(h)
+	}
+	meanNormalize(solar)
+	meanNormalize(wind)
+	meanNormalize(hydro)
+
+	fossil := norm[grid.Coal] + norm[grid.Gas] + norm[grid.Oil]
+	baseload := norm[grid.Nuclear] + norm[grid.Geothermal] + norm[grid.Biomass]
+	trace := make(Trace, synthHours)
+	sources := grid.Sources()
+	share := make([]float64, len(sources))
+	for h := 0; h < synthHours; h++ {
+		variable := norm[grid.Solar]*solar[h] + norm[grid.Wind]*wind[h] + norm[grid.Hydro]*hydro[h]
+		nonFossil := variable + baseload
+		residual := 1 - nonFossil
+		// Scale factors for the fossil fill and renewable curtailment.
+		fossilScale, renewScale := 0.0, 1.0
+		switch {
+		case residual > 0 && fossil > 0:
+			fossilScale = residual / fossil
+		case residual > 0:
+			// No dispatchable source in the mix: the clean sources
+			// themselves scale up to meet demand.
+			renewScale = 1 / nonFossil
+		case residual < 0:
+			// Renewable surplus: curtail everything proportionally.
+			renewScale = 1 / nonFossil
+		}
+		for i, s := range sources {
+			switch s {
+			case grid.Coal, grid.Gas, grid.Oil:
+				share[i] = norm[s] * fossilScale
+			case grid.Solar:
+				share[i] = norm[s] * solar[h] * renewScale
+			case grid.Wind:
+				share[i] = norm[s] * wind[h] * renewScale
+			case grid.Hydro:
+				share[i] = norm[s] * hydro[h] * renewScale
+			default:
+				share[i] = norm[s] * renewScale
+			}
+		}
+		var ci float64
+		for i, s := range sources {
+			si, _ := grid.Intensity(s)
+			ci += share[i] * si.KgPerKWh()
+		}
+		trace[h] = units.KgPerKWh(ci)
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	return trace, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"greenfpga/internal/carbon"
 	"greenfpga/internal/units"
 )
 
@@ -33,6 +34,78 @@ type Compiled struct {
 	mfgTotal units.Mass
 	pkgTotal units.Mass
 	eolNet   units.Mass
+
+	// op holds the compiled trace state for platforms sited on an
+	// hourly intensity signal; nil keeps every evaluation on the legacy
+	// scalar path, byte-for-byte.
+	op *tracedOp
+}
+
+// tracedOp is the hour-by-hour operational state compiled once per
+// platform: the trace integrator (shared, cached per region) plus the
+// device's constant hourly energy draws, so each deployment window
+// costs two O(1) antiderivative probes.
+type tracedOp struct {
+	// integ integrates the intensity signal.
+	integ *carbon.Integrator
+	// hourly is the duty-scaled energy drawn per hour (kWh), the
+	// multiplier for uniform (unshifted) operation.
+	hourly float64
+	// shift, when non-nil, replaces uniform operation with the daily
+	// clean-hours packing, and peakHourly (kWh per run-hour, duty
+	// folded into the packed hours) replaces hourly.
+	shift      *carbon.ShiftProfile
+	peakHourly float64
+}
+
+// compileTrace builds the traced operational state when the platform
+// carries an hourly signal. Traced platforms also re-anchor opAnnual
+// to the first trace year so the cached "annual operation" constant
+// reports the signal-integrated figure.
+func (c *Compiled) compileTrace() error {
+	c.op = nil
+	p := &c.platform
+	integ := p.UseIntegrator
+	if integ == nil {
+		if len(p.UseTrace) == 0 {
+			return nil
+		}
+		var err error
+		integ, err = carbon.NewIntegrator(p.UseTrace)
+		if err != nil {
+			return err
+		}
+	}
+	pue := p.PUE
+	if pue == 0 {
+		pue = 1
+	}
+	op := &tracedOp{
+		integ:  integ,
+		hourly: p.Spec.PeakPower.Scale(p.DutyCycle * pue).OverHours(1).KWh(),
+	}
+	// A zero duty cycle draws nothing; shifting nothing is nothing.
+	if p.UseShift == carbon.ShiftDaily && p.DutyCycle > 0 {
+		sp, err := integ.Shift(p.DutyCycle * 24)
+		if err != nil {
+			return err
+		}
+		op.shift = sp
+		op.peakHourly = p.Spec.PeakPower.Scale(pue).OverHours(1).KWh()
+	}
+	c.op = op
+	c.opAnnual = c.opWindow(0, 1)
+	return nil
+}
+
+// opWindow is the operational carbon of one device over the
+// wall-clock window [start, start+span) years under the compiled
+// trace state.
+func (c *Compiled) opWindow(startYears, spanYears float64) units.Mass {
+	if c.op.shift != nil {
+		return units.Mass(c.op.peakHourly * c.op.shift.Window(startYears*units.HoursPerYear, spanYears*units.HoursPerYear))
+	}
+	return units.Mass(c.op.hourly * c.op.integ.Window(startYears*units.HoursPerYear, spanYears*units.HoursPerYear))
 }
 
 // Compile validates the platform and caches the five platform-constant
@@ -62,7 +135,7 @@ func Compile(p Platform) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{
+	c := &Compiled{
 		platform:   p,
 		deviceCost: dc,
 		design:     des,
@@ -72,7 +145,11 @@ func Compile(p Platform) (*Compiled, error) {
 		mfgTotal:   dc.Manufacturing.Total(),
 		pkgTotal:   dc.Packaging.Total(),
 		eolNet:     dc.EOL.Net(),
-	}, nil
+	}
+	if err := c.compileTrace(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // Platform returns the compiled platform inputs.
@@ -106,6 +183,12 @@ func (c *Compiled) WithDutyCycle(duty float64) (*Compiled, error) {
 		return nil, err
 	}
 	out.opAnnual = opAnnual
+	// Traced platforms also re-pack the shift profile (it depends on
+	// the duty cycle) and re-anchor opAnnual; the integrator itself is
+	// duty-independent and shared.
+	if err := out.compileTrace(); err != nil {
+		return nil, err
+	}
 	return &out, nil
 }
 
@@ -134,6 +217,12 @@ func (c *Compiled) Evaluate(s Scenario) (Assessment, error) {
 		HardwareGenerations: 1,
 	}
 
+	// Applications run back to back from t=0 (the Sequential timeline);
+	// at accumulates the arrival offsets exactly like Sequential does,
+	// so Evaluate and EvaluateSchedule(Sequential(s)) agree bit for bit
+	// on traced platforms too. Scalar platforms ignore the offset.
+	var at float64
+
 	if !p.Spec.Kind.Policy().Reusable {
 		// Eq. 1: every application pays design + hardware + deployment.
 		for _, app := range s.Apps {
@@ -146,7 +235,8 @@ func (c *Compiled) Evaluate(s Scenario) (Assessment, error) {
 			if p.ChipLifetime > 0 && app.Lifetime > p.ChipLifetime {
 				gens = int(math.Ceil(app.Lifetime.Years() / p.ChipLifetime.Years()))
 			}
-			b := c.appBreakdown(app, devices, s.StrictEq2)
+			b := c.appBreakdown(app, devices, s.StrictEq2, at)
+			at += app.Lifetime.Years()
 			b.Design = c.design
 			c.addHardware(&b, devices*float64(gens))
 			out.PerApp = append(out.PerApp, AppAssessment{
@@ -190,7 +280,8 @@ func (c *Compiled) Evaluate(s Scenario) (Assessment, error) {
 	for i, app := range s.Apps {
 		n := counts[i]
 		devices := app.Volume * float64(n)
-		b := c.appBreakdown(app, devices, s.StrictEq2)
+		b := c.appBreakdown(app, devices, s.StrictEq2, at)
+		at += app.Lifetime.Years()
 		out.PerApp = append(out.PerApp, AppAssessment{
 			Name: app.Name, DevicesPerUnit: n, Breakdown: b,
 		})
@@ -201,9 +292,17 @@ func (c *Compiled) Evaluate(s Scenario) (Assessment, error) {
 
 // appBreakdown is one application's deployment contribution (operation
 // + app development + configuration), shared by both equations.
-func (c *Compiled) appBreakdown(app Application, devices float64, strictEq2 bool) Breakdown {
+// startYears places the residency window [start, start+Lifetime) on
+// the wall clock; it only matters on traced platforms — the scalar
+// path is position-independent and stays the legacy expression
+// verbatim, which is what keeps scalar regions bit-for-bit stable.
+func (c *Compiled) appBreakdown(app Application, devices float64, strictEq2 bool, startYears float64) Breakdown {
 	var b Breakdown
-	b.Operation = c.opAnnual.Scale(devices * app.Lifetime.Years() * app.utilization())
+	if c.op != nil {
+		b.Operation = c.opWindow(startYears, app.Lifetime.Years()).Scale(devices * app.utilization())
+	} else {
+		b.Operation = c.opAnnual.Scale(devices * app.Lifetime.Years() * app.utilization())
+	}
 	appDevCost := c.perApp
 	cfgCost := c.perCfg.Scale(devices)
 	if strictEq2 {
@@ -256,10 +355,13 @@ func (c *Compiled) EvaluateUniform(n int, lifetime units.Years, volume, sizeGate
 		if p.ChipLifetime > 0 && lifetime > p.ChipLifetime {
 			gens = int(math.Ceil(lifetime.Years() / p.ChipLifetime.Years()))
 		}
-		b := c.appBreakdown(app, devices, false)
+		b := c.appBreakdown(app, devices, false, 0)
 		b.Design = c.design
 		c.addHardware(&b, devices*float64(gens))
 		out.Breakdown = b.Scale(float64(n))
+		if c.op != nil {
+			out.Breakdown.Operation = c.uniformOperation(n, lifetime, devices*app.utilization())
+		}
 		out.DevicesManufactured = devices * float64(gens) * float64(n)
 		out.FleetSize = devices
 		return out, nil
@@ -284,10 +386,30 @@ func (c *Compiled) EvaluateUniform(n int, lifetime units.Years, volume, sizeGate
 	out.FleetSize = devices
 	out.HardwareGenerations = gens
 	out.DevicesManufactured = devices * float64(gens)
-	out.Breakdown = c.appBreakdown(app, devices, false).Scale(float64(n))
+	out.Breakdown = c.appBreakdown(app, devices, false, 0).Scale(float64(n))
+	if c.op != nil {
+		out.Breakdown.Operation = c.uniformOperation(n, lifetime, devices*app.utilization())
+	}
 	out.Breakdown.Design = c.design
 	c.addHardware(&out.Breakdown, devices*float64(gens))
 	return out, nil
+}
+
+// uniformOperation sums the traced operational carbon of n identical
+// back-to-back residency windows, accumulating arrival offsets exactly
+// like Evaluate's loop so the O(1)-shaped uniform path and the
+// per-application loop agree on traced platforms. scale carries
+// devices x utilization. Only traced platforms pay this O(n) loop —
+// on the scalar path the n windows are identical and EvaluateUniform
+// multiplies instead.
+func (c *Compiled) uniformOperation(n int, lifetime units.Years, scale float64) units.Mass {
+	var at float64
+	var op units.Mass
+	for i := 0; i < n; i++ {
+		op += c.opWindow(at, lifetime.Years())
+		at += lifetime.Years()
+	}
+	return op.Scale(scale)
 }
 
 // UniformTotal is the total CFP of EvaluateUniform, for callers that

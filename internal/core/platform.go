@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 
+	"greenfpga/internal/carbon"
 	"greenfpga/internal/deploy"
 	"greenfpga/internal/design"
 	"greenfpga/internal/device"
@@ -84,6 +85,19 @@ type Platform struct {
 	PUE float64
 	// UseMix is the deployment grid; nil means the world preset.
 	UseMix grid.Mix
+	// UseTrace is an hourly use-phase intensity trace. When set, the
+	// operational CFP integrates hour-by-hour over each deployment's
+	// residency window instead of multiplying by the scalar UseMix
+	// intensity; when nil the legacy scalar path runs untouched.
+	UseTrace carbon.Trace
+	// UseIntegrator supplies pre-compiled trace constants (the cached
+	// per-region integrators) so Compile does not rebuild the prefix
+	// tables; when nil, Compile compiles UseTrace itself.
+	UseIntegrator *carbon.Integrator
+	// UseShift selects a temporal load-shifting policy over the trace:
+	// "" runs uniformly at DutyCycle, carbon.ShiftDaily packs each
+	// day's run-hours into that day's cleanest hours.
+	UseShift string
 	// AppDev overrides the application-development profile. Nil uses
 	// the device kind's reuse-policy default (deploy.DefaultAppDev):
 	// the FPGA hardware flow, the GPU/CPU software port, or the
@@ -102,6 +116,19 @@ func (p Platform) Validate() error {
 	}
 	if p.DutyCycle < 0 || p.DutyCycle > 1 {
 		return fmt.Errorf("core: duty cycle %g outside [0,1]", p.DutyCycle)
+	}
+	if len(p.UseTrace) > 0 {
+		if err := p.UseTrace.Validate(); err != nil {
+			return err
+		}
+	}
+	switch p.UseShift {
+	case "", carbon.ShiftDaily:
+	default:
+		return fmt.Errorf("core: unknown shift policy %q (valid: %s)", p.UseShift, carbon.ShiftDaily)
+	}
+	if p.UseShift != "" && len(p.UseTrace) == 0 && p.UseIntegrator == nil {
+		return fmt.Errorf("core: shift policy %q needs an hourly intensity trace", p.UseShift)
 	}
 	if p.YieldOverride < 0 || p.YieldOverride > 1 {
 		return fmt.Errorf("core: yield override %g must be 0 (disabled) or in (0,1]", p.YieldOverride)

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"greenfpga/api"
+	"greenfpga/internal/store"
+)
+
+func TestRegionsEndpoint(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, _, data := get(t, hts.URL+"/v1/regions")
+	if code != http.StatusOK {
+		t.Fatalf("regions: %d", code)
+	}
+	var buf bytes.Buffer
+	if err := api.WriteJSON(&buf, api.Regions()); err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != buf.String() {
+		t.Error("/v1/regions differs from api.Regions()")
+	}
+	var rl api.RegionList
+	if err := json.Unmarshal(data, &rl); err != nil {
+		t.Fatal(err)
+	}
+	traced := 0
+	for _, r := range rl.Regions {
+		if r.Traced {
+			traced++
+		}
+	}
+	if traced < 4 {
+		t.Errorf("registry lists %d traced regions, want >= 4", traced)
+	}
+}
+
+func TestFleetEndpoint(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	const req = `{"regions": ["iceland", "taiwan", "oregon"], "shift": "daily"}`
+	code, h, body := postRaw(t, hts.URL+"/v1/fleet", req)
+	if code != http.StatusOK || h.Get("X-Cache") != "miss" {
+		t.Fatalf("fleet miss: %d X-Cache=%q %s", code, h.Get("X-Cache"), body)
+	}
+	var resp api.FleetResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("fleet response: %v\n%s", err, body)
+	}
+	if resp.Domain != "DNN" || len(resp.Regions) != 3 || len(resp.Platforms) != 2 {
+		t.Fatalf("fleet shape: %+v", resp)
+	}
+	if resp.Best.Region != "iceland" {
+		t.Errorf("hydro grid must win, got %+v", resp.Best)
+	}
+	code, h, body2 := postRaw(t, hts.URL+"/v1/fleet", req)
+	if code != http.StatusOK || h.Get("X-Cache") != "hit" {
+		t.Fatalf("fleet hit: %d X-Cache=%q", code, h.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached fleet bytes differ from the miss")
+	}
+}
+
+func TestFleetEndpointRejectsSitedSpecs(t *testing.T) {
+	_, hts := newTestServer(t, Options{})
+	code, _, body := postRaw(t, hts.URL+"/v1/fleet",
+		`{"platforms": [{"kind": "fpga", "use_region": "iceland"}]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("sited platform spec must 400, got %d %s", code, body)
+	}
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != "invalid_request" {
+		t.Errorf("envelope: %v %s", err, body)
+	}
+}
+
+// TestFleetJobSurvivesRestart pins the durability contract for the
+// trace-integrated study: a fleet job submitted to a -store service
+// checkpoints per-region chunks, survives a shutdown/restart cycle,
+// and its stored result is byte-identical to the synchronous /v1/fleet
+// response computed from scratch by an independent storeless server.
+func TestFleetJobSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	const req = `{"regions": ["oregon", "california", "texas", "virginia"], "shift": "daily"}`
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, hts1 := newTestServer(t, Options{Store: st1})
+	sub := submitJob(t, hts1.URL, "fleet", req)
+	if sub.Chunks != 4 {
+		t.Fatalf("fleet job has %d chunks, want one per region (4)", sub.Chunks)
+	}
+	fin := waitJob(t, hts1.URL, sub.ID)
+	if fin.State != "done" || fin.ChunksDone != fin.Chunks {
+		t.Fatalf("fleet job: %+v", fin)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restarted process serves the finished study from the store.
+	_, base := newJobServer(t, dir)
+	code, _, jobBody := get(t, base+"/v1/jobs/"+sub.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result after restart: %d %s", code, jobBody)
+	}
+
+	// Independent ground truth: a storeless server computes the same
+	// request synchronously from scratch.
+	_, plain := newTestServer(t, Options{})
+	code, h, syncBody := postRaw(t, plain.URL+"/v1/fleet", req)
+	if code != http.StatusOK || h.Get("X-Cache") != "miss" {
+		t.Fatalf("sync compute: %d X-Cache=%q", code, h.Get("X-Cache"))
+	}
+	if !bytes.Equal(jobBody, syncBody) {
+		t.Fatalf("restarted fleet job bytes differ from sync compute:\njob:  %.200s\nsync: %.200s",
+			jobBody, syncBody)
+	}
+}

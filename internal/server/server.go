@@ -207,6 +207,7 @@ func New(opts Options) (*Server, error) {
 	s.route("GET /v1/version", "/v1/version", false, false, s.handleVersion)
 	s.route("GET /v1/devices", "/v1/devices", false, false, s.handleDevices)
 	s.route("GET /v1/domains", "/v1/domains", false, false, s.handleDomains)
+	s.route("GET /v1/regions", "/v1/regions", false, false, s.handleRegions)
 	s.route("GET /v1/experiments", "/v1/experiments", false, false, s.handleExperimentList)
 	s.route("GET /v1/experiments/{id}", "/v1/experiments/{id}", true, true, s.handleExperiment)
 	s.route("POST /v1/evaluate", "/v1/evaluate", true, true, s.handleEvaluate)
@@ -222,6 +223,7 @@ func New(opts Options) (*Server, error) {
 	s.route("POST /v1/crossover", "/v1/crossover", true, true, s.handleCrossover)
 	s.route("POST /v1/sweep", "/v1/sweep", true, true, s.handleSweep)
 	s.route("POST /v1/mc", "/v1/mc", true, true, s.handleMonteCarlo)
+	s.route("POST /v1/fleet", "/v1/fleet", true, true, s.handleFleet)
 	if opts.Store != nil {
 		s.store = opts.Store
 		mgr, err := jobs.New(jobs.Options{
@@ -658,6 +660,10 @@ func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, api.Domains())
 }
 
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, api.Regions())
+}
+
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, api.Experiments())
 }
@@ -809,6 +815,17 @@ func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 	norm := req.Normalized()
 	s.serveCached(w, r, "/v1/mc", norm, func(ctx context.Context) (any, error) {
 		return s.eval.RunMonteCarlo(ctx, norm)
+	}, nil)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	var req api.FleetRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	norm := req.Normalized()
+	s.serveCached(w, r, "/v1/fleet", norm, func(ctx context.Context) (any, error) {
+		return s.eval.RunFleet(ctx, norm)
 	}, nil)
 }
 
